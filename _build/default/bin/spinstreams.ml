@@ -1,0 +1,518 @@
+(* SpinStreams command-line tool: the paper's GUI workflow (import an XML
+   topology, analyze, optimize, fuse, generate code) as subcommands. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let load_session path =
+  match Ss_tool.Session.import_xml (read_file path) with
+  | Ok s -> Ok s
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("spinstreams: " ^ e);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments *)
+
+let topology_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TOPOLOGY.xml" ~doc:"Topology description (XML formalism).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result to $(docv).")
+
+let vertices_arg =
+  let parse s =
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> Error (`Msg "expected a comma-separated vertex list")
+  in
+  Arg.conv (parse, fun ppf vs ->
+      Format.pp_print_string ppf (String.concat "," (List.map string_of_int vs)))
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let multi =
+    Arg.(
+      value & flag
+      & info [ "multi-source" ]
+          ~doc:"Accept documents with several sources; a fictitious root is \
+                added and all sources throttle proportionally under \
+                backpressure.")
+  in
+  let run path multi =
+    let session =
+      if multi then
+        or_die
+          (Result.map_error
+             (Printf.sprintf "%s: %s" path)
+             (Ss_tool.Session.import_xml_multi (read_file path)))
+      else or_die (load_session path)
+    in
+    print_string (Ss_tool.Session.report session ())
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Predict the steady-state throughput under backpressure (Algorithm 1).")
+    Term.(const run $ topology_arg $ multi)
+
+(* ------------------------------------------------------------------ *)
+(* optimize *)
+
+let optimize_cmd =
+  let max_replicas =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-replicas" ] ~docv:"N"
+          ~doc:"Hold-off replication: bound the total number of replicas.")
+  in
+  let run path max_replicas output =
+    let session = or_die (load_session path) in
+    let version, result =
+      Ss_tool.Session.eliminate_bottlenecks session ?max_replicas ()
+    in
+    Format.printf "%a@." Ss_core.Fission.pp result;
+    (match result.Ss_core.Fission.residual_bottlenecks with
+    | [] -> ()
+    | _ ->
+        print_endline
+          "warning: some bottlenecks cannot be removed by fission (stateful \
+           or skew-limited operators)");
+    match output with
+    | None -> ()
+    | Some out ->
+        write_file out (Ss_tool.Session.export_xml session ~version ());
+        Printf.printf "optimized topology written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Eliminate bottlenecks by operator fission (Algorithm 2).")
+    Term.(const run $ topology_arg $ max_replicas $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* candidates *)
+
+let candidates_cmd =
+  let max_size =
+    Arg.(
+      value & opt int 4
+      & info [ "max-size" ] ~docv:"K" ~doc:"Largest sub-graph size to propose.")
+  in
+  let run path max_size =
+    let session = or_die (load_session path) in
+    let topo = Ss_tool.Session.topology session () in
+    let cands = Ss_tool.Session.fusion_candidates session ~max_size () in
+    if cands = [] then print_endline "no legal fusion candidate"
+    else begin
+      Printf.printf "%-28s %-12s\n" "sub-graph" "mean rho";
+      List.iter
+        (fun (vs, util) ->
+          let names =
+            List.map
+              (fun v ->
+                (Ss_topology.Topology.operator topo v).Ss_topology.Operator.name)
+              vs
+          in
+          Printf.printf "%-28s %-12.3f (%s)\n"
+            (String.concat "," (List.map string_of_int vs))
+            util
+            (String.concat "+" names))
+        cands
+    end
+  in
+  Cmd.v
+    (Cmd.info "candidates"
+       ~doc:"Rank legal fusion sub-graphs by mean utilization (most \
+             underutilized first).")
+    Term.(const run $ topology_arg $ max_size)
+
+(* ------------------------------------------------------------------ *)
+(* fuse *)
+
+let fuse_cmd =
+  let subgraph =
+    Arg.(
+      required
+      & opt (some vertices_arg) None
+      & info [ "s"; "subgraph" ] ~docv:"V1,V2,..."
+          ~doc:"Vertices of the sub-graph to fuse.")
+  in
+  let run path vertices output =
+    let session = or_die (load_session path) in
+    let version, outcome = or_die (Ss_tool.Session.fuse session vertices) in
+    Printf.printf "fused service time: %.4f ms\n"
+      (outcome.Ss_core.Fusion.fused_service_time *. 1e3);
+    Printf.printf "predicted throughput: %.1f -> %.1f tuples/s (%+.1f%%)\n"
+      outcome.Ss_core.Fusion.before.Ss_core.Steady_state.throughput
+      outcome.Ss_core.Fusion.after.Ss_core.Steady_state.throughput
+      (100.0 *. (outcome.Ss_core.Fusion.throughput_ratio -. 1.0));
+    if outcome.Ss_core.Fusion.creates_bottleneck then
+      print_endline
+        "alert: the fusion introduces a bottleneck and impairs performance";
+    (match output with
+    | None -> ()
+    | Some out ->
+        write_file out (Ss_tool.Session.export_xml session ~version ());
+        Printf.printf "fused topology written to %s\n" out)
+  in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:"Fuse a sub-graph into a meta-operator and predict the outcome \
+             (Algorithm 3).")
+    Term.(const run $ topology_arg $ subgraph $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* latency *)
+
+let latency_cmd =
+  let run path =
+    let session = or_die (load_session path) in
+    Format.printf "%a@." Ss_core.Latency.pp (Ss_tool.Session.latency session ())
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Estimate per-operator queueing delays and the end-to-end \
+             latency (GI/G/1 approximations over the steady state).")
+    Term.(const run $ topology_arg)
+
+(* ------------------------------------------------------------------ *)
+(* autofuse *)
+
+let autofuse_cmd =
+  let max_size =
+    Arg.(
+      value & opt int 4
+      & info [ "max-size" ] ~docv:"K" ~doc:"Largest sub-graph size per fusion step.")
+  in
+  let cap =
+    Arg.(
+      value & opt float 0.9
+      & info [ "utilization-cap" ] ~docv:"RHO"
+          ~doc:"Keep every fused operator at or below this utilization.")
+  in
+  let run path max_size cap output =
+    let session = or_die (load_session path) in
+    match
+      Ss_tool.Session.auto_fuse session ~max_size ~utilization_cap:cap ()
+    with
+    | None -> print_endline "no fusion preserves throughput; topology unchanged"
+    | Some (version, result) ->
+        List.iter
+          (fun step ->
+            Printf.printf "fused %s -> %s (%.3f ms)\n"
+              (String.concat ","
+                 (List.map string_of_int step.Ss_core.Fusion.step_vertices))
+              step.Ss_core.Fusion.step_name
+              (step.Ss_core.Fusion.step_service_time *. 1e3))
+          result.Ss_core.Fusion.steps;
+        Printf.printf
+          "%d operators saved; throughput preserved at %.1f tuples/s\n"
+          result.Ss_core.Fusion.operators_saved
+          result.Ss_core.Fusion.final_analysis.Ss_core.Steady_state.throughput;
+        (match output with
+        | None -> ()
+        | Some out ->
+            write_file out (Ss_tool.Session.export_xml session ~version ());
+            Printf.printf "coarsened topology written to %s\n" out)
+  in
+  Cmd.v
+    (Cmd.info "autofuse"
+       ~doc:"Automatically fuse underutilized sub-graphs while preserving \
+             the predicted throughput.")
+    Term.(const run $ topology_arg $ max_size $ cap $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate_cmd =
+  let measure =
+    Arg.(
+      value & opt float 15.0
+      & info [ "measure" ] ~docv:"SECONDS" ~doc:"Simulated measurement window.")
+  in
+  let buffer =
+    Arg.(
+      value & opt int 16
+      & info [ "buffer" ] ~docv:"SLOTS" ~doc:"Mailbox capacity per operator.")
+  in
+  let run path measure buffer seed =
+    let session = or_die (load_session path) in
+    let config =
+      {
+        Ss_sim.Engine.default_config with
+        Ss_sim.Engine.measure;
+        buffer_capacity = buffer;
+        seed;
+      }
+    in
+    let predicted = Ss_tool.Session.analyze session () in
+    let result = Ss_tool.Session.simulate session ~config () in
+    Printf.printf "predicted throughput: %.1f tuples/s\n"
+      predicted.Ss_core.Steady_state.throughput;
+    Printf.printf "measured throughput:  %.1f tuples/s (%d events, %.1fs simulated)\n"
+      result.Ss_sim.Engine.throughput result.Ss_sim.Engine.events
+      result.Ss_sim.Engine.simulated_time;
+    Printf.printf "relative error: %.2f%%\n"
+      (100.0
+      *. Ss_prelude.Stats.relative_error
+           ~expected:predicted.Ss_core.Steady_state.throughput
+           ~actual:result.Ss_sim.Engine.throughput);
+    Printf.printf "\n%-4s %-24s %12s %12s %8s\n" "id" "operator" "pred d/s"
+      "meas d/s" "busy";
+    Array.iteri
+      (fun v stats ->
+        Printf.printf "%-4d %-24s %12.1f %12.1f %8.2f\n" v
+          predicted.Ss_core.Steady_state.metrics.(v).Ss_core.Steady_state.name
+          predicted.Ss_core.Steady_state.metrics.(v)
+            .Ss_core.Steady_state.departure_rate
+          stats.Ss_sim.Engine.departure_rate stats.Ss_sim.Engine.busy_fraction)
+      result.Ss_sim.Engine.stats
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Measure the topology on the discrete-event simulator and compare \
+             with the model.")
+    Term.(const run $ topology_arg $ measure $ buffer $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* random *)
+
+let random_cmd =
+  let count =
+    Arg.(value & opt int 1 & info [ "n"; "count" ] ~docv:"N" ~doc:"Topologies to generate.")
+  in
+  let run count seed output =
+    let rng = Ss_prelude.Rng.create seed in
+    for i = 1 to count do
+      let topo =
+        Ss_workload.Random_topology.generate (Ss_prelude.Rng.split rng)
+      in
+      let xml = Ss_xml.Topology_xml.to_string topo in
+      match output with
+      | None -> print_string xml
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (Printf.sprintf "topology_%02d.xml" i) in
+          write_file path xml;
+          Printf.printf "%s (%d operators, %d edges)\n" path
+            (Ss_topology.Topology.size topo)
+            (Ss_topology.Topology.num_edges topo)
+    done
+  in
+  Cmd.v
+    (Cmd.info "random"
+       ~doc:"Generate random benchmark topologies (the paper's Algorithm 5).")
+    Term.(const run $ count $ seed_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* codegen *)
+
+let codegen_cmd =
+  let fused =
+    Arg.(
+      value
+      & opt_all vertices_arg []
+      & info [ "fused" ] ~docv:"V1,V2,..."
+          ~doc:"Execute this sub-graph as one meta-operator (repeatable).")
+  in
+  let tuples =
+    Arg.(value & opt int 100_000 & info [ "tuples" ] ~docv:"N" ~doc:"Stream length of the generated run.")
+  in
+  let mod_name =
+    Arg.(value & opt string "pipeline" & info [ "name" ] ~docv:"NAME" ~doc:"Module name of the generated executable.")
+  in
+  let run path fused tuples name output =
+    let session = or_die (load_session path) in
+    match output with
+    | None -> print_string (Ss_tool.Session.generate_code session ~fused ~tuples ())
+    | Some dir ->
+        Ss_codegen.Codegen.write_project ~dir ~name ~fused ~tuples
+          (Ss_tool.Session.topology session ());
+        Printf.printf "generated %s/%s.ml and %s/dune\n" dir name dir
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Generate the OCaml program deploying the topology on the actor \
+             runtime (the paper's SS2Akka step).")
+    Term.(const run $ topology_arg $ fused $ tuples $ mod_name $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* place *)
+
+let place_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster nodes.") in
+  let cores = Arg.(value & opt int 4 & info [ "cores" ] ~docv:"C" ~doc:"Cores per node.") in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("round-robin", `Rr); ("load", `Load); ("comm", `Comm) ]) `Comm
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Placement strategy: round-robin, load or comm (default).")
+  in
+  let overhead =
+    Arg.(
+      value & opt float 20e-6
+      & info [ "send-overhead" ] ~docv:"SECONDS"
+          ~doc:"Sender CPU cost per item crossing node boundaries.")
+  in
+  let latency =
+    Arg.(
+      value & opt float 200e-6
+      & info [ "link-latency" ] ~docv:"SECONDS" ~doc:"One-way network latency.")
+  in
+  let run path nodes cores strategy overhead latency =
+    let session = or_die (load_session path) in
+    let topology = Ss_tool.Session.topology session () in
+    let cluster =
+      Ss_placement.Cluster.homogeneous ~send_overhead:overhead
+        ~link_latency:latency ~nodes ~cores ()
+    in
+    let assignment =
+      match strategy with
+      | `Rr -> Ss_placement.Placement.round_robin cluster topology
+      | `Load -> Ss_placement.Placement.load_aware cluster topology
+      | `Comm -> Ss_placement.Placement.communication_aware cluster topology
+    in
+    Array.iteri
+      (fun v m ->
+        Printf.printf "%-24s -> node%d\n"
+          (Ss_topology.Topology.operator topology v).Ss_topology.Operator.name m)
+      assignment;
+    let e = Ss_placement.Placement.evaluate cluster topology assignment in
+    Format.printf "%a@." Ss_placement.Placement.pp_evaluation e
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Map the topology onto a cluster and evaluate the placement \
+             under the cost model (network overhead included).")
+    Term.(const run $ topology_arg $ nodes $ cores $ strategy $ overhead $ latency)
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let export_cmd =
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("csv", `Csv); ("json", `Json); ("latency-csv", `Latency);
+               ("comparison-csv", `Comparison);
+             ])
+          `Csv
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"csv (steady state), json (session summary), latency-csv, or \
+                comparison-csv (predicted vs simulated).")
+  in
+  let run path format output seed =
+    let session = or_die (load_session path) in
+    let topology = Ss_tool.Session.topology session () in
+    let contents =
+      match format with
+      | `Csv ->
+          Ss_tool.Export.steady_state_csv topology (Ss_tool.Session.analyze session ())
+      | `Json -> Ss_tool.Export.session_json session ^ "\n"
+      | `Latency ->
+          Ss_tool.Export.latency_csv topology (Ss_tool.Session.latency session ())
+      | `Comparison ->
+          let analysis = Ss_tool.Session.analyze session () in
+          let config = { Ss_sim.Engine.default_config with Ss_sim.Engine.seed = seed } in
+          Ss_tool.Export.comparison_csv topology analysis
+            (Ss_tool.Session.simulate session ~config ())
+    in
+    match output with
+    | None -> print_string contents
+    | Some out ->
+        write_file out contents;
+        Printf.printf "written to %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export analyses as CSV or JSON for plotting and dashboards.")
+    Term.(const run $ topology_arg $ format $ output_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot_cmd =
+  let run path =
+    let session = or_die (load_session path) in
+    print_string (Ss_topology.Topology.to_dot (Ss_tool.Session.topology session ()))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render the topology as Graphviz.")
+    Term.(const run $ topology_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let samples =
+    Arg.(value & opt int 5000 & info [ "samples" ] ~docv:"N" ~doc:"Tuples per operator.")
+  in
+  let run samples seed =
+    let rng = Ss_prelude.Rng.create seed in
+    Printf.printf "%-28s %14s %10s\n" "operator" "us/tuple" "out/in";
+    List.iter
+      (fun behavior ->
+        let p = Ss_workload.Profiler.run ~samples rng behavior in
+        Printf.printf "%-28s %14.2f %10.3f\n" p.Ss_workload.Profiler.behavior
+          (p.Ss_workload.Profiler.mean_service_time *. 1e6)
+          p.Ss_workload.Profiler.outputs_per_input)
+      (Ss_operators.Catalog.all ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile the operator catalog on synthetic streams (service time \
+             and selectivity per operator).")
+    Term.(const run $ samples $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "static optimization of data stream processing topologies" in
+  let info = Cmd.info "spinstreams" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd;
+            optimize_cmd;
+            candidates_cmd;
+            fuse_cmd;
+            autofuse_cmd;
+            latency_cmd;
+            simulate_cmd;
+            random_cmd;
+            codegen_cmd;
+            place_cmd;
+            export_cmd;
+            dot_cmd;
+            profile_cmd;
+          ]))

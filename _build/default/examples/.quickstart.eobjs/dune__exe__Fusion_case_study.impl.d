@@ -1,0 +1,1 @@
+examples/fusion_case_study.ml: Array Format Fusion List Operator Printf Ss_core Ss_operators Ss_prelude Ss_runtime Ss_sim Ss_topology Ss_workload Steady_state Topology

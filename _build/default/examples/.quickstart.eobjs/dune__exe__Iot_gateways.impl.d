@@ -1,0 +1,1 @@
+examples/iot_gateways.ml: Array Discrete Dist Fission Float Format Latency List Multi_source Operator Rng Ss_core Ss_operators Ss_placement Ss_prelude Ss_topology Steady_state Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Fission Format Operator Ss_core Ss_sim Ss_topology Steady_state

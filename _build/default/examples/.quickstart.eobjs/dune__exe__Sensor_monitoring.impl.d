@@ -1,0 +1,1 @@
+examples/sensor_monitoring.ml: Discrete Fission Format Fusion List Operator Ss_core Ss_prelude Ss_sim Ss_topology Steady_state String Topology

@@ -1,0 +1,98 @@
+(* Multi-gateway IoT analytics: two ingestion gateways feed one analytics
+   tail. Demonstrates three extensions built on top of the paper:
+   - multi-source unification (fictitious root, proportional throttling);
+   - event-time tumbling windows with watermarks and allowed lateness;
+   - placement of the optimized topology onto a small edge cluster.
+
+   Run with: dune exec examples/iot_gateways.exe *)
+
+open Ss_prelude
+open Ss_topology
+open Ss_core
+
+let () =
+  (* 1. Two gateways (uplinks at 600/s and 300/s) feed a shared pipeline:
+     validate -> per-device mean (event time) -> alert sink. The raw graph
+     has two sources, so the paper's rooted-DAG models reject it; the
+     fictitious-root construction makes it analyzable. *)
+  let devices = Discrete.zipf ~alpha:0.8 256 in
+  let ops =
+    [|
+      Operator.source ~rate:600.0 "gateway_a";
+      Operator.source ~rate:300.0 "gateway_b";
+      Operator.make ~service_time:0.4e-3 "validate";
+      Operator.make
+        ~kind:(Operator.Partitioned_stateful devices)
+        ~service_time:2.2e-3 "per_device_mean";
+      Operator.make ~service_time:0.1e-3 "alert_sink";
+    |]
+  in
+  let edges = [ (0, 2, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0) ] in
+  let topology, _remap =
+    match Multi_source.unify ops edges with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let analysis = Steady_state.analyze topology in
+  Format.printf "--- unified multi-source topology ---@.%a@.@." Steady_state.pp
+    analysis;
+  Format.printf "per-gateway ingestion under backpressure:@.";
+  List.iter
+    (fun (v, rate) ->
+      Format.printf "  %-12s %7.1f msgs/s@."
+        (Topology.operator topology v).Operator.name rate)
+    (Multi_source.throughput_per_source topology analysis);
+
+  (* 2. The keyed aggregation is the bottleneck: fission fixes it. *)
+  let plan = Fission.optimize topology in
+  Format.printf "@.--- after fission ---@.%a@.@." Fission.pp plan;
+
+  (* 3. Latency estimate of the optimized plan. *)
+  let latency =
+    Latency.estimate plan.Fission.topology
+      (Steady_state.analyze plan.Fission.topology)
+  in
+  Format.printf "--- latency estimate ---@.%a@.@." Latency.pp latency;
+
+  (* 4. Place the plan on two 4-core edge nodes; network crossings cost the
+     sender 50us per message. *)
+  let cluster =
+    Ss_placement.Cluster.homogeneous ~send_overhead:50e-6 ~link_latency:1e-3
+      ~nodes:2 ~cores:4 ()
+  in
+  let assignment =
+    Ss_placement.Placement.communication_aware cluster plan.Fission.topology
+  in
+  let evaluation =
+    Ss_placement.Placement.evaluate cluster plan.Fission.topology assignment
+  in
+  Format.printf "--- placement on 2x4-core edge nodes ---@.";
+  Array.iteri
+    (fun v node ->
+      Format.printf "  %-18s -> node%d@."
+        (Topology.operator plan.Fission.topology v).Operator.name node)
+    assignment;
+  Format.printf "%a@.@." Ss_placement.Placement.pp_evaluation evaluation;
+
+  (* 5. Event-time semantics on real tuples: a tumbling per-device mean with
+     a 0.5s allowed lateness absorbs the gateways' disorder; hopelessly late
+     readings are counted. *)
+  let behavior =
+    Ss_operators.Time_ops.mean ~per_key:true ~allowed_lateness:0.5
+      ~kind:(Ss_operators.Time_window.Tumbling 1.0) ()
+  in
+  let fn = Ss_operators.Behavior.instantiate behavior in
+  let rng = Rng.create 31 in
+  let out_of_order_stream =
+    List.init 5000 (fun i ->
+        let ts = (float_of_int i /. 900.0) +. Dist.sample rng (Dist.Uniform (-0.3, 0.0)) in
+        Ss_operators.Tuple.make ~ts:(Float.max 0.0 ts)
+          ~key:(Discrete.sample rng devices)
+          [| 20.0 +. Dist.sample rng (Dist.Normal (0.0, 2.0)) |])
+  in
+  let fired =
+    List.fold_left (fun acc t -> acc + List.length (fn t)) 0 out_of_order_stream
+  in
+  Format.printf "--- event-time aggregation over 5000 disordered readings ---@.";
+  Format.printf "windows fired: %d (tumbling 1s, per device, 0.5s lateness)@."
+    fired

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Buffer Discrete Dist Filename Fun List Operator Printf Ss_operators Ss_prelude Ss_topology String Sys Topology

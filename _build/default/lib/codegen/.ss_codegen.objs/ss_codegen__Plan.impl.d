@@ -1,0 +1,1 @@
+lib/codegen/plan.ml: Behavior Catalog Codegen List Operator Ss_operators Ss_prelude Ss_runtime Ss_topology Ss_workload Topology Unix

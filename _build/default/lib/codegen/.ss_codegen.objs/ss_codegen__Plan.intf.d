@@ -1,0 +1,1 @@
+lib/codegen/plan.mli: Ss_operators Ss_runtime Ss_topology Ss_workload

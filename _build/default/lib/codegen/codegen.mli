@@ -1,0 +1,43 @@
+(** Code generation — the paper's final workflow step (§4.2): once the user
+    accepts an optimized topology, SpinStreams emits the program that runs
+    it on the target system. The paper targets Akka through the SS2Akka API;
+    here the target is this repository's {!Ss_runtime.Executor}, and the
+    emitted artifact is a standalone OCaml module.
+
+    The generated program contains, in order: the operator descriptor table
+    (including replica counts chosen by fission), the edge list, the
+    behavior registry resolved from the operator catalog, the fused groups
+    (executed by meta-operator actors, Algorithm 4), a synthetic source, and
+    a [main] that deploys the pipeline and prints its measured rates. *)
+
+val class_of_name : string -> string
+(** Operator name with any ["#vertex"] suffix removed: the catalog class the
+    registry resolves. *)
+
+val program :
+  ?fused:int list list ->
+  ?tuples:int ->
+  ?seed:int ->
+  Ss_topology.Topology.t ->
+  string
+(** [program topology] renders the OCaml source. Operators whose class name
+    (the operator name up to a ["#"] suffix) is not found in
+    {!Ss_operators.Catalog} fall back to a cost-faithful busy-wait stub with
+    the declared selectivity, so generated programs always compile and
+    reproduce the profiled load. [tuples] (default 100_000) sizes the
+    generated run; [fused] lists meta-operator groups. *)
+
+val dune_stanza : name:string -> string
+(** A dune [executable] stanza for the generated module. *)
+
+val write_project :
+  dir:string ->
+  name:string ->
+  ?fused:int list list ->
+  ?tuples:int ->
+  ?seed:int ->
+  Ss_topology.Topology.t ->
+  unit
+(** Write [<dir>/<name>.ml] and [<dir>/dune] so that
+    [dune exec <dir>/<name>.exe] runs the generated program. Creates [dir]
+    if needed. *)

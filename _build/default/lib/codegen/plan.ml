@@ -1,0 +1,39 @@
+open Ss_topology
+open Ss_operators
+
+(* Busy-wait stand-in matching the stub emitted by Codegen: same cost, same
+   selectivity, no business logic. *)
+let stub (op : Operator.t) =
+  let state_kind =
+    match op.Operator.kind with
+    | Operator.Stateless -> Behavior.Stateless_op
+    | Operator.Partitioned_stateful _ -> Behavior.Partitioned_op
+    | Operator.Stateful -> Behavior.Stateful_op
+  in
+  Behavior.make ~state_kind ~input_selectivity:op.Operator.input_selectivity
+    ~output_selectivity:op.Operator.output_selectivity
+    ~name:(Codegen.class_of_name op.Operator.name)
+    (fun () ->
+      let credit = ref 0.0 in
+      fun t ->
+        let deadline = Unix.gettimeofday () +. op.Operator.service_time in
+        while Unix.gettimeofday () < deadline do () done;
+        credit := !credit +. Operator.selectivity_factor op;
+        let k = int_of_float !credit in
+        credit := !credit -. float_of_int k;
+        List.init k (fun _ -> t))
+
+let resolve op =
+  match Catalog.find (Codegen.class_of_name op.Operator.name) with
+  | Some behavior -> behavior
+  | None -> stub op
+
+let registry topology v = resolve (Topology.operator topology v)
+
+let run ?mailbox_capacity ?fused ?ordered ?(seed = 42) ?(tuples = 10_000)
+    ?stream_spec topology =
+  let rng = Ss_prelude.Rng.create seed in
+  let stream = Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples in
+  Ss_runtime.Executor.run ?mailbox_capacity ?fused ?ordered ~seed
+    ~source:(Ss_runtime.Executor.source_of_list stream)
+    ~registry:(registry topology) topology

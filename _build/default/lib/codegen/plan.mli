@@ -1,0 +1,27 @@
+(** Direct deployment of a topology on the actor runtime, without going
+    through generated source code — the programmatic twin of {!Codegen}.
+
+    Behaviors are resolved from the operator catalog by class name (the
+    operator name up to a ["#"] suffix); operators outside the catalog get a
+    cost-faithful busy-wait stub reproducing their profiled service time and
+    declared selectivity, exactly like the generated programs do. *)
+
+val resolve : Ss_topology.Operator.t -> Ss_operators.Behavior.t
+(** Catalog lookup with stub fallback for a single operator. *)
+
+val registry : Ss_topology.Topology.t -> int -> Ss_operators.Behavior.t
+(** Vertex-indexed resolver for {!Ss_runtime.Executor.run}. *)
+
+val run :
+  ?mailbox_capacity:int ->
+  ?fused:int list list ->
+  ?ordered:int list ->
+  ?seed:int ->
+  ?tuples:int ->
+  ?stream_spec:Ss_workload.Stream_gen.spec ->
+  Ss_topology.Topology.t ->
+  Ss_runtime.Executor.metrics
+(** [run topology] deploys the topology on the runtime and drives it with
+    [tuples] (default 10_000) synthetic tuples from
+    {!Ss_workload.Stream_gen}. Options are forwarded to
+    {!Ss_runtime.Executor.run}. *)

@@ -1,0 +1,1 @@
+lib/core/cola_baseline.ml: Array Float Format Fun List Operator Option Ss_topology Steady_state String Topology

@@ -1,0 +1,1 @@
+lib/core/cola_baseline.mli: Format Ss_topology Steady_state

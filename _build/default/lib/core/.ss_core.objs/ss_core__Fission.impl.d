@@ -1,0 +1,1 @@
+lib/core/fission.ml: Array Discrete Float Format Fun Key_partitioning List Operator Option Printf Ss_prelude Ss_topology Steady_state String Topology

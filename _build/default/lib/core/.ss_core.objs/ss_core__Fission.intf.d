@@ -1,0 +1,1 @@
+lib/core/fission.mli: Format Ss_topology Steady_state

@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Fun Hashtbl List Operator Option Printf Result Ss_topology Steady_state String Topology

@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Ss_topology Steady_state

@@ -1,0 +1,1 @@
+lib/core/key_partitioning.ml: Array Discrete Float Fun Ss_prelude

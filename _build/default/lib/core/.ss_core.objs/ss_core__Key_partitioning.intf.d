@@ -1,0 +1,1 @@
+lib/core/key_partitioning.mli: Discrete Ss_prelude

@@ -1,0 +1,1 @@
+lib/core/latency.ml: Array Dist Float Format List Operator Printf Ss_prelude Ss_topology Steady_state String Topology

@@ -1,0 +1,1 @@
+lib/core/latency.mli: Format Ss_topology Steady_state

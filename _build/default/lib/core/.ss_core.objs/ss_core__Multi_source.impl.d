@@ -1,0 +1,1 @@
+lib/core/multi_source.ml: Array Fun List Operator Printf Result Ss_topology Steady_state Topology

@@ -1,0 +1,1 @@
+lib/core/multi_source.mli: Ss_topology Steady_state

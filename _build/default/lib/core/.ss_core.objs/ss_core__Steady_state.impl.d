@@ -1,0 +1,1 @@
+lib/core/steady_state.ml: Array Float Format Key_partitioning List Operator Printf Ss_topology Topology

@@ -1,0 +1,1 @@
+lib/core/steady_state.mli: Format Ss_topology

@@ -1,0 +1,154 @@
+open Ss_topology
+
+type t = {
+  units : int list list;
+  unit_of : int array;
+  predicted_throughput : float;
+  inter_unit_rate : float;
+  splits : int;
+}
+
+(* Normalized flows per source emission, unthrottled: the source emits one
+   item; arrivals and departures follow the edge probabilities and the
+   selectivity factors. *)
+let normalized_flows topology =
+  let n = Topology.size topology in
+  let arrivals = Array.make n 0.0 in
+  let departures = Array.make n 0.0 in
+  let src = Topology.source topology in
+  Array.iter
+    (fun v ->
+      let op = Topology.operator topology v in
+      if v = src then begin
+        arrivals.(v) <- 1.0;
+        departures.(v) <- 1.0
+      end
+      else begin
+        arrivals.(v) <-
+          List.fold_left
+            (fun acc (u, p) -> acc +. (departures.(u) *. p))
+            0.0
+            (Topology.preds topology v);
+        departures.(v) <- arrivals.(v) *. Operator.selectivity_factor op
+      end)
+    (Topology.topological_order topology);
+  (arrivals, departures)
+
+let partition ?target_rate topology =
+  let n = Topology.size topology in
+  let src = Topology.source topology in
+  let nominal =
+    Operator.service_rate (Topology.operator topology src)
+    *. Operator.selectivity_factor (Topology.operator topology src)
+  in
+  let target = Option.value target_rate ~default:nominal in
+  let arrivals, departures = normalized_flows topology in
+  (* Work one PE performs per source emission. The source contributes none:
+     its service time is emission pacing, not executor work, and COLA maps
+     operators, taking the ingress as given. *)
+  let vertex_work v =
+    if v = src then 0.0
+    else arrivals.(v) *. (Topology.operator topology v).Operator.service_time
+  in
+  let work members = List.fold_left (fun acc v -> acc +. vertex_work v) 0.0 members in
+  let position =
+    let pos = Array.make n 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) (Topology.topological_order topology);
+    pos
+  in
+  let budget = 1.0 /. target in
+  (* Crossing data rate created by separating [prefix] from [suffix]
+     (normalized per emission); the topological cut means no suffix-to-prefix
+     edges exist. *)
+  let cut_cost prefix suffix =
+    List.fold_left
+      (fun acc u ->
+        List.fold_left
+          (fun acc (v, p) ->
+            if List.mem v suffix then acc +. (departures.(u) *. p) else acc)
+          acc (Topology.succs topology u))
+      0.0 prefix
+  in
+  let split members =
+    let sorted =
+      List.sort (fun a b -> compare position.(a) position.(b)) members
+    in
+    let len = List.length sorted in
+    let best = ref None in
+    for k = 1 to len - 1 do
+      let prefix = List.filteri (fun i _ -> i < k) sorted in
+      let suffix = List.filteri (fun i _ -> i >= k) sorted in
+      let cost = cut_cost prefix suffix in
+      let imbalance = Float.abs (work prefix -. work suffix) in
+      let better =
+        match !best with
+        | None -> true
+        | Some (c, i, _, _) -> cost < c -. 1e-12 || (cost <= c +. 1e-12 && imbalance < i)
+      in
+      if better then best := Some (cost, imbalance, prefix, suffix)
+    done;
+    match !best with
+    | Some (_, _, prefix, suffix) -> (prefix, suffix)
+    | None -> invalid_arg "Cola_baseline.split: singleton PE"
+  in
+  let rec refine units splits =
+    match
+      List.find_opt
+        (fun members -> List.length members > 1 && work members > budget)
+        units
+    with
+    | None -> (units, splits)
+    | Some overloaded ->
+        let prefix, suffix = split overloaded in
+        let units =
+          prefix :: suffix :: List.filter (fun m -> m != overloaded) units
+        in
+        refine units (splits + 1)
+  in
+  let units, splits = refine [ List.init n Fun.id ] 0 in
+  (* Stable presentation: units ordered by their first vertex. *)
+  let units =
+    units
+    |> List.map (List.sort compare)
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+  in
+  let unit_of = Array.make n 0 in
+  List.iteri (fun i members -> List.iter (fun v -> unit_of.(v) <- i) members) units;
+  let max_work =
+    List.fold_left (fun acc members -> Float.max acc (work members)) 0.0 units
+  in
+  let predicted_throughput = Float.min nominal (1.0 /. max_work) in
+  let crossing_normalized =
+    List.fold_left
+      (fun acc (u, v, p) ->
+        if unit_of.(u) <> unit_of.(v) then acc +. (departures.(u) *. p) else acc)
+      0.0 (Topology.edges topology)
+  in
+  {
+    units;
+    unit_of;
+    predicted_throughput;
+    inter_unit_rate = predicted_throughput *. crossing_normalized;
+    splits;
+  }
+
+let crossing_rate topology (analysis : Steady_state.t) ~unit_of =
+  List.fold_left
+    (fun acc (u, v, p) ->
+      if unit_of.(u) <> unit_of.(v) then
+        acc
+        +. (analysis.Steady_state.metrics.(u).Steady_state.departure_rate *. p)
+      else acc)
+    0.0 (Topology.edges topology)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>COLA partition (%d units, %d splits):@,"
+    (List.length t.units) t.splits;
+  List.iteri
+    (fun i members ->
+      Format.fprintf ppf "  PE%d: {%s}@," i
+        (String.concat ", " (List.map string_of_int members)))
+    t.units;
+  Format.fprintf ppf
+    "predicted throughput %.1f items/s, inter-unit traffic %.1f items/s@]"
+    t.predicted_throughput t.inter_unit_rate

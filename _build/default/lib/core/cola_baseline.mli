@@ -1,0 +1,44 @@
+(** A COLA-style fusion baseline (Khandekar et al., Middleware 2009), the
+    closest related system the paper compares against in §6.
+
+    COLA groups operators into Processing Elements (PEs) to minimize
+    inter-PE communication, subject to each PE's aggregate load fitting the
+    capacity of its executor; it proceeds top-down from a single PE holding
+    the whole topology, recursively splitting overloaded PEs. This module
+    implements that strategy under this repository's cost model so the two
+    fusion philosophies can be compared quantitatively:
+    - {e COLA}: minimize communication subject to capacity;
+    - {e SpinStreams} ({!Fusion.auto}): fuse only while the predicted
+      throughput is untouched.
+
+    Simplifications (documented deviations from full COLA): PEs are split
+    along the topological order of their members (pipeline cuts), choosing
+    the cut that minimizes the crossing data rate with load balance as the
+    tie-breaker; the load model is this repository's fluid model (a PE
+    executing sequentially sustains a source rate of [1 / sum of per-item
+    work of its members]). *)
+
+type t = {
+  units : int list list;  (** The PEs: a partition of the vertex set. *)
+  unit_of : int array;  (** Vertex to PE index. *)
+  predicted_throughput : float;
+      (** Source rate sustainable with each PE on one sequential executor:
+          [min (nominal, 1 / max PE work per source item)]. *)
+  inter_unit_rate : float;
+      (** Items crossing PE boundaries per second at that throughput — the
+          communication cost COLA minimizes. *)
+  splits : int;  (** Number of recursive splits performed. *)
+}
+
+val partition : ?target_rate:float -> Ss_topology.Topology.t -> t
+(** [partition topology] runs the top-down strategy until every PE sustains
+    [target_rate] (default: the source's nominal emission rate) or is a
+    singleton. *)
+
+val crossing_rate :
+  Ss_topology.Topology.t -> Steady_state.t -> unit_of:int array -> float
+(** Data rate over edges whose endpoints live in different units, at the
+    given steady state — the comparison metric, also applicable to a
+    SpinStreams-fused topology where every vertex is its own unit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+open Ss_prelude
+open Ss_topology
+
+type replication = {
+  vertex : int;
+  name : string;
+  before : int;
+  after : int;
+  max_fraction : float option;
+}
+
+type t = {
+  topology : Topology.t;
+  analysis : Steady_state.t;
+  replications : replication list;
+  residual_bottlenecks : int list;
+  total_replicas : int;
+}
+
+let epsilon = 1e-9
+
+(* Core of Algorithm 2: decide a replica count per vertex. Returns the
+   replica vector, the per-vertex pmax chosen by key partitioning, and the
+   set of vertices whose bottleneck could not be removed. *)
+let plan_replicas topology =
+  let n = Topology.size topology in
+  let order = Topology.topological_order topology in
+  let src = Topology.source topology in
+  let replicas =
+    Array.init n (fun v -> (Topology.operator topology v).Operator.replicas)
+  in
+  let pmax = Array.make n 1.0 in
+  let residual = Array.make n false in
+  let delta = Array.make n 0.0 in
+  let capacity v =
+    let op = Topology.operator topology v in
+    let mu = Operator.service_rate op in
+    match op.Operator.kind with
+    | Operator.Stateless -> float_of_int replicas.(v) *. mu
+    | Operator.Partitioned_stateful _ -> mu /. pmax.(v)
+    | Operator.Stateful -> mu
+  in
+  let rec pass alpha restarts =
+    assert (restarts <= 2 * n);
+    let src_op = Topology.operator topology src in
+    delta.(src) <-
+      alpha *. Operator.service_rate src_op *. Operator.selectivity_factor src_op;
+    let result = ref None in
+    let i = ref 1 in
+    while !result = None && !i < n do
+      let v = order.(!i) in
+      let op = Topology.operator topology v in
+      let lambda =
+        List.fold_left
+          (fun acc (u, p) -> acc +. (delta.(u) *. p))
+          0.0
+          (Topology.preds topology v)
+      in
+      let rho = lambda /. capacity v in
+      if rho > 1.0 +. epsilon then begin
+        match op.Operator.kind with
+        | Operator.Stateless ->
+            (* Definition 1: the optimal degree is the ceiling of the
+               sequential utilization factor. *)
+            let rho_seq = lambda /. Operator.service_rate op in
+            replicas.(v) <- int_of_float (Float.ceil (rho_seq -. epsilon));
+            delta.(v) <- lambda *. Operator.selectivity_factor op;
+            incr i
+        | Operator.Partitioned_stateful keys ->
+            let mu = Operator.service_rate op in
+            let rho_seq = lambda /. mu in
+            let assignment = Key_partitioning.assign ~keys ~rho:rho_seq in
+            replicas.(v) <- assignment.Key_partitioning.replicas;
+            pmax.(v) <- assignment.Key_partitioning.max_fraction;
+            (* The optimal degree ceil(rho) can leave the most loaded
+               replica marginally saturated for purely integer reasons
+               (loads are multiples of the key-group frequencies). When no
+               single key group dominates, a slightly larger degree fixes
+               this; when one does, no degree can (the paper's skew
+               example) and the bottleneck is only mitigated. *)
+            let n_opt = int_of_float (Float.ceil (rho_seq -. epsilon)) in
+            let n = ref (max assignment.Key_partitioning.replicas n_opt) in
+            let limit = min (Discrete.support keys) (4 * n_opt) in
+            while
+              lambda *. pmax.(v) /. mu > 1.0 +. epsilon && !n < limit
+            do
+              incr n;
+              let p = Key_partitioning.pmax_for ~keys ~replicas:!n in
+              if p < pmax.(v) then begin
+                pmax.(v) <- p;
+                replicas.(v) <- !n
+              end
+            done;
+            let rho' = lambda *. pmax.(v) /. mu in
+            if rho' > 1.0 +. epsilon then begin
+              (* Key skew keeps the most loaded replica saturated: mitigate
+                 but throttle the source for the rest. *)
+              residual.(v) <- true;
+              result := Some (alpha /. rho', restarts + 1)
+            end
+            else begin
+              delta.(v) <- lambda *. Operator.selectivity_factor op;
+              incr i
+            end
+        | Operator.Stateful ->
+            residual.(v) <- true;
+            result := Some (alpha /. rho, restarts + 1)
+      end
+      else begin
+        delta.(v) <-
+          Float.min lambda (capacity v) *. Operator.selectivity_factor op;
+        incr i
+      end
+    done;
+    match !result with
+    | Some (alpha', restarts') -> pass alpha' restarts'
+    | None -> ()
+  in
+  pass 1.0 0;
+  (replicas, pmax, residual)
+
+(* Hold-off replication (§3.2): scale every degree by Nmax / N, then adjust
+   by single units so the bound is met exactly without dropping below one
+   replica. *)
+let apply_bound topology replicas max_replicas =
+  let n = Array.length replicas in
+  let total () = Array.fold_left ( + ) 0 replicas in
+  if max_replicas < n then
+    invalid_arg "Fission.optimize: max_replicas below one replica per operator";
+  if total () > max_replicas then begin
+    let r = float_of_int max_replicas /. float_of_int (total ()) in
+    Array.iteri
+      (fun v count ->
+        let op = Topology.operator topology v in
+        if Operator.can_replicate op && count > 1 then
+          replicas.(v) <-
+            max 1 (int_of_float (Float.round (float_of_int count *. r))))
+      replicas;
+    (* Rounding anomalies: trim the largest degrees one unit at a time. *)
+    while total () > max_replicas do
+      let largest = ref (-1) in
+      Array.iteri
+        (fun v count ->
+          if count > 1 && (!largest < 0 || count > replicas.(!largest)) then
+            largest := v)
+        replicas;
+      assert (!largest >= 0);
+      replicas.(!largest) <- replicas.(!largest) - 1
+    done
+  end
+
+let optimize ?max_replicas topology =
+  let replicas, pmax, residual = plan_replicas topology in
+  Option.iter (apply_bound topology replicas) max_replicas;
+  let optimized =
+    Topology.map_operators topology (fun v op ->
+        if replicas.(v) <> op.Operator.replicas then
+          Operator.with_replicas op replicas.(v)
+        else op)
+  in
+  let analysis = Steady_state.analyze optimized in
+  let replications =
+    List.filter_map
+      (fun v ->
+        let before = (Topology.operator topology v).Operator.replicas in
+        if replicas.(v) <> before then
+          let op = Topology.operator topology v in
+          Some
+            {
+              vertex = v;
+              name = op.Operator.name;
+              before;
+              after = replicas.(v);
+              max_fraction =
+                (match op.Operator.kind with
+                | Operator.Partitioned_stateful _ -> Some pmax.(v)
+                | Operator.Stateless | Operator.Stateful -> None);
+            }
+        else None)
+      (List.init (Topology.size topology) Fun.id)
+  in
+  let residual_bottlenecks =
+    List.filter
+      (fun v -> residual.(v))
+      (List.init (Topology.size topology) Fun.id)
+  in
+  {
+    topology = optimized;
+    analysis;
+    replications;
+    residual_bottlenecks;
+    total_replicas = Array.fold_left ( + ) 0 replicas;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>fission plan (%d total replicas):@," t.total_replicas;
+  (match t.replications with
+  | [] -> Format.fprintf ppf "  no operator replicated@,"
+  | rs ->
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %s (vertex %d): %d -> %d%s@," r.name r.vertex
+            r.before r.after
+            (match r.max_fraction with
+            | Some p -> Printf.sprintf " (pmax=%.3f)" p
+            | None -> ""))
+        rs);
+  (match t.residual_bottlenecks with
+  | [] -> ()
+  | vs ->
+      Format.fprintf ppf "  residual bottlenecks: %s@,"
+        (String.concat ", " (List.map string_of_int vs)));
+  Format.fprintf ppf "%a@]" Steady_state.pp t.analysis

@@ -1,0 +1,47 @@
+(** Bottleneck elimination by operator fission — the paper's Algorithm 2 and
+    the hold-off replication heuristic of §3.2.
+
+    The traversal mirrors {!Steady_state.analyze}; when a bottleneck is
+    found:
+    - a {e stateless} operator is replicated with the optimal degree
+      [ceil rho] (Definition 1), which removes the bottleneck;
+    - a {e partitioned-stateful} operator is replicated by assigning key
+      groups to replicas ({!Key_partitioning}); if the key skew leaves the
+      most loaded replica saturated, the residual bottleneck throttles the
+      source (Theorem 3.2) and the traversal restarts;
+    - a {e stateful} operator cannot be replicated: the source is throttled
+      and the traversal restarts. *)
+
+type replication = {
+  vertex : int;
+  name : string;
+  before : int;  (** Replicas before optimization (normally 1). *)
+  after : int;
+  max_fraction : float option;
+      (** For partitioned-stateful operators, the input fraction of the most
+          loaded replica chosen by the key-partitioning heuristic. *)
+}
+
+type t = {
+  topology : Ss_topology.Topology.t;
+      (** Input topology with updated replica counts. *)
+  analysis : Steady_state.t;  (** Steady state of the optimized topology. *)
+  replications : replication list;  (** Operators whose degree changed. *)
+  residual_bottlenecks : int list;
+      (** Saturated vertices that fission could not unblock (stateful
+          operators, or skew-limited partitioned ones). *)
+  total_replicas : int;
+      (** Sum of the replica counts over all operators (the paper's [N]). *)
+}
+
+val optimize : ?max_replicas:int -> Ss_topology.Topology.t -> t
+(** [optimize t] runs Algorithm 2. With [?max_replicas] (the paper's
+    [Nmax]), replication degrees are scaled down by [Nmax / N] when the
+    unbounded result uses more than [Nmax] total replicas, with unit-level
+    adjustments so the bound is respected exactly (never dropping an
+    operator below one replica); the analysis is then recomputed on the
+    bounded topology.
+    @raise Invalid_argument if [max_replicas] is smaller than the number of
+    operators. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,182 @@
+open Ss_topology
+
+type outcome = {
+  topology : Topology.t;
+  fused_vertex : int;
+  fused_service_time : float;
+  before : Steady_state.t;
+  after : Steady_state.t;
+  creates_bottleneck : bool;
+  throughput_ratio : float;
+}
+
+let ( let* ) = Result.bind
+
+let service_time topology vertices =
+  let* front = Topology.front_end_of topology vertices in
+  let in_set = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace in_set v ()) vertices;
+  let memo = Hashtbl.create 8 in
+  (* fr(i) = T_i + sel(i) * sum over internal edges of p(i,j) * fr(j):
+     the expected work triggered by one item entering vertex i. *)
+  let rec fr v =
+    match Hashtbl.find_opt memo v with
+    | Some t -> t
+    | None ->
+        let op = Topology.operator topology v in
+        let downstream =
+          List.fold_left
+            (fun acc (w, p) ->
+              if Hashtbl.mem in_set w then acc +. (p *. fr w) else acc)
+            0.0
+            (Topology.succs topology v)
+        in
+        let total =
+          op.Operator.service_time
+          +. (Operator.selectivity_factor op *. downstream)
+        in
+        Hashtbl.replace memo v total;
+        total
+  in
+  Ok (fr front)
+
+let default_name topology vertices =
+  String.concat "+"
+    (List.map
+       (fun v -> (Topology.operator topology v).Operator.name)
+       (List.sort compare vertices))
+
+let apply ?name topology vertices =
+  let name = Option.value name ~default:(default_name topology vertices) in
+  let* fused, fused_vertex = Topology.contract topology ~keep_name:name vertices in
+  let fused_service_time =
+    (Topology.operator fused fused_vertex).Operator.service_time
+  in
+  let before = Steady_state.analyze topology in
+  let after = Steady_state.analyze fused in
+  let fused_metrics = after.Steady_state.metrics.(fused_vertex) in
+  Ok
+    {
+      topology = fused;
+      fused_vertex;
+      fused_service_time;
+      before;
+      after;
+      creates_bottleneck = fused_metrics.Steady_state.is_bottleneck;
+      throughput_ratio =
+        (if before.Steady_state.throughput > 0.0 then
+           after.Steady_state.throughput /. before.Steady_state.throughput
+         else 1.0);
+    }
+
+(* Connected-subset enumeration, grown from singletons through graph
+   adjacency; bounded by [max_size] and an overall cap. *)
+let candidates ?(max_size = 4) topology =
+  let analysis = Steady_state.analyze topology in
+  let src = Topology.source topology in
+  let neighbors v =
+    List.map fst (Topology.succs topology v)
+    @ List.map fst (Topology.preds topology v)
+  in
+  let seen = Hashtbl.create 64 in
+  let legal = ref [] in
+  let cap = ref 20_000 in
+  let is_legal vertices =
+    match Topology.front_end_of topology vertices with
+    | Error _ -> false
+    | Ok _ -> (
+        match Topology.contract topology ~keep_name:"__candidate__" vertices with
+        | Ok _ -> true
+        | Error _ -> false)
+  in
+  let rec grow set =
+    if !cap > 0 then begin
+      let key = List.sort compare set in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        decr cap;
+        if List.length key >= 2 && is_legal key then legal := key :: !legal;
+        if List.length key < max_size then
+          List.iter
+            (fun v ->
+              List.iter
+                (fun w ->
+                  if w <> src && not (List.mem w set) then grow (w :: set))
+                (neighbors v))
+            set
+      end
+    end
+  in
+  List.iter
+    (fun v -> if v <> src then grow [ v ])
+    (List.init (Topology.size topology) Fun.id);
+  let mean_utilization vertices =
+    let total =
+      List.fold_left
+        (fun acc v ->
+          acc +. analysis.Steady_state.metrics.(v).Steady_state.utilization)
+        0.0 vertices
+    in
+    total /. float_of_int (List.length vertices)
+  in
+  !legal
+  |> List.map (fun vs -> (vs, mean_utilization vs))
+  |> List.sort (fun (va, a) (vb, b) ->
+         match compare a b with 0 -> compare va vb | c -> c)
+
+type auto_step = {
+  step_vertices : int list;
+  step_name : string;
+  step_service_time : float;
+}
+
+type auto_result = {
+  final : Topology.t;
+  steps : auto_step list;
+  initial_analysis : Steady_state.t;
+  final_analysis : Steady_state.t;
+  operators_saved : int;
+}
+
+let auto ?max_size ?(utilization_cap = 0.9) topology =
+  let initial_analysis = Steady_state.analyze topology in
+  let rec loop current steps counter =
+    let candidate =
+      List.find_map
+        (fun (vertices, _) ->
+          let name = Printf.sprintf "auto_fused_%d" counter in
+          match apply ~name current vertices with
+          | Error _ -> None
+          | Ok outcome ->
+              let fused_utilization =
+                outcome.after.Steady_state.metrics.(outcome.fused_vertex)
+                  .Steady_state.utilization
+              in
+              if
+                outcome.throughput_ratio >= 1.0 -. 1e-9
+                && (not outcome.creates_bottleneck)
+                && fused_utilization <= utilization_cap
+              then Some (vertices, name, outcome)
+              else None)
+        (candidates ?max_size current)
+    in
+    match candidate with
+    | None -> (current, List.rev steps)
+    | Some (vertices, name, outcome) ->
+        let step =
+          {
+            step_vertices = vertices;
+            step_name = name;
+            step_service_time = outcome.fused_service_time;
+          }
+        in
+        loop outcome.topology (step :: steps) (counter + 1)
+  in
+  let final, steps = loop topology [] 1 in
+  {
+    final;
+    steps;
+    initial_analysis;
+    final_analysis = Steady_state.analyze final;
+    operators_saved = Topology.size topology - Topology.size final;
+  }

@@ -1,0 +1,89 @@
+(** Operator fusion — the paper's §3.3 and Algorithm 3.
+
+    Fusion replaces a sub-graph having a single front-end vertex with one
+    sequential meta-operator that applies the member operators' logic along
+    the path each item would have traveled. The service time of the
+    meta-operator is the expected aggregate service time over those paths
+    (Definition 2 weights each path by its probability).
+
+    Note: the paper's Algorithm 3 pseudocode omits adding the visited
+    vertex's own service time; the recurrence implemented here,
+    [fr(i) = T_i + sum_j p(i,j) * fr(j)] over the sub-graph's edges, is the
+    one consistent with Definition 2 and with the worked example of
+    Fig. 11 / Tables 1–2 (it reproduces T_F = 2.80 ms and 4.42 ms). *)
+
+type outcome = {
+  topology : Ss_topology.Topology.t;  (** Topology after contraction. *)
+  fused_vertex : int;  (** Id of the meta-operator in [topology]. *)
+  fused_service_time : float;  (** Seconds per item entering the front-end. *)
+  before : Steady_state.t;  (** Analysis of the original topology. *)
+  after : Steady_state.t;  (** Analysis of the fused topology. *)
+  creates_bottleneck : bool;
+      (** True when the meta-operator saturates in [after] (the alert of
+          §5.4). *)
+  throughput_ratio : float;
+      (** [after.throughput /. before.throughput]; < 1 means the fusion
+          impairs performance. *)
+}
+
+val service_time : Ss_topology.Topology.t -> int list -> (float, string) result
+(** [service_time t vertices] is Algorithm 3 on the sub-graph induced by
+    [vertices]: the expected per-item service time of the fused operator,
+    memoized over the DAG (selectivity of the members is taken into
+    account by weighting each vertex by its expected visits). Fails with
+    the sub-graph legality errors of {!Ss_topology.Topology.front_end_of}. *)
+
+val apply :
+  ?name:string ->
+  Ss_topology.Topology.t ->
+  int list ->
+  (outcome, string) result
+(** [apply t vertices] validates the sub-graph, contracts it (including the
+    acyclicity re-check of §3.3) and predicts the outcome by running the
+    steady-state analysis on both versions. [name] defaults to the
+    concatenation of the fused operator names. *)
+
+val candidates :
+  ?max_size:int -> Ss_topology.Topology.t -> (int list * float) list
+(** Sub-graphs that are legal fusion targets (single front-end, contraction
+    keeps the graph acyclic, sizes 2 to [max_size], default 4), ranked by
+    increasing mean utilization factor under the current steady state — the
+    most underutilized regions first, as the SpinStreams GUI proposes
+    (§4.1). Each entry carries its mean utilization. *)
+
+(** {1 Automated fusion}
+
+    The paper leaves sub-graph selection to the user and names automation as
+    future work (§7). {!auto} implements a conservative greedy strategy:
+    repeatedly fuse the most underutilized legal candidate whose predicted
+    outcome neither throttles the topology nor pushes the meta-operator past
+    a utilization cap, until no candidate qualifies. *)
+
+type auto_step = {
+  step_vertices : int list;
+      (** Vertices fused at this step, numbered in the topology {e as it was
+          at that step} (fusion renumbers vertices). *)
+  step_name : string;  (** Name given to the meta-operator. *)
+  step_service_time : float;
+}
+
+type auto_result = {
+  final : Ss_topology.Topology.t;
+  steps : auto_step list;  (** In application order. *)
+  initial_analysis : Steady_state.t;
+  final_analysis : Steady_state.t;
+  operators_saved : int;
+      (** Vertex-count reduction achieved without losing throughput. *)
+}
+
+val auto :
+  ?max_size:int ->
+  ?utilization_cap:float ->
+  Ss_topology.Topology.t ->
+  auto_result
+(** [auto t] greedily coarsens [t]. A candidate is adopted only when the
+    predicted throughput is preserved (within 1e-9 relative) and the fused
+    operator's utilization stays at or below [utilization_cap] (default 0.9,
+    leaving headroom for workload variations). [max_size] bounds each fused
+    group's size as in {!candidates}. The final throughput therefore always
+    equals the initial one. *)

@@ -1,0 +1,89 @@
+open Ss_prelude
+
+type assignment = {
+  replicas : int;
+  max_fraction : float;
+  groups : int array;
+}
+
+(* Longest-processing-time greedy: heaviest key group to the currently
+   least loaded replica. Deterministic tie-break on key index. *)
+let lpt ~keys ~bins =
+  let num_keys = Discrete.support keys in
+  let order = Array.init num_keys Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare (Discrete.prob keys b) (Discrete.prob keys a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let loads = Array.make bins 0.0 in
+  let groups = Array.make num_keys 0 in
+  Array.iter
+    (fun k ->
+      let target = ref 0 in
+      for r = 1 to bins - 1 do
+        if loads.(r) < loads.(!target) then target := r
+      done;
+      groups.(k) <- !target;
+      loads.(!target) <- loads.(!target) +. Discrete.prob keys k)
+    order;
+  (loads, groups)
+
+let groups_for ~keys ~replicas =
+  if replicas < 1 then invalid_arg "Key_partitioning.groups_for: replicas < 1";
+  let bins = min replicas (Discrete.support keys) in
+  let _, groups = lpt ~keys ~bins in
+  groups
+
+let pmax_for ~keys ~replicas =
+  if replicas < 1 then invalid_arg "Key_partitioning.pmax_for: replicas < 1";
+  let bins = min replicas (Discrete.support keys) in
+  let loads, _ = lpt ~keys ~bins in
+  Array.fold_left Float.max 0.0 loads
+
+let assign ~keys ~rho =
+  if rho <= 1.0 then invalid_arg "Key_partitioning.assign: rho must be > 1";
+  let num_keys = Discrete.support keys in
+  let n_opt = int_of_float (Float.ceil rho) in
+  let bins = min n_opt num_keys in
+  let loads, groups = lpt ~keys ~bins in
+  let pmax = Array.fold_left Float.max 0.0 loads in
+  (* Repack: merge replicas while no bin exceeds pmax, releasing replicas
+     that do not contribute to sustainable throughput. First-fit decreasing
+     over the replica loads. *)
+  let load_order = Array.init bins Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare loads.(b) loads.(a) with 0 -> compare a b | c -> c)
+    load_order;
+  let merged_of = Array.make bins (-1) in
+  let merged_loads = Array.make bins 0.0 in
+  let used = ref 0 in
+  Array.iter
+    (fun r ->
+      let placed = ref false in
+      let slot = ref 0 in
+      while (not !placed) && !slot < !used do
+        if merged_loads.(!slot) +. loads.(r) <= pmax +. 1e-12 then begin
+          merged_of.(r) <- !slot;
+          merged_loads.(!slot) <- merged_loads.(!slot) +. loads.(r);
+          placed := true
+        end
+        else incr slot
+      done;
+      if not !placed then begin
+        merged_of.(r) <- !used;
+        merged_loads.(!used) <- loads.(r);
+        incr used
+      end)
+    load_order;
+  let groups = Array.map (fun r -> merged_of.(r)) groups in
+  { replicas = !used; max_fraction = pmax; groups }
+
+let load_per_replica t ~keys =
+  let loads = Array.make t.replicas 0.0 in
+  Array.iteri
+    (fun k r -> loads.(r) <- loads.(r) +. Discrete.prob keys k)
+    t.groups;
+  loads

@@ -1,0 +1,41 @@
+(** Key-group assignment for the fission of partitioned-stateful operators
+    (the [KeyPartitioning] call of the paper's Algorithm 2).
+
+    Given the frequency distribution of the partitioning-key groups and the
+    utilization factor of a bottleneck operator, the heuristic chooses a
+    number of replicas and an assignment of key groups to replicas whose most
+    loaded replica receives a fraction of the input as close as possible to
+    [1 / ceil rho]. *)
+
+open Ss_prelude
+
+type assignment = {
+  replicas : int;  (** Number of replicas actually used. *)
+  max_fraction : float;
+      (** Input fraction of the most loaded replica ([pmax]); at least
+          [1 / replicas]. *)
+  groups : int array;
+      (** [groups.(k)] is the replica (in [0 .. replicas-1]) owning key
+          group [k]. *)
+}
+
+val groups_for : keys:Discrete.t -> replicas:int -> int array
+(** Greedy key-group placement on exactly [min replicas (support keys)]
+    replicas: [groups.(k)] is the replica owning key group [k]. This is the
+    assignment {!pmax_for} reports the maximum load of; the simulator and
+    runtime route with it so that measured and predicted skew agree. *)
+
+val pmax_for : keys:Discrete.t -> replicas:int -> float
+(** Input fraction of the most loaded replica when the key groups are placed
+    on exactly [min replicas (Discrete.support keys)] replicas by the greedy
+    heuristic. Requires [replicas >= 1]. *)
+
+val assign : keys:Discrete.t -> rho:float -> assignment
+(** [assign ~keys ~rho] with [rho > 1]. Longest-processing-time greedy
+    placement into [ceil rho] bins, followed by a repacking pass that
+    releases replicas that are not needed to keep the maximum load (mimics
+    the paper's example where a 50%-frequency key caps the useful degree).
+    The key-group order of ties is deterministic. *)
+
+val load_per_replica : assignment -> keys:Discrete.t -> float array
+(** Input fraction routed to each replica under the assignment. *)

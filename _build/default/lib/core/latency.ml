@@ -1,0 +1,151 @@
+open Ss_prelude
+open Ss_topology
+
+type vertex_latency = {
+  waiting_time : float;
+  service_time : float;
+  utilization : float;
+  arrival_scv : float;
+  visit_ratio : float;
+}
+
+type t = {
+  per_vertex : vertex_latency array;
+  end_to_end : float;
+  saturated : int list;
+}
+
+let epsilon = 1e-6
+
+let service_scv (op : Operator.t) =
+  let mean = Dist.mean op.Operator.service_dist in
+  let variance = Dist.variance op.Operator.service_dist in
+  if mean <= 0.0 then 0.0 else variance /. (mean *. mean)
+
+(* Kingman's GI/G/n approximation of the mean waiting time. *)
+let kingman ~arrival_scv ~service_scv ~utilization ~service_time ~servers =
+  if utilization >= 1.0 -. epsilon then infinity
+  else
+    (arrival_scv +. service_scv) /. 2.0
+    *. (utilization /. (1.0 -. utilization))
+    *. service_time /. float_of_int servers
+
+let estimate topology (analysis : Steady_state.t) =
+  let n = Topology.size topology in
+  let src = Topology.source topology in
+  let order = Topology.topological_order topology in
+  let departure_scv = Array.make n 1.0 in
+  let arrival_scv = Array.make n 1.0 in
+  let waiting = Array.make n 0.0 in
+  Array.iter
+    (fun v ->
+      let op = Topology.operator topology v in
+      let m = analysis.Steady_state.metrics.(v) in
+      let rho = m.Steady_state.utilization in
+      let cs2 = service_scv op in
+      let ca2 =
+        if v = src then cs2 (* the source's output process is its service *)
+        else begin
+          (* Merge the incoming flows: rate-weighted average of the SCVs of
+             the split streams (Whitt's QNA, merge step). *)
+          let total_rate = ref 0.0 and acc = ref 0.0 in
+          List.iter
+            (fun (u, p) ->
+              let rate =
+                analysis.Steady_state.metrics.(u).Steady_state.departure_rate
+                *. p
+              in
+              (* Splitting a stream with probability p (QNA split step). *)
+              let split_scv = 1.0 +. (p *. (departure_scv.(u) -. 1.0)) in
+              total_rate := !total_rate +. rate;
+              acc := !acc +. (rate *. split_scv))
+            (Topology.preds topology v);
+          if !total_rate > 0.0 then !acc /. !total_rate else 1.0
+        end
+      in
+      arrival_scv.(v) <- ca2;
+      if v <> src then begin
+        let base =
+          kingman ~arrival_scv:ca2 ~service_scv:cs2 ~utilization:rho
+            ~service_time:op.Operator.service_time
+            ~servers:op.Operator.replicas
+        in
+        (* Batch-arrival correction: an upstream operator with output
+           selectivity B emits its B results back to back (one firing), so
+           an item in such a batch additionally waits for the (B-1)/2
+           batch-mates served before it on average (GI^[X]/G/1). *)
+        let batch_extra =
+          let total_rate = ref 0.0 and acc = ref 0.0 in
+          List.iter
+            (fun (u, p) ->
+              let rate =
+                analysis.Steady_state.metrics.(u).Steady_state.departure_rate
+                *. p
+              in
+              let b =
+                Float.max 1.0
+                  (Topology.operator topology u).Operator.output_selectivity
+              in
+              total_rate := !total_rate +. rate;
+              acc := !acc +. (rate *. (b -. 1.0) /. 2.0))
+            (Topology.preds topology v);
+          if !total_rate > 0.0 then
+            !acc /. !total_rate *. op.Operator.service_time
+            /. float_of_int op.Operator.replicas
+          else 0.0
+        in
+        waiting.(v) <-
+          (if Float.is_finite base then base +. batch_extra else base)
+      end;
+      (* Marshall's approximation of the departure process SCV. *)
+      departure_scv.(v) <- (rho *. rho *. cs2) +. ((1.0 -. (rho *. rho)) *. ca2))
+    order;
+  let src_rate = analysis.Steady_state.throughput in
+  let per_vertex =
+    Array.init n (fun v ->
+        let op = Topology.operator topology v in
+        let m = analysis.Steady_state.metrics.(v) in
+        {
+          waiting_time = waiting.(v);
+          service_time = op.Operator.service_time;
+          utilization = m.Steady_state.utilization;
+          arrival_scv = arrival_scv.(v);
+          visit_ratio =
+            (if v = src then 1.0
+             else if src_rate > 0.0 then
+               m.Steady_state.arrival_rate /. src_rate
+             else 0.0);
+        })
+  in
+  let saturated = ref [] in
+  let end_to_end = ref 0.0 in
+  for v = n - 1 downto 0 do
+    if v <> src then begin
+      let l = per_vertex.(v) in
+      if Float.is_finite l.waiting_time then
+        end_to_end :=
+          !end_to_end +. (l.visit_ratio *. (l.waiting_time +. l.service_time))
+      else saturated := v :: !saturated
+    end
+  done;
+  { per_vertex; end_to_end = !end_to_end; saturated = !saturated }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-4s %10s %10s %10s %8s@," "id" "wait (ms)"
+    "serve (ms)" "visits" "ca^2";
+  Array.iteri
+    (fun v l ->
+      let wait =
+        if Float.is_finite l.waiting_time then
+          Printf.sprintf "%10.3f" (l.waiting_time *. 1e3)
+        else Printf.sprintf "%10s" "saturated"
+      in
+      Format.fprintf ppf "%-4d %s %10.3f %10.3f %8.2f@," v wait
+        (l.service_time *. 1e3) l.visit_ratio l.arrival_scv)
+    t.per_vertex;
+  Format.fprintf ppf "expected end-to-end latency: %.3f ms%s@]"
+    (t.end_to_end *. 1e3)
+    (if t.saturated = [] then ""
+     else
+       Printf.sprintf " (excluding saturated vertices %s)"
+         (String.concat ", " (List.map string_of_int t.saturated)))

@@ -1,0 +1,53 @@
+(** Analytical latency estimation — a companion to the throughput-only cost
+    models of the paper (whose stated motivation, §1, includes "reducing
+    processing latency").
+
+    Each operator is approximated as a GI/G/1 station using Kingman's
+    heavy-traffic formula for the mean waiting time,
+
+    {v W ≈ (ca² + cs²) / 2 · ρ / (1 - ρ) · E[S], v}
+
+    where [cs²] is the squared coefficient of variation of the service time
+    (known from the operator's distribution) and [ca²] of the inter-arrival
+    time, which is propagated through the network in the style of Whitt's
+    Queueing Network Analyzer:
+    - departures: [cd² = ρ²·cs² + (1 - ρ²)·ca²] (Marshall's approximation);
+    - a probabilistic split with probability [p]: [1 + p·(cd² - 1)];
+    - a merge of flows: the rate-weighted average of the incoming SCVs.
+
+    The end-to-end latency is the expected sojourn of one source emission:
+    [Σ_v r_v · (W_v + E[S_v])] with [r_v] the expected visits per source
+    item (arrival rate over source departure rate, which also accounts for
+    selectivities).
+
+    Scope: meaningful for utilizations strictly below 1; saturated vertices
+    (bottlenecks under backpressure) have unbounded queueing delay in the
+    fluid model, reported as [infinity] for the vertex and excluded from the
+    end-to-end sum (their buffers are full; the actual in-buffer delay is
+    [capacity / throughput], which depends on the deployment's buffer
+    size — the simulator reports it). *)
+
+type vertex_latency = {
+  waiting_time : float;
+      (** Mean buffering delay in seconds; [infinity] when saturated. *)
+  service_time : float;  (** Mean service time, for convenience. *)
+  utilization : float;  (** Copied from the analysis. *)
+  arrival_scv : float;
+      (** Propagated squared coefficient of variation of inter-arrivals. *)
+  visit_ratio : float;  (** Expected visits per source emission. *)
+}
+
+type t = {
+  per_vertex : vertex_latency array;
+  end_to_end : float;
+      (** Expected sojourn (seconds) of a source emission across the
+          topology, excluding saturated vertices. *)
+  saturated : int list;
+      (** Vertices whose waiting time is unbounded in the fluid model. *)
+}
+
+val estimate : Ss_topology.Topology.t -> Steady_state.t -> t
+(** [estimate topology analysis] requires [analysis] to be the steady state
+    of [topology]. *)
+
+val pp : Format.formatter -> t -> unit

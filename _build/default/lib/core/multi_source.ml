@@ -1,0 +1,60 @@
+open Ss_topology
+
+let root_name = "__root__"
+
+let ( let* ) = Result.bind
+
+let unify operators edges =
+  let n = Array.length operators in
+  let* () = if n = 0 then Error "empty topology" else Ok () in
+  let* () =
+    if Array.exists (fun (o : Operator.t) -> o.Operator.name = root_name) operators
+    then Error (Printf.sprintf "operator name %s is reserved" root_name)
+    else Ok ()
+  in
+  let has_input = Array.make n false in
+  List.iter
+    (fun (_, v, _) -> if v >= 0 && v < n then has_input.(v) <- true)
+    edges;
+  let sources =
+    List.filter (fun v -> not has_input.(v)) (List.init n Fun.id)
+  in
+  let* () = if sources = [] then Error "no source vertex (cyclic graph?)" else Ok () in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        let op = operators.(s) in
+        if op.Operator.replicas <> 1 then
+          Error (Printf.sprintf "source %S is replicated" op.Operator.name)
+        else if op.Operator.input_selectivity <> 1.0 then
+          Error
+            (Printf.sprintf "source %S has a non-unit input selectivity"
+               op.Operator.name)
+        else Ok ())
+      (Ok ()) sources
+  in
+  (* The root emits at the aggregate of the sources' consumption rates and
+     splits in proportion, so each real source is fed exactly at its own
+     service rate (utilization 1) and emits at its nominal output rate. *)
+  let rate s = Operator.service_rate operators.(s) in
+  let total_rate = List.fold_left (fun acc s -> acc +. rate s) 0.0 sources in
+  let root = Operator.make ~service_time:(1.0 /. total_rate) root_name in
+  let remap = Array.init n (fun i -> i + 1) in
+  let new_ops = Array.append [| root |] operators in
+  let new_edges =
+    List.map (fun (u, v, p) -> (remap.(u), remap.(v), p)) edges
+    @ List.map (fun s -> (0, remap.(s), rate s /. total_rate)) sources
+  in
+  match Topology.create new_ops new_edges with
+  | Ok t -> Ok (t, remap)
+  | Error e -> Error (Topology.error_to_string e)
+
+let sources_of topology =
+  List.map fst (Topology.succs topology (Topology.source topology))
+
+let throughput_per_source topology (analysis : Steady_state.t) =
+  List.map
+    (fun s ->
+      (s, analysis.Steady_state.metrics.(s).Steady_state.departure_rate))
+    (sources_of topology)

@@ -1,0 +1,41 @@
+(** Multi-source topologies — one of the paper's future-work directions
+    (§7), built on the device §3.1 already sketches: "the single source
+    assumption can be circumvented by adding a fictitious source operator in
+    the topology linked to the real sources".
+
+    The fictitious root emits at the sum of the real sources' nominal rates
+    and routes to each real source with probability proportional to its
+    rate, so every source receives exactly its own emission rate and runs at
+    utilization 1. When a downstream bottleneck asserts backpressure, the
+    correction of Theorem 3.2 throttles the fictitious root — i.e., all
+    sources are slowed {e proportionally}. The paper observes that with
+    multiple sources the steady state is otherwise under-determined
+    (infinitely many ways to split the slowdown); proportional throttling is
+    the canonical resolution this module fixes. *)
+
+val root_name : string
+(** Name of the injected vertex: ["__root__"]. *)
+
+val unify :
+  Ss_topology.Operator.t array ->
+  (int * int * float) list ->
+  (Ss_topology.Topology.t * int array, string) result
+(** [unify operators edges] accepts an operator graph with {e one or more}
+    sources (vertices without inputs) and returns a rooted topology with the
+    fictitious source prepended as vertex 0 (every original vertex [i]
+    becomes [i + 1]; the returned array maps old ids to new ones). Graphs
+    with a single source gain the root all the same, keeping the semantics
+    uniform. All other topology invariants (acyclicity, probabilities,
+    names) are enforced as usual. Fails if any source operator is
+    replicated, has an input selectivity other than 1, or if the graph is
+    invalid. *)
+
+val sources_of : Ss_topology.Topology.t -> int list
+(** The original source vertices of a unified topology: the successors of
+    the root. *)
+
+val throughput_per_source :
+  Ss_topology.Topology.t -> Steady_state.t -> (int * float) list
+(** Per-source steady-state ingestion rates of a unified topology under the
+    proportional-throttling semantics: [(source vertex, departure rate)]
+    pairs read from the analysis. *)

@@ -1,0 +1,132 @@
+open Ss_topology
+
+type vertex_metrics = {
+  name : string;
+  arrival_rate : float;
+  utilization : float;
+  departure_rate : float;
+  capacity : float;
+  is_bottleneck : bool;
+}
+
+type t = {
+  metrics : vertex_metrics array;
+  throughput : float;
+  sink_rate : float;
+  source_scaling : float;
+  restarts : int;
+}
+
+let epsilon = 1e-9
+
+let capacity_of (op : Operator.t) =
+  let mu = Operator.service_rate op in
+  match op.Operator.kind with
+  | Operator.Stateless -> float_of_int op.Operator.replicas *. mu
+  | Operator.Stateful -> mu
+  | Operator.Partitioned_stateful keys ->
+      if op.Operator.replicas <= 1 then mu
+      else
+        let pmax =
+          Key_partitioning.pmax_for ~keys ~replicas:op.Operator.replicas
+        in
+        mu /. pmax
+
+let analyze topology =
+  let n = Topology.size topology in
+  let order = Topology.topological_order topology in
+  let src = Topology.source topology in
+  let src_op = Topology.operator topology src in
+  let lambda = Array.make n 0.0 in
+  let rho = Array.make n 0.0 in
+  let delta = Array.make n 0.0 in
+  let caps =
+    Array.init n (fun v -> capacity_of (Topology.operator topology v))
+  in
+  (* [alpha] is the fraction of the source's nominal emission rate surviving
+     backpressure; every rate in the network is linear in it, so Theorem 3.2
+     corrections compose multiplicatively. *)
+  let rec pass alpha restarts =
+    assert (restarts <= 2 * n);
+    lambda.(src) <- alpha *. caps.(src);
+    rho.(src) <- alpha;
+    delta.(src) <- alpha *. caps.(src) *. Operator.selectivity_factor src_op;
+    let result = ref None in
+    let i = ref 1 in
+    while !result = None && !i < n do
+      let v = order.(!i) in
+      let op = Topology.operator topology v in
+      let arriving =
+        List.fold_left
+          (fun acc (u, p) -> acc +. (delta.(u) *. p))
+          0.0
+          (Topology.preds topology v)
+      in
+      lambda.(v) <- arriving;
+      rho.(v) <- arriving /. caps.(v);
+      if rho.(v) > 1.0 +. epsilon then
+        (* Bottleneck: throttle the source and restart (Theorem 3.2). *)
+        result := Some (alpha /. rho.(v), restarts + 1)
+      else begin
+        delta.(v) <-
+          Float.min arriving caps.(v) *. Operator.selectivity_factor op;
+        incr i
+      end
+    done;
+    match !result with
+    | Some (alpha', restarts') -> pass alpha' restarts'
+    | None -> (alpha, restarts)
+  in
+  let alpha, restarts = pass 1.0 0 in
+  let metrics =
+    Array.init n (fun v ->
+        {
+          name = (Topology.operator topology v).Operator.name;
+          arrival_rate = lambda.(v);
+          utilization = Float.min rho.(v) 1.0;
+          departure_rate = delta.(v);
+          capacity = caps.(v);
+          (* Only the binding constraints: operators saturated in the final
+             steady state. *)
+          is_bottleneck = rho.(v) >= 1.0 -. 1e-6;
+        })
+  in
+  (* The source counts as a bottleneck only if nothing throttled it. *)
+  metrics.(src) <-
+    { (metrics.(src)) with is_bottleneck = alpha >= 1.0 -. 1e-6 };
+  let sink_rate =
+    List.fold_left
+      (fun acc v -> acc +. delta.(v))
+      0.0 (Topology.sinks topology)
+  in
+  {
+    metrics;
+    throughput = delta.(src);
+    sink_rate;
+    source_scaling = alpha;
+    restarts;
+  }
+
+let bottlenecks t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v m -> if m.is_bottleneck then acc := v :: !acc)
+    t.metrics;
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-4s %-22s %10s %10s %8s %s@,"
+    "id" "operator" "1/mu (ms)" "1/delta" "rho" "";
+  Array.iteri
+    (fun v m ->
+      let inv_delta =
+        if m.departure_rate > 0.0 then
+          Printf.sprintf "%10.3f" (1e3 /. m.departure_rate)
+        else Printf.sprintf "%10s" "inf"
+      in
+      Format.fprintf ppf "%-4d %-22s %10.3f %s %8.3f %s@," v m.name
+        (1e3 /. m.capacity) inv_delta m.utilization
+        (if m.is_bottleneck then "bottleneck" else ""))
+    t.metrics;
+  Format.fprintf ppf "throughput: %.1f items/s (source scaling %.3f, %d restarts)@]"
+    t.throughput t.source_scaling t.restarts

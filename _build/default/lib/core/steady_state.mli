@@ -1,0 +1,55 @@
+(** Steady-state throughput analysis under backpressure — the paper's
+    Algorithm 1, extended with replicas and input/output selectivity (§3.4).
+
+    The topology is interpreted as a queueing network with finite buffers and
+    Blocking-After-Service semantics. The analysis labels every operator with
+    its steady-state arrival rate, utilization factor and departure rate; a
+    bottleneck (utilization > 1 is a transient condition in blocking
+    networks) throttles the source by backpressure, which the algorithm
+    models by scaling the source's emission rate by [1 / rho] and restarting
+    the traversal (Theorem 3.2). On the returned report every utilization is
+    <= 1 (Invariant 3.1). *)
+
+type vertex_metrics = {
+  name : string;  (** Operator name, copied from the topology. *)
+  arrival_rate : float;  (** lambda: items reaching the operator per second. *)
+  utilization : float;
+      (** rho: fraction of capacity in use, in [\[0, 1\]] (up to rounding). *)
+  departure_rate : float;
+      (** delta: results leaving the operator per second, accounting for
+          selectivity. *)
+  capacity : float;
+      (** Maximum sustainable arrival rate: [n * mu] for stateless replicas,
+          [mu / pmax] for partitioned-stateful ones, [mu] otherwise. *)
+  is_bottleneck : bool;
+      (** True when this vertex is saturated ([rho = 1]) in the final steady
+          state — a binding constraint on throughput. The source is flagged
+          when nothing throttles it. *)
+}
+
+type t = {
+  metrics : vertex_metrics array;
+  throughput : float;
+      (** Items ingested by the topology per second: the steady-state
+          departure rate of the source (paper §5.2). *)
+  sink_rate : float;  (** Sum of sink departure rates. *)
+  source_scaling : float;
+      (** Fraction of the source's nominal rate that survives backpressure
+          (1 when no bottleneck exists). *)
+  restarts : int;  (** Number of source corrections performed. *)
+}
+
+val capacity_of : Ss_topology.Operator.t -> float
+(** Maximum arrival rate the operator sustains with its current replica
+    count, considering key skew for partitioned-stateful operators. *)
+
+val analyze : Ss_topology.Topology.t -> t
+(** Runs the corrected-restart traversal. Terminates after at most
+    [size t] corrections. *)
+
+val bottlenecks : t -> int list
+(** Vertices flagged as saturating, in increasing id order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Table in the style of the paper's Tables 1–2 (mu^-1, delta^-1, rho per
+    operator, predicted throughput). *)

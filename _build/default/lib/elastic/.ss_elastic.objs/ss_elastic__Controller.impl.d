@@ -1,0 +1,1 @@
+lib/elastic/controller.ml: Array Float Format Fun List Operator Printf Ss_sim Ss_topology String Topology

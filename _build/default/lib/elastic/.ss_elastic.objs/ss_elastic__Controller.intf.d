@@ -1,0 +1,1 @@
+lib/elastic/controller.mli: Format Ss_topology

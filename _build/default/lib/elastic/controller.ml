@@ -1,0 +1,151 @@
+open Ss_topology
+
+type policy = {
+  target_utilization : float;
+  scale_up_threshold : float;
+  scale_down_threshold : float;
+  max_replicas_per_operator : int;
+}
+
+let default_policy =
+  {
+    target_utilization = 0.7;
+    scale_up_threshold = 0.9;
+    scale_down_threshold = 0.3;
+    max_replicas_per_operator = 64;
+  }
+
+type change = { vertex : int; before : int; after : int }
+
+type epoch = {
+  index : int;
+  configuration : Topology.t;
+  throughput : float;
+  effective_throughput : float;
+  changes : change list;
+}
+
+type run = {
+  epochs : epoch list;
+  converged_at : int option;
+  final : Topology.t;
+  items_processed : float;
+  horizon : float;
+}
+
+(* Proportional resizing toward the target utilization (the rule used by
+   threshold-based elastic scalers). *)
+let decide policy topology (measured : Ss_sim.Engine.result) =
+  let src = Topology.source topology in
+  List.filter_map
+    (fun v ->
+      let op = Topology.operator topology v in
+      if v = src || not (Operator.can_replicate op) then None
+      else
+        let utilization = measured.Ss_sim.Engine.stats.(v).Ss_sim.Engine.busy_fraction in
+        let n = op.Operator.replicas in
+        let resized =
+          int_of_float
+            (Float.ceil (float_of_int n *. utilization /. policy.target_utilization))
+        in
+        let n' =
+          if utilization > policy.scale_up_threshold then
+            min policy.max_replicas_per_operator (max (n + 1) resized)
+          else if utilization < policy.scale_down_threshold && n > 1 then
+            max 1 resized
+          else n
+        in
+        if n' <> n then Some { vertex = v; before = n; after = n' } else None)
+    (List.init (Topology.size topology) Fun.id)
+
+let apply_changes topology changes =
+  Topology.map_operators topology (fun v op ->
+      match List.find_opt (fun c -> c.vertex = v) changes with
+      | Some c -> Operator.with_replicas op c.after
+      | None -> op)
+
+let run ?(policy = default_policy) ?(epoch_length = 10.0)
+    ?(reconfiguration_downtime = 2.0) ?(max_epochs = 20) ?(seed = 42) topology =
+  if epoch_length <= reconfiguration_downtime then
+    invalid_arg "Controller.run: epoch must outlast the reconfiguration downtime";
+  let rec go index configuration pending_downtime acc =
+    if index >= max_epochs then List.rev acc
+    else begin
+      let config =
+        {
+          Ss_sim.Engine.default_config with
+          Ss_sim.Engine.warmup = epoch_length /. 5.0;
+          measure = epoch_length;
+          seed = seed + index;
+        }
+      in
+      let measured = Ss_sim.Engine.run ~config configuration in
+      let throughput = measured.Ss_sim.Engine.throughput in
+      let effective_throughput =
+        throughput *. (epoch_length -. pending_downtime) /. epoch_length
+      in
+      let changes = decide policy configuration measured in
+      let epoch =
+        { index; configuration; throughput; effective_throughput; changes }
+      in
+      let next_configuration =
+        if changes = [] then configuration
+        else apply_changes configuration changes
+      in
+      let next_downtime =
+        if changes = [] then 0.0 else reconfiguration_downtime
+      in
+      go (index + 1) next_configuration next_downtime (epoch :: acc)
+    end
+  in
+  let epochs = go 0 topology 0.0 [] in
+  let converged_at =
+    (* First epoch from which every later epoch (itself included) is
+       change-free. *)
+    let rec scan best = function
+      | [] -> best
+      | e :: rest ->
+          if e.changes = [] then
+            scan (match best with None -> Some e.index | some -> some) rest
+          else scan None rest
+    in
+    scan None epochs
+  in
+  let final =
+    match List.rev epochs with
+    | last :: _ ->
+        if last.changes = [] then last.configuration
+        else apply_changes last.configuration last.changes
+    | [] -> topology
+  in
+  {
+    epochs;
+    converged_at;
+    final;
+    items_processed =
+      List.fold_left
+        (fun acc e -> acc +. (e.effective_throughput *. epoch_length))
+        0.0 epochs;
+    horizon = float_of_int (List.length epochs) *. epoch_length;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>elastic run (%d epochs, horizon %.0fs):@,"
+    (List.length t.epochs) t.horizon;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "  epoch %2d: %8.1f t/s (effective %8.1f)%s@," e.index e.throughput
+        e.effective_throughput
+        (if e.changes = [] then ""
+         else
+           " resize "
+           ^ String.concat ", "
+               (List.map
+                  (fun c -> Printf.sprintf "v%d:%d->%d" c.vertex c.before c.after)
+                  e.changes)))
+    t.epochs;
+  (match t.converged_at with
+  | Some i -> Format.fprintf ppf "converged at epoch %d@," i
+  | None -> Format.fprintf ppf "did not converge within the horizon@,");
+  Format.fprintf ppf "items processed: %.0f@]" t.items_processed

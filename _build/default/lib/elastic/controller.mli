@@ -1,0 +1,66 @@
+(** A dynamic-adaptation baseline: threshold-based elasticity in the style
+    of Dhalion/elastic-scaling systems (paper §1 and §6).
+
+    The paper argues that run-time elasticity, while indispensable for
+    variable workloads, pays a real price on a {e stable} workload — repeated
+    reconfigurations with state-migration downtime before converging to the
+    configuration SpinStreams computes statically. This module makes that
+    argument measurable: a reactive controller observes per-operator
+    utilization over fixed epochs (simulated on {!Ss_sim.Engine}) and
+    resizes replica counts between epochs, paying a configurable downtime
+    for every reconfiguration.
+
+    Policy (per epoch, per replicable non-source operator): when the busiest
+    replica's utilization exceeds [scale_up_threshold], the degree becomes
+    [ceil (n * utilization / target_utilization)]; when it falls below
+    [scale_down_threshold] and [n > 1], the degree shrinks by the same
+    proportional rule. Stateful operators are never resized. *)
+
+type policy = {
+  target_utilization : float;  (** Default 0.7. *)
+  scale_up_threshold : float;  (** Default 0.9. *)
+  scale_down_threshold : float;  (** Default 0.3. *)
+  max_replicas_per_operator : int;  (** Default 64. *)
+}
+
+val default_policy : policy
+
+type change = { vertex : int; before : int; after : int }
+
+type epoch = {
+  index : int;  (** 0-based. *)
+  configuration : Ss_topology.Topology.t;
+      (** Topology (replica counts) in force during this epoch. *)
+  throughput : float;  (** Measured during the epoch. *)
+  effective_throughput : float;
+      (** Throughput after charging the reconfiguration downtime that
+          preceded the epoch. *)
+  changes : change list;
+      (** Resizing decisions taken {e at the end} of this epoch. *)
+}
+
+type run = {
+  epochs : epoch list;
+  converged_at : int option;
+      (** First epoch from which no further change happens. *)
+  final : Ss_topology.Topology.t;
+  items_processed : float;
+      (** Sum over epochs of effective throughput x epoch length. *)
+  horizon : float;  (** Total wall-clock modeled: epochs x epoch length. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?epoch_length:float ->
+  ?reconfiguration_downtime:float ->
+  ?max_epochs:int ->
+  ?seed:int ->
+  Ss_topology.Topology.t ->
+  run
+(** [run topology] starts from the given replica counts (typically all 1)
+    and adapts for [max_epochs] (default 20) epochs of [epoch_length]
+    (default 10) simulated seconds, charging [reconfiguration_downtime]
+    (default 2) seconds of stalled processing after every epoch whose
+    controller produced at least one change. *)
+
+val pp : Format.formatter -> run -> unit

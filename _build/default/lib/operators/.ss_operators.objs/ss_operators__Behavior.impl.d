@@ -1,0 +1,1 @@
+lib/operators/behavior.ml: Ss_topology Tuple

@@ -1,0 +1,1 @@
+lib/operators/behavior.mli: Ss_prelude Ss_topology Tuple

@@ -1,0 +1,1 @@
+lib/operators/catalog.ml: Behavior Join_ops List Spatial_ops Stateless_ops String Window_ops

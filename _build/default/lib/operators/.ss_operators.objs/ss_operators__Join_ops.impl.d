@@ -1,0 +1,1 @@
+lib/operators/join_ops.ml: Behavior Float Hashtbl List Option Printf Queue Tuple Window

@@ -1,0 +1,1 @@
+lib/operators/join_ops.mli: Behavior

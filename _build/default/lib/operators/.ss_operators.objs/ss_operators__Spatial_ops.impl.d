@@ -1,0 +1,1 @@
+lib/operators/spatial_ops.ml: Behavior Hashtbl List Printf Tuple Window

@@ -1,0 +1,1 @@
+lib/operators/spatial_ops.mli: Behavior

@@ -1,0 +1,1 @@
+lib/operators/stateless_ops.ml: Array Behavior Float List Printf Tuple

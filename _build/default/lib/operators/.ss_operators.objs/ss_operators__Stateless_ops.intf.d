@@ -1,0 +1,1 @@
+lib/operators/stateless_ops.mli: Behavior

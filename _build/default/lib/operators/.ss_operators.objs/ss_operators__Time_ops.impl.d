@@ -1,0 +1,1 @@
+lib/operators/time_ops.ml: Behavior Hashtbl List Printf Time_window Tuple

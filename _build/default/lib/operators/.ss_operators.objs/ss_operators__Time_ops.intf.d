@@ -1,0 +1,1 @@
+lib/operators/time_ops.mli: Behavior Time_window

@@ -1,0 +1,1 @@
+lib/operators/time_window.mli:

@@ -1,0 +1,1 @@
+lib/operators/tuple.ml: Array Format

@@ -1,0 +1,1 @@
+lib/operators/tuple.mli: Format

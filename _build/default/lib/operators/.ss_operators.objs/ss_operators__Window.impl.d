@@ -1,0 +1,1 @@
+lib/operators/window.ml: List Queue

@@ -1,0 +1,1 @@
+lib/operators/window.mli:

@@ -1,0 +1,1 @@
+lib/operators/window_ops.ml: Array Behavior Float Hashtbl List Printf Tuple Window

@@ -1,0 +1,41 @@
+type fn = Tuple.t -> Tuple.t list
+type state_kind = Stateless_op | Partitioned_op | Stateful_op
+
+type t = {
+  name : string;
+  state_kind : state_kind;
+  input_selectivity : float;
+  output_selectivity : float;
+  fresh : unit -> fn;
+}
+
+let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
+    ?(output_selectivity = 1.0) ~name fresh =
+  if input_selectivity <= 0.0 then
+    invalid_arg "Behavior.make: input_selectivity must be positive";
+  if output_selectivity < 0.0 then
+    invalid_arg "Behavior.make: output_selectivity must be non-negative";
+  { name; state_kind; input_selectivity; output_selectivity; fresh }
+
+let instantiate t = t.fresh ()
+let selectivity_factor t = t.output_selectivity /. t.input_selectivity
+
+let to_operator ?dist ?keys ~service_time t =
+  let kind =
+    match (t.state_kind, keys) with
+    | Stateless_op, None -> Ss_topology.Operator.Stateless
+    | Stateful_op, None -> Ss_topology.Operator.Stateful
+    | Partitioned_op, Some keys ->
+        Ss_topology.Operator.Partitioned_stateful keys
+    | Partitioned_op, None ->
+        invalid_arg
+          "Behavior.to_operator: a partitioned-stateful behavior needs a key \
+           distribution"
+    | (Stateless_op | Stateful_op), Some _ ->
+        invalid_arg
+          "Behavior.to_operator: key distribution supplied for a \
+           non-partitioned behavior"
+  in
+  Ss_topology.Operator.make ~kind ?dist
+    ~input_selectivity:t.input_selectivity
+    ~output_selectivity:t.output_selectivity ~service_time t.name

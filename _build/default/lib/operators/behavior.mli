@@ -1,0 +1,55 @@
+(** Executable operator behaviors.
+
+    A behavior couples a tuple-transforming function with the metadata the
+    optimizer needs (state classification and nominal selectivities). The
+    function may own internal state; {!fresh} allocates an independent state
+    instance, which is what makes fission of partitioned-stateful operators
+    possible in the runtime (each replica gets its own instance and the
+    emitter routes keys consistently). *)
+
+type fn = Tuple.t -> Tuple.t list
+(** One input tuple to zero, one or many output tuples. *)
+
+(** State classification mirroring {!Ss_topology.Operator.kind}, but without
+    a key distribution: the distribution is a property of the workload, not
+    of the operator code. *)
+type state_kind = Stateless_op | Partitioned_op | Stateful_op
+
+type t = {
+  name : string;
+  state_kind : state_kind;
+  input_selectivity : float;
+      (** Nominal items consumed per result at steady state. *)
+  output_selectivity : float;
+      (** Nominal results produced per item consumed. *)
+  fresh : unit -> fn;  (** Allocate a new, independent state instance. *)
+}
+
+val make :
+  ?state_kind:state_kind ->
+  ?input_selectivity:float ->
+  ?output_selectivity:float ->
+  name:string ->
+  (unit -> fn) ->
+  t
+(** Defaults: stateless with unit selectivities.
+    @raise Invalid_argument on non-positive input selectivity or negative
+    output selectivity. *)
+
+val instantiate : t -> fn
+(** Shorthand for [t.fresh ()]. *)
+
+val selectivity_factor : t -> float
+(** [output_selectivity /. input_selectivity]. *)
+
+val to_operator :
+  ?dist:Ss_prelude.Dist.t ->
+  ?keys:Ss_prelude.Discrete.t ->
+  service_time:float ->
+  t ->
+  Ss_topology.Operator.t
+(** Descriptor for the optimizer: combines the behavior's classification and
+    selectivities with a profiled [service_time]. Partitioned-stateful
+    behaviors require [keys] (the workload's key-group distribution);
+    @raise Invalid_argument if it is missing, or supplied for a
+    non-partitioned behavior. *)

@@ -1,0 +1,61 @@
+(* The default parameterizations below aim at the service-time spread the
+   paper reports: "some hundreds of microseconds in the fastest case, up to
+   a few hundreds of milliseconds in the worst" once windows are sized with
+   the evaluation's parameters (1000 / 5000 / 10000 tuples, slides 1 / 10 /
+   50). *)
+
+let window_spec length slide =
+  { Window_ops.default_spec with Window_ops.length; slide }
+
+let all () =
+  [
+    (* stateless: tuple-by-tuple transformations *)
+    Stateless_ops.identity;
+    Stateless_ops.scale ~factor:1.5;
+    Stateless_ops.offset ~delta:0.5;
+    Stateless_ops.compute ~iterations:200;
+    Stateless_ops.threshold_filter ~index:0 ~threshold:0.25;
+    Stateless_ops.sampler ~keep_one_in:4;
+    Stateless_ops.flat_split ~parts:2;
+    Stateless_ops.project ~keep:2;
+    Stateless_ops.rekey ~buckets:64;
+    Stateless_ops.enrich ~table:(fun key -> float_of_int (key land 0xff));
+    (* windowed aggregations *)
+    Window_ops.sum ~spec:(window_spec 1000 10) ();
+    Window_ops.max_agg ~spec:(window_spec 1000 1) ();
+    Window_ops.min_agg ~spec:(window_spec 5000 10) ();
+    Window_ops.weighted_moving_average ~spec:(window_spec 1000 10) ();
+    Window_ops.quantile ~spec:(window_spec 5000 50) ~q:0.95 ();
+    Window_ops.mean
+      ~spec:{ (window_spec 1000 10) with Window_ops.per_key = true }
+      ();
+    (* spatial queries *)
+    Spatial_ops.skyline ~length:500 ~slide:50 ();
+    Spatial_ops.top_k ~length:1000 ~slide:50 ~k:10 ();
+    (* joins and keyed state *)
+    Join_ops.band_join ~length:200 ~band:0.05 ();
+    Join_ops.count_by_key ();
+  ]
+
+let find name =
+  List.find_opt (fun b -> String.equal b.Behavior.name name) (all ())
+
+let find_exn name =
+  match find name with Some b -> b | None -> raise Not_found
+
+let names () = List.map (fun b -> b.Behavior.name) (all ())
+
+let by_kind kind =
+  List.filter (fun b -> b.Behavior.state_kind = kind) (all ())
+
+let stateless () = by_kind Behavior.Stateless_op
+let partitioned () = by_kind Behavior.Partitioned_op
+let stateful () = by_kind Behavior.Stateful_op
+
+let joins () =
+  List.filter
+    (fun b ->
+      (* Band join is the only binary operator in the catalog. *)
+      String.length b.Behavior.name >= 8
+      && String.sub b.Behavior.name 0 8 = "bandjoin")
+    (all ())

@@ -1,0 +1,29 @@
+(** The catalog of real-world operators used by the evaluation (paper §5.1:
+    "we developed 20 different real-world operators").
+
+    The catalog fixes one default parameterization per operator family so
+    that random-topology generation, profiling and code generation can refer
+    to operators by name. Custom parameterizations remain available through
+    the per-family modules ({!Stateless_ops}, {!Window_ops}, {!Spatial_ops},
+    {!Join_ops}). *)
+
+val all : unit -> Behavior.t list
+(** The 20 default operators, in a stable order. *)
+
+val find : string -> Behavior.t option
+(** Look an operator up by its name. *)
+
+val find_exn : string -> Behavior.t
+(** @raise Not_found when the name is unknown. *)
+
+val names : unit -> string list
+
+val stateless : unit -> Behavior.t list
+(** Catalog subset usable for fission without key constraints. *)
+
+val partitioned : unit -> Behavior.t list
+val stateful : unit -> Behavior.t list
+
+val joins : unit -> Behavior.t list
+(** Operators requiring more than one input edge (assignable only to
+    vertices with in-degree >= 2, paper Algorithm 5). *)

@@ -1,0 +1,50 @@
+let band_join ?(length = 200) ?(index = 0) ~band () =
+  if band < 0.0 then invalid_arg "Join_ops.band_join: band < 0";
+  Behavior.make ~state_kind:Behavior.Stateful_op
+    ~name:(Printf.sprintf "bandjoin_w%d_b%g" length band)
+    (fun () ->
+      (* One sliding window per side; sliding is per-insertion (slide 1) so
+         the windows always hold the last [length] tuples of each side. *)
+      let left = Window.create ~length ~slide:1 in
+      let right = Window.create ~length ~slide:1 in
+      fun (t : Tuple.t) ->
+        let own, other = if t.Tuple.tag = 0 then (left, right) else (right, left) in
+        let probe_value = Tuple.value t index in
+        let matches =
+          List.filter_map
+            (fun (candidate : Tuple.t) ->
+              let v = Tuple.value candidate index in
+              if Float.abs (probe_value -. v) <= band then
+                Some
+                  (Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
+                     [| probe_value; v |])
+              else None)
+            (Window.contents other)
+        in
+        ignore (Window.push own t);
+        matches)
+
+let count_by_key () =
+  Behavior.make ~state_kind:Behavior.Partitioned_op ~name:"count_by_key"
+    (fun () ->
+      let counts = Hashtbl.create 64 in
+      fun (t : Tuple.t) ->
+        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts t.Tuple.key) in
+        Hashtbl.replace counts t.Tuple.key c;
+        [ Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag [| float_of_int c |] ])
+
+let dedup ?(memory = 1024) () =
+  Behavior.make ~state_kind:Behavior.Partitioned_op
+    ~name:(Printf.sprintf "dedup_%d" memory)
+    (fun () ->
+      let seen = Hashtbl.create 64 in
+      let order = Queue.create () in
+      fun (t : Tuple.t) ->
+        if Hashtbl.mem seen t.Tuple.key then []
+        else begin
+          Hashtbl.replace seen t.Tuple.key ();
+          Queue.push t.Tuple.key order;
+          if Queue.length order > memory then
+            Hashtbl.remove seen (Queue.pop order);
+          [ t ]
+        end)

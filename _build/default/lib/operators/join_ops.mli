@@ -1,0 +1,21 @@
+(** Binary and keyed stateful operators: band join over count-based windows
+    (as in the paper's evaluation), keyed counting and deduplication. *)
+
+val band_join :
+  ?length:int -> ?index:int -> band:float -> unit -> Behavior.t
+(** Symmetric band join of the two sub-streams distinguished by tuple [tag]
+    (0 and 1): each arriving tuple is inserted into its side's count-based
+    window (of [length] tuples, default 200) and probed against the opposite
+    window; every pair whose [index]-th values differ by at most [band]
+    emits a joined tuple [(v_left, v_right)] carrying the probing tuple's
+    key and timestamp. Stateful (the band predicate is not key-partitionable
+    in general). @raise Invalid_argument if [band < 0]. *)
+
+val count_by_key : unit -> Behavior.t
+(** Running count per partitioning key: each input emits one tuple whose
+    value is the updated count of its key. Partitioned-stateful. *)
+
+val dedup : ?memory:int -> unit -> Behavior.t
+(** Drop tuples whose key was already seen among the last [memory] distinct
+    keys (default 1024). Partitioned-stateful; output selectivity is
+    workload-dependent (declared 1). *)

@@ -1,0 +1,61 @@
+let is_dominated (px, py) points =
+  List.exists
+    (fun (qx, qy) -> qx <= px && qy <= py && (qx < px || qy < py))
+    points
+
+(* One window globally, or one per partitioning key. *)
+let window_table ~per_key ~length ~slide =
+  let global = Window.create ~length ~slide in
+  let per_key_windows = Hashtbl.create 64 in
+  fun key ->
+    if not per_key then global
+    else
+      match Hashtbl.find_opt per_key_windows key with
+      | Some w -> w
+      | None ->
+          let w = Window.create ~length ~slide in
+          Hashtbl.add per_key_windows key w;
+          w
+
+let skyline ?(length = 500) ?(slide = 50) ?(per_key = false) () =
+  Behavior.make
+    ~state_kind:(if per_key then Behavior.Partitioned_op else Behavior.Stateful_op)
+    ~input_selectivity:(float_of_int slide)
+    ~name:
+      (Printf.sprintf "skyline_w%d_s%d%s" length slide
+         (if per_key then "_bykey" else ""))
+    (fun () ->
+      let window_for = window_table ~per_key ~length ~slide in
+      fun (t : Tuple.t) ->
+        match Window.push (window_for t.Tuple.key) t with
+        | None -> []
+        | Some members ->
+            let point m = (Tuple.value m 0, Tuple.value m 1) in
+            let points = List.map point members in
+            List.filter
+              (fun m ->
+                let p = point m in
+                not (is_dominated p (List.filter (fun q -> q <> p) points)))
+              members)
+
+let top_k ?(length = 1000) ?(slide = 100) ?(index = 0) ?(per_key = false) ~k () =
+  if k < 1 then invalid_arg "Spatial_ops.top_k: k < 1";
+  Behavior.make
+    ~state_kind:(if per_key then Behavior.Partitioned_op else Behavior.Stateful_op)
+    ~input_selectivity:(float_of_int slide)
+    ~output_selectivity:(float_of_int k)
+    ~name:
+      (Printf.sprintf "top%d_w%d_s%d%s" k length slide
+         (if per_key then "_bykey" else ""))
+    (fun () ->
+      let window_for = window_table ~per_key ~length ~slide in
+      fun (t : Tuple.t) ->
+        match Window.push (window_for t.Tuple.key) t with
+        | None -> []
+        | Some members ->
+            let sorted =
+              List.stable_sort
+                (fun a b -> compare (Tuple.value b index) (Tuple.value a index))
+                members
+            in
+            List.filteri (fun i _ -> i < k) sorted)

@@ -1,0 +1,24 @@
+(** Spatial queries over count-based windows: skyline and top-k (paper
+    evaluation, citing Upsortable-style top-k operators). *)
+
+val skyline : ?length:int -> ?slide:int -> ?per_key:bool -> unit -> Behavior.t
+(** Two-dimensional skyline (minimization) over the window of points
+    [(value 0, value 1)]: when the window fires, emits the tuples not
+    dominated by any other window member. A point dominates another when
+    both its coordinates are less than or equal and at least one is strictly
+    smaller. Stateful; input selectivity [slide]; defaults: length 500,
+    slide 50. *)
+
+val top_k :
+  ?length:int -> ?slide:int -> ?index:int -> ?per_key:bool -> k:int -> unit ->
+  Behavior.t
+(** Emits the [k] window members with the largest [index]-th value each time
+    the window fires, largest first (fewer while the window holds fewer than
+    [k] members). Stateful; input selectivity [slide]; output selectivity
+    [k]. Stateful by default; [~per_key:true] keeps one window per
+    partitioning key (partitioned-stateful). Defaults: length 1000,
+    slide 100, index 0.
+    @raise Invalid_argument if [k < 1]. *)
+
+val is_dominated : (float * float) -> (float * float) list -> bool
+(** [is_dominated p points]: exposed for property tests. *)

@@ -1,0 +1,72 @@
+let stateless ?output_selectivity ~name fn =
+  Behavior.make ?output_selectivity ~name (fun () -> fn)
+
+let identity = stateless ~name:"identity" (fun t -> [ t ])
+
+let scale ~factor =
+  stateless ~name:(Printf.sprintf "scale_%g" factor) (fun t ->
+      [ Tuple.with_values t (Array.map (fun v -> v *. factor) t.Tuple.values) ])
+
+let offset ~delta =
+  stateless ~name:(Printf.sprintf "offset_%g" delta) (fun t ->
+      [ Tuple.with_values t (Array.map (fun v -> v +. delta) t.Tuple.values) ])
+
+let compute ~iterations =
+  stateless ~name:(Printf.sprintf "compute_%d" iterations) (fun t ->
+      let acc = ref (Tuple.value t 0) in
+      for i = 1 to iterations do
+        acc := !acc +. (sin (float_of_int i) *. cos !acc)
+      done;
+      let values = Array.copy t.Tuple.values in
+      if Array.length values > 0 then values.(0) <- !acc;
+      [ Tuple.with_values t values ])
+
+let threshold_filter ~index ~threshold =
+  stateless
+    ~name:(Printf.sprintf "filter_v%d_ge_%g" index threshold)
+    (fun t -> if Tuple.value t index >= threshold then [ t ] else [])
+
+let sampler ~keep_one_in =
+  if keep_one_in < 1 then invalid_arg "Stateless_ops.sampler: keep_one_in < 1";
+  Behavior.make
+    ~output_selectivity:(1.0 /. float_of_int keep_one_in)
+    ~name:(Printf.sprintf "sample_1_in_%d" keep_one_in)
+    (fun () ->
+      let count = ref 0 in
+      fun t ->
+        incr count;
+        if !count mod keep_one_in = 0 then [ t ] else [])
+
+let flat_split ~parts =
+  if parts < 1 then invalid_arg "Stateless_ops.flat_split: parts < 1";
+  Behavior.make
+    ~output_selectivity:(float_of_int parts)
+    ~name:(Printf.sprintf "split_%d" parts)
+    (fun () t ->
+      List.init parts (fun part ->
+          let values =
+            t.Tuple.values |> Array.to_list
+            |> List.filteri (fun i _ -> i mod parts = part)
+            |> Array.of_list
+          in
+          Tuple.with_values t values))
+
+let project ~keep =
+  stateless ~name:(Printf.sprintf "project_%d" keep) (fun t ->
+      let n = min keep (Array.length t.Tuple.values) in
+      [ Tuple.with_values t (Array.sub t.Tuple.values 0 (max n 0)) ])
+
+let rekey ~buckets =
+  if buckets < 1 then invalid_arg "Stateless_ops.rekey: buckets < 1";
+  stateless ~name:(Printf.sprintf "rekey_%d" buckets) (fun t ->
+      let h =
+        Array.fold_left
+          (fun acc v -> (acc * 31) + int_of_float (Float.abs v *. 1e3))
+          17 t.Tuple.values
+      in
+      [ Tuple.with_key t (abs h mod buckets) ])
+
+let enrich ~table =
+  stateless ~name:"enrich" (fun t ->
+      let values = Array.append t.Tuple.values [| table t.Tuple.key |] in
+      [ Tuple.with_values t values ])

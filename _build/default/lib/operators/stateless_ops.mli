@@ -1,0 +1,43 @@
+(** Stateless tuple-at-a-time operators: maps, filters, routing and
+    enrichment (the evaluation's "filters and maps, which apply
+    transformations on a tuple-by-tuple basis"). *)
+
+val identity : Behavior.t
+(** Pass-through. *)
+
+val scale : factor:float -> Behavior.t
+(** Multiply every value by [factor]. *)
+
+val offset : delta:float -> Behavior.t
+(** Add [delta] to every value. *)
+
+val compute : iterations:int -> Behavior.t
+(** CPU-heavy map: [iterations] rounds of transcendental arithmetic folded
+    into the first value. Its service time scales linearly with
+    [iterations], which is how examples and the profiler build operators of
+    controlled cost. *)
+
+val threshold_filter : index:int -> threshold:float -> Behavior.t
+(** Keep tuples whose [index]-th value is at least [threshold]. The nominal
+    output selectivity is workload-dependent; it is declared as 1 and should
+    be refined by profiling. *)
+
+val sampler : keep_one_in:int -> Behavior.t
+(** Deterministically keep every [keep_one_in]-th tuple (output selectivity
+    [1 / keep_one_in]). @raise Invalid_argument if [keep_one_in < 1]. *)
+
+val flat_split : parts:int -> Behavior.t
+(** Split each tuple into [parts] tuples, partitioning its values
+    round-robin (output selectivity [parts]).
+    @raise Invalid_argument if [parts < 1]. *)
+
+val project : keep:int -> Behavior.t
+(** Keep the first [keep] values. *)
+
+val rekey : buckets:int -> Behavior.t
+(** Recompute the partitioning key as a hash of the values into [buckets]
+    groups. @raise Invalid_argument if [buckets < 1]. *)
+
+val enrich : table:(int -> float) -> Behavior.t
+(** Append [table key] to the values — a read-only dimension-table join,
+    stateless with respect to the stream. *)

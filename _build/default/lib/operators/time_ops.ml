@@ -1,0 +1,51 @@
+let kind_name = function
+  | Time_window.Tumbling l -> Printf.sprintf "tumble%g" l
+  | Time_window.Sliding (l, s) -> Printf.sprintf "slide%g_%g" l s
+
+let fold ?allowed_lateness ?(per_key = false) ?(index = 0) ~kind ~name
+    aggregate =
+  let state_kind =
+    if per_key then Behavior.Partitioned_op else Behavior.Stateful_op
+  in
+  let fresh () =
+    let global = Time_window.create ?allowed_lateness kind in
+    let per_key_windows = Hashtbl.create 64 in
+    let window_for key =
+      if not per_key then global
+      else
+        match Hashtbl.find_opt per_key_windows key with
+        | Some w -> w
+        | None ->
+            let w = Time_window.create ?allowed_lateness kind in
+            Hashtbl.add per_key_windows key w;
+            w
+    in
+    fun (t : Tuple.t) ->
+      let fired =
+        Time_window.push (window_for t.Tuple.key) ~ts:t.Tuple.ts
+          (Tuple.value t index)
+      in
+      List.map
+        (fun f ->
+          Tuple.make ~ts:f.Time_window.window_end ~key:t.Tuple.key
+            ~tag:t.Tuple.tag
+            [| aggregate f.Time_window.contents |])
+        fired
+  in
+  Behavior.make ~state_kind
+    ~name:
+      (Printf.sprintf "%s_%s%s" name (kind_name kind)
+         (if per_key then "_bykey" else ""))
+    fresh
+
+let sum ?allowed_lateness ?per_key ?index ~kind () =
+  fold ?allowed_lateness ?per_key ?index ~kind ~name:"tsum"
+    (List.fold_left ( +. ) 0.0)
+
+let mean ?allowed_lateness ?per_key ?index ~kind () =
+  fold ?allowed_lateness ?per_key ?index ~kind ~name:"tmean" (fun vs ->
+      List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+
+let count ?allowed_lateness ?per_key ~kind () =
+  fold ?allowed_lateness ?per_key ~kind ~name:"tcount" (fun vs ->
+      float_of_int (List.length vs))

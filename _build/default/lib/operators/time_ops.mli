@@ -1,0 +1,34 @@
+(** Event-time windowed aggregations over {!Time_window}.
+
+    Counterparts of {!Window_ops} with event-time semantics: results carry
+    the window's end as their timestamp. Unlike count-based windows, the
+    input selectivity of an event-time operator depends on the stream rate
+    (items per [slide] seconds), so descriptors built from these behaviors
+    should take their selectivity from profiling
+    ({!Ss_workload.Profiler.to_operator} does). *)
+
+val fold :
+  ?allowed_lateness:float ->
+  ?per_key:bool ->
+  ?index:int ->
+  kind:Time_window.kind ->
+  name:string ->
+  (float list -> float) ->
+  Behavior.t
+(** General event-time aggregate over the [index]-th value (default 0).
+    With [per_key] (default false) one window set is kept per partitioning
+    key and the behavior is partitioned-stateful. Results carry the
+    triggering tuple's key and the window end as timestamp. *)
+
+val sum :
+  ?allowed_lateness:float -> ?per_key:bool -> ?index:int ->
+  kind:Time_window.kind -> unit -> Behavior.t
+
+val mean :
+  ?allowed_lateness:float -> ?per_key:bool -> ?index:int ->
+  kind:Time_window.kind -> unit -> Behavior.t
+
+val count :
+  ?allowed_lateness:float -> ?per_key:bool ->
+  kind:Time_window.kind -> unit -> Behavior.t
+(** Elements per window. *)

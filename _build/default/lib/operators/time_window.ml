@@ -1,0 +1,75 @@
+type kind = Tumbling of float | Sliding of float * float
+
+type 'a fired = {
+  window_end : float;
+  window_start : float;
+  contents : 'a list;
+}
+
+type 'a t = {
+  length : float;
+  slide : float;
+  lateness : float;
+  (* window end -> reversed contents *)
+  buckets : (float, 'a list) Hashtbl.t;
+  mutable wm : float;
+  mutable late : int;
+}
+
+let create ?(allowed_lateness = 0.0) kind =
+  let length, slide =
+    match kind with
+    | Tumbling l -> (l, l)
+    | Sliding (l, s) -> (l, s)
+  in
+  if length <= 0.0 then invalid_arg "Time_window.create: length must be positive";
+  if slide <= 0.0 then invalid_arg "Time_window.create: slide must be positive";
+  if slide > length then
+    invalid_arg "Time_window.create: slide must not exceed length";
+  if allowed_lateness < 0.0 then
+    invalid_arg "Time_window.create: negative lateness";
+  {
+    length;
+    slide;
+    lateness = allowed_lateness;
+    buckets = Hashtbl.create 16;
+    wm = neg_infinity;
+    late = 0;
+  }
+
+let watermark t = t.wm
+let late_count t = t.late
+let pending_windows t = Hashtbl.length t.buckets
+
+(* Ends of the windows containing timestamp [ts]: multiples of slide in
+   (ts, ts + length]. *)
+let window_ends t ts =
+  let first_k = Float.floor (ts /. t.slide) +. 1.0 in
+  let rec collect k acc =
+    let e = k *. t.slide in
+    if e > ts +. t.length +. 1e-12 then List.rev acc
+    else collect (k +. 1.0) (e :: acc)
+  in
+  collect first_k []
+
+let push t ~ts x =
+  t.wm <- Float.max t.wm (ts -. t.lateness);
+  let ends = List.filter (fun e -> e > t.wm) (window_ends t ts) in
+  if ends = [] then t.late <- t.late + 1
+  else
+    List.iter
+      (fun e ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t.buckets e) in
+        Hashtbl.replace t.buckets e (x :: prev))
+      ends;
+  (* Fire every buffered window whose end the watermark has passed. *)
+  let ready =
+    Hashtbl.fold (fun e _ acc -> if e <= t.wm then e :: acc else acc) t.buckets []
+    |> List.sort compare
+  in
+  List.map
+    (fun e ->
+      let contents = List.rev (Hashtbl.find t.buckets e) in
+      Hashtbl.remove t.buckets e;
+      { window_end = e; window_start = e -. t.length; contents })
+    ready

@@ -1,0 +1,44 @@
+(** Event-time windows with watermarks.
+
+    The paper's evaluation uses count-based windows (see {!Window});
+    real deployments also need event-time semantics: elements carry
+    timestamps, may arrive out of order, and windows fire when a
+    {e watermark} — the maximum timestamp seen minus an allowed lateness —
+    passes their end. Windows are aligned to time 0:
+    - [Tumbling length]: windows [[k·length, (k+1)·length)];
+    - [Sliding (length, slide)]: one window ends at every multiple of
+      [slide], covering the preceding [length] seconds (requires
+      [slide <= length]).
+
+    Elements whose every window has already fired are {e late}: they are
+    dropped and counted. Fired windows are delivered in end-timestamp order
+    with their contents in arrival order. *)
+
+type kind = Tumbling of float | Sliding of float * float
+
+type 'a t
+
+type 'a fired = {
+  window_end : float;  (** Exclusive end of the fired window. *)
+  window_start : float;
+  contents : 'a list;  (** In arrival order; possibly empty never fires. *)
+}
+
+val create : ?allowed_lateness:float -> kind -> 'a t
+(** [allowed_lateness] (seconds, default 0) delays the watermark behind the
+    maximum seen timestamp, tolerating that much disorder.
+    @raise Invalid_argument on non-positive lengths/slides, [slide > length]
+    or negative lateness. *)
+
+val push : 'a t -> ts:float -> 'a -> 'a fired list
+(** Insert an element with event time [ts]; returns the windows the
+    advanced watermark fires, oldest first. *)
+
+val watermark : 'a t -> float
+(** Current watermark; [neg_infinity] before the first element. *)
+
+val late_count : 'a t -> int
+(** Elements dropped because they arrived entirely behind the watermark. *)
+
+val pending_windows : 'a t -> int
+(** Open (not yet fired) windows currently holding elements. *)

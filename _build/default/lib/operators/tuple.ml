@@ -1,0 +1,24 @@
+type t = { ts : float; key : int; tag : int; values : float array }
+
+let make ?(ts = 0.0) ?(key = 0) ?(tag = 0) values = { ts; key; tag; values }
+
+let value t i =
+  if i >= 0 && i < Array.length t.values then t.values.(i) else 0.0
+
+let with_values t values = { t with values }
+let with_key t key = { t with key }
+let arity t = Array.length t.values
+
+let equal a b =
+  a.ts = b.ts && a.key = b.key && a.tag = b.tag && a.values = b.values
+
+let compare_by i a b = compare (value a i) (value b i)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{ts=%.4f key=%d tag=%d [" t.ts t.key t.tag;
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" v)
+    t.values;
+  Format.fprintf ppf "]}@]"

@@ -1,0 +1,27 @@
+(** Stream items: records of numeric attributes with a partitioning key.
+
+    All executable operators in this library transform tuples; the paper
+    calls them "records of attributes". *)
+
+type t = {
+  ts : float;  (** Event timestamp in seconds. *)
+  key : int;  (** Partitioning key (non-negative). *)
+  tag : int;
+      (** Logical sub-stream tag; binary operators (joins) use it to tell
+          their inputs apart. *)
+  values : float array;  (** Numeric payload. *)
+}
+
+val make : ?ts:float -> ?key:int -> ?tag:int -> float array -> t
+val value : t -> int -> float
+(** [value t i] is [t.values.(i)], or 0 when the index is out of range —
+    operators stay total on short tuples. *)
+
+val with_values : t -> float array -> t
+val with_key : t -> int -> t
+val arity : t -> int
+val equal : t -> t -> bool
+val compare_by : int -> t -> t -> int
+(** Order by the given value index (missing values read as 0). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type 'a t = {
+  win_length : int;
+  win_slide : int;
+  buffer : 'a Queue.t;
+  mutable total : int;
+}
+
+let create ~length ~slide =
+  if length < 1 then invalid_arg "Window.create: length must be >= 1";
+  if slide < 1 then invalid_arg "Window.create: slide must be >= 1";
+  { win_length = length; win_slide = slide; buffer = Queue.create (); total = 0 }
+
+let length t = t.win_length
+let slide t = t.win_slide
+let size t = Queue.length t.buffer
+let pushed t = t.total
+let contents t = List.of_seq (Queue.to_seq t.buffer)
+
+let push t x =
+  Queue.push x t.buffer;
+  if Queue.length t.buffer > t.win_length then ignore (Queue.pop t.buffer);
+  t.total <- t.total + 1;
+  let fires =
+    t.total >= t.win_length && (t.total - t.win_length) mod t.win_slide = 0
+  in
+  if fires then Some (contents t) else None
+
+let reset t =
+  Queue.clear t.buffer;
+  t.total <- 0

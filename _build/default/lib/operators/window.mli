@@ -1,0 +1,29 @@
+(** Count-based sliding windows (paper §3.4 and the evaluation's stateful
+    operators).
+
+    A window of length [w] sliding by [s] fires for the first time once [w]
+    elements have been pushed, and then after every further [s] pushes. When
+    it fires it exposes the last [w] elements, oldest first. The steady-state
+    input selectivity of an operator built on such a window is [s]. *)
+
+type 'a t
+
+val create : length:int -> slide:int -> 'a t
+(** @raise Invalid_argument unless [length >= 1] and [slide >= 1]. *)
+
+val length : 'a t -> int
+val slide : 'a t -> int
+
+val push : 'a t -> 'a -> 'a list option
+(** Insert an element; returns [Some contents] (oldest first, exactly
+    [length] elements) when the window fires. *)
+
+val contents : 'a t -> 'a list
+(** Current retained elements, oldest first (fewer than [length] while the
+    window is still filling). *)
+
+val size : 'a t -> int
+val pushed : 'a t -> int
+(** Total number of elements pushed so far. *)
+
+val reset : 'a t -> unit

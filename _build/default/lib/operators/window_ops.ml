@@ -1,0 +1,77 @@
+type spec = { length : int; slide : int; index : int; per_key : bool }
+
+let default_spec = { length = 1000; slide = 10; index = 0; per_key = false }
+
+(* Shared skeleton: push into the (global or per-key) window; on firing,
+   aggregate the windowed values into a single-value tuple. *)
+let fold ?(spec = default_spec) ~name aggregate =
+  let state_kind =
+    if spec.per_key then Behavior.Partitioned_op else Behavior.Stateful_op
+  in
+  let fresh () =
+    let global = Window.create ~length:spec.length ~slide:spec.slide in
+    let per_key = Hashtbl.create 64 in
+    let window_for key =
+      if not spec.per_key then global
+      else
+        match Hashtbl.find_opt per_key key with
+        | Some w -> w
+        | None ->
+            let w = Window.create ~length:spec.length ~slide:spec.slide in
+            Hashtbl.add per_key key w;
+            w
+    in
+    fun (t : Tuple.t) ->
+      match Window.push (window_for t.Tuple.key) (Tuple.value t spec.index) with
+      | None -> []
+      | Some values ->
+          [
+            Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
+              [| aggregate values |];
+          ]
+  in
+  Behavior.make ~state_kind
+    ~input_selectivity:(float_of_int spec.slide)
+    ~name:
+      (Printf.sprintf "%s_w%d_s%d%s" name spec.length spec.slide
+         (if spec.per_key then "_bykey" else ""))
+    fresh
+
+let sum ?spec () = fold ?spec ~name:"sum" (List.fold_left ( +. ) 0.0)
+
+let max_agg ?spec () =
+  fold ?spec ~name:"max" (fun vs -> List.fold_left Float.max neg_infinity vs)
+
+let min_agg ?spec () =
+  fold ?spec ~name:"min" (fun vs -> List.fold_left Float.min infinity vs)
+
+let mean ?spec () =
+  fold ?spec ~name:"mean" (fun vs ->
+      List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+
+let weighted_moving_average ?spec () =
+  fold ?spec ~name:"wma" (fun vs ->
+      (* Oldest first: weight i+1 for the i-th element. *)
+      let num, den =
+        List.fold_left
+          (fun (num, den, i) v -> (num +. (v *. float_of_int i), den +. float_of_int i, i + 1))
+          (0.0, 0.0, 1) vs
+        |> fun (num, den, _) -> (num, den)
+      in
+      num /. den)
+
+let quantile ?spec ~q () =
+  if q < 0.0 || q > 1.0 then invalid_arg "Window_ops.quantile: q out of range";
+  fold ?spec
+    ~name:(Printf.sprintf "quantile_%g" q)
+    (fun vs ->
+      let a = Array.of_list vs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = q *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then a.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo))))

@@ -1,0 +1,33 @@
+(** Count-based sliding-window aggregations (the evaluation's "stateful
+    operators based on count-based windows": weighted moving average, sum,
+    max, min and quantiles).
+
+    Every constructor takes the window [length] and [slide]; the resulting
+    behavior has input selectivity [slide]. With [~per_key:true] the window
+    is maintained per partitioning key and the behavior is classified
+    partitioned-stateful (replicable by key assignment); otherwise a single
+    global window makes it stateful. The aggregate is computed over the
+    [index]-th value and emitted as a single-value tuple carrying the
+    triggering tuple's key and timestamp. *)
+
+type spec = { length : int; slide : int; index : int; per_key : bool }
+
+val default_spec : spec
+(** 1000-tuple windows sliding every 10 tuples over value 0, global. *)
+
+val sum : ?spec:spec -> unit -> Behavior.t
+val max_agg : ?spec:spec -> unit -> Behavior.t
+val min_agg : ?spec:spec -> unit -> Behavior.t
+val mean : ?spec:spec -> unit -> Behavior.t
+
+val weighted_moving_average : ?spec:spec -> unit -> Behavior.t
+(** Linearly decaying weights: the newest element weighs [length], the
+    oldest 1. *)
+
+val quantile : ?spec:spec -> q:float -> unit -> Behavior.t
+(** Exact order-statistic quantile, [q] in [\[0, 1\]] (sort per firing, as a
+    realistic medium-cost aggregate). @raise Invalid_argument on a [q]
+    outside the unit interval. *)
+
+val fold : ?spec:spec -> name:string -> (float list -> float) -> Behavior.t
+(** General aggregate over the windowed values, for custom operators. *)

@@ -1,0 +1,1 @@
+lib/placement/cluster.mli:

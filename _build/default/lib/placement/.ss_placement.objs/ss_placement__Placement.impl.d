@@ -1,0 +1,1 @@
+lib/placement/placement.ml: Array Cluster Format Fun List Operator Ss_core Ss_topology Steady_state Topology

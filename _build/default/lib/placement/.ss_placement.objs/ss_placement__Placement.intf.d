@@ -1,0 +1,1 @@
+lib/placement/placement.mli: Cluster Format Ss_core Ss_topology

@@ -1,0 +1,32 @@
+type node = { node_name : string; cores : int }
+
+type t = {
+  node_list : node array;
+  overhead : float;
+  latency : float;
+}
+
+let create ?(send_overhead = 20e-6) ?(link_latency = 200e-6) nodes =
+  if nodes = [] then invalid_arg "Cluster.create: no nodes";
+  List.iter
+    (fun n ->
+      if n.cores < 1 then
+        invalid_arg (Printf.sprintf "Cluster.create: node %S has no cores" n.node_name))
+    nodes;
+  if send_overhead < 0.0 || link_latency < 0.0 then
+    invalid_arg "Cluster.create: negative network cost";
+  { node_list = Array.of_list nodes; overhead = send_overhead; latency = link_latency }
+
+let nodes t = Array.copy t.node_list
+let size t = Array.length t.node_list
+let send_overhead t = t.overhead
+let link_latency t = t.latency
+
+let total_cores t =
+  Array.fold_left (fun acc n -> acc + n.cores) 0 t.node_list
+
+let capacity t i = float_of_int t.node_list.(i).cores
+
+let homogeneous ?send_overhead ?link_latency ~nodes ~cores () =
+  create ?send_overhead ?link_latency
+    (List.init nodes (fun i -> { node_name = Printf.sprintf "node%d" i; cores }))

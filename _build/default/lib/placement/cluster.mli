@@ -1,0 +1,43 @@
+(** Execution clusters for operator placement.
+
+    The paper separates concerns: SpinStreams restructures the topology, and
+    "placement decisions ... are responsibility of the SPS once the
+    optimized topology has been built" (§6). This module supplies the
+    cluster model that the {!Placement} strategies target: homogeneous
+    multi-core nodes connected by a uniform network.
+
+    The network cost model has two components:
+    - [send_overhead]: CPU seconds the {e sending} operator spends per item
+      crossing node boundaries (serialization + kernel); it inflates the
+      sender's service time and therefore affects throughput;
+    - [link_latency]: one-way propagation seconds per crossing; it affects
+      end-to-end latency only. *)
+
+type node = {
+  node_name : string;
+  cores : int;  (** Sequential executors available on the node. *)
+}
+
+type t
+
+val create :
+  ?send_overhead:float ->
+  ?link_latency:float ->
+  node list ->
+  t
+(** Defaults: [send_overhead = 20e-6] (20 µs per remote item),
+    [link_latency = 200e-6]. @raise Invalid_argument on an empty node list
+    or a node without cores. *)
+
+val nodes : t -> node array
+val size : t -> int
+val send_overhead : t -> float
+val link_latency : t -> float
+val total_cores : t -> int
+val capacity : t -> int -> float
+(** Work capacity of a node in executor-seconds per second = its cores. *)
+
+val homogeneous : ?send_overhead:float -> ?link_latency:float ->
+  nodes:int -> cores:int -> unit -> t
+(** [homogeneous ~nodes ~cores ()] builds [nodes] identical nodes named
+    ["node0" ...]. *)

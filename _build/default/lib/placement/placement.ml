@@ -1,0 +1,175 @@
+open Ss_topology
+open Ss_core
+
+type assignment = int array
+
+type evaluation = {
+  placed : Topology.t;
+  analysis : Steady_state.t;
+  node_load : float array;
+  inter_node_rate : float;
+  added_latency : float;
+}
+
+(* Executor-seconds per second each vertex consumes at the given steady
+   state (independent of its replica count: every item costs one service
+   time on some replica). *)
+let vertex_work topology (analysis : Steady_state.t) v =
+  analysis.Steady_state.metrics.(v).Steady_state.arrival_rate
+  *. (Topology.operator topology v).Operator.service_time
+
+let edge_rates topology (analysis : Steady_state.t) =
+  List.map
+    (fun (u, v, p) ->
+      ( u,
+        v,
+        analysis.Steady_state.metrics.(u).Steady_state.departure_rate *. p ))
+    (Topology.edges topology)
+
+let round_robin cluster topology =
+  Array.init (Topology.size topology) (fun v -> v mod Cluster.size cluster)
+
+let load_aware cluster topology =
+  let analysis = Steady_state.analyze topology in
+  let n = Topology.size topology in
+  let order = List.init n Fun.id in
+  let order =
+    List.sort
+      (fun a b ->
+        compare (vertex_work topology analysis b) (vertex_work topology analysis a))
+      order
+  in
+  let loads = Array.make (Cluster.size cluster) 0.0 in
+  let assignment = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let work = vertex_work topology analysis v in
+      (* First fit into a node with spare capacity; least loaded overall as
+         the fallback when nothing fits. *)
+      let target = ref (-1) in
+      for m = 0 to Cluster.size cluster - 1 do
+        if !target < 0 && loads.(m) +. work <= Cluster.capacity cluster m +. 1e-12
+        then target := m
+      done;
+      let target =
+        if !target >= 0 then !target
+        else begin
+          let least = ref 0 in
+          for m = 1 to Cluster.size cluster - 1 do
+            if loads.(m) < loads.(!least) then least := m
+          done;
+          !least
+        end
+      in
+      assignment.(v) <- target;
+      loads.(target) <- loads.(target) +. work)
+    order;
+  assignment
+
+let communication_aware ?(max_moves = 1000) cluster topology =
+  let analysis = Steady_state.analyze topology in
+  let assignment = load_aware cluster topology in
+  let n = Topology.size topology in
+  let loads = Array.make (Cluster.size cluster) 0.0 in
+  Array.iteri
+    (fun v m -> loads.(m) <- loads.(m) +. vertex_work topology analysis v)
+    assignment;
+  let rates = edge_rates topology analysis in
+  (* Crossing data-rate change if vertex [v] moved to node [m]. *)
+  let move_gain v m =
+    List.fold_left
+      (fun acc (a, b, rate) ->
+        if a = v || b = v then begin
+          let other = if a = v then assignment.(b) else assignment.(a) in
+          let before = if assignment.(v) <> other then rate else 0.0 in
+          let after = if m <> other then rate else 0.0 in
+          acc +. (before -. after)
+        end
+        else acc)
+      0.0 rates
+  in
+  let moves = ref 0 in
+  let improved = ref true in
+  while !improved && !moves < max_moves do
+    improved := false;
+    let best = ref None in
+    for v = 0 to n - 1 do
+      let work = vertex_work topology analysis v in
+      for m = 0 to Cluster.size cluster - 1 do
+        if m <> assignment.(v) then begin
+          let fits = loads.(m) +. work <= Cluster.capacity cluster m +. 1e-12 in
+          let gain = move_gain v m in
+          if fits && gain > 1e-9 then
+            match !best with
+            | Some (_, _, g) when g >= gain -> ()
+            | _ -> best := Some (v, m, gain)
+        end
+      done
+    done;
+    match !best with
+    | Some (v, m, _) ->
+        loads.(assignment.(v)) <-
+          loads.(assignment.(v)) -. vertex_work topology analysis v;
+        loads.(m) <- loads.(m) +. vertex_work topology analysis v;
+        assignment.(v) <- m;
+        incr moves;
+        improved := true
+    | None -> ()
+  done;
+  assignment
+
+let evaluate cluster topology assignment =
+  let n = Topology.size topology in
+  if Array.length assignment <> n then
+    invalid_arg "Placement.evaluate: assignment size mismatch";
+  Array.iter
+    (fun m ->
+      if m < 0 || m >= Cluster.size cluster then
+        invalid_arg "Placement.evaluate: unknown node in assignment")
+    assignment;
+  (* Fold the per-item sending overhead of crossing edges into the sending
+     operators' service times. *)
+  let overhead = Cluster.send_overhead cluster in
+  let placed =
+    Topology.map_operators topology (fun v op ->
+        let crossing_prob =
+          List.fold_left
+            (fun acc (w, p) ->
+              if assignment.(w) <> assignment.(v) then acc +. p else acc)
+            0.0 (Topology.succs topology v)
+        in
+        if crossing_prob = 0.0 then op
+        else
+          let extra =
+            overhead *. crossing_prob *. Operator.selectivity_factor op
+          in
+          Operator.with_service_time op (op.Operator.service_time +. extra))
+  in
+  let analysis = Steady_state.analyze placed in
+  let node_load = Array.make (Cluster.size cluster) 0.0 in
+  Array.iteri
+    (fun v m -> node_load.(m) <- node_load.(m) +. vertex_work placed analysis v)
+    assignment;
+  let inter_node_rate =
+    List.fold_left
+      (fun acc (u, v, rate) ->
+        if assignment.(u) <> assignment.(v) then acc +. rate else acc)
+      0.0
+      (edge_rates placed analysis)
+  in
+  let added_latency =
+    if analysis.Steady_state.throughput > 0.0 then
+      Cluster.link_latency cluster *. inter_node_rate
+      /. analysis.Steady_state.throughput
+    else 0.0
+  in
+  { placed; analysis; node_load; inter_node_rate; added_latency }
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf
+    "@[<v>placement: throughput %.1f items/s, inter-node %.1f items/s, +%.3f \
+     ms latency@,node load:"
+    e.analysis.Steady_state.throughput e.inter_node_rate
+    (e.added_latency *. 1e3);
+  Array.iteri (fun i l -> Format.fprintf ppf " n%d=%.2f" i l) e.node_load;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Operator placement strategies and their evaluation under the
+    SpinStreams cost model.
+
+    A placement maps every vertex (with all its replicas) to a cluster node.
+    Crossing an edge between nodes costs the sender CPU time per item
+    ({!Cluster.send_overhead}), which this module folds into the sending
+    operator's service time before re-running the steady-state analysis —
+    so a communication-oblivious placement can visibly lose throughput.
+
+    Strategies:
+    - {!round_robin}: vertices dealt to nodes in id order (the naive
+      default of many SPSs);
+    - {!load_aware}: first-fit decreasing by the operator's steady-state
+      work ([lambda * T]), balancing executor load;
+    - {!communication_aware}: starts from {!load_aware} and greedily moves
+      single vertices while this reduces the inter-node data rate without
+      overloading any node — the static analog of placement optimizers
+      such as the one of Cardellini et al. the paper cites. *)
+
+type assignment = int array
+(** [assignment.(v)] is the node index hosting vertex [v] (all replicas). *)
+
+type evaluation = {
+  placed : Ss_topology.Topology.t;
+      (** Topology with network overhead folded into sender service times. *)
+  analysis : Ss_core.Steady_state.t;  (** Steady state of [placed]. *)
+  node_load : float array;
+      (** Executor-seconds per second used on each node at the achieved
+          rates (compare against {!Cluster.capacity}). *)
+  inter_node_rate : float;  (** Items crossing node boundaries per second. *)
+  added_latency : float;
+      (** Expected extra end-to-end propagation delay per source item:
+          link latency times the expected number of crossings. *)
+}
+
+val round_robin : Cluster.t -> Ss_topology.Topology.t -> assignment
+val load_aware : Cluster.t -> Ss_topology.Topology.t -> assignment
+
+val communication_aware :
+  ?max_moves:int -> Cluster.t -> Ss_topology.Topology.t -> assignment
+(** [max_moves] bounds the local search (default 1000). *)
+
+val evaluate :
+  Cluster.t -> Ss_topology.Topology.t -> assignment -> evaluation
+(** @raise Invalid_argument if the assignment length differs from the
+    topology size or references an unknown node. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit

@@ -1,0 +1,1 @@
+lib/prelude/discrete.ml: Array Float Format Rng

@@ -1,0 +1,1 @@
+lib/prelude/discrete.mli: Format Rng

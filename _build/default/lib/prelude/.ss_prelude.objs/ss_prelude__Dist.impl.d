@@ -1,0 +1,1 @@
+lib/prelude/dist.ml: Float Format Printf Result Rng String

@@ -1,0 +1,37 @@
+(** Finite discrete probability distributions.
+
+    Used for edge routing probabilities and partitioning-key frequencies
+    (the paper draws both from Zipf laws with random skew). *)
+
+type t
+(** A distribution over indices [0 .. support - 1]. *)
+
+val of_weights : float array -> t
+(** Normalizes non-negative weights; at least one must be positive. *)
+
+val uniform : int -> t
+(** [uniform n] over [n >= 1] outcomes. *)
+
+val zipf : alpha:float -> int -> t
+(** [zipf ~alpha n]: probability of rank [k] (0-based) proportional to
+    [1 / (k+1)^alpha]. Requires [n >= 1]; [alpha] may be any float
+    (0 gives uniform). *)
+
+val support : t -> int
+
+val prob : t -> int -> float
+(** Probability of outcome [i]. *)
+
+val probs : t -> float array
+(** Copy of the probability vector (sums to 1). *)
+
+val sample : Rng.t -> t -> int
+(** Draw an outcome by binary search on the cumulative vector, O(log n). *)
+
+val max_prob : t -> float
+(** Largest single-outcome probability (skew indicator). *)
+
+val entropy : t -> float
+(** Shannon entropy in bits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type t =
+  | Deterministic of float
+  | Uniform of float * float
+  | Exponential of float
+  | Normal of float * float
+  | Erlang of int * float
+
+let mean = function
+  | Deterministic x -> x
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.0
+  | Exponential m -> m
+  | Normal (m, _) -> m
+  | Erlang (_, m) -> m
+
+let variance = function
+  | Deterministic _ -> 0.0
+  | Uniform (lo, hi) ->
+      let d = hi -. lo in
+      d *. d /. 12.0
+  | Exponential m -> m *. m
+  | Normal (_, s) -> s *. s
+  | Erlang (k, m) ->
+      let lambda_stage = float_of_int k /. m in
+      float_of_int k /. (lambda_stage *. lambda_stage)
+
+let sample_exponential rng mean =
+  let u = Rng.float rng in
+  (* u is in [0,1); 1-u is in (0,1] so log never sees zero. *)
+  -.mean *. log (1.0 -. u)
+
+(* Box–Muller transform; one value per call keeps the generator stateless. *)
+let sample_standard_normal rng =
+  let u1 = 1.0 -. Rng.float rng in
+  let u2 = Rng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let sample rng t =
+  let raw =
+    match t with
+    | Deterministic x -> x
+    | Uniform (lo, hi) -> Rng.float_in_range rng lo hi
+    | Exponential m -> sample_exponential rng m
+    | Normal (m, s) -> m +. (s *. sample_standard_normal rng)
+    | Erlang (k, m) ->
+        let stage_mean = m /. float_of_int k in
+        let rec go i acc =
+          if i = 0 then acc else go (i - 1) (acc +. sample_exponential rng stage_mean)
+        in
+        go k 0.0
+  in
+  Float.max 0.0 raw
+
+let scale f = function
+  | Deterministic x -> Deterministic (f *. x)
+  | Uniform (lo, hi) -> Uniform (f *. lo, f *. hi)
+  | Exponential m -> Exponential (f *. m)
+  | Normal (m, s) -> Normal (f *. m, f *. s)
+  | Erlang (k, m) -> Erlang (k, f *. m)
+
+let pp ppf = function
+  | Deterministic x -> Format.fprintf ppf "det:%g" x
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform:%g:%g" lo hi
+  | Exponential m -> Format.fprintf ppf "exp:%g" m
+  | Normal (m, s) -> Format.fprintf ppf "normal:%g:%g" m s
+  | Erlang (k, m) -> Format.fprintf ppf "erlang:%d:%g" k m
+
+(* Unlike [pp] (display-oriented), [to_string] must round-trip floats
+   exactly through [of_string]. *)
+let to_string = function
+  | Deterministic x -> Printf.sprintf "det:%.17g" x
+  | Uniform (lo, hi) -> Printf.sprintf "uniform:%.17g:%.17g" lo hi
+  | Exponential m -> Printf.sprintf "exp:%.17g" m
+  | Normal (m, s) -> Printf.sprintf "normal:%.17g:%.17g" m s
+  | Erlang (k, m) -> Printf.sprintf "erlang:%d:%.17g" k m
+
+let of_string s =
+  let float_field name v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "invalid %s %S in distribution" name v)
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ x ] -> Result.map (fun f -> Deterministic f) (float_field "value" x)
+  | [ "det"; x ] -> Result.map (fun f -> Deterministic f) (float_field "value" x)
+  | [ "exp"; m ] -> Result.map (fun f -> Exponential f) (float_field "mean" m)
+  | [ "uniform"; lo; hi ] -> (
+      match (float_field "lo" lo, float_field "hi" hi) with
+      | Ok lo, Ok hi when lo <= hi -> Ok (Uniform (lo, hi))
+      | Ok lo, Ok hi ->
+          Error (Printf.sprintf "uniform bounds out of order: %g > %g" lo hi)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | [ "normal"; m; s ] -> (
+      match (float_field "mean" m, float_field "stddev" s) with
+      | Ok m, Ok s -> Ok (Normal (m, s))
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | [ "erlang"; k; m ] -> (
+      match (int_of_string_opt k, float_field "mean" m) with
+      | Some k, Ok m when k > 0 -> Ok (Erlang (k, m))
+      | Some _, Ok _ -> Error "erlang stage count must be positive"
+      | None, _ -> Error (Printf.sprintf "invalid stage count %S" k)
+      | _, Error e -> Error e)
+  | _ -> Error (Printf.sprintf "unknown distribution syntax %S" s)

@@ -1,0 +1,37 @@
+(** Continuous probability distributions for service times and
+    inter-arrival times.
+
+    All times are expressed in seconds. Sampling never returns a negative
+    value: distributions with support below zero are truncated at zero. *)
+
+type t =
+  | Deterministic of float  (** Constant value. *)
+  | Uniform of float * float  (** [Uniform (lo, hi)], requires [lo <= hi]. *)
+  | Exponential of float  (** [Exponential mean]. *)
+  | Normal of float * float
+      (** [Normal (mean, stddev)], truncated at zero when sampling. *)
+  | Erlang of int * float
+      (** [Erlang (k, mean)]: sum of [k] exponential stages with total
+          mean [mean]. Lower variance than [Exponential mean]. *)
+
+val mean : t -> float
+(** Analytical mean (of the untruncated distribution). *)
+
+val variance : t -> float
+(** Analytical variance (of the untruncated distribution). *)
+
+val sample : Rng.t -> t -> float
+(** Draw one value; clamped to be non-negative. *)
+
+val scale : float -> t -> t
+(** [scale f d] multiplies the distribution by the constant [f > 0]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse the textual forms used in topology XML files:
+    ["det:0.5"], ["uniform:0.1:0.3"], ["exp:0.5"], ["normal:0.5:0.1"],
+    ["erlang:4:0.5"]. A bare float is read as [Deterministic]. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}. *)

@@ -1,0 +1,58 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty array";
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty array";
+  Array.fold_left Float.max xs.(0) xs
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile 50.0 xs
+
+let relative_error ~expected ~actual =
+  if expected = 0.0 then if actual = 0.0 then 0.0 else infinity
+  else Float.abs (actual -. expected) /. Float.abs expected
+
+module Acc = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+  let stddev t = sqrt (variance t)
+end

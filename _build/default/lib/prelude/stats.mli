@@ -1,0 +1,38 @@
+(** Descriptive statistics over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : float array -> float
+
+val minimum : float array -> float
+(** Requires a non-empty array. *)
+
+val maximum : float array -> float
+(** Requires a non-empty array. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics. Requires a non-empty array. Does not mutate [xs]. *)
+
+val median : float array -> float
+
+val relative_error : expected:float -> actual:float -> float
+(** [|actual - expected| / |expected|]; when [expected = 0], returns 0 if
+    [actual] is also 0 and [infinity] otherwise. *)
+
+(** Streaming accumulator (Welford) for mean/variance without storing
+    samples. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Atomic Behavior Discrete Domain Float Hashtbl List Mailbox Operator Printf Rng Ss_core Ss_operators Ss_prelude Ss_topology Topology Tuple Unix

@@ -1,0 +1,377 @@
+open Ss_prelude
+open Ss_topology
+open Ss_operators
+
+type metrics = {
+  elapsed : float;
+  consumed : int array;
+  produced : int array;
+  source_rate : float;
+}
+
+type router = Tuple.t -> int
+type msg = Data of Tuple.t | Eos
+
+let source_of_list items =
+  let rest = ref items in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some x
+
+let source_of_fn ~count f =
+  let i = ref 0 in
+  fun () ->
+    if !i >= count then None
+    else begin
+      let t = f !i in
+      incr i;
+      Some t
+    end
+
+(* An actor body is a closure run on its own domain. The runtime caps the
+   actor count below the OCaml domain limit. *)
+let max_actors = 110
+
+let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
+    ?(seed = 42) ~source ~registry topology =
+  let n = Topology.size topology in
+  let src = Topology.source topology in
+  if (Topology.operator topology src).Operator.replicas <> 1 then
+    invalid_arg "Executor.run: the source operator cannot be replicated";
+  List.iter
+    (fun v ->
+      let op = Topology.operator topology v in
+      if op.Operator.kind <> Operator.Stateless || op.Operator.replicas < 2 then
+        invalid_arg
+          (Printf.sprintf
+             "Executor.run: ordered fission requires a replicated stateless \
+              operator (vertex %d)"
+             v))
+    ordered;
+  (* Fused groups: disjoint, legal, source excluded. *)
+  let group_of = Array.make n (-1) in
+  let fronts = Array.of_list (List.map (fun _ -> -1) fused) in
+  List.iteri
+    (fun gi vs ->
+      (match Topology.front_end_of topology vs with
+      | Ok fe -> fronts.(gi) <- fe
+      | Error e -> invalid_arg ("Executor.run: illegal fused group: " ^ e));
+      List.iter
+        (fun v ->
+          if group_of.(v) <> -1 then
+            invalid_arg "Executor.run: overlapping fused groups";
+          group_of.(v) <- gi)
+        vs)
+    fused;
+  let entry_vertex v = if group_of.(v) >= 0 then fronts.(group_of.(v)) else v in
+  let is_entry v = v <> src && entry_vertex v = v in
+  (* One entry mailbox per deployed unit. *)
+  let entry_mailbox = Array.make n None in
+  for v = 0 to n - 1 do
+    if is_entry v then
+      entry_mailbox.(v) <- Some (Mailbox.create ~capacity:mailbox_capacity)
+  done;
+  let mailbox_of v =
+    match entry_mailbox.(entry_vertex v) with
+    | Some mb -> mb
+    | None -> assert false
+  in
+  (* Expected end-of-stream markers per entry vertex: one per distinct
+     upstream unit. *)
+  let expected_eos v =
+    Topology.preds topology v
+    |> List.map (fun (u, _) -> entry_vertex u)
+    |> List.sort_uniq compare |> List.length
+  in
+  let consumed = Array.init n (fun _ -> Atomic.make 0) in
+  let produced = Array.init n (fun _ -> Atomic.make 0) in
+  (* Successor choice for items leaving vertex [v]: a user router or a
+     probabilistic sample over the out-edges. Returns the successor vertex. *)
+  let chooser v rng =
+    let out = Topology.succs topology v in
+    match out with
+    | [] -> fun _ -> None
+    | edges -> (
+        let dests = Array.of_list (List.map fst edges) in
+        match List.assoc_opt v routers with
+        | Some router ->
+            fun t ->
+              let i = router t in
+              if i < 0 || i >= Array.length dests then
+                invalid_arg
+                  (Printf.sprintf
+                     "Executor: router of vertex %d chose successor %d of %d" v
+                     i (Array.length dests))
+              else Some dests.(i)
+        | None ->
+            let dist = Discrete.of_weights (Array.of_list (List.map snd edges)) in
+            fun _ -> Some dests.(Discrete.sample rng dist))
+  in
+  (* Distinct destination mailboxes used by a set of (external) successor
+     vertices; Eos is broadcast to each exactly once. *)
+  let eos_targets vertices =
+    vertices
+    |> List.map entry_vertex
+    |> List.sort_uniq compare
+    |> List.map (fun v -> mailbox_of v)
+  in
+  let external_succs v =
+    Topology.succs topology v |> List.map fst
+    |> List.filter (fun w -> group_of.(w) < 0 || group_of.(w) <> group_of.(v))
+  in
+  let bodies = ref [] in
+  let add_body b = bodies := b :: !bodies in
+
+  (* --- source actor ------------------------------------------------ *)
+  let () =
+    let rng = Rng.create seed in
+    let choose = chooser src rng in
+    add_body (fun () ->
+        let rec loop () =
+          match source () with
+          | Some t -> (
+              Atomic.incr produced.(src);
+              match choose t with
+              | Some dest -> Mailbox.put (mailbox_of dest) (Data t); loop ()
+              | None -> loop ())
+          | None ->
+              List.iter (fun mb -> Mailbox.put mb Eos)
+                (eos_targets (external_succs src))
+        in
+        loop ())
+  in
+
+  (* --- per-vertex units -------------------------------------------- *)
+  for v = 0 to n - 1 do
+    if v <> src && group_of.(v) < 0 then begin
+      let op = Topology.operator topology v in
+      let behavior = registry v in
+      let inbox = mailbox_of v in
+      let expected = expected_eos v in
+      if op.Operator.replicas = 1 then begin
+        (* Standard operator: one actor (paper §4.2, standard case). *)
+        let rng = Rng.create (seed + (7919 * (v + 1))) in
+        let choose = chooser v rng in
+        let fn = Behavior.instantiate behavior in
+        add_body (fun () ->
+            let eos = ref 0 in
+            while !eos < expected do
+              match Mailbox.take inbox with
+              | Eos -> incr eos
+              | Data t ->
+                  Atomic.incr consumed.(v);
+                  List.iter
+                    (fun out ->
+                      Atomic.incr produced.(v);
+                      match choose out with
+                      | Some dest -> Mailbox.put (mailbox_of dest) (Data out)
+                      | None -> ())
+                    (fn t)
+            done;
+            List.iter (fun mb -> Mailbox.put mb Eos)
+              (eos_targets (external_succs v)))
+      end
+      else if List.mem v ordered then begin
+        (* Order-preserving pipelined fission (paper §2): the emitter deals
+           inputs round-robin; each worker forwards one {e batch} of results
+           per input (possibly empty, for selectivity); the collector pops
+           worker queues in the same round-robin order, reconstructing the
+           exact arrival order. *)
+        let replicas = op.Operator.replicas in
+        let worker_mb =
+          Array.init replicas (fun _ -> Mailbox.create ~capacity:mailbox_capacity)
+        in
+        let out_mb =
+          Array.init replicas (fun _ -> Mailbox.create ~capacity:mailbox_capacity)
+        in
+        add_body (fun () ->
+            let eos = ref 0 in
+            let rr = ref 0 in
+            while !eos < expected do
+              match Mailbox.take inbox with
+              | Eos -> incr eos
+              | Data t ->
+                  Mailbox.put worker_mb.(!rr mod replicas) (Data t);
+                  incr rr
+            done;
+            Array.iter (fun mb -> Mailbox.put mb Eos) worker_mb);
+        for r = 0 to replicas - 1 do
+          let fn = Behavior.instantiate behavior in
+          add_body (fun () ->
+              let continue = ref true in
+              while !continue do
+                match Mailbox.take worker_mb.(r) with
+                | Eos ->
+                    Mailbox.put out_mb.(r) None;
+                    continue := false
+                | Data t ->
+                    Atomic.incr consumed.(v);
+                    let outs = fn t in
+                    List.iter (fun _ -> Atomic.incr produced.(v)) outs;
+                    Mailbox.put out_mb.(r) (Some outs)
+              done)
+        done;
+        let rng = Rng.create (seed + (104729 * (v + 1))) in
+        let choose = chooser v rng in
+        add_body (fun () ->
+            let forward t =
+              match choose t with
+              | Some dest -> Mailbox.put (mailbox_of dest) (Data t)
+              | None -> ()
+            in
+            let rec collect c =
+              match Mailbox.take out_mb.(c mod replicas) with
+              | Some outs ->
+                  List.iter forward outs;
+                  collect (c + 1)
+              | None ->
+                  (* The round-robin deal is sequential: the first exhausted
+                     worker marks the end; the rest only hold their marker. *)
+                  for r = 1 to replicas - 1 do
+                    match Mailbox.take out_mb.((c + r) mod replicas) with
+                    | None -> ()
+                    | Some _ -> assert false
+                  done
+            in
+            collect 0;
+            List.iter (fun mb -> Mailbox.put mb Eos)
+              (eos_targets (external_succs v)))
+      end
+      else begin
+        (* Parallel operator: emitter, replicas, collector (§4.2). *)
+        let replicas = op.Operator.replicas in
+        let worker_mb =
+          Array.init replicas (fun _ -> Mailbox.create ~capacity:mailbox_capacity)
+        in
+        let collector_mb = Mailbox.create ~capacity:mailbox_capacity in
+        let route_to_replica =
+          match op.Operator.kind with
+          | Operator.Partitioned_stateful keys ->
+              let groups = Ss_core.Key_partitioning.groups_for ~keys ~replicas in
+              let support = Discrete.support keys in
+              fun (t : Tuple.t) rr ->
+                ignore rr;
+                groups.((t.Tuple.key mod support + support) mod support)
+          | Operator.Stateless | Operator.Stateful ->
+              fun _ rr -> rr mod replicas
+        in
+        (* emitter *)
+        add_body (fun () ->
+            let eos = ref 0 in
+            let rr = ref 0 in
+            while !eos < expected do
+              match Mailbox.take inbox with
+              | Eos -> incr eos
+              | Data t ->
+                  let r = route_to_replica t !rr in
+                  incr rr;
+                  Mailbox.put worker_mb.(r) (Data t)
+            done;
+            Array.iter (fun mb -> Mailbox.put mb Eos) worker_mb);
+        (* workers *)
+        for r = 0 to replicas - 1 do
+          let fn = Behavior.instantiate behavior in
+          add_body (fun () ->
+              let continue = ref true in
+              while !continue do
+                match Mailbox.take worker_mb.(r) with
+                | Eos ->
+                    Mailbox.put collector_mb Eos;
+                    continue := false
+                | Data t ->
+                    Atomic.incr consumed.(v);
+                    List.iter
+                      (fun out ->
+                        Atomic.incr produced.(v);
+                        Mailbox.put collector_mb (Data out))
+                      (fn t)
+              done)
+        done;
+        (* collector *)
+        let rng = Rng.create (seed + (104729 * (v + 1))) in
+        let choose = chooser v rng in
+        add_body (fun () ->
+            let eos = ref 0 in
+            while !eos < replicas do
+              match Mailbox.take collector_mb with
+              | Eos -> incr eos
+              | Data t -> (
+                  match choose t with
+                  | Some dest -> Mailbox.put (mailbox_of dest) (Data t)
+                  | None -> ())
+            done;
+            List.iter (fun mb -> Mailbox.put mb Eos)
+              (eos_targets (external_succs v)))
+      end
+    end
+  done;
+
+  (* --- meta-operators (Algorithm 4) -------------------------------- *)
+  List.iteri
+    (fun gi members ->
+      let front = fronts.(gi) in
+      let inbox = mailbox_of front in
+      let expected = expected_eos front in
+      let rng = Rng.create (seed + (15485863 * (gi + 1))) in
+      let fns = Hashtbl.create 8 in
+      List.iter
+        (fun v -> Hashtbl.replace fns v (Behavior.instantiate (registry v)))
+        members;
+      let choosers = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace choosers v (chooser v rng)) members;
+      let all_external =
+        List.concat_map
+          (fun v ->
+            List.filter
+              (fun w -> group_of.(w) <> gi)
+              (List.map fst (Topology.succs topology v)))
+          members
+      in
+      (* Algorithm 4: follow each result through the sub-graph until it
+         exits; the sub-graph is acyclic so the walk terminates. *)
+      let rec process v t =
+        Atomic.incr consumed.(v);
+        let fn = Hashtbl.find fns v in
+        let choose = Hashtbl.find choosers v in
+        List.iter
+          (fun out ->
+            Atomic.incr produced.(v);
+            match choose out with
+            | Some dest ->
+                if group_of.(dest) = gi then process dest out
+                else Mailbox.put (mailbox_of dest) (Data out)
+            | None -> ())
+          (fn t)
+      in
+      add_body (fun () ->
+          let eos = ref 0 in
+          while !eos < expected do
+            match Mailbox.take inbox with
+            | Eos -> incr eos
+            | Data t -> process front t
+          done;
+          List.iter (fun mb -> Mailbox.put mb Eos) (eos_targets all_external)))
+    fused;
+
+  let bodies = List.rev !bodies in
+  if List.length bodies > max_actors then
+    invalid_arg
+      (Printf.sprintf
+         "Executor.run: %d actors exceed the domain budget of %d; reduce \
+          replicas or fuse operators"
+         (List.length bodies) max_actors);
+  let t0 = Unix.gettimeofday () in
+  let domains = List.map (fun body -> Domain.spawn body) bodies in
+  List.iter Domain.join domains;
+  let elapsed = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  let consumed = Array.map Atomic.get consumed in
+  let produced = Array.map Atomic.get produced in
+  {
+    elapsed;
+    consumed;
+    produced;
+    source_rate = float_of_int produced.(src) /. elapsed;
+  }

@@ -1,0 +1,65 @@
+(** Threaded actor runtime executing topologies on real tuples — the
+    repository's equivalent of the paper's SS2Akka layer (§4.2).
+
+    Each deployed unit is an actor running on its own thread with a bounded
+    blocking mailbox:
+    - an ordinary vertex becomes one actor applying its behavior function;
+    - a vertex with [n > 1] replicas becomes an emitter actor, [n] worker
+      actors (each with an independent behavior instance) and a collector
+      actor; stateless vertices shuffle round-robin, partitioned-stateful
+      vertices route by key through the same greedy key-group assignment the
+      optimizer uses;
+    - a fused group becomes a single {e meta-operator} actor executing the
+      paper's Algorithm 4: each input tuple is processed by the front-end
+      behavior and results travel the sub-graph inside the actor until they
+      exit.
+
+    Output items are routed to one successor, sampled with the topology's
+    edge probabilities (the paper's routing semantics); [router] overrides
+    this with content-based routing. Termination uses end-of-stream markers
+    counted per consumer. *)
+
+type metrics = {
+  elapsed : float;  (** Wall-clock seconds from start to full drain. *)
+  consumed : int array;
+      (** Per vertex: tuples processed by the vertex's behavior. *)
+  produced : int array;  (** Per vertex: tuples emitted by the behavior. *)
+  source_rate : float;  (** Source tuples per wall-clock second. *)
+}
+
+type router = Ss_operators.Tuple.t -> int
+(** Returns the index of the chosen successor in the vertex's out-edge list
+    (as given by [Topology.succs]). *)
+
+val run :
+  ?mailbox_capacity:int ->
+  ?fused:int list list ->
+  ?routers:(int * router) list ->
+  ?ordered:int list ->
+  ?seed:int ->
+  source:(unit -> Ss_operators.Tuple.t option) ->
+  registry:(int -> Ss_operators.Behavior.t) ->
+  Ss_topology.Topology.t ->
+  metrics
+(** [run ~source ~registry topology] deploys and executes the topology until
+    [source] returns [None] and every in-flight tuple has drained.
+
+    [registry v] supplies the behavior of vertex [v] (never called for the
+    source). [fused] lists disjoint vertex groups to execute as
+    meta-operators; each must be a legal fusion target
+    ({!Ss_topology.Topology.front_end_of}). [ordered] lists replicated
+    stateless vertices whose fission must preserve the arrival order
+    (paper §2): their emitter deals strictly round-robin and their
+    collector reassembles results in the same order, batching per input so
+    any selectivity is supported. [mailbox_capacity] defaults to 64.
+    @raise Invalid_argument on overlapping or illegal fused groups, a
+    replicated source, or an [ordered] vertex that is not replicated
+    stateless. *)
+
+val source_of_list : Ss_operators.Tuple.t list -> unit -> Ss_operators.Tuple.t option
+(** Stateful closure draining the list once. *)
+
+val source_of_fn :
+  count:int -> (int -> Ss_operators.Tuple.t) -> unit -> Ss_operators.Tuple.t option
+(** [source_of_fn ~count f] emits [f 0 .. f (count-1)] without materializing
+    the stream. *)

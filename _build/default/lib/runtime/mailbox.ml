@@ -1,0 +1,61 @@
+type 'a t = {
+  capacity : int;
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  {
+    capacity;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let capacity t = t.capacity
+
+let put t x =
+  Mutex.lock t.mutex;
+  while Queue.length t.queue >= t.capacity do
+    Condition.wait t.not_full t.mutex
+  done;
+  Queue.push x t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+let take t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let x = Queue.pop t.queue in
+  Condition.signal t.not_full;
+  Mutex.unlock t.mutex;
+  x
+
+let try_put t x =
+  Mutex.lock t.mutex;
+  let ok = Queue.length t.queue < t.capacity in
+  if ok then begin
+    Queue.push x t.queue;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  ok
+
+let try_take t =
+  Mutex.lock t.mutex;
+  let x = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  if x <> None then Condition.signal t.not_full;
+  Mutex.unlock t.mutex;
+  x
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,29 @@
+(** Bounded blocking mailboxes: the runtime's equivalent of Akka's
+    [BoundedMailbox] with a blocking producer (paper §5.1).
+
+    [put] blocks while the mailbox is full — this is the
+    Blocking-After-Service backpressure the cost model assumes. [take]
+    blocks while it is empty. Both are thread-safe; waiters are woken in an
+    unspecified but starvation-free order. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val put : 'a t -> 'a -> unit
+(** Enqueue, blocking while full. *)
+
+val take : 'a t -> 'a
+(** Dequeue, blocking while empty. *)
+
+val try_put : 'a t -> 'a -> bool
+(** Non-blocking enqueue; false when full. *)
+
+val try_take : 'a t -> 'a option
+(** Non-blocking dequeue; [None] when empty. *)
+
+val length : 'a t -> int
+(** Instantaneous occupancy (racy by nature; for monitoring only). *)

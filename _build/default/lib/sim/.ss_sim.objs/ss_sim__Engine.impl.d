@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Discrete Dist Float Heap List Operator Queue Rng Ss_core Ss_prelude Ss_topology Topology

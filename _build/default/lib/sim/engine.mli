@@ -1,0 +1,67 @@
+(** Discrete-event simulation of streaming topologies as queueing networks
+    with finite buffers and Blocking-After-Service semantics.
+
+    This is the repository's stand-in for the paper's Akka deployment: the
+    paper configured Akka with bounded blocking mailboxes and one thread per
+    actor, which is exactly the network simulated here. Every "measured"
+    number in the experiment reproductions comes from this engine.
+
+    Structure: each topology vertex becomes one station; a vertex with [n]
+    replicas becomes an {e emitter} station, [n] worker stations and a
+    {e collector} station (paper §4.2). Stations hold a bounded FIFO input
+    buffer. A station whose output finds the destination buffer full blocks
+    — it performs no further service — until the destination frees a slot
+    and wakes it, in FIFO order (BAS, paper §3). The source has an infinite
+    supply and is throttled only by backpressure.
+
+    Routing: edge probabilities are sampled per item; stateless replica
+    groups use round-robin; partitioned-stateful groups route by a key drawn
+    from the operator's key distribution through the same greedy key-group
+    assignment the cost model uses ({!Ss_core.Key_partitioning.groups_for}),
+    so measured skew matches predicted skew. Selectivity is simulated with a
+    deterministic credit counter whose long-run rate equals
+    [output_selectivity / input_selectivity] results per consumed item. *)
+
+type config = {
+  buffer_capacity : int;  (** Slots per station input buffer (default 16). *)
+  emitter_service_time : float;
+      (** Seconds per item spent by emitter stations (default 2e-6; the
+          paper measured "a few microseconds at most"). *)
+  collector_service_time : float;  (** Same for collectors (default 2e-6). *)
+  warmup : float;
+      (** Simulated seconds discarded before measuring (default 3). *)
+  measure : float;  (** Simulated seconds measured (default 15). *)
+  seed : int;  (** PRNG seed; equal seeds give identical runs. *)
+}
+
+val default_config : config
+
+type vertex_stats = {
+  arrival_rate : float;
+      (** Items entering the vertex (its emitter, when replicated) per
+          simulated second during the measurement window. *)
+  departure_rate : float;
+      (** Results produced by the vertex (its collector, when replicated)
+          per simulated second. *)
+  busy_fraction : float;
+      (** Fraction of the window the busiest worker replica spent serving
+          items: an estimate of the utilization factor. *)
+  mean_queue_length : float;
+      (** Time-averaged occupancy of the vertex's input buffer (its
+          emitter's, when replicated) during the measurement window. *)
+  mean_waiting_time : float;
+      (** Little's-law estimate of the buffering delay in seconds:
+          [mean_queue_length / arrival_rate]. *)
+}
+
+type result = {
+  stats : vertex_stats array;  (** Indexed by topology vertex. *)
+  throughput : float;
+      (** Departure rate of the source: items ingested per second. *)
+  simulated_time : float;  (** Total simulated seconds (warmup + measure). *)
+  events : int;  (** Number of completion events processed. *)
+}
+
+val run : ?config:config -> Ss_topology.Topology.t -> result
+(** Simulate the topology. Deterministic for a fixed config (seed included).
+    @raise Invalid_argument if the source operator is replicated. *)

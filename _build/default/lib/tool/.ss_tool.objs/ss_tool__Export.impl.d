@@ -1,0 +1,1 @@
+lib/tool/export.ml: Array Buffer Char Float Latency List Operator Printf Session Ss_core Ss_prelude Ss_sim Ss_topology Steady_state String Topology

@@ -1,0 +1,1 @@
+lib/tool/export.mli: Session Ss_core Ss_sim Ss_topology

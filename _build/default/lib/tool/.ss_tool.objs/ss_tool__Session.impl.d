@@ -1,0 +1,1 @@
+lib/tool/session.ml: Buffer Fission Format Fusion Latency List Multi_source Operator Printf Result Ss_codegen Ss_core Ss_sim Ss_topology Ss_xml Steady_state String Topology

@@ -1,0 +1,1 @@
+lib/tool/session.mli: Ss_core Ss_sim Ss_topology

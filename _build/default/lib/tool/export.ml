@@ -1,0 +1,210 @@
+open Ss_topology
+open Ss_core
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let number f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let to_string ?(indent = false) t =
+    let buf = Buffer.create 256 in
+    let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+    let newline () = if indent then Buffer.add_char buf '\n' in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (string_of_bool b)
+      | Num f -> Buffer.add_string buf (number f)
+      | Str s ->
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape s);
+          Buffer.add_char buf '"'
+      | Arr [] -> Buffer.add_string buf "[]"
+      | Arr items ->
+          Buffer.add_char buf '[';
+          newline ();
+          List.iteri
+            (fun i item ->
+              if i > 0 then begin
+                Buffer.add_char buf ',';
+                newline ()
+              end;
+              pad (depth + 1);
+              go (depth + 1) item)
+            items;
+          newline ();
+          pad depth;
+          Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+          Buffer.add_char buf '{';
+          newline ();
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then begin
+                Buffer.add_char buf ',';
+                newline ()
+              end;
+              pad (depth + 1);
+              Buffer.add_char buf '"';
+              Buffer.add_string buf (escape k);
+              Buffer.add_string buf "\": ";
+              go (depth + 1) v)
+            fields;
+          newline ();
+          pad depth;
+          Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+end
+
+(* CSV fields are quoted only when needed; operator names are simple but a
+   user-provided one could contain a comma. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_line fields = String.concat "," (List.map csv_field fields) ^ "\n"
+
+let kind_name (op : Operator.t) =
+  Operator.kind_to_string op.Operator.kind
+
+let steady_state_csv topology (analysis : Steady_state.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (csv_line
+       [
+         "vertex"; "operator"; "kind"; "replicas"; "service_ms";
+         "arrival_rate"; "departure_rate"; "utilization"; "bottleneck";
+       ]);
+  Array.iteri
+    (fun v (m : Steady_state.vertex_metrics) ->
+      let op = Topology.operator topology v in
+      Buffer.add_string buf
+        (csv_line
+           [
+             string_of_int v;
+             op.Operator.name;
+             kind_name op;
+             string_of_int op.Operator.replicas;
+             Printf.sprintf "%.6f" (op.Operator.service_time *. 1e3);
+             Printf.sprintf "%.3f" m.Steady_state.arrival_rate;
+             Printf.sprintf "%.3f" m.Steady_state.departure_rate;
+             Printf.sprintf "%.6f" m.Steady_state.utilization;
+             string_of_bool m.Steady_state.is_bottleneck;
+           ]))
+    analysis.Steady_state.metrics;
+  Buffer.contents buf
+
+let comparison_csv topology (analysis : Steady_state.t)
+    (measured : Ss_sim.Engine.result) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (csv_line
+       [
+         "vertex"; "operator"; "predicted_departure"; "measured_departure";
+         "relative_error"; "busy_fraction";
+       ]);
+  Array.iteri
+    (fun v (m : Steady_state.vertex_metrics) ->
+      let s = measured.Ss_sim.Engine.stats.(v) in
+      let err =
+        if m.Steady_state.departure_rate > 0.0 then
+          Ss_prelude.Stats.relative_error
+            ~expected:m.Steady_state.departure_rate
+            ~actual:s.Ss_sim.Engine.departure_rate
+        else 0.0
+      in
+      Buffer.add_string buf
+        (csv_line
+           [
+             string_of_int v;
+             (Topology.operator topology v).Operator.name;
+             Printf.sprintf "%.3f" m.Steady_state.departure_rate;
+             Printf.sprintf "%.3f" s.Ss_sim.Engine.departure_rate;
+             Printf.sprintf "%.6f" err;
+             Printf.sprintf "%.6f" s.Ss_sim.Engine.busy_fraction;
+           ]))
+    analysis.Steady_state.metrics;
+  Buffer.contents buf
+
+let latency_csv topology (latency : Latency.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (csv_line
+       [ "vertex"; "operator"; "waiting_ms"; "service_ms"; "visit_ratio"; "arrival_scv" ]);
+  Array.iteri
+    (fun v (l : Latency.vertex_latency) ->
+      Buffer.add_string buf
+        (csv_line
+           [
+             string_of_int v;
+             (Topology.operator topology v).Operator.name;
+             (if Float.is_finite l.Latency.waiting_time then
+                Printf.sprintf "%.6f" (l.Latency.waiting_time *. 1e3)
+              else "saturated");
+             Printf.sprintf "%.6f" (l.Latency.service_time *. 1e3);
+             Printf.sprintf "%.6f" l.Latency.visit_ratio;
+             Printf.sprintf "%.6f" l.Latency.arrival_scv;
+           ]))
+    latency.Latency.per_vertex;
+  Buffer.contents buf
+
+let session_json session =
+  let version_entry name =
+    let topology = Session.topology session ~version:name () in
+    let analysis = Steady_state.analyze topology in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("operators", Json.Num (float_of_int (Topology.size topology)));
+        ("edges", Json.Num (float_of_int (Topology.num_edges topology)));
+        ( "total_replicas",
+          Json.Num
+            (float_of_int
+               (Array.fold_left
+                  (fun acc (o : Operator.t) -> acc + o.Operator.replicas)
+                  0
+                  (Topology.operators topology))) );
+        ("throughput", Json.Num analysis.Steady_state.throughput);
+        ( "bottlenecks",
+          Json.Arr
+            (List.map
+               (fun v ->
+                 Json.Str (Topology.operator topology v).Operator.name)
+               (Steady_state.bottlenecks analysis)) );
+      ]
+  in
+  Json.to_string ~indent:true
+    (Json.Obj
+       [
+         ( "versions",
+           Json.Arr (List.map version_entry (Session.versions session)) );
+       ])

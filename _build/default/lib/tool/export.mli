@@ -1,0 +1,37 @@
+(** Machine-readable exports of analyses and measurements (CSV for plotting
+    pipelines, JSON for dashboards). No external dependencies: the JSON
+    encoder is self-contained. *)
+
+(** Minimal JSON document model (encoding only). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:bool -> t -> string
+  (** Renders valid JSON; strings are escaped, non-finite numbers become
+      [null] (JSON has no representation for them). *)
+end
+
+val steady_state_csv :
+  Ss_topology.Topology.t -> Ss_core.Steady_state.t -> string
+(** Columns: vertex, operator, kind, replicas, service_ms, arrival_rate,
+    departure_rate, utilization, bottleneck. *)
+
+val comparison_csv :
+  Ss_topology.Topology.t ->
+  Ss_core.Steady_state.t ->
+  Ss_sim.Engine.result ->
+  string
+(** Predicted vs measured departure rates and the relative error per
+    vertex. *)
+
+val latency_csv : Ss_topology.Topology.t -> Ss_core.Latency.t -> string
+
+val session_json : Session.t -> string
+(** Summary of a session: every version with operator/edge counts, the
+    predicted throughput, and saturated operators. *)

@@ -1,0 +1,107 @@
+open Ss_topology
+open Ss_core
+
+type t = {
+  mutable versions : (string * Topology.t) list;  (* newest first *)
+  mutable counter : int;
+}
+
+let import topology = { versions = [ ("original", topology) ]; counter = 0 }
+
+let import_xml src = Result.map import (Ss_xml.Topology_xml.of_string src)
+
+let import_xml_multi src =
+  match Ss_xml.Topology_xml.parse_raw src with
+  | Error _ as e -> e
+  | Ok (ops, edges) ->
+      Result.map
+        (fun (topology, _) -> import topology)
+        (Multi_source.unify ops edges)
+
+let versions t = List.rev_map fst t.versions
+
+let topology t ?version () =
+  match version with
+  | None -> snd (List.hd t.versions)
+  | Some name -> (
+      match List.assoc_opt name t.versions with
+      | Some topo -> topo
+      | None -> raise Not_found)
+
+let register t name topo =
+  t.versions <- (name, topo) :: t.versions;
+  name
+
+let next_id t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let analyze t ?version () = Steady_state.analyze (topology t ?version ())
+
+let latency t ?version () =
+  let topo = topology t ?version () in
+  Latency.estimate topo (Steady_state.analyze topo)
+
+let eliminate_bottlenecks t ?version ?max_replicas () =
+  let result = Fission.optimize ?max_replicas (topology t ?version ()) in
+  let name =
+    match max_replicas with
+    | None -> Printf.sprintf "fission-%d" (next_id t)
+    | Some bound -> Printf.sprintf "fission-%d-bound%d" (next_id t) bound
+  in
+  (register t name result.Fission.topology, result)
+
+let fusion_candidates t ?version ?max_size () =
+  Fusion.candidates ?max_size (topology t ?version ())
+
+let fuse t ?version ?name vertices =
+  match Fusion.apply ?name (topology t ?version ()) vertices with
+  | Error _ as e -> e
+  | Ok outcome ->
+      let version_name = Printf.sprintf "fusion-%d" (next_id t) in
+      Ok (register t version_name outcome.Fusion.topology, outcome)
+
+let auto_fuse t ?version ?max_size ?utilization_cap () =
+  let result =
+    Fusion.auto ?max_size ?utilization_cap (topology t ?version ())
+  in
+  if result.Fusion.steps = [] then None
+  else
+    let version_name = Printf.sprintf "autofusion-%d" (next_id t) in
+    Some (register t version_name result.Fusion.final, result)
+
+let simulate t ?version ?config () =
+  Ss_sim.Engine.run ?config (topology t ?version ())
+
+let export_xml t ?version () =
+  Ss_xml.Topology_xml.to_string (topology t ?version ())
+
+let generate_code t ?version ?fused ?tuples () =
+  Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
+
+let report t ?version () =
+  let topo = topology t ?version () in
+  let analysis = Steady_state.analyze topo in
+  let original = List.assoc "original" t.versions in
+  let baseline = Steady_state.analyze original in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Format.asprintf "%a@." Topology.pp topo);
+  Buffer.add_string buf (Format.asprintf "%a@." Steady_state.pp analysis);
+  (match Steady_state.bottlenecks analysis with
+  | [] -> Buffer.add_string buf "no saturated operator\n"
+  | vs ->
+      Buffer.add_string buf
+        ("saturated operators: "
+        ^ String.concat ", "
+            (List.map
+               (fun v -> (Topology.operator topo v).Operator.name)
+               vs)
+        ^ "\n"));
+  if analysis.Steady_state.throughput <> baseline.Steady_state.throughput then
+    Buffer.add_string buf
+      (Printf.sprintf "throughput vs original: %+.1f%%\n"
+         (100.0
+         *. ((analysis.Steady_state.throughput
+             /. baseline.Steady_state.throughput)
+            -. 1.0)));
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+(** The SpinStreams optimization workflow (paper §4.1, the GUI's model):
+    an imported topology plus the stack of optimized versions prototyped
+    from it. Each analysis or optimization registers a new named version;
+    any version can be analyzed, simulated, exported to XML or handed to the
+    code generator. *)
+
+type t
+
+val import : Ss_topology.Topology.t -> t
+(** Start a session from an already-validated topology; the version
+    ["original"] is registered. *)
+
+val import_xml : string -> (t, string) result
+(** Parse the paper's XML formalism and import. *)
+
+val import_xml_multi : string -> (t, string) result
+(** Like {!import_xml}, but a document with several sources is accepted and
+    rooted with a fictitious source first
+    ({!Ss_core.Multi_source.unify}) — original vertex ids shift by one. *)
+
+val versions : t -> string list
+(** Registered version names, oldest first. *)
+
+val topology : t -> ?version:string -> unit -> Ss_topology.Topology.t
+(** Default version: the most recent.
+    @raise Not_found for an unknown version name. *)
+
+val analyze : t -> ?version:string -> unit -> Ss_core.Steady_state.t
+(** Steady-state prediction (Algorithm 1) of a version. *)
+
+val latency : t -> ?version:string -> unit -> Ss_core.Latency.t
+(** Analytical per-operator and end-to-end latency estimate
+    ({!Ss_core.Latency}) of a version. *)
+
+val eliminate_bottlenecks :
+  t -> ?version:string -> ?max_replicas:int -> unit -> string * Ss_core.Fission.t
+(** Run Algorithm 2 on a version; the parallelized topology is registered as
+    a new version (named ["fission-N"] or ["fission-N-boundK"]) and
+    returned with its name. *)
+
+val fusion_candidates :
+  t -> ?version:string -> ?max_size:int -> unit -> (int list * float) list
+(** Legal fusion sub-graphs of a version ranked by increasing mean
+    utilization (the GUI's proposal list). *)
+
+val fuse :
+  t ->
+  ?version:string ->
+  ?name:string ->
+  int list ->
+  (string * Ss_core.Fusion.outcome, string) result
+(** Fuse a sub-graph of a version; on success the contracted topology is
+    registered as a new version (named ["fusion-N"]). The outcome carries
+    the performance prediction; when it impairs throughput the caller is
+    expected to warn (the CLI does), matching the tool's alert of §5.4. *)
+
+val auto_fuse :
+  t -> ?version:string -> ?max_size:int -> ?utilization_cap:float -> unit ->
+  (string * Ss_core.Fusion.auto_result) option
+(** Run the automated fusion strategy ({!Ss_core.Fusion.auto}); when at
+    least one group is fused, registers the coarsened topology as a new
+    version ["autofusion-N"] and returns it, otherwise returns [None]. *)
+
+val simulate :
+  t -> ?version:string -> ?config:Ss_sim.Engine.config -> unit ->
+  Ss_sim.Engine.result
+(** Measure a version on the discrete-event simulator (the "run it on the
+    SPS" step). *)
+
+val export_xml : t -> ?version:string -> unit -> string
+val generate_code :
+  t -> ?version:string -> ?fused:int list list -> ?tuples:int -> unit -> string
+
+val report : t -> ?version:string -> unit -> string
+(** Human-readable analysis report: per-operator table, bottlenecks,
+    predicted throughput, and a comparison with the original version. *)

@@ -1,0 +1,1 @@
+lib/topology/builder.ml: Array List Operator Topology

@@ -1,0 +1,1 @@
+lib/topology/operator.ml: Discrete Dist Float Format Ss_prelude String

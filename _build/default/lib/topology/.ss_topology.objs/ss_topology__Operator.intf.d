@@ -1,0 +1,1 @@
+lib/topology/operator.mli: Discrete Dist Format Ss_prelude

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Buffer Float Format Fun Hashtbl List Operator Option Printf Queue Result String

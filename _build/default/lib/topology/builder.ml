@@ -1,0 +1,36 @@
+type vertex = int
+
+type t = {
+  mutable ops : Operator.t list;  (* reversed *)
+  mutable count : int;
+  mutable edges : (int * int * float) list;  (* reversed *)
+}
+
+let create () = { ops = []; count = 0; edges = [] }
+
+let add t op =
+  t.ops <- op :: t.ops;
+  let v = t.count in
+  t.count <- t.count + 1;
+  v
+
+let edge ?(prob = 1.0) t u v = t.edges <- (u, v, prob) :: t.edges
+
+let chain t vs =
+  let rec go = function
+    | u :: (v :: _ as rest) ->
+        edge t u v;
+        go rest
+    | [ _ ] | [] -> ()
+  in
+  go vs
+
+let vertex_id v = v
+
+let finish t =
+  Topology.create (Array.of_list (List.rev t.ops)) (List.rev t.edges)
+
+let finish_exn t =
+  match finish t with
+  | Ok topology -> topology
+  | Error e -> invalid_arg ("Builder.finish: " ^ Topology.error_to_string e)

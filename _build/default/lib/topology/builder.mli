@@ -1,0 +1,21 @@
+(** Imperative builder for assembling topologies in examples and tests. *)
+
+type t
+type vertex
+
+val create : unit -> t
+
+val add : t -> Operator.t -> vertex
+(** Register an operator; vertices are numbered in insertion order. *)
+
+val edge : ?prob:float -> t -> vertex -> vertex -> unit
+(** Connect two vertices; [prob] defaults to 1. *)
+
+val chain : t -> vertex list -> unit
+(** Connect consecutive vertices with probability-1 edges. *)
+
+val vertex_id : vertex -> int
+(** The id the vertex will have in the finished topology. *)
+
+val finish : t -> (Topology.t, Topology.error) result
+val finish_exn : t -> Topology.t

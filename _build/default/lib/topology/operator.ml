@@ -1,0 +1,97 @@
+open Ss_prelude
+
+type kind = Stateless | Partitioned_stateful of Discrete.t | Stateful
+
+type t = {
+  name : string;
+  service_time : float;
+  service_dist : Dist.t;
+  kind : kind;
+  input_selectivity : float;
+  output_selectivity : float;
+  replicas : int;
+}
+
+let make ?(kind = Stateless) ?dist ?(input_selectivity = 1.0)
+    ?(output_selectivity = 1.0) ?(replicas = 1) ~service_time name =
+  if service_time <= 0.0 then
+    invalid_arg "Operator.make: service_time must be positive";
+  if input_selectivity <= 0.0 then
+    invalid_arg "Operator.make: input_selectivity must be positive";
+  if output_selectivity < 0.0 then
+    invalid_arg "Operator.make: output_selectivity must be non-negative";
+  if replicas < 1 then invalid_arg "Operator.make: replicas must be >= 1";
+  (match kind with
+  | Stateful when replicas > 1 ->
+      invalid_arg "Operator.make: a stateful operator cannot be replicated"
+  | _ -> ());
+  let service_dist =
+    match dist with
+    | Some d ->
+        if Float.abs (Dist.mean d -. service_time) > 1e-9 *. service_time then
+          invalid_arg
+            "Operator.make: service_dist mean inconsistent with service_time";
+        d
+    | None -> Dist.Deterministic service_time
+  in
+  {
+    name;
+    service_time;
+    service_dist;
+    kind;
+    input_selectivity;
+    output_selectivity;
+    replicas;
+  }
+
+let source ~rate name =
+  if rate <= 0.0 then invalid_arg "Operator.source: rate must be positive";
+  make ~service_time:(1.0 /. rate) name
+
+let service_rate t = 1.0 /. t.service_time
+let effective_service_rate t = float_of_int t.replicas *. service_rate t
+let selectivity_factor t = t.output_selectivity /. t.input_selectivity
+let can_replicate t = match t.kind with Stateful -> false | _ -> true
+
+let with_replicas t n =
+  if n < 1 then invalid_arg "Operator.with_replicas: count must be >= 1";
+  if (not (can_replicate t)) && n > 1 then
+    invalid_arg "Operator.with_replicas: stateful operator";
+  { t with replicas = n }
+
+let with_service_time t mean =
+  if mean <= 0.0 then
+    invalid_arg "Operator.with_service_time: mean must be positive";
+  let factor = mean /. t.service_time in
+  { t with service_time = mean; service_dist = Dist.scale factor t.service_dist }
+
+let kind_to_string = function
+  | Stateless -> "stateless"
+  | Partitioned_stateful _ -> "partitioned-stateful"
+  | Stateful -> "stateful"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%s (%s, T=%.4gms" t.name (kind_to_string t.kind)
+    (t.service_time *. 1e3);
+  if t.input_selectivity <> 1.0 then
+    Format.fprintf ppf ", sel_in=%g" t.input_selectivity;
+  if t.output_selectivity <> 1.0 then
+    Format.fprintf ppf ", sel_out=%g" t.output_selectivity;
+  if t.replicas <> 1 then Format.fprintf ppf ", x%d" t.replicas;
+  Format.fprintf ppf ")@]"
+
+let kind_equal a b =
+  match (a, b) with
+  | Stateless, Stateless | Stateful, Stateful -> true
+  | Partitioned_stateful da, Partitioned_stateful db ->
+      Discrete.probs da = Discrete.probs db
+  | (Stateless | Partitioned_stateful _ | Stateful), _ -> false
+
+let equal a b =
+  String.equal a.name b.name
+  && a.service_time = b.service_time
+  && a.service_dist = b.service_dist
+  && kind_equal a.kind b.kind
+  && a.input_selectivity = b.input_selectivity
+  && a.output_selectivity = b.output_selectivity
+  && a.replicas = b.replicas

@@ -1,0 +1,81 @@
+(** Operator descriptors: the vertices of a streaming topology.
+
+    An operator is characterized by its profiled mean service time, its state
+    kind (which determines whether fission applies, paper §3.2), and its
+    input/output selectivity (paper §3.4). Descriptors carry no business
+    logic; executable operators live in [Ss_operators] and are linked to
+    descriptors by name through a registry. *)
+
+open Ss_prelude
+
+(** State classification driving the bottleneck-elimination algorithm. *)
+type kind =
+  | Stateless
+      (** No state: fission with shuffle routing always applies. *)
+  | Partitioned_stateful of Discrete.t
+      (** State partitioned by key; the distribution gives the relative
+          frequency of each key group. Fission assigns key groups to
+          replicas. *)
+  | Stateful
+      (** Monolithic state: the operator cannot be replicated. *)
+
+type t = {
+  name : string;  (** Unique within a topology. *)
+  service_time : float;
+      (** Mean seconds of work per consumed item, strictly positive. *)
+  service_dist : Dist.t;
+      (** Full service-time distribution used by the simulator; its mean is
+          kept consistent with [service_time]. *)
+  kind : kind;
+  input_selectivity : float;
+      (** Items consumed per result produced (e.g. a sliding window of slide
+          [s] has input selectivity [s]); strictly positive, default 1. *)
+  output_selectivity : float;
+      (** Results produced per item consumed (e.g. a flatmap); non-negative,
+          default 1. *)
+  replicas : int;  (** Fission degree; 1 means sequential. *)
+}
+
+val make :
+  ?kind:kind ->
+  ?dist:Dist.t ->
+  ?input_selectivity:float ->
+  ?output_selectivity:float ->
+  ?replicas:int ->
+  service_time:float ->
+  string ->
+  t
+(** [make ~service_time name] builds a descriptor with stateless kind, unit
+    selectivities and a deterministic service distribution by default.
+    @raise Invalid_argument on non-positive service time or selectivities,
+    or [replicas < 1]. *)
+
+val source : rate:float -> string -> t
+(** [source ~rate name] is a stateless operator emitting [rate] items per
+    second ([service_time = 1. /. rate]). By convention the single source of
+    a topology generates the input stream. *)
+
+val service_rate : t -> float
+(** [1. /. service_time] for a single replica. *)
+
+val effective_service_rate : t -> float
+(** Aggregate service rate across the operator's replicas, assuming an even
+    split of the input flow: [replicas * service_rate]. *)
+
+val selectivity_factor : t -> float
+(** Results per consumed item: [output_selectivity /. input_selectivity]. *)
+
+val can_replicate : t -> bool
+(** False only for [Stateful]. *)
+
+val with_replicas : t -> int -> t
+(** @raise Invalid_argument if the count is < 1, or if the operator is
+    [Stateful] and the count is > 1. *)
+
+val with_service_time : t -> float -> t
+(** Rescales both [service_time] and [service_dist] to the new mean. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+(** Structural equality, comparing key distributions by probability vector. *)

@@ -1,0 +1,418 @@
+type t = {
+  ops : Operator.t array;
+  succs : (int * float) list array;
+  preds : (int * float) list array;
+  source : int;
+  topo : int array;
+}
+
+type error =
+  | Empty_topology
+  | Duplicate_operator_name of string
+  | Invalid_vertex of int
+  | Self_loop of int
+  | Duplicate_edge of int * int
+  | Invalid_probability of int * int * float
+  | Unnormalized_probabilities of int * float
+  | No_source
+  | Multiple_sources of int list
+  | Cyclic of int list
+  | Unreachable of int list
+
+let pp_int_list ppf l =
+  Format.fprintf ppf "[%s]" (String.concat "; " (List.map string_of_int l))
+
+let pp_error ppf = function
+  | Empty_topology -> Format.fprintf ppf "topology has no operator"
+  | Duplicate_operator_name n ->
+      Format.fprintf ppf "duplicate operator name %S" n
+  | Invalid_vertex v -> Format.fprintf ppf "edge references unknown vertex %d" v
+  | Self_loop v -> Format.fprintf ppf "self-loop on vertex %d" v
+  | Duplicate_edge (u, v) -> Format.fprintf ppf "duplicate edge %d -> %d" u v
+  | Invalid_probability (u, v, p) ->
+      Format.fprintf ppf "edge %d -> %d has invalid probability %g" u v p
+  | Unnormalized_probabilities (v, total) ->
+      Format.fprintf ppf
+        "out-edge probabilities of vertex %d sum to %g instead of 1" v total
+  | No_source -> Format.fprintf ppf "no source vertex (every vertex has inputs)"
+  | Multiple_sources vs ->
+      Format.fprintf ppf "multiple sources %a (a single root is required)"
+        pp_int_list vs
+  | Cyclic vs -> Format.fprintf ppf "cycle involving vertices %a" pp_int_list vs
+  | Unreachable vs ->
+      Format.fprintf ppf "vertices %a unreachable from the source" pp_int_list
+        vs
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let ( let* ) = Result.bind
+
+let check_names ops =
+  let tbl = Hashtbl.create 16 in
+  let rec go i =
+    if i = Array.length ops then Ok ()
+    else
+      let name = ops.(i).Operator.name in
+      if Hashtbl.mem tbl name then Error (Duplicate_operator_name name)
+      else begin
+        Hashtbl.add tbl name ();
+        go (i + 1)
+      end
+  in
+  go 0
+
+let check_edges n edges =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> Ok ()
+    | (u, v, p) :: rest ->
+        if u < 0 || u >= n then Error (Invalid_vertex u)
+        else if v < 0 || v >= n then Error (Invalid_vertex v)
+        else if u = v then Error (Self_loop u)
+        else if Hashtbl.mem seen (u, v) then Error (Duplicate_edge (u, v))
+        else if p <= 0.0 || p > 1.0 +. 1e-9 || Float.is_nan p then
+          Error (Invalid_probability (u, v, p))
+        else begin
+          Hashtbl.add seen (u, v) ();
+          go rest
+        end
+  in
+  go edges
+
+(* Kahn's algorithm; on failure reports the vertices left in the cycle. *)
+let topological_sort n succs preds =
+  let in_deg = Array.map List.length preds in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) in_deg;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    List.iter
+      (fun (w, _) ->
+        in_deg.(w) <- in_deg.(w) - 1;
+        if in_deg.(w) = 0 then Queue.add w queue)
+      succs.(v)
+  done;
+  if !filled = n then Ok order
+  else
+    let leftover =
+      List.filter (fun v -> in_deg.(v) > 0) (List.init n Fun.id)
+    in
+    Error (Cyclic leftover)
+
+let create ops edges =
+  let n = Array.length ops in
+  let* () = if n = 0 then Error Empty_topology else Ok () in
+  let* () = check_names ops in
+  let* () = check_edges n edges in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  List.iter
+    (fun (u, v, p) ->
+      succs.(u) <- (v, p) :: succs.(u);
+      preds.(v) <- (u, p) :: preds.(v))
+    edges;
+  (* Renormalize each non-sink vertex's out-probabilities exactly. *)
+  let* () =
+    let rec go v =
+      if v = n then Ok ()
+      else
+        match succs.(v) with
+        | [] -> go (v + 1)
+        | out ->
+            let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 out in
+            if Float.abs (total -. 1.0) > 1e-6 then
+              Error (Unnormalized_probabilities (v, total))
+            else begin
+              succs.(v) <- List.map (fun (w, p) -> (w, p /. total)) out;
+              go (v + 1)
+            end
+    in
+    go 0
+  in
+  (* Rebuild preds from the renormalized succs so both views agree. *)
+  Array.fill preds 0 n [];
+  Array.iteri
+    (fun u out -> List.iter (fun (v, p) -> preds.(v) <- (u, p) :: preds.(v)) out)
+    succs;
+  let sort_adj a =
+    Array.map_inplace (List.sort (fun (x, _) (y, _) -> compare x y)) a
+  in
+  sort_adj succs;
+  sort_adj preds;
+  let sources =
+    List.filter (fun v -> preds.(v) = []) (List.init n Fun.id)
+  in
+  let* source =
+    match sources with
+    | [ s ] -> Ok s
+    | [] -> Error No_source
+    | _ :: _ :: _ -> Error (Multiple_sources sources)
+  in
+  let* topo = topological_sort n succs preds in
+  (* Reachability from the source (every vertex has in-degree > 0 except the
+     source, but disconnected sub-DAGs are still possible only via the
+     multiple-sources check; unreachable vertices require an in-edge, hence a
+     cycle or another source, both already excluded — keep the check anyway
+     as a defensive invariant). *)
+  let reachable = Array.make n false in
+  reachable.(source) <- true;
+  Array.iter
+    (fun v ->
+      if reachable.(v) then
+        List.iter (fun (w, _) -> reachable.(w) <- true) succs.(v))
+    topo;
+  let* () =
+    match List.filter (fun v -> not reachable.(v)) (List.init n Fun.id) with
+    | [] -> Ok ()
+    | vs -> Error (Unreachable vs)
+  in
+  Ok { ops = Array.copy ops; succs; preds; source; topo }
+
+let create_exn ops edges =
+  match create ops edges with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Topology.create: " ^ error_to_string e)
+
+let size t = Array.length t.ops
+let num_edges t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+let operator t v = t.ops.(v)
+let operators t = Array.copy t.ops
+let succs t v = t.succs.(v)
+let preds t v = t.preds.(v)
+
+let edges t =
+  let acc = ref [] in
+  for u = size t - 1 downto 0 do
+    List.iter (fun (v, p) -> acc := (u, v, p) :: !acc) (List.rev t.succs.(u))
+  done;
+  !acc
+
+let edge_probability t ~src ~dst = List.assoc_opt dst t.succs.(src)
+let source t = t.source
+
+let sinks t =
+  List.filter (fun v -> t.succs.(v) = []) (List.init (size t) Fun.id)
+
+let is_sink t v = t.succs.(v) = []
+
+let find_by_name t name =
+  let n = size t in
+  let rec go i =
+    if i = n then None
+    else if String.equal t.ops.(i).Operator.name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let out_degree t v = List.length t.succs.(v)
+let in_degree t v = List.length t.preds.(v)
+let topological_order t = Array.copy t.topo
+
+let paths_to t target =
+  let rec go v prob rev_path acc =
+    let rev_path = v :: rev_path in
+    if v = target then (List.rev rev_path, prob) :: acc
+    else
+      List.fold_left
+        (fun acc (w, p) -> go w (prob *. p) rev_path acc)
+        acc t.succs.(v)
+  in
+  List.rev (go t.source 1.0 [] [])
+
+let visit_ratio t =
+  let ratio = Array.make (size t) 0.0 in
+  ratio.(t.source) <- 1.0;
+  Array.iter
+    (fun v ->
+      List.iter (fun (w, p) -> ratio.(w) <- ratio.(w) +. (ratio.(v) *. p)) t.succs.(v))
+    t.topo;
+  ratio
+
+let with_operator t v op =
+  let ops = Array.copy t.ops in
+  ops.(v) <- op;
+  Array.iteri
+    (fun i o ->
+      if i <> v && String.equal o.Operator.name op.Operator.name then
+        invalid_arg "Topology.with_operator: duplicate operator name")
+    t.ops;
+  { t with ops }
+
+let map_operators t f =
+  let ops = Array.mapi f t.ops in
+  match create ops (edges t) with
+  | Ok t' -> t'
+  | Error e -> invalid_arg ("Topology.map_operators: " ^ error_to_string e)
+
+let front_end_of t vertices =
+  match vertices with
+  | [] -> Error "empty sub-graph"
+  | _ ->
+      let n = size t in
+      let bad = List.find_opt (fun v -> v < 0 || v >= n) vertices in
+      let dup =
+        let sorted = List.sort compare vertices in
+        let rec has_dup = function
+          | a :: (b :: _ as rest) -> if a = b then true else has_dup rest
+          | [ _ ] | [] -> false
+        in
+        has_dup sorted
+      in
+      if bad <> None then Error "sub-graph references an unknown vertex"
+      else if dup then Error "sub-graph contains a duplicated vertex"
+      else if List.mem t.source vertices then
+        Error "sub-graph must not contain the source"
+      else
+        let in_set = Array.make n false in
+        List.iter (fun v -> in_set.(v) <- true) vertices;
+        let entry_points =
+          List.filter
+            (fun v ->
+              List.exists (fun (u, _) -> not in_set.(u)) t.preds.(v))
+            vertices
+        in
+        (match entry_points with
+        | [ fe ] -> Ok fe
+        | [] -> Error "sub-graph has no entry point from the rest of the graph"
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "sub-graph has %d entry points; fusion requires a single \
+                  front-end"
+                 (List.length entry_points)))
+
+let contract t ~keep_name vertices =
+  let* front = front_end_of t vertices in
+  let n = size t in
+  let in_set = Array.make n false in
+  List.iter (fun v -> in_set.(v) <- true) vertices;
+  (* Expected per-item flow through the sub-graph, starting with one item at
+     the front-end. Processed in global topological order, which restricts to
+     a valid order of the sub-graph. *)
+  let flow_in = Array.make n 0.0 in
+  flow_in.(front) <- 1.0;
+  let exit_flow = Hashtbl.create 8 in
+  let work = ref 0.0 in
+  Array.iter
+    (fun v ->
+      if in_set.(v) && flow_in.(v) > 0.0 then begin
+        let op = t.ops.(v) in
+        work := !work +. (flow_in.(v) *. op.Operator.service_time);
+        let out_items = flow_in.(v) *. Operator.selectivity_factor op in
+        List.iter
+          (fun (w, p) ->
+            let contribution = out_items *. p in
+            if in_set.(w) then flow_in.(w) <- flow_in.(w) +. contribution
+            else
+              let prev =
+                Option.value ~default:0.0 (Hashtbl.find_opt exit_flow w)
+              in
+              Hashtbl.replace exit_flow w (prev +. contribution))
+          t.succs.(v)
+      end)
+    t.topo;
+  let total_exit = Hashtbl.fold (fun _ f acc -> acc +. f) exit_flow 0.0 in
+  let replacement =
+    Operator.make ~kind:Operator.Stateful
+      ~output_selectivity:total_exit ~service_time:!work keep_name
+  in
+  (* New vertex numbering: external vertices keep their relative order; the
+     replacement takes the slot of the front-end. *)
+  let remap = Array.make n (-1) in
+  let new_ops = ref [] in
+  let next = ref 0 in
+  let replacement_id = ref (-1) in
+  for v = 0 to n - 1 do
+    if in_set.(v) then begin
+      if v = front then begin
+        replacement_id := !next;
+        new_ops := replacement :: !new_ops;
+        incr next
+      end
+    end
+    else begin
+      remap.(v) <- !next;
+      new_ops := t.ops.(v) :: !new_ops;
+      incr next
+    end
+  done;
+  List.iter (fun v -> remap.(v) <- !replacement_id) vertices;
+  let new_ops = Array.of_list (List.rev !new_ops) in
+  let new_edges = Hashtbl.create 16 in
+  let add_edge u v p =
+    if u <> v then begin
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt new_edges (u, v)) in
+      Hashtbl.replace new_edges (u, v) (prev +. p)
+    end
+  in
+  (* External edges, with endpoints inside the set redirected. Edges internal
+     to the set disappear; edges out of the set are replaced below by the
+     aggregated exit flows. *)
+  List.iter
+    (fun (u, v, p) ->
+      match (in_set.(u), in_set.(v)) with
+      | false, false -> add_edge remap.(u) remap.(v) p
+      | false, true -> add_edge remap.(u) !replacement_id p
+      | true, _ -> ())
+    (edges t);
+  if total_exit > 0.0 then
+    Hashtbl.iter
+      (fun w f -> add_edge !replacement_id remap.(w) (f /. total_exit))
+      exit_flow;
+  let edge_list =
+    Hashtbl.fold (fun (u, v) p acc -> (u, v, p) :: acc) new_edges []
+  in
+  match create new_ops edge_list with
+  | Ok t' -> Ok (t', !replacement_id)
+  | Error e -> Error ("fusion would produce an invalid topology: " ^ error_to_string e)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>topology (%d operators, %d edges)@," (size t)
+    (num_edges t);
+  Array.iteri
+    (fun v op ->
+      Format.fprintf ppf "  %d: %a" v Operator.pp op;
+      (match t.succs.(v) with
+      | [] -> Format.fprintf ppf "  [sink]"
+      | out ->
+          Format.fprintf ppf "  ->";
+          List.iter (fun (w, p) -> Format.fprintf ppf " %d@@%.3f" w p) out);
+      Format.fprintf ppf "@,")
+    t.ops;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph topology {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun v op ->
+      let shape =
+        match op.Operator.kind with
+        | Operator.Stateless -> "ellipse"
+        | Operator.Partitioned_stateful _ -> "box"
+        | Operator.Stateful -> "doubleoctagon"
+      in
+      let replicas =
+        if op.Operator.replicas > 1 then
+          Printf.sprintf " x%d" op.Operator.replicas
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nT=%.3gms%s\", shape=%s];\n" v
+           op.Operator.name
+           (op.Operator.service_time *. 1e3)
+           replicas shape))
+    t.ops;
+  Array.iteri
+    (fun u out ->
+      List.iter
+        (fun (v, p) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%.3f\"];\n" u v p))
+        out)
+    t.succs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

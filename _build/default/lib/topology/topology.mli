@@ -1,0 +1,121 @@
+(** Streaming application topologies: rooted acyclic operator graphs with
+    probabilistic edges.
+
+    Invariants established by {!create} and preserved by every transformation
+    (paper §3.1 assumptions):
+    - at least one vertex, and exactly one {e source} (vertex with no
+      incoming edge);
+    - the graph is acyclic and every vertex is reachable from the source;
+    - no self-loops or duplicate edges;
+    - the out-edge probabilities of every non-sink vertex sum to 1. *)
+
+type t
+
+type error =
+  | Empty_topology
+  | Duplicate_operator_name of string
+  | Invalid_vertex of int
+  | Self_loop of int
+  | Duplicate_edge of int * int
+  | Invalid_probability of int * int * float
+  | Unnormalized_probabilities of int * float
+      (** Vertex whose out-edge probabilities do not sum to 1. *)
+  | No_source
+  | Multiple_sources of int list
+  | Cyclic of int list  (** Vertices involved in a cycle. *)
+  | Unreachable of int list
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  Operator.t array -> (int * int * float) list -> (t, error) result
+(** [create operators edges] validates and builds a topology. Vertex [i] is
+    described by [operators.(i)]; each edge is [(src, dst, probability)].
+    Out-edge probabilities of each vertex must sum to 1 (within 1e-6; they
+    are renormalized exactly). *)
+
+val create_exn : Operator.t array -> (int * int * float) list -> t
+(** @raise Invalid_argument with the rendered error on invalid input. *)
+
+(** {1 Accessors} *)
+
+val size : t -> int
+(** Number of vertices. *)
+
+val num_edges : t -> int
+val operator : t -> int -> Operator.t
+val operators : t -> Operator.t array
+(** Fresh copy of the vertex descriptors, indexed by vertex id. *)
+
+val succs : t -> int -> (int * float) list
+(** Outgoing [(dst, probability)] pairs, in increasing [dst] order. *)
+
+val preds : t -> int -> (int * float) list
+(** Incoming [(src, probability)] pairs, in increasing [src] order. *)
+
+val edges : t -> (int * int * float) list
+(** All edges in lexicographic order. *)
+
+val edge_probability : t -> src:int -> dst:int -> float option
+val source : t -> int
+(** The unique vertex with no incoming edges. *)
+
+val sinks : t -> int list
+(** Vertices with no outgoing edges, in increasing order. *)
+
+val is_sink : t -> int -> bool
+val find_by_name : t -> string -> int option
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** {1 Order and paths} *)
+
+val topological_order : t -> int array
+(** A topological order starting at the source (deterministic: smallest
+    vertex id first among ready vertices). *)
+
+val paths_to : t -> int -> (int list * float) list
+(** All simple paths from the source to the given vertex, as
+    [(vertices, probability)] with the path probability being the product of
+    its edge probabilities. Exponential in the worst case; topologies are
+    small by assumption (paper §3.3). *)
+
+val visit_ratio : t -> float array
+(** [visit_ratio t] maps each vertex to the expected number of visits per
+    item emitted by the source, ignoring selectivity: [1.0] for the source,
+    and [v(j) = sum over in-edges (i,j) of v(i) * p(i,j)] otherwise. In a
+    DAG this equals the sum of path probabilities of {!paths_to}. *)
+
+(** {1 Transformations} *)
+
+val with_operator : t -> int -> Operator.t -> t
+(** Replace the descriptor of one vertex (name must stay unique). *)
+
+val map_operators : t -> (int -> Operator.t -> Operator.t) -> t
+(** Rebuild with transformed descriptors; the graph structure is unchanged. *)
+
+val contract : t -> keep_name:string -> int list -> (t * int, string) result
+(** [contract t ~keep_name vertices] replaces the sub-graph induced by
+    [vertices] with a single fresh vertex named [keep_name] (paper §3.3).
+    Requirements checked here: the set is non-empty, contains no duplicate,
+    does not contain the source, and has a {e single front-end} (exactly one
+    member vertex receives edges from outside the set). Incoming edges from
+    the same external vertex are merged (probabilities summed); outgoing
+    probabilities are the expected exit flows of the sub-graph, renormalized,
+    with the flow imbalance folded into the replacement operator's output
+    selectivity. The replacement's service time is the expected per-item
+    work of the sub-graph and its kind is [Stateful] (meta-operators are
+    never replicated, paper §4.2). Returns the new topology and the id of
+    the replacement vertex. Acyclicity of the result is re-validated. *)
+
+val front_end_of : t -> int list -> (int, string) result
+(** The unique member of [vertices] receiving edges from outside the set.
+    [Error] if the set is empty, has several entry points, none, or contains
+    the source. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> string
+(** Graphviz rendering with service times and replica counts. *)

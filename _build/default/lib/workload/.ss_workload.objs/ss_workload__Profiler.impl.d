@@ -1,0 +1,1 @@
+lib/workload/profiler.ml: Behavior Float Format List Ss_operators Ss_topology Stream_gen Unix

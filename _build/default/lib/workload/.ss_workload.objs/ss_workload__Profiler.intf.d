@@ -1,0 +1,1 @@
+lib/workload/profiler.mli: Format Ss_operators Ss_prelude Ss_topology Stream_gen

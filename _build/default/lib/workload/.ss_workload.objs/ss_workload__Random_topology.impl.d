@@ -1,0 +1,1 @@
+lib/workload/random_topology.ml: Array Discrete Float Hashtbl List Operator Printf Rng Ss_prelude Ss_topology String Topology

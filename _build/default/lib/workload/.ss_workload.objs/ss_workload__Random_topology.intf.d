@@ -1,0 +1,1 @@
+lib/workload/random_topology.mli: Ss_prelude Ss_topology

@@ -1,0 +1,1 @@
+lib/workload/stream_gen.ml: Array Discrete Dist List Rng Seq Ss_operators Ss_prelude

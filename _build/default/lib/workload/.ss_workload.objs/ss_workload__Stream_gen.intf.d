@@ -1,0 +1,1 @@
+lib/workload/stream_gen.mli: Discrete Dist Rng Seq Ss_operators Ss_prelude

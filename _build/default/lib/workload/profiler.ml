@@ -1,0 +1,43 @@
+type profile = {
+  behavior : string;
+  samples : int;
+  mean_service_time : float;
+  outputs_per_input : float;
+}
+
+let run ?(samples = 10_000) ?spec rng behavior =
+  if samples < 1 then invalid_arg "Profiler.run: samples must be >= 1";
+  let fn = Ss_operators.Behavior.instantiate behavior in
+  let inputs = Stream_gen.tuples ?spec rng samples in
+  let outputs = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun t -> outputs := !outputs + List.length (fn t)) inputs;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  {
+    behavior = behavior.Ss_operators.Behavior.name;
+    samples;
+    mean_service_time = Float.max (elapsed /. float_of_int samples) 1e-9;
+    outputs_per_input = float_of_int !outputs /. float_of_int samples;
+  }
+
+let to_operator ?name ?keys behavior profile =
+  let open Ss_operators in
+  (* The measured output rate is per input tuple; the descriptor splits it
+     into the declared input selectivity and a per-firing output count. *)
+  let input_selectivity = behavior.Behavior.input_selectivity in
+  let output_selectivity = profile.outputs_per_input *. input_selectivity in
+  let base = Behavior.to_operator ?keys ~service_time:profile.mean_service_time
+      { behavior with
+        Behavior.output_selectivity =
+          (if output_selectivity > 0.0 then output_selectivity else 0.0);
+      }
+  in
+  match name with
+  | None -> base
+  | Some name -> { base with Ss_topology.Operator.name }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<h>%s: %.1f us/tuple, %.3f outputs/input (%d samples)@]" p.behavior
+    (p.mean_service_time *. 1e6)
+    p.outputs_per_input p.samples

@@ -1,0 +1,33 @@
+(** Profile-based measurement of operator costs (paper §4.1: SpinStreams'
+    inputs are profiling measures — mean service times, selectivities and
+    routing frequencies — collected by instrumenting a trial run; the paper
+    cites DiSL and Mammut, here the operators are profiled directly). *)
+
+type profile = {
+  behavior : string;  (** Behavior name. *)
+  samples : int;  (** Tuples fed. *)
+  mean_service_time : float;  (** Wall-clock seconds per input tuple. *)
+  outputs_per_input : float;  (** Measured output selectivity factor. *)
+}
+
+val run :
+  ?samples:int ->
+  ?spec:Stream_gen.spec ->
+  Ss_prelude.Rng.t ->
+  Ss_operators.Behavior.t ->
+  profile
+(** Feed [samples] synthetic tuples (default 10_000) through a fresh
+    instance, timing the calls with the process clock. *)
+
+val to_operator :
+  ?name:string ->
+  ?keys:Ss_prelude.Discrete.t ->
+  Ss_operators.Behavior.t ->
+  profile ->
+  Ss_topology.Operator.t
+(** Build an optimizer descriptor from a measured profile, keeping the
+    behavior's declared input selectivity and state kind but using the
+    measured service time and the measured per-input output rate.
+    [keys] is required for partitioned-stateful behaviors. *)
+
+val pp : Format.formatter -> profile -> unit

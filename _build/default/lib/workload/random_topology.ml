@@ -1,0 +1,233 @@
+open Ss_prelude
+open Ss_topology
+
+type params = {
+  min_vertices : int;
+  max_vertices : int;
+  beta_min : float;
+  beta_max : float;
+  edge_alpha_min : float;
+  edge_alpha_max : float;
+  key_groups_min : int;
+  key_groups_max : int;
+  key_alpha_min : float;
+  key_alpha_max : float;
+  source_headroom : float;
+}
+
+let default_params =
+  {
+    min_vertices = 2;
+    max_vertices = 20;
+    beta_min = 1.0;
+    beta_max = 1.2;
+    edge_alpha_min = 1.0;
+    edge_alpha_max = 2.5;
+    key_groups_min = 256;
+    key_groups_max = 4096;
+    key_alpha_min = 0.05;
+    key_alpha_max = 0.5;
+    source_headroom = 0.33;
+  }
+
+(* Operator templates grounding random vertices in the catalog's families.
+   Service-time ranges (in milliseconds, sampled log-uniformly) reflect the
+   paper's profiled spread: hundreds of microseconds for cheap maps up to a
+   few hundred milliseconds for spatial queries over large windows. *)
+type kind_tag = K_stateless | K_partitioned | K_stateful
+
+type template = {
+  base_name : string;
+  tag : kind_tag;
+  time_ms : float * float;
+  windowed : bool;  (* draws (length, slide) from the evaluation's sets *)
+  outputs_per_firing : float * float;  (* range for output selectivity *)
+  binary : bool;  (* requires in-degree >= 2 *)
+  per_key_prob : float;
+      (* probability that a stateful windowed aggregate is generated in its
+         keyed form (partitioned-stateful, hence replicable); aggregations
+         are usually keyed in real deployments, spatial queries and joins
+         are not *)
+}
+
+let templates =
+  [
+    { base_name = "identity"; tag = K_stateless; time_ms = (0.2, 0.8);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "scale"; tag = K_stateless; time_ms = (0.2, 1.0);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "offset"; tag = K_stateless; time_ms = (0.2, 1.0);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "compute"; tag = K_stateless; time_ms = (1.0, 10.0);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "filter"; tag = K_stateless; time_ms = (0.2, 0.8);
+      windowed = false; outputs_per_firing = (0.5, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "sample"; tag = K_stateless; time_ms = (0.2, 0.6);
+      windowed = false; outputs_per_firing = (0.25, 0.25); binary = false; per_key_prob = 0.0 };
+    { base_name = "split"; tag = K_stateless; time_ms = (0.3, 1.2);
+      windowed = false; outputs_per_firing = (2.0, 2.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "project"; tag = K_stateless; time_ms = (0.2, 0.6);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "rekey"; tag = K_stateless; time_ms = (0.2, 0.8);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "enrich"; tag = K_stateless; time_ms = (0.3, 1.5);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "sum"; tag = K_stateful; time_ms = (0.5, 5.0);
+      windowed = true; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.95 };
+    { base_name = "max"; tag = K_stateful; time_ms = (0.5, 5.0);
+      windowed = true; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.95 };
+    { base_name = "min"; tag = K_stateful; time_ms = (0.5, 5.0);
+      windowed = true; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.95 };
+    { base_name = "wma"; tag = K_stateful; time_ms = (1.0, 8.0);
+      windowed = true; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.95 };
+    { base_name = "quantile"; tag = K_stateful; time_ms = (2.0, 20.0);
+      windowed = true; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.95 };
+    { base_name = "mean_bykey"; tag = K_partitioned; time_ms = (0.5, 5.0);
+      windowed = true; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+    { base_name = "skyline"; tag = K_stateful; time_ms = (5.0, 50.0);
+      windowed = true; outputs_per_firing = (1.0, 10.0); binary = false; per_key_prob = 0.85 };
+    { base_name = "topk"; tag = K_stateful; time_ms = (2.0, 30.0);
+      windowed = true; outputs_per_firing = (5.0, 10.0); binary = false; per_key_prob = 0.85 };
+    { base_name = "bandjoin"; tag = K_stateful; time_ms = (5.0, 40.0);
+      windowed = false; outputs_per_firing = (0.5, 5.0); binary = true; per_key_prob = 0.0 };
+    { base_name = "count_bykey"; tag = K_partitioned; time_ms = (0.2, 2.0);
+      windowed = false; outputs_per_firing = (1.0, 1.0); binary = false; per_key_prob = 0.0 };
+  ]
+
+let unary_templates = List.filter (fun t -> not t.binary) templates
+
+let log_uniform rng (lo, hi) =
+  if lo = hi then lo
+  else exp (Rng.float_in_range rng (log lo) (log hi))
+
+let window_lengths = [| 1000; 5000; 10000 |]
+let window_slides = [| 1; 10; 50 |]
+
+(* Instantiate a template into an operator descriptor for vertex [v]. *)
+let make_operator params rng template v =
+  let service_time = log_uniform rng template.time_ms /. 1e3 in
+  let length, slide, input_selectivity =
+    if template.windowed then begin
+      let length = Rng.pick rng window_lengths in
+      let slide = Rng.pick rng window_slides in
+      (length, slide, float_of_int slide)
+    end
+    else (0, 0, 1.0)
+  in
+  let output_selectivity = log_uniform rng template.outputs_per_firing in
+  let random_keys () =
+    let groups =
+      Rng.int_in_range rng params.key_groups_min params.key_groups_max
+    in
+    let alpha =
+      Rng.float_in_range rng params.key_alpha_min params.key_alpha_max
+    in
+    Operator.Partitioned_stateful (Discrete.zipf ~alpha groups)
+  in
+  (* Windowed aggregates are usually keyed in real applications: draw their
+     keyed (partitioned-stateful, replicable) form with [per_key_prob]. *)
+  let keyed =
+    template.per_key_prob > 0.0 && Rng.float rng < template.per_key_prob
+  in
+  let kind =
+    match template.tag with
+    | K_stateless -> Operator.Stateless
+    | K_stateful -> if keyed then random_keys () else Operator.Stateful
+    | K_partitioned -> random_keys ()
+  in
+  let base =
+    if keyed then template.base_name ^ "_bykey" else template.base_name
+  in
+  let name =
+    if template.windowed then
+      Printf.sprintf "%s_w%d_s%d#%d" base length slide v
+    else Printf.sprintf "%s#%d" base v
+  in
+  Operator.make ~kind ~input_selectivity ~output_selectivity ~service_time name
+
+let behavior_name (op : Operator.t) =
+  match String.index_opt op.Operator.name '#' with
+  | Some i -> String.sub op.Operator.name 0 i
+  | None -> op.Operator.name
+
+let generate_with_sizes ?(params = default_params) rng ~vertices ~edges =
+  let v = vertices and e = edges in
+  if e > v * (v - 1) / 2 then invalid_arg "Random_topology: too many edges";
+  if e < v - 1 then invalid_arg "Random_topology: too few edges";
+  (* Phase 1: V-1 edges respecting the topological numbering. *)
+  let edge_set = Hashtbl.create 32 in
+  let add_edge u w =
+    if u <> w && not (Hashtbl.mem edge_set (u, w)) then begin
+      Hashtbl.replace edge_set (u, w) ();
+      true
+    end
+    else false
+  in
+  for i = 0 to v - 2 do
+    ignore (add_edge i (Rng.int_in_range rng (i + 1) (v - 1)))
+  done;
+  (* Phase 2: top up to E random forward edges. *)
+  while Hashtbl.length edge_set < e do
+    let u = Rng.int rng v and w = Rng.int rng v in
+    if u < w then ignore (add_edge u w)
+  done;
+  (* Phase 3: vertices without inputs hang off the source. *)
+  let has_input = Array.make v false in
+  Hashtbl.iter (fun (_, w) () -> has_input.(w) <- true) edge_set;
+  for i = 1 to v - 1 do
+    if not has_input.(i) then ignore (add_edge 0 i)
+  done;
+  (* Phase 4: operator assignment; binary operators need in-degree >= 2. *)
+  let in_degree = Array.make v 0 in
+  Hashtbl.iter (fun (_, w) () -> in_degree.(w) <- in_degree.(w) + 1) edge_set;
+  let ops = Array.make v (Operator.make ~service_time:1.0 "placeholder") in
+  for i = 1 to v - 1 do
+    let eligible =
+      if in_degree.(i) >= 2 then templates else unary_templates
+    in
+    let template = List.nth eligible (Rng.int rng (List.length eligible)) in
+    ops.(i) <- make_operator params rng template i
+  done;
+  (* The source is 33% (by default) faster than the fastest operator. *)
+  let fastest_rate =
+    Array.fold_left
+      (fun acc (op : Operator.t) -> Float.max acc (Operator.service_rate op))
+      0.0
+      (Array.sub ops 1 (v - 1))
+  in
+  let source_rate = (1.0 +. params.source_headroom) *. fastest_rate in
+  ops.(0) <- Operator.source ~rate:source_rate "source";
+  (* Routing probabilities: Zipf over each vertex's out-edges, shuffled. *)
+  let out_edges = Array.make v [] in
+  Hashtbl.iter (fun (u, w) () -> out_edges.(u) <- w :: out_edges.(u)) edge_set;
+  let edge_list = ref [] in
+  Array.iteri
+    (fun u dests ->
+      match dests with
+      | [] -> ()
+      | [ w ] -> edge_list := (u, w, 1.0) :: !edge_list
+      | dests ->
+          let d = List.length dests in
+          let alpha =
+            Rng.float_in_range rng params.edge_alpha_min params.edge_alpha_max
+          in
+          let probs = Discrete.probs (Discrete.zipf ~alpha d) in
+          Rng.shuffle rng probs;
+          List.iteri
+            (fun i w -> edge_list := (u, w, probs.(i)) :: !edge_list)
+            (List.sort compare dests))
+    out_edges;
+  Topology.create_exn ops !edge_list
+
+let generate ?(params = default_params) rng =
+  let v = Rng.int_in_range rng params.min_vertices params.max_vertices in
+  let beta = Rng.float_in_range rng params.beta_min params.beta_max in
+  let e_target =
+    int_of_float (Float.round (float_of_int (v - 1) *. beta))
+  in
+  let e = min (max e_target (v - 1)) (v * (v - 1) / 2) in
+  generate_with_sizes ~params rng ~vertices:v ~edges:e
+
+let testbed ?params ~seed n =
+  let rng = Rng.create seed in
+  List.init n (fun _ -> generate ?params (Rng.split rng))

@@ -1,0 +1,56 @@
+(** Random topology generation — the paper's Algorithm 5 (§5.1).
+
+    Topologies are sparse rooted DAGs: [V] vertices (uniform in
+    [\[min_vertices, max_vertices\]]), an expected [E = (V-1) * beta] edges
+    with the connecting factor [beta] uniform in [\[1, 1.2\]], plus the
+    edges needed to keep vertex 0 the unique source. Vertices are then
+    assigned operators from the catalog (binary join operators only on
+    vertices with at least two input edges), window parameters are drawn
+    from the evaluation's sets (length 1000/5000/10000, slide 1/10/50),
+    partitioned-stateful operators receive a random Zipf key-group
+    distribution, and multi-out-edge vertices receive Zipf-distributed
+    routing probabilities with a random exponent [alpha > 1]. *)
+
+type params = {
+  min_vertices : int;  (** Default 2. *)
+  max_vertices : int;  (** Default 20. *)
+  beta_min : float;  (** Default 1.0. *)
+  beta_max : float;  (** Default 1.2. *)
+  edge_alpha_min : float;  (** Zipf exponent range for edges; default 1.0. *)
+  edge_alpha_max : float;  (** Default 2.5. *)
+  key_groups_min : int;  (** Default 256. *)
+  key_groups_max : int;  (** Default 4096. *)
+  key_alpha_min : float;
+      (** Zipf exponent range for partitioning-key frequencies — milder
+          than edge skew, since heavily skewed keys defeat fission
+          entirely; default 0.05. *)
+  key_alpha_max : float;  (** Default 0.5. *)
+  source_headroom : float;
+      (** The source's service rate is set to [(1 + headroom)] times the
+          fastest operator's service rate, so bottlenecks exist and
+          backpressure is exercised (the paper uses 33%). Default 0.33. *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> Ss_prelude.Rng.t -> Ss_topology.Topology.t
+(** Generate one random topology. Operator names are
+    ["<catalog-name>#<vertex>"] (the suffix keeps names unique); vertex 0 is
+    the source, named ["source"]. *)
+
+val generate_with_sizes :
+  ?params:params ->
+  Ss_prelude.Rng.t ->
+  vertices:int ->
+  edges:int ->
+  Ss_topology.Topology.t
+(** Algorithm 5 with explicit vertex and edge budgets.
+    @raise Invalid_argument when [edges > V(V-1)/2] ("too many edges") or
+    [edges < V - 1] ("too few edges"), as in the paper's pseudocode. *)
+
+val testbed : ?params:params -> seed:int -> int -> Ss_topology.Topology.t list
+(** [testbed ~seed n] generates the [n]-topology benchmark suite (the paper
+    uses 50) deterministically from one seed. *)
+
+val behavior_name : Ss_topology.Operator.t -> string
+(** Strip the ["#vertex"] suffix to recover the catalog name. *)

@@ -1,0 +1,33 @@
+open Ss_prelude
+
+type spec = {
+  arity : int;
+  keys : Discrete.t;
+  tags : int;
+  value_dist : Dist.t;
+  rate : float;
+}
+
+let default_spec =
+  {
+    arity = 2;
+    keys = Discrete.uniform 64;
+    tags = 1;
+    value_dist = Dist.Uniform (0.0, 1.0);
+    rate = 1000.0;
+  }
+
+let draw spec rng i =
+  let ts = float_of_int i /. spec.rate in
+  let key = Discrete.sample rng spec.keys in
+  let tag = if spec.tags <= 1 then 0 else Rng.int rng spec.tags in
+  let values =
+    Array.init spec.arity (fun _ -> Dist.sample rng spec.value_dist)
+  in
+  Ss_operators.Tuple.make ~ts ~key ~tag values
+
+let tuples ?(spec = default_spec) rng n = List.init n (draw spec rng)
+
+let sequence ?(spec = default_spec) rng =
+  let rec from i () = Seq.Cons (draw spec rng i, from (i + 1)) in
+  from 0

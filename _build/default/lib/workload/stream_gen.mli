@@ -1,0 +1,22 @@
+(** Synthetic tuple-stream generation for profiling, the runtime examples
+    and the tests. *)
+
+open Ss_prelude
+
+type spec = {
+  arity : int;  (** Values per tuple (default 2). *)
+  keys : Discrete.t;  (** Key-group frequency law (default uniform 64). *)
+  tags : int;  (** Number of sub-streams; tags drawn uniformly (default 1). *)
+  value_dist : Dist.t;  (** Per-value law (default uniform [\[0,1)]). *)
+  rate : float;
+      (** Nominal emission rate in tuples/second, used to advance the
+          timestamps (default 1000). *)
+}
+
+val default_spec : spec
+
+val tuples : ?spec:spec -> Rng.t -> int -> Ss_operators.Tuple.t list
+(** [tuples rng n] draws [n] tuples with increasing timestamps. *)
+
+val sequence : ?spec:spec -> Rng.t -> Ss_operators.Tuple.t Seq.t
+(** Unbounded lazy stream (each element is drawn on demand). *)

@@ -1,0 +1,1 @@
+lib/xml/topology_xml.ml: Array Discrete Dist List Operator Option Printf Result Ss_prelude Ss_topology String Topology Xml

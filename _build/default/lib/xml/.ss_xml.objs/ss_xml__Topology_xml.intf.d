@@ -1,0 +1,1 @@
+lib/xml/topology_xml.mli: Ss_topology

@@ -1,0 +1,188 @@
+open Ss_prelude
+open Ss_topology
+
+let ( let* ) = Result.bind
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = collect f rest in
+      Ok (y :: ys)
+
+let float_attr node name ~default =
+  match Xml.attr name node with
+  | None -> Ok default
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "attribute %s=%S is not a number" name v))
+
+let int_attr node name ~default =
+  match Xml.attr name node with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "attribute %s=%S is not an integer" name v))
+
+let parse_keys spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | [ "zipf"; alpha; groups ] -> (
+      match (float_of_string_opt alpha, int_of_string_opt groups) with
+      | Some alpha, Some groups when groups >= 1 ->
+          Ok (Discrete.zipf ~alpha groups)
+      | _ -> Error (Printf.sprintf "malformed zipf key spec %S" spec))
+  | _ -> (
+      let parts = String.split_on_char ';' spec in
+      let* weights =
+        collect
+          (fun p ->
+            match float_of_string_opt (String.trim p) with
+            | Some w -> Ok w
+            | None -> Error (Printf.sprintf "malformed key weight %S" p))
+          parts
+      in
+      try Ok (Discrete.of_weights (Array.of_list weights))
+      with Invalid_argument m -> Error m)
+
+let parse_operator node =
+  let* name = Xml.attr_exn "name" node in
+  let* id = Xml.attr_exn "id" node in
+  let* id =
+    match int_of_string_opt id with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "operator %S: invalid id %S" name id)
+  in
+  let context e = Printf.sprintf "operator %S: %s" name e in
+  let* dist =
+    let* spec = Result.map_error context (Xml.attr_exn "service_time" node) in
+    Result.map_error context (Dist.of_string spec)
+  in
+  let* input_selectivity =
+    Result.map_error context (float_attr node "input_selectivity" ~default:1.0)
+  in
+  let* output_selectivity =
+    Result.map_error context (float_attr node "output_selectivity" ~default:1.0)
+  in
+  let* replicas = Result.map_error context (int_attr node "replicas" ~default:1) in
+  let* kind =
+    match Option.value ~default:"stateless" (Xml.attr "type" node) with
+    | "stateless" -> Ok Operator.Stateless
+    | "stateful" -> Ok Operator.Stateful
+    | "partitioned" | "partitioned-stateful" ->
+        let* spec = Result.map_error context (Xml.attr_exn "keys" node) in
+        let* keys = Result.map_error context (parse_keys spec) in
+        Ok (Operator.Partitioned_stateful keys)
+    | other -> Error (context (Printf.sprintf "unknown operator type %S" other))
+  in
+  try
+    Ok
+      ( id,
+        Operator.make ~kind ~dist ~input_selectivity ~output_selectivity
+          ~replicas ~service_time:(Dist.mean dist) name )
+  with Invalid_argument m -> Error (context m)
+
+let parse_edge node =
+  let* from_ = Xml.attr_exn "from" node in
+  let* to_ = Xml.attr_exn "to" node in
+  let* prob = float_attr node "probability" ~default:1.0 in
+  match (int_of_string_opt from_, int_of_string_opt to_) with
+  | Some u, Some v -> Ok (u, v, prob)
+  | _ -> Error (Printf.sprintf "malformed edge %S -> %S" from_ to_)
+
+let parse_raw src =
+  let* root = Xml.parse src in
+  let* () =
+    match Xml.tag root with
+    | Some "topology" -> Ok ()
+    | Some other -> Error (Printf.sprintf "expected <topology>, found <%s>" other)
+    | None -> Error "expected <topology>"
+  in
+  let* operators = collect parse_operator (Xml.find_all "operator" root) in
+  let* edges = collect parse_edge (Xml.find_all "edge" root) in
+  let* () = if operators = [] then Error "no <operator> elements" else Ok () in
+  let n = List.length operators in
+  let slots = Array.make n None in
+  let* () =
+    List.fold_left
+      (fun acc (id, op) ->
+        let* () = acc in
+        if id >= n then
+          Error
+            (Printf.sprintf "operator ids must be dense 0..%d; found %d" (n - 1) id)
+        else
+          match slots.(id) with
+          | Some _ -> Error (Printf.sprintf "duplicate operator id %d" id)
+          | None ->
+              slots.(id) <- Some op;
+              Ok ())
+      (Ok ()) operators
+  in
+  Ok (Array.map Option.get slots, edges)
+
+let of_string src =
+  let* ops, edges = parse_raw src in
+  Result.map_error Topology.error_to_string (Topology.create ops edges)
+
+let class_of_name name =
+  match String.index_opt name '#' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let to_string topology =
+  let operator_node v (op : Operator.t) =
+    let base =
+      [
+        ("id", string_of_int v);
+        ("name", op.Operator.name);
+        ("class", class_of_name op.Operator.name);
+        ( "type",
+          match op.Operator.kind with
+          | Operator.Stateless -> "stateless"
+          | Operator.Stateful -> "stateful"
+          | Operator.Partitioned_stateful _ -> "partitioned" );
+        ("service_time", Dist.to_string op.Operator.service_dist);
+      ]
+    in
+    let optional =
+      List.concat
+        [
+          (if op.Operator.input_selectivity <> 1.0 then
+             [ ("input_selectivity", Printf.sprintf "%.17g" op.Operator.input_selectivity) ]
+           else []);
+          (if op.Operator.output_selectivity <> 1.0 then
+             [ ("output_selectivity", Printf.sprintf "%.17g" op.Operator.output_selectivity) ]
+           else []);
+          (if op.Operator.replicas <> 1 then
+             [ ("replicas", string_of_int op.Operator.replicas) ]
+           else []);
+          (match op.Operator.kind with
+          | Operator.Partitioned_stateful keys ->
+              [
+                ( "keys",
+                  Discrete.probs keys |> Array.to_list
+                  |> List.map (Printf.sprintf "%.17g")
+                  |> String.concat ";" );
+              ]
+          | Operator.Stateless | Operator.Stateful -> []);
+        ]
+    in
+    Xml.Element ("operator", base @ optional, [])
+  in
+  let edge_node (u, v, p) =
+    Xml.Element
+      ( "edge",
+        [
+          ("from", string_of_int u);
+          ("to", string_of_int v);
+          ("probability", Printf.sprintf "%.17g" p);
+        ],
+        [] )
+  in
+  let nodes =
+    List.init (Topology.size topology) (fun v ->
+        operator_node v (Topology.operator topology v))
+    @ List.map edge_node (Topology.edges topology)
+  in
+  Xml.to_string (Xml.Element ("topology", [], nodes))

@@ -1,0 +1,43 @@
+(** The SpinStreams XML topology formalism (paper §4.1): operators with
+    their profiling measures, and probabilistic edges.
+
+    Document shape:
+    {v
+    <topology>
+      <operator id="0" name="source" class="source" type="stateless"
+                service_time="det:0.001"/>
+      <operator id="1" name="agg" class="sum_w1000_s10" type="partitioned"
+                service_time="exp:0.004" input_selectivity="10"
+                output_selectivity="1" replicas="2"
+                keys="zipf:1.2:64"/>
+      <edge from="0" to="1" probability="1.0"/>
+    </topology>
+    v}
+
+    [service_time] uses the {!Ss_prelude.Dist.of_string} syntax (the mean
+    becomes the descriptor's service time). [type] is [stateless],
+    [stateful] or [partitioned]; partitioned operators carry [keys], either
+    ["zipf:<alpha>:<groups>"] or an explicit [";"]-separated weight list.
+    [class] names the executable behavior (defaults to [name]);
+    [input_selectivity], [output_selectivity] and [replicas] default to 1. *)
+
+val parse_raw :
+  string ->
+  (Ss_topology.Operator.t array * (int * int * float) list, string) result
+(** Parse the document into the operator table and edge list {e without}
+    building the topology — the entry point for consumers with relaxed
+    structural requirements, such as multi-source unification
+    ({!Ss_core.Multi_source.unify}). Attribute-level validation (ids,
+    distributions, kinds, selectivities) still applies. *)
+
+val of_string : string -> (Ss_topology.Topology.t, string) result
+(** Parse and validate a topology document. All {!Ss_topology.Topology}
+    invariants are enforced; id gaps, duplicate ids and malformed attributes
+    are reported with context. *)
+
+val to_string : Ss_topology.Topology.t -> string
+(** Render a topology; [of_string] of the result reconstructs an identical
+    topology (service distributions included). The [class] attribute is
+    emitted as the operator name with any ["#vertex"] suffix removed (the
+    convention of {!Ss_workload.Random_topology.behavior_name}); on input it
+    is informational and ignored. *)

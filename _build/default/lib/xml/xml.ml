@@ -1,0 +1,294 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over a string with line/column tracking. *)
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+exception Parse_error of string
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" c.line c.col msg))
+
+let eof c = c.pos >= String.length c.src
+let peek c = if eof c then '\000' else c.src.[c.pos]
+
+let advance c =
+  if not (eof c) then begin
+    if c.src.[c.pos] = '\n' then begin
+      c.line <- c.line + 1;
+      c.col <- 1
+    end
+    else c.col <- c.col + 1;
+    c.pos <- c.pos + 1
+  end
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.src && String.sub c.src c.pos n = s
+
+let skip c n = for _ = 1 to n do advance c done
+
+let skip_whitespace c =
+  while (not (eof c)) && (match peek c with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+    advance c
+  done
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = '.' || ch = ':'
+
+let read_name c =
+  let start = c.pos in
+  while (not (eof c)) && is_name_char (peek c) do advance c done;
+  if c.pos = start then fail c "expected a name";
+  String.sub c.src start (c.pos - start)
+
+let decode_entity c =
+  (* Called just after '&'. *)
+  let start = c.pos in
+  while (not (eof c)) && peek c <> ';' && c.pos - start < 8 do advance c done;
+  if peek c <> ';' then fail c "unterminated entity";
+  let name = String.sub c.src start (c.pos - start) in
+  advance c;
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      if String.length name > 1 && name.[0] = '#' then
+        let code =
+          if name.[1] = 'x' then
+            int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string_opt (String.sub name 1 (String.length name - 1))
+        in
+        match code with
+        | Some code when code >= 0 && code < 128 -> String.make 1 (Char.chr code)
+        | _ -> fail c (Printf.sprintf "unsupported character reference &%s;" name)
+      else fail c (Printf.sprintf "unknown entity &%s;" name)
+
+let read_attribute_value c =
+  let quote = peek c in
+  if quote <> '"' && quote <> '\'' then fail c "expected a quoted attribute value";
+  advance c;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof c then fail c "unterminated attribute value"
+    else if peek c = quote then advance c
+    else if peek c = '&' then begin
+      advance c;
+      Buffer.add_string buf (decode_entity c);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek c);
+      advance c;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_comment c =
+  (* Called on "<!--". *)
+  skip c 4;
+  let rec go () =
+    if eof c then fail c "unterminated comment"
+    else if looking_at c "-->" then skip c 3
+    else begin
+      advance c;
+      go ()
+    end
+  in
+  go ()
+
+let skip_prolog c =
+  skip_whitespace c;
+  while looking_at c "<?" || looking_at c "<!--" do
+    if looking_at c "<?" then begin
+      while (not (eof c)) && not (looking_at c "?>") do advance c done;
+      if eof c then fail c "unterminated XML declaration";
+      skip c 2
+    end
+    else skip_comment c;
+    skip_whitespace c
+  done
+
+let rec parse_element c =
+  if peek c <> '<' then fail c "expected '<'";
+  advance c;
+  let name = read_name c in
+  let rec read_attrs acc =
+    skip_whitespace c;
+    if looking_at c "/>" then begin
+      skip c 2;
+      (List.rev acc, [])
+    end
+    else if peek c = '>' then begin
+      advance c;
+      (List.rev acc, parse_children c name)
+    end
+    else begin
+      let attr_name = read_name c in
+      skip_whitespace c;
+      if peek c <> '=' then fail c "expected '=' after attribute name";
+      advance c;
+      skip_whitespace c;
+      let value = read_attribute_value c in
+      if List.mem_assoc attr_name acc then
+        fail c (Printf.sprintf "duplicate attribute %S" attr_name);
+      read_attrs ((attr_name, value) :: acc)
+    end
+  in
+  let attrs, children = read_attrs [] in
+  Element (name, attrs, children)
+
+and parse_children c parent =
+  let children = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then children := Text s :: !children
+  in
+  let rec go () =
+    if eof c then fail c (Printf.sprintf "unterminated element <%s>" parent)
+    else if looking_at c "<!--" then begin
+      flush_text ();
+      skip_comment c;
+      go ()
+    end
+    else if looking_at c "</" then begin
+      flush_text ();
+      skip c 2;
+      let closing = read_name c in
+      skip_whitespace c;
+      if peek c <> '>' then fail c "expected '>' in closing tag";
+      advance c;
+      if closing <> parent then
+        fail c (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing parent)
+    end
+    else if peek c = '<' then begin
+      flush_text ();
+      children := parse_element c :: !children;
+      go ()
+    end
+    else if peek c = '&' then begin
+      advance c;
+      Buffer.add_string buf (decode_entity c);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek c);
+      advance c;
+      go ()
+    end
+  in
+  go ();
+  List.rev !children
+
+let parse src =
+  let c = { src; pos = 0; line = 1; col = 1 } in
+  try
+    skip_prolog c;
+    if eof c then Error "empty document"
+    else begin
+      let root = parse_element c in
+      skip_whitespace c;
+      while looking_at c "<!--" do
+        skip_comment c;
+        skip_whitespace c
+      done;
+      if not (eof c) then fail c "content after the root element";
+      Ok root
+    end
+  with Parse_error msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok t -> t | Error e -> failwith ("Xml.parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = 2) t =
+  let buf = Buffer.create 256 in
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let rec render depth = function
+    | Text s ->
+        pad depth;
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '\n'
+    | Element (name, attrs, children) ->
+        pad depth;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+          attrs;
+        if children = [] then Buffer.add_string buf "/>\n"
+        else if List.for_all (function Text _ -> true | Element _ -> false) children
+        then begin
+          (* Text-only content is rendered inline so no indentation
+             whitespace is injected into it. *)
+          Buffer.add_char buf '>';
+          List.iter
+            (function Text s -> Buffer.add_string buf (escape s) | Element _ -> ())
+            children;
+          Buffer.add_string buf (Printf.sprintf "</%s>\n" name)
+        end
+        else begin
+          Buffer.add_string buf ">\n";
+          List.iter (render (depth + 1)) children;
+          pad depth;
+          Buffer.add_string buf (Printf.sprintf "</%s>\n" name)
+        end
+  in
+  render 0 t;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let tag = function Element (name, _, _) -> Some name | Text _ -> None
+let attr name = function
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let attr_exn name node =
+  match attr name node with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (Printf.sprintf "missing attribute %S on <%s>" name
+           (Option.value ~default:"#text" (tag node)))
+
+let children = function Element (_, _, cs) -> cs | Text _ -> []
+
+let find_all name node =
+  List.filter (fun c -> tag c = Some name) (children node)
+
+let text_content node =
+  children node
+  |> List.filter_map (function Text s -> Some s | Element _ -> None)
+  |> String.concat ""

@@ -1,0 +1,36 @@
+(** Minimal XML document model and parser — enough for the SpinStreams
+    topology formalism (elements, attributes, text, comments, XML
+    declarations and the five predefined entities). Namespaces, CDATA and
+    DTDs are out of scope. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** [(tag, attributes, children)]. *)
+  | Text of string
+
+val parse : string -> (t, string) result
+(** Parse a document; the single root element is returned. Whitespace-only
+    text nodes are dropped. Errors carry a line/column position. *)
+
+val parse_exn : string -> t
+(** @raise Failure with the parse error. *)
+
+val to_string : ?indent:int -> t -> string
+(** Render with 2-space indentation per level by default; attribute values
+    and text are escaped. *)
+
+(** {1 Accessors} *)
+
+val tag : t -> string option
+val attr : string -> t -> string option
+val attr_exn : string -> t -> (string, string) result
+(** [Error] explains which attribute is missing from which element. *)
+
+val children : t -> t list
+val find_all : string -> t -> t list
+(** Direct children with the given tag. *)
+
+val text_content : t -> string
+(** Concatenated text of the node's direct text children. *)
+
+val escape : string -> string

@@ -1,0 +1,64 @@
+(* Shared topology fixtures for the test suites. All service times are in
+   seconds; the paper quotes them in milliseconds. *)
+
+open Ss_topology
+
+let ms x = x /. 1e3
+
+(* The six-operator topology of the paper's Fig. 11, with the edge set
+   reconstructed from Tables 1-2:
+     1->2 @0.7, 1->3 @0.3, 3->4 @0.5, 3->5 @0.5, 5->4 @0.35, 5->6 @0.65,
+     4->6 @1.0, 2->6 @1.0
+   (vertices renumbered 0-based). [service_times_ms] has one entry per
+   vertex. *)
+let fig11 service_times_ms =
+  let ops =
+    Array.of_list
+      (List.mapi
+         (fun i t -> Operator.make ~service_time:(ms t) (Printf.sprintf "op%d" (i + 1)))
+         service_times_ms)
+  in
+  Topology.create_exn ops
+    [
+      (0, 1, 0.7);
+      (0, 2, 0.3);
+      (2, 3, 0.5);
+      (2, 4, 0.5);
+      (4, 3, 0.35);
+      (4, 5, 0.65);
+      (3, 5, 1.0);
+      (1, 5, 1.0);
+    ]
+
+(* Service times of Table 1 (fusion feasible) and Table 2 (fusion creates a
+   bottleneck). *)
+let table1 () = fig11 [ 1.0; 1.2; 0.7; 2.0; 1.5; 0.2 ]
+let table2 () = fig11 [ 1.0; 1.2; 1.5; 2.7; 2.2; 0.2 ]
+
+(* A plain pipeline source -> a -> b -> c with the given service times. *)
+let pipeline service_times_ms =
+  let ops =
+    Array.of_list
+      (List.mapi
+         (fun i t ->
+           Operator.make ~service_time:(ms t) (Printf.sprintf "stage%d" i))
+         service_times_ms)
+  in
+  let edges =
+    List.init (Array.length ops - 1) (fun i -> (i, i + 1, 1.0))
+  in
+  Topology.create_exn ops edges
+
+(* Diamond: source fans out to two branches that rejoin at a sink.
+   src -> a @pa, src -> b @(1-pa), a -> sink, b -> sink. *)
+let diamond ~pa ~t_src ~t_a ~t_b ~t_sink =
+  let ops =
+    [|
+      Operator.make ~service_time:(ms t_src) "src";
+      Operator.make ~service_time:(ms t_a) "a";
+      Operator.make ~service_time:(ms t_b) "b";
+      Operator.make ~service_time:(ms t_sink) "sink";
+    |]
+  in
+  Topology.create_exn ops
+    [ (0, 1, pa); (0, 2, 1.0 -. pa); (1, 3, 1.0); (2, 3, 1.0) ]

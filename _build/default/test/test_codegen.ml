@@ -1,0 +1,214 @@
+(* Tests for the code generator: structure of the emitted program, catalog
+   resolution vs cost-faithful stubs, and project writing. *)
+
+open Ss_topology
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_contains what needle haystack =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %S in output" what needle)
+    true (contains ~needle haystack)
+
+let check_absent what needle haystack =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: did not expect %S" what needle)
+    true
+    (not (contains ~needle haystack))
+
+let simple_topology () =
+  Topology.create_exn
+    [|
+      Operator.make ~service_time:1e-3 "source";
+      (* "identity" is a catalog name: must resolve, not stub. *)
+      Operator.make ~service_time:0.5e-3 "identity#1";
+      (* unknown class: must fall back to the stub. *)
+      Operator.make ~service_time:2e-3 "proprietary_scorer#2";
+    |]
+    [ (0, 1, 1.0); (1, 2, 1.0) ]
+
+let test_program_structure () =
+  let code = Ss_codegen.Codegen.program (simple_topology ()) in
+  check_contains "topology binding" "let topology =" code;
+  check_contains "create call" "Ss_topology.Topology.create_exn" code;
+  check_contains "edges" "(0, 1, 1.);" code;
+  check_contains "registry" "let registry = function" code;
+  check_contains "executor" "Ss_runtime.Executor.run" code;
+  check_contains "source stream" "Ss_workload.Stream_gen.tuples" code;
+  check_contains "metrics printing" "source rate" code
+
+let test_catalog_vs_stub_resolution () =
+  let code = Ss_codegen.Codegen.program (simple_topology ()) in
+  check_contains "catalog lookup" "Ss_operators.Catalog.find_exn \"identity\"" code;
+  check_contains "stub for unknown class" "stub ~state_kind" code;
+  check_contains "stub class name" "\"proprietary_scorer\"" code
+
+let test_float_literals_valid () =
+  (* Integral floats must render with a trailing dot, or OCaml reads ints. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1.0 "source";
+      Operator.make ~service_time:2.0 ~output_selectivity:3.0 "x#1";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let code = Ss_codegen.Codegen.program t in
+  check_contains "integral service time" "~service_time:1." code;
+  check_absent "bare integer selectivity" "~output_selectivity:3\n" code
+
+let test_kinds_and_distributions_rendered () =
+  let keys = Ss_prelude.Discrete.of_weights [| 0.75; 0.25 |] in
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "source";
+      Operator.make
+        ~kind:(Operator.Partitioned_stateful keys)
+        ~dist:(Ss_prelude.Dist.Exponential 2e-3)
+        ~replicas:3 ~service_time:2e-3 "keyed#1";
+      Operator.make ~kind:Operator.Stateful ~service_time:1e-3 "join#2";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let code = Ss_codegen.Codegen.program t in
+  check_contains "partitioned kind" "Partitioned_stateful" code;
+  check_contains "key weights" "Ss_prelude.Discrete.of_weights [| 0.75; 0.25 |]" code;
+  check_contains "exponential dist" "Ss_prelude.Dist.Exponential" code;
+  check_contains "stateful kind" "Ss_topology.Operator.Stateful" code;
+  check_contains "replicas" "~replicas:3" code
+
+let test_fused_groups_rendered () =
+  let t = Fixtures.table1 () in
+  let code = Ss_codegen.Codegen.program ~fused:[ [ 2; 3; 4 ] ] t in
+  check_contains "fused option" "~fused:[ [ 2; 3; 4 ] ]" code;
+  let without = Ss_codegen.Codegen.program t in
+  check_absent "no fused option by default" "~fused:" without
+
+let test_tuples_parameter () =
+  let code = Ss_codegen.Codegen.program ~tuples:1234 (simple_topology ()) in
+  check_contains "stream length" "1234" code
+
+let test_dune_stanza () =
+  let stanza = Ss_codegen.Codegen.dune_stanza ~name:"my_pipeline" in
+  check_contains "executable name" "(name my_pipeline)" stanza;
+  check_contains "runtime dependency" "ss_runtime" stanza
+
+let test_write_project () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ss_codegen_test_%d" (Unix.getpid ()))
+  in
+  Ss_codegen.Codegen.write_project ~dir ~name:"pipeline" (simple_topology ());
+  let read path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let ml = read (Filename.concat dir "pipeline.ml") in
+  let dune = read (Filename.concat dir "dune") in
+  check_contains "module content" "let topology =" ml;
+  check_contains "dune content" "(name pipeline)" dune;
+  Sys.remove (Filename.concat dir "pipeline.ml");
+  Sys.remove (Filename.concat dir "dune");
+  Sys.rmdir dir
+
+let test_generated_program_deterministic () =
+  let a = Ss_codegen.Codegen.program (simple_topology ()) in
+  let b = Ss_codegen.Codegen.program (simple_topology ()) in
+  Alcotest.(check string) "same input, same output" a b
+
+let test_roundtrip_topology_through_program () =
+  (* The operator table in the generated program must reflect the input
+     exactly: spot-check a service time rendered at full precision. *)
+  let t =
+    Topology.create_exn
+      [|
+        Operator.make ~service_time:1e-3 "source";
+        Operator.make ~service_time:0.0012345678901234567 "x#1";
+      |]
+      [ (0, 1, 1.0) ]
+  in
+  let code = Ss_codegen.Codegen.program t in
+  check_contains "full precision" "0.0012345678901234567" code
+
+(* ------------------------------------------------------------------ *)
+(* Plan: direct deployment *)
+
+let test_plan_resolves_catalog () =
+  let op = Operator.make ~service_time:1e-3 "identity#3" in
+  let b = Ss_codegen.Plan.resolve op in
+  Alcotest.(check string) "catalog behavior" "identity" b.Ss_operators.Behavior.name
+
+let test_plan_stub_for_unknown () =
+  let op =
+    Operator.make ~service_time:0.2e-3 ~output_selectivity:2.0 "custom_scorer#1"
+  in
+  let b = Ss_codegen.Plan.resolve op in
+  Alcotest.(check string) "stub named after the class" "custom_scorer"
+    b.Ss_operators.Behavior.name;
+  Alcotest.(check (float 1e-9)) "stub selectivity" 2.0
+    b.Ss_operators.Behavior.output_selectivity;
+  (* The stub runs and honors its selectivity. *)
+  let fn = Ss_operators.Behavior.instantiate b in
+  let outs = fn (Ss_operators.Tuple.make [| 1.0 |]) in
+  Alcotest.(check int) "two outputs per input" 2 (List.length outs)
+
+let test_plan_runs_topology () =
+  let t =
+    Topology.create_exn
+      [|
+        Operator.make ~service_time:1e-5 "source";
+        Operator.make ~service_time:1e-5 "identity#1";
+        Operator.make ~service_time:1e-5 "sample_1_in_4#2";
+      |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let m = Ss_codegen.Plan.run ~tuples:400 t in
+  Alcotest.(check int) "source emitted" 400 m.Ss_runtime.Executor.produced.(0);
+  Alcotest.(check int) "identity passed through" 400
+    m.Ss_runtime.Executor.consumed.(1);
+  Alcotest.(check int) "sampler kept a quarter" 100
+    m.Ss_runtime.Executor.produced.(2)
+
+let test_plan_runs_fused () =
+  let t =
+    Topology.create_exn
+      [|
+        Operator.make ~service_time:1e-5 "source";
+        Operator.make ~service_time:1e-5 "identity#1";
+        Operator.make ~service_time:1e-5 "identity#2";
+      |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let m = Ss_codegen.Plan.run ~tuples:300 ~fused:[ [ 1; 2 ] ] t in
+  Alcotest.(check int) "meta-operator processed both stages" 300
+    m.Ss_runtime.Executor.consumed.(2)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_codegen"
+    [
+      ( "program",
+        [
+          quick "overall structure" test_program_structure;
+          quick "catalog vs stub" test_catalog_vs_stub_resolution;
+          quick "float literals" test_float_literals_valid;
+          quick "kinds and distributions" test_kinds_and_distributions_rendered;
+          quick "fused groups" test_fused_groups_rendered;
+          quick "tuples parameter" test_tuples_parameter;
+          quick "deterministic output" test_generated_program_deterministic;
+          quick "precision" test_roundtrip_topology_through_program;
+        ] );
+      ( "project",
+        [ quick "dune stanza" test_dune_stanza; quick "write project" test_write_project ] );
+      ( "plan",
+        [
+          quick "catalog resolution" test_plan_resolves_catalog;
+          quick "stub fallback" test_plan_stub_for_unknown;
+          quick "end-to-end run" test_plan_runs_topology;
+          quick "fused run" test_plan_runs_fused;
+        ] );
+    ]

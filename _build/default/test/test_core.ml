@@ -1,0 +1,1046 @@
+(* Tests for the SpinStreams cost models: steady-state analysis
+   (Algorithm 1), fission (Algorithm 2), key partitioning, and fusion
+   (Algorithm 3). The headline cases are the paper's Tables 1 and 2. *)
+
+open Ss_topology
+open Ss_core
+
+let check_float ?(eps = 1e-6) what expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.6f, got %.6f" what expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps *. Float.max 1.0 (Float.abs expected))
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let metrics analysis v = analysis.Steady_state.metrics.(v)
+let rho analysis v = (metrics analysis v).Steady_state.utilization
+let delta analysis v = (metrics analysis v).Steady_state.departure_rate
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state analysis *)
+
+let test_table1_original () =
+  let t = Fixtures.table1 () in
+  let a = Steady_state.analyze t in
+  check_float "throughput" 1000.0 a.Steady_state.throughput;
+  check_float "rho op2" 0.84 (rho a 1) ~eps:1e-9;
+  check_float "rho op3" 0.21 (rho a 2) ~eps:1e-9;
+  check_float "rho op4" 0.405 (rho a 3) ~eps:1e-9;
+  check_float "rho op5" 0.225 (rho a 4) ~eps:1e-9;
+  check_float "rho op6" 0.2 (rho a 5) ~eps:1e-9;
+  (* Paper Table 1 delta^-1 column (ms): 1.00 1.42 3.33 4.93 6.67 1.00 *)
+  check_float "delta op2" (1.0 /. 1.42857e-3) (delta a 1) ~eps:1e-4;
+  check_float "delta op3" (0.3 *. 1000.0) (delta a 2);
+  check_float "delta op4" 202.5 (delta a 3);
+  check_float "delta op5" 150.0 (delta a 4);
+  check_float "delta op6" 1000.0 (delta a 5);
+  Alcotest.(check int) "no restart" 0 a.Steady_state.restarts
+
+let test_pipeline_no_bottleneck () =
+  let t = Fixtures.pipeline [ 1.0; 0.5; 0.8 ] in
+  let a = Steady_state.analyze t in
+  check_float "throughput" 1000.0 a.Steady_state.throughput;
+  check_float "sink rate equals source rate" a.Steady_state.throughput
+    a.Steady_state.sink_rate
+
+let test_pipeline_bottleneck () =
+  (* Source at 1000/s, middle stage sustains only 250/s. *)
+  let t = Fixtures.pipeline [ 1.0; 4.0; 0.8 ] in
+  let a = Steady_state.analyze t in
+  check_float "throughput capped by bottleneck" 250.0 a.Steady_state.throughput;
+  check_float "source scaling" 0.25 a.Steady_state.source_scaling;
+  check_float "bottleneck saturated" 1.0 (rho a 1);
+  Alcotest.(check bool) "flagged" true (metrics a 1).Steady_state.is_bottleneck;
+  check_float "downstream rho" (250.0 /. 1250.0) (rho a 2)
+
+let test_two_bottlenecks () =
+  (* The farther bottleneck is stricter; two corrections are required. *)
+  let t = Fixtures.pipeline [ 1.0; 2.0; 5.0 ] in
+  let a = Steady_state.analyze t in
+  check_float "throughput" 200.0 a.Steady_state.throughput;
+  Alcotest.(check bool) "at least two restarts" true (a.Steady_state.restarts >= 2);
+  check_float "stage1 rho after correction" (200.0 /. 500.0) (rho a 1);
+  check_float "stage2 saturated" 1.0 (rho a 2)
+
+let test_diamond_weighted_paths () =
+  (* Bottleneck on one branch only throttles in proportion to the branch
+     probability: branch a receives 30% of 1000/s but sustains 200/s. *)
+  let t = Fixtures.diamond ~pa:0.3 ~t_src:1.0 ~t_a:5.0 ~t_b:0.5 ~t_sink:0.1 in
+  let a = Steady_state.analyze t in
+  (* lambda_a = 0.3 * delta_src = mu_a  =>  delta_src = 200 / 0.3. *)
+  check_float "throughput" (200.0 /. 0.3) a.Steady_state.throughput ~eps:1e-9;
+  check_float "branch a saturated" 1.0 (rho a 1);
+  check_float "sink rate equals throughput" a.Steady_state.throughput
+    a.Steady_state.sink_rate ~eps:1e-9
+
+let test_sink_rate_proposition () =
+  (* Proposition 3.5 on the Fig. 11 topology. *)
+  let t = Fixtures.table2 () in
+  let a = Steady_state.analyze t in
+  check_float "source rate = sum of sink rates" a.Steady_state.throughput
+    a.Steady_state.sink_rate ~eps:1e-9
+
+let test_output_selectivity () =
+  (* A flatmap doubling the stream doubles downstream arrivals. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.2e-3 ~output_selectivity:2.0 "flatmap";
+      Operator.make ~service_time:0.3e-3 "sink";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let a = Steady_state.analyze t in
+  check_float "flatmap departure" 2000.0 (delta a 1);
+  check_float "sink arrival" 2000.0 (metrics a 2).Steady_state.arrival_rate;
+  check_float "sink rho" (2000.0 /. (1000.0 /. 0.3)) (rho a 2)
+
+let test_input_selectivity () =
+  (* A sliding window with slide 10 emits one result per 10 inputs. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.5e-3 ~input_selectivity:10.0 "window";
+      Operator.make ~service_time:2e-3 "slow_sink";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let a = Steady_state.analyze t in
+  check_float "window departure" 100.0 (delta a 1);
+  (* 100/s into a 500/s sink: no bottleneck despite the slow sink. *)
+  check_float "throughput" 1000.0 a.Steady_state.throughput;
+  check_float "sink rho" 0.2 (rho a 2)
+
+let test_selectivity_upstream_of_bottleneck () =
+  (* The bottleneck check happens on post-selectivity arrival rates. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.1e-3 ~output_selectivity:3.0 "expand";
+      Operator.make ~service_time:1e-3 "stage";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let a = Steady_state.analyze t in
+  (* stage receives 3x the source rate and sustains 1000/s: the source is
+     throttled to 1000/3. *)
+  check_float "throughput" (1000.0 /. 3.0) a.Steady_state.throughput ~eps:1e-9;
+  check_float "stage saturated" 1.0 (rho a 2)
+
+let test_replicated_capacity () =
+  (* A pre-replicated stateless operator has n * mu capacity. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:3e-3 ~replicas:3 "worker";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let a = Steady_state.analyze t in
+  check_float "throughput" 1000.0 a.Steady_state.throughput;
+  check_float "worker rho" 1.0 (rho a 1)
+
+(* ------------------------------------------------------------------ *)
+(* Key partitioning *)
+
+let keys_of weights = Ss_prelude.Discrete.of_weights weights
+
+let test_partitioning_uniform () =
+  let a = Key_partitioning.assign ~keys:(keys_of (Array.make 100 1.0)) ~rho:3.4 in
+  Alcotest.(check int) "replicas" 4 a.Key_partitioning.replicas;
+  Alcotest.(check bool) "near-even split" true
+    (a.Key_partitioning.max_fraction <= 0.26)
+
+let test_partitioning_paper_example () =
+  (* Paper §3.2: n_opt = 3 but 50% of items share one key: the bottleneck is
+     mitigated with 2 replicas and pmax = 0.5. *)
+  let a =
+    Key_partitioning.assign
+      ~keys:(keys_of [| 0.5; 0.25; 0.125; 0.125 |])
+      ~rho:3.0
+  in
+  Alcotest.(check int) "replicas" 2 a.Key_partitioning.replicas;
+  check_float "pmax" 0.5 a.Key_partitioning.max_fraction
+
+let test_partitioning_fewer_keys_than_replicas () =
+  let a = Key_partitioning.assign ~keys:(keys_of [| 1.0; 1.0 |]) ~rho:5.0 in
+  Alcotest.(check int) "capped by key count" 2 a.Key_partitioning.replicas;
+  check_float "pmax" 0.5 a.Key_partitioning.max_fraction
+
+let test_partitioning_loads_sum_to_one () =
+  let keys = keys_of [| 5.0; 3.0; 2.0; 2.0; 1.0; 1.0; 1.0 |] in
+  let a = Key_partitioning.assign ~keys ~rho:2.7 in
+  let loads = Key_partitioning.load_per_replica a ~keys in
+  check_float "loads sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 loads);
+  check_float "pmax is the max load" a.Key_partitioning.max_fraction
+    (Array.fold_left Float.max 0.0 loads)
+
+(* ------------------------------------------------------------------ *)
+(* Fission *)
+
+let test_fission_stateless () =
+  let t = Fixtures.pipeline [ 0.5; 2.0; 0.4 ] in
+  let f = Fission.optimize t in
+  check_float "ideal throughput restored" 2000.0
+    f.Fission.analysis.Steady_state.throughput;
+  (match f.Fission.replications with
+  | [ r ] ->
+      Alcotest.(check int) "vertex" 1 r.Fission.vertex;
+      Alcotest.(check int) "ceil(rho) replicas" 4 r.Fission.after
+  | rs ->
+      Alcotest.failf "expected exactly one replication, got %d" (List.length rs));
+  Alcotest.(check (list int)) "no residual" [] f.Fission.residual_bottlenecks
+
+let test_fission_exact_multiple () =
+  (* rho exactly 2.0 must use 2 replicas, not 3. *)
+  let t = Fixtures.pipeline [ 1.0; 2.0 ] in
+  let f = Fission.optimize t in
+  match f.Fission.replications with
+  | [ r ] -> Alcotest.(check int) "replicas" 2 r.Fission.after
+  | _ -> Alcotest.fail "expected one replication"
+
+let test_fission_stateful_blocks () =
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~kind:Operator.Stateful ~service_time:4e-3 "state";
+      Operator.make ~service_time:0.5e-3 "sink";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let f = Fission.optimize t in
+  Alcotest.(check (list int)) "stateful residual" [ 1 ]
+    f.Fission.residual_bottlenecks;
+  check_float "throughput capped" 250.0 f.Fission.analysis.Steady_state.throughput;
+  Alcotest.(check (list int)) "replica counts unchanged" []
+    (List.map (fun r -> r.Fission.vertex) f.Fission.replications)
+
+let test_fission_partitioned_skew_residual () =
+  (* mu = 1000/s, lambda = 3000/s, half the load on one key: 2 replicas,
+     capacity 2000/s, residual bottleneck throttles the source. *)
+  let keys = keys_of [| 0.5; 0.25; 0.125; 0.125 |] in
+  let ops =
+    [|
+      Operator.make ~service_time:(1.0 /. 3000.0) "src";
+      Operator.make ~kind:(Operator.Partitioned_stateful keys)
+        ~service_time:1e-3 "keyed";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let f = Fission.optimize t in
+  check_float "throughput" 2000.0 f.Fission.analysis.Steady_state.throughput;
+  Alcotest.(check (list int)) "residual" [ 1 ] f.Fission.residual_bottlenecks;
+  match f.Fission.replications with
+  | [ r ] ->
+      Alcotest.(check int) "replicas" 2 r.Fission.after;
+      (match r.Fission.max_fraction with
+      | Some p -> check_float "pmax" 0.5 p
+      | None -> Alcotest.fail "expected pmax")
+  | _ -> Alcotest.fail "expected one replication"
+
+let test_fission_partitioned_even_keys () =
+  (* 60 uniform keys split exactly over ceil(3) replicas. *)
+  let keys = keys_of (Array.make 60 1.0) in
+  let ops =
+    [|
+      Operator.make ~service_time:(1.0 /. 3000.0) "src";
+      Operator.make ~kind:(Operator.Partitioned_stateful keys)
+        ~service_time:1e-3 "keyed";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let f = Fission.optimize t in
+  check_float "ideal throughput" 3000.0 f.Fission.analysis.Steady_state.throughput;
+  Alcotest.(check (list int)) "no residual" [] f.Fission.residual_bottlenecks
+
+let test_fission_bound () =
+  (* Unbounded plan needs 4 replicas on the middle stage; bound the total to
+     force a proportional de-scaling (paper Fig. 10). *)
+  let t = Fixtures.pipeline [ 0.5; 2.0; 0.4 ] in
+  let unbounded = Fission.optimize t in
+  Alcotest.(check int) "unbounded total" 6 unbounded.Fission.total_replicas;
+  let bounded = Fission.optimize ~max_replicas:4 t in
+  let original = (Steady_state.analyze t).Steady_state.throughput in
+  Alcotest.(check bool) "bound respected" true
+    (bounded.Fission.total_replicas <= 4);
+  Alcotest.(check bool) "throughput de-scales but stays above original" true
+    (bounded.Fission.analysis.Steady_state.throughput
+       < unbounded.Fission.analysis.Steady_state.throughput
+    && bounded.Fission.analysis.Steady_state.throughput > original)
+
+let test_fission_bound_too_small () =
+  let t = Fixtures.pipeline [ 0.5; 2.0; 0.4 ] in
+  Alcotest.check_raises "bound below one replica per op"
+    (Invalid_argument
+       "Fission.optimize: max_replicas below one replica per operator")
+    (fun () -> ignore (Fission.optimize ~max_replicas:2 t))
+
+let test_fission_no_bottleneck_is_identity () =
+  let t = Fixtures.pipeline [ 1.0; 0.5; 0.8 ] in
+  let f = Fission.optimize t in
+  Alcotest.(check (list int)) "nothing replicated" []
+    (List.map (fun r -> r.Fission.vertex) f.Fission.replications);
+  Alcotest.(check int) "one replica per op" (Topology.size t)
+    f.Fission.total_replicas
+
+(* ------------------------------------------------------------------ *)
+(* Fusion *)
+
+let test_fusion_table1 () =
+  let t = Fixtures.table1 () in
+  (* Fuse operators 3, 4, 5 of the paper = vertices 2, 3, 4. *)
+  (match Fusion.service_time t [ 2; 3; 4 ] with
+  | Ok ts -> check_float "T_F = 2.80 ms" 2.8e-3 ts ~eps:1e-9
+  | Error e -> Alcotest.fail e);
+  match Fusion.apply t [ 2; 3; 4 ] with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_float "fused service time" 2.8e-3 o.Fusion.fused_service_time
+        ~eps:1e-9;
+      Alcotest.(check bool) "no new bottleneck" false o.Fusion.creates_bottleneck;
+      check_float "throughput preserved" 1.0 o.Fusion.throughput_ratio ~eps:1e-9;
+      check_float "rho_F" 0.84
+        o.Fusion.after.Steady_state.metrics.(o.Fusion.fused_vertex)
+          .Steady_state.utilization ~eps:1e-9;
+      Alcotest.(check int) "four operators remain" 4
+        (Topology.size o.Fusion.topology)
+
+let test_fusion_table2 () =
+  let t = Fixtures.table2 () in
+  (match Fusion.service_time t [ 2; 3; 4 ] with
+  | Ok ts -> check_float "T_F = 4.4225 ms" 4.4225e-3 ts ~eps:1e-9
+  | Error e -> Alcotest.fail e);
+  match Fusion.apply t [ 2; 3; 4 ] with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check bool) "creates a bottleneck" true
+        o.Fusion.creates_bottleneck;
+      (* Predicted throughput about 754/s (the paper rounds to 760). *)
+      check_float "throughput after" (1000.0 /. (0.3 *. 4.4225))
+        o.Fusion.after.Steady_state.throughput ~eps:1e-6;
+      Alcotest.(check bool) "ratio reports the degradation" true
+        (o.Fusion.throughput_ratio < 0.8)
+
+let test_fusion_chain_service_time () =
+  (* On a linear chain the fused service time is the plain sum. *)
+  let t = Fixtures.pipeline [ 1.0; 0.3; 0.4; 0.5 ] in
+  match Fusion.service_time t [ 1; 2; 3 ] with
+  | Ok ts -> check_float "sum of stages" 1.2e-3 ts ~eps:1e-9
+  | Error e -> Alcotest.fail e
+
+let test_fusion_requires_single_front_end () =
+  let t = Fixtures.diamond ~pa:0.5 ~t_src:1.0 ~t_a:1.0 ~t_b:1.0 ~t_sink:0.5 in
+  (* Both branch heads receive edges from outside {a, b}. *)
+  match Fusion.apply t [ 1; 2 ] with
+  | Ok _ -> Alcotest.fail "expected a front-end error"
+  | Error e ->
+      Alcotest.(check bool) "mentions front-end" true
+        (contains_substring ~needle:"front-end" e)
+
+let test_fusion_rejects_source () =
+  let t = Fixtures.pipeline [ 1.0; 0.5 ] in
+  match Fusion.apply t [ 0; 1 ] with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error _ -> ()
+
+let test_fusion_rejects_cycle_creation () =
+  (* Fusing {a, sink} in src -> a -> b -> sink, a -> sink would be fine, but
+     fusing {a, sink} when b sits between them creates F -> b -> F. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.1e-3 "a";
+      Operator.make ~service_time:0.1e-3 "b";
+      Operator.make ~service_time:0.1e-3 "sink";
+    |]
+  in
+  let t =
+    Topology.create_exn ops
+      [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 3, 1.0) ]
+  in
+  match Fusion.apply t [ 1; 3 ] with
+  | Ok _ -> Alcotest.fail "expected cycle rejection"
+  | Error e ->
+      Alcotest.(check bool) "mentions invalid topology" true
+        (String.length e > 0)
+
+let test_fusion_preserves_downstream_probabilities () =
+  let t = Fixtures.table1 () in
+  match Fusion.apply t [ 2; 3; 4 ] with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      let fused = o.Fusion.topology in
+      let f = o.Fusion.fused_vertex in
+      (* All sub-graph exits lead to op6. *)
+      (match Topology.succs fused f with
+      | [ (w, p) ] ->
+          check_float "merged exit probability" 1.0 p;
+          Alcotest.(check string) "exit target" "op6"
+            (Topology.operator fused w).Operator.name
+      | l -> Alcotest.failf "expected one out-edge, got %d" (List.length l));
+      (* The meta-operator is stateful: fission must never replicate it. *)
+      Alcotest.(check bool) "meta-operator is stateful" true
+        (not (Operator.can_replicate (Topology.operator fused f)))
+
+let test_fusion_candidates_ranked () =
+  let t = Fixtures.table1 () in
+  let cands = Fusion.candidates t in
+  Alcotest.(check bool) "some candidates" true (List.length cands > 0);
+  (* Ranking is by increasing mean utilization. *)
+  let utils = List.map snd cands in
+  Alcotest.(check bool) "sorted ascending" true
+    (List.sort compare utils = utils);
+  (* The paper's {3,4,5} sub-graph must be among the proposals. *)
+  Alcotest.(check bool) "paper candidate present" true
+    (List.exists (fun (vs, _) -> List.sort compare vs = [ 2; 3; 4 ]) cands)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: multi-source unification and automated fusion *)
+
+let ms x = x /. 1e3
+
+let test_multi_source_unify () =
+  (* Two sources at 1000/s and 2000/s feeding a shared stage. *)
+  let ops =
+    [|
+      Operator.make ~service_time:(ms 1.0) "s1";
+      Operator.make ~service_time:(ms 0.5) "s2";
+      Operator.make ~service_time:(ms 0.1) "stage";
+    |]
+  in
+  match Multi_source.unify ops [ (0, 2, 1.0); (1, 2, 1.0) ] with
+  | Error e -> Alcotest.fail e
+  | Ok (t, remap) ->
+      Alcotest.(check int) "root added" 4 (Topology.size t);
+      Alcotest.(check string) "root name" Multi_source.root_name
+        (Topology.operator t 0).Operator.name;
+      Alcotest.(check (array int)) "remap shifts by one" [| 1; 2; 3 |] remap;
+      let a = Steady_state.analyze t in
+      check_float "combined throughput" 3000.0 a.Steady_state.throughput;
+      (* Each source ingests exactly its nominal rate. *)
+      (match Multi_source.throughput_per_source t a with
+      | [ (v1, r1); (v2, r2) ] ->
+          Alcotest.(check (list int)) "source vertices" [ 1; 2 ] [ v1; v2 ];
+          check_float "s1 rate" 1000.0 r1;
+          check_float "s2 rate" 2000.0 r2
+      | l -> Alcotest.failf "expected two sources, got %d" (List.length l))
+
+let test_multi_source_proportional_throttling () =
+  (* A downstream bottleneck at 1200/s throttles both sources by the same
+     factor (the canonical resolution of the ambiguity noted in §3.1). *)
+  let ops =
+    [|
+      Operator.make ~service_time:(ms 1.0) "s1";
+      Operator.make ~service_time:(ms 0.5) "s2";
+      Operator.make ~kind:Operator.Stateful ~service_time:(ms (1.0 /. 1.2)) "slow";
+    |]
+  in
+  match Multi_source.unify ops [ (0, 2, 1.0); (1, 2, 1.0) ] with
+  | Error e -> Alcotest.fail e
+  | Ok (t, _) ->
+      let a = Steady_state.analyze t in
+      check_float "throughput capped" 1200.0 a.Steady_state.throughput ~eps:1e-9;
+      (match Multi_source.throughput_per_source t a with
+      | [ (_, r1); (_, r2) ] ->
+          check_float "s1 throttled to 40%" 400.0 r1 ~eps:1e-9;
+          check_float "s2 throttled to 40%" 800.0 r2 ~eps:1e-9
+      | _ -> Alcotest.fail "expected two sources");
+      (* The simulator agrees with the proportional split. *)
+      let config =
+        { Ss_sim.Engine.default_config with Ss_sim.Engine.warmup = 2.0; measure = 10.0 }
+      in
+      let r = Ss_sim.Engine.run ~config t in
+      Alcotest.(check bool) "measured near 1200" true
+        (Float.abs (r.Ss_sim.Engine.throughput -. 1200.0) < 40.0)
+
+let test_multi_source_single_source_ok () =
+  let ops =
+    [| Operator.make ~service_time:(ms 1.0) "s"; Operator.make ~service_time:(ms 0.5) "t" |]
+  in
+  match Multi_source.unify ops [ (0, 1, 1.0) ] with
+  | Error e -> Alcotest.fail e
+  | Ok (t, _) ->
+      check_float "unchanged throughput" 1000.0
+        (Steady_state.analyze t).Steady_state.throughput
+
+let test_multi_source_errors () =
+  let source = Operator.make ~service_time:(ms 1.0) in
+  (match Multi_source.unify [||] [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty graph accepted");
+  (match
+     Multi_source.unify
+       [| source "a"; Operator.make ~service_time:(ms 1.0) Multi_source.root_name |]
+       [ (0, 1, 1.0) ]
+   with
+  | Error e -> Alcotest.(check bool) "reserved name" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "reserved name accepted");
+  match
+    Multi_source.unify
+      [| Operator.make ~replicas:2 ~service_time:(ms 1.0) "a"; source "b" |]
+      [ (0, 1, 1.0) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replicated source accepted"
+
+let test_auto_fusion_preserves_throughput_table1 () =
+  let t = Fixtures.table1 () in
+  let r = Fusion.auto t in
+  Alcotest.(check bool) "some operators fused" true (r.Fusion.operators_saved > 0);
+  check_float "throughput preserved"
+    r.Fusion.initial_analysis.Steady_state.throughput
+    r.Fusion.final_analysis.Steady_state.throughput ~eps:1e-9;
+  (* The coarsened fig11 collapses the underutilized {op3,op4,op5} tail. *)
+  Alcotest.(check int) "final size" 4 (Topology.size r.Fusion.final)
+
+let test_auto_fusion_avoids_bottleneck_table2 () =
+  (* With the Table 2 service times the full {op3,op4,op5} fusion would cost
+     24% of throughput; auto must stop before that. *)
+  let t = Fixtures.table2 () in
+  let r = Fusion.auto t in
+  check_float "throughput preserved" 1000.0
+    r.Fusion.final_analysis.Steady_state.throughput ~eps:1e-9;
+  Alcotest.(check bool) "still coarsened where harmless" true
+    (Topology.size r.Fusion.final >= 4)
+
+let test_auto_fusion_respects_utilization_cap () =
+  let t = Fixtures.table1 () in
+  let strict = Fusion.auto ~utilization_cap:0.5 t in
+  Array.iter
+    (fun m ->
+      if m.Steady_state.name <> "op1" && m.Steady_state.name <> "op2" then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s under cap" m.Steady_state.name)
+          true
+          (m.Steady_state.utilization <= 0.5 +. 1e-9
+          || not (String.length m.Steady_state.name >= 10
+                  && String.sub m.Steady_state.name 0 10 = "auto_fused")))
+    strict.Fusion.final_analysis.Steady_state.metrics
+
+let test_auto_fusion_no_candidate () =
+  (* A two-operator pipeline at high utilization: nothing to fuse. *)
+  let t = Fixtures.pipeline [ 1.0; 0.99 ] in
+  let r = Fusion.auto t in
+  Alcotest.(check int) "no steps" 0 (List.length r.Fusion.steps);
+  Alcotest.(check int) "unchanged" 2 (Topology.size r.Fusion.final)
+
+(* ------------------------------------------------------------------ *)
+(* Latency estimation *)
+
+let test_latency_dd1_no_waiting () =
+  (* Deterministic arrivals into a deterministic, underloaded server: no
+     queueing delay at all. *)
+  let t = Fixtures.pipeline [ 1.0; 0.8 ] in
+  let a = Steady_state.analyze t in
+  let l = Latency.estimate t a in
+  check_float "D/D/1 waits nothing" 0.0
+    l.Latency.per_vertex.(1).Latency.waiting_time ~eps:1e-12;
+  check_float "end-to-end = service time" 0.8e-3 l.Latency.end_to_end ~eps:1e-9
+
+let test_latency_mm1_formula () =
+  (* Poisson arrivals, exponential service at rho = 0.8:
+     W = rho/(1-rho) * s = 4 * 0.8ms = 3.2 ms. *)
+  let ops =
+    [|
+      Operator.make ~dist:(Ss_prelude.Dist.Exponential 1e-3) ~service_time:1e-3 "src";
+      Operator.make ~dist:(Ss_prelude.Dist.Exponential 0.8e-3) ~service_time:0.8e-3
+        "server";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let a = Steady_state.analyze t in
+  let l = Latency.estimate t a in
+  check_float "ca^2 = 1 for Poisson input" 1.0
+    l.Latency.per_vertex.(1).Latency.arrival_scv ~eps:1e-9;
+  check_float "M/M/1 waiting" 3.2e-3
+    l.Latency.per_vertex.(1).Latency.waiting_time ~eps:1e-9
+
+let test_latency_saturated_vertex () =
+  let t = Fixtures.pipeline [ 1.0; 4.0; 0.8 ] in
+  let a = Steady_state.analyze t in
+  let l = Latency.estimate t a in
+  Alcotest.(check bool) "saturated wait unbounded" true
+    (l.Latency.per_vertex.(1).Latency.waiting_time = infinity);
+  Alcotest.(check (list int)) "reported" [ 1 ] l.Latency.saturated;
+  Alcotest.(check bool) "end-to-end finite (excludes saturation)" true
+    (Float.is_finite l.Latency.end_to_end)
+
+let test_latency_replicas_reduce_waiting () =
+  (* Adding replicas at a fixed arrival rate lowers the utilization and
+     with it the queueing delay. *)
+  let station replicas =
+    let ops =
+      [|
+        Operator.make ~dist:(Ss_prelude.Dist.Exponential 1e-3) ~service_time:1e-3
+          "src";
+        Operator.make
+          ~dist:(Ss_prelude.Dist.Exponential 0.8e-3)
+          ~service_time:0.8e-3 ~replicas "server";
+      |]
+    in
+    let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+    let l = Latency.estimate t (Steady_state.analyze t) in
+    l.Latency.per_vertex.(1).Latency.waiting_time
+  in
+  Alcotest.(check bool) "two replicas wait less than one" true
+    (station 2 < station 1);
+  Alcotest.(check bool) "four less than two" true (station 4 < station 2)
+
+let test_latency_visit_ratios () =
+  let t = Fixtures.table1 () in
+  let a = Steady_state.analyze t in
+  let l = Latency.estimate t a in
+  check_float "op2 visited by 70% of items" 0.7
+    l.Latency.per_vertex.(1).Latency.visit_ratio ~eps:1e-9;
+  check_float "op4 visit ratio" 0.2025 l.Latency.per_vertex.(3).Latency.visit_ratio
+    ~eps:1e-9;
+  (* Deterministic services, but probabilistic splits randomize the arrival
+     processes (Bernoulli thinning): ca^2 of op2 is 1 - 0.7 = 0.3, so a
+     small but positive wait is expected everywhere behind a split. *)
+  check_float "thinned arrival scv" 0.3 l.Latency.per_vertex.(1).Latency.arrival_scv
+    ~eps:1e-9;
+  Alcotest.(check bool) "op2 waits a little" true
+    (l.Latency.per_vertex.(1).Latency.waiting_time > 0.0);
+  Alcotest.(check bool) "all waits finite and small" true
+    (Array.for_all
+       (fun v ->
+         Float.is_finite v.Latency.waiting_time && v.Latency.waiting_time < 5e-3)
+       l.Latency.per_vertex)
+
+let test_latency_simulator_agreement_mm1 () =
+  (* Cross-check the Kingman estimate against the simulator's Little's-law
+     measurement. Large buffers approximate the unbounded M/M/1 queue. *)
+  let ops =
+    [|
+      Operator.make ~dist:(Ss_prelude.Dist.Exponential 1e-3) ~service_time:1e-3 "src";
+      Operator.make ~dist:(Ss_prelude.Dist.Exponential 0.7e-3) ~service_time:0.7e-3
+        "server";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let predicted =
+    (Latency.estimate t (Steady_state.analyze t)).Latency.per_vertex.(1)
+      .Latency.waiting_time
+  in
+  let config =
+    {
+      Ss_sim.Engine.default_config with
+      Ss_sim.Engine.buffer_capacity = 4096;
+      warmup = 20.0;
+      measure = 120.0;
+    }
+  in
+  let r = Ss_sim.Engine.run ~config t in
+  let measured = r.Ss_sim.Engine.stats.(1).Ss_sim.Engine.mean_waiting_time in
+  Alcotest.(check bool)
+    (Printf.sprintf "predicted %.2fms vs measured %.2fms within 15%%"
+       (predicted *. 1e3) (measured *. 1e3))
+    true
+    (Float.abs (measured -. predicted) <= 0.15 *. predicted)
+
+(* ------------------------------------------------------------------ *)
+(* COLA-style baseline *)
+
+let test_cola_light_pipeline_single_unit () =
+  (* 0.3 + 0.2 + 0.1 = 0.6 ms of work per item at a 1000/s target: one PE
+     suffices and no traffic crosses unit boundaries. *)
+  let t = Fixtures.pipeline [ 1.0; 0.3; 0.2; 0.1 ] in
+  let p = Cola_baseline.partition t in
+  Alcotest.(check int) "one unit" 1 (List.length p.Cola_baseline.units);
+  check_float "no inter-unit traffic" 0.0 p.Cola_baseline.inter_unit_rate
+    ~eps:1e-12;
+  check_float "full rate" 1000.0 p.Cola_baseline.predicted_throughput;
+  Alcotest.(check int) "no splits" 0 p.Cola_baseline.splits
+
+let test_cola_splits_until_capacity () =
+  (* 2.4 ms of work per item: needs at least three 1 ms executors. *)
+  let t = Fixtures.pipeline [ 1.0; 0.8; 0.8; 0.8 ] in
+  let p = Cola_baseline.partition t in
+  Alcotest.(check bool) "at least 3 units" true
+    (List.length p.Cola_baseline.units >= 3);
+  (* Every multi-member PE fits the budget. *)
+  List.iter
+    (fun members ->
+      let work =
+        List.fold_left
+          (fun acc v ->
+            if v = Topology.source t then acc
+            else acc +. (Topology.operator t v).Operator.service_time)
+          0.0 members
+      in
+      if List.length members > 1 then
+        Alcotest.(check bool) "PE within budget" true (work <= 1e-3 +. 1e-12))
+    p.Cola_baseline.units;
+  check_float "sustains the source" 1000.0 p.Cola_baseline.predicted_throughput
+
+let test_cola_cut_prefers_thin_edge () =
+  (* A sampler drops 90% between b and c: the cheap cut is after the
+     sampler. Work forces exactly one split. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.6e-3 "a";
+      Operator.make ~service_time:0.3e-3 ~output_selectivity:0.1 "sampler";
+      Operator.make ~service_time:6e-3 "c";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  (* Work per item: a 0.6 + sampler 0.3 + c 0.1*6 = 1.5ms > 1ms; halves
+     {a, sampler} (0.9) and {c} (0.6) fit. *)
+  let p = Cola_baseline.partition t in
+  Alcotest.(check int) "two units" 2 (List.length p.Cola_baseline.units);
+  (* The cut sits on the 100/s edge, not on a 1000/s edge. *)
+  check_float "traffic only on the thinned edge" 100.0
+    p.Cola_baseline.inter_unit_rate ~eps:1e-6
+
+let test_cola_singleton_overload () =
+  let t = Fixtures.pipeline [ 1.0; 4.0 ] in
+  let p = Cola_baseline.partition t in
+  check_float "capped by the heavy operator" 250.0
+    p.Cola_baseline.predicted_throughput;
+  Alcotest.(check bool) "no endless splitting" true (p.Cola_baseline.splits <= 1)
+
+let test_cola_vs_spinstreams_fusion () =
+  (* On fig11/Table 1 both strategies must keep the 1000/s rate; COLA may
+     use fewer units (it packs to capacity), SpinStreams never loses
+     throughput by construction. *)
+  let t = Fixtures.table1 () in
+  let cola = Cola_baseline.partition t in
+  let auto = Fusion.auto t in
+  check_float "COLA sustains the source" 1000.0
+    cola.Cola_baseline.predicted_throughput;
+  check_float "SpinStreams preserves throughput" 1000.0
+    auto.Fusion.final_analysis.Steady_state.throughput;
+  Alcotest.(check bool) "both coarsen" true
+    (List.length cola.Cola_baseline.units < 6
+    && Topology.size auto.Fusion.final < 6)
+
+let test_cola_crossing_rate_metric () =
+  let t = Fixtures.table1 () in
+  let a = Steady_state.analyze t in
+  (* Every vertex its own unit: all edges cross. *)
+  let all_separate = Array.init (Topology.size t) Fun.id in
+  let total = Cola_baseline.crossing_rate t a ~unit_of:all_separate in
+  (* Edge rates of fig11 sum to: 700+300+150+150+52.5+97.5+202.5+700. *)
+  check_float "total edge traffic" 2352.5 total ~eps:1e-6;
+  (* Everything in one unit: nothing crosses. *)
+  let all_together = Array.make (Topology.size t) 0 in
+  check_float "no crossing" 0.0 (Cola_baseline.crossing_rate t a ~unit_of:all_together)
+    ~eps:1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let random_topology_gen =
+  (* Random rooted DAGs with stateless operators: vertex 0 is the source and
+     each vertex j > 0 receives at least one edge from a lower-numbered
+     vertex, so validity is by construction. *)
+  let open QCheck.Gen in
+  let* n = int_range 2 9 in
+  let* service_times = array_size (return n) (float_range 1e-4 5e-3) in
+  let* preds =
+    flatten_l
+      (List.init (n - 1) (fun j ->
+           let j = j + 1 in
+           let* mask = int_range 1 ((1 lsl min j 8) - 1) in
+           return (j, mask)))
+  in
+  let ops =
+    Array.mapi
+      (fun i ts -> Operator.make ~service_time:ts (Printf.sprintf "v%d" i))
+      service_times
+  in
+  let edges = ref [] in
+  List.iter
+    (fun (j, mask) ->
+      let srcs =
+        List.filter (fun i -> i < j && mask land (1 lsl i) <> 0)
+          (List.init j Fun.id)
+      in
+      let srcs = if srcs = [] then [ j - 1 ] else srcs in
+      List.iter (fun i -> edges := (i, j, 1.0) :: !edges) srcs)
+    preds;
+  (* Normalize out-probabilities per source vertex. *)
+  let out_count = Array.make n 0 in
+  List.iter (fun (i, _, _) -> out_count.(i) <- out_count.(i) + 1) !edges;
+  let edges =
+    List.map (fun (i, j, _) -> (i, j, 1.0 /. float_of_int out_count.(i))) !edges
+  in
+  match Topology.create ops edges with
+  | Ok t -> return t
+  | Error e -> failwith (Topology.error_to_string e)
+
+let arbitrary_topology =
+  QCheck.make ~print:(fun t -> Format.asprintf "%a" Topology.pp t)
+    random_topology_gen
+
+let prop_all_utilizations_bounded =
+  QCheck.Test.make ~name:"analysis leaves every rho <= 1" ~count:300
+    arbitrary_topology (fun t ->
+      let a = Steady_state.analyze t in
+      Array.for_all
+        (fun m -> m.Steady_state.utilization <= 1.0 +. 1e-6)
+        a.Steady_state.metrics)
+
+let prop_flow_conservation =
+  QCheck.Test.make ~name:"departure = arrival at steady state (unit selectivity)"
+    ~count:300 arbitrary_topology (fun t ->
+      let a = Steady_state.analyze t in
+      List.for_all
+        (fun v ->
+          v = Topology.source t
+          || Float.abs
+               (a.Steady_state.metrics.(v).Steady_state.departure_rate
+               -. a.Steady_state.metrics.(v).Steady_state.arrival_rate)
+             <= 1e-6 *. a.Steady_state.metrics.(v).Steady_state.arrival_rate
+                +. 1e-9)
+        (List.init (Topology.size t) Fun.id))
+
+let prop_source_equals_sinks =
+  QCheck.Test.make ~name:"Proposition 3.5: source rate = sum of sink rates"
+    ~count:300 arbitrary_topology (fun t ->
+      let a = Steady_state.analyze t in
+      Float.abs (a.Steady_state.throughput -. a.Steady_state.sink_rate)
+      <= 1e-6 *. Float.max 1.0 a.Steady_state.throughput)
+
+let prop_throughput_bounded_by_source =
+  QCheck.Test.make ~name:"backpressure only lowers the source rate" ~count:300
+    arbitrary_topology (fun t ->
+      let a = Steady_state.analyze t in
+      let src_rate =
+        Ss_topology.Operator.service_rate (Topology.operator t (Topology.source t))
+      in
+      a.Steady_state.throughput <= src_rate +. 1e-6)
+
+let prop_fission_removes_all_stateless_bottlenecks =
+  QCheck.Test.make
+    ~name:"fission on all-stateless topologies restores the source rate"
+    ~count:300 arbitrary_topology (fun t ->
+      let f = Fission.optimize t in
+      let src_rate =
+        Ss_topology.Operator.service_rate (Topology.operator t (Topology.source t))
+      in
+      f.Fission.residual_bottlenecks = []
+      && Float.abs (f.Fission.analysis.Steady_state.throughput -. src_rate)
+         <= 1e-6 *. src_rate)
+
+let prop_fusion_service_time_matches_contract =
+  (* The Algorithm 3 recursion and the flow-based contraction must agree. *)
+  QCheck.Test.make ~name:"fusionRate agrees with contraction" ~count:300
+    arbitrary_topology (fun t ->
+      let candidates = Fusion.candidates ~max_size:3 t in
+      List.for_all
+        (fun (vs, _) ->
+          match (Fusion.service_time t vs, Fusion.apply t vs) with
+          | Ok ts, Ok o ->
+              Float.abs (ts -. o.Fusion.fused_service_time) <= 1e-9
+          | Error _, Error _ -> true
+          | Ok _, Error _ ->
+              (* contraction can fail on cycles that service_time ignores *)
+              true
+          | Error _, Ok _ -> false)
+        candidates)
+
+let prop_fusion_throughput_never_improves_above_source =
+  QCheck.Test.make ~name:"fusion cannot push throughput above the source rate"
+    ~count:200 arbitrary_topology (fun t ->
+      let src_rate =
+        Ss_topology.Operator.service_rate (Topology.operator t (Topology.source t))
+      in
+      List.for_all
+        (fun (vs, _) ->
+          match Fusion.apply t vs with
+          | Ok o -> o.Fusion.after.Steady_state.throughput <= src_rate +. 1e-6
+          | Error _ -> true)
+        (Fusion.candidates ~max_size:3 t))
+
+let prop_analysis_deterministic =
+  QCheck.Test.make ~name:"analysis is deterministic (pure function of the graph)"
+    ~count:200 arbitrary_topology (fun t ->
+      let a = Steady_state.analyze t and b = Steady_state.analyze t in
+      a.Steady_state.throughput = b.Steady_state.throughput
+      && Array.for_all2
+           (fun (x : Steady_state.vertex_metrics) (y : Steady_state.vertex_metrics) ->
+             x.Steady_state.departure_rate = y.Steady_state.departure_rate
+             && x.Steady_state.utilization = y.Steady_state.utilization)
+           a.Steady_state.metrics b.Steady_state.metrics)
+
+let prop_holdoff_bound_respected =
+  QCheck.Test.make ~name:"hold-off replication never exceeds the budget"
+    ~count:200
+    QCheck.(pair arbitrary_topology (int_range 0 20))
+    (fun (t, extra) ->
+      let bound = Topology.size t + extra in
+      let plan = Fission.optimize ~max_replicas:bound t in
+      plan.Fission.total_replicas <= bound)
+
+let prop_bounded_never_beats_unbounded =
+  QCheck.Test.make
+    ~name:"a replica budget never improves predicted throughput" ~count:200
+    QCheck.(pair arbitrary_topology (int_range 0 10))
+    (fun (t, extra) ->
+      let bound = Topology.size t + extra in
+      let bounded = Fission.optimize ~max_replicas:bound t in
+      let unbounded = Fission.optimize t in
+      bounded.Fission.analysis.Steady_state.throughput
+      <= unbounded.Fission.analysis.Steady_state.throughput +. 1e-6)
+
+let prop_fusion_preserves_sink_conservation =
+  (* Proposition 3.5 assumes unit selectivity: a fused region with an
+     internal sink absorbs part of the flow (its meta-operator has output
+     selectivity < 1), so the check applies only to flow-preserving
+     fusions. *)
+  QCheck.Test.make
+    ~name:"Proposition 3.5 still holds after flow-preserving fusions"
+    ~count:150 arbitrary_topology (fun t ->
+      List.for_all
+        (fun (vs, _) ->
+          match Fusion.apply t vs with
+          | Error _ -> true
+          | Ok o ->
+              let fused_op =
+                Topology.operator o.Fusion.topology o.Fusion.fused_vertex
+              in
+              Float.abs (fused_op.Operator.output_selectivity -. 1.0) > 1e-9
+              ||
+              let a = o.Fusion.after in
+              Float.abs (a.Steady_state.throughput -. a.Steady_state.sink_rate)
+              <= 1e-6 *. Float.max 1.0 a.Steady_state.throughput)
+        (Fusion.candidates ~max_size:3 t))
+
+let prop_auto_fusion_never_loses_throughput =
+  QCheck.Test.make ~name:"automated fusion preserves predicted throughput"
+    ~count:100 arbitrary_topology (fun t ->
+      let r = Fusion.auto ~max_size:3 t in
+      Float.abs
+        (r.Fusion.final_analysis.Steady_state.throughput
+        -. r.Fusion.initial_analysis.Steady_state.throughput)
+      <= 1e-6 *. Float.max 1.0 r.Fusion.initial_analysis.Steady_state.throughput)
+
+let prop_latency_nonnegative_and_finite_off_saturation =
+  QCheck.Test.make
+    ~name:"latency estimates are non-negative; finite below saturation"
+    ~count:200 arbitrary_topology (fun t ->
+      let a = Steady_state.analyze t in
+      let l = Latency.estimate t a in
+      Array.for_all2
+        (fun (lv : Latency.vertex_latency) (m : Steady_state.vertex_metrics) ->
+          lv.Latency.waiting_time >= 0.0
+          && (m.Steady_state.utilization < 0.999
+             || not (Float.is_finite lv.Latency.waiting_time)
+             || lv.Latency.waiting_time >= 0.0))
+        l.Latency.per_vertex a.Steady_state.metrics
+      && l.Latency.end_to_end >= 0.0
+      && Float.is_finite l.Latency.end_to_end)
+
+let prop_cola_partitions_vertex_set =
+  QCheck.Test.make ~name:"COLA units partition the vertex set" ~count:200
+    arbitrary_topology (fun t ->
+      let p = Cola_baseline.partition t in
+      let all = List.concat p.Cola_baseline.units |> List.sort compare in
+      all = List.init (Topology.size t) Fun.id
+      && Array.length p.Cola_baseline.unit_of = Topology.size t)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "ss_core"
+    [
+      ( "steady_state",
+        [
+          quick "table1 original topology" test_table1_original;
+          quick "pipeline without bottleneck" test_pipeline_no_bottleneck;
+          quick "pipeline with bottleneck" test_pipeline_bottleneck;
+          quick "two bottlenecks need two corrections" test_two_bottlenecks;
+          quick "diamond with weighted paths" test_diamond_weighted_paths;
+          quick "Proposition 3.5 on fig11" test_sink_rate_proposition;
+          quick "output selectivity" test_output_selectivity;
+          quick "input selectivity" test_input_selectivity;
+          quick "selectivity feeds bottleneck detection"
+            test_selectivity_upstream_of_bottleneck;
+          quick "replicated operator capacity" test_replicated_capacity;
+        ] );
+      ( "key_partitioning",
+        [
+          quick "uniform keys split evenly" test_partitioning_uniform;
+          quick "paper skew example (n=2, pmax=0.5)"
+            test_partitioning_paper_example;
+          quick "fewer keys than replicas" test_partitioning_fewer_keys_than_replicas;
+          quick "loads sum to one" test_partitioning_loads_sum_to_one;
+        ] );
+      ( "fission",
+        [
+          quick "stateless bottleneck removed" test_fission_stateless;
+          quick "exact multiple uses exact degree" test_fission_exact_multiple;
+          quick "stateful bottleneck throttles" test_fission_stateful_blocks;
+          quick "partitioned skew leaves residual"
+            test_fission_partitioned_skew_residual;
+          quick "partitioned even keys fully parallelize"
+            test_fission_partitioned_even_keys;
+          quick "hold-off replication bound" test_fission_bound;
+          quick "bound below operator count rejected" test_fission_bound_too_small;
+          quick "no bottleneck, no change" test_fission_no_bottleneck_is_identity;
+        ] );
+      ( "fusion",
+        [
+          quick "Table 1: feasible fusion" test_fusion_table1;
+          quick "Table 2: fusion creating a bottleneck" test_fusion_table2;
+          quick "chain service time is the sum" test_fusion_chain_service_time;
+          quick "single front-end required" test_fusion_requires_single_front_end;
+          quick "source cannot be fused" test_fusion_rejects_source;
+          quick "cycle-creating fusion rejected" test_fusion_rejects_cycle_creation;
+          quick "exit probabilities merged" test_fusion_preserves_downstream_probabilities;
+          quick "candidates ranked by utilization" test_fusion_candidates_ranked;
+        ] );
+      ( "latency",
+        [
+          quick "D/D/1 has no waiting" test_latency_dd1_no_waiting;
+          quick "M/M/1 closed form" test_latency_mm1_formula;
+          quick "saturated vertices" test_latency_saturated_vertex;
+          quick "multiple servers" test_latency_replicas_reduce_waiting;
+          quick "visit ratios" test_latency_visit_ratios;
+          quick "simulator agreement (M/M/1)" test_latency_simulator_agreement_mm1;
+        ] );
+      ( "extensions",
+        [
+          quick "multi-source unification" test_multi_source_unify;
+          quick "proportional throttling" test_multi_source_proportional_throttling;
+          quick "single source passes through" test_multi_source_single_source_ok;
+          quick "multi-source errors" test_multi_source_errors;
+          quick "auto fusion on table 1" test_auto_fusion_preserves_throughput_table1;
+          quick "auto fusion avoids table 2 bottleneck"
+            test_auto_fusion_avoids_bottleneck_table2;
+          quick "auto fusion utilization cap" test_auto_fusion_respects_utilization_cap;
+          quick "auto fusion with no candidate" test_auto_fusion_no_candidate;
+        ] );
+      ( "cola_baseline",
+        [
+          quick "light pipeline in one unit" test_cola_light_pipeline_single_unit;
+          quick "splits until capacity" test_cola_splits_until_capacity;
+          quick "cut prefers the thin edge" test_cola_cut_prefers_thin_edge;
+          quick "singleton overload" test_cola_singleton_overload;
+          quick "COLA vs SpinStreams fusion" test_cola_vs_spinstreams_fusion;
+          quick "crossing-rate metric" test_cola_crossing_rate_metric;
+        ] );
+      ( "properties",
+        [
+          prop prop_all_utilizations_bounded;
+          prop prop_flow_conservation;
+          prop prop_source_equals_sinks;
+          prop prop_throughput_bounded_by_source;
+          prop prop_fission_removes_all_stateless_bottlenecks;
+          prop prop_fusion_service_time_matches_contract;
+          prop prop_fusion_throughput_never_improves_above_source;
+          prop prop_analysis_deterministic;
+          prop prop_holdoff_bound_respected;
+          prop prop_bounded_never_beats_unbounded;
+          prop prop_fusion_preserves_sink_conservation;
+          prop prop_auto_fusion_never_loses_throughput;
+          prop prop_latency_nonnegative_and_finite_off_saturation;
+          prop prop_cola_partitions_vertex_set;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the elasticity baseline: convergence, downtime accounting, and
+   the comparison against SpinStreams' static plan. *)
+
+open Ss_topology
+open Ss_elastic
+
+let bottlenecked () = Fixtures.pipeline [ 0.5; 2.0; 0.4 ]
+(* Source 2000/s; middle stage sustains 500/s per replica: needs 4. *)
+
+let run_fast ?policy ?max_epochs t =
+  Controller.run ?policy ?max_epochs ~epoch_length:5.0
+    ~reconfiguration_downtime:1.0 t
+
+let test_converges_to_needed_replicas () =
+  let r = run_fast (bottlenecked ()) in
+  (match r.Controller.converged_at with
+  | None -> Alcotest.fail "did not converge"
+  | Some i -> Alcotest.(check bool) "converges within 8 epochs" true (i <= 8));
+  let final_replicas = (Topology.operator r.Controller.final 1).Operator.replicas in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough replicas (%d)" final_replicas)
+    true (final_replicas >= 4);
+  match List.rev r.Controller.epochs with
+  | last :: _ ->
+      Alcotest.(check bool) "near-ideal final throughput" true
+        (last.Controller.throughput > 1900.0)
+  | [] -> Alcotest.fail "no epochs"
+
+let test_balanced_topology_stays_put () =
+  let t = Fixtures.pipeline [ 1.0; 0.8; 0.9 ] in
+  (* Utilizations 0.8/0.9 sit inside the 0.3-0.9 dead band. *)
+  let r = run_fast ~max_epochs:4 t in
+  Alcotest.(check (option int)) "no change from the start" (Some 0)
+    r.Controller.converged_at;
+  List.iter
+    (fun e -> Alcotest.(check int) "no resizes" 0 (List.length e.Controller.changes))
+    r.Controller.epochs
+
+let test_downtime_charged_after_changes () =
+  let r = run_fast (bottlenecked ()) in
+  let rec check_pairs = function
+    | a :: (b :: _ as rest) ->
+        if a.Controller.changes <> [] then
+          Alcotest.(check bool) "epoch after a resize loses throughput" true
+            (b.Controller.effective_throughput < b.Controller.throughput -. 1e-9);
+        check_pairs rest
+    | [ last ] ->
+        if last.Controller.changes = [] then
+          Alcotest.(check (float 1e-6)) "stable epoch is not charged"
+            last.Controller.throughput last.Controller.effective_throughput
+    | [] -> ()
+  in
+  check_pairs r.Controller.epochs
+
+let test_stateful_never_resized () =
+  let ops =
+    [|
+      Operator.make ~service_time:0.5e-3 "src";
+      Operator.make ~kind:Operator.Stateful ~service_time:2e-3 "state";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let r = run_fast ~max_epochs:4 t in
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "stateful untouched" 0 (List.length e.Controller.changes))
+    r.Controller.epochs;
+  Alcotest.(check int) "still one replica" 1
+    (Topology.operator r.Controller.final 1).Operator.replicas
+
+let test_scale_down_from_overprovisioned () =
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.5e-3 ~replicas:8 "worker";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let r = run_fast t in
+  Alcotest.(check bool) "replicas released" true
+    ((Topology.operator r.Controller.final 1).Operator.replicas < 8)
+
+let test_static_beats_elastic_on_stable_workload () =
+  (* The paper's core claim, quantified: over the same horizon, the
+     statically optimized configuration processes more items than the
+     elastic run that has to discover it (convergence + downtime). *)
+  let t = bottlenecked () in
+  let elastic = run_fast ~max_epochs:12 t in
+  let static_plan = Ss_core.Fission.optimize t in
+  let static_throughput =
+    let config =
+      { Ss_sim.Engine.default_config with Ss_sim.Engine.warmup = 1.0; measure = 5.0 }
+    in
+    (Ss_sim.Engine.run ~config static_plan.Ss_core.Fission.topology)
+      .Ss_sim.Engine.throughput
+  in
+  let static_items = static_throughput *. elastic.Controller.horizon in
+  Alcotest.(check bool)
+    (Printf.sprintf "static %.0f items > elastic %.0f items" static_items
+       elastic.Controller.items_processed)
+    true
+    (static_items > elastic.Controller.items_processed);
+  (* But elasticity does converge to a comparable configuration. *)
+  match List.rev elastic.Controller.epochs with
+  | last :: _ ->
+      Alcotest.(check bool) "elastic eventually matches" true
+        (last.Controller.throughput > 0.95 *. static_throughput)
+  | [] -> Alcotest.fail "no epochs"
+
+let test_invalid_epoch_length () =
+  Alcotest.check_raises "epoch must outlast downtime"
+    (Invalid_argument
+       "Controller.run: epoch must outlast the reconfiguration downtime")
+    (fun () ->
+      ignore
+        (Controller.run ~epoch_length:1.0 ~reconfiguration_downtime:2.0
+           (bottlenecked ())))
+
+let test_pp_renders () =
+  let r = run_fast ~max_epochs:3 (bottlenecked ()) in
+  let s = Format.asprintf "%a" Controller.pp r in
+  Alcotest.(check bool) "mentions epochs" true (String.length s > 40)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_elastic"
+    [
+      ( "controller",
+        [
+          quick "converges on a bottleneck" test_converges_to_needed_replicas;
+          quick "balanced topology untouched" test_balanced_topology_stays_put;
+          quick "downtime accounting" test_downtime_charged_after_changes;
+          quick "stateful operators skipped" test_stateful_never_resized;
+          quick "scale down when overprovisioned" test_scale_down_from_overprovisioned;
+          quick "static beats elastic on stable load"
+            test_static_beats_elastic_on_stable_workload;
+          quick "invalid epoch length" test_invalid_epoch_length;
+          quick "pretty printing" test_pp_renders;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Tests for the cluster model and the placement strategies. *)
+
+open Ss_topology
+open Ss_placement
+
+let cluster ?send_overhead ?link_latency nodes cores =
+  Cluster.homogeneous ?send_overhead ?link_latency ~nodes ~cores ()
+
+(* ------------------------------------------------------------------ *)
+(* Cluster *)
+
+let test_cluster_basics () =
+  let c = cluster 3 4 in
+  Alcotest.(check int) "size" 3 (Cluster.size c);
+  Alcotest.(check int) "total cores" 12 (Cluster.total_cores c);
+  Alcotest.(check (float 1e-12)) "capacity" 4.0 (Cluster.capacity c 1);
+  Alcotest.(check string) "names" "node2" (Cluster.nodes c).(2).Cluster.node_name
+
+let test_cluster_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cluster.create: no nodes")
+    (fun () -> ignore (Cluster.create []));
+  Alcotest.check_raises "no cores"
+    (Invalid_argument "Cluster.create: node \"x\" has no cores") (fun () ->
+      ignore (Cluster.create [ { Cluster.node_name = "x"; cores = 0 } ]));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Cluster.create: negative network cost") (fun () ->
+      ignore
+        (Cluster.create ~send_overhead:(-1.0)
+           [ { Cluster.node_name = "x"; cores = 1 } ]))
+
+(* ------------------------------------------------------------------ *)
+(* Strategies *)
+
+let chain () = Fixtures.pipeline [ 1.0; 0.6; 0.6; 0.6; 0.6; 0.6 ]
+
+let test_round_robin_layout () =
+  let t = chain () in
+  let a = Placement.round_robin (cluster 2 4) t in
+  Alcotest.(check (array int)) "alternating" [| 0; 1; 0; 1; 0; 1 |] a
+
+let test_assignments_are_valid () =
+  let t = Fixtures.table1 () in
+  let c = cluster 3 2 in
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "covers all vertices" (Topology.size t) (Array.length a);
+      Array.iter
+        (fun m -> Alcotest.(check bool) "node in range" true (m >= 0 && m < 3))
+        a)
+    [
+      Placement.round_robin c t;
+      Placement.load_aware c t;
+      Placement.communication_aware c t;
+    ]
+
+let test_load_aware_respects_capacity () =
+  (* Total work ~2.8 executors; two 2-core nodes fit it without overload. *)
+  let t =
+    Fixtures.pipeline [ 1.0; 0.9; 0.9; 0.9; 0.1 ]
+  in
+  (* Zero network overhead: the capacity check concerns the placement
+     itself, not the serialization surcharge evaluate folds in. *)
+  let c = cluster ~send_overhead:0.0 2 2 in
+  let a = Placement.load_aware c t in
+  let e = Placement.evaluate c t a in
+  Array.iteri
+    (fun i load ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d within capacity (%.2f)" i load)
+        true
+        (load <= Cluster.capacity c i +. 1e-9))
+    e.Placement.node_load
+
+let test_communication_aware_reduces_crossings () =
+  let t = Fixtures.table1 () in
+  let c = cluster 2 8 in
+  let naive = Placement.evaluate c t (Placement.round_robin c t) in
+  let smart = Placement.evaluate c t (Placement.communication_aware c t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "crossing rate %.0f <= %.0f" smart.Placement.inter_node_rate
+       naive.Placement.inter_node_rate)
+    true
+    (smart.Placement.inter_node_rate <= naive.Placement.inter_node_rate);
+  (* With capacity for everything on one node, the search co-locates all. *)
+  Alcotest.(check (float 1e-9)) "all co-located" 0.0
+    smart.Placement.inter_node_rate
+
+let test_network_overhead_lowers_throughput () =
+  (* A saturated stage that crosses a node boundary pays serialization CPU
+     and loses throughput; co-located placement does not. *)
+  let t = Fixtures.pipeline [ 1.0; 1.0; 0.2 ] in
+  let expensive = cluster ~send_overhead:0.3e-3 2 8 in
+  let spread = [| 0; 1; 0 |] in
+  let together = [| 0; 0; 0 |] in
+  let e_spread = Placement.evaluate expensive t spread in
+  let e_together = Placement.evaluate expensive t together in
+  Alcotest.(check (float 1e-6)) "co-located keeps 1000/s" 1000.0
+    e_together.Placement.analysis.Ss_core.Steady_state.throughput;
+  (* stage1 pays 0.3ms on top of 1ms for every item: ~769/s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "crossing costs throughput (%.0f)"
+       e_spread.Placement.analysis.Ss_core.Steady_state.throughput)
+    true
+    (e_spread.Placement.analysis.Ss_core.Steady_state.throughput < 800.0);
+  Alcotest.(check bool) "latency added" true
+    (e_spread.Placement.added_latency > 0.0
+    && e_together.Placement.added_latency = 0.0)
+
+let test_added_latency_counts_crossings () =
+  let t = Fixtures.pipeline [ 1.0; 0.1; 0.1 ] in
+  let c = cluster ~send_overhead:0.0 ~link_latency:1e-3 3 4 in
+  (* Every hop crosses: 2 crossings per item, 1 ms each. *)
+  let e = Placement.evaluate c t [| 0; 1; 2 |] in
+  Alcotest.(check (float 1e-6)) "two link traversals" 2e-3
+    e.Placement.added_latency
+
+let test_evaluate_validation () =
+  let t = chain () in
+  let c = cluster 2 2 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Placement.evaluate: assignment size mismatch") (fun () ->
+      ignore (Placement.evaluate c t [| 0 |]));
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Placement.evaluate: unknown node in assignment")
+    (fun () -> ignore (Placement.evaluate c t [| 0; 1; 2; 0; 0; 0 |]))
+
+let test_selectivity_scales_overhead () =
+  (* A flatmap sending 3 items per input pays the overhead three times. *)
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:0.5e-3 ~output_selectivity:3.0 "flatmap";
+      Operator.make ~service_time:0.05e-3 "sink";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let c = cluster ~send_overhead:0.1e-3 2 8 in
+  let e = Placement.evaluate c t [| 0; 0; 1 |] in
+  let flatmap_time =
+    (Topology.operator e.Placement.placed 1).Operator.service_time
+  in
+  Alcotest.(check (float 1e-12)) "0.5ms + 3 x 0.1ms" 0.8e-3 flatmap_time
+
+let prop_partition_feasible_when_capacity_suffices =
+  QCheck.Test.make ~name:"load-aware placements fit ample clusters" ~count:100
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 3 12) (int_range 0 5000)))
+    (fun (n, seed) ->
+      let rng = Ss_prelude.Rng.create seed in
+      let ops =
+        Array.init n (fun i ->
+            Operator.make
+              ~service_time:((0.1 +. Ss_prelude.Rng.float rng) /. 1e3)
+              (Printf.sprintf "v%d" i))
+      in
+      let edges = List.init (n - 1) (fun i -> (i, i + 1, 1.0)) in
+      let t = Topology.create_exn ops edges in
+      (* Total work < 1 executor by construction (all utilizations <= 1 over
+         one chain); any cluster fits. *)
+      let c = cluster ~send_overhead:0.0 3 5 in
+      let e = Placement.evaluate c t (Placement.load_aware c t) in
+      Array.for_all (fun l -> l <= 5.0 +. 1e-9) e.Placement.node_load)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "ss_placement"
+    [
+      ( "cluster",
+        [ quick "basics" test_cluster_basics; quick "validation" test_cluster_validation ] );
+      ( "strategies",
+        [
+          quick "round robin layout" test_round_robin_layout;
+          quick "assignments valid" test_assignments_are_valid;
+          quick "load-aware capacity" test_load_aware_respects_capacity;
+          quick "communication-aware reduces crossings"
+            test_communication_aware_reduces_crossings;
+          quick "network overhead costs throughput"
+            test_network_overhead_lowers_throughput;
+          quick "latency accounting" test_added_latency_counts_crossings;
+          quick "evaluate validation" test_evaluate_validation;
+          quick "selectivity scales overhead" test_selectivity_scales_overhead;
+        ] );
+      ("properties", [ prop prop_partition_feasible_when_capacity_suffices ]);
+    ]

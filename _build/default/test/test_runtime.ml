@@ -1,0 +1,494 @@
+(* Tests for the threaded actor runtime: mailboxes, actor wiring, fission
+   and fusion deployment, routing and end-of-stream handling. *)
+
+open Ss_topology
+open Ss_operators
+open Ss_runtime
+
+let tuple ?(key = 0) ?(tag = 0) values = Tuple.make ~key ~tag values
+
+let op ?kind ?output_selectivity name ms =
+  Operator.make ?kind ?output_selectivity ~service_time:(ms /. 1e3) name
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let mb = Mailbox.create ~capacity:4 in
+  Mailbox.put mb 1;
+  Mailbox.put mb 2;
+  Mailbox.put mb 3;
+  Alcotest.(check int) "first" 1 (Mailbox.take mb);
+  Alcotest.(check int) "second" 2 (Mailbox.take mb);
+  Alcotest.(check int) "third" 3 (Mailbox.take mb)
+
+let test_mailbox_try_operations () =
+  let mb = Mailbox.create ~capacity:2 in
+  Alcotest.(check bool) "put ok" true (Mailbox.try_put mb 1);
+  Alcotest.(check bool) "put ok" true (Mailbox.try_put mb 2);
+  Alcotest.(check bool) "full" false (Mailbox.try_put mb 3);
+  Alcotest.(check int) "length" 2 (Mailbox.length mb);
+  Alcotest.(check (option int)) "take" (Some 1) (Mailbox.try_take mb);
+  Alcotest.(check (option int)) "take" (Some 2) (Mailbox.try_take mb);
+  Alcotest.(check (option int)) "empty" None (Mailbox.try_take mb)
+
+let test_mailbox_blocking_put () =
+  (* A full mailbox blocks the producer until the consumer drains it. *)
+  let mb = Mailbox.create ~capacity:1 in
+  Mailbox.put mb 0;
+  let unblocked = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        Mailbox.put mb 1;
+        (* reached only after the main domain takes the first element *)
+        Atomic.set unblocked true)
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "producer still blocked" false (Atomic.get unblocked);
+  Alcotest.(check int) "drain" 0 (Mailbox.take mb);
+  Domain.join producer;
+  Alcotest.(check bool) "producer resumed" true (Atomic.get unblocked);
+  Alcotest.(check int) "second value arrived" 1 (Mailbox.take mb)
+
+let test_mailbox_blocking_take () =
+  let mb = Mailbox.create ~capacity:1 in
+  let consumer = Domain.spawn (fun () -> Mailbox.take mb) in
+  Unix.sleepf 0.02;
+  Mailbox.put mb 42;
+  Alcotest.(check int) "value handed over" 42 (Domain.join consumer)
+
+let test_mailbox_invalid_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Mailbox.create: capacity must be >= 1") (fun () ->
+      ignore (Mailbox.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Executor: basic pipelines *)
+
+let registry_of table v =
+  match List.assoc_opt v table with
+  | Some b -> b
+  | None -> Alcotest.failf "no behavior registered for vertex %d" v
+
+let test_identity_pipeline () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.1; op "a" 0.1; op "b" 0.1 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let inputs = List.init 500 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, Stateless_ops.identity); (2, Stateless_ops.identity) ])
+      t
+  in
+  Alcotest.(check int) "source emitted" 500 m.Executor.produced.(0);
+  Alcotest.(check int) "a consumed" 500 m.Executor.consumed.(1);
+  Alcotest.(check int) "b consumed" 500 m.Executor.consumed.(2);
+  Alcotest.(check int) "b produced" 500 m.Executor.produced.(2);
+  Alcotest.(check bool) "rate positive" true (m.Executor.source_rate > 0.0)
+
+let test_filter_counts () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.1; op "filter" 0.1; op "sink" 0.1 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let inputs =
+    List.init 400 (fun i -> tuple [| (if i mod 4 = 0 then 1.0 else 0.0) |])
+  in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:
+        (registry_of
+           [
+             (1, Stateless_ops.threshold_filter ~index:0 ~threshold:0.5);
+             (2, Stateless_ops.identity);
+           ])
+      t
+  in
+  Alcotest.(check int) "filter consumed all" 400 m.Executor.consumed.(1);
+  Alcotest.(check int) "filter passed a quarter" 100 m.Executor.produced.(1);
+  Alcotest.(check int) "sink consumed the survivors" 100 m.Executor.consumed.(2)
+
+let test_probabilistic_split_conserves_flow () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.1; op "a" 0.1; op "b" 0.1 |]
+      [ (0, 1, 0.3); (0, 2, 0.7) ]
+  in
+  let inputs = List.init 2000 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, Stateless_ops.identity); (2, Stateless_ops.identity) ])
+      t
+  in
+  Alcotest.(check int) "flow conserved" 2000
+    (m.Executor.consumed.(1) + m.Executor.consumed.(2));
+  (* 30/70 split within generous sampling noise *)
+  Alcotest.(check bool)
+    (Printf.sprintf "split ratio (%d to a)" m.Executor.consumed.(1))
+    true
+    (abs (m.Executor.consumed.(1) - 600) < 120)
+
+let test_content_based_router () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.1; op "low" 0.1; op "high" 0.1 |]
+      [ (0, 1, 0.5); (0, 2, 0.5) ]
+  in
+  let inputs = List.init 100 (fun i -> tuple [| float_of_int i |]) in
+  (* Successor 0 is vertex 1 ("low"), successor 1 is vertex 2 ("high"). *)
+  let router t = if Tuple.value t 0 < 50.0 then 0 else 1 in
+  let m =
+    Executor.run
+      ~routers:[ (0, router) ]
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, Stateless_ops.identity); (2, Stateless_ops.identity) ])
+      t
+  in
+  Alcotest.(check int) "low got exactly half" 50 m.Executor.consumed.(1);
+  Alcotest.(check int) "high got exactly half" 50 m.Executor.consumed.(2)
+
+let test_diamond_join_counts () =
+  let t = Fixtures.diamond ~pa:0.5 ~t_src:0.1 ~t_a:0.1 ~t_b:0.1 ~t_sink:0.1 in
+  let inputs = List.init 1000 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:
+        (registry_of
+           [
+             (1, Stateless_ops.identity);
+             (2, Stateless_ops.identity);
+             (3, Stateless_ops.identity);
+           ])
+      t
+  in
+  Alcotest.(check int) "sink sees every tuple" 1000 m.Executor.consumed.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Fission deployment *)
+
+let test_replicated_stateless () =
+  let ops = [| op "src" 0.1; Operator.make ~service_time:1e-4 ~replicas:3 "w"; op "sink" 0.1 |] in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let inputs = List.init 900 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, Stateless_ops.identity); (2, Stateless_ops.identity) ])
+      t
+  in
+  Alcotest.(check int) "all consumed across replicas" 900 m.Executor.consumed.(1);
+  Alcotest.(check int) "all delivered to the sink" 900 m.Executor.consumed.(2)
+
+let test_partitioned_key_affinity () =
+  (* Each replica instance must observe a disjoint key set. The behavior
+     below records, per fresh instance, which keys it saw. *)
+  let instances : (int, unit) Hashtbl.t list ref = ref [] in
+  let mutex = Mutex.create () in
+  let recording =
+    Behavior.make ~state_kind:Behavior.Partitioned_op ~name:"recorder"
+      (fun () ->
+        let mine = Hashtbl.create 16 in
+        Mutex.lock mutex;
+        instances := mine :: !instances;
+        Mutex.unlock mutex;
+        fun t ->
+          Hashtbl.replace mine t.Tuple.key ();
+          [ t ])
+  in
+  let keys = Ss_prelude.Discrete.uniform 16 in
+  let ops =
+    [|
+      op "src" 0.05;
+      Operator.make
+        ~kind:(Operator.Partitioned_stateful keys)
+        ~service_time:1e-4 ~replicas:3 "keyed";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let inputs = List.init 800 (fun i -> tuple ~key:(i mod 16) [| 0.0 |]) in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, recording) ])
+      t
+  in
+  Alcotest.(check int) "all tuples processed" 800 m.Executor.consumed.(1);
+  let sets = List.map (fun h -> List.of_seq (Hashtbl.to_seq_keys h)) !instances in
+  Alcotest.(check int) "three instances" 3 (List.length sets);
+  let all = List.concat sets in
+  Alcotest.(check int) "instances saw disjoint keys" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let collect_order () =
+  (* A sink behavior recording arrival order of value 0. *)
+  let seen = ref [] in
+  let mutex = Mutex.create () in
+  let behavior =
+    Behavior.make ~name:"order_probe" (fun () t ->
+        Mutex.lock mutex;
+        seen := Tuple.value t 0 :: !seen;
+        Mutex.unlock mutex;
+        [ t ])
+  in
+  (behavior, fun () -> List.rev !seen)
+
+let variable_delay =
+  (* Work inversely proportional to the value: early tuples are slow, so an
+     unordered collector would emit later tuples first. *)
+  Behavior.make ~name:"variable_delay" (fun () t ->
+      let spins = 600 * (3 - (int_of_float (Tuple.value t 0) mod 3)) in
+      let acc = ref 0.0 in
+      for i = 1 to spins do
+        acc := !acc +. sin (float_of_int i)
+      done;
+      ignore !acc;
+      [ t ])
+
+let ordered_topology () =
+  Topology.create_exn
+    [|
+      op "src" 0.01;
+      Operator.make ~service_time:1e-4 ~replicas:3 "workers";
+      op "sink" 0.01;
+    |]
+    [ (0, 1, 1.0); (1, 2, 1.0) ]
+
+let test_ordered_fission_preserves_order () =
+  let probe, seen = collect_order () in
+  let inputs = List.init 600 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run ~ordered:[ 1 ]
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, variable_delay); (2, probe) ])
+      (ordered_topology ())
+  in
+  Alcotest.(check int) "all processed" 600 m.Executor.consumed.(2);
+  let received = seen () in
+  Alcotest.(check (list (float 0.))) "exact source order"
+    (List.init 600 float_of_int) received
+
+let test_ordered_fission_with_selectivity () =
+  (* A filter dropping two thirds still emits the survivors in order. *)
+  let probe, seen = collect_order () in
+  let keep_multiples_of_3 =
+    Behavior.make ~name:"keep3" (fun () t ->
+        if int_of_float (Tuple.value t 0) mod 3 = 0 then [ t ] else [])
+  in
+  let inputs = List.init 300 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run ~ordered:[ 1 ]
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, keep_multiples_of_3); (2, probe) ])
+      (ordered_topology ())
+  in
+  Alcotest.(check int) "survivors" 100 m.Executor.consumed.(2);
+  Alcotest.(check (list (float 0.))) "order kept through the filter"
+    (List.init 100 (fun i -> float_of_int (3 * i)))
+    (seen ())
+
+let test_ordered_fission_validation () =
+  let source = Executor.source_of_list [] in
+  let registry = registry_of [ (1, Stateless_ops.identity) ] in
+  (* Not replicated. *)
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "x" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  (try
+     ignore (Executor.run ~ordered:[ 1 ] ~source ~registry t);
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ());
+  (* Partitioned-stateful. *)
+  let t =
+    Topology.create_exn
+      [|
+        op "src" 0.01;
+        Operator.make
+          ~kind:(Operator.Partitioned_stateful (Ss_prelude.Discrete.uniform 4))
+          ~service_time:1e-4 ~replicas:2 "keyed";
+      |]
+      [ (0, 1, 1.0) ]
+  in
+  try
+    ignore (Executor.run ~ordered:[ 1 ] ~source ~registry t);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fusion deployment (Algorithm 4) *)
+
+let test_fused_group_equivalent_counts () =
+  let build () =
+    Topology.create_exn
+      [| op "src" 0.05; op "a" 0.05; op "b" 0.05; op "sink" 0.05 |]
+      [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let registry =
+    registry_of
+      [
+        (1, Stateless_ops.scale ~factor:2.0);
+        (2, Stateless_ops.threshold_filter ~index:0 ~threshold:1.0);
+        (3, Stateless_ops.identity);
+      ]
+  in
+  let inputs () = List.init 600 (fun i -> tuple [| float_of_int i /. 600.0 |]) in
+  let plain =
+    Executor.run ~source:(Executor.source_of_list (inputs ())) ~registry (build ())
+  in
+  let fused =
+    Executor.run ~fused:[ [ 1; 2 ] ]
+      ~source:(Executor.source_of_list (inputs ()))
+      ~registry (build ())
+  in
+  Alcotest.(check int) "same tuples through a" plain.Executor.consumed.(1)
+    fused.Executor.consumed.(1);
+  Alcotest.(check int) "same tuples through b" plain.Executor.consumed.(2)
+    fused.Executor.consumed.(2);
+  Alcotest.(check int) "same sink deliveries" plain.Executor.consumed.(3)
+    fused.Executor.consumed.(3)
+
+let test_fused_branching_group () =
+  (* Fused sub-graph with an internal probabilistic branch: flow is
+     conserved between the meta-operator and the external sink. *)
+  let t =
+    Topology.create_exn
+      [| op "src" 0.05; op "fe" 0.05; op "l" 0.05; op "r" 0.05; op "sink" 0.05 |]
+      [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ]
+  in
+  let registry =
+    registry_of
+      (List.map (fun v -> (v, Stateless_ops.identity)) [ 1; 2; 3; 4 ])
+  in
+  let inputs = List.init 500 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run ~fused:[ [ 1; 2; 3 ] ]
+      ~source:(Executor.source_of_list inputs)
+      ~registry t
+  in
+  Alcotest.(check int) "front-end consumed all" 500 m.Executor.consumed.(1);
+  Alcotest.(check int) "branches partition the flow" 500
+    (m.Executor.consumed.(2) + m.Executor.consumed.(3));
+  Alcotest.(check int) "sink got every tuple" 500 m.Executor.consumed.(4)
+
+let test_fused_errors () =
+  let t = Fixtures.diamond ~pa:0.5 ~t_src:0.1 ~t_a:0.1 ~t_b:0.1 ~t_sink:0.1 in
+  let registry =
+    registry_of (List.map (fun v -> (v, Stateless_ops.identity)) [ 1; 2; 3 ])
+  in
+  let source = Executor.source_of_list [] in
+  (* Two entry points. *)
+  (try
+     ignore (Executor.run ~fused:[ [ 1; 2 ] ] ~source ~registry t);
+     Alcotest.fail "expected illegal group"
+   with Invalid_argument _ -> ());
+  (* Overlapping groups. *)
+  try
+    ignore (Executor.run ~fused:[ [ 1; 3 ]; [ 3 ] ] ~source ~registry t);
+    Alcotest.fail "expected overlap error"
+  with Invalid_argument _ -> ()
+
+let test_windowed_operator_in_pipeline () =
+  let ops =
+    [|
+      op "src" 0.05;
+      Operator.make ~service_time:1e-4 ~input_selectivity:10.0 "agg";
+      op "sink" 0.05;
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let behavior =
+    Window_ops.sum
+      ~spec:{ Window_ops.default_spec with Window_ops.length = 50; slide = 10 }
+      ()
+  in
+  let inputs = List.init 500 (fun _ -> tuple [| 1.0 |]) in
+  let m =
+    Executor.run
+      ~source:(Executor.source_of_list inputs)
+      ~registry:(registry_of [ (1, behavior); (2, Stateless_ops.identity) ])
+      t
+  in
+  (* Fires at 50, 60, ..., 500: 46 results of value 50. *)
+  Alcotest.(check int) "window firings" 46 m.Executor.produced.(1);
+  Alcotest.(check int) "sink receives the aggregates" 46 m.Executor.consumed.(2)
+
+let test_small_mailboxes_still_drain () =
+  (* Backpressure with capacity-1 mailboxes must not deadlock. *)
+  let t = Fixtures.diamond ~pa:0.5 ~t_src:0.1 ~t_a:0.1 ~t_b:0.1 ~t_sink:0.1 in
+  let inputs = List.init 300 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    Executor.run ~mailbox_capacity:1
+      ~source:(Executor.source_of_list inputs)
+      ~registry:
+        (registry_of (List.map (fun v -> (v, Stateless_ops.identity)) [ 1; 2; 3 ]))
+      t
+  in
+  Alcotest.(check int) "drained" 300 m.Executor.consumed.(3)
+
+let test_replicated_source_rejected () =
+  let ops = [| Operator.make ~service_time:1e-3 ~replicas:2 "src"; op "s" 0.1 |] in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  Alcotest.check_raises "replicated source"
+    (Invalid_argument "Executor.run: the source operator cannot be replicated")
+    (fun () ->
+      ignore
+        (Executor.run
+           ~source:(Executor.source_of_list [])
+           ~registry:(registry_of [ (1, Stateless_ops.identity) ])
+           t))
+
+let test_source_of_fn () =
+  let src = Executor.source_of_fn ~count:3 (fun i -> tuple [| float_of_int i |]) in
+  Alcotest.(check bool) "first" true (src () <> None);
+  Alcotest.(check bool) "second" true (src () <> None);
+  Alcotest.(check bool) "third" true (src () <> None);
+  Alcotest.(check bool) "exhausted" true (src () = None)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_runtime"
+    [
+      ( "mailbox",
+        [
+          quick "fifo order" test_mailbox_fifo;
+          quick "try operations" test_mailbox_try_operations;
+          quick "blocking put (backpressure)" test_mailbox_blocking_put;
+          quick "blocking take" test_mailbox_blocking_take;
+          quick "invalid capacity" test_mailbox_invalid_capacity;
+        ] );
+      ( "pipelines",
+        [
+          quick "identity pipeline" test_identity_pipeline;
+          quick "filter counts" test_filter_counts;
+          quick "probabilistic split" test_probabilistic_split_conserves_flow;
+          quick "content-based router" test_content_based_router;
+          quick "diamond" test_diamond_join_counts;
+          quick "windowed operator" test_windowed_operator_in_pipeline;
+          quick "capacity-1 mailboxes drain" test_small_mailboxes_still_drain;
+        ] );
+      ( "fission",
+        [
+          quick "replicated stateless" test_replicated_stateless;
+          quick "partitioned key affinity" test_partitioned_key_affinity;
+          quick "ordered fission preserves order" test_ordered_fission_preserves_order;
+          quick "ordered fission with selectivity" test_ordered_fission_with_selectivity;
+          quick "ordered fission validation" test_ordered_fission_validation;
+        ] );
+      ( "fusion",
+        [
+          quick "fused counts equal unfused" test_fused_group_equivalent_counts;
+          quick "fused branching group" test_fused_branching_group;
+          quick "illegal groups rejected" test_fused_errors;
+        ] );
+      ( "misc",
+        [
+          quick "replicated source rejected" test_replicated_source_rejected;
+          quick "source_of_fn" test_source_of_fn;
+        ] );
+    ]

@@ -1,0 +1,237 @@
+(* Tests for the Session facade: the import -> analyze -> optimize -> fuse
+   -> export workflow of the SpinStreams tool. *)
+
+open Ss_topology
+open Ss_tool
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let fig11_xml =
+  {|<topology>
+      <operator id="0" name="op1" service_time="det:0.001"/>
+      <operator id="1" name="op2" service_time="det:0.0012"/>
+      <operator id="2" name="op3" service_time="det:0.0007"/>
+      <operator id="3" name="op4" service_time="det:0.002"/>
+      <operator id="4" name="op5" service_time="det:0.0015"/>
+      <operator id="5" name="op6" service_time="det:0.0002"/>
+      <edge from="0" to="1" probability="0.7"/>
+      <edge from="0" to="2" probability="0.3"/>
+      <edge from="2" to="3" probability="0.5"/>
+      <edge from="2" to="4" probability="0.5"/>
+      <edge from="4" to="3" probability="0.35"/>
+      <edge from="4" to="5" probability="0.65"/>
+      <edge from="3" to="5" probability="1.0"/>
+      <edge from="1" to="5" probability="1.0"/>
+    </topology>|}
+
+let test_import_and_versions () =
+  let s = Session.import (Fixtures.table1 ()) in
+  Alcotest.(check (list string)) "original only" [ "original" ] (Session.versions s);
+  Alcotest.(check int) "topology accessible" 6
+    (Topology.size (Session.topology s ()))
+
+let test_import_xml () =
+  match Session.import_xml fig11_xml with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      let a = Session.analyze s () in
+      Alcotest.(check (float 1e-6)) "fig11 throughput" 1000.0
+        a.Ss_core.Steady_state.throughput
+
+let test_import_xml_error () =
+  match Session.import_xml "<nope/>" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check bool) "describes problem" true (String.length e > 0)
+
+let test_optimize_registers_version () =
+  let s = Session.import (Fixtures.pipeline [ 0.5; 2.0; 0.4 ]) in
+  let version, plan = Session.eliminate_bottlenecks s () in
+  Alcotest.(check bool) "version name" true (contains ~needle:"fission" version);
+  Alcotest.(check (list string)) "two versions" [ "original"; version ]
+    (Session.versions s);
+  Alcotest.(check (float 1e-6)) "optimized throughput" 2000.0
+    plan.Ss_core.Fission.analysis.Ss_core.Steady_state.throughput;
+  (* The default version is now the optimized one. *)
+  let latest = Session.topology s () in
+  Alcotest.(check int) "replicas in latest" 4
+    (Topology.operator latest 1).Operator.replicas;
+  (* The original is still addressable. *)
+  let original = Session.topology s ~version:"original" () in
+  Alcotest.(check int) "original untouched" 1
+    (Topology.operator original 1).Operator.replicas
+
+let test_bounded_optimize_version_name () =
+  let s = Session.import (Fixtures.pipeline [ 0.5; 2.0; 0.4 ]) in
+  let version, _ = Session.eliminate_bottlenecks s ~max_replicas:4 () in
+  Alcotest.(check bool) "bound recorded in name" true
+    (contains ~needle:"bound4" version)
+
+let test_fuse_workflow () =
+  let s = Session.import (Fixtures.table1 ()) in
+  let candidates = Session.fusion_candidates s () in
+  Alcotest.(check bool) "candidates proposed" true (List.length candidates > 0);
+  match Session.fuse s [ 2; 3; 4 ] with
+  | Error e -> Alcotest.fail e
+  | Ok (version, outcome) ->
+      Alcotest.(check bool) "version name" true (contains ~needle:"fusion" version);
+      Alcotest.(check (float 1e-9)) "fused service time" 2.8e-3
+        outcome.Ss_core.Fusion.fused_service_time;
+      Alcotest.(check int) "fused topology registered" 4
+        (Topology.size (Session.topology s ~version ()))
+
+let test_fuse_illegal_subgraph () =
+  let s = Session.import (Fixtures.table1 ()) in
+  match Session.fuse s [ 3; 4 ] with
+  | Ok _ -> Alcotest.fail "expected front-end error"
+  | Error _ ->
+      Alcotest.(check int) "no version registered" 1
+        (List.length (Session.versions s))
+
+let test_unknown_version_raises () =
+  let s = Session.import (Fixtures.table1 ()) in
+  Alcotest.check_raises "unknown version" Not_found (fun () ->
+      ignore (Session.topology s ~version:"nope" ()))
+
+let test_simulate () =
+  let s = Session.import (Fixtures.pipeline [ 1.0; 4.0 ]) in
+  let config =
+    { Ss_sim.Engine.default_config with Ss_sim.Engine.warmup = 1.0; measure = 5.0 }
+  in
+  let r = Session.simulate s ~config () in
+  Alcotest.(check bool) "close to 250 t/s" true
+    (Float.abs (r.Ss_sim.Engine.throughput -. 250.0) < 10.0)
+
+let test_export_roundtrip () =
+  let s = Session.import (Fixtures.table1 ()) in
+  let xml = Session.export_xml s () in
+  match Session.import_xml xml with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+      Alcotest.(check (float 1e-6)) "same analysis" 1000.0
+        (Session.analyze s' ()).Ss_core.Steady_state.throughput
+
+let test_generate_code () =
+  let s = Session.import (Fixtures.table1 ()) in
+  let code = Session.generate_code s ~fused:[ [ 2; 3; 4 ] ] ~tuples:500 () in
+  Alcotest.(check bool) "mentions executor" true
+    (contains ~needle:"Ss_runtime.Executor.run" code);
+  Alcotest.(check bool) "fused group" true (contains ~needle:"[ 2; 3; 4 ]" code)
+
+let test_report_content () =
+  let s = Session.import (Fixtures.pipeline [ 1.0; 4.0; 0.5 ]) in
+  let report = Session.report s () in
+  Alcotest.(check bool) "shows throughput" true
+    (contains ~needle:"throughput" report);
+  Alcotest.(check bool) "names the saturated operator" true
+    (contains ~needle:"stage1" report);
+  (* After optimization the report compares against the original. *)
+  let _ = Session.eliminate_bottlenecks s () in
+  let report' = Session.report s () in
+  Alcotest.(check bool) "improvement percentage" true
+    (contains ~needle:"vs original" report')
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_csv_steady_state () =
+  let t = Fixtures.table1 () in
+  let a = Ss_core.Steady_state.analyze t in
+  let csv = Export.steady_state_csv t a in
+  let rows = lines csv in
+  Alcotest.(check int) "header + 6 rows" 7 (List.length rows);
+  Alcotest.(check bool) "header columns" true
+    (contains ~needle:"vertex,operator,kind" (List.hd rows));
+  (* The source row carries its measured throughput. *)
+  Alcotest.(check bool) "op1 at 1000/s" true
+    (contains ~needle:"op1" csv && contains ~needle:"1000.000" csv)
+
+let test_csv_comparison () =
+  let t = Fixtures.pipeline [ 1.0; 0.5 ] in
+  let a = Ss_core.Steady_state.analyze t in
+  let config =
+    { Ss_sim.Engine.default_config with Ss_sim.Engine.warmup = 1.0; measure = 4.0 }
+  in
+  let r = Ss_sim.Engine.run ~config t in
+  let csv = Export.comparison_csv t a r in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length (lines csv));
+  Alcotest.(check bool) "has error column" true
+    (contains ~needle:"relative_error" csv)
+
+let test_csv_latency () =
+  let t = Fixtures.pipeline [ 1.0; 4.0; 0.5 ] in
+  let a = Ss_core.Steady_state.analyze t in
+  let l = Ss_core.Latency.estimate t a in
+  let csv = Export.latency_csv t l in
+  Alcotest.(check bool) "saturated rendered" true
+    (contains ~needle:"saturated" csv);
+  Alcotest.(check int) "header + 3 rows" 4 (List.length (lines csv))
+
+let test_csv_escaping () =
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "plain";
+      Operator.make ~service_time:1e-3 "with,comma\"and quote";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let csv = Export.steady_state_csv t (Ss_core.Steady_state.analyze t) in
+  Alcotest.(check bool) "field quoted and quotes doubled" true
+    (contains ~needle:"\"with,comma\"\"and quote\"" csv)
+
+let test_json_encoder () =
+  let open Export.Json in
+  Alcotest.(check string) "escaping" {|{"a\"b": "x\ny"}|}
+    (to_string (Obj [ ("a\"b", Str "x\ny") ]));
+  Alcotest.(check string) "numbers" "[1,2.5,null]"
+    (to_string (Arr [ Num 1.0; Num 2.5; Num infinity ]));
+  Alcotest.(check string) "empty containers" {|{"a": [],"b": {}}|}
+    (to_string (Obj [ ("a", Arr []); ("b", Obj []) ]));
+  Alcotest.(check string) "booleans and null" "[true,false,null]"
+    (to_string (Arr [ Bool true; Bool false; Null ]))
+
+let test_session_json () =
+  let s = Session.import (Fixtures.pipeline [ 0.5; 2.0; 0.4 ]) in
+  let _ = Session.eliminate_bottlenecks s () in
+  let json = Export.session_json s in
+  Alcotest.(check bool) "both versions listed" true
+    (contains ~needle:"\"original\"" json
+    && contains ~needle:"fission-1" json);
+  Alcotest.(check bool) "throughput fields" true
+    (contains ~needle:"\"throughput\"" json);
+  Alcotest.(check bool) "bottleneck names" true
+    (contains ~needle:"\"bottlenecks\"" json)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_tool"
+    [
+      ( "session",
+        [
+          quick "import and versions" test_import_and_versions;
+          quick "import xml" test_import_xml;
+          quick "import xml errors" test_import_xml_error;
+          quick "optimize registers a version" test_optimize_registers_version;
+          quick "bounded optimize naming" test_bounded_optimize_version_name;
+          quick "fuse workflow" test_fuse_workflow;
+          quick "illegal fusion leaves session intact" test_fuse_illegal_subgraph;
+          quick "unknown version" test_unknown_version_raises;
+          quick "simulate" test_simulate;
+          quick "export roundtrip" test_export_roundtrip;
+          quick "generate code" test_generate_code;
+          quick "report content" test_report_content;
+        ] );
+      ( "export",
+        [
+          quick "steady-state csv" test_csv_steady_state;
+          quick "comparison csv" test_csv_comparison;
+          quick "latency csv" test_csv_latency;
+          quick "csv escaping" test_csv_escaping;
+          quick "json encoder" test_json_encoder;
+          quick "session json" test_session_json;
+        ] );
+    ]

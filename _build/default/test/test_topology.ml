@@ -1,0 +1,508 @@
+(* Tests for the topology graph model: validation, orders, paths and
+   contraction. *)
+
+open Ss_topology
+
+let op ?kind ?input_selectivity ?output_selectivity name ms =
+  Operator.make ?kind ?input_selectivity ?output_selectivity
+    ~service_time:(ms /. 1e3) name
+
+let check_error expected result =
+  match result with
+  | Ok _ -> Alcotest.failf "expected error %s" expected
+  | Error e ->
+      Alcotest.(check string) "error constructor" expected
+        (match e with
+        | Topology.Empty_topology -> "Empty_topology"
+        | Topology.Duplicate_operator_name _ -> "Duplicate_operator_name"
+        | Topology.Invalid_vertex _ -> "Invalid_vertex"
+        | Topology.Self_loop _ -> "Self_loop"
+        | Topology.Duplicate_edge _ -> "Duplicate_edge"
+        | Topology.Invalid_probability _ -> "Invalid_probability"
+        | Topology.Unnormalized_probabilities _ -> "Unnormalized_probabilities"
+        | Topology.No_source -> "No_source"
+        | Topology.Multiple_sources _ -> "Multiple_sources"
+        | Topology.Cyclic _ -> "Cyclic"
+        | Topology.Unreachable _ -> "Unreachable")
+
+(* ------------------------------------------------------------------ *)
+(* Operator invariants *)
+
+let test_operator_validation () =
+  Alcotest.check_raises "zero service time"
+    (Invalid_argument "Operator.make: service_time must be positive") (fun () ->
+      ignore (Operator.make ~service_time:0.0 "x"));
+  Alcotest.check_raises "stateful replicated"
+    (Invalid_argument "Operator.make: a stateful operator cannot be replicated")
+    (fun () ->
+      ignore
+        (Operator.make ~kind:Operator.Stateful ~replicas:2 ~service_time:1.0 "x"));
+  Alcotest.check_raises "bad selectivity"
+    (Invalid_argument "Operator.make: input_selectivity must be positive")
+    (fun () ->
+      ignore (Operator.make ~input_selectivity:0.0 ~service_time:1.0 "x"))
+
+let test_operator_rates () =
+  let o = op "x" 2.0 in
+  Alcotest.(check (float 1e-9)) "rate" 500.0 (Operator.service_rate o);
+  let o3 = Operator.with_replicas o 3 in
+  Alcotest.(check (float 1e-9)) "effective rate" 1500.0
+    (Operator.effective_service_rate o3);
+  Alcotest.(check bool) "stateless can replicate" true (Operator.can_replicate o)
+
+let test_operator_with_service_time_rescales_dist () =
+  let o =
+    Operator.make ~dist:(Ss_prelude.Dist.Exponential 1e-3) ~service_time:1e-3 "x"
+  in
+  let o' = Operator.with_service_time o 2e-3 in
+  Alcotest.(check (float 1e-12)) "dist mean follows" 2e-3
+    (Ss_prelude.Dist.mean o'.Operator.service_dist)
+
+let test_operator_dist_mismatch_rejected () =
+  Alcotest.check_raises "inconsistent dist"
+    (Invalid_argument
+       "Operator.make: service_dist mean inconsistent with service_time")
+    (fun () ->
+      ignore
+        (Operator.make ~dist:(Ss_prelude.Dist.Exponential 2e-3) ~service_time:1e-3
+           "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let test_valid_chain () =
+  let t = Fixtures.pipeline [ 1.0; 0.5; 0.2 ] in
+  Alcotest.(check int) "size" 3 (Topology.size t);
+  Alcotest.(check int) "edges" 2 (Topology.num_edges t);
+  Alcotest.(check int) "source" 0 (Topology.source t);
+  Alcotest.(check (list int)) "sinks" [ 2 ] (Topology.sinks t)
+
+let test_rejects_empty () = check_error "Empty_topology" (Topology.create [||] [])
+
+let test_rejects_duplicate_names () =
+  check_error "Duplicate_operator_name"
+    (Topology.create [| op "a" 1.0; op "a" 1.0 |] [ (0, 1, 1.0) ])
+
+let test_rejects_unknown_vertex () =
+  check_error "Invalid_vertex"
+    (Topology.create [| op "a" 1.0; op "b" 1.0 |] [ (0, 2, 1.0) ])
+
+let test_rejects_self_loop () =
+  check_error "Self_loop"
+    (Topology.create [| op "a" 1.0; op "b" 1.0 |] [ (0, 1, 1.0); (1, 1, 1.0) ])
+
+let test_rejects_duplicate_edge () =
+  check_error "Duplicate_edge"
+    (Topology.create [| op "a" 1.0; op "b" 1.0 |] [ (0, 1, 0.5); (0, 1, 0.5) ])
+
+let test_rejects_bad_probability () =
+  check_error "Invalid_probability"
+    (Topology.create [| op "a" 1.0; op "b" 1.0 |] [ (0, 1, 0.0) ]);
+  check_error "Invalid_probability"
+    (Topology.create [| op "a" 1.0; op "b" 1.0 |] [ (0, 1, 1.5) ])
+
+let test_rejects_unnormalized () =
+  check_error "Unnormalized_probabilities"
+    (Topology.create
+       [| op "a" 1.0; op "b" 1.0; op "c" 1.0 |]
+       [ (0, 1, 0.5); (0, 2, 0.2); (1, 2, 1.0) ])
+
+let test_rejects_cycle () =
+  check_error "Cyclic"
+    (Topology.create
+       [| op "s" 1.0; op "a" 1.0; op "b" 1.0 |]
+       [ (0, 1, 1.0); (1, 2, 1.0); (2, 1, 1.0) ]);
+  (* A pure 2-cycle with a detached source-looking vertex. *)
+  check_error "Cyclic"
+    (Topology.create
+       [| op "s" 1.0; op "a" 1.0; op "b" 1.0 |]
+       [ (1, 2, 1.0); (2, 1, 1.0) ])
+
+let test_rejects_multiple_sources () =
+  check_error "Multiple_sources"
+    (Topology.create
+       [| op "s1" 1.0; op "s2" 1.0; op "c" 1.0 |]
+       [ (0, 2, 1.0); (1, 2, 1.0) ])
+
+let test_probability_renormalized_exactly () =
+  (* Inputs within tolerance are snapped to an exact unit sum. *)
+  let t =
+    Topology.create_exn
+      [| op "s" 1.0; op "a" 1.0; op "b" 1.0 |]
+      [ (0, 1, 0.3000001); (0, 2, 0.7) ]
+  in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 (Topology.succs t 0) in
+  Alcotest.(check (float 1e-12)) "sums to exactly 1" 1.0 total
+
+(* ------------------------------------------------------------------ *)
+(* Accessors, order, paths *)
+
+let test_adjacency_views_agree () =
+  let t = Fixtures.table1 () in
+  List.iter
+    (fun (u, v, p) ->
+      Alcotest.(check (option (float 1e-12)))
+        (Printf.sprintf "edge %d->%d" u v)
+        (Some p)
+        (Topology.edge_probability t ~src:u ~dst:v);
+      Alcotest.(check bool) "pred view" true
+        (List.mem_assoc u (Topology.preds t v)))
+    (Topology.edges t);
+  Alcotest.(check int) "edge count" 8 (Topology.num_edges t)
+
+let test_topological_order_is_valid () =
+  let t = Fixtures.table1 () in
+  let order = Topology.topological_order t in
+  let position = Array.make (Topology.size t) 0 in
+  Array.iteri (fun i v -> position.(v) <- i) order;
+  List.iter
+    (fun (u, v, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d before %d" u v)
+        true
+        (position.(u) < position.(v)))
+    (Topology.edges t);
+  Alcotest.(check int) "starts at source" (Topology.source t) order.(0)
+
+let test_paths_to_sink () =
+  let t = Fixtures.table1 () in
+  let paths = Topology.paths_to t 5 in
+  (* Four ways to reach op6: via 2; via 3-4; via 3-5-4; via 3-5. *)
+  Alcotest.(check int) "path count" 4 (List.length paths);
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 paths in
+  Alcotest.(check (float 1e-9)) "paths partition the flow" 1.0 total
+
+let test_visit_ratio_matches_paths () =
+  let t = Fixtures.table1 () in
+  let ratio = Topology.visit_ratio t in
+  List.iter
+    (fun v ->
+      let by_paths =
+        List.fold_left (fun acc (_, p) -> acc +. p) 0.0 (Topology.paths_to t v)
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "vertex %d" v)
+        by_paths ratio.(v))
+    (List.init (Topology.size t) Fun.id)
+
+let test_find_by_name () =
+  let t = Fixtures.table1 () in
+  Alcotest.(check (option int)) "found" (Some 3) (Topology.find_by_name t "op4");
+  Alcotest.(check (option int)) "missing" None (Topology.find_by_name t "nope")
+
+let test_degrees () =
+  let t = Fixtures.table1 () in
+  Alcotest.(check int) "out of source" 2 (Topology.out_degree t 0);
+  Alcotest.(check int) "in of op6" 3 (Topology.in_degree t 5);
+  Alcotest.(check bool) "op6 is sink" true (Topology.is_sink t 5);
+  Alcotest.(check bool) "source not sink" false (Topology.is_sink t 0)
+
+(* ------------------------------------------------------------------ *)
+(* Transformations *)
+
+let test_with_operator () =
+  let t = Fixtures.pipeline [ 1.0; 0.5 ] in
+  let t' = Topology.with_operator t 1 (op "renamed" 0.7) in
+  Alcotest.(check string) "name changed" "renamed"
+    (Topology.operator t' 1).Operator.name;
+  Alcotest.(check string) "original untouched" "stage1"
+    (Topology.operator t 1).Operator.name
+
+let test_map_operators_preserves_structure () =
+  let t = Fixtures.table1 () in
+  let t' =
+    Topology.map_operators t (fun _ o -> Operator.with_service_time o 1e-3)
+  in
+  Alcotest.(check int) "same edges" (Topology.num_edges t) (Topology.num_edges t');
+  Alcotest.(check (float 1e-12)) "service time updated" 1e-3
+    (Topology.operator t' 3).Operator.service_time
+
+let test_front_end_detection () =
+  let t = Fixtures.table1 () in
+  (match Topology.front_end_of t [ 2; 3; 4 ] with
+  | Ok fe -> Alcotest.(check int) "front-end is op3" 2 fe
+  | Error e -> Alcotest.fail e);
+  (match Topology.front_end_of t [ 3; 4 ] with
+  | Ok _ -> Alcotest.fail "two entry points expected"
+  | Error _ -> ());
+  (match Topology.front_end_of t [ 0; 1 ] with
+  | Ok _ -> Alcotest.fail "source must be rejected"
+  | Error _ -> ());
+  match Topology.front_end_of t [] with
+  | Ok _ -> Alcotest.fail "empty set"
+  | Error _ -> ()
+
+let test_contract_basic () =
+  let t = Fixtures.table1 () in
+  match Topology.contract t ~keep_name:"F" [ 2; 3; 4 ] with
+  | Error e -> Alcotest.fail e
+  | Ok (t', f) ->
+      Alcotest.(check int) "four vertices" 4 (Topology.size t');
+      let fop = Topology.operator t' f in
+      Alcotest.(check string) "name" "F" fop.Operator.name;
+      Alcotest.(check (float 1e-12)) "expected work" 2.8e-3
+        fop.Operator.service_time;
+      Alcotest.(check (float 1e-12)) "unit exit selectivity" 1.0
+        fop.Operator.output_selectivity;
+      (* Incoming edge keeps its probability. *)
+      let src_new = Topology.source t' in
+      Alcotest.(check (option (float 1e-12))) "entry probability" (Some 0.3)
+        (Topology.edge_probability t' ~src:src_new ~dst:f)
+
+let test_contract_with_internal_sink () =
+  (* src -> a -> b, a -> c; fuse {a, b}: items exiting via b are none (b is a
+     sink) so the meta-operator keeps only the a->c edge flow. *)
+  let t =
+    Topology.create_exn
+      [| op "src" 1.0; op "a" 0.2; op "b" 0.3; op "c" 0.1 |]
+      [ (0, 1, 1.0); (1, 2, 0.6); (1, 3, 0.4) ]
+  in
+  match Topology.contract t ~keep_name:"ab" [ 1; 2 ] with
+  | Error e -> Alcotest.fail e
+  | Ok (t', f) ->
+      let fop = Topology.operator t' f in
+      (* Work: a always, b with probability 0.6. *)
+      Alcotest.(check (float 1e-12)) "expected work"
+        ((0.2 +. (0.6 *. 0.3)) /. 1e3)
+        fop.Operator.service_time;
+      (* 40% of the items leave the fused region. *)
+      Alcotest.(check (float 1e-12)) "exit selectivity" 0.4
+        fop.Operator.output_selectivity;
+      (match Topology.succs t' f with
+      | [ (_, p) ] -> Alcotest.(check (float 1e-12)) "renormalized" 1.0 p
+      | _ -> Alcotest.fail "expected a single out-edge")
+
+let test_contract_cycle_rejected () =
+  let t =
+    Topology.create_exn
+      [| op "src" 1.0; op "a" 0.2; op "b" 0.3; op "c" 0.1 |]
+      [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 3, 1.0) ]
+  in
+  match Topology.contract t ~keep_name:"F" [ 1; 3 ] with
+  | Ok _ -> Alcotest.fail "expected cycle error"
+  | Error e ->
+      Alcotest.(check bool) "explains the failure" true
+        (String.length e > 0)
+
+let test_contract_selectivity_weighting () =
+  (* A filter inside the fused region scales downstream work and exits. *)
+  let ops =
+    [|
+      op "src" 1.0;
+      op ~output_selectivity:0.5 "filter" 0.2;
+      op "work" 1.0;
+      op "sink" 0.1;
+    |]
+  in
+  let t =
+    Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  match Topology.contract t ~keep_name:"F" [ 1; 2 ] with
+  | Error e -> Alcotest.fail e
+  | Ok (t', f) ->
+      let fop = Topology.operator t' f in
+      (* Half the items reach the heavy stage. *)
+      Alcotest.(check (float 1e-12)) "work" ((0.2 +. 0.5) /. 1e3)
+        fop.Operator.service_time;
+      Alcotest.(check (float 1e-12)) "selectivity" 0.5
+        fop.Operator.output_selectivity
+
+(* ------------------------------------------------------------------ *)
+(* Builder *)
+
+let test_builder_chain () =
+  let b = Builder.create () in
+  let s = Builder.add b (op "s" 1.0) in
+  let a = Builder.add b (op "a" 0.5) in
+  let c = Builder.add b (op "c" 0.2) in
+  Builder.chain b [ s; a; c ];
+  let t = Builder.finish_exn b in
+  Alcotest.(check int) "size" 3 (Topology.size t);
+  Alcotest.(check (option (float 1e-12))) "chain edge" (Some 1.0)
+    (Topology.edge_probability t ~src:(Builder.vertex_id s)
+       ~dst:(Builder.vertex_id a))
+
+let test_builder_probabilistic_edges () =
+  let b = Builder.create () in
+  let s = Builder.add b (op "s" 1.0) in
+  let x = Builder.add b (op "x" 0.5) in
+  let y = Builder.add b (op "y" 0.2) in
+  Builder.edge b s x ~prob:0.25;
+  Builder.edge b s y ~prob:0.75;
+  let t = Builder.finish_exn b in
+  Alcotest.(check (option (float 1e-12))) "prob kept" (Some 0.25)
+    (Topology.edge_probability t ~src:0 ~dst:1)
+
+let test_builder_error_propagates () =
+  let b = Builder.create () in
+  let s = Builder.add b (op "s" 1.0) in
+  let x = Builder.add b (op "x" 0.5) in
+  Builder.edge b s x ~prob:0.5;
+  match Builder.finish b with
+  | Ok _ -> Alcotest.fail "expected unnormalized error"
+  | Error (Topology.Unnormalized_probabilities _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %s" (Topology.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let test_dot_output () =
+  let t = Fixtures.pipeline [ 1.0; 0.5 ] in
+  let dot = Topology.to_dot t in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  Alcotest.(check bool) "mentions stages" true
+    (let contains needle =
+       let nl = String.length needle and hl = String.length dot in
+       let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains "stage0" && contains "stage1" && contains "->")
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arbitrary_dag =
+  (* (n, seed) -> random layered DAG built with the library's own RNG. *)
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 2 15) (int_range 0 10_000))
+
+let build_random_dag (n, seed) =
+  let rng = Ss_prelude.Rng.create seed in
+  let ops = Array.init n (fun i -> op (Printf.sprintf "v%d" i) 1.0) in
+  let edges = ref [] in
+  for j = 1 to n - 1 do
+    let deg = 1 + Ss_prelude.Rng.int rng (min j 3) in
+    let srcs = ref [] in
+    while List.length !srcs < deg do
+      let s = Ss_prelude.Rng.int rng j in
+      if not (List.mem s !srcs) then srcs := s :: !srcs
+    done;
+    List.iter (fun s -> edges := (s, j, 1.0) :: !edges) !srcs
+  done;
+  let out_count = Array.make n 0 in
+  List.iter (fun (i, _, _) -> out_count.(i) <- out_count.(i) + 1) !edges;
+  let edges =
+    List.map (fun (i, j, _) -> (i, j, 1.0 /. float_of_int out_count.(i))) !edges
+  in
+  Topology.create ops edges
+
+let prop_random_dags_valid =
+  QCheck.Test.make ~name:"random layered DAGs validate" ~count:500 arbitrary_dag
+    (fun spec -> match build_random_dag spec with Ok _ -> true | Error _ -> false)
+
+let prop_topo_order_respects_edges =
+  QCheck.Test.make ~name:"topological order respects all edges" ~count:500
+    arbitrary_dag (fun spec ->
+      match build_random_dag spec with
+      | Error _ -> false
+      | Ok t ->
+          let order = Topology.topological_order t in
+          let position = Array.make (Topology.size t) 0 in
+          Array.iteri (fun i v -> position.(v) <- i) order;
+          List.for_all
+            (fun (u, v, _) -> position.(u) < position.(v))
+            (Topology.edges t))
+
+let prop_visit_ratio_sinks_sum_to_one =
+  QCheck.Test.make
+    ~name:"visit ratios of sinks sum to 1 (flow partition)" ~count:500
+    arbitrary_dag (fun spec ->
+      match build_random_dag spec with
+      | Error _ -> false
+      | Ok t ->
+          let ratio = Topology.visit_ratio t in
+          let total =
+            List.fold_left (fun acc v -> acc +. ratio.(v)) 0.0 (Topology.sinks t)
+          in
+          Float.abs (total -. 1.0) < 1e-9)
+
+let prop_contract_preserves_external_vertices =
+  QCheck.Test.make ~name:"contraction keeps external operators" ~count:300
+    arbitrary_dag (fun spec ->
+      match build_random_dag spec with
+      | Error _ -> false
+      | Ok t ->
+          (* Contract a random sink's predecessors-closure of size 2 if legal;
+             otherwise trivially pass. *)
+          let n = Topology.size t in
+          if n < 4 then true
+          else
+            let vs = [ n - 2; n - 1 ] in
+            (match Topology.contract t ~keep_name:"F" vs with
+            | Error _ -> true
+            | Ok (t', _) ->
+                let names t =
+                  Array.to_list (Topology.operators t)
+                  |> List.map (fun o -> o.Operator.name)
+                in
+                let kept =
+                  List.filter
+                    (fun name ->
+                      name <> Printf.sprintf "v%d" (n - 2)
+                      && name <> Printf.sprintf "v%d" (n - 1))
+                    (names t)
+                in
+                List.for_all (fun o -> List.mem o (names t')) kept))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "ss_topology"
+    [
+      ( "operator",
+        [
+          quick "validation" test_operator_validation;
+          quick "rates" test_operator_rates;
+          quick "service time rescaling" test_operator_with_service_time_rescales_dist;
+          quick "dist mismatch rejected" test_operator_dist_mismatch_rejected;
+        ] );
+      ( "validation",
+        [
+          quick "valid chain" test_valid_chain;
+          quick "empty rejected" test_rejects_empty;
+          quick "duplicate names" test_rejects_duplicate_names;
+          quick "unknown vertex" test_rejects_unknown_vertex;
+          quick "self loop" test_rejects_self_loop;
+          quick "duplicate edge" test_rejects_duplicate_edge;
+          quick "bad probability" test_rejects_bad_probability;
+          quick "unnormalized probabilities" test_rejects_unnormalized;
+          quick "cycles" test_rejects_cycle;
+          quick "multiple sources" test_rejects_multiple_sources;
+          quick "renormalization" test_probability_renormalized_exactly;
+        ] );
+      ( "accessors",
+        [
+          quick "adjacency views" test_adjacency_views_agree;
+          quick "topological order" test_topological_order_is_valid;
+          quick "paths to sink" test_paths_to_sink;
+          quick "visit ratio matches paths" test_visit_ratio_matches_paths;
+          quick "find by name" test_find_by_name;
+          quick "degrees and sinks" test_degrees;
+        ] );
+      ( "transform",
+        [
+          quick "with_operator" test_with_operator;
+          quick "map_operators" test_map_operators_preserves_structure;
+          quick "front-end detection" test_front_end_detection;
+          quick "contract fig11 sub-graph" test_contract_basic;
+          quick "contract with internal sink" test_contract_with_internal_sink;
+          quick "contract cycle rejected" test_contract_cycle_rejected;
+          quick "contract selectivity weighting" test_contract_selectivity_weighting;
+        ] );
+      ( "builder",
+        [
+          quick "chain" test_builder_chain;
+          quick "probabilistic edges" test_builder_probabilistic_edges;
+          quick "error propagation" test_builder_error_propagates;
+        ] );
+      ("rendering", [ quick "dot output" test_dot_output ]);
+      ( "properties",
+        [
+          prop prop_random_dags_valid;
+          prop prop_topo_order_respects_edges;
+          prop prop_visit_ratio_sinks_sum_to_one;
+          prop prop_contract_preserves_external_vertices;
+        ] );
+    ]

@@ -1,0 +1,299 @@
+(* Tests for the workload substrate: the Algorithm 5 random-topology
+   generator, the stream generator and the profiler. *)
+
+open Ss_prelude
+open Ss_topology
+open Ss_workload
+
+(* ------------------------------------------------------------------ *)
+(* Random topology generation (Algorithm 5) *)
+
+let test_generate_valid_batch () =
+  (* Topology.create validates; generate uses create_exn, so reaching this
+     point means every invariant (rooted, acyclic, reachable, stochastic)
+     held. Check the advertised size bounds on a batch. *)
+  let rng = Rng.create 123 in
+  for _ = 1 to 100 do
+    let t = Random_topology.generate rng in
+    let v = Topology.size t in
+    Alcotest.(check bool) "vertex bounds" true (v >= 2 && v <= 20);
+    Alcotest.(check int) "source is vertex 0" 0 (Topology.source t);
+    Alcotest.(check string) "source name" "source"
+      (Topology.operator t 0).Operator.name
+  done
+
+let test_edge_budget () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    let t = Random_topology.generate rng in
+    let v = Topology.size t in
+    let e = Topology.num_edges t in
+    (* At least a spanning structure; at most the forward-edge capacity.
+       Algorithm 5 may add a few extra source edges beyond (V-1) * beta. *)
+    Alcotest.(check bool) "enough edges" true (e >= v - 1);
+    Alcotest.(check bool) "sparse" true (e <= v * (v - 1) / 2)
+  done
+
+let test_explicit_sizes () =
+  let rng = Rng.create 99 in
+  let t = Random_topology.generate_with_sizes rng ~vertices:10 ~edges:12 in
+  Alcotest.(check int) "vertices" 10 (Topology.size t);
+  Alcotest.(check bool) "at least 12 edges (source completion may add)" true
+    (Topology.num_edges t >= 12)
+
+let test_size_errors () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "too many edges"
+    (Invalid_argument "Random_topology: too many edges") (fun () ->
+      ignore (Random_topology.generate_with_sizes rng ~vertices:4 ~edges:7));
+  Alcotest.check_raises "too few edges"
+    (Invalid_argument "Random_topology: too few edges") (fun () ->
+      ignore (Random_topology.generate_with_sizes rng ~vertices:4 ~edges:2))
+
+let test_binary_operators_have_two_inputs () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    let t = Random_topology.generate rng in
+    Array.iteri
+      (fun v op ->
+        if Random_topology.behavior_name op = "bandjoin" then
+          Alcotest.(check bool) "join has >= 2 inputs" true
+            (Topology.in_degree t v >= 2))
+      (Topology.operators t)
+  done
+
+let test_source_headroom () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 30 do
+    let t = Random_topology.generate rng in
+    let src_rate = Operator.service_rate (Topology.operator t 0) in
+    let fastest =
+      Array.fold_left
+        (fun acc op -> Float.max acc (Operator.service_rate op))
+        0.0
+        (Array.sub (Topology.operators t) 1 (Topology.size t - 1))
+    in
+    Alcotest.(check (float 1e-6)) "source 33% above the fastest operator"
+      (1.33 *. fastest) src_rate
+  done
+
+let test_testbed_deterministic () =
+  let names t =
+    Array.to_list (Topology.operators t) |> List.map (fun o -> o.Operator.name)
+  in
+  let a = Random_topology.testbed ~seed:42 5 in
+  let b = Random_topology.testbed ~seed:42 5 in
+  Alcotest.(check int) "count" 5 (List.length a);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check (list string)) "same operators" (names x) (names y);
+      Alcotest.(check int) "same edges" (Topology.num_edges x) (Topology.num_edges y))
+    a b;
+  let c = Random_topology.testbed ~seed:43 5 in
+  Alcotest.(check bool) "different seed differs" true
+    (List.exists2 (fun x y -> names x <> names y) a c)
+
+let test_behavior_name_strips_suffix () =
+  let op = Operator.make ~service_time:1e-3 "quantile_w5000_s10#7" in
+  Alcotest.(check string) "stripped" "quantile_w5000_s10"
+    (Random_topology.behavior_name op);
+  let op = Operator.make ~service_time:1e-3 "source" in
+  Alcotest.(check string) "no suffix" "source" (Random_topology.behavior_name op)
+
+let test_windowed_ops_have_selectivity () =
+  let rng = Rng.create 17 in
+  let found = ref false in
+  for _ = 1 to 60 do
+    let t = Random_topology.generate rng in
+    Array.iter
+      (fun op ->
+        let base = Random_topology.behavior_name op in
+        let windowed =
+          List.exists
+            (fun p ->
+              String.length base >= String.length p
+              && String.sub base 0 (String.length p) = p)
+            [ "sum_"; "max_"; "min_"; "wma_"; "quantile_"; "mean_bykey"; "skyline"; "topk" ]
+        in
+        if windowed then begin
+          found := true;
+          Alcotest.(check bool) "slide in {1,10,50}" true
+            (List.mem op.Operator.input_selectivity [ 1.0; 10.0; 50.0 ])
+        end)
+      (Topology.operators t)
+  done;
+  Alcotest.(check bool) "windowed operators were generated" true !found
+
+let test_partitioned_ops_have_zipf_keys () =
+  let rng = Rng.create 29 in
+  let found = ref false in
+  for _ = 1 to 60 do
+    let t = Random_topology.generate rng in
+    Array.iter
+      (fun op ->
+        match op.Operator.kind with
+        | Operator.Partitioned_stateful keys ->
+            found := true;
+            Alcotest.(check bool) "key group count in range" true
+              (Discrete.support keys >= 256 && Discrete.support keys <= 4096);
+            (* Zipf with alpha > 0 implies visible skew. *)
+            Alcotest.(check bool) "skewed" true
+              (Discrete.max_prob keys > 1.0 /. float_of_int (Discrete.support keys))
+        | Operator.Stateless | Operator.Stateful -> ())
+      (Topology.operators t)
+  done;
+  Alcotest.(check bool) "partitioned operators were generated" true !found
+
+let test_service_time_spread () =
+  (* Paper: fastest in hundreds of microseconds, slowest up to hundreds of
+     milliseconds. *)
+  let rng = Rng.create 31 in
+  let all_times = ref [] in
+  for _ = 1 to 50 do
+    let t = Random_topology.generate rng in
+    Array.iteri
+      (fun v op ->
+        if v <> 0 then all_times := op.Operator.service_time :: !all_times)
+      (Topology.operators t)
+  done;
+  let times = Array.of_list !all_times in
+  Alcotest.(check bool) "nothing above 300ms" true (Stats.maximum times <= 0.3);
+  Alcotest.(check bool) "nothing below 50us" true (Stats.minimum times >= 5e-5);
+  Alcotest.(check bool) "spread spans 2+ orders of magnitude" true
+    (Stats.maximum times /. Stats.minimum times > 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stream generation *)
+
+let test_stream_timestamps_and_count () =
+  let rng = Rng.create 3 in
+  let ts = Stream_gen.tuples rng 100 in
+  Alcotest.(check int) "count" 100 (List.length ts);
+  let rec increasing = function
+    | a :: (b :: _ as rest) ->
+        a.Ss_operators.Tuple.ts < b.Ss_operators.Tuple.ts && increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "timestamps increase" true (increasing ts)
+
+let test_stream_key_frequencies () =
+  let spec =
+    { Stream_gen.default_spec with
+      Stream_gen.keys = Discrete.of_weights [| 3.0; 1.0 |] }
+  in
+  let rng = Rng.create 13 in
+  let ts = Stream_gen.tuples ~spec rng 20_000 in
+  let zeros =
+    List.length (List.filter (fun t -> t.Ss_operators.Tuple.key = 0) ts)
+  in
+  let freq = float_of_int zeros /. 20_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "key 0 frequency %.3f near 0.75" freq)
+    true
+    (Float.abs (freq -. 0.75) < 0.02)
+
+let test_stream_tags () =
+  let spec = { Stream_gen.default_spec with Stream_gen.tags = 2 } in
+  let rng = Rng.create 13 in
+  let ts = Stream_gen.tuples ~spec rng 1000 in
+  let tags = List.sort_uniq compare (List.map (fun t -> t.Ss_operators.Tuple.tag) ts) in
+  Alcotest.(check (list int)) "both tags appear" [ 0; 1 ] tags
+
+let test_sequence_matches_tuples () =
+  let a = Stream_gen.tuples (Rng.create 9) 50 in
+  let b =
+    Stream_gen.sequence (Rng.create 9) |> Seq.take 50 |> List.of_seq
+  in
+  Alcotest.(check bool) "same draws" true
+    (List.for_all2 Ss_operators.Tuple.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Profiler *)
+
+let test_profile_identity () =
+  let rng = Rng.create 1 in
+  let p = Profiler.run ~samples:2000 rng Ss_operators.Stateless_ops.identity in
+  Alcotest.(check int) "samples" 2000 p.Profiler.samples;
+  Alcotest.(check (float 1e-9)) "selectivity 1" 1.0 p.Profiler.outputs_per_input;
+  Alcotest.(check bool) "positive time" true (p.Profiler.mean_service_time > 0.0)
+
+let test_profile_sampler_selectivity () =
+  let rng = Rng.create 1 in
+  let p =
+    Profiler.run ~samples:4000 rng (Ss_operators.Stateless_ops.sampler ~keep_one_in:4)
+  in
+  Alcotest.(check (float 1e-3)) "one in four" 0.25 p.Profiler.outputs_per_input
+
+let test_profile_compute_scales () =
+  let rng = Rng.create 1 in
+  let cheap =
+    Profiler.run ~samples:500 rng (Ss_operators.Stateless_ops.compute ~iterations:10)
+  in
+  let costly =
+    Profiler.run ~samples:500 rng
+      (Ss_operators.Stateless_ops.compute ~iterations:10_000)
+  in
+  Alcotest.(check bool) "10_000 iterations cost more than 10" true
+    (costly.Profiler.mean_service_time > cheap.Profiler.mean_service_time)
+
+let test_profile_to_operator () =
+  let rng = Rng.create 1 in
+  let behavior = Ss_operators.Stateless_ops.sampler ~keep_one_in:4 in
+  let p = Profiler.run ~samples:4000 rng behavior in
+  let op = Profiler.to_operator behavior p in
+  Alcotest.(check (float 1e-3)) "measured selectivity" 0.25
+    op.Operator.output_selectivity;
+  Alcotest.(check (float 1e-12)) "measured time" p.Profiler.mean_service_time
+    op.Operator.service_time;
+  let named = Profiler.to_operator ~name:"s1" behavior p in
+  Alcotest.(check string) "renamed" "s1" named.Operator.name
+
+let test_profile_windowed_selectivity () =
+  let rng = Rng.create 1 in
+  let behavior =
+    Ss_operators.Window_ops.sum
+      ~spec:{ Ss_operators.Window_ops.default_spec with
+              Ss_operators.Window_ops.length = 100; slide = 10 }
+      ()
+  in
+  let p = Profiler.run ~samples:10_000 rng behavior in
+  (* One output every 10 inputs at steady state. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "outputs/input %.3f near 0.1" p.Profiler.outputs_per_input)
+    true
+    (Float.abs (p.Profiler.outputs_per_input -. 0.1) < 0.01)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_workload"
+    [
+      ( "random_topology",
+        [
+          quick "batches are valid with size bounds" test_generate_valid_batch;
+          quick "edge budget" test_edge_budget;
+          quick "explicit sizes" test_explicit_sizes;
+          quick "size errors (Algorithm 5 guards)" test_size_errors;
+          quick "binary operator placement" test_binary_operators_have_two_inputs;
+          quick "source headroom" test_source_headroom;
+          quick "deterministic testbed" test_testbed_deterministic;
+          quick "behavior name suffixes" test_behavior_name_strips_suffix;
+          quick "windowed selectivities" test_windowed_ops_have_selectivity;
+          quick "partitioned zipf keys" test_partitioned_ops_have_zipf_keys;
+          quick "service time spread" test_service_time_spread;
+        ] );
+      ( "stream_gen",
+        [
+          quick "timestamps and count" test_stream_timestamps_and_count;
+          quick "key frequencies" test_stream_key_frequencies;
+          quick "tags" test_stream_tags;
+          quick "sequence equals batch" test_sequence_matches_tuples;
+        ] );
+      ( "profiler",
+        [
+          quick "identity" test_profile_identity;
+          quick "sampler selectivity" test_profile_sampler_selectivity;
+          quick "compute scales with iterations" test_profile_compute_scales;
+          quick "profile to operator" test_profile_to_operator;
+          quick "windowed selectivity" test_profile_windowed_selectivity;
+        ] );
+    ]

@@ -1,0 +1,368 @@
+(* Tests for the XML substrate: the parser itself and the topology
+   formalism reader/writer. *)
+
+open Ss_topology
+open Ss_xml
+
+(* ------------------------------------------------------------------ *)
+(* Xml parser *)
+
+let parse_ok src =
+  match Xml.parse src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let parse_err src =
+  match Xml.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  | Error e -> e
+
+let test_parse_basic () =
+  match parse_ok "<a x=\"1\"><b/><c y='2'>hi</c></a>" with
+  | Xml.Element ("a", [ ("x", "1") ], [ b; c ]) ->
+      Alcotest.(check (option string)) "b tag" (Some "b") (Xml.tag b);
+      Alcotest.(check (option string)) "c attr" (Some "2") (Xml.attr "y" c);
+      Alcotest.(check string) "c text" "hi" (Xml.text_content c)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_prolog_and_comments () =
+  let src =
+    "<?xml version=\"1.0\"?>\n<!-- header -->\n<root><!-- inner -->\n  \
+     <child/>\n</root>\n<!-- trailer -->"
+  in
+  match parse_ok src with
+  | Xml.Element ("root", [], [ child ]) ->
+      Alcotest.(check (option string)) "child" (Some "child") (Xml.tag child)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_entities () =
+  match parse_ok "<t a=\"x &amp; y\">1 &lt; 2 &gt; 0 &quot;q&quot; &#65;</t>" with
+  | Xml.Element ("t", [ ("a", a) ], _) as node ->
+      Alcotest.(check string) "attr entities" "x & y" a;
+      Alcotest.(check string) "text entities" "1 < 2 > 0 \"q\" A"
+        (Xml.text_content node)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_whitespace_text_dropped () =
+  match parse_ok "<a>\n  <b/>\n</a>" with
+  | Xml.Element ("a", [], [ Xml.Element ("b", [], []) ]) -> ()
+  | _ -> Alcotest.fail "whitespace text should be dropped"
+
+let test_parse_errors () =
+  List.iter
+    (fun src -> ignore (parse_err src))
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a x=1/>";
+      "<a x=\"1\" x=\"2\"/>";
+      "<a/><b/>";
+      "<a>&nope;</a>";
+      "<a><!-- unterminated </a>";
+      "plain text";
+    ]
+
+let test_parse_error_position () =
+  let e = parse_err "<a>\n<b></c></a>" in
+  Alcotest.(check bool) "mentions line 2" true
+    (String.length e >= 6 && String.sub e 0 6 = "line 2")
+
+let test_render_roundtrip () =
+  let doc =
+    Xml.Element
+      ( "root",
+        [ ("attr", "a<b&c\"d"); ("n", "42") ],
+        [
+          Xml.Element ("leaf", [], []);
+          Xml.Element ("mid", [], [ Xml.Text "x & y" ]);
+        ] )
+  in
+  let rendered = Xml.to_string doc in
+  match Xml.parse rendered with
+  | Ok reparsed -> Alcotest.(check bool) "roundtrip" true (reparsed = doc)
+  | Error e -> Alcotest.fail e
+
+let test_accessors () =
+  let node = parse_ok "<a><x i=\"1\"/><y/><x i=\"2\"/></a>" in
+  Alcotest.(check int) "find_all" 2 (List.length (Xml.find_all "x" node));
+  Alcotest.(check int) "children" 3 (List.length (Xml.children node));
+  (match Xml.attr_exn "missing" node with
+  | Ok _ -> Alcotest.fail "expected missing-attribute error"
+  | Error e ->
+      Alcotest.(check bool) "names the element" true
+        (String.length e > 0 && e = "missing attribute \"missing\" on <a>"));
+  Alcotest.(check (option string)) "text has no tag" None (Xml.tag (Xml.Text "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Topology XML *)
+
+let roundtrip t =
+  match Topology_xml.of_string (Topology_xml.to_string t) with
+  | Ok t' -> t'
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let check_same_topology a b =
+  Alcotest.(check int) "size" (Topology.size a) (Topology.size b);
+  Alcotest.(check int) "edges" (Topology.num_edges a) (Topology.num_edges b);
+  List.iter2
+    (fun (u1, v1, p1) (u2, v2, p2) ->
+      Alcotest.(check int) "edge src" u1 u2;
+      Alcotest.(check int) "edge dst" v1 v2;
+      Alcotest.(check (float 1e-12)) "edge prob" p1 p2)
+    (Topology.edges a) (Topology.edges b);
+  let close x y = Float.abs (x -. y) <= 1e-12 *. Float.max 1.0 (Float.abs x) in
+  Array.iteri
+    (fun v op ->
+      let op' = Topology.operator b v in
+      let what fmt = Printf.sprintf ("operator %d " ^^ fmt) v in
+      Alcotest.(check string) (what "name") op.Operator.name op'.Operator.name;
+      Alcotest.(check bool) (what "service time") true
+        (close op.Operator.service_time op'.Operator.service_time);
+      Alcotest.(check bool) (what "dist") true
+        (op.Operator.service_dist = op'.Operator.service_dist);
+      Alcotest.(check bool) (what "selectivities") true
+        (close op.Operator.input_selectivity op'.Operator.input_selectivity
+        && close op.Operator.output_selectivity op'.Operator.output_selectivity);
+      Alcotest.(check int) (what "replicas") op.Operator.replicas op'.Operator.replicas;
+      match (op.Operator.kind, op'.Operator.kind) with
+      | Operator.Stateless, Operator.Stateless
+      | Operator.Stateful, Operator.Stateful ->
+          ()
+      | Operator.Partitioned_stateful ka, Operator.Partitioned_stateful kb ->
+          let pa = Ss_prelude.Discrete.probs ka in
+          let pb = Ss_prelude.Discrete.probs kb in
+          Alcotest.(check int) (what "key groups") (Array.length pa) (Array.length pb);
+          Array.iteri
+            (fun i p -> Alcotest.(check bool) (what "key prob") true (close p pb.(i)))
+            pa
+      | _ -> Alcotest.fail (what "kind mismatch"))
+    (Topology.operators a)
+
+let test_topology_roundtrip_fig11 () =
+  let t = Fixtures.table1 () in
+  check_same_topology t (roundtrip t)
+
+let test_topology_roundtrip_rich () =
+  (* Exercises distributions, selectivities, replicas and key weights. *)
+  let keys = Ss_prelude.Discrete.of_weights [| 0.5; 0.3; 0.2 |] in
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "source";
+      Operator.make
+        ~dist:(Ss_prelude.Dist.Exponential 2e-3)
+        ~kind:(Operator.Partitioned_stateful keys)
+        ~input_selectivity:10.0 ~output_selectivity:2.0 ~replicas:3
+        ~service_time:2e-3 "agg#1";
+      Operator.make ~kind:Operator.Stateful
+        ~dist:(Ss_prelude.Dist.Erlang (4, 5e-3))
+        ~service_time:5e-3 "join";
+    |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 0.25); (0, 2, 0.75); (1, 2, 1.0) ] in
+  check_same_topology t (roundtrip t)
+
+let test_topology_random_roundtrips () =
+  let rng = Ss_prelude.Rng.create 77 in
+  for _ = 1 to 20 do
+    let t = Ss_workload.Random_topology.generate rng in
+    check_same_topology t (roundtrip t)
+  done
+
+let test_topology_zipf_keys_input () =
+  let src =
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001"/>
+        <operator id="1" name="k" type="partitioned" keys="zipf:1.5:32"
+                  service_time="det:0.002"/>
+        <edge from="0" to="1"/>
+      </topology>|}
+  in
+  match Topology_xml.of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok t -> (
+      match (Topology.operator t 1).Operator.kind with
+      | Operator.Partitioned_stateful keys ->
+          Alcotest.(check int) "32 groups" 32 (Ss_prelude.Discrete.support keys);
+          Alcotest.(check bool) "zipf skew" true
+            (Ss_prelude.Discrete.prob keys 0 > Ss_prelude.Discrete.prob keys 31)
+      | _ -> Alcotest.fail "expected partitioned kind")
+
+let test_topology_default_attributes () =
+  let src =
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001"/>
+        <operator id="1" name="t" service_time="0.002"/>
+        <edge from="0" to="1"/>
+      </topology>|}
+  in
+  match Topology_xml.of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let op = Topology.operator t 1 in
+      Alcotest.(check bool) "stateless default" true (op.Operator.kind = Operator.Stateless);
+      Alcotest.(check (float 0.)) "unit selectivities" 1.0 op.Operator.input_selectivity;
+      Alcotest.(check int) "one replica" 1 op.Operator.replicas;
+      Alcotest.(check (option (float 1e-12))) "probability defaults to 1"
+        (Some 1.0)
+        (Topology.edge_probability t ~src:0 ~dst:1)
+
+let expect_error src fragment =
+  match Topology_xml.of_string src with
+  | Ok _ -> Alcotest.failf "expected an error mentioning %S" fragment
+  | Error e ->
+      let contains =
+        let nl = String.length fragment and hl = String.length e in
+        let rec go i = i + nl <= hl && (String.sub e i nl = fragment || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "%S in %S" fragment e) true contains
+
+let test_topology_errors () =
+  expect_error "<nope/>" "expected <topology>";
+  expect_error "<topology/>" "no <operator>";
+  expect_error
+    {|<topology><operator id="0" name="s"/></topology>|}
+    "service_time";
+  expect_error
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001"/>
+        <operator id="5" name="t" service_time="0.001"/>
+      </topology>|}
+    "dense";
+  expect_error
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001"/>
+        <operator id="0" name="t" service_time="0.001"/>
+      </topology>|}
+    "duplicate operator id";
+  expect_error
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001" type="warp"/>
+      </topology>|}
+    "unknown operator type";
+  expect_error
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001" type="partitioned"/>
+      </topology>|}
+    "keys";
+  expect_error
+    {|<topology>
+        <operator id="0" name="s" service_time="abc"/>
+      </topology>|}
+    "invalid";
+  (* Structural errors surface through topology validation. *)
+  expect_error
+    {|<topology>
+        <operator id="0" name="s" service_time="0.001"/>
+        <operator id="1" name="a" service_time="0.001"/>
+        <operator id="2" name="b" service_time="0.001"/>
+        <edge from="0" to="1"/>
+        <edge from="1" to="2"/>
+        <edge from="2" to="1"/>
+      </topology>|}
+    "cycle"
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzing: random corruption must yield Error, never an exception *)
+
+let base_document =
+  {|<topology>
+      <operator id="0" name="s" service_time="det:0.001"/>
+      <operator id="1" name="k" type="partitioned" keys="zipf:1.5:32"
+                service_time="exp:0.002" input_selectivity="10"/>
+      <operator id="2" name="t" service_time="0.0005" replicas="2"/>
+      <edge from="0" to="1" probability="0.25"/>
+      <edge from="0" to="2" probability="0.75"/>
+      <edge from="1" to="2"/>
+    </topology>|}
+
+let mutate rng doc =
+  let b = Bytes.of_string doc in
+  let mutations = 1 + Ss_prelude.Rng.int rng 4 in
+  for _ = 1 to mutations do
+    match Ss_prelude.Rng.int rng 4 with
+    | 0 ->
+        (* flip a character *)
+        let i = Ss_prelude.Rng.int rng (Bytes.length b) in
+        Bytes.set b i (Char.chr (32 + Ss_prelude.Rng.int rng 95))
+    | 1 ->
+        (* delete a character (overwrite with space) *)
+        let i = Ss_prelude.Rng.int rng (Bytes.length b) in
+        Bytes.set b i ' '
+    | 2 ->
+        (* clobber a quote *)
+        let quotes =
+          List.filter (fun i -> Bytes.get b i = '"')
+            (List.init (Bytes.length b) Fun.id)
+        in
+        if quotes <> [] then
+          Bytes.set b (List.nth quotes (Ss_prelude.Rng.int rng (List.length quotes))) 'x'
+    | _ ->
+        (* clobber an angle bracket *)
+        let brackets =
+          List.filter
+            (fun i -> Bytes.get b i = '<' || Bytes.get b i = '>')
+            (List.init (Bytes.length b) Fun.id)
+        in
+        if brackets <> [] then
+          Bytes.set b
+            (List.nth brackets (Ss_prelude.Rng.int rng (List.length brackets)))
+            ' '
+  done;
+  Bytes.to_string b
+
+let prop_fuzzed_documents_never_raise =
+  QCheck.Test.make ~name:"corrupted documents return Error, never raise"
+    ~count:1000 QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Ss_prelude.Rng.create seed in
+      let doc = mutate rng base_document in
+      match Topology_xml.of_string doc with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s on:\n%s" (Printexc.to_string e) doc)
+
+let prop_truncated_documents_never_raise =
+  QCheck.Test.make ~name:"truncated documents return Error, never raise"
+    ~count:300
+    QCheck.(int_range 0 400)
+    (fun len ->
+      let doc =
+        String.sub base_document 0 (min len (String.length base_document))
+      in
+      match Topology_xml.of_string doc with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) doc)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_xml"
+    [
+      ( "parser",
+        [
+          quick "basic structure" test_parse_basic;
+          quick "prolog and comments" test_parse_prolog_and_comments;
+          quick "entities" test_parse_entities;
+          quick "whitespace text dropped" test_parse_whitespace_text_dropped;
+          quick "parse errors" test_parse_errors;
+          quick "error positions" test_parse_error_position;
+          quick "render roundtrip" test_render_roundtrip;
+          quick "accessors" test_accessors;
+        ] );
+      ( "topology",
+        [
+          quick "fig11 roundtrip" test_topology_roundtrip_fig11;
+          quick "rich roundtrip" test_topology_roundtrip_rich;
+          quick "random roundtrips" test_topology_random_roundtrips;
+          quick "zipf key spec" test_topology_zipf_keys_input;
+          quick "defaults" test_topology_default_attributes;
+          quick "error reporting" test_topology_errors;
+        ] );
+      ( "fuzzing",
+        [
+          QCheck_alcotest.to_alcotest prop_fuzzed_documents_never_raise;
+          QCheck_alcotest.to_alcotest prop_truncated_documents_never_raise;
+        ] );
+    ]
