@@ -362,6 +362,60 @@ let codegen_cmd =
     Term.(const run $ topology_arg $ fused $ tuples $ mod_name $ output_arg)
 
 (* ------------------------------------------------------------------ *)
+(* execute *)
+
+let execute_cmd =
+  let fused =
+    Arg.(
+      value
+      & opt_all vertices_arg []
+      & info [ "fused" ] ~docv:"V1,V2,..."
+          ~doc:"Execute this sub-graph as one meta-operator (repeatable).")
+  in
+  let tuples =
+    Arg.(
+      value & opt int 10_000
+      & info [ "tuples" ] ~docv:"N" ~doc:"Stream length of the run.")
+  in
+  let buffer =
+    Arg.(
+      value & opt int 64
+      & info [ "buffer" ] ~docv:"SLOTS" ~doc:"Mailbox capacity per actor.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Abort the run after $(docv) of wall-clock time; the report \
+                then shows the per-actor cancellation statuses.")
+  in
+  let run path fused tuples buffer timeout seed =
+    (match timeout with
+    | Some limit when limit <= 0.0 ->
+        or_die (Error "--timeout must be positive")
+    | _ -> ());
+    let session = or_die (load_session path) in
+    let metrics =
+      Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
+        ?timeout ~seed ()
+    in
+    print_string (Ss_tool.Session.runtime_report session metrics);
+    match metrics.Ss_runtime.Executor.outcome with
+    | Ss_runtime.Supervision.Finished -> ()
+    | Ss_runtime.Supervision.Actor_failed _
+    | Ss_runtime.Supervision.Timed_out _ ->
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "execute"
+       ~doc:"Deploy the topology on the supervised actor runtime, drive it \
+             with synthetic tuples and report per-actor metrics (consumed, \
+             produced, backpressure, mailbox occupancy, completion status). \
+             Exits non-zero when an actor fails or the timeout fires.")
+    Term.(const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 (* place *)
 
 let place_cmd =
@@ -511,6 +565,7 @@ let () =
             simulate_cmd;
             random_cmd;
             codegen_cmd;
+            execute_cmd;
             place_cmd;
             export_cmd;
             dot_cmd;

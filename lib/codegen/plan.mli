@@ -18,10 +18,12 @@ val run :
   ?ordered:int list ->
   ?seed:int ->
   ?tuples:int ->
+  ?timeout:float ->
   ?stream_spec:Ss_workload.Stream_gen.spec ->
   Ss_topology.Topology.t ->
   Ss_runtime.Executor.metrics
 (** [run topology] deploys the topology on the runtime and drives it with
     [tuples] (default 10_000) synthetic tuples from
-    {!Ss_workload.Stream_gen}. Options are forwarded to
-    {!Ss_runtime.Executor.run}. *)
+    {!Ss_workload.Stream_gen}. Options ([timeout] included) are forwarded
+    to {!Ss_runtime.Executor.run}; the returned metrics carry the
+    supervised per-actor outcome. *)

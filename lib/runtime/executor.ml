@@ -7,6 +7,10 @@ type metrics = {
   consumed : int array;
   produced : int array;
   source_rate : float;
+  blocked : float array;
+  occupancy : float array;
+  actors : Supervision.report list;
+  outcome : Supervision.outcome;
 }
 
 type router = Tuple.t -> int
@@ -32,15 +36,23 @@ let source_of_fn ~count f =
     end
 
 (* An actor body is a closure run on its own domain. The runtime caps the
-   actor count below the OCaml domain limit. *)
+   actor count below the OCaml domain limit (the monitor and watchdog
+   domains ride on top of this budget). *)
 let max_actors = 110
 
+(* Interval between mailbox-occupancy samples taken by the monitor domain. *)
+let sample_interval = 1e-3
+
 let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ~source ~registry topology =
+    ?(seed = 42) ?timeout ~source ~registry topology =
   let n = Topology.size topology in
   let src = Topology.source topology in
   if (Topology.operator topology src).Operator.replicas <> 1 then
     invalid_arg "Executor.run: the source operator cannot be replicated";
+  (match timeout with
+  | Some limit when limit <= 0.0 ->
+      invalid_arg "Executor.run: timeout must be positive"
+  | _ -> ());
   List.iter
     (fun v ->
       let op = Topology.operator topology v in
@@ -68,11 +80,16 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     fused;
   let entry_vertex v = if group_of.(v) >= 0 then fronts.(group_of.(v)) else v in
   let is_entry v = v <> src && entry_vertex v = v in
+  let sup = Supervision.create () in
+  let new_mailbox () =
+    let mb = Mailbox.create ~capacity:mailbox_capacity in
+    Supervision.register_closer sup (fun () -> Mailbox.close mb);
+    mb
+  in
   (* One entry mailbox per deployed unit. *)
   let entry_mailbox = Array.make n None in
   for v = 0 to n - 1 do
-    if is_entry v then
-      entry_mailbox.(v) <- Some (Mailbox.create ~capacity:mailbox_capacity)
+    if is_entry v then entry_mailbox.(v) <- Some (new_mailbox ())
   done;
   let mailbox_of v =
     match entry_mailbox.(entry_vertex v) with
@@ -88,6 +105,25 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
   in
   let consumed = Array.init n (fun _ -> Atomic.make 0) in
   let produced = Array.init n (fun _ -> Atomic.make 0) in
+  (* Per-vertex seconds spent blocked on a full downstream mailbox
+     (backpressure felt by the vertex). Timed only on the slow path: a
+     failed [try_put] costs one extra lock round-trip before blocking. *)
+  let blocked = Array.init n (fun _ -> Atomic.make 0.0) in
+  let add_blocked v dt =
+    let cell = blocked.(v) in
+    let rec go () =
+      let old = Atomic.get cell in
+      if not (Atomic.compare_and_set cell old (old +. dt)) then go ()
+    in
+    go ()
+  in
+  let put_from v mb x =
+    if not (Mailbox.try_put mb x) then begin
+      let t0 = Unix.gettimeofday () in
+      Mailbox.put mb x;
+      add_blocked v (Unix.gettimeofday () -. t0)
+    end
+  in
   (* Successor choice for items leaving vertex [v]: a user router or a
      probabilistic sample over the out-edges. Returns the successor vertex. *)
   let chooser v rng =
@@ -122,23 +158,26 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     Topology.succs topology v |> List.map fst
     |> List.filter (fun w -> group_of.(w) < 0 || group_of.(w) <> group_of.(v))
   in
-  let bodies = ref [] in
-  let add_body b = bodies := b :: !bodies in
+  let opname v = (Topology.operator topology v).Operator.name in
+  let actors = ref [] in
+  let add_actor ~actor ?vertex body =
+    actors := (actor, vertex, body) :: !actors
+  in
 
   (* --- source actor ------------------------------------------------ *)
   let () =
     let rng = Rng.create seed in
     let choose = chooser src rng in
-    add_body (fun () ->
+    add_actor ~actor:(opname src) ~vertex:src (fun () ->
         let rec loop () =
           match source () with
           | Some t -> (
               Atomic.incr produced.(src);
               match choose t with
-              | Some dest -> Mailbox.put (mailbox_of dest) (Data t); loop ()
+              | Some dest -> put_from src (mailbox_of dest) (Data t); loop ()
               | None -> loop ())
           | None ->
-              List.iter (fun mb -> Mailbox.put mb Eos)
+              List.iter (fun mb -> put_from src mb Eos)
                 (eos_targets (external_succs src))
         in
         loop ())
@@ -156,7 +195,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         let rng = Rng.create (seed + (7919 * (v + 1))) in
         let choose = chooser v rng in
         let fn = Behavior.instantiate behavior in
-        add_body (fun () ->
+        add_actor ~actor:(opname v) ~vertex:v (fun () ->
             let eos = ref 0 in
             while !eos < expected do
               match Mailbox.take inbox with
@@ -167,11 +206,11 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                     (fun out ->
                       Atomic.incr produced.(v);
                       match choose out with
-                      | Some dest -> Mailbox.put (mailbox_of dest) (Data out)
+                      | Some dest -> put_from v (mailbox_of dest) (Data out)
                       | None -> ())
                     (fn t)
             done;
-            List.iter (fun mb -> Mailbox.put mb Eos)
+            List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
       else if List.mem v ordered then begin
@@ -181,45 +220,42 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
            worker queues in the same round-robin order, reconstructing the
            exact arrival order. *)
         let replicas = op.Operator.replicas in
-        let worker_mb =
-          Array.init replicas (fun _ -> Mailbox.create ~capacity:mailbox_capacity)
-        in
-        let out_mb =
-          Array.init replicas (fun _ -> Mailbox.create ~capacity:mailbox_capacity)
-        in
-        add_body (fun () ->
+        let worker_mb = Array.init replicas (fun _ -> new_mailbox ()) in
+        let out_mb = Array.init replicas (fun _ -> new_mailbox ()) in
+        add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
             let eos = ref 0 in
             let rr = ref 0 in
             while !eos < expected do
               match Mailbox.take inbox with
               | Eos -> incr eos
               | Data t ->
-                  Mailbox.put worker_mb.(!rr mod replicas) (Data t);
+                  put_from v worker_mb.(!rr mod replicas) (Data t);
                   incr rr
             done;
-            Array.iter (fun mb -> Mailbox.put mb Eos) worker_mb);
+            Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         for r = 0 to replicas - 1 do
           let fn = Behavior.instantiate behavior in
-          add_body (fun () ->
+          add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
+            ~vertex:v (fun () ->
               let continue = ref true in
               while !continue do
                 match Mailbox.take worker_mb.(r) with
                 | Eos ->
-                    Mailbox.put out_mb.(r) None;
+                    put_from v out_mb.(r) None;
                     continue := false
                 | Data t ->
                     Atomic.incr consumed.(v);
                     let outs = fn t in
                     List.iter (fun _ -> Atomic.incr produced.(v)) outs;
-                    Mailbox.put out_mb.(r) (Some outs)
+                    put_from v out_mb.(r) (Some outs)
               done)
         done;
         let rng = Rng.create (seed + (104729 * (v + 1))) in
         let choose = chooser v rng in
-        add_body (fun () ->
+        add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let forward t =
               match choose t with
-              | Some dest -> Mailbox.put (mailbox_of dest) (Data t)
+              | Some dest -> put_from v (mailbox_of dest) (Data t)
               | None -> ()
             in
             let rec collect c =
@@ -237,16 +273,14 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                   done
             in
             collect 0;
-            List.iter (fun mb -> Mailbox.put mb Eos)
+            List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
       else begin
         (* Parallel operator: emitter, replicas, collector (§4.2). *)
         let replicas = op.Operator.replicas in
-        let worker_mb =
-          Array.init replicas (fun _ -> Mailbox.create ~capacity:mailbox_capacity)
-        in
-        let collector_mb = Mailbox.create ~capacity:mailbox_capacity in
+        let worker_mb = Array.init replicas (fun _ -> new_mailbox ()) in
+        let collector_mb = new_mailbox () in
         let route_to_replica =
           match op.Operator.kind with
           | Operator.Partitioned_stateful keys ->
@@ -259,7 +293,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
               fun _ rr -> rr mod replicas
         in
         (* emitter *)
-        add_body (fun () ->
+        add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
             let eos = ref 0 in
             let rr = ref 0 in
             while !eos < expected do
@@ -268,42 +302,43 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
               | Data t ->
                   let r = route_to_replica t !rr in
                   incr rr;
-                  Mailbox.put worker_mb.(r) (Data t)
+                  put_from v worker_mb.(r) (Data t)
             done;
-            Array.iter (fun mb -> Mailbox.put mb Eos) worker_mb);
+            Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         (* workers *)
         for r = 0 to replicas - 1 do
           let fn = Behavior.instantiate behavior in
-          add_body (fun () ->
+          add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
+            ~vertex:v (fun () ->
               let continue = ref true in
               while !continue do
                 match Mailbox.take worker_mb.(r) with
                 | Eos ->
-                    Mailbox.put collector_mb Eos;
+                    put_from v collector_mb Eos;
                     continue := false
                 | Data t ->
                     Atomic.incr consumed.(v);
                     List.iter
                       (fun out ->
                         Atomic.incr produced.(v);
-                        Mailbox.put collector_mb (Data out))
+                        put_from v collector_mb (Data out))
                       (fn t)
               done)
         done;
         (* collector *)
         let rng = Rng.create (seed + (104729 * (v + 1))) in
         let choose = chooser v rng in
-        add_body (fun () ->
+        add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let eos = ref 0 in
             while !eos < replicas do
               match Mailbox.take collector_mb with
               | Eos -> incr eos
               | Data t -> (
                   match choose t with
-                  | Some dest -> Mailbox.put (mailbox_of dest) (Data t)
+                  | Some dest -> put_from v (mailbox_of dest) (Data t)
                   | None -> ())
             done;
-            List.iter (fun mb -> Mailbox.put mb Eos)
+            List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
     end
@@ -342,36 +377,93 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
             match choose out with
             | Some dest ->
                 if group_of.(dest) = gi then process dest out
-                else Mailbox.put (mailbox_of dest) (Data out)
+                else put_from v (mailbox_of dest) (Data out)
             | None -> ())
           (fn t)
       in
-      add_body (fun () ->
+      add_actor
+        ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
+        ~vertex:front
+        (fun () ->
           let eos = ref 0 in
           while !eos < expected do
             match Mailbox.take inbox with
             | Eos -> incr eos
             | Data t -> process front t
           done;
-          List.iter (fun mb -> Mailbox.put mb Eos) (eos_targets all_external)))
+          List.iter (fun mb -> put_from front mb Eos) (eos_targets all_external)))
     fused;
 
-  let bodies = List.rev !bodies in
-  if List.length bodies > max_actors then
+  let actors = List.rev !actors in
+  if List.length actors > max_actors then
     invalid_arg
       (Printf.sprintf
          "Executor.run: %d actors exceed the domain budget of %d; reduce \
           replicas or fuse operators"
-         (List.length bodies) max_actors);
+         (List.length actors) max_actors);
+  let finished = Atomic.make false in
+  (* Monitor domain: periodically sample entry-mailbox occupancy. *)
+  let occ_sum = Array.make n 0.0 in
+  let occ_samples = ref 0 in
+  let monitor =
+    Domain.spawn (fun () ->
+        while not (Atomic.get finished) do
+          for v = 0 to n - 1 do
+            match entry_mailbox.(v) with
+            | Some mb -> occ_sum.(v) <- occ_sum.(v) +. float_of_int (Mailbox.length mb)
+            | None -> ()
+          done;
+          incr occ_samples;
+          Unix.sleepf sample_interval
+        done)
+  in
+  (* Watchdog domain: trip the supervisor when the wall-clock budget runs
+     out. Cancellation is cooperative — it takes effect when actors touch a
+     mailbox — so a behavior spinning forever on one tuple is not
+     interruptible. *)
+  let watchdog =
+    Option.map
+      (fun limit ->
+        Domain.spawn (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let tick = Float.min 0.005 (limit /. 10.0) in
+            let rec wait () =
+              if Atomic.get finished then ()
+              else if Unix.gettimeofday () -. t0 >= limit then
+                Supervision.trip_timeout sup ~after:limit
+              else begin
+                Unix.sleepf tick;
+                wait ()
+              end
+            in
+            wait ()))
+      timeout
+  in
   let t0 = Unix.gettimeofday () in
-  let domains = List.map (fun body -> Domain.spawn body) bodies in
+  let domains =
+    List.map
+      (fun (actor, vertex, body) ->
+        Domain.spawn (Supervision.supervise sup ~actor ?vertex body))
+      actors
+  in
   List.iter Domain.join domains;
+  Atomic.set finished true;
+  Domain.join monitor;
+  Option.iter Domain.join watchdog;
   let elapsed = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
   let consumed = Array.map Atomic.get consumed in
   let produced = Array.map Atomic.get produced in
+  let occupancy =
+    let samples = float_of_int (Stdlib.max 1 !occ_samples) in
+    Array.map (fun s -> s /. samples) occ_sum
+  in
   {
     elapsed;
     consumed;
     produced;
     source_rate = float_of_int produced.(src) /. elapsed;
+    blocked = Array.map Atomic.get blocked;
+    occupancy;
+    actors = Supervision.reports sup;
+    outcome = Supervision.outcome sup;
   }

@@ -17,7 +17,14 @@
     Output items are routed to one successor, sampled with the topology's
     edge probabilities (the paper's routing semantics); [router] overrides
     this with content-based routing. Termination uses end-of-stream markers
-    counted per consumer. *)
+    counted per consumer.
+
+    Every actor body runs under a {!Supervision} supervisor: an exception
+    in one behavior no longer deadlocks the network — the supervisor closes
+    every mailbox, blocked peers wake with {!Mailbox.Closed} and exit as
+    [Cancelled], and [run] returns a structured {!Supervision.outcome}
+    instead of hanging. An optional wall-clock [timeout] drives the same
+    shutdown path. *)
 
 type metrics = {
   elapsed : float;  (** Wall-clock seconds from start to full drain. *)
@@ -25,6 +32,18 @@ type metrics = {
       (** Per vertex: tuples processed by the vertex's behavior. *)
   produced : int array;  (** Per vertex: tuples emitted by the behavior. *)
   source_rate : float;  (** Source tuples per wall-clock second. *)
+  blocked : float array;
+      (** Per vertex: seconds its actors spent blocked on full downstream
+          mailboxes (backpressure). Fission units aggregate their emitter,
+          workers and collector. *)
+  occupancy : float array;
+      (** Per vertex: mean sampled occupancy of its entry mailbox (sampled
+          every millisecond by a monitor domain); 0 for the source and for
+          non-entry members of fused groups. *)
+  actors : Supervision.report list;
+      (** Per-actor completion status, in completion order. *)
+  outcome : Supervision.outcome;
+      (** [Finished], the first actor failure, or a timeout. *)
 }
 
 type router = Ss_operators.Tuple.t -> int
@@ -37,12 +56,15 @@ val run :
   ?routers:(int * router) list ->
   ?ordered:int list ->
   ?seed:int ->
+  ?timeout:float ->
   source:(unit -> Ss_operators.Tuple.t option) ->
   registry:(int -> Ss_operators.Behavior.t) ->
   Ss_topology.Topology.t ->
   metrics
 (** [run ~source ~registry topology] deploys and executes the topology until
-    [source] returns [None] and every in-flight tuple has drained.
+    [source] returns [None] and every in-flight tuple has drained — or until
+    an actor fails or [timeout] elapses, in which case the run shuts down
+    promptly and reports the cause in [metrics.outcome].
 
     [registry v] supplies the behavior of vertex [v] (never called for the
     source). [fused] lists disjoint vertex groups to execute as
@@ -52,9 +74,11 @@ val run :
     (paper §2): their emitter deals strictly round-robin and their
     collector reassembles results in the same order, batching per input so
     any selectivity is supported. [mailbox_capacity] defaults to 64.
+    [timeout] bounds the wall-clock run time in seconds; cancellation is
+    cooperative (it takes effect when an actor next touches a mailbox).
     @raise Invalid_argument on overlapping or illegal fused groups, a
-    replicated source, or an [ordered] vertex that is not replicated
-    stateless. *)
+    replicated source, a non-positive [timeout], or an [ordered] vertex
+    that is not replicated stateless. *)
 
 val source_of_list : Ss_operators.Tuple.t list -> unit -> Ss_operators.Tuple.t option
 (** Stateful closure draining the list once. *)

@@ -1,9 +1,12 @@
+exception Closed
+
 type 'a t = {
   capacity : int;
   queue : 'a Queue.t;
   mutex : Mutex.t;
   not_full : Condition.t;
   not_empty : Condition.t;
+  mutable closed : bool;
 }
 
 let create ~capacity =
@@ -14,48 +17,65 @@ let create ~capacity =
     mutex = Mutex.create ();
     not_full = Condition.create ();
     not_empty = Condition.create ();
+    closed = false;
   }
 
 let capacity t = t.capacity
 
-let put t x =
+(* Every operation holds the mutex inside [Fun.protect] so an exception on
+   any path — including the deliberate [Closed] raise — releases the lock
+   and cannot wedge peer actors. *)
+let locked t f =
   Mutex.lock t.mutex;
-  while Queue.length t.queue >= t.capacity do
-    Condition.wait t.not_full t.mutex
-  done;
-  Queue.push x t.queue;
-  Condition.signal t.not_empty;
-  Mutex.unlock t.mutex
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let put t x =
+  locked t (fun () ->
+      while (not t.closed) && Queue.length t.queue >= t.capacity do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.closed then raise Closed;
+      Queue.push x t.queue;
+      Condition.signal t.not_empty)
 
 let take t =
-  Mutex.lock t.mutex;
-  while Queue.is_empty t.queue do
-    Condition.wait t.not_empty t.mutex
-  done;
-  let x = Queue.pop t.queue in
-  Condition.signal t.not_full;
-  Mutex.unlock t.mutex;
-  x
+  locked t (fun () ->
+      while (not t.closed) && Queue.is_empty t.queue do
+        Condition.wait t.not_empty t.mutex
+      done;
+      if t.closed then raise Closed;
+      let x = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      x)
 
 let try_put t x =
-  Mutex.lock t.mutex;
-  let ok = Queue.length t.queue < t.capacity in
-  if ok then begin
-    Queue.push x t.queue;
-    Condition.signal t.not_empty
-  end;
-  Mutex.unlock t.mutex;
-  ok
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      let ok = Queue.length t.queue < t.capacity in
+      if ok then begin
+        Queue.push x t.queue;
+        Condition.signal t.not_empty
+      end;
+      ok)
 
 let try_take t =
-  Mutex.lock t.mutex;
-  let x = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
-  if x <> None then Condition.signal t.not_full;
-  Mutex.unlock t.mutex;
-  x
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      let x =
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      in
+      if x <> None then Condition.signal t.not_full;
+      x)
 
-let length t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
+let length t = locked t (fun () -> Queue.length t.queue)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Queue.clear t.queue;
+        Condition.broadcast t.not_full;
+        Condition.broadcast t.not_empty
+      end)
+
+let is_closed t = locked t (fun () -> t.closed)

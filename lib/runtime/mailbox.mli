@@ -4,9 +4,21 @@
     [put] blocks while the mailbox is full — this is the
     Blocking-After-Service backpressure the cost model assumes. [take]
     blocks while it is empty. Both are thread-safe; waiters are woken in an
-    unspecified but starvation-free order. *)
+    unspecified but starvation-free order.
+
+    A mailbox can be {!close}d (poisoned) for fault containment: every
+    blocked producer and consumer wakes immediately with {!Closed} instead
+    of waiting forever, pending items are discarded, and all subsequent
+    operations (except {!length}, {!capacity} and {!is_closed}) raise
+    {!Closed}. The supervisor uses this to unblock the whole actor network
+    when one actor fails. All operations release the internal mutex on
+    every path, exceptional ones included. *)
 
 type 'a t
+
+exception Closed
+(** Raised by [put]/[take]/[try_put]/[try_take] once the mailbox is closed,
+    including by callers that were already blocked when [close] ran. *)
 
 val create : capacity:int -> 'a t
 (** @raise Invalid_argument if [capacity < 1]. *)
@@ -14,16 +26,26 @@ val create : capacity:int -> 'a t
 val capacity : 'a t -> int
 
 val put : 'a t -> 'a -> unit
-(** Enqueue, blocking while full. *)
+(** Enqueue, blocking while full. @raise Closed if the mailbox is (or
+    becomes, while blocked) closed. *)
 
 val take : 'a t -> 'a
-(** Dequeue, blocking while empty. *)
+(** Dequeue, blocking while empty. @raise Closed if the mailbox is (or
+    becomes, while blocked) closed. *)
 
 val try_put : 'a t -> 'a -> bool
-(** Non-blocking enqueue; false when full. *)
+(** Non-blocking enqueue; false when full. @raise Closed when closed. *)
 
 val try_take : 'a t -> 'a option
-(** Non-blocking dequeue; [None] when empty. *)
+(** Non-blocking dequeue; [None] when empty. @raise Closed when closed. *)
 
 val length : 'a t -> int
-(** Instantaneous occupancy (racy by nature; for monitoring only). *)
+(** Instantaneous occupancy (racy by nature; for monitoring only). Never
+    raises; a closed mailbox reports 0. *)
+
+val close : 'a t -> unit
+(** Poison the mailbox: discard pending items, wake every blocked producer
+    and consumer with {!Closed}, and make subsequent operations raise
+    {!Closed}. Idempotent. *)
+
+val is_closed : 'a t -> bool

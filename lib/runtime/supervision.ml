@@ -1,0 +1,106 @@
+type status =
+  | Completed
+  | Failed of { exn : string; backtrace : string }
+  | Cancelled
+
+type report = { actor : string; vertex : int option; status : status }
+
+type outcome =
+  | Finished
+  | Actor_failed of report
+  | Timed_out of float
+
+type t = {
+  mutex : Mutex.t;
+  mutable closers : (unit -> unit) list;
+  mutable reports : report list; (* completion order, newest first *)
+  mutable first_failure : report option;
+  mutable timeout : float option;
+  tripped : bool Atomic.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    closers = [];
+    reports = [];
+    first_failure = None;
+    timeout = None;
+    tripped = Atomic.make false;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Run every registered closer; a closer must be idempotent (Mailbox.close
+   is). Closer exceptions are swallowed: shutdown must always make
+   progress. *)
+let trip_locked t =
+  Atomic.set t.tripped true;
+  List.iter (fun close -> try close () with _ -> ()) t.closers
+
+let register_closer t close =
+  let already_tripped =
+    locked t (fun () ->
+        t.closers <- close :: t.closers;
+        Atomic.get t.tripped)
+  in
+  if already_tripped then try close () with _ -> ()
+
+let trip t = locked t (fun () -> trip_locked t)
+
+let trip_timeout t ~after =
+  locked t (fun () ->
+      if t.first_failure = None && t.timeout = None then
+        t.timeout <- Some after;
+      trip_locked t)
+
+let tripped t = Atomic.get t.tripped
+
+let record t report =
+  locked t (fun () ->
+      t.reports <- report :: t.reports;
+      (match report.status with
+      | Failed _ when t.first_failure = None -> t.first_failure <- Some report
+      | _ -> ());
+      match report.status with Failed _ -> trip_locked t | _ -> ())
+
+let supervise t ~actor ?vertex body () =
+  let status =
+    try
+      body ();
+      Completed
+    with
+    | Mailbox.Closed -> Cancelled
+    | exn ->
+        let backtrace =
+          Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+        in
+        Failed { exn = Printexc.to_string exn; backtrace }
+  in
+  record t { actor; vertex; status }
+
+let reports t = locked t (fun () -> List.rev t.reports)
+
+let outcome t =
+  locked t (fun () ->
+      match (t.timeout, t.first_failure) with
+      | Some s, _ -> Timed_out s
+      | None, Some r -> Actor_failed r
+      | None, None -> Finished)
+
+let pp_status ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Cancelled -> Format.pp_print_string ppf "cancelled"
+  | Failed { exn; _ } -> Format.fprintf ppf "failed: %s" exn
+
+let pp_outcome ppf = function
+  | Finished -> Format.pp_print_string ppf "finished"
+  | Timed_out s -> Format.fprintf ppf "timed out after %.3fs" s
+  | Actor_failed { actor; vertex; status } ->
+      Format.fprintf ppf "actor %s%a %a" actor
+        (fun ppf -> function
+          | None -> ()
+          | Some v -> Format.fprintf ppf " (vertex %d)" v)
+        vertex pp_status status

@@ -79,6 +79,48 @@ let export_xml t ?version () =
 let generate_code t ?version ?fused ?tuples () =
   Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
 
+let execute t ?version ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
+    () =
+  Ss_codegen.Plan.run ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
+    (topology t ?version ())
+
+let runtime_report t ?version metrics =
+  let open Ss_runtime in
+  let topo = topology t ?version () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Format.asprintf "outcome: %a@." Supervision.pp_outcome
+       metrics.Executor.outcome);
+  Buffer.add_string buf
+    (Printf.sprintf "elapsed: %.3f s; source rate: %.1f tuples/s\n"
+       metrics.Executor.elapsed metrics.Executor.source_rate);
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %-24s %10s %10s %11s %9s\n" "id" "operator"
+       "consumed" "produced" "blocked(s)" "mean occ");
+  Array.iteri
+    (fun v consumed ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-4d %-24s %10d %10d %11.4f %9.2f\n" v
+           (Topology.operator topo v).Operator.name consumed
+           metrics.Executor.produced.(v)
+           metrics.Executor.blocked.(v)
+           metrics.Executor.occupancy.(v)))
+    metrics.Executor.consumed;
+  let pp_vertex ppf = function
+    | None -> ()
+    | Some v -> Format.fprintf ppf " (vertex %d)" v
+  in
+  Buffer.add_string buf "actors:\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Format.asprintf "  %-28s %a@."
+           (Format.asprintf "%s%a:" r.Supervision.actor pp_vertex
+              r.Supervision.vertex)
+           Supervision.pp_status r.Supervision.status))
+    metrics.Executor.actors;
+  Buffer.contents buf
+
 let report t ?version () =
   let topo = topology t ?version () in
   let analysis = Steady_state.analyze topo in
@@ -97,7 +139,15 @@ let report t ?version () =
                (fun v -> (Topology.operator topo v).Operator.name)
                vs)
         ^ "\n"));
-  if analysis.Steady_state.throughput <> baseline.Steady_state.throughput then
+  (* Relative tolerance: the two throughputs come from independent float
+     pipelines, so exact (in)equality both prints spurious "+0.0%" lines
+     and can hide real changes that land on the same bits by luck. *)
+  let materially_different a b =
+    abs_float (a -. b) > 1e-9 *. Float.max (abs_float a) (abs_float b)
+  in
+  if materially_different analysis.Steady_state.throughput
+       baseline.Steady_state.throughput
+  then
     Buffer.add_string buf
       (Printf.sprintf "throughput vs original: %+.1f%%\n"
          (100.0

@@ -71,6 +71,27 @@ val export_xml : t -> ?version:string -> unit -> string
 val generate_code :
   t -> ?version:string -> ?fused:int list list -> ?tuples:int -> unit -> string
 
+val execute :
+  t ->
+  ?version:string ->
+  ?mailbox_capacity:int ->
+  ?fused:int list list ->
+  ?ordered:int list ->
+  ?seed:int ->
+  ?tuples:int ->
+  ?timeout:float ->
+  unit ->
+  Ss_runtime.Executor.metrics
+(** Deploy a version on the supervised actor runtime
+    ({!Ss_codegen.Plan.run}) and drive it with synthetic tuples. Never
+    hangs on operator failure: the returned metrics carry the structured
+    per-actor outcome, and [timeout] bounds the wall-clock run. *)
+
+val runtime_report : t -> ?version:string -> Ss_runtime.Executor.metrics -> string
+(** Human-readable report of an {!execute} run: outcome line, per-vertex
+    consumed/produced counts, backpressure seconds and mean sampled
+    mailbox occupancy, and the per-actor supervision statuses. *)
+
 val report : t -> ?version:string -> unit -> string
 (** Human-readable analysis report: per-operator table, bottlenecks,
     predicted throughput, and a comparison with the original version. *)

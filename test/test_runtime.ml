@@ -63,6 +63,60 @@ let test_mailbox_invalid_capacity () =
       ignore (Mailbox.create ~capacity:0))
 
 (* ------------------------------------------------------------------ *)
+(* Mailbox close / poison protocol *)
+
+let test_mailbox_close_wakes_producer () =
+  let mb = Mailbox.create ~capacity:1 in
+  Mailbox.put mb 0;
+  let producer =
+    Domain.spawn (fun () ->
+        try
+          Mailbox.put mb 1;
+          `Put_succeeded
+        with Mailbox.Closed -> `Woke_closed)
+  in
+  Unix.sleepf 0.05;
+  (* producer is blocked on the full mailbox; close must wake it *)
+  Mailbox.close mb;
+  Alcotest.(check bool) "blocked producer woke with Closed" true
+    (Domain.join producer = `Woke_closed)
+
+let test_mailbox_close_wakes_consumer () =
+  let mb : int Mailbox.t = Mailbox.create ~capacity:4 in
+  let consumer =
+    Domain.spawn (fun () ->
+        try
+          ignore (Mailbox.take mb);
+          `Take_succeeded
+        with Mailbox.Closed -> `Woke_closed)
+  in
+  Unix.sleepf 0.05;
+  Mailbox.close mb;
+  Alcotest.(check bool) "blocked consumer woke with Closed" true
+    (Domain.join consumer = `Woke_closed)
+
+let test_mailbox_closed_operations () =
+  let mb = Mailbox.create ~capacity:2 in
+  Mailbox.put mb 1;
+  Mailbox.close mb;
+  Mailbox.close mb;
+  (* idempotent *)
+  Alcotest.(check bool) "reports closed" true (Mailbox.is_closed mb);
+  Alcotest.(check int) "pending items discarded" 0 (Mailbox.length mb);
+  let raises_closed f =
+    try
+      ignore (f ());
+      false
+    with Mailbox.Closed -> true
+  in
+  Alcotest.(check bool) "put raises" true (raises_closed (fun () -> Mailbox.put mb 2));
+  Alcotest.(check bool) "take raises" true (raises_closed (fun () -> Mailbox.take mb));
+  Alcotest.(check bool) "try_put raises" true
+    (raises_closed (fun () -> Mailbox.try_put mb 2));
+  Alcotest.(check bool) "try_take raises" true
+    (raises_closed (fun () -> Mailbox.try_take mb))
+
+(* ------------------------------------------------------------------ *)
 (* Executor: basic pipelines *)
 
 let registry_of table v =
@@ -431,6 +485,204 @@ let test_small_mailboxes_still_drain () =
   in
   Alcotest.(check int) "drained" 300 m.Executor.consumed.(3)
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: failure containment, timeout, per-actor metrics.
+
+   Before the supervised runtime, a raising behavior killed its domain and
+   left every other actor blocked in Mailbox.take/put forever, so each of
+   these tests would hang. The watchdog turns any regression back into a
+   prompt, diagnosable failure: it hard-exits the test binary (leaked
+   wedged domains would otherwise also block normal process exit). *)
+
+let with_watchdog ?(limit = 30.0) f =
+  let result = Atomic.make None in
+  let d =
+    Domain.spawn (fun () ->
+        Atomic.set result (Some (try Ok (f ()) with e -> Error e)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let rec wait () =
+    match Atomic.get result with
+    | Some r -> (
+        Domain.join d;
+        match r with Ok v -> v | Error e -> raise e)
+    | None ->
+        if Unix.gettimeofday () -. t0 > limit then begin
+          prerr_endline "watchdog: supervised run hung; killing test binary";
+          Unix._exit 125
+        end;
+        Unix.sleepf 0.01;
+        wait ()
+  in
+  wait ()
+
+let bomb ~at =
+  Behavior.make ~name:"bomb" (fun () t ->
+      if Tuple.value t 0 >= at then failwith "boom" else [ t ])
+
+let check_failed_outcome ~vertex (m : Executor.metrics) =
+  (match m.Executor.outcome with
+  | Supervision.Actor_failed { vertex = v; status = Failed { exn; _ }; _ } ->
+      Alcotest.(check (option int)) "failing vertex recorded" (Some vertex) v;
+      Alcotest.(check bool)
+        (Printf.sprintf "exception captured (%s)" exn)
+        true
+        (String.length exn > 0)
+  | _ -> Alcotest.fail "expected Actor_failed outcome");
+  let failed, cancelled =
+    List.fold_left
+      (fun (f, c) r ->
+        match r.Supervision.status with
+        | Supervision.Failed _ -> (f + 1, c)
+        | Supervision.Cancelled -> (f, c + 1)
+        | Supervision.Completed -> (f, c))
+      (0, 0) m.Executor.actors
+  in
+  Alcotest.(check int) "exactly one failed actor" 1 failed;
+  Alcotest.(check bool) "peers were cancelled, not stuck" true (cancelled >= 1)
+
+let test_failure_single_actor () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.01; op "bomb" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let inputs = List.init 5000 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run ~mailbox_capacity:4
+          ~source:(Executor.source_of_list inputs)
+          ~registry:(registry_of [ (1, bomb ~at:50.0); (2, Stateless_ops.identity) ])
+          t)
+  in
+  check_failed_outcome ~vertex:1 m
+
+let test_failure_replicated () =
+  let ops =
+    [| op "src" 0.01; Operator.make ~service_time:1e-4 ~replicas:3 "w"; op "sink" 0.01 |]
+  in
+  let t = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let inputs = List.init 5000 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run ~mailbox_capacity:4
+          ~source:(Executor.source_of_list inputs)
+          ~registry:(registry_of [ (1, bomb ~at:100.0); (2, Stateless_ops.identity) ])
+          t)
+  in
+  check_failed_outcome ~vertex:1 m
+
+let test_failure_fused () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.01; op "a" 0.01; op "b" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let inputs = List.init 5000 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run ~mailbox_capacity:4 ~fused:[ [ 1; 2 ] ]
+          ~source:(Executor.source_of_list inputs)
+          ~registry:
+            (registry_of
+               [
+                 (1, Stateless_ops.identity);
+                 (2, bomb ~at:50.0);
+                 (3, Stateless_ops.identity);
+               ])
+          t)
+  in
+  (* The meta-operator actor is attributed to the group's front-end. *)
+  check_failed_outcome ~vertex:1 m
+
+let test_timeout_shuts_down () =
+  let slow_sink =
+    Behavior.make ~name:"slow_sink" (fun () t ->
+        Unix.sleepf 0.02;
+        [ t ])
+  in
+  let t =
+    Topology.create_exn
+      [| op "src" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0) ]
+  in
+  let inputs = List.init 500 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run ~timeout:0.15
+          ~source:(Executor.source_of_list inputs)
+          ~registry:(registry_of [ (1, slow_sink) ])
+          t)
+  in
+  (match m.Executor.outcome with
+  | Supervision.Timed_out s ->
+      Alcotest.(check (float 1e-9)) "timeout value reported" 0.15 s
+  | _ -> Alcotest.fail "expected Timed_out outcome");
+  Alcotest.(check bool) "shut down promptly" true (m.Executor.elapsed < 5.0);
+  Alcotest.(check bool) "cancelled actors reported" true
+    (List.exists
+       (fun r -> r.Supervision.status = Supervision.Cancelled)
+       m.Executor.actors)
+
+let test_fault_free_run_reports_completed () =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.1; op "a" 0.1; op "b" 0.1 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let inputs = List.init 500 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run
+          ~source:(Executor.source_of_list inputs)
+          ~registry:
+            (registry_of [ (1, Stateless_ops.identity); (2, Stateless_ops.identity) ])
+          t)
+  in
+  Alcotest.(check bool) "finished" true (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check int) "counts preserved" 500 m.Executor.consumed.(2);
+  Alcotest.(check int) "one report per actor" 3 (List.length m.Executor.actors);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "actor %s completed" r.Supervision.actor)
+        true
+        (r.Supervision.status = Supervision.Completed))
+    m.Executor.actors;
+  Alcotest.(check int) "blocked array sized" 3 (Array.length m.Executor.blocked);
+  Alcotest.(check int) "occupancy array sized" 3 (Array.length m.Executor.occupancy);
+  Array.iter
+    (fun b -> Alcotest.(check bool) "blocked non-negative" true (b >= 0.0))
+    m.Executor.blocked;
+  Array.iter
+    (fun o -> Alcotest.(check bool) "occupancy non-negative" true (o >= 0.0))
+    m.Executor.occupancy
+
+let test_backpressure_is_measured () =
+  (* A slow sink behind a tiny mailbox forces the source to block; the
+     blocked-time metric must observe it. *)
+  let slow_sink =
+    Behavior.make ~name:"slow_sink" (fun () t ->
+        Unix.sleepf 0.002;
+        [ t ])
+  in
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  let inputs = List.init 100 (fun i -> tuple [| float_of_int i |]) in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run ~mailbox_capacity:1
+          ~source:(Executor.source_of_list inputs)
+          ~registry:(registry_of [ (1, slow_sink) ])
+          t)
+  in
+  Alcotest.(check bool) "finished" true (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check bool)
+    (Printf.sprintf "source blocked time observed (%.4fs)" m.Executor.blocked.(0))
+    true
+    (m.Executor.blocked.(0) > 0.01)
+
 let test_replicated_source_rejected () =
   let ops = [| Operator.make ~service_time:1e-3 ~replicas:2 "src"; op "s" 0.1 |] in
   let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
@@ -461,6 +713,18 @@ let () =
           quick "blocking put (backpressure)" test_mailbox_blocking_put;
           quick "blocking take" test_mailbox_blocking_take;
           quick "invalid capacity" test_mailbox_invalid_capacity;
+          quick "close wakes blocked producer" test_mailbox_close_wakes_producer;
+          quick "close wakes blocked consumer" test_mailbox_close_wakes_consumer;
+          quick "closed mailbox semantics" test_mailbox_closed_operations;
+        ] );
+      ( "supervision",
+        [
+          quick "failing behavior, single actor" test_failure_single_actor;
+          quick "failing behavior, fission" test_failure_replicated;
+          quick "failing behavior, fused group" test_failure_fused;
+          quick "timeout shuts the run down" test_timeout_shuts_down;
+          quick "fault-free run fully completed" test_fault_free_run_reports_completed;
+          quick "backpressure blocked-time metric" test_backpressure_is_measured;
         ] );
       ( "pipelines",
         [

@@ -133,6 +133,34 @@ let test_report_content () =
   Alcotest.(check bool) "improvement percentage" true
     (contains ~needle:"vs original" report')
 
+let test_report_no_spurious_comparison () =
+  (* The most recent version IS the original: identical throughputs must
+     not print a "+0.0%" comparison line (relative-tolerance check, not
+     exact float inequality). *)
+  let s = Session.import (Fixtures.pipeline [ 1.0; 4.0; 0.5 ]) in
+  let report = Session.report s () in
+  Alcotest.(check bool) "no comparison against itself" false
+    (contains ~needle:"vs original" report);
+  let report' = Session.report s ~version:"original" () in
+  Alcotest.(check bool) "no comparison for explicit original" false
+    (contains ~needle:"vs original" report')
+
+let test_execute_runtime_report () =
+  (* Drive a version on the supervised actor runtime and render the
+     per-actor report. *)
+  let s = Session.import (Fixtures.pipeline [ 0.01; 0.01; 0.01 ]) in
+  let m = Session.execute s ~tuples:300 ~timeout:60.0 () in
+  Alcotest.(check bool) "run finished" true
+    (m.Ss_runtime.Executor.outcome = Ss_runtime.Supervision.Finished);
+  Alcotest.(check int) "stream drained" 300 m.Ss_runtime.Executor.consumed.(2);
+  let report = Session.runtime_report s m in
+  Alcotest.(check bool) "outcome line" true
+    (contains ~needle:"outcome: finished" report);
+  Alcotest.(check bool) "per-actor section" true
+    (contains ~needle:"actors:" report);
+  Alcotest.(check bool) "statuses rendered" true
+    (contains ~needle:"completed" report)
+
 (* ------------------------------------------------------------------ *)
 (* Export *)
 
@@ -224,6 +252,8 @@ let () =
           quick "export roundtrip" test_export_roundtrip;
           quick "generate code" test_generate_code;
           quick "report content" test_report_content;
+          quick "report skips self-comparison" test_report_no_spurious_comparison;
+          quick "execute + runtime report" test_execute_runtime_report;
         ] );
       ( "export",
         [
