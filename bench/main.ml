@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig7 table1  # selected sections only
 
    Sections: fig7 fig8 fig9 fig10 table1 table2 latency elasticity cola
-             placement ablations micro
+             placement ablations sched micro
 
    "Predicted" numbers come from the SpinStreams cost models
    (ss_core.Steady_state / Fission / Fusion); "measured" numbers come from
@@ -829,6 +829,85 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* sched: the N:M actor scheduler vs the one-domain-per-actor runtime on a
+   single 50-operator random testbed topology. Behaviors are cheap
+   identities so the comparison measures scheduling and mailbox dispatch,
+   not the operators' busy-wait service times. *)
+
+let sched () =
+  section_header
+    "sched — N:M pool scheduler vs domain-per-actor runtime (50-operator \
+     testbed topology)";
+  let tuples = if !quick then 3_000 else 30_000 in
+  let topo =
+    Random_topology.generate_with_sizes (Rng.create testbed_seed) ~vertices:50
+      ~edges:55
+  in
+  let registry _ = Ss_operators.Stateless_ops.identity in
+  let actor_count t =
+    let src = Topology.source t in
+    let count = ref 0 in
+    Array.iteri
+      (fun v (o : Operator.t) ->
+        count :=
+          !count
+          +
+          if v = src || o.Operator.replicas = 1 then 1
+          else o.Operator.replicas + 2)
+      (Topology.operators t);
+    !count
+  in
+  let run ~scheduler t =
+    Ss_runtime.Executor.run ~scheduler ~timeout:300.0 ~sample_occupancy:false
+      ~source:
+        (Ss_runtime.Executor.source_of_fn ~count:tuples (fun i ->
+             Ss_operators.Tuple.make ~key:i [| float_of_int i |]))
+      ~registry t
+  in
+  let rate (m : Ss_runtime.Executor.metrics) =
+    m.Ss_runtime.Executor.source_rate
+  in
+  let all_workers = Stdlib.max 1 (Domain.recommended_domain_count ()) in
+  Printf.printf "plain topology: %d operators as %d actors, %d tuples\n"
+    (Topology.size topo) (actor_count topo) tuples;
+  let m_pool = run ~scheduler:(`Pool all_workers) topo in
+  let m_dom = run ~scheduler:`Domain_per_actor topo in
+  Printf.printf "  pool (%d workers):  %10.0f tuples/s\n" all_workers
+    (rate m_pool);
+  Printf.printf "  domain-per-actor:  %10.0f tuples/s\n" (rate m_dom);
+  let sweep_counts = List.sort_uniq compare [ 1; 2; 4; all_workers ] in
+  let sweep =
+    List.map (fun w -> (w, rate (run ~scheduler:(`Pool w) topo))) sweep_counts
+  in
+  Printf.printf "worker-count scaling sweep (plain topology):\n";
+  List.iter
+    (fun (w, r) -> Printf.printf "  pool (%d workers):  %10.0f tuples/s\n" w r)
+    sweep;
+  let fissioned = (Fission.optimize topo).Fission.topology in
+  let fission_actors = actor_count fissioned in
+  Printf.printf "fissioned topology: %d actors\n" fission_actors;
+  let m_fpool = run ~scheduler:(`Pool all_workers) fissioned in
+  Printf.printf "  pool (%d workers):  %10.0f tuples/s (%s)\n" all_workers
+    (rate m_fpool)
+    (Format.asprintf "%a" Ss_runtime.Supervision.pp_outcome
+       m_fpool.Ss_runtime.Executor.outcome);
+  let fission_domains =
+    match run ~scheduler:`Domain_per_actor fissioned with
+    | m -> Printf.sprintf "%.1f" (rate m)
+    | exception Invalid_argument _ -> {|"rejected (domain budget)"|}
+  in
+  Printf.printf "  domain-per-actor:  %s\n" fission_domains;
+  Printf.printf
+    {|{"section":"sched","tuples":%d,"workers":%d,"pool_rate":%.1f,"domains_rate":%.1f,"sweep":[%s],"fission_actors":%d,"fission_pool_rate":%.1f,"fission_domains_rate":%s}|}
+    tuples all_workers (rate m_pool) (rate m_dom)
+    (String.concat ","
+       (List.map
+          (fun (w, r) -> Printf.sprintf {|{"workers":%d,"rate":%.1f}|} w r)
+          sweep))
+    fission_actors (rate m_fpool) fission_domains;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -843,6 +922,7 @@ let sections =
     ("cola", cola);
     ("placement", placement);
     ("ablations", ablations);
+    ("sched", sched);
     ("micro", micro);
   ]
 

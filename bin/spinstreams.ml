@@ -390,15 +390,43 @@ let execute_cmd =
           ~doc:"Abort the run after $(docv) of wall-clock time; the report \
                 then shows the per-actor cancellation statuses.")
   in
-  let run path fused tuples buffer timeout seed =
+  let scheduler =
+    Arg.(
+      value
+      & opt (enum [ ("pool", `Pool); ("domains", `Domains) ]) `Pool
+      & info [ "scheduler" ] ~docv:"MODE"
+          ~doc:"Execution model: $(b,pool) (default) multiplexes all actors \
+                over a fixed worker pool (N:M work-stealing scheduler); \
+                $(b,domains) spawns one domain per actor (limited to ~110 \
+                actors).")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains of the pool scheduler (default: the \
+                machine's recommended domain count). Ignored with \
+                --scheduler=domains.")
+  in
+  let run path fused tuples buffer timeout scheduler workers seed =
     (match timeout with
     | Some limit when limit <= 0.0 ->
         or_die (Error "--timeout must be positive")
     | _ -> ());
+    (match workers with
+    | Some w when w < 1 -> or_die (Error "--workers must be >= 1")
+    | _ -> ());
+    let scheduler =
+      match (scheduler, workers) with
+      | `Domains, _ -> `Domain_per_actor
+      | `Pool, Some w -> `Pool w
+      | `Pool, None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
+    in
     let session = or_die (load_session path) in
     let metrics =
       Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
-        ?timeout ~seed ()
+        ?timeout ~scheduler ~seed ()
     in
     print_string (Ss_tool.Session.runtime_report session metrics);
     match metrics.Ss_runtime.Executor.outcome with
@@ -413,7 +441,9 @@ let execute_cmd =
              with synthetic tuples and report per-actor metrics (consumed, \
              produced, backpressure, mailbox occupancy, completion status). \
              Exits non-zero when an actor fails or the timeout fires.")
-    Term.(const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ seed_arg)
+    Term.(
+      const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
+      $ workers $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* place *)

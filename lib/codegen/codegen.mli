@@ -18,6 +18,7 @@ val program :
   ?fused:int list list ->
   ?tuples:int ->
   ?seed:int ->
+  ?scheduler:[ `Domains | `Pool of int option ] ->
   Ss_topology.Topology.t ->
   string
 (** [program topology] renders the OCaml source. Operators whose class name
@@ -25,7 +26,10 @@ val program :
     {!Ss_operators.Catalog} fall back to a cost-faithful busy-wait stub with
     the declared selectivity, so generated programs always compile and
     reproduce the profiled load. [tuples] (default 100_000) sizes the
-    generated run; [fused] lists meta-operator groups. *)
+    generated run; [fused] lists meta-operator groups. [scheduler] selects
+    the emitted execution model: [`Pool None] (default) emits an N:M pool
+    sized to the deployment machine at run time, [`Pool (Some w)] pins the
+    worker count, [`Domains] emits the one-domain-per-actor model. *)
 
 val dune_stanza : name:string -> string
 (** A dune [executable] stanza for the generated module. *)
@@ -36,6 +40,7 @@ val write_project :
   ?fused:int list list ->
   ?tuples:int ->
   ?seed:int ->
+  ?scheduler:[ `Domains | `Pool of int option ] ->
   Ss_topology.Topology.t ->
   unit
 (** Write [<dir>/<name>.ml] and [<dir>/dune] so that

@@ -19,11 +19,15 @@ val run :
   ?seed:int ->
   ?tuples:int ->
   ?timeout:float ->
+  ?scheduler:Ss_runtime.Executor.scheduler ->
+  ?batch:int ->
+  ?sample_occupancy:bool ->
   ?stream_spec:Ss_workload.Stream_gen.spec ->
   Ss_topology.Topology.t ->
   Ss_runtime.Executor.metrics
 (** [run topology] deploys the topology on the runtime and drives it with
     [tuples] (default 10_000) synthetic tuples from
-    {!Ss_workload.Stream_gen}. Options ([timeout] included) are forwarded
-    to {!Ss_runtime.Executor.run}; the returned metrics carry the
-    supervised per-actor outcome. *)
+    {!Ss_workload.Stream_gen}. Options ([timeout], [scheduler], [batch]
+    and [sample_occupancy] included) are forwarded to
+    {!Ss_runtime.Executor.run}; the returned metrics carry the supervised
+    per-actor outcome. *)

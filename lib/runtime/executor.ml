@@ -16,6 +16,8 @@ type metrics = {
 type router = Tuple.t -> int
 type msg = Data of Tuple.t | Eos
 
+type scheduler = [ `Domain_per_actor | `Pool of int ]
+
 let source_of_list items =
   let rest = ref items in
   fun () ->
@@ -35,16 +37,40 @@ let source_of_fn ~count f =
       Some t
     end
 
-(* An actor body is a closure run on its own domain. The runtime caps the
-   actor count below the OCaml domain limit (the monitor and watchdog
-   domains ride on top of this budget). *)
+(* In [`Domain_per_actor] mode every actor body runs on its own domain, so
+   the runtime caps the actor count below the OCaml domain limit (the
+   monitor and watchdog domains ride on top of this budget). [`Pool] mode
+   has no such cap: any number of actors multiplex over the workers. *)
 let max_actors = 110
 
-(* Interval between mailbox-occupancy samples taken by the monitor domain. *)
+(* Interval between mailbox-occupancy samples (monitor domain in legacy
+   mode, the pool's tick in pool mode). *)
 let sample_interval = 1e-3
 
+(* How an actor body touches mailboxes, abstracted over the execution
+   model. [cput] is a vertex-attributed put that accounts time spent
+   waiting on a full downstream mailbox as blocked/parked time. [creader]
+   builds a per-mailbox reader closure; the pool version drains a batch
+   per activation into a local buffer to amortize scheduling cost, the
+   legacy version is a plain blocking [Mailbox.take]. Both raise
+   {!Mailbox.Closed} on a poisoned mailbox, preserving the supervision
+   protocol identically in both modes. *)
+type ctx = {
+  cput : 'a. int -> 'a Mailbox.t -> 'a -> unit;
+  creader : 'a. 'a Mailbox.t -> unit -> 'a;
+}
+
 let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ?timeout ~source ~registry topology =
+    ?(seed = 42) ?timeout ?scheduler ?(batch = 32) ?(sample_occupancy = true)
+    ~source ~registry topology =
+  let scheduler =
+    match scheduler with
+    | Some (`Pool w) when w < 1 ->
+        invalid_arg "Executor.run: pool workers must be >= 1"
+    | Some s -> s
+    | None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
+  in
+  if batch < 1 then invalid_arg "Executor.run: batch must be >= 1";
   let n = Topology.size topology in
   let src = Topology.source topology in
   if (Topology.operator topology src).Operator.replicas <> 1 then
@@ -105,9 +131,10 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
   in
   let consumed = Array.init n (fun _ -> Atomic.make 0) in
   let produced = Array.init n (fun _ -> Atomic.make 0) in
-  (* Per-vertex seconds spent blocked on a full downstream mailbox
-     (backpressure felt by the vertex). Timed only on the slow path: a
-     failed [try_put] costs one extra lock round-trip before blocking. *)
+  (* Per-vertex seconds spent blocked (legacy) or parked (pool) on a full
+     downstream mailbox — the backpressure felt by the vertex. Timed only
+     on the slow path: a failed [try_put] costs one extra lock round-trip
+     before blocking/parking. *)
   let blocked = Array.init n (fun _ -> Atomic.make 0.0) in
   let add_blocked v dt =
     let cell = blocked.(v) in
@@ -117,13 +144,57 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     in
     go ()
   in
-  let put_from v mb x =
-    if not (Mailbox.try_put mb x) then begin
-      let t0 = Unix.gettimeofday () in
-      Mailbox.put mb x;
-      add_blocked v (Unix.gettimeofday () -. t0)
-    end
+  (* Blocking-put slow path under the pool: park the task (the worker moves
+     on) until the mailbox signals space, then retry — a wakeup is a hint,
+     not a reservation, so another producer may win the slot. *)
+  let sched_put mb x =
+    let rec go () =
+      Ss_sched.Sched.suspend ~register:(Mailbox.on_space mb);
+      if not (Mailbox.try_put mb x) then go ()
+    in
+    if not (Mailbox.try_put mb x) then go ()
   in
+  let ctx =
+    match scheduler with
+    | `Domain_per_actor ->
+        {
+          cput =
+            (fun v mb x ->
+              if not (Mailbox.try_put mb x) then begin
+                let t0 = Unix.gettimeofday () in
+                Mailbox.put mb x;
+                add_blocked v (Unix.gettimeofday () -. t0)
+              end);
+          creader = (fun mb () -> Mailbox.take mb);
+        }
+    | `Pool _ ->
+        {
+          cput =
+            (fun v mb x ->
+              if not (Mailbox.try_put mb x) then begin
+                let t0 = Unix.gettimeofday () in
+                sched_put mb x;
+                add_blocked v (Unix.gettimeofday () -. t0)
+              end);
+          creader =
+            (fun mb ->
+              let buf = Queue.create () in
+              let rec next () =
+                match Queue.take_opt buf with
+                | Some x -> x
+                | None -> (
+                    match Mailbox.take_batch mb ~max:batch with
+                    | [] ->
+                        Ss_sched.Sched.suspend ~register:(Mailbox.on_item mb);
+                        next ()
+                    | xs ->
+                        List.iter (fun x -> Queue.push x buf) xs;
+                        next ())
+              in
+              next);
+        }
+  in
+  let put_from v mb x = ctx.cput v mb x in
   (* Successor choice for items leaving vertex [v]: a user router or a
      probabilistic sample over the out-edges. Returns the successor vertex. *)
   let chooser v rng =
@@ -196,9 +267,10 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         let choose = chooser v rng in
         let fn = Behavior.instantiate behavior in
         add_actor ~actor:(opname v) ~vertex:v (fun () ->
+            let next = ctx.creader inbox in
             let eos = ref 0 in
             while !eos < expected do
-              match Mailbox.take inbox with
+              match next () with
               | Eos -> incr eos
               | Data t ->
                   Atomic.incr consumed.(v);
@@ -223,10 +295,11 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         let worker_mb = Array.init replicas (fun _ -> new_mailbox ()) in
         let out_mb = Array.init replicas (fun _ -> new_mailbox ()) in
         add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
+            let next = ctx.creader inbox in
             let eos = ref 0 in
             let rr = ref 0 in
             while !eos < expected do
-              match Mailbox.take inbox with
+              match next () with
               | Eos -> incr eos
               | Data t ->
                   put_from v worker_mb.(!rr mod replicas) (Data t);
@@ -237,9 +310,10 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
           let fn = Behavior.instantiate behavior in
           add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
             ~vertex:v (fun () ->
+              let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
               while !continue do
-                match Mailbox.take worker_mb.(r) with
+                match next () with
                 | Eos ->
                     put_from v out_mb.(r) None;
                     continue := false
@@ -253,13 +327,14 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         let rng = Rng.create (seed + (104729 * (v + 1))) in
         let choose = chooser v rng in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
+            let next = Array.map (fun mb -> ctx.creader mb) out_mb in
             let forward t =
               match choose t with
               | Some dest -> put_from v (mailbox_of dest) (Data t)
               | None -> ()
             in
             let rec collect c =
-              match Mailbox.take out_mb.(c mod replicas) with
+              match next.(c mod replicas) () with
               | Some outs ->
                   List.iter forward outs;
                   collect (c + 1)
@@ -267,7 +342,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                   (* The round-robin deal is sequential: the first exhausted
                      worker marks the end; the rest only hold their marker. *)
                   for r = 1 to replicas - 1 do
-                    match Mailbox.take out_mb.((c + r) mod replicas) with
+                    match next.((c + r) mod replicas) () with
                     | None -> ()
                     | Some _ -> assert false
                   done
@@ -294,10 +369,11 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         in
         (* emitter *)
         add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
+            let next = ctx.creader inbox in
             let eos = ref 0 in
             let rr = ref 0 in
             while !eos < expected do
-              match Mailbox.take inbox with
+              match next () with
               | Eos -> incr eos
               | Data t ->
                   let r = route_to_replica t !rr in
@@ -310,9 +386,10 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
           let fn = Behavior.instantiate behavior in
           add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
             ~vertex:v (fun () ->
+              let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
               while !continue do
-                match Mailbox.take worker_mb.(r) with
+                match next () with
                 | Eos ->
                     put_from v collector_mb Eos;
                     continue := false
@@ -329,9 +406,10 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         let rng = Rng.create (seed + (104729 * (v + 1))) in
         let choose = chooser v rng in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
+            let next = ctx.creader collector_mb in
             let eos = ref 0 in
             while !eos < replicas do
-              match Mailbox.take collector_mb with
+              match next () with
               | Eos -> incr eos
               | Data t -> (
                   match choose t with
@@ -385,9 +463,10 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
         ~vertex:front
         (fun () ->
+          let next = ctx.creader inbox in
           let eos = ref 0 in
           while !eos < expected do
-            match Mailbox.take inbox with
+            match next () with
             | Eos -> incr eos
             | Data t -> process front t
           done;
@@ -395,33 +474,33 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     fused;
 
   let actors = List.rev !actors in
-  if List.length actors > max_actors then
-    invalid_arg
-      (Printf.sprintf
-         "Executor.run: %d actors exceed the domain budget of %d; reduce \
-          replicas or fuse operators"
-         (List.length actors) max_actors);
+  (match scheduler with
+  | `Domain_per_actor when List.length actors > max_actors ->
+      invalid_arg
+        (Printf.sprintf
+           "Executor.run: %d actors exceed the domain budget of %d; reduce \
+            replicas, fuse operators, or use the `Pool scheduler"
+           (List.length actors) max_actors)
+  | _ -> ());
   let finished = Atomic.make false in
-  (* Monitor domain: periodically sample entry-mailbox occupancy. *)
+  (* Entry-mailbox occupancy sampling: run by a dedicated monitor domain in
+     legacy mode, by the pool's tick (on the calling domain) in pool mode —
+     no extra domain, and none at all when the caller opts out. *)
   let occ_sum = Array.make n 0.0 in
   let occ_samples = ref 0 in
-  let monitor =
-    Domain.spawn (fun () ->
-        while not (Atomic.get finished) do
-          for v = 0 to n - 1 do
-            match entry_mailbox.(v) with
-            | Some mb -> occ_sum.(v) <- occ_sum.(v) +. float_of_int (Mailbox.length mb)
-            | None -> ()
-          done;
-          incr occ_samples;
-          Unix.sleepf sample_interval
-        done)
+  let sample_occ () =
+    for v = 0 to n - 1 do
+      match entry_mailbox.(v) with
+      | Some mb -> occ_sum.(v) <- occ_sum.(v) +. float_of_int (Mailbox.length mb)
+      | None -> ()
+    done;
+    incr occ_samples
   in
   (* Watchdog domain: trip the supervisor when the wall-clock budget runs
      out. Cancellation is cooperative — it takes effect when actors touch a
      mailbox — so a behavior spinning forever on one tuple is not
      interruptible. *)
-  let watchdog =
+  let spawn_watchdog () =
     Option.map
       (fun limit ->
         Domain.spawn (fun () ->
@@ -440,16 +519,42 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
       timeout
   in
   let t0 = Unix.gettimeofday () in
-  let domains =
-    List.map
-      (fun (actor, vertex, body) ->
-        Domain.spawn (Supervision.supervise sup ~actor ?vertex body))
-      actors
-  in
-  List.iter Domain.join domains;
-  Atomic.set finished true;
-  Domain.join monitor;
-  Option.iter Domain.join watchdog;
+  (match scheduler with
+  | `Domain_per_actor ->
+      let monitor =
+        if sample_occupancy then
+          Some
+            (Domain.spawn (fun () ->
+                 while not (Atomic.get finished) do
+                   sample_occ ();
+                   Unix.sleepf sample_interval
+                 done))
+        else None
+      in
+      let watchdog = spawn_watchdog () in
+      let domains =
+        List.map
+          (fun (actor, vertex, body) ->
+            Domain.spawn (Supervision.supervise sup ~actor ?vertex body))
+          actors
+      in
+      List.iter Domain.join domains;
+      Atomic.set finished true;
+      Option.iter Domain.join monitor;
+      Option.iter Domain.join watchdog
+  | `Pool w ->
+      let pool = Ss_sched.Sched.create ~workers:w () in
+      List.iter
+        (fun (actor, vertex, body) ->
+          Ss_sched.Sched.spawn pool (Supervision.supervise sup ~actor ?vertex body))
+        actors;
+      let watchdog = spawn_watchdog () in
+      let tick =
+        if sample_occupancy then Some (sample_interval, sample_occ) else None
+      in
+      Ss_sched.Sched.run ?tick pool;
+      Atomic.set finished true;
+      Option.iter Domain.join watchdog);
   let elapsed = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
   let consumed = Array.map Atomic.get consumed in
   let produced = Array.map Atomic.get produced in

@@ -1,8 +1,15 @@
 (** Threaded actor runtime executing topologies on real tuples — the
     repository's equivalent of the paper's SS2Akka layer (§4.2).
 
-    Each deployed unit is an actor running on its own thread with a bounded
-    blocking mailbox:
+    Each deployed unit is an actor with a bounded mailbox. By default the
+    actors run as cooperative tasks on an N:M work-stealing pool of
+    [Domain.recommended_domain_count] domains ({!Ss_sched.Sched}) — like
+    Akka's dispatcher multiplexing actors over a thread pool — parking
+    instead of blocking on a full/empty mailbox and draining up to a
+    configurable batch of messages per activation. The historical
+    one-domain-per-actor model remains available as [`Domain_per_actor].
+
+    The deployment shape is the same in both modes:
     - an ordinary vertex becomes one actor applying its behavior function;
     - a vertex with [n > 1] replicas becomes an emitter actor, [n] worker
       actors (each with an independent behavior instance) and a collector
@@ -33,13 +40,15 @@ type metrics = {
   produced : int array;  (** Per vertex: tuples emitted by the behavior. *)
   source_rate : float;  (** Source tuples per wall-clock second. *)
   blocked : float array;
-      (** Per vertex: seconds its actors spent blocked on full downstream
-          mailboxes (backpressure). Fission units aggregate their emitter,
-          workers and collector. *)
+      (** Per vertex: seconds its actors spent blocked ([`Domain_per_actor])
+          or parked ([`Pool]) on full downstream mailboxes (backpressure).
+          Fission units aggregate their emitter, workers and collector. *)
   occupancy : float array;
       (** Per vertex: mean sampled occupancy of its entry mailbox (sampled
-          every millisecond by a monitor domain); 0 for the source and for
-          non-entry members of fused groups. *)
+          every millisecond — by the pool's scheduler tick in [`Pool] mode,
+          by a monitor domain in [`Domain_per_actor] mode; see
+          [sample_occupancy]); 0 for the source and for non-entry members
+          of fused groups. *)
   actors : Supervision.report list;
       (** Per-actor completion status, in completion order. *)
   outcome : Supervision.outcome;
@@ -50,6 +59,12 @@ type router = Ss_operators.Tuple.t -> int
 (** Returns the index of the chosen successor in the vertex's out-edge list
     (as given by [Topology.succs]). *)
 
+type scheduler = [ `Domain_per_actor | `Pool of int ]
+(** Execution model: [`Pool w] (the default, with
+    [w = Domain.recommended_domain_count]) multiplexes all actors over [w]
+    worker domains; [`Domain_per_actor] spawns one domain per actor and is
+    limited to ~110 actors by the OCaml domain budget. *)
+
 val run :
   ?mailbox_capacity:int ->
   ?fused:int list list ->
@@ -57,6 +72,9 @@ val run :
   ?ordered:int list ->
   ?seed:int ->
   ?timeout:float ->
+  ?scheduler:scheduler ->
+  ?batch:int ->
+  ?sample_occupancy:bool ->
   source:(unit -> Ss_operators.Tuple.t option) ->
   registry:(int -> Ss_operators.Behavior.t) ->
   Ss_topology.Topology.t ->
@@ -76,9 +94,21 @@ val run :
     any selectivity is supported. [mailbox_capacity] defaults to 64.
     [timeout] bounds the wall-clock run time in seconds; cancellation is
     cooperative (it takes effect when an actor next touches a mailbox).
+
+    [scheduler] picks the execution model (default [`Pool] sized to the
+    machine). [batch] (default 32) caps how many messages a pooled actor
+    drains per mailbox activation. [sample_occupancy] (default [true])
+    controls occupancy sampling: when [false] no monitor domain is spawned
+    in [`Domain_per_actor] mode and the pool skips its tick, and
+    [metrics.occupancy] is all zeros. Per-vertex [consumed]/[produced]
+    counts are identical across schedulers for deterministic behaviors:
+    routing draws depend only on per-vertex tuple ordinals, not on
+    interleaving.
     @raise Invalid_argument on overlapping or illegal fused groups, a
-    replicated source, a non-positive [timeout], or an [ordered] vertex
-    that is not replicated stateless. *)
+    replicated source, a non-positive [timeout], a non-positive pool size
+    or [batch], an [ordered] vertex that is not replicated stateless, or —
+    in [`Domain_per_actor] mode only — an actor count above the domain
+    budget. *)
 
 val source_of_list : Ss_operators.Tuple.t list -> unit -> Ss_operators.Tuple.t option
 (** Stateful closure draining the list once. *)

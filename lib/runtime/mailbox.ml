@@ -6,6 +6,11 @@ type 'a t = {
   mutex : Mutex.t;
   not_full : Condition.t;
   not_empty : Condition.t;
+  (* Parked-task wakeup callbacks (scheduler resumptions). Registered by
+     [on_space]/[on_item] only while the awaited condition does not hold;
+     drained — and invoked outside the lock — whenever it may again. *)
+  space_waiters : (unit -> unit) Queue.t;
+  item_waiters : (unit -> unit) Queue.t;
   mutable closed : bool;
 }
 
@@ -17,6 +22,8 @@ let create ~capacity =
     mutex = Mutex.create ();
     not_full = Condition.create ();
     not_empty = Condition.create ();
+    space_waiters = Queue.create ();
+    item_waiters = Queue.create ();
     closed = false;
   }
 
@@ -29,53 +36,106 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let drain q =
+  let ws = List.of_seq (Queue.to_seq q) in
+  Queue.clear q;
+  ws
+
+(* Like [locked], but [f] additionally returns wakeup callbacks collected
+   under the lock; they run after the unlock so a resumed task can touch
+   the mailbox immediately without self-deadlock. Paths that raise collect
+   no wakeups (close already woke everyone). *)
+let locked_wake t f =
+  let result, wakeups = locked t f in
+  List.iter (fun w -> w ()) wakeups;
+  result
+
+let signal_item t =
+  Condition.signal t.not_empty;
+  drain t.item_waiters
+
+let signal_space t =
+  Condition.signal t.not_full;
+  drain t.space_waiters
+
 let put t x =
-  locked t (fun () ->
+  locked_wake t (fun () ->
       while (not t.closed) && Queue.length t.queue >= t.capacity do
         Condition.wait t.not_full t.mutex
       done;
       if t.closed then raise Closed;
       Queue.push x t.queue;
-      Condition.signal t.not_empty)
+      ((), signal_item t))
 
 let take t =
-  locked t (fun () ->
+  locked_wake t (fun () ->
       while (not t.closed) && Queue.is_empty t.queue do
         Condition.wait t.not_empty t.mutex
       done;
       if t.closed then raise Closed;
       let x = Queue.pop t.queue in
-      Condition.signal t.not_full;
-      x)
+      (x, signal_space t))
 
 let try_put t x =
-  locked t (fun () ->
+  locked_wake t (fun () ->
       if t.closed then raise Closed;
       let ok = Queue.length t.queue < t.capacity in
       if ok then begin
         Queue.push x t.queue;
-        Condition.signal t.not_empty
-      end;
-      ok)
+        (ok, signal_item t)
+      end
+      else (ok, []))
 
 let try_take t =
-  locked t (fun () ->
+  locked_wake t (fun () ->
       if t.closed then raise Closed;
-      let x =
-        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      if Queue.is_empty t.queue then (None, [])
+      else
+        let x = Queue.pop t.queue in
+        (Some x, signal_space t))
+
+let take_batch t ~max =
+  if max < 1 then invalid_arg "Mailbox.take_batch: max must be >= 1";
+  locked_wake t (fun () ->
+      if t.closed then raise Closed;
+      let n = Stdlib.min max (Queue.length t.queue) in
+      let rec grab acc k =
+        if k = 0 then List.rev acc else grab (Queue.pop t.queue :: acc) (k - 1)
       in
-      if x <> None then Condition.signal t.not_full;
-      x)
+      let xs = grab [] n in
+      if n > 0 then begin
+        Condition.broadcast t.not_full;
+        (xs, drain t.space_waiters)
+      end
+      else (xs, []))
+
+let on_space t k =
+  locked t (fun () ->
+      if t.closed || Queue.length t.queue < t.capacity then false
+      else begin
+        Queue.push k t.space_waiters;
+        true
+      end)
+
+let on_item t k =
+  locked t (fun () ->
+      if t.closed || not (Queue.is_empty t.queue) then false
+      else begin
+        Queue.push k t.item_waiters;
+        true
+      end)
 
 let length t = locked t (fun () -> Queue.length t.queue)
 
 let close t =
-  locked t (fun () ->
+  locked_wake t (fun () ->
       if not t.closed then begin
         t.closed <- true;
         Queue.clear t.queue;
         Condition.broadcast t.not_full;
-        Condition.broadcast t.not_empty
-      end)
+        Condition.broadcast t.not_empty;
+        ((), drain t.space_waiters @ drain t.item_waiters)
+      end
+      else ((), []))
 
 let is_closed t = locked t (fun () -> t.closed)

@@ -39,13 +39,36 @@ val try_put : 'a t -> 'a -> bool
 val try_take : 'a t -> 'a option
 (** Non-blocking dequeue; [None] when empty. @raise Closed when closed. *)
 
+val take_batch : 'a t -> max:int -> 'a list
+(** Non-blocking dequeue of up to [max] items in queue order; [[]] when
+    empty. Frees slots in one lock round-trip — the N:M scheduler drains a
+    batch per activation to amortize dispatch cost (cf. stream fusion).
+    @raise Closed when closed.
+    @raise Invalid_argument if [max < 1]. *)
+
+val on_space : 'a t -> (unit -> unit) -> bool
+(** [on_space t k] atomically checks for free capacity: if the mailbox is
+    full (and open), registers [k] as a one-shot wakeup callback and
+    returns [true]; otherwise returns [false] without registering — the
+    caller should retry its [try_put] immediately. [k] is invoked (outside
+    the mailbox lock, at most once) when a slot may have freed or the
+    mailbox closes; a wakeup is a hint — the caller must retry, and may
+    re-register. This is the parking hook for {!Ss_sched.Sched.suspend}. *)
+
+val on_item : 'a t -> (unit -> unit) -> bool
+(** [on_item t k] — dual of {!on_space}: registers [k] only while the
+    mailbox is empty and open; [k] fires when an item may have arrived or
+    the mailbox closes. *)
+
 val length : 'a t -> int
 (** Instantaneous occupancy (racy by nature; for monitoring only). Never
     raises; a closed mailbox reports 0. *)
 
 val close : 'a t -> unit
 (** Poison the mailbox: discard pending items, wake every blocked producer
-    and consumer with {!Closed}, and make subsequent operations raise
-    {!Closed}. Idempotent. *)
+    and consumer with {!Closed}, invoke every parked-task callback
+    registered via {!on_space}/{!on_item} (so parked actors resume, retry,
+    and observe {!Closed}), and make subsequent operations raise {!Closed}.
+    Idempotent. *)
 
 val is_closed : 'a t -> bool

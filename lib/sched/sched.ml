@@ -1,0 +1,233 @@
+type task = unit -> unit
+
+type t = {
+  id : int;
+  nworkers : int;
+  (* Per-worker deques, each under its own lock; stealing scans peers. *)
+  queues : task Queue.t array;
+  qlocks : Mutex.t array;
+  (* Injection queue for tasks enqueued from outside the pool's domains
+     (initial spawns, wakeups from supervisor/watchdog domains). *)
+  inject : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idlers : int Atomic.t;
+  (* Tasks spawned but not yet returned/raised. Parked tasks still count:
+     the pool drains only when every task has actually finished. *)
+  pending : int Atomic.t;
+  mutable finished : bool;
+  mutable started : bool;
+  mutable initial : task list;
+  mutable error : exn option;
+}
+
+type _ Effect.t +=
+  | Suspend : ((unit -> unit) -> bool) -> unit Effect.t
+  | Yield : unit Effect.t
+
+let suspend ~register = Effect.perform (Suspend register)
+let yield () = Effect.perform Yield
+
+let next_id = Atomic.make 0
+
+(* Which pool+worker the current domain belongs to, so [enqueue] can route
+   to the local deque instead of the injection queue. *)
+let dls_key : (int * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let create ?workers () =
+  let nworkers =
+    match workers with
+    | Some w ->
+        if w < 1 then invalid_arg "Sched.create: workers must be >= 1";
+        w
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+  in
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    nworkers;
+    queues = Array.init nworkers (fun _ -> Queue.create ());
+    qlocks = Array.init nworkers (fun _ -> Mutex.create ());
+    inject = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    idlers = Atomic.make 0;
+    pending = Atomic.make 0;
+    finished = false;
+    started = false;
+    initial = [];
+    error = None;
+  }
+
+let workers t = t.nworkers
+
+let enqueue t task =
+  (match Domain.DLS.get dls_key with
+  | Some (id, idx) when id = t.id ->
+      Mutex.lock t.qlocks.(idx);
+      Queue.push task t.queues.(idx);
+      Mutex.unlock t.qlocks.(idx)
+  | _ ->
+      Mutex.lock t.mutex;
+      Queue.push task t.inject;
+      Mutex.unlock t.mutex);
+  (* Wake sleepers. The idlers counter is incremented under [t.mutex]
+     before the final rescan, so either this read sees the idler (and
+     broadcasts) or the idler's rescan sees the task — no lost wakeup. *)
+  if Atomic.get t.idlers > 0 then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+  end
+
+let task_done t =
+  if Atomic.fetch_and_add t.pending (-1) = 1 then begin
+    Mutex.lock t.mutex;
+    t.finished <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+  end
+
+let record_error t e =
+  Mutex.lock t.mutex;
+  if t.error = None then t.error <- Some e;
+  Mutex.unlock t.mutex
+
+(* Run a task body under the effect handler that implements parking. *)
+let exec t body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> task_done t);
+      exnc =
+        (fun e ->
+          record_error t e;
+          task_done t);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  (* [register] may fire [resume] concurrently with (or even
+                     before) returning [true]; the flag makes the two
+                     resumption paths mutually exclusive. *)
+                  let resumed = Atomic.make false in
+                  let resume () =
+                    if not (Atomic.exchange resumed true) then
+                      enqueue t (fun () -> continue k ())
+                  in
+                  if register resume then () else continue k ())
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  enqueue t (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let spawn t body =
+  Atomic.incr t.pending;
+  let task () = exec t body in
+  if t.started then enqueue t task
+  else t.initial <- task :: t.initial
+
+let pop_local t idx =
+  Mutex.lock t.qlocks.(idx);
+  let task = Queue.take_opt t.queues.(idx) in
+  Mutex.unlock t.qlocks.(idx);
+  task
+
+let steal t idx =
+  let rec scan k =
+    if k >= t.nworkers then None
+    else
+      let j = (idx + k) mod t.nworkers in
+      match pop_local t j with Some _ as r -> r | None -> scan (k + 1)
+  in
+  scan 1
+
+(* Under [t.mutex]: injection queue first, then every worker deque.
+   Acquiring a qlock while holding [t.mutex] cannot deadlock: no path
+   takes [t.mutex] while holding a qlock. *)
+let rescan_locked t =
+  match Queue.take_opt t.inject with
+  | Some _ as r -> r
+  | None ->
+      let rec scan j =
+        if j >= t.nworkers then None
+        else
+          match pop_local t j with Some _ as r -> r | None -> scan (j + 1)
+      in
+      scan 0
+
+let idle_wait t =
+  Mutex.lock t.mutex;
+  Atomic.incr t.idlers;
+  let rec loop () =
+    if t.finished then None
+    else
+      match rescan_locked t with
+      | Some _ as r -> r
+      | None ->
+          Condition.wait t.nonempty t.mutex;
+          loop ()
+  in
+  let r = loop () in
+  Atomic.decr t.idlers;
+  Mutex.unlock t.mutex;
+  r
+
+let worker t idx () =
+  Domain.DLS.set dls_key (Some (t.id, idx));
+  let rec loop () =
+    let task =
+      match pop_local t idx with
+      | Some _ as r -> r
+      | None -> (
+          match steal t idx with Some _ as r -> r | None -> idle_wait t)
+    in
+    match task with
+    | Some task ->
+        task ();
+        loop ()
+    | None -> () (* pool drained *)
+  in
+  loop ()
+
+let is_finished t =
+  Mutex.lock t.mutex;
+  let v = t.finished in
+  Mutex.unlock t.mutex;
+  v
+
+let run ?tick t =
+  if t.started then invalid_arg "Sched.run: pool already ran";
+  t.started <- true;
+  List.iteri
+    (fun i task -> Queue.push task t.queues.(i mod t.nworkers))
+    (List.rev t.initial);
+  t.initial <- [];
+  if Atomic.get t.pending = 0 then ()
+  else begin
+    let domains =
+      Array.init t.nworkers (fun idx -> Domain.spawn (worker t idx))
+    in
+    (match tick with
+    | Some (interval, fn) ->
+        let rec loop () =
+          if not (is_finished t) then begin
+            fn ();
+            Unix.sleepf interval;
+            loop ()
+          end
+        in
+        loop ()
+    | None ->
+        Mutex.lock t.mutex;
+        while not t.finished do
+          Condition.wait t.nonempty t.mutex
+        done;
+        Mutex.unlock t.mutex);
+    Array.iter Domain.join domains;
+    match t.error with Some e -> raise e | None -> ()
+  end

@@ -1,0 +1,59 @@
+(** N:M cooperative work-stealing scheduler: runs any number of tasks on a
+    fixed pool of domains, the repository's equivalent of Akka's dispatcher
+    (paper §4.2). Where [lib/runtime] historically spawned one domain per
+    actor — collapsing on fissioned topologies with hundreds of deployed
+    units — a {!t} multiplexes all of them over
+    [Domain.recommended_domain_count] workers by default.
+
+    Tasks are plain thunks made resumable with effect handlers: instead of
+    blocking a worker, a task {!suspend}s with a registration function that
+    atomically parks it on some external condition (e.g. "this mailbox has
+    an item"). The wakeup callback re-enqueues the continuation, which may
+    then run on any worker. The scheduler itself knows nothing about
+    mailboxes; the blocking protocol lives with the caller.
+
+    Scheduling is work-stealing: each worker owns a deque and steals from
+    peers when empty; tasks spawned from inside a worker stay local, tasks
+    resumed from foreign domains (e.g. a supervisor closing mailboxes) land
+    on a shared injection queue. The pool terminates when every spawned task
+    has returned or raised. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ()] makes a pool with [Domain.recommended_domain_count] workers
+    (clamped to at least 1); [?workers] overrides the count.
+    @raise Invalid_argument if [workers < 1]. *)
+
+val workers : t -> int
+(** Number of worker domains the pool will spawn. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Register a task. Before {!run} the task is only queued; tasks spawned
+    while the pool runs (including from inside other tasks) are scheduled
+    immediately. An exception escaping a task is captured; {!run} re-raises
+    the first one after the pool drains. *)
+
+val run : ?tick:float * (unit -> unit) -> t -> unit
+(** Run the pool to completion: spawn the worker domains, execute every
+    task, join the workers. The calling domain does not execute tasks; with
+    [?tick:(interval, fn)] it instead invokes [fn] every [interval] seconds
+    until the pool drains (the executor uses this for occupancy sampling,
+    keeping the domain count at exactly [workers t] + the caller).
+    Re-raises the first exception that escaped a task, after all tasks have
+    finished. Can only be called once per pool. *)
+
+val suspend : register:((unit -> unit) -> bool) -> unit
+(** [suspend ~register] parks the current task. [register resume] must
+    atomically either install [resume] as a wakeup callback and return
+    [true], or return [false] when the awaited condition already holds (or
+    can never hold) — in which case the task continues immediately. [resume]
+    may be called from any domain, at most once per registration; calling it
+    re-enqueues the task. Callers retry their non-blocking operation after
+    waking: a wakeup is a hint, not a guarantee.
+
+    Must be called from inside a task running on a pool. *)
+
+val yield : unit -> unit
+(** Re-enqueue the current task and let the worker pick other work. Must be
+    called from inside a task running on a pool. *)

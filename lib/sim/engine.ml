@@ -401,3 +401,68 @@ let run ?(config = default_config) topology =
     simulated_time = config.warmup +. config.measure;
     events = t.event_count;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Finite-stream count replay *)
+
+(* Mirrors the executor's seeding conventions exactly; keep in sync with
+   lib/runtime/executor.ml. *)
+let replay ?(fused = []) ?(seed = 42) ~tuples topology =
+  let n = Topology.size topology in
+  let src = Topology.source topology in
+  let group_of = Array.make n (-1) in
+  List.iteri
+    (fun gi vs ->
+      List.iter
+        (fun v ->
+          if group_of.(v) <> -1 then
+            invalid_arg "Engine.replay: overlapping fused groups";
+          group_of.(v) <- gi)
+        vs)
+    fused;
+  (* Per-vertex routing rng, matching the executor: the source draws from
+     [seed]; a standard vertex from [seed + 7919*(v+1)]; a replicated
+     vertex's collector from [seed + 104729*(v+1)]; every member of fused
+     group [gi] shares one rng seeded [seed + 15485863*(gi+1)] and draws in
+     the meta-operator's depth-first processing order (Algorithm 4), which
+     this walk reproduces. *)
+  let group_rng =
+    Array.of_list
+      (List.mapi (fun gi _ -> Rng.create (seed + (15485863 * (gi + 1)))) fused)
+  in
+  let rng_of v =
+    if v = src then Rng.create seed
+    else if group_of.(v) >= 0 then group_rng.(group_of.(v))
+    else if (Topology.operator topology v).Operator.replicas = 1 then
+      Rng.create (seed + (7919 * (v + 1)))
+    else Rng.create (seed + (104729 * (v + 1)))
+  in
+  let choosers =
+    Array.init n (fun v ->
+        match Topology.succs topology v with
+        | [] -> fun () -> None
+        | edges ->
+            let dests = Array.of_list (List.map fst edges) in
+            let dist = Discrete.of_weights (Array.of_list (List.map snd edges)) in
+            let rng = rng_of v in
+            fun () -> Some dests.(Discrete.sample rng dist))
+  in
+  let consumed = Array.make n 0 in
+  let produced = Array.make n 0 in
+  (* Identity behaviors: one result per input, so a tuple's life is a walk
+     from the source to a sink. Routing draws depend only on per-vertex
+     ordinals, never on the interleaving of actors, which is what makes
+     the runtime's counts reproducible here (and equal across the pool and
+     domain-per-actor schedulers). *)
+  let rec walk v =
+    if v <> src then begin
+      consumed.(v) <- consumed.(v) + 1;
+      produced.(v) <- produced.(v) + 1
+    end;
+    match choosers.(v) () with Some dest -> walk dest | None -> ()
+  in
+  for _ = 1 to tuples do
+    produced.(src) <- produced.(src) + 1;
+    match choosers.(src) () with Some dest -> walk dest | None -> ()
+  done;
+  (consumed, produced)

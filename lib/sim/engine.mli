@@ -65,3 +65,23 @@ type result = {
 val run : ?config:config -> Ss_topology.Topology.t -> result
 (** Simulate the topology. Deterministic for a fixed config (seed included).
     @raise Invalid_argument if the source operator is replicated. *)
+
+val replay :
+  ?fused:int list list ->
+  ?seed:int ->
+  tuples:int ->
+  Ss_topology.Topology.t ->
+  int array * int array
+(** [replay ~tuples topology] predicts the exact per-vertex
+    [(consumed, produced)] counts the actor runtime
+    ({!Ss_runtime.Executor.run}) reports when driving [tuples] tuples
+    through the topology with {e identity} behaviors (one result per
+    input) and the same [seed] — independent of the scheduler mode,
+    because routing draws depend only on per-vertex tuple ordinals.
+    Mirrors the executor's per-vertex rng seeding and the meta-operator's
+    depth-first draw order for [fused] groups (which must each be fed by a
+    single deterministic-order producer for the shared-rng draw sequence
+    to be reproducible). Custom routers, non-identity behaviors and
+    [ordered] fission markers are outside its scope (ordered fission does
+    not change counts).
+    @raise Invalid_argument on overlapping fused groups. *)

@@ -80,8 +80,9 @@ let generate_code t ?version ?fused ?tuples () =
   Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
 
 let execute t ?version ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    () =
+    ?scheduler ?batch () =
   Ss_codegen.Plan.run ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
+    ?scheduler ?batch
     (topology t ?version ())
 
 let runtime_report t ?version metrics =

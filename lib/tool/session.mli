@@ -80,12 +80,17 @@ val execute :
   ?seed:int ->
   ?tuples:int ->
   ?timeout:float ->
+  ?scheduler:Ss_runtime.Executor.scheduler ->
+  ?batch:int ->
   unit ->
   Ss_runtime.Executor.metrics
 (** Deploy a version on the supervised actor runtime
     ({!Ss_codegen.Plan.run}) and drive it with synthetic tuples. Never
     hangs on operator failure: the returned metrics carry the structured
-    per-actor outcome, and [timeout] bounds the wall-clock run. *)
+    per-actor outcome, and [timeout] bounds the wall-clock run.
+    [scheduler] picks the execution model (default: an N:M pool sized to
+    the machine; [`Domain_per_actor] restores one domain per actor);
+    [batch] caps messages drained per pooled-actor activation. *)
 
 val runtime_report : t -> ?version:string -> Ss_runtime.Executor.metrics -> string
 (** Human-readable report of an {!execute} run: outcome line, per-vertex

@@ -702,6 +702,290 @@ let test_source_of_fn () =
   Alcotest.(check bool) "third" true (src () <> None);
   Alcotest.(check bool) "exhausted" true (src () = None)
 
+(* ------------------------------------------------------------------ *)
+(* N:M scheduler: batch/waiter mailbox operations *)
+
+let test_mailbox_take_batch () =
+  let mb = Mailbox.create ~capacity:8 in
+  for i = 1 to 5 do
+    Mailbox.put mb i
+  done;
+  Alcotest.(check (list int)) "batch bounded" [ 1; 2; 3 ] (Mailbox.take_batch mb ~max:3);
+  Alcotest.(check (list int)) "drains the rest" [ 4; 5 ] (Mailbox.take_batch mb ~max:10);
+  Alcotest.(check (list int)) "empty batch" [] (Mailbox.take_batch mb ~max:4);
+  Alcotest.check_raises "max must be positive"
+    (Invalid_argument "Mailbox.take_batch: max must be >= 1") (fun () ->
+      ignore (Mailbox.take_batch mb ~max:0));
+  Mailbox.close mb;
+  try
+    ignore (Mailbox.take_batch mb ~max:1);
+    Alcotest.fail "expected Closed"
+  with Mailbox.Closed -> ()
+
+let test_take_batch_wakes_blocked_producer () =
+  let mb = Mailbox.create ~capacity:2 in
+  Mailbox.put mb 1;
+  Mailbox.put mb 2;
+  let producer = Domain.spawn (fun () -> Mailbox.put mb 3) in
+  Unix.sleepf 0.02;
+  Alcotest.(check (list int)) "batch drains" [ 1; 2 ] (Mailbox.take_batch mb ~max:8);
+  Domain.join producer;
+  Alcotest.(check (list int)) "producer got its slot" [ 3 ]
+    (Mailbox.take_batch mb ~max:8)
+
+let test_mailbox_waiter_registration () =
+  let mb = Mailbox.create ~capacity:1 in
+  let fired = Atomic.make 0 in
+  let cb () = Atomic.incr fired in
+  (* Empty mailbox: space is available, items are not. *)
+  Alcotest.(check bool) "space available -> no park" false (Mailbox.on_space mb cb);
+  Alcotest.(check bool) "empty -> parks" true (Mailbox.on_item mb cb);
+  Alcotest.(check int) "not fired yet" 0 (Atomic.get fired);
+  Alcotest.(check bool) "put succeeds" true (Mailbox.try_put mb 1);
+  Alcotest.(check int) "item arrival fires waiter" 1 (Atomic.get fired);
+  (* Full mailbox: the duals. *)
+  Alcotest.(check bool) "item present -> no park" false (Mailbox.on_item mb cb);
+  Alcotest.(check bool) "full -> parks" true (Mailbox.on_space mb cb);
+  Alcotest.(check (option int)) "take succeeds" (Some 1) (Mailbox.try_take mb);
+  Alcotest.(check int) "freed slot fires waiter" 2 (Atomic.get fired);
+  (* Closing both fires parked waiters and refuses new registrations. *)
+  let mb2 : int Mailbox.t = Mailbox.create ~capacity:1 in
+  Alcotest.(check bool) "parks while open" true (Mailbox.on_item mb2 cb);
+  Mailbox.close mb2;
+  Alcotest.(check int) "close fires parked waiter" 3 (Atomic.get fired);
+  Alcotest.(check bool) "closed -> no park (item)" false (Mailbox.on_item mb2 cb);
+  Alcotest.(check bool) "closed -> no park (space)" false (Mailbox.on_space mb2 cb)
+
+let test_sched_parked_wakeup_on_close () =
+  (* A pooled task parked on an empty mailbox must wake when the mailbox is
+     poisoned and observe Closed — the supervision shutdown path under the
+     N:M scheduler. *)
+  with_watchdog (fun () ->
+      let mb : int Mailbox.t = Mailbox.create ~capacity:4 in
+      let result = Atomic.make `Pending in
+      let pool = Ss_sched.Sched.create ~workers:2 () in
+      Ss_sched.Sched.spawn pool (fun () ->
+          let rec read () =
+            match Mailbox.try_take mb with
+            | Some _ -> read ()
+            | None ->
+                Ss_sched.Sched.suspend ~register:(Mailbox.on_item mb);
+                read ()
+          in
+          match read () with
+          | () -> ()
+          | exception Mailbox.Closed -> Atomic.set result `Woke_closed);
+      let closer =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.05;
+            Mailbox.close mb)
+      in
+      Ss_sched.Sched.run pool;
+      Domain.join closer;
+      Alcotest.(check bool) "parked task woke with Closed" true
+        (Atomic.get result = `Woke_closed))
+
+(* ------------------------------------------------------------------ *)
+(* Pool mode: supervision parity with the domain-per-actor mode *)
+
+let failure_metrics scheduler =
+  let t =
+    Topology.create_exn
+      [| op "src" 0.01; op "bomb" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let inputs = List.init 5000 (fun i -> tuple [| float_of_int i |]) in
+  with_watchdog (fun () ->
+      Executor.run ~scheduler ~mailbox_capacity:4
+        ~source:(Executor.source_of_list inputs)
+        ~registry:(registry_of [ (1, bomb ~at:50.0); (2, Stateless_ops.identity) ])
+        t)
+
+let test_pool_failure_parity () =
+  let pool = failure_metrics (`Pool 2) in
+  let legacy = failure_metrics `Domain_per_actor in
+  check_failed_outcome ~vertex:1 pool;
+  check_failed_outcome ~vertex:1 legacy;
+  match (pool.Executor.outcome, legacy.Executor.outcome) with
+  | Supervision.Actor_failed p, Supervision.Actor_failed l ->
+      Alcotest.(check string) "same failing actor" l.Supervision.actor
+        p.Supervision.actor;
+      Alcotest.(check (option int)) "same failing vertex" l.Supervision.vertex
+        p.Supervision.vertex
+  | _ -> Alcotest.fail "expected Actor_failed in both modes"
+
+let timeout_metrics scheduler =
+  let slow_sink =
+    Behavior.make ~name:"slow_sink" (fun () t ->
+        Unix.sleepf 0.02;
+        [ t ])
+  in
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  let inputs = List.init 500 (fun i -> tuple [| float_of_int i |]) in
+  with_watchdog (fun () ->
+      Executor.run ~scheduler ~timeout:0.15
+        ~source:(Executor.source_of_list inputs)
+        ~registry:(registry_of [ (1, slow_sink) ])
+        t)
+
+let test_pool_timeout_parity () =
+  let pool = timeout_metrics (`Pool 2) in
+  let legacy = timeout_metrics `Domain_per_actor in
+  List.iter
+    (fun (m : Executor.metrics) ->
+      (match m.Executor.outcome with
+      | Supervision.Timed_out s ->
+          Alcotest.(check (float 1e-9)) "timeout value reported" 0.15 s
+      | _ -> Alcotest.fail "expected Timed_out outcome");
+      Alcotest.(check bool) "shut down promptly" true (m.Executor.elapsed < 5.0))
+    [ pool; legacy ]
+
+let identity_registry vs =
+  registry_of (List.map (fun v -> (v, Stateless_ops.identity)) vs)
+
+let test_sample_occupancy_gating () =
+  (* With sampling off, no monitor domain (legacy) / no tick (pool) runs
+     and the occupancy metric is all zeros; everything else is intact. *)
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  List.iter
+    (fun scheduler ->
+      let m =
+        with_watchdog (fun () ->
+            Executor.run ~scheduler ~sample_occupancy:false
+              ~source:
+                (Executor.source_of_fn ~count:200 (fun i ->
+                     tuple [| float_of_int i |]))
+              ~registry:(identity_registry [ 1 ])
+              t)
+      in
+      Alcotest.(check bool) "finished" true
+        (m.Executor.outcome = Supervision.Finished);
+      Alcotest.(check int) "counts intact" 200 m.Executor.consumed.(1);
+      Array.iter
+        (fun o -> Alcotest.(check (float 0.)) "occupancy zero" 0.0 o)
+        m.Executor.occupancy)
+    [ `Pool 2; `Domain_per_actor ]
+
+let test_pool_scales_past_domain_budget () =
+  (* 40 replicated stages deploy as 201 actors (source + 40×(emitter +
+     3 workers + collector)): far beyond the legacy domain budget, routine
+     for the pool — and the whole run needs only the pool's 2 workers plus
+     the calling domain. *)
+  let stages = 40 in
+  let ops =
+    Array.init (stages + 2) (fun i ->
+        if i = 0 then op "src" 0.001
+        else if i = stages + 1 then op "sink" 0.001
+        else
+          Operator.make ~service_time:1e-6 ~replicas:3
+            (Printf.sprintf "s%d" i))
+  in
+  let edges = List.init (stages + 1) (fun i -> (i, i + 1, 1.0)) in
+  let t = Topology.create_exn ops edges in
+  let vs = List.init (stages + 1) (fun i -> i + 1) in
+  (try
+     ignore
+       (Executor.run ~scheduler:`Domain_per_actor
+          ~source:(Executor.source_of_list [])
+          ~registry:(identity_registry vs) t);
+     Alcotest.fail "expected domain-budget rejection"
+   with Invalid_argument _ -> ());
+  let m =
+    with_watchdog ~limit:60.0 (fun () ->
+        Executor.run ~scheduler:(`Pool 2)
+          ~source:
+            (Executor.source_of_fn ~count:300 (fun i ->
+                 tuple [| float_of_int i |]))
+          ~registry:(identity_registry vs) t)
+  in
+  Alcotest.(check bool) "finished" true (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check int) "sink saw every tuple" 300 m.Executor.consumed.(stages + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler equivalence: pool counts = domain-per-actor counts = the
+   counts the DES replay predicts for the same seed *)
+
+let run_with scheduler ?fused ?ordered topo vs ~tuples ~seed =
+  with_watchdog (fun () ->
+      Executor.run ~scheduler ?fused ?ordered ~seed
+        ~source:
+          (Executor.source_of_fn ~count:tuples (fun i ->
+               tuple [| float_of_int i |]))
+        ~registry:(identity_registry vs) topo)
+
+let check_equivalence ?fused ?ordered ~name build vs ~tuples ~seed =
+  let pool = run_with (`Pool 2) ?fused ?ordered (build ()) vs ~tuples ~seed in
+  let legacy =
+    run_with `Domain_per_actor ?fused ?ordered (build ()) vs ~tuples ~seed
+  in
+  let replay_consumed, replay_produced =
+    Ss_sim.Engine.replay ?fused ~seed ~tuples (build ())
+  in
+  Alcotest.(check bool) (name ^ ": pool finished") true
+    (pool.Executor.outcome = Supervision.Finished);
+  Alcotest.(check bool) (name ^ ": legacy finished") true
+    (legacy.Executor.outcome = Supervision.Finished);
+  Alcotest.(check (array int)) (name ^ ": consumed, pool = legacy")
+    legacy.Executor.consumed pool.Executor.consumed;
+  Alcotest.(check (array int)) (name ^ ": produced, pool = legacy")
+    legacy.Executor.produced pool.Executor.produced;
+  Alcotest.(check (array int)) (name ^ ": consumed = DES replay")
+    replay_consumed pool.Executor.consumed;
+  Alcotest.(check (array int)) (name ^ ": produced = DES replay")
+    replay_produced pool.Executor.produced
+
+let test_equivalence_plain () =
+  check_equivalence ~name:"plain"
+    (fun () ->
+      Topology.create_exn
+        [| op "src" 0.01; op "a" 0.01; op "b" 0.01; op "sink" 0.01 |]
+        [ (0, 1, 0.3); (0, 2, 0.7); (1, 3, 1.0); (2, 3, 1.0) ])
+    [ 1; 2; 3 ] ~tuples:2000 ~seed:7
+
+let test_equivalence_fission () =
+  check_equivalence ~name:"fission"
+    (fun () ->
+      Topology.create_exn
+        [|
+          op "src" 0.01;
+          Operator.make ~service_time:1e-5 ~replicas:3 "w";
+          op "s1" 0.01;
+          op "s2" 0.01;
+        |]
+        [ (0, 1, 1.0); (1, 2, 0.4); (1, 3, 0.6) ])
+    [ 1; 2; 3 ] ~tuples:900 ~seed:11
+
+let test_equivalence_ordered_fission () =
+  check_equivalence ~ordered:[ 1 ] ~name:"ordered fission"
+    (fun () ->
+      Topology.create_exn
+        [|
+          op "src" 0.01;
+          Operator.make ~service_time:1e-5 ~replicas:3 "w";
+          op "s1" 0.01;
+          op "s2" 0.01;
+        |]
+        [ (0, 1, 1.0); (1, 2, 0.4); (1, 3, 0.6) ])
+    [ 1; 2; 3 ] ~tuples:600 ~seed:13
+
+let test_equivalence_fused () =
+  check_equivalence ~fused:[ [ 1; 2; 3 ] ] ~name:"fused"
+    (fun () ->
+      Topology.create_exn
+        [|
+          op "src" 0.01;
+          op "fe" 0.01;
+          op "l" 0.01;
+          op "r" 0.01;
+          op "sink" 0.01;
+        |]
+        [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ])
+    [ 1; 2; 3; 4 ] ~tuples:600 ~seed:17
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "ss_runtime"
@@ -749,6 +1033,29 @@ let () =
           quick "fused counts equal unfused" test_fused_group_equivalent_counts;
           quick "fused branching group" test_fused_branching_group;
           quick "illegal groups rejected" test_fused_errors;
+        ] );
+      ( "sched mailbox",
+        [
+          quick "take_batch" test_mailbox_take_batch;
+          quick "take_batch wakes blocked producer"
+            test_take_batch_wakes_blocked_producer;
+          quick "waiter registration protocol" test_mailbox_waiter_registration;
+          quick "parked task wakes on close" test_sched_parked_wakeup_on_close;
+        ] );
+      ( "sched",
+        [
+          quick "failure outcome parity" test_pool_failure_parity;
+          quick "timeout outcome parity" test_pool_timeout_parity;
+          quick "occupancy sampling gated" test_sample_occupancy_gating;
+          quick "pool scales past the domain budget"
+            test_pool_scales_past_domain_budget;
+        ] );
+      ( "equivalence",
+        [
+          quick "plain topology" test_equivalence_plain;
+          quick "fission" test_equivalence_fission;
+          quick "ordered fission" test_equivalence_ordered_fission;
+          quick "fused group" test_equivalence_fused;
         ] );
       ( "misc",
         [
