@@ -409,7 +409,32 @@ let execute_cmd =
                 machine's recommended domain count). Ignored with \
                 --scheduler=domains.")
   in
-  let run path fused tuples buffer timeout scheduler workers seed =
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Record latency histograms, per-operator service times and \
+                per-edge transfer counts during the run, and print them in \
+                the report.")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ] ~docv:"FILE"
+          ~doc:"Write the telemetry as Prometheus text exposition to \
+                $(docv) (implies --telemetry).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the run metrics (telemetry included when on) as JSON \
+                to $(docv).")
+  in
+  let run path fused tuples buffer timeout scheduler workers seed telemetry
+      prom_out json_out =
     (match timeout with
     | Some limit when limit <= 0.0 ->
         or_die (Error "--timeout must be positive")
@@ -423,12 +448,27 @@ let execute_cmd =
       | `Pool, Some w -> `Pool w
       | `Pool, None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
     in
+    let telemetry = telemetry || prom_out <> None in
+    let instrument =
+      { Ss_runtime.Executor.default_instrument with telemetry }
+    in
     let session = or_die (load_session path) in
     let metrics =
       Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
-        ?timeout ~scheduler ~seed ()
+        ?timeout ~scheduler ~seed ~instrument ()
     in
     print_string (Ss_tool.Session.runtime_report session metrics);
+    let topology = Ss_tool.Session.topology session () in
+    (match (prom_out, metrics.Ss_runtime.Executor.telemetry) with
+    | Some out, Some report ->
+        write_file out (Ss_telemetry.Telemetry.to_prometheus topology report);
+        Printf.printf "telemetry written to %s\n" out
+    | _ -> ());
+    (match json_out with
+    | None -> ()
+    | Some out ->
+        write_file out (Ss_tool.Export.telemetry_json topology metrics ^ "\n");
+        Printf.printf "metrics written to %s\n" out);
     match metrics.Ss_runtime.Executor.outcome with
     | Ss_runtime.Supervision.Finished -> ()
     | Ss_runtime.Supervision.Actor_failed _
@@ -439,11 +479,13 @@ let execute_cmd =
     (Cmd.info "execute"
        ~doc:"Deploy the topology on the supervised actor runtime, drive it \
              with synthetic tuples and report per-actor metrics (consumed, \
-             produced, backpressure, mailbox occupancy, completion status). \
-             Exits non-zero when an actor fails or the timeout fires.")
+             produced, backpressure, mailbox occupancy, completion status; \
+             with --telemetry also latency percentiles, measured service \
+             times and per-edge rates). Exits non-zero when an actor fails \
+             or the timeout fires.")
     Term.(
       const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
-      $ workers $ seed_arg)
+      $ workers $ seed_arg $ telemetry $ prom_out $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* place *)

@@ -19,6 +19,7 @@ val program :
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
+  ?telemetry:bool ->
   Ss_topology.Topology.t ->
   string
 (** [program topology] renders the OCaml source. Operators whose class name
@@ -29,7 +30,9 @@ val program :
     generated run; [fused] lists meta-operator groups. [scheduler] selects
     the emitted execution model: [`Pool None] (default) emits an N:M pool
     sized to the deployment machine at run time, [`Pool (Some w)] pins the
-    worker count, [`Domains] emits the one-domain-per-actor model. *)
+    worker count, [`Domains] emits the one-domain-per-actor model.
+    [telemetry] (default [false]) makes the generated program run with
+    telemetry on and print per-vertex latency snapshots. *)
 
 val dune_stanza : name:string -> string
 (** A dune [executable] stanza for the generated module. *)
@@ -41,6 +44,7 @@ val write_project :
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
+  ?telemetry:bool ->
   Ss_topology.Topology.t ->
   unit
 (** Write [<dir>/<name>.ml] and [<dir>/dune] so that

@@ -1,6 +1,17 @@
 open Ss_prelude
 open Ss_topology
 open Ss_operators
+module Telemetry = Ss_telemetry.Telemetry
+module Sink = Ss_telemetry.Telemetry.Sink
+
+type instrument = {
+  sample_occupancy : bool;
+  telemetry : bool;
+  telemetry_sample : int;
+}
+
+let default_instrument =
+  { sample_occupancy = true; telemetry = false; telemetry_sample = 32 }
 
 type metrics = {
   elapsed : float;
@@ -9,12 +20,17 @@ type metrics = {
   source_rate : float;
   blocked : float array;
   occupancy : float array;
+  telemetry : Telemetry.report option;
   actors : Supervision.report list;
   outcome : Supervision.outcome;
 }
 
 type router = Tuple.t -> int
-type msg = Data of Tuple.t | Eos
+
+(* [Timed] carries the tuple's birth timestamp (source emission time) so
+   downstream vertices can record its age; it is used only when telemetry
+   is on, keeping the off path allocation-identical to before. *)
+type msg = Data of Tuple.t | Timed of Tuple.t * float | Eos
 
 type scheduler = [ `Domain_per_actor | `Pool of int ]
 
@@ -61,8 +77,8 @@ type ctx = {
 }
 
 let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ?timeout ?scheduler ?(batch = 32) ?(sample_occupancy = true)
-    ~source ~registry topology =
+    ?(seed = 42) ?timeout ?scheduler ?(batch = 32)
+    ?(instrument = default_instrument) ~source ~registry topology =
   let scheduler =
     match scheduler with
     | Some (`Pool w) when w < 1 ->
@@ -71,6 +87,8 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     | None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
   in
   if batch < 1 then invalid_arg "Executor.run: batch must be >= 1";
+  if instrument.telemetry_sample < 1 then
+    invalid_arg "Executor.run: telemetry_sample must be >= 1";
   let n = Topology.size topology in
   let src = Topology.source topology in
   if (Topology.operator topology src).Operator.replicas <> 1 then
@@ -144,6 +162,22 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     in
     go ()
   in
+  (* Telemetry: one collector per run, one private sink per actor (created
+     here, on the deploying thread, before any actor starts). Vertices
+     record tuple age and behavior duration; every successful routing choice
+     counts one transfer on the chosen topology edge. *)
+  let collector =
+    if instrument.telemetry then Some (Telemetry.Collector.create topology)
+    else None
+  in
+  let new_sink () = Option.map Telemetry.Collector.sink collector in
+  (* Flat (u, v) -> edge-index map: the lookup sits on the telemetry send
+     path, so it must be a plain array read, not a hash probe. *)
+  let edge_idx = Array.make (n * n) (-1) in
+  List.iteri
+    (fun i (u, v, _) -> edge_idx.((u * n) + v) <- i)
+    (Topology.edges topology);
+  let edge_id u v = edge_idx.((u * n) + v) in
   (* Blocking-put slow path under the pool: park the task (the worker moves
      on) until the mailbox signals space, then retry — a wakeup is a hint,
      not a reservation, so another producer may win the slot. *)
@@ -234,18 +268,76 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
   let add_actor ~actor ?vertex body =
     actors := (actor, vertex, body) :: !actors
   in
+  (* Forward one result of vertex [v] to [dest]'s mailbox: counts the edge
+     transfer and propagates the tuple's birth time when telemetry is on. *)
+  let sender snk v =
+    match snk with
+    | Some s ->
+        fun dest out birth ->
+          Sink.incr_edge s (edge_id v dest);
+          put_from v (mailbox_of dest) (Timed (out, birth))
+    | None -> fun dest out _birth -> put_from v (mailbox_of dest) (Data out)
+  in
+  (* One behavior invocation at vertex [v], recording the input tuple's age
+     and the invocation duration when telemetry is on. Timing reads the
+     clock twice per invocation, which dominates telemetry's cost on cheap
+     behaviors, so only every [telemetry_sample]-th invocation per vertex
+     is timed (deterministically: the first, then every k-th by arrival
+     order at that vertex). Edge counters stay exact regardless. *)
+  let invoke snk v fn =
+    match snk with
+    | Some s ->
+        let k = instrument.telemetry_sample in
+        let left = ref 1 in
+        fun t birth ->
+          decr left;
+          if !left <= 0 then begin
+            left := k;
+            let start = Unix.gettimeofday () in
+            Sink.record_latency s v (start -. birth);
+            let outs = fn t in
+            Sink.record_service s v (Unix.gettimeofday () -. start);
+            outs
+          end
+          else fn t
+    | None -> fun t _birth -> fn t
+  in
 
   (* --- source actor ------------------------------------------------ *)
   let () =
     let rng = Rng.create seed in
     let choose = chooser src rng in
+    let snk = new_sink () in
+    let send = sender snk src in
+    let stamped =
+      (* Birth timestamps feed the latency histograms, whose buckets start
+         at a microsecond, so the clock is read every [telemetry_sample]-th
+         emission and reused in between: staleness is bounded by k source
+         intervals and the per-tuple cost drops to a counter. [1] stamps
+         every tuple exactly. *)
+      match snk with
+      | Some _ ->
+          let k = instrument.telemetry_sample in
+          let left = ref 1 in
+          let cached = ref 0.0 in
+          fun () ->
+            decr left;
+            if !left <= 0 then begin
+              left := k;
+              cached := Unix.gettimeofday ()
+            end;
+            !cached
+      | None -> fun () -> 0.0
+    in
     add_actor ~actor:(opname src) ~vertex:src (fun () ->
         let rec loop () =
           match source () with
           | Some t -> (
               Atomic.incr produced.(src);
               match choose t with
-              | Some dest -> put_from src (mailbox_of dest) (Data t); loop ()
+              | Some dest ->
+                  send dest t (stamped ());
+                  loop ()
               | None -> loop ())
           | None ->
               List.iter (fun mb -> put_from src mb Eos)
@@ -265,22 +357,27 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         (* Standard operator: one actor (paper §4.2, standard case). *)
         let rng = Rng.create (seed + (7919 * (v + 1))) in
         let choose = chooser v rng in
-        let fn = Behavior.instantiate behavior in
+        let snk = new_sink () in
+        let send = sender snk v in
+        let apply = invoke snk v (Behavior.instantiate behavior) in
         add_actor ~actor:(opname v) ~vertex:v (fun () ->
             let next = ctx.creader inbox in
             let eos = ref 0 in
+            let handle t birth =
+              Atomic.incr consumed.(v);
+              List.iter
+                (fun out ->
+                  Atomic.incr produced.(v);
+                  match choose out with
+                  | Some dest -> send dest out birth
+                  | None -> ())
+                (apply t birth)
+            in
             while !eos < expected do
               match next () with
               | Eos -> incr eos
-              | Data t ->
-                  Atomic.incr consumed.(v);
-                  List.iter
-                    (fun out ->
-                      Atomic.incr produced.(v);
-                      match choose out with
-                      | Some dest -> put_from v (mailbox_of dest) (Data out)
-                      | None -> ())
-                    (fn t)
+              | Data t -> handle t 0.0
+              | Timed (t, birth) -> handle t birth
             done;
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
@@ -293,6 +390,8 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
            exact arrival order. *)
         let replicas = op.Operator.replicas in
         let worker_mb = Array.init replicas (fun _ -> new_mailbox ()) in
+        (* Each entry is one input's batch of results paired with that
+           input's birth time; [None] is the worker's end marker. *)
         let out_mb = Array.init replicas (fun _ -> new_mailbox ()) in
         add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
             let next = ctx.creader inbox in
@@ -301,42 +400,48 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
             while !eos < expected do
               match next () with
               | Eos -> incr eos
-              | Data t ->
-                  put_from v worker_mb.(!rr mod replicas) (Data t);
+              | (Data _ | Timed _) as m ->
+                  put_from v worker_mb.(!rr mod replicas) m;
                   incr rr
             done;
             Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         for r = 0 to replicas - 1 do
-          let fn = Behavior.instantiate behavior in
+          let snk = new_sink () in
+          let apply = invoke snk v (Behavior.instantiate behavior) in
           add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
             ~vertex:v (fun () ->
               let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
+              let handle t birth =
+                Atomic.incr consumed.(v);
+                let outs = apply t birth in
+                List.iter (fun _ -> Atomic.incr produced.(v)) outs;
+                put_from v out_mb.(r) (Some (outs, birth))
+              in
               while !continue do
                 match next () with
                 | Eos ->
                     put_from v out_mb.(r) None;
                     continue := false
-                | Data t ->
-                    Atomic.incr consumed.(v);
-                    let outs = fn t in
-                    List.iter (fun _ -> Atomic.incr produced.(v)) outs;
-                    put_from v out_mb.(r) (Some outs)
+                | Data t -> handle t 0.0
+                | Timed (t, birth) -> handle t birth
               done)
         done;
         let rng = Rng.create (seed + (104729 * (v + 1))) in
         let choose = chooser v rng in
+        let snk = new_sink () in
+        let send = sender snk v in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let next = Array.map (fun mb -> ctx.creader mb) out_mb in
-            let forward t =
+            let forward birth t =
               match choose t with
-              | Some dest -> put_from v (mailbox_of dest) (Data t)
+              | Some dest -> send dest t birth
               | None -> ()
             in
             let rec collect c =
               match next.(c mod replicas) () with
-              | Some outs ->
-                  List.iter forward outs;
+              | Some (outs, birth) ->
+                  List.iter (forward birth) outs;
                   collect (c + 1)
               | None ->
                   (* The round-robin deal is sequential: the first exhausted
@@ -375,46 +480,61 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
             while !eos < expected do
               match next () with
               | Eos -> incr eos
-              | Data t ->
+              | (Data t | Timed (t, _)) as m ->
                   let r = route_to_replica t !rr in
                   incr rr;
-                  put_from v worker_mb.(r) (Data t)
+                  put_from v worker_mb.(r) m
             done;
             Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         (* workers *)
         for r = 0 to replicas - 1 do
-          let fn = Behavior.instantiate behavior in
+          let snk = new_sink () in
+          let apply = invoke snk v (Behavior.instantiate behavior) in
+          let emit =
+            match snk with
+            | Some _ ->
+                fun out birth -> put_from v collector_mb (Timed (out, birth))
+            | None -> fun out _birth -> put_from v collector_mb (Data out)
+          in
           add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
             ~vertex:v (fun () ->
               let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
+              let handle t birth =
+                Atomic.incr consumed.(v);
+                List.iter
+                  (fun out ->
+                    Atomic.incr produced.(v);
+                    emit out birth)
+                  (apply t birth)
+              in
               while !continue do
                 match next () with
                 | Eos ->
                     put_from v collector_mb Eos;
                     continue := false
-                | Data t ->
-                    Atomic.incr consumed.(v);
-                    List.iter
-                      (fun out ->
-                        Atomic.incr produced.(v);
-                        put_from v collector_mb (Data out))
-                      (fn t)
+                | Data t -> handle t 0.0
+                | Timed (t, birth) -> handle t birth
               done)
         done;
         (* collector *)
         let rng = Rng.create (seed + (104729 * (v + 1))) in
         let choose = chooser v rng in
+        let snk = new_sink () in
+        let send = sender snk v in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let next = ctx.creader collector_mb in
             let eos = ref 0 in
+            let handle t birth =
+              match choose t with
+              | Some dest -> send dest t birth
+              | None -> ()
+            in
             while !eos < replicas do
               match next () with
               | Eos -> incr eos
-              | Data t -> (
-                  match choose t with
-                  | Some dest -> put_from v (mailbox_of dest) (Data t)
-                  | None -> ())
+              | Data t -> handle t 0.0
+              | Timed (t, birth) -> handle t birth
             done;
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
@@ -443,21 +563,35 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
               (List.map fst (Topology.succs topology v)))
           members
       in
+      let snk = new_sink () in
+      let applies = Hashtbl.create 8 in
+      List.iter
+        (fun v -> Hashtbl.replace applies v (invoke snk v (Hashtbl.find fns v)))
+        members;
+      let senders = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace senders v (sender snk v)) members;
       (* Algorithm 4: follow each result through the sub-graph until it
-         exits; the sub-graph is acyclic so the walk terminates. *)
-      let rec process v t =
+         exits; the sub-graph is acyclic so the walk terminates. Intra-group
+         hops count on their topology edge like external ones, so the edge
+         counters see through the fusion. *)
+      let rec process v t birth =
         Atomic.incr consumed.(v);
-        let fn = Hashtbl.find fns v in
+        let apply = Hashtbl.find applies v in
         let choose = Hashtbl.find choosers v in
         List.iter
           (fun out ->
             Atomic.incr produced.(v);
             match choose out with
             | Some dest ->
-                if group_of.(dest) = gi then process dest out
-                else put_from v (mailbox_of dest) (Data out)
+                if group_of.(dest) = gi then begin
+                  (match snk with
+                  | Some s -> Sink.incr_edge s (edge_id v dest)
+                  | None -> ());
+                  process dest out birth
+                end
+                else (Hashtbl.find senders v) dest out birth
             | None -> ())
-          (fn t)
+          (apply t birth)
       in
       add_actor
         ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
@@ -468,7 +602,8 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
           while !eos < expected do
             match next () with
             | Eos -> incr eos
-            | Data t -> process front t
+            | Data t -> process front t 0.0
+            | Timed (t, birth) -> process front t birth
           done;
           List.iter (fun mb -> put_from front mb Eos) (eos_targets all_external)))
     fused;
@@ -496,6 +631,16 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     done;
     incr occ_samples
   in
+  (* One periodic instrumentation pass: occupancy sampling and the live
+     telemetry aggregate share the tick/monitor cadence. Telemetry alone
+     does not force a tick — on small machines a 1 ms tick costs more than
+     all the recording combined; without one, [Collector.live] merges on
+     demand and the final report is aggregated after the join anyway. *)
+  let instr_active = instrument.sample_occupancy in
+  let instr_tick () =
+    sample_occ ();
+    Option.iter Telemetry.Collector.refresh collector
+  in
   (* Watchdog domain: trip the supervisor when the wall-clock budget runs
      out. Cancellation is cooperative — it takes effect when actors touch a
      mailbox — so a behavior spinning forever on one tuple is not
@@ -522,11 +667,11 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
   (match scheduler with
   | `Domain_per_actor ->
       let monitor =
-        if sample_occupancy then
+        if instr_active then
           Some
             (Domain.spawn (fun () ->
                  while not (Atomic.get finished) do
-                   sample_occ ();
+                   instr_tick ();
                    Unix.sleepf sample_interval
                  done))
         else None
@@ -550,7 +695,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         actors;
       let watchdog = spawn_watchdog () in
       let tick =
-        if sample_occupancy then Some (sample_interval, sample_occ) else None
+        if instr_active then Some (sample_interval, instr_tick) else None
       in
       Ss_sched.Sched.run ?tick pool;
       Atomic.set finished true;
@@ -569,6 +714,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     source_rate = float_of_int produced.(src) /. elapsed;
     blocked = Array.map Atomic.get blocked;
     occupancy;
+    telemetry = Option.map Telemetry.Collector.report collector;
     actors = Supervision.reports sup;
     outcome = Supervision.outcome sup;
   }

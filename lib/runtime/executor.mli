@@ -33,6 +33,40 @@
     instead of hanging. An optional wall-clock [timeout] drives the same
     shutdown path. *)
 
+type instrument = {
+  sample_occupancy : bool;
+      (** Sample entry-mailbox occupancy every millisecond (default
+          [true]); when [false] [metrics.occupancy] is all zeros. *)
+  telemetry : bool;
+      (** Record latency/service histograms and per-edge transfer counts
+          (default [false]); when [false] [metrics.telemetry] is [None]
+          and the hot path is untouched (no timestamps, no counters). *)
+  telemetry_sample : int;
+      (** Time (and record into the histograms) every k-th behavior
+          invocation per vertex — deterministically by arrival order at
+          that vertex, starting with the first — so histogram counts are
+          [ceil (consumed / k)] per vertex. The source's birth timestamps
+          (the basis of the latency histograms) are refreshed on the same
+          cadence: the clock is read every k-th emission and reused in
+          between, so recorded tuple ages carry a staleness bounded by k
+          source intervals. Clock reads dominate telemetry's cost on cheap
+          behaviors; the default ([32]) keeps the overhead a few percent
+          even on identity operators. Edge transfer counts are always
+          exact. Use [1] to time every invocation and stamp every tuple
+          exactly. Ignored when [telemetry] is off. *)
+}
+(** Runtime instrumentation configuration. When [sample_occupancy] is on,
+    a periodic instrumentation pass runs at the sampling cadence — on the
+    pool's scheduler tick in [`Pool] mode, on a dedicated monitor domain in
+    [`Domain_per_actor] mode — sampling occupancy and refreshing the live
+    telemetry aggregate ({!Ss_telemetry.Telemetry.Collector.live}).
+    Telemetry alone never forces a tick: recording happens inline in the
+    actors, the live aggregate falls back to merge-on-demand, and the final
+    report is merged exactly once after all actors have joined. *)
+
+val default_instrument : instrument
+(** [{ sample_occupancy = true; telemetry = false; telemetry_sample = 32 }]. *)
+
 type metrics = {
   elapsed : float;  (** Wall-clock seconds from start to full drain. *)
   consumed : int array;
@@ -40,15 +74,27 @@ type metrics = {
   produced : int array;  (** Per vertex: tuples emitted by the behavior. *)
   source_rate : float;  (** Source tuples per wall-clock second. *)
   blocked : float array;
-      (** Per vertex: seconds its actors spent blocked ([`Domain_per_actor])
-          or parked ([`Pool]) on full downstream mailboxes (backpressure).
-          Fission units aggregate their emitter, workers and collector. *)
+      (** Per vertex: seconds its actors spent waiting on full downstream
+          mailboxes (backpressure), measured on the slow path of every put
+          in {e both} scheduler modes. The semantics differ slightly: in
+          [`Domain_per_actor] mode it is the wall-clock time the actor's
+          domain sat blocked in [Mailbox.put]; in [`Pool] mode it is the
+          park-to-resume time of the suspended task, which additionally
+          includes the scheduling delay until a worker re-runs the task
+          after space opens up. Under contention the pool figure therefore
+          reads slightly higher for the same topology. Fission units
+          aggregate their emitter, workers and collector. *)
   occupancy : float array;
       (** Per vertex: mean sampled occupancy of its entry mailbox (sampled
           every millisecond — by the pool's scheduler tick in [`Pool] mode,
           by a monitor domain in [`Domain_per_actor] mode; see
-          [sample_occupancy]); 0 for the source and for non-entry members
-          of fused groups. *)
+          [instrument.sample_occupancy]); 0 for the source and for
+          non-entry members of fused groups. *)
+  telemetry : Ss_telemetry.Telemetry.report option;
+      (** With [instrument.telemetry]: per-vertex latency histograms (tuple
+          age at behavior start, from source emission), per-vertex service
+          histograms (behavior invocation durations) and per-edge transfer
+          counts. [None] otherwise. *)
   actors : Supervision.report list;
       (** Per-actor completion status, in completion order. *)
   outcome : Supervision.outcome;
@@ -74,7 +120,7 @@ val run :
   ?timeout:float ->
   ?scheduler:scheduler ->
   ?batch:int ->
-  ?sample_occupancy:bool ->
+  ?instrument:instrument ->
   source:(unit -> Ss_operators.Tuple.t option) ->
   registry:(int -> Ss_operators.Behavior.t) ->
   Ss_topology.Topology.t ->
@@ -97,13 +143,14 @@ val run :
 
     [scheduler] picks the execution model (default [`Pool] sized to the
     machine). [batch] (default 32) caps how many messages a pooled actor
-    drains per mailbox activation. [sample_occupancy] (default [true])
-    controls occupancy sampling: when [false] no monitor domain is spawned
-    in [`Domain_per_actor] mode and the pool skips its tick, and
-    [metrics.occupancy] is all zeros. Per-vertex [consumed]/[produced]
-    counts are identical across schedulers for deterministic behaviors:
-    routing draws depend only on per-vertex tuple ordinals, not on
-    interleaving.
+    drains per mailbox activation. [instrument] (default
+    {!default_instrument}) selects runtime instrumentation: occupancy
+    sampling and/or telemetry recording; when occupancy sampling is off no
+    monitor domain is spawned in [`Domain_per_actor] mode and the pool
+    skips its tick. Per-vertex [consumed]/[produced] counts — and with telemetry on,
+    per-edge transfer counts — are identical across schedulers for
+    deterministic behaviors: routing draws depend only on per-vertex tuple
+    ordinals, not on interleaving.
     @raise Invalid_argument on overlapping or illegal fused groups, a
     replicated source, a non-positive [timeout], a non-positive pool size
     or [batch], an [ordered] vertex that is not replicated stateless, or —

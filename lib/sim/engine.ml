@@ -1,6 +1,8 @@
 open Ss_prelude
 open Ss_topology
 
+module Histogram = Ss_telemetry.Histogram
+
 type config = {
   buffer_capacity : int;
   emitter_service_time : float;
@@ -8,6 +10,7 @@ type config = {
   warmup : float;
   measure : float;
   seed : int;
+  track_latency : bool;
 }
 
 let default_config =
@@ -18,6 +21,7 @@ let default_config =
     warmup = 3.0;
     measure = 15.0;
     seed = 42;
+    track_latency = false;
   }
 
 type vertex_stats = {
@@ -33,6 +37,7 @@ type result = {
   throughput : float;
   simulated_time : float;
   events : int;
+  latency : Histogram.t array option;
 }
 
 (* Destination choice performed when a station emits an item. *)
@@ -47,16 +52,23 @@ type station = {
   id : int;
   vertex : int;  (* owning topology vertex *)
   is_source : bool;
+  is_worker : bool;  (* a serving station: latency is sampled here *)
   dist : Dist.t;
   credit_per_item : float;  (* results produced per item consumed *)
   route : route;
   capacity : int;
   (* Items are indistinguishable for rate purposes: the bounded FIFO input
-     buffer reduces to a counter. *)
+     buffer reduces to a counter — except for latency tracking, where the
+     [births] queue mirrors the counter with each queued item's source
+     emission time. *)
   mutable queued : int;
   mutable busy : bool;
   mutable blocked : bool;
-  mutable pending : int list;  (* destination stations awaiting delivery *)
+  (* Destination stations awaiting delivery, each with the carried item's
+     birth time (0. when latency tracking is off). *)
+  mutable pending : (int * float) list;
+  births : float Queue.t;
+  mutable current_birth : float;  (* birth of the item in service *)
   mutable credit : float;
   mutable rr : int;
   waiters : int Queue.t;  (* stations blocked on a full buffer here *)
@@ -83,16 +95,20 @@ type t = {
   workers_of : int list array;  (* vertex -> worker stations *)
   events : (float * int * int) Heap.t;  (* time, tie-break, station *)
   rng : Rng.t;
+  track : bool;  (* latency tracking on? *)
+  lat : Histogram.t array;  (* per vertex: age at worker service start *)
   mutable now : float;
   mutable seq : int;
   mutable event_count : int;
 }
 
-let make_station ~id ~vertex ~is_source ~dist ~credit_per_item ~route ~capacity =
+let make_station ~id ~vertex ~is_source ~is_worker ~dist ~credit_per_item
+    ~route ~capacity =
   {
     id;
     vertex;
     is_source;
+    is_worker;
     dist;
     credit_per_item;
     route;
@@ -101,6 +117,8 @@ let make_station ~id ~vertex ~is_source ~dist ~credit_per_item ~route ~capacity 
     busy = false;
     blocked = false;
     pending = [];
+    births = Queue.create ();
+    current_birth = 0.0;
     credit = 0.0;
     rr = 0;
     waiters = Queue.create ();
@@ -146,8 +164,9 @@ let build config topology =
       let s =
         fresh (fun id ->
             make_station ~id ~vertex:v ~is_source:(v = src)
-              ~dist:op.Operator.service_dist ~credit_per_item:credit
-              ~route:placeholder ~capacity:config.buffer_capacity)
+              ~is_worker:(v <> src) ~dist:op.Operator.service_dist
+              ~credit_per_item:credit ~route:placeholder
+              ~capacity:config.buffer_capacity)
       in
       entry_of.(v) <- s.id;
       exit_of.(v) <- s.id;
@@ -156,7 +175,7 @@ let build config topology =
     else begin
       let emitter =
         fresh (fun id ->
-            make_station ~id ~vertex:v ~is_source:false
+            make_station ~id ~vertex:v ~is_source:false ~is_worker:false
               ~dist:(Dist.Deterministic config.emitter_service_time)
               ~credit_per_item:1.0 ~route:placeholder
               ~capacity:config.buffer_capacity)
@@ -164,13 +183,13 @@ let build config topology =
       let workers =
         List.init op.Operator.replicas (fun _ ->
             fresh (fun id ->
-                make_station ~id ~vertex:v ~is_source:false
+                make_station ~id ~vertex:v ~is_source:false ~is_worker:true
                   ~dist:op.Operator.service_dist ~credit_per_item:credit
                   ~route:placeholder ~capacity:config.buffer_capacity))
       in
       let collector =
         fresh (fun id ->
-            make_station ~id ~vertex:v ~is_source:false
+            make_station ~id ~vertex:v ~is_source:false ~is_worker:false
               ~dist:(Dist.Deterministic config.collector_service_time)
               ~credit_per_item:1.0 ~route:placeholder
               ~capacity:config.buffer_capacity)
@@ -226,6 +245,8 @@ let build config topology =
     events = Heap.create ~cmp:(fun (ta, sa, _) (tb, sb, _) ->
         match compare (ta : float) tb with 0 -> compare sa sb | c -> c);
     rng = Rng.create config.seed;
+    track = config.track_latency;
+    lat = Array.init n (fun _ -> Histogram.create ());
     now = 0.0;
     seq = 0;
     event_count = 0;
@@ -262,12 +283,25 @@ let sample_destination t station =
 (* Mutual recursion: starting a station frees a buffer slot, which wakes
    blocked senders, whose deliveries may start further stations. The graph
    is a finite DAG of stations, so the recursion is bounded. *)
+(* Latency tracking: an item's birth is the simulated time its source
+   service completed; it rides along through every buffer ([births] mirrors
+   the occupancy counter) and pending list, and the age is sampled when a
+   worker station takes the item into service — mirroring where the actor
+   runtime's telemetry records it. All outputs of a service inherit the
+   consumed item's birth (the credit counter makes items fungible, exactly
+   like the runtime's selectivity stubs). *)
 let rec try_start t station =
   if (not station.busy) && (not station.blocked) && station.pending = [] then
     if station.is_source then
       schedule t station (Dist.sample t.rng station.dist)
     else if station.queued > 0 then begin
       set_queued t station (station.queued - 1);
+      if t.track then begin
+        let birth = Queue.pop station.births in
+        station.current_birth <- birth;
+        if station.is_worker then
+          Histogram.record t.lat.(station.vertex) (t.now -. birth)
+      end;
       station.consumed <- station.consumed + 1;
       schedule t station (Dist.sample t.rng station.dist);
       wake_waiters t station
@@ -281,9 +315,10 @@ and wake_waiters t station =
     (* The sender is blocked on the head of its pending list, which targets
        this station. *)
     (match sender.pending with
-    | dest :: rest ->
+    | (dest, birth) :: rest ->
         assert (dest = station.id);
         set_queued t station (station.queued + 1);
+        if t.track then Queue.push birth station.births;
         sender.pending <- rest;
         sender.blocked <- false;
         try_start t station;
@@ -295,10 +330,11 @@ and flush_pending t station =
   let rec deliver () =
     match station.pending with
     | [] -> try_start t station
-    | dest_id :: rest ->
+    | (dest_id, birth) :: rest ->
         let dest = t.stations.(dest_id) in
         if dest.queued < dest.capacity then begin
           set_queued t dest (dest.queued + 1);
+          if t.track then Queue.push birth dest.births;
           station.pending <- rest;
           try_start t dest;
           deliver ()
@@ -317,13 +353,18 @@ let on_completion t station =
   station.credit <- station.credit +. station.credit_per_item;
   let outputs = int_of_float station.credit in
   station.credit <- station.credit -. float_of_int outputs;
+  let birth =
+    if not t.track then 0.0
+    else if station.is_source then t.now
+    else station.current_birth
+  in
   let rec emit k acc =
     if k = 0 then List.rev acc
     else begin
       station.produced <- station.produced + 1;
       match sample_destination t station with
       | None -> emit (k - 1) acc
-      | Some dest -> emit (k - 1) (dest :: acc)
+      | Some dest -> emit (k - 1) ((dest, birth) :: acc)
     end
   in
   station.pending <- station.pending @ emit outputs [];
@@ -340,7 +381,10 @@ let mark t =
       (* Flush the occupancy integral up to the mark. *)
       set_queued t s s.queued;
       s.queue_area_mark <- s.queue_area)
-    t.stations
+    t.stations;
+  (* Latency histograms measure the post-warmup window only. Items born
+     before the mark but served after it still count — their age is real. *)
+  if t.track then Array.iter Histogram.reset t.lat
 
 let run_until t limit =
   let continue = ref true in
@@ -400,6 +444,7 @@ let run ?(config = default_config) topology =
     throughput = stats.(src).departure_rate;
     simulated_time = config.warmup +. config.measure;
     events = t.event_count;
+    latency = (if config.track_latency then Some t.lat else None);
   }
 
 (* ------------------------------------------------------------------ *)

@@ -32,6 +32,10 @@ type config = {
       (** Simulated seconds discarded before measuring (default 3). *)
   measure : float;  (** Simulated seconds measured (default 15). *)
   seed : int;  (** PRNG seed; equal seeds give identical runs. *)
+  track_latency : bool;
+      (** Track each item's age from source emission and histogram it at
+          worker-service start (default [false]; small constant overhead
+          per delivered item when on). *)
 }
 
 val default_config : config
@@ -60,6 +64,13 @@ type result = {
       (** Departure rate of the source: items ingested per second. *)
   simulated_time : float;  (** Total simulated seconds (warmup + measure). *)
   events : int;  (** Number of completion events processed. *)
+  latency : Ss_telemetry.Histogram.t array option;
+      (** With [config.track_latency]: per-vertex {e predicted} latency
+          histograms — each item's age since source emission, sampled when a
+          worker replica of the vertex takes it into service (the same
+          measurement point as the actor runtime's telemetry, so predicted
+          and measured distributions compare directly). Post-warmup window
+          only; empty for the source. [None] otherwise. *)
 }
 
 val run : ?config:config -> Ss_topology.Topology.t -> result

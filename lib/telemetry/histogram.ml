@@ -1,0 +1,132 @@
+(* Fixed log2-scale buckets over a 1 us base. 28 boundaries cover 1 us to
+   ~134 s; one extra bucket collects the overflow. The layout is a module
+   constant so any two histograms merge bucket-by-bucket. *)
+
+let base = 1e-6
+let log_buckets = 28
+let num_buckets = log_buckets + 1
+
+(* bounds.(i) = base * 2^i, the inclusive upper bound of bucket i. *)
+let bounds = Array.init log_buckets (fun i -> base *. (2. ** float_of_int i))
+
+type t = {
+  counts : int array;  (* length [num_buckets]; last slot is overflow *)
+  mutable count : int;
+  stats : float array;  (* [| sum; max |]: float-array cells mutate without
+                           boxing, keeping [record] allocation-free *)
+}
+
+let create () =
+  { counts = Array.make num_buckets 0; count = 0; stats = [| 0.0; 0.0 |] }
+
+(* Binary search over the bounds: ~5 float compares, no transcendental C
+   call and no allocation — [record] sits on the actors' timed path. *)
+let bucket_index x =
+  if not (x > base) (* includes NaN, negatives and the first bucket *) then 0
+  else if x > bounds.(log_buckets - 1) then log_buckets
+  else begin
+    let lo = ref 0 and hi = ref (log_buckets - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x > bounds.(mid) then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+let bucket_upper i =
+  if i < 0 || i >= num_buckets then invalid_arg "Histogram.bucket_upper"
+  else if i = log_buckets then infinity
+  else bounds.(i)
+
+let record t x =
+  let x = if Float.is_nan x || x < 0.0 then 0.0 else x in
+  let i = bucket_index x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.stats.(0) <- t.stats.(0) +. x;
+  if x > t.stats.(1) then t.stats.(1) <- x
+
+let count t = t.count
+let sum t = t.stats.(0)
+let mean t = if t.count = 0 then 0.0 else t.stats.(0) /. float_of_int t.count
+let max_value t = t.stats.(1)
+let is_empty t = t.count = 0
+
+let merge_into ~into t =
+  for i = 0 to num_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + t.counts.(i)
+  done;
+  into.count <- into.count + t.count;
+  into.stats.(0) <- into.stats.(0) +. t.stats.(0);
+  if t.stats.(1) > into.stats.(1) then into.stats.(1) <- t.stats.(1)
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let copy t =
+  {
+    counts = Array.copy t.counts;
+    count = t.count;
+    stats = Array.copy t.stats;
+  }
+
+let reset t =
+  Array.fill t.counts 0 num_buckets 0;
+  t.count <- 0;
+  t.stats.(0) <- 0.0;
+  t.stats.(1) <- 0.0
+
+let bucket_counts t = Array.copy t.counts
+
+let percentile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let max_v = t.stats.(1) in
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int t.count in
+    let rec go i cum =
+      if i >= num_buckets then max_v
+      else begin
+        let here = t.counts.(i) in
+        let cum' = cum +. float_of_int here in
+        if here > 0 && cum' >= rank then begin
+          let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+          let hi = if i = log_buckets then max_v else bounds.(i) in
+          let hi = Float.min hi max_v in
+          let within = Float.max 0.0 ((rank -. cum) /. float_of_int here) in
+          Float.min max_v (lo +. ((hi -. lo) *. within))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0.0
+  end
+
+type snapshot = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let snapshot t =
+  let mean = mean t in
+  {
+    count = t.count;
+    mean;
+    p50 = percentile t 0.50;
+    p95 = percentile t 0.95;
+    p99 = percentile t 0.99;
+    max = t.stats.(1);
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "@[<h>n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus@]"
+    s.count (s.mean *. 1e6) (s.p50 *. 1e6) (s.p95 *. 1e6) (s.p99 *. 1e6)
+    (s.max *. 1e6)

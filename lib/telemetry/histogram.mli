@@ -1,0 +1,83 @@
+(** Mergeable fixed-bucket log-scale histograms for latency and service-time
+    distributions.
+
+    Buckets are powers of two over a microsecond base: bucket [0] holds
+    values at or below 1 us, bucket [i] holds values in
+    [(2^(i-1), 2^i] us], and the last bucket collects the overflow above
+    ~134 s. The layout is identical for every histogram, so merging is a
+    plain element-wise sum — per-actor histograms recorded without locks can
+    be aggregated by a monitor at any time.
+
+    Recording is O(1) with no allocation; a histogram is a few dozen words.
+    Quantiles are estimated by linear interpolation inside the matched
+    bucket (lower bound 0 for bucket 0, the observed maximum for the
+    overflow bucket), so they are exact at bucket boundaries and never
+    exceed the observed maximum. *)
+
+type t
+
+val create : unit -> t
+(** An empty histogram. *)
+
+val record : t -> float -> unit
+(** [record t x] adds one observation of [x] seconds. Negative and NaN
+    values are clamped to [0.] (they arise only from clock steps). *)
+
+val count : t -> int
+(** Observations recorded. *)
+
+val sum : t -> float
+(** Sum of all recorded values, in seconds. *)
+
+val mean : t -> float
+(** [sum / count]; [0.] when empty. *)
+
+val max_value : t -> float
+(** Largest recorded value; [0.] when empty. *)
+
+val is_empty : t -> bool
+
+val merge_into : into:t -> t -> unit
+(** Element-wise sum of counts; [sum] and [max_value] combine likewise.
+    Associative and commutative up to float rounding of [sum]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' observations. *)
+
+val copy : t -> t
+
+val reset : t -> unit
+(** Forget every observation (used at warmup boundaries). *)
+
+val percentile : t -> float -> float
+(** [percentile t q] with [q] in [[0, 1]]: the estimated value below which
+    a fraction [q] of the observations fall. Monotone in [q]; returns [0.]
+    when empty. *)
+
+type snapshot = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+val snapshot : t -> snapshot
+
+(** {2 Bucket layout} — exposed for exporters and tests. *)
+
+val num_buckets : int
+(** Total buckets including the overflow bucket. *)
+
+val bucket_index : float -> int
+(** The bucket an observation falls into. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of a bucket in seconds; [infinity] for the
+    overflow bucket. *)
+
+val bucket_counts : t -> int array
+(** Copy of the per-bucket counts, length {!num_buckets}. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

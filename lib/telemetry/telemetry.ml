@@ -1,0 +1,245 @@
+open Ss_topology
+
+type report = {
+  latency : Histogram.t array;
+  service : Histogram.t array;
+  edges : (int * int * int) list;
+}
+
+module Sink = struct
+  (* Histograms are created on first record: an actor only ever records at
+     its own vertex, so eager per-vertex arrays would allocate (and keep
+     live, slowing the GC for the whole run) n times more histograms than
+     are used — measurably expensive when a run itself lasts milliseconds. *)
+  type t = {
+    latency : Histogram.t option array;
+    service : Histogram.t option array;
+    edge_counts : int array;
+  }
+
+  let hist (arr : Histogram.t option array) v =
+    match arr.(v) with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        arr.(v) <- Some h;
+        h
+
+  let record_latency t v x = Histogram.record (hist t.latency v) x
+  let record_service t v x = Histogram.record (hist t.service v) x
+  let incr_edge t e = t.edge_counts.(e) <- t.edge_counts.(e) + 1
+end
+
+module Collector = struct
+  type t = {
+    n : int;
+    edge_list : (int * int) list;  (* Topology.edges order *)
+    mutable sinks : Sink.t list;
+    live : report Atomic.t;
+    mutable refreshed : bool;
+  }
+
+  let empty_report n edge_list =
+    {
+      latency = Array.init n (fun _ -> Histogram.create ());
+      service = Array.init n (fun _ -> Histogram.create ());
+      edges = List.map (fun (u, v) -> (u, v, 0)) edge_list;
+    }
+
+  let create topology =
+    let n = Topology.size topology in
+    let edge_list =
+      List.map (fun (u, v, _) -> (u, v)) (Topology.edges topology)
+    in
+    {
+      n;
+      edge_list;
+      sinks = [];
+      live = Atomic.make (empty_report n edge_list);
+      refreshed = false;
+    }
+
+  let sink t =
+    let s =
+      {
+        Sink.latency = Array.make t.n None;
+        service = Array.make t.n None;
+        edge_counts = Array.make (List.length t.edge_list) 0;
+      }
+    in
+    t.sinks <- s :: t.sinks;
+    s
+
+  let aggregate t =
+    let acc = empty_report t.n t.edge_list in
+    let edge_totals = Array.make (List.length t.edge_list) 0 in
+    let merge_opt into = function
+      | Some h -> Histogram.merge_into ~into h
+      | None -> ()
+    in
+    List.iter
+      (fun (s : Sink.t) ->
+        for v = 0 to t.n - 1 do
+          merge_opt acc.latency.(v) s.Sink.latency.(v);
+          merge_opt acc.service.(v) s.Sink.service.(v)
+        done;
+        Array.iteri
+          (fun e c -> edge_totals.(e) <- edge_totals.(e) + c)
+          s.Sink.edge_counts)
+      t.sinks;
+    {
+      acc with
+      edges = List.mapi (fun e (u, v) -> (u, v, edge_totals.(e))) t.edge_list;
+    }
+
+  let refresh t =
+    t.refreshed <- true;
+    Atomic.set t.live (aggregate t)
+
+  (* When a periodic refresher (occupancy monitor or pool tick) feeds the
+     cache, readers get the last snapshot for free; otherwise merge on
+     demand — a few microseconds, fine for a monitoring read, and much
+     cheaper than forcing a 1 ms tick on runs that never look at it. *)
+  let live t = if t.refreshed then Atomic.get t.live else aggregate t
+  let report t = aggregate t
+end
+
+let to_profile topology ~consumed ~produced report =
+  Array.init (Topology.size topology) (fun v ->
+      let op = Topology.operator topology v in
+      let h = report.service.(v) in
+      let samples = Histogram.count h in
+      let mean_service_time =
+        if samples > 0 then Float.max (Histogram.mean h) 1e-9
+        else op.Operator.service_time
+      in
+      let outputs_per_input =
+        if consumed.(v) > 0 then
+          float_of_int produced.(v) /. float_of_int consumed.(v)
+        else Operator.selectivity_factor op
+      in
+      {
+        Ss_workload.Profiler.behavior = op.Operator.name;
+        samples = (if samples > 0 then samples else consumed.(v));
+        mean_service_time;
+        outputs_per_input;
+      })
+
+let measured_topology topology ~consumed ~produced report =
+  let src = Topology.source topology in
+  let profiles = to_profile topology ~consumed ~produced report in
+  let ops =
+    Array.mapi
+      (fun v (op : Operator.t) ->
+        if v = src || Histogram.is_empty report.service.(v) then op
+        else begin
+          let p = profiles.(v) in
+          let output_selectivity =
+            Float.max
+              (p.Ss_workload.Profiler.outputs_per_input
+              *. op.Operator.input_selectivity)
+              0.0
+          in
+          let op =
+            Operator.with_service_time op
+              p.Ss_workload.Profiler.mean_service_time
+          in
+          { op with Operator.output_selectivity }
+        end)
+      (Topology.operators topology)
+  in
+  (* Re-estimate out-edge probabilities from the transfer counters; keep the
+     declared ones for a vertex whose edges were not all exercised (a zero
+     probability would make the topology invalid). *)
+  let out_total = Array.make (Topology.size topology) 0 in
+  List.iter (fun (u, _, c) -> out_total.(u) <- out_total.(u) + c) report.edges;
+  let all_positive = Array.make (Topology.size topology) true in
+  List.iter
+    (fun (u, _, c) -> if c = 0 then all_positive.(u) <- false)
+    report.edges;
+  let counts = Hashtbl.create 16 in
+  List.iter (fun (u, v, c) -> Hashtbl.replace counts (u, v) c) report.edges;
+  let edges =
+    List.map
+      (fun (u, v, p) ->
+        if all_positive.(u) && out_total.(u) > 0 then
+          ( u,
+            v,
+            float_of_int (Hashtbl.find counts (u, v))
+            /. float_of_int out_total.(u) )
+        else (u, v, p))
+      (Topology.edges topology)
+  in
+  Topology.create_exn ops edges
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_float f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" f
+
+let add_histogram_family buf ~family ~help topology hists =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" family help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" family);
+  Array.iteri
+    (fun v h ->
+      if not (Histogram.is_empty h) then begin
+        let label =
+          prom_escape (Topology.operator topology v).Operator.name
+        in
+        let counts = Histogram.bucket_counts h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{operator=\"%s\",le=\"%s\"} %d\n"
+                 family label
+                 (prom_float (Histogram.bucket_upper i))
+                 !cum))
+          counts;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum{operator=\"%s\"} %s\n" family label
+             (prom_float (Histogram.sum h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count{operator=\"%s\"} %d\n" family label
+             (Histogram.count h))
+      end)
+    hists
+
+let to_prometheus topology report =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# HELP ss_edge_tuples_total Tuples transferred per topology edge.\n";
+  Buffer.add_string buf "# TYPE ss_edge_tuples_total counter\n";
+  List.iter
+    (fun (u, v, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "ss_edge_tuples_total{src=\"%s\",dst=\"%s\"} %d\n"
+           (prom_escape (Topology.operator topology u).Operator.name)
+           (prom_escape (Topology.operator topology v).Operator.name)
+           c))
+    report.edges;
+  add_histogram_family buf ~family:"ss_latency_seconds"
+    ~help:
+      "Tuple age (seconds since source emission) at behavior start, per \
+       operator."
+    topology report.latency;
+  add_histogram_family buf ~family:"ss_service_seconds"
+    ~help:"Behavior invocation duration in seconds, per operator." topology
+    report.service;
+  Buffer.contents buf

@@ -177,6 +177,76 @@ let latency_csv topology (latency : Latency.t) =
     latency.Latency.per_vertex;
   Buffer.contents buf
 
+let telemetry_json topology (metrics : Ss_runtime.Executor.metrics) =
+  let open Ss_telemetry in
+  let snapshot_obj h =
+    if Histogram.is_empty h then Json.Null
+    else
+      let s = Histogram.snapshot h in
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int s.Histogram.count));
+          ("mean_s", Json.Num s.Histogram.mean);
+          ("p50_s", Json.Num s.Histogram.p50);
+          ("p95_s", Json.Num s.Histogram.p95);
+          ("p99_s", Json.Num s.Histogram.p99);
+          ("max_s", Json.Num s.Histogram.max);
+        ]
+  in
+  let operators report =
+    Array.to_list
+      (Array.mapi
+         (fun v consumed ->
+           Json.Obj
+             [
+               ("id", Json.Num (float_of_int v));
+               ("name", Json.Str (Topology.operator topology v).Operator.name);
+               ("consumed", Json.Num (float_of_int consumed));
+               ( "produced",
+                 Json.Num
+                   (float_of_int metrics.Ss_runtime.Executor.produced.(v)) );
+               ( "blocked_s",
+                 Json.Num metrics.Ss_runtime.Executor.blocked.(v) );
+               ( "occupancy",
+                 Json.Num metrics.Ss_runtime.Executor.occupancy.(v) );
+               ("latency", snapshot_obj report.Telemetry.latency.(v));
+               ("service", snapshot_obj report.Telemetry.service.(v));
+             ])
+         metrics.Ss_runtime.Executor.consumed)
+  in
+  let edges report =
+    List.map
+      (fun (u, v, c) ->
+        Json.Obj
+          [
+            ("src", Json.Str (Topology.operator topology u).Operator.name);
+            ("dst", Json.Str (Topology.operator topology v).Operator.name);
+            ("tuples", Json.Num (float_of_int c));
+          ])
+      report.Telemetry.edges
+  in
+  let base =
+    [
+      ( "outcome",
+        Json.Str
+          (Format.asprintf "%a" Ss_runtime.Supervision.pp_outcome
+             metrics.Ss_runtime.Executor.outcome) );
+      ("elapsed_s", Json.Num metrics.Ss_runtime.Executor.elapsed);
+      ("source_rate", Json.Num metrics.Ss_runtime.Executor.source_rate);
+    ]
+  in
+  let body =
+    match metrics.Ss_runtime.Executor.telemetry with
+    | None -> base
+    | Some report ->
+        base
+        @ [
+            ("operators", Json.Arr (operators report));
+            ("edges", Json.Arr (edges report));
+          ]
+  in
+  Json.to_string ~indent:true (Json.Obj body)
+
 let session_json session =
   let version_entry name =
     let topology = Session.topology session ~version:name () in

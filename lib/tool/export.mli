@@ -32,6 +32,12 @@ val comparison_csv :
 
 val latency_csv : Ss_topology.Topology.t -> Ss_core.Latency.t -> string
 
+val telemetry_json :
+  Ss_topology.Topology.t -> Ss_runtime.Executor.metrics -> string
+(** JSON document of one runtime execution: outcome, elapsed time, source
+    rate and — when the metrics carry telemetry — per-operator counters
+    with latency/service snapshots (seconds) and per-edge transfer counts. *)
+
 val session_json : Session.t -> string
 (** Summary of a session: every version with operator/edge counts, the
     predicted throughput, and saturated operators. *)

@@ -80,10 +80,25 @@ let generate_code t ?version ?fused ?tuples () =
   Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
 
 let execute t ?version ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    ?scheduler ?batch () =
+    ?scheduler ?batch ?instrument () =
   Ss_codegen.Plan.run ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    ?scheduler ?batch
+    ?scheduler ?batch ?instrument
     (topology t ?version ())
+
+let measured_version t ?version metrics =
+  match metrics.Ss_runtime.Executor.telemetry with
+  | None ->
+      Error
+        "no telemetry in these metrics: run execute with \
+         ~instrument:{ default_instrument with telemetry = true }"
+  | Some report ->
+      let topo = topology t ?version () in
+      let twin =
+        Ss_telemetry.Telemetry.measured_topology topo
+          ~consumed:metrics.Ss_runtime.Executor.consumed
+          ~produced:metrics.Ss_runtime.Executor.produced report
+      in
+      Ok (register t (Printf.sprintf "measured-%d" (next_id t)) twin)
 
 let runtime_report t ?version metrics =
   let open Ss_runtime in
@@ -107,6 +122,35 @@ let runtime_report t ?version metrics =
            metrics.Executor.blocked.(v)
            metrics.Executor.occupancy.(v)))
     metrics.Executor.consumed;
+  (match metrics.Executor.telemetry with
+  | None -> ()
+  | Some report ->
+      let open Ss_telemetry in
+      Buffer.add_string buf
+        (Printf.sprintf "telemetry:\n%-4s %-24s %8s %9s %9s %9s %9s %11s\n"
+           "id" "operator" "n" "p50(ms)" "p95(ms)" "p99(ms)" "max(ms)"
+           "service(us)");
+      Array.iteri
+        (fun v h ->
+          if not (Histogram.is_empty h) then begin
+            let s = Histogram.snapshot h in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "%-4d %-24s %8d %9.3f %9.3f %9.3f %9.3f %11.2f\n" v
+                 (Topology.operator topo v).Operator.name s.Histogram.count
+                 (s.Histogram.p50 *. 1e3) (s.Histogram.p95 *. 1e3)
+                 (s.Histogram.p99 *. 1e3) (s.Histogram.max *. 1e3)
+                 (Histogram.mean report.Telemetry.service.(v) *. 1e6))
+          end)
+        report.Telemetry.latency;
+      Buffer.add_string buf "edges:\n";
+      List.iter
+        (fun (u, v, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> %s: %d tuples\n"
+               (Topology.operator topo u).Operator.name
+               (Topology.operator topo v).Operator.name c))
+        report.Telemetry.edges);
   let pp_vertex ppf = function
     | None -> ()
     | Some v -> Format.fprintf ppf " (vertex %d)" v

@@ -82,6 +82,7 @@ val execute :
   ?timeout:float ->
   ?scheduler:Ss_runtime.Executor.scheduler ->
   ?batch:int ->
+  ?instrument:Ss_runtime.Executor.instrument ->
   unit ->
   Ss_runtime.Executor.metrics
 (** Deploy a version on the supervised actor runtime
@@ -90,12 +91,25 @@ val execute :
     per-actor outcome, and [timeout] bounds the wall-clock run.
     [scheduler] picks the execution model (default: an N:M pool sized to
     the machine; [`Domain_per_actor] restores one domain per actor);
-    [batch] caps messages drained per pooled-actor activation. *)
+    [batch] caps messages drained per pooled-actor activation.
+    [instrument] configures runtime instrumentation in one place —
+    occupancy sampling and telemetry (latency/service histograms and
+    per-edge counters in [metrics.telemetry]). *)
+
+val measured_version :
+  t -> ?version:string -> Ss_runtime.Executor.metrics -> (string, string) result
+(** The measured-profile feedback loop: build the measured twin of a
+    version from an {!execute} run's telemetry
+    ({!Ss_telemetry.Telemetry.measured_topology}) and register it as a new
+    version ["measured-N"]. Analyzing that version re-runs Algorithm 1 on
+    live data. [Error] when the metrics carry no telemetry. *)
 
 val runtime_report : t -> ?version:string -> Ss_runtime.Executor.metrics -> string
 (** Human-readable report of an {!execute} run: outcome line, per-vertex
     consumed/produced counts, backpressure seconds and mean sampled
-    mailbox occupancy, and the per-actor supervision statuses. *)
+    mailbox occupancy, the telemetry section (latency percentiles, mean
+    service time and per-edge transfer counts) when telemetry was on, and
+    the per-actor supervision statuses. *)
 
 val report : t -> ?version:string -> unit -> string
 (** Human-readable analysis report: per-operator table, bottlenecks,

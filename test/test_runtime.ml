@@ -660,28 +660,35 @@ let test_fault_free_run_reports_completed () =
 
 let test_backpressure_is_measured () =
   (* A slow sink behind a tiny mailbox forces the source to block; the
-     blocked-time metric must observe it. *)
-  let slow_sink =
-    Behavior.make ~name:"slow_sink" (fun () t ->
-        Unix.sleepf 0.002;
-        [ t ])
-  in
+     blocked-time metric must observe it under both execution models
+     (wall-clock blocking in [Mailbox.put] for domains, park-to-resume
+     time for pooled tasks). *)
   let t =
     Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
   in
-  let inputs = List.init 100 (fun i -> tuple [| float_of_int i |]) in
-  let m =
-    with_watchdog (fun () ->
-        Executor.run ~mailbox_capacity:1
-          ~source:(Executor.source_of_list inputs)
-          ~registry:(registry_of [ (1, slow_sink) ])
-          t)
-  in
-  Alcotest.(check bool) "finished" true (m.Executor.outcome = Supervision.Finished);
-  Alcotest.(check bool)
-    (Printf.sprintf "source blocked time observed (%.4fs)" m.Executor.blocked.(0))
-    true
-    (m.Executor.blocked.(0) > 0.01)
+  List.iter
+    (fun (name, scheduler) ->
+      let slow_sink =
+        Behavior.make ~name:"slow_sink" (fun () t ->
+            Unix.sleepf 0.002;
+            [ t ])
+      in
+      let inputs = List.init 100 (fun i -> tuple [| float_of_int i |]) in
+      let m =
+        with_watchdog (fun () ->
+            Executor.run ~scheduler ~mailbox_capacity:1
+              ~source:(Executor.source_of_list inputs)
+              ~registry:(registry_of [ (1, slow_sink) ])
+              t)
+      in
+      Alcotest.(check bool) (name ^ ": finished") true
+        (m.Executor.outcome = Supervision.Finished);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: source blocked time observed (%.4fs)" name
+           m.Executor.blocked.(0))
+        true
+        (m.Executor.blocked.(0) > 0.01))
+    [ ("pool", `Pool 2); ("domains", `Domain_per_actor) ]
 
 let test_replicated_source_rejected () =
   let ops = [| Operator.make ~service_time:1e-3 ~replicas:2 "src"; op "s" 0.1 |] in
@@ -855,7 +862,9 @@ let test_sample_occupancy_gating () =
     (fun scheduler ->
       let m =
         with_watchdog (fun () ->
-            Executor.run ~scheduler ~sample_occupancy:false
+            Executor.run ~scheduler
+              ~instrument:
+                { Executor.default_instrument with sample_occupancy = false }
               ~source:
                 (Executor.source_of_fn ~count:200 (fun i ->
                      tuple [| float_of_int i |]))
@@ -986,6 +995,304 @@ let test_equivalence_fused () =
         [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ])
     [ 1; 2; 3; 4 ] ~tuples:600 ~seed:17
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: histogram algebra, scheduler equivalence of the recorded
+   counters, and percentile sanity on a live run *)
+
+module H = Ss_telemetry.Histogram
+
+let test_histogram_buckets () =
+  (* The inclusive upper bound of every bucket lands in that bucket, and
+     anything above it lands in the next. *)
+  Alcotest.(check int) "below base" 0 (H.bucket_index 1e-7);
+  Alcotest.(check int) "at base" 0 (H.bucket_index 1e-6);
+  for i = 1 to H.num_buckets - 2 do
+    let upper = H.bucket_upper i in
+    Alcotest.(check int) (Printf.sprintf "at upper(%d)" i) i
+      (H.bucket_index upper);
+    Alcotest.(check int)
+      (Printf.sprintf "above upper(%d)" i)
+      (i + 1)
+      (H.bucket_index (upper *. 1.001))
+  done;
+  Alcotest.(check int) "overflow bucket" (H.num_buckets - 1)
+    (H.bucket_index 1e9);
+  Alcotest.(check bool) "overflow bound is infinite" true
+    (H.bucket_upper (H.num_buckets - 1) = infinity);
+  (* NaN and negatives are clamped into the first bucket, never dropped:
+     a histogram count must stay in lockstep with the consumed counter. *)
+  let h = H.create () in
+  H.record h (-1.0);
+  H.record h Float.nan;
+  Alcotest.(check int) "clamped count" 2 (H.count h);
+  Alcotest.(check int) "clamped into bucket 0" 2 (H.bucket_counts h).(0)
+
+let random_histogram st n =
+  let h = H.create () in
+  for _ = 1 to n do
+    (* log-uniform over ~9 decades: exercises every bucket region *)
+    H.record h (1e-7 *. (10. ** Random.State.float st 9.0))
+  done;
+  h
+
+let test_histogram_merge_associative () =
+  let st = Random.State.make [| 42 |] in
+  let a = random_histogram st 100 in
+  let b = random_histogram st 57 in
+  let c = random_histogram st 23 in
+  let ab_c = H.merge (H.merge a b) c in
+  let a_bc = H.merge a (H.merge b c) in
+  Alcotest.(check (array int)) "bucket counts associative"
+    (H.bucket_counts ab_c) (H.bucket_counts a_bc);
+  Alcotest.(check int) "count associative" (H.count ab_c) (H.count a_bc);
+  Alcotest.(check (float 1e-9)) "sum associative" (H.sum ab_c) (H.sum a_bc);
+  Alcotest.(check (float 0.0)) "max associative" (H.max_value ab_c)
+    (H.max_value a_bc);
+  Alcotest.(check int) "operands untouched" 100 (H.count a);
+  let into = H.copy a in
+  H.merge_into ~into b;
+  Alcotest.(check (array int)) "merge_into = merge"
+    (H.bucket_counts (H.merge a b))
+    (H.bucket_counts into)
+
+let test_histogram_percentile_monotone () =
+  let st = Random.State.make [| 7 |] in
+  for _trial = 1 to 25 do
+    let h = random_histogram st (1 + Random.State.int st 200) in
+    let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ] in
+    ignore
+      (List.fold_left
+         (fun prev q ->
+           let p = H.percentile h q in
+           Alcotest.(check bool)
+             (Printf.sprintf "p%g >= previous" (100. *. q))
+             true (p >= prev);
+           p)
+         0.0 qs);
+    Alcotest.(check bool) "p100 <= max" true
+      (H.percentile h 1.0 <= H.max_value h)
+  done;
+  Alcotest.(check (float 0.0)) "empty histogram percentile" 0.0
+    (H.percentile (H.create ()) 0.5)
+
+let telemetry_instrument sample =
+  {
+    Executor.sample_occupancy = false;
+    telemetry = true;
+    telemetry_sample = sample;
+  }
+
+let run_telemetry scheduler ?fused ?ordered ?(sample = 1) topo vs ~tuples
+    ~seed =
+  with_watchdog (fun () ->
+      Executor.run ~scheduler ?fused ?ordered ~seed
+        ~instrument:(telemetry_instrument sample)
+        ~source:
+          (Executor.source_of_fn ~count:tuples (fun i ->
+               tuple ~key:i [| float_of_int i |]))
+        ~registry:(identity_registry vs) topo)
+
+let report m = Option.get m.Executor.telemetry
+
+(* Telemetry must not depend on the execution model: identical edge
+   counts under both schedulers, and with [telemetry_sample = 1] the
+   histogram counts track the consumed counters exactly. *)
+let check_telemetry_equivalence ?fused ?ordered ~name build vs ~tuples ~seed
+    =
+  let topo = build () in
+  let src = Topology.source topo in
+  let pool = run_telemetry (`Pool 2) ?fused ?ordered (build ()) vs ~tuples ~seed in
+  let legacy =
+    run_telemetry `Domain_per_actor ?fused ?ordered (build ()) vs ~tuples ~seed
+  in
+  let r_pool = report pool and r_legacy = report legacy in
+  Alcotest.(check (list (triple int int int)))
+    (name ^ ": edge counts, pool = legacy")
+    r_legacy.Ss_telemetry.Telemetry.edges r_pool.Ss_telemetry.Telemetry.edges;
+  List.iter
+    (fun (m, r, side) ->
+      (* every consumed tuple entered over some edge *)
+      let in_flow = Array.make (Topology.size topo) 0 in
+      List.iter
+        (fun (_, v, c) -> in_flow.(v) <- in_flow.(v) + c)
+        r.Ss_telemetry.Telemetry.edges;
+      Array.iteri
+        (fun v c ->
+          if v <> src then begin
+            Alcotest.(check int)
+              (Printf.sprintf "%s: %s in-edge flow of %d" name side v)
+              c in_flow.(v);
+            Alcotest.(check int)
+              (Printf.sprintf "%s: %s latency count of %d" name side v)
+              c
+              (H.count r.Ss_telemetry.Telemetry.latency.(v));
+            Alcotest.(check int)
+              (Printf.sprintf "%s: %s service count of %d" name side v)
+              c
+              (H.count r.Ss_telemetry.Telemetry.service.(v))
+          end)
+        m.Executor.consumed)
+    [ (pool, r_pool, "pool"); (legacy, r_legacy, "legacy") ]
+
+let test_telemetry_equivalence_plain () =
+  check_telemetry_equivalence ~name:"plain"
+    (fun () ->
+      Topology.create_exn
+        [| op "src" 0.01; op "a" 0.01; op "b" 0.01; op "sink" 0.01 |]
+        [ (0, 1, 0.3); (0, 2, 0.7); (1, 3, 1.0); (2, 3, 1.0) ])
+    [ 1; 2; 3 ] ~tuples:600 ~seed:7
+
+let test_telemetry_equivalence_fission () =
+  check_telemetry_equivalence ~name:"fission"
+    (fun () ->
+      Topology.create_exn
+        [|
+          op "src" 0.01;
+          Operator.make ~service_time:1e-5 ~replicas:3 "w";
+          op "s1" 0.01;
+          op "s2" 0.01;
+        |]
+        [ (0, 1, 1.0); (1, 2, 0.4); (1, 3, 0.6) ])
+    [ 1; 2; 3 ] ~tuples:600 ~seed:11
+
+let test_telemetry_equivalence_fused () =
+  check_telemetry_equivalence ~fused:[ [ 1; 2; 3 ] ] ~name:"fused"
+    (fun () ->
+      Topology.create_exn
+        [|
+          op "src" 0.01;
+          op "fe" 0.01;
+          op "l" 0.01;
+          op "r" 0.01;
+          op "sink" 0.01;
+        |]
+        [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ])
+    [ 1; 2; 3; 4 ] ~tuples:600 ~seed:17
+
+let test_telemetry_sampling_ratio () =
+  (* With [telemetry_sample = k] on a single-actor vertex, histogram
+     counts are exactly ceil (consumed / k); edge counters stay exact. *)
+  let build () =
+    Topology.create_exn
+      [| op "src" 0.01; op "a" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let tuples = 100 in
+  let m =
+    run_telemetry (`Pool 2) ~sample:3 (build ()) [ 1; 2 ] ~tuples ~seed:5
+  in
+  let r = report m in
+  let ceil_div a b = (a + b - 1) / b in
+  Array.iteri
+    (fun v c ->
+      if v <> 0 then begin
+        Alcotest.(check int)
+          (Printf.sprintf "sampled latency count of %d" v)
+          (ceil_div c 3)
+          (H.count r.Ss_telemetry.Telemetry.latency.(v));
+        Alcotest.(check int)
+          (Printf.sprintf "sampled service count of %d" v)
+          (ceil_div c 3)
+          (H.count r.Ss_telemetry.Telemetry.service.(v))
+      end)
+    m.Executor.consumed;
+  List.iter
+    (fun (_, _, c) -> Alcotest.(check int) "edges stay exact" tuples c)
+    r.Ss_telemetry.Telemetry.edges
+
+let busy_wait seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ()
+  done
+
+(* A behavior whose service time follows a known skewed distribution:
+   50% 10 us, 45% 100 us, 4% 400 us, 1% 3 ms by tuple key. The service
+   percentiles of the telemetry report must be strictly ordered (the
+   paper's latency plots are meaningless on a degenerate histogram). *)
+let test_telemetry_percentiles scheduler () =
+  let topo =
+    Topology.create_exn
+      [| op "src" 0.15; op "work" 0.1; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let skewed =
+    Behavior.make ~name:"skewed" (fun () t ->
+        let k = t.Tuple.key mod 100 in
+        let us =
+          if k < 50 then 10.0
+          else if k < 95 then 100.0
+          else if k < 99 then 400.0
+          else 3000.0
+        in
+        busy_wait (us *. 1e-6);
+        [ t ])
+  in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run ~scheduler ~instrument:(telemetry_instrument 1)
+          ~source:
+            (Executor.source_of_fn ~count:200 (fun i ->
+                 (* pace the source just above the mean service time so
+                    queueing stays transient and ages reflect the work *)
+                 busy_wait 150e-6;
+                 tuple ~key:i [| float_of_int i |]))
+          ~registry:(registry_of [ (1, skewed); (2, Stateless_ops.identity) ])
+          topo)
+  in
+  Alcotest.(check bool) "finished" true
+    (m.Executor.outcome = Supervision.Finished);
+  let r = report m in
+  let s = H.snapshot r.Ss_telemetry.Telemetry.service.(1) in
+  Alcotest.(check int) "every invocation timed" 200 s.H.count;
+  Alcotest.(check bool)
+    (Printf.sprintf "service p50 %.0fus < p95 %.0fus" (s.H.p50 *. 1e6)
+       (s.H.p95 *. 1e6))
+    true (s.H.p50 < s.H.p95);
+  Alcotest.(check bool)
+    (Printf.sprintf "service p95 %.0fus < p99 %.0fus" (s.H.p95 *. 1e6)
+       (s.H.p99 *. 1e6))
+    true (s.H.p95 < s.H.p99);
+  Alcotest.(check bool) "service p99 <= max" true (s.H.p99 <= s.H.max);
+  let l = H.snapshot r.Ss_telemetry.Telemetry.latency.(2) in
+  Alcotest.(check bool) "latency percentiles ordered" true
+    (l.H.p50 <= l.H.p95 && l.H.p95 <= l.H.p99 && l.H.p99 <= l.H.max);
+  Alcotest.(check bool)
+    (Printf.sprintf "latency non-degenerate (p50 %.0fus, p99 %.0fus)"
+       (l.H.p50 *. 1e6) (l.H.p99 *. 1e6))
+    true
+    (l.H.p50 < l.H.p99)
+
+let test_telemetry_off_is_none () =
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  let m =
+    with_watchdog (fun () ->
+        Executor.run
+          ~source:
+            (Executor.source_of_fn ~count:10 (fun i ->
+                 tuple [| float_of_int i |]))
+          ~registry:(identity_registry [ 1 ])
+          t)
+  in
+  Alcotest.(check bool) "no report by default" true
+    (m.Executor.telemetry = None)
+
+let test_telemetry_sample_validated () =
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  Alcotest.check_raises "zero sample"
+    (Invalid_argument "Executor.run: telemetry_sample must be >= 1")
+    (fun () ->
+      ignore
+        (Executor.run
+           ~instrument:(telemetry_instrument 0)
+           ~source:(Executor.source_of_list [])
+           ~registry:(identity_registry [ 1 ])
+           t))
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "ss_runtime"
@@ -1056,6 +1363,23 @@ let () =
           quick "fission" test_equivalence_fission;
           quick "ordered fission" test_equivalence_ordered_fission;
           quick "fused group" test_equivalence_fused;
+        ] );
+      ( "telemetry",
+        [
+          quick "histogram bucket boundaries" test_histogram_buckets;
+          quick "histogram merge associative" test_histogram_merge_associative;
+          quick "histogram percentiles monotone"
+            test_histogram_percentile_monotone;
+          quick "counters, plain topology" test_telemetry_equivalence_plain;
+          quick "counters, fission" test_telemetry_equivalence_fission;
+          quick "counters, fused group" test_telemetry_equivalence_fused;
+          quick "1-in-k sampling ratio" test_telemetry_sampling_ratio;
+          quick "percentiles non-degenerate (pool)"
+            (test_telemetry_percentiles (`Pool 2));
+          quick "percentiles non-degenerate (domains)"
+            (test_telemetry_percentiles `Domain_per_actor);
+          quick "off by default" test_telemetry_off_is_none;
+          quick "sample ratio validated" test_telemetry_sample_validated;
         ] );
       ( "misc",
         [

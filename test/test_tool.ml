@@ -161,6 +161,55 @@ let test_execute_runtime_report () =
   Alcotest.(check bool) "statuses rendered" true
     (contains ~needle:"completed" report)
 
+let test_measured_feedback_roundtrip () =
+  (* The observability loop closed: execute Fig. 11 with telemetry on the
+     real runtime, fold the measured profiles back into a "measured-N"
+     version, and re-run Algorithm 1 on it. Busy-wait stubs reproduce the
+     declared ms-scale service times within a few percent, so the
+     re-prediction from live data must agree with the original prediction
+     (the paper's premise that profiled and live models coincide at the
+     steady state). *)
+  let s = Session.import (Fixtures.table1 ()) in
+  let predicted = (Session.analyze s ()).Ss_core.Steady_state.throughput in
+  let instrument =
+    {
+      Ss_runtime.Executor.default_instrument with
+      telemetry = true;
+      telemetry_sample = 1;
+    }
+  in
+  let m = Session.execute s ~tuples:150 ~timeout:120.0 ~instrument () in
+  Alcotest.(check bool) "run finished" true
+    (m.Ss_runtime.Executor.outcome = Ss_runtime.Supervision.Finished);
+  match Session.measured_version s m with
+  | Error e -> Alcotest.fail e
+  | Ok version ->
+      Alcotest.(check bool) "registered as a version" true
+        (List.mem version (Session.versions s));
+      Alcotest.(check bool) "named measured-N" true
+        (contains ~needle:"measured" version);
+      let re_predicted =
+        (Session.analyze s ~version ()).Ss_core.Steady_state.throughput
+      in
+      let err = abs_float (re_predicted -. predicted) /. predicted in
+      Alcotest.(check bool)
+        (Printf.sprintf "re-predicted %.1f t/s within 10%% of %.1f t/s"
+           re_predicted predicted)
+        true (err < 0.10);
+      (* the twin carries measured (non-degenerate) service times *)
+      let twin = Session.topology s ~version () in
+      Alcotest.(check bool) "measured service time positive" true
+        ((Topology.operator twin 1).Operator.service_time > 0.0)
+
+let test_measured_version_requires_telemetry () =
+  let s = Session.import (Fixtures.pipeline [ 0.01; 0.01 ]) in
+  let m = Session.execute s ~tuples:50 ~timeout:60.0 () in
+  match Session.measured_version s m with
+  | Ok v -> Alcotest.fail ("unexpected measured version " ^ v)
+  | Error e ->
+      Alcotest.(check bool) "error mentions telemetry" true
+        (contains ~needle:"telemetry" e)
+
 (* ------------------------------------------------------------------ *)
 (* Export *)
 
@@ -254,6 +303,10 @@ let () =
           quick "report content" test_report_content;
           quick "report skips self-comparison" test_report_no_spurious_comparison;
           quick "execute + runtime report" test_execute_runtime_report;
+          quick "measured-profile feedback roundtrip"
+            test_measured_feedback_roundtrip;
+          quick "measured version requires telemetry"
+            test_measured_version_requires_telemetry;
         ] );
       ( "export",
         [
