@@ -409,6 +409,49 @@ let execute_cmd =
                 machine's recommended domain count). Ignored with \
                 --scheduler=domains.")
   in
+  let batch =
+    (* "auto" / "auto:MAX" -> adaptive per-mailbox drains; an integer ->
+       the historical fixed drain cap. *)
+    let parse s =
+      match s with
+      | "auto" -> Ok (`Adaptive 32)
+      | _ -> (
+          match String.index_opt s ':' with
+          | Some i
+            when String.sub s 0 i = "auto" ->
+              let rest = String.sub s (i + 1) (String.length s - i - 1) in
+              (match int_of_string_opt rest with
+              | Some m when m >= 1 -> Ok (`Adaptive m)
+              | _ -> Error (`Msg "expected auto:MAX with MAX >= 1"))
+          | _ -> (
+              match int_of_string_opt s with
+              | Some b when b >= 1 -> Ok (`Fixed b)
+              | _ -> Error (`Msg "expected a positive integer, auto, or auto:MAX")))
+    in
+    let print ppf = function
+      | `Fixed b -> Format.fprintf ppf "%d" b
+      | `Adaptive 32 -> Format.fprintf ppf "auto"
+      | `Adaptive m -> Format.fprintf ppf "auto:%d" m
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (`Adaptive 32)
+      & info [ "batch" ] ~docv:"N|auto"
+          ~doc:"Messages a pooled actor drains per mailbox activation: a \
+                fixed cap $(b,N), or $(b,auto) (default) to size each \
+                mailbox's drain from an EWMA of its observed occupancy \
+                within [1, 32] ($(b,auto:MAX) adjusts the ceiling).")
+  in
+  let channels =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("locking", `Locking) ]) `Auto
+      & info [ "channels" ] ~docv:"MODE"
+          ~doc:"Mailbox implementation: $(b,auto) (default) backs \
+                single-producer/single-consumer edges with a lock-free \
+                SPSC ring and fan-in edges with the locking mailbox; \
+                $(b,locking) forces the locking mailbox everywhere.")
+  in
   let telemetry =
     Arg.(
       value & flag
@@ -433,8 +476,8 @@ let execute_cmd =
           ~doc:"Write the run metrics (telemetry included when on) as JSON \
                 to $(docv).")
   in
-  let run path fused tuples buffer timeout scheduler workers seed telemetry
-      prom_out json_out =
+  let run path fused tuples buffer timeout scheduler workers seed batch
+      channels telemetry prom_out json_out =
     (match timeout with
     | Some limit when limit <= 0.0 ->
         or_die (Error "--timeout must be positive")
@@ -455,7 +498,7 @@ let execute_cmd =
     let session = or_die (load_session path) in
     let metrics =
       Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
-        ?timeout ~scheduler ~seed ~instrument ()
+        ?timeout ~scheduler ~seed ~batch ~channels ~instrument ()
     in
     print_string (Ss_tool.Session.runtime_report session metrics);
     let topology = Ss_tool.Session.topology session () in
@@ -485,7 +528,8 @@ let execute_cmd =
              or the timeout fires.")
     Term.(
       const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
-      $ workers $ seed_arg $ telemetry $ prom_out $ json_out)
+      $ workers $ seed_arg $ batch $ channels $ telemetry $ prom_out
+      $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* place *)

@@ -19,6 +19,8 @@ val program :
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
+  ?batch:Ss_runtime.Executor.batch ->
+  ?channels:Ss_runtime.Executor.channels ->
   ?telemetry:bool ->
   Ss_topology.Topology.t ->
   string
@@ -31,8 +33,11 @@ val program :
     the emitted execution model: [`Pool None] (default) emits an N:M pool
     sized to the deployment machine at run time, [`Pool (Some w)] pins the
     worker count, [`Domains] emits the one-domain-per-actor model.
-    [telemetry] (default [false]) makes the generated program run with
-    telemetry on and print per-vertex latency snapshots. *)
+    [batch] (default [`Adaptive 32]) and [channels] (default [`Auto]) are
+    emitted verbatim as the generated run's drain policy and channel
+    selection, so the program pins its edge-implementation choice
+    explicitly. [telemetry] (default [false]) makes the generated program
+    run with telemetry on and print per-vertex latency snapshots. *)
 
 val dune_stanza : name:string -> string
 (** A dune [executable] stanza for the generated module. *)
@@ -44,6 +49,8 @@ val write_project :
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
+  ?batch:Ss_runtime.Executor.batch ->
+  ?channels:Ss_runtime.Executor.channels ->
   ?telemetry:bool ->
   Ss_topology.Topology.t ->
   unit

@@ -33,6 +33,8 @@ type router = Tuple.t -> int
 type msg = Data of Tuple.t | Timed of Tuple.t * float | Eos
 
 type scheduler = [ `Domain_per_actor | `Pool of int ]
+type batch = [ `Fixed of int | `Adaptive of int ]
+type channels = [ `Auto | `Locking ]
 
 let source_of_list items =
   let rest = ref items in
@@ -65,20 +67,27 @@ let sample_interval = 1e-3
 
 (* How an actor body touches mailboxes, abstracted over the execution
    model. [cput] is a vertex-attributed put that accounts time spent
-   waiting on a full downstream mailbox as blocked/parked time. [creader]
-   builds a per-mailbox reader closure; the pool version drains a batch
-   per activation into a local buffer to amortize scheduling cost, the
-   legacy version is a plain blocking [Mailbox.take]. Both raise
-   {!Mailbox.Closed} on a poisoned mailbox, preserving the supervision
-   protocol identically in both modes. *)
+   waiting on a full downstream mailbox as blocked/parked time;
+   [cput_batch] is its multi-item form, publishing a burst in amortized
+   mailbox transactions. [creader] builds a per-mailbox reader closure;
+   the pool version drains a batch per activation into a reusable buffer
+   to amortize scheduling cost, the legacy version is a plain blocking
+   [Mailbox.take]. [cburst] is the burst-granular reader used by fission
+   emitters: it returns a non-empty buffer of messages valid until the
+   next call, so the emitter can route a whole drain and republish it
+   with [cput_batch]. All raise {!Mailbox.Closed} on a poisoned mailbox,
+   preserving the supervision protocol identically in both modes. *)
 type ctx = {
   cput : 'a. int -> 'a Mailbox.t -> 'a -> unit;
+  cput_batch : 'a. int -> 'a Mailbox.t -> 'a list -> unit;
   creader : 'a. 'a Mailbox.t -> unit -> 'a;
+  cburst : 'a. 'a Mailbox.t -> unit -> 'a Queue.t;
 }
 
 let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ?timeout ?scheduler ?(batch = 32)
-    ?(instrument = default_instrument) ~source ~registry topology =
+    ?(seed = 42) ?timeout ?scheduler ?(batch = `Adaptive 32)
+    ?(channels = `Auto) ?(instrument = default_instrument) ~source ~registry
+    topology =
   let scheduler =
     match scheduler with
     | Some (`Pool w) when w < 1 ->
@@ -86,7 +95,27 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     | Some s -> s
     | None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
   in
-  if batch < 1 then invalid_arg "Executor.run: batch must be >= 1";
+  (match batch with
+  | `Fixed b | `Adaptive b ->
+      if b < 1 then invalid_arg "Executor.run: batch must be >= 1");
+  (* Cap on messages drained per activation; the adaptive policy moves
+     within [1, batch_max], a fixed policy always drains up to it. *)
+  let batch_max = match batch with `Fixed b | `Adaptive b -> b in
+  (* Per-mailbox drain-size policy. Fixed: always offer the full cap.
+     Adaptive: an EWMA of the occupancy observed at each activation
+     (returned by [Mailbox.take_batch] at no extra cost) sets the next
+     drain size — deep queues earn big drains, near-empty latency-bound
+     edges drain one or two and yield. *)
+  let new_drain () =
+    match batch with
+    | `Fixed b -> ((fun () -> b), fun _occ -> ())
+    | `Adaptive bmax ->
+        let ewma = ref 1.0 in
+        ( (fun () ->
+            let w = int_of_float (Float.ceil !ewma) in
+            if w < 1 then 1 else if w > bmax then bmax else w),
+          fun occ -> ewma := (0.75 *. !ewma) +. (0.25 *. float_of_int occ) )
+  in
   if instrument.telemetry_sample < 1 then
     invalid_arg "Executor.run: telemetry_sample must be >= 1";
   let n = Topology.size topology in
@@ -125,27 +154,46 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
   let entry_vertex v = if group_of.(v) >= 0 then fronts.(group_of.(v)) else v in
   let is_entry v = v <> src && entry_vertex v = v in
   let sup = Supervision.create () in
-  let new_mailbox () =
-    let mb = Mailbox.create ~capacity:mailbox_capacity in
+  (* Expected end-of-stream markers per entry vertex: one per distinct
+     upstream unit. This doubles as the channel-selection fan-in count:
+     every deployed unit publishes into a given mailbox from exactly one
+     actor (the unit itself, its collector, or its meta-operator), so an
+     entry mailbox with one distinct upstream unit has exactly one
+     producer. *)
+  let expected_eos v =
+    Topology.preds topology v
+    |> List.map (fun (u, _) -> entry_vertex u)
+    |> List.sort_uniq compare |> List.length
+  in
+  (* Channel selection is static, from the topology: an edge with a single
+     producing actor and a single consuming actor gets the lock-free SPSC
+     ring; fan-in edges (multi-predecessor entries, fission merge points)
+     keep the locking MPSC mailbox. A unit's fan-out never matters: each
+     out-edge targets a distinct mailbox, so fan-out does not add
+     producers to any one of them. [`Locking] forces the locking
+     implementation everywhere (for differential benchmarks). *)
+  let new_mailbox ~spsc () =
+    let mb =
+      if spsc && channels = `Auto then
+        Mailbox.create_spsc ~capacity:mailbox_capacity
+      else Mailbox.create ~capacity:mailbox_capacity
+    in
     Supervision.register_closer sup (fun () -> Mailbox.close mb);
     mb
   in
-  (* One entry mailbox per deployed unit. *)
+  (* One entry mailbox per deployed unit; SPSC when a single upstream unit
+     feeds it. Replicated units consume it through their (single) emitter,
+     fused groups through their (single) meta-actor, so the consumer side
+     is always one actor. *)
   let entry_mailbox = Array.make n None in
   for v = 0 to n - 1 do
-    if is_entry v then entry_mailbox.(v) <- Some (new_mailbox ())
+    if is_entry v then
+      entry_mailbox.(v) <- Some (new_mailbox ~spsc:(expected_eos v = 1) ())
   done;
   let mailbox_of v =
     match entry_mailbox.(entry_vertex v) with
     | Some mb -> mb
     | None -> assert false
-  in
-  (* Expected end-of-stream markers per entry vertex: one per distinct
-     upstream unit. *)
-  let expected_eos v =
-    Topology.preds topology v
-    |> List.map (fun (u, _) -> entry_vertex u)
-    |> List.sort_uniq compare |> List.length
   in
   let consumed = Array.init n (fun _ -> Atomic.make 0) in
   let produced = Array.init n (fun _ -> Atomic.make 0) in
@@ -188,6 +236,15 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     in
     if not (Mailbox.try_put mb x) then go ()
   in
+  (* Multi-item publish under the pool: park-and-retry on the unplaced
+     suffix until the whole burst is in. *)
+  let sched_put_batch mb xs =
+    let rec go xs =
+      Ss_sched.Sched.suspend ~register:(Mailbox.on_space mb);
+      match Mailbox.try_put_chunk mb xs with [] -> () | rest -> go rest
+    in
+    go xs
+  in
   let ctx =
     match scheduler with
     | `Domain_per_actor ->
@@ -199,7 +256,26 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                 Mailbox.put mb x;
                 add_blocked v (Unix.gettimeofday () -. t0)
               end);
+          cput_batch =
+            (fun v mb xs ->
+              match Mailbox.try_put_chunk mb xs with
+              | [] -> ()
+              | rest ->
+                  let t0 = Unix.gettimeofday () in
+                  Mailbox.put_batch mb rest;
+                  add_blocked v (Unix.gettimeofday () -. t0));
           creader = (fun mb () -> Mailbox.take mb);
+          cburst =
+            (fun mb ->
+              let buf = Queue.create () in
+              fun () ->
+                Queue.clear buf;
+                (* One blocking take for the head of the burst, then a
+                   non-blocking drain of whatever else is already there. *)
+                Queue.push (Mailbox.take mb) buf;
+                if batch_max > 1 then
+                  ignore (Mailbox.take_batch mb ~max:(batch_max - 1) ~into:buf);
+                buf);
         }
     | `Pool _ ->
         {
@@ -210,22 +286,45 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                 sched_put mb x;
                 add_blocked v (Unix.gettimeofday () -. t0)
               end);
+          cput_batch =
+            (fun v mb xs ->
+              match Mailbox.try_put_chunk mb xs with
+              | [] -> ()
+              | rest ->
+                  let t0 = Unix.gettimeofday () in
+                  sched_put_batch mb rest;
+                  add_blocked v (Unix.gettimeofday () -. t0));
           creader =
             (fun mb ->
               let buf = Queue.create () in
+              let want, observe = new_drain () in
               let rec next () =
                 match Queue.take_opt buf with
                 | Some x -> x
-                | None -> (
-                    match Mailbox.take_batch mb ~max:batch with
-                    | [] ->
-                        Ss_sched.Sched.suspend ~register:(Mailbox.on_item mb);
-                        next ()
-                    | xs ->
-                        List.iter (fun x -> Queue.push x buf) xs;
-                        next ())
+                | None ->
+                    observe (Mailbox.take_batch mb ~max:(want ()) ~into:buf);
+                    if Queue.is_empty buf then begin
+                      Ss_sched.Sched.suspend ~register:(Mailbox.on_item mb);
+                      next ()
+                    end
+                    else next ()
               in
               next);
+          cburst =
+            (fun mb ->
+              let buf = Queue.create () in
+              let want, observe = new_drain () in
+              let rec fill () =
+                observe (Mailbox.take_batch mb ~max:(want ()) ~into:buf);
+                if Queue.is_empty buf then begin
+                  Ss_sched.Sched.suspend ~register:(Mailbox.on_item mb);
+                  fill ()
+                end
+              in
+              fun () ->
+                Queue.clear buf;
+                fill ();
+                buf);
         }
   in
   let put_from v mb x = ctx.cput v mb x in
@@ -389,20 +488,40 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
            worker queues in the same round-robin order, reconstructing the
            exact arrival order. *)
         let replicas = op.Operator.replicas in
-        let worker_mb = Array.init replicas (fun _ -> new_mailbox ()) in
+        (* Emitter -> worker and worker -> collector channels each have one
+           producer and one consumer, so they ride the SPSC ring. *)
+        let worker_mb = Array.init replicas (fun _ -> new_mailbox ~spsc:true ()) in
         (* Each entry is one input's batch of results paired with that
            input's birth time; [None] is the worker's end marker. *)
-        let out_mb = Array.init replicas (fun _ -> new_mailbox ()) in
+        let out_mb = Array.init replicas (fun _ -> new_mailbox ~spsc:true ()) in
         add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
-            let next = ctx.creader inbox in
+            let next = ctx.cburst inbox in
             let eos = ref 0 in
             let rr = ref 0 in
+            (* Route a whole input burst, bucketing per worker, then flush
+               each bucket in one amortized mailbox transaction. The strict
+               round-robin deal (and thus the collector's reassembly order)
+               is untouched: bucketing only batches the publication, the
+               per-worker subsequences stay in deal order. *)
+            let buckets = Array.make replicas [] in
             while !eos < expected do
-              match next () with
-              | Eos -> incr eos
-              | (Data _ | Timed _) as m ->
-                  put_from v worker_mb.(!rr mod replicas) m;
-                  incr rr
+              let burst = next () in
+              Queue.iter
+                (fun m ->
+                  match m with
+                  | Eos -> incr eos
+                  | Data _ | Timed _ ->
+                      let r = !rr mod replicas in
+                      incr rr;
+                      buckets.(r) <- m :: buckets.(r))
+                burst;
+              for r = 0 to replicas - 1 do
+                match buckets.(r) with
+                | [] -> ()
+                | acc ->
+                    buckets.(r) <- [];
+                    ctx.cput_batch v worker_mb.(r) (List.rev acc)
+              done
             done;
             Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         for r = 0 to replicas - 1 do
@@ -457,10 +576,14 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
               (eos_targets (external_succs v)))
       end
       else begin
-        (* Parallel operator: emitter, replicas, collector (§4.2). *)
+        (* Parallel operator: emitter, replicas, collector (§4.2). The
+           emitter->worker channels are SPSC (one producer: the emitter;
+           one consumer: that worker); the collector mailbox is the fission
+           merge point — every worker publishes into it — so it stays on
+           the locking MPSC implementation. *)
         let replicas = op.Operator.replicas in
-        let worker_mb = Array.init replicas (fun _ -> new_mailbox ()) in
-        let collector_mb = new_mailbox () in
+        let worker_mb = Array.init replicas (fun _ -> new_mailbox ~spsc:true ()) in
+        let collector_mb = new_mailbox ~spsc:false () in
         let route_to_replica =
           match op.Operator.kind with
           | Operator.Partitioned_stateful keys ->
@@ -472,18 +595,34 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
           | Operator.Stateless | Operator.Stateful ->
               fun _ rr -> rr mod replicas
         in
-        (* emitter *)
+        (* emitter — burst-granular like the ordered one: route the whole
+           drain into per-worker buckets, publish each with one amortized
+           transaction. Routing is positional (per-vertex arrival ordinal)
+           or key-based, so bucketing changes neither the assignment nor
+           any per-worker order. *)
         add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
-            let next = ctx.creader inbox in
+            let next = ctx.cburst inbox in
             let eos = ref 0 in
             let rr = ref 0 in
+            let buckets = Array.make replicas [] in
             while !eos < expected do
-              match next () with
-              | Eos -> incr eos
-              | (Data t | Timed (t, _)) as m ->
-                  let r = route_to_replica t !rr in
-                  incr rr;
-                  put_from v worker_mb.(r) m
+              let burst = next () in
+              Queue.iter
+                (fun m ->
+                  match m with
+                  | Eos -> incr eos
+                  | Data t | Timed (t, _) ->
+                      let r = route_to_replica t !rr in
+                      incr rr;
+                      buckets.(r) <- m :: buckets.(r))
+                burst;
+              for r = 0 to replicas - 1 do
+                match buckets.(r) with
+                | [] -> ()
+                | acc ->
+                    buckets.(r) <- [];
+                    ctx.cput_batch v worker_mb.(r) (List.rev acc)
+              done
             done;
             Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         (* workers *)

@@ -111,6 +111,28 @@ type scheduler = [ `Domain_per_actor | `Pool of int ]
     worker domains; [`Domain_per_actor] spawns one domain per actor and is
     limited to ~110 actors by the OCaml domain budget. *)
 
+type batch = [ `Fixed of int | `Adaptive of int ]
+(** Drain policy for pooled-actor mailbox activations. [`Fixed b] always
+    offers to drain up to [b] messages. [`Adaptive batch_max] (the
+    default, with [batch_max = 32]) sizes each mailbox's drain from an
+    EWMA of the occupancy observed at its activations, within
+    [\[1, batch_max\]]: deep queues earn big amortized drains, near-empty
+    latency-sensitive edges drain small and yield. The policy only caps
+    how much an activation {e offers} to drain; counts and routing are
+    unaffected, so metrics stay scheduler- and policy-independent. *)
+
+type channels = [ `Auto | `Locking ]
+(** Mailbox implementation selection. [`Auto] (the default) statically
+    assigns each channel from the topology: an edge with exactly one
+    producing actor and one consuming actor — an entry mailbox fed by a
+    single upstream unit, or a fission-internal emitter->worker /
+    worker->collector(ordered) channel — gets the lock-free SPSC ring
+    ({!Spsc_ring}); fan-in edges (multi-predecessor entries and fission
+    merge points) keep the locking MPSC mailbox. [`Locking] forces the
+    locking implementation everywhere, for differential benchmarks. Both
+    implementations share the close/poison, batching and occupancy
+    behavior, so the choice is invisible to everything but throughput. *)
+
 val run :
   ?mailbox_capacity:int ->
   ?fused:int list list ->
@@ -119,7 +141,8 @@ val run :
   ?seed:int ->
   ?timeout:float ->
   ?scheduler:scheduler ->
-  ?batch:int ->
+  ?batch:batch ->
+  ?channels:channels ->
   ?instrument:instrument ->
   source:(unit -> Ss_operators.Tuple.t option) ->
   registry:(int -> Ss_operators.Behavior.t) ->
@@ -142,8 +165,9 @@ val run :
     cooperative (it takes effect when an actor next touches a mailbox).
 
     [scheduler] picks the execution model (default [`Pool] sized to the
-    machine). [batch] (default 32) caps how many messages a pooled actor
-    drains per mailbox activation. [instrument] (default
+    machine). [batch] (default [`Adaptive 32]) sets the per-activation
+    drain policy of pooled actors; [channels] (default [`Auto]) selects
+    the mailbox implementation per edge. [instrument] (default
     {!default_instrument}) selects runtime instrumentation: occupancy
     sampling and/or telemetry recording; when occupancy sampling is off no
     monitor domain is spawned in [`Domain_per_actor] mode and the pool

@@ -1,6 +1,10 @@
-exception Closed
+(* Both implementations raise physically the same exception so callers —
+   and the supervision protocol — never care which one backs an edge. *)
+exception Closed = Spsc_ring.Closed
 
-type 'a t = {
+(* --- locking MPSC implementation ---------------------------------- *)
+
+type 'a locking = {
   capacity : int;
   queue : 'a Queue.t;
   mutex : Mutex.t;
@@ -14,8 +18,7 @@ type 'a t = {
   mutable closed : bool;
 }
 
-let create ~capacity =
-  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+let create_lk ~capacity =
   {
     capacity;
     queue = Queue.create ();
@@ -26,8 +29,6 @@ let create ~capacity =
     item_waiters = Queue.create ();
     closed = false;
   }
-
-let capacity t = t.capacity
 
 (* Every operation holds the mutex inside [Fun.protect] so an exception on
    any path — including the deliberate [Closed] raise — releases the lock
@@ -58,7 +59,7 @@ let signal_space t =
   Condition.signal t.not_full;
   drain t.space_waiters
 
-let put t x =
+let put_lk t x =
   locked_wake t (fun () ->
       while (not t.closed) && Queue.length t.queue >= t.capacity do
         Condition.wait t.not_full t.mutex
@@ -67,7 +68,7 @@ let put t x =
       Queue.push x t.queue;
       ((), signal_item t))
 
-let take t =
+let take_lk t =
   locked_wake t (fun () ->
       while (not t.closed) && Queue.is_empty t.queue do
         Condition.wait t.not_empty t.mutex
@@ -76,7 +77,7 @@ let take t =
       let x = Queue.pop t.queue in
       (x, signal_space t))
 
-let try_put t x =
+let try_put_lk t x =
   locked_wake t (fun () ->
       if t.closed then raise Closed;
       let ok = Queue.length t.queue < t.capacity in
@@ -86,7 +87,7 @@ let try_put t x =
       end
       else (ok, []))
 
-let try_take t =
+let try_take_lk t =
   locked_wake t (fun () ->
       if t.closed then raise Closed;
       if Queue.is_empty t.queue then (None, [])
@@ -94,22 +95,64 @@ let try_take t =
         let x = Queue.pop t.queue in
         (Some x, signal_space t))
 
-let take_batch t ~max =
-  if max < 1 then invalid_arg "Mailbox.take_batch: max must be >= 1";
+(* Multi-item publish in one lock round-trip: push while capacity lasts,
+   hand back the suffix that did not fit (physically shared — no
+   allocation). *)
+let try_put_chunk_lk t xs =
   locked_wake t (fun () ->
       if t.closed then raise Closed;
-      let n = Stdlib.min max (Queue.length t.queue) in
-      let rec grab acc k =
-        if k = 0 then List.rev acc else grab (Queue.pop t.queue :: acc) (k - 1)
+      let rec fill = function
+        | x :: rest when Queue.length t.queue < t.capacity ->
+            Queue.push x t.queue;
+            fill rest
+        | rest -> rest
       in
-      let xs = grab [] n in
+      let n0 = Queue.length t.queue in
+      let rest = fill xs in
+      if Queue.length t.queue > n0 then begin
+        Condition.broadcast t.not_empty;
+        (rest, drain t.item_waiters)
+      end
+      else (rest, []))
+
+let put_batch_lk t xs =
+  let rec go = function
+    | [] -> ()
+    | xs ->
+        locked_wake t (fun () ->
+            while (not t.closed) && Queue.length t.queue >= t.capacity do
+              Condition.wait t.not_full t.mutex
+            done;
+            if t.closed then raise Closed;
+            let rec fill = function
+              | x :: rest when Queue.length t.queue < t.capacity ->
+                  Queue.push x t.queue;
+                  fill rest
+              | rest -> rest
+            in
+            let rest = fill xs in
+            (rest, (Condition.broadcast t.not_empty; drain t.item_waiters)))
+        |> go
+  in
+  go xs
+
+let take_batch_lk t ~max ~into =
+  locked_wake t (fun () ->
+      if t.closed then raise Closed;
+      let avail = Queue.length t.queue in
+      let n = Stdlib.min max avail in
+      if n = avail then Queue.transfer t.queue into
+      else
+        for _ = 1 to n do
+          Queue.push (Queue.pop t.queue) into
+        done;
       if n > 0 then begin
         Condition.broadcast t.not_full;
-        (xs, drain t.space_waiters)
+        (avail, drain t.space_waiters)
       end
-      else (xs, []))
+      else (avail, []))
 
-let on_space t k =
+let on_space_lk t k =
   locked t (fun () ->
       if t.closed || Queue.length t.queue < t.capacity then false
       else begin
@@ -117,7 +160,7 @@ let on_space t k =
         true
       end)
 
-let on_item t k =
+let on_item_lk t k =
   locked t (fun () ->
       if t.closed || not (Queue.is_empty t.queue) then false
       else begin
@@ -125,9 +168,9 @@ let on_item t k =
         true
       end)
 
-let length t = locked t (fun () -> Queue.length t.queue)
+let length_lk t = locked t (fun () -> Queue.length t.queue)
 
-let close t =
+let close_lk t =
   locked_wake t (fun () ->
       if not t.closed then begin
         t.closed <- true;
@@ -138,4 +181,76 @@ let close t =
       end
       else ((), []))
 
-let is_closed t = locked t (fun () -> t.closed)
+let is_closed_lk t = locked t (fun () -> t.closed)
+
+(* --- facade ------------------------------------------------------- *)
+
+type 'a t = Locking of 'a locking | Spsc of 'a Spsc_ring.t
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  Locking (create_lk ~capacity)
+
+let create_spsc ~capacity =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  Spsc (Spsc_ring.create ~capacity)
+
+let is_spsc = function Locking _ -> false | Spsc _ -> true
+
+let capacity = function
+  | Locking t -> t.capacity
+  | Spsc r -> Spsc_ring.capacity r
+
+let put m x =
+  match m with Locking t -> put_lk t x | Spsc r -> Spsc_ring.put r x
+
+let take = function Locking t -> take_lk t | Spsc r -> Spsc_ring.take r
+
+let try_put m x =
+  match m with Locking t -> try_put_lk t x | Spsc r -> Spsc_ring.try_put r x
+
+let try_take = function
+  | Locking t -> try_take_lk t
+  | Spsc r -> Spsc_ring.try_take r
+
+let try_put_chunk m xs =
+  match xs with
+  | [] -> []
+  | _ -> (
+      match m with
+      | Locking t -> try_put_chunk_lk t xs
+      | Spsc r -> Spsc_ring.try_put_chunk r xs)
+
+let put_batch m xs =
+  match xs with
+  | [] -> ()
+  | _ -> (
+      match m with
+      | Locking t -> put_batch_lk t xs
+      | Spsc r -> Spsc_ring.put_batch r xs)
+
+let take_batch m ~max ~into =
+  if max < 1 then invalid_arg "Mailbox.take_batch: max must be >= 1";
+  match m with
+  | Locking t -> take_batch_lk t ~max ~into
+  | Spsc r -> Spsc_ring.take_batch r ~max ~into
+
+let on_space m k =
+  match m with
+  | Locking t -> on_space_lk t k
+  | Spsc r -> Spsc_ring.on_space r k
+
+let on_item m k =
+  match m with
+  | Locking t -> on_item_lk t k
+  | Spsc r -> Spsc_ring.on_item r k
+
+let length = function
+  | Locking t -> length_lk t
+  | Spsc r -> Spsc_ring.length r
+
+let close = function Locking t -> close_lk t | Spsc r -> Spsc_ring.close r
+
+let is_closed = function
+  | Locking t -> is_closed_lk t
+  | Spsc r -> Spsc_ring.is_closed r

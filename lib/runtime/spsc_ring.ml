@@ -1,0 +1,262 @@
+exception Closed
+
+(* Lamport/Vyukov SPSC ring. [head] is the next slot to consume, [tail]
+   the next to fill; both grow monotonically (63-bit counters never wrap
+   in practice) and are published through [Atomic], which under the OCaml
+   memory model gives the release/acquire pairing that makes the plain
+   slot write visible to the reader of the index. Each side additionally
+   caches its last view of the opposite index ([cached_head] is touched
+   only by the producer, [cached_tail] only by the consumer), so in the
+   common case an operation reads one atomic it owns and refreshes the
+   cache only when the cached view says the ring looks full/empty.
+
+   Slots hold [Obj.t] with a unique out-of-band sentinel [nil] marking an
+   empty slot: values are stored with [Obj.repr] directly, avoiding a
+   [Some]-box per enqueue on the hot path. The array is created from a
+   heap-allocated sentinel, so it is a regular (boxed) array even when
+   ['a = float] and the representation is uniform throughout.
+
+   The waiter lock serializes only the slow path: parked-waiter
+   registration, the blocking put/take park, and close. The fast path
+   skips it entirely — a successful publish checks a single [Atomic]
+   flag and takes the lock only when the opposite side is actually
+   parked. The no-lost-wakeup argument is in [on_item] below. *)
+type 'a t = {
+  mask : int; (* slot-array length - 1; power of two *)
+  buf : Obj.t array;
+  capacity : int; (* requested bound, honored exactly (<= mask+1) *)
+  head : int Atomic.t;
+  tail : int Atomic.t;
+  mutable cached_head : int; (* producer-private *)
+  mutable cached_tail : int; (* consumer-private *)
+  closed : bool Atomic.t;
+  (* True while the corresponding waiter queue may be non-empty; lets a
+     publish skip the waiter lock when nobody is parked. *)
+  item_waiting : bool Atomic.t;
+  space_waiting : bool Atomic.t;
+  wlock : Mutex.t;
+  wcond : Condition.t; (* blocking put/take park on this *)
+  item_waiters : (unit -> unit) Queue.t;
+  space_waiters : (unit -> unit) Queue.t;
+}
+
+let nil : Obj.t = Obj.repr (ref ())
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity must be >= 1";
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let slots = pow2 1 in
+  {
+    mask = slots - 1;
+    buf = Array.make slots nil;
+    capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    cached_head = 0;
+    cached_tail = 0;
+    closed = Atomic.make false;
+    item_waiting = Atomic.make false;
+    space_waiting = Atomic.make false;
+    wlock = Mutex.create ();
+    wcond = Condition.create ();
+    item_waiters = Queue.create ();
+    space_waiters = Queue.create ();
+  }
+
+let capacity t = t.capacity
+let is_closed t = Atomic.get t.closed
+
+let length t =
+  if Atomic.get t.closed then 0
+  else
+    let d = Atomic.get t.tail - Atomic.get t.head in
+    if d < 0 then 0 else d
+
+let drain_waiters q =
+  let ws = List.of_seq (Queue.to_seq q) in
+  Queue.clear q;
+  ws
+
+(* Drain one waiter queue under the lock, invoke outside it (a resumed
+   task may touch the ring — or this very lock — immediately). *)
+let wake t flag q =
+  Mutex.lock t.wlock;
+  Atomic.set flag false;
+  let ws = drain_waiters q in
+  Mutex.unlock t.wlock;
+  List.iter (fun k -> k ()) ws
+
+let wake_item t = wake t t.item_waiting t.item_waiters
+let wake_space t = wake t t.space_waiting t.space_waiters
+
+let try_put t x =
+  if Atomic.get t.closed then raise Closed;
+  let tail = Atomic.get t.tail in
+  let free = t.capacity - (tail - t.cached_head) in
+  let free =
+    if free > 0 then free
+    else begin
+      t.cached_head <- Atomic.get t.head;
+      t.capacity - (tail - t.cached_head)
+    end
+  in
+  if free <= 0 then false
+  else begin
+    t.buf.(tail land t.mask) <- Obj.repr x;
+    Atomic.set t.tail (tail + 1);
+    if Atomic.get t.item_waiting then wake_item t;
+    true
+  end
+
+let try_take t =
+  if Atomic.get t.closed then raise Closed;
+  let head = Atomic.get t.head in
+  let avail = t.cached_tail - head in
+  let avail =
+    if avail > 0 then avail
+    else begin
+      t.cached_tail <- Atomic.get t.tail;
+      t.cached_tail - head
+    end
+  in
+  if avail <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.buf.(i) in
+    t.buf.(i) <- nil;
+    Atomic.set t.head (head + 1);
+    if Atomic.get t.space_waiting then wake_space t;
+    Some (Obj.obj x)
+  end
+
+let try_put_chunk t xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      if Atomic.get t.closed then raise Closed;
+      let tail = Atomic.get t.tail in
+      t.cached_head <- Atomic.get t.head;
+      let free = t.capacity - (tail - t.cached_head) in
+      if free <= 0 then xs
+      else begin
+        let rec fill i xs =
+          if i >= free then (i, xs)
+          else
+            match xs with
+            | [] -> (i, [])
+            | x :: rest ->
+                t.buf.((tail + i) land t.mask) <- Obj.repr x;
+                fill (i + 1) rest
+        in
+        let n, rest = fill 0 xs in
+        Atomic.set t.tail (tail + n);
+        if Atomic.get t.item_waiting then wake_item t;
+        rest
+      end
+
+let take_batch t ~max ~into =
+  if max < 1 then invalid_arg "Spsc_ring.take_batch: max must be >= 1";
+  if Atomic.get t.closed then raise Closed;
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  t.cached_tail <- tail;
+  let avail = tail - head in
+  let n = if avail < max then avail else max in
+  for k = 0 to n - 1 do
+    let i = (head + k) land t.mask in
+    Queue.push (Obj.obj t.buf.(i)) into;
+    t.buf.(i) <- nil
+  done;
+  if n > 0 then begin
+    Atomic.set t.head (head + n);
+    if Atomic.get t.space_waiting then wake_space t
+  end;
+  avail
+
+(* Registration raises the waiter flag {e before} re-checking the
+   emptiness/fullness condition, both under the waiter lock; a publish
+   writes its index {e before} reading the flag. [Atomic] operations are
+   sequentially consistent, so if the re-check here missed the publish,
+   the publisher's flag read is ordered after our flag write and sees it —
+   the publisher then takes the lock (serializing with this registration)
+   and fires the callback. Either way no wakeup is lost. *)
+let on_item t k =
+  if Atomic.get t.closed then false
+  else begin
+    Mutex.lock t.wlock;
+    Atomic.set t.item_waiting true;
+    let park =
+      (not (Atomic.get t.closed))
+      && Atomic.get t.tail - Atomic.get t.head = 0
+    in
+    if park then Queue.push k t.item_waiters
+    else if Queue.is_empty t.item_waiters then Atomic.set t.item_waiting false;
+    Mutex.unlock t.wlock;
+    park
+  end
+
+let on_space t k =
+  if Atomic.get t.closed then false
+  else begin
+    Mutex.lock t.wlock;
+    Atomic.set t.space_waiting true;
+    let park =
+      (not (Atomic.get t.closed))
+      && Atomic.get t.tail - Atomic.get t.head >= t.capacity
+    in
+    if park then Queue.push k t.space_waiters
+    else if Queue.is_empty t.space_waiters then Atomic.set t.space_waiting false;
+    Mutex.unlock t.wlock;
+    park
+  end
+
+(* Blocking slow path, built on the parking hooks: register a callback
+   that flips a flag under the waiter lock and broadcasts; close fires
+   registered callbacks, so a blocked side wakes and re-observes Closed.
+   Both sides share [wcond] — a broadcast may wake the other side too,
+   which just re-checks its own flag and sleeps again. *)
+let block_on t register =
+  let signaled = ref false in
+  let k () =
+    Mutex.lock t.wlock;
+    signaled := true;
+    Condition.broadcast t.wcond;
+    Mutex.unlock t.wlock
+  in
+  if register k then begin
+    Mutex.lock t.wlock;
+    while not !signaled do
+      Condition.wait t.wcond t.wlock
+    done;
+    Mutex.unlock t.wlock
+  end
+
+let rec put t x =
+  if not (try_put t x) then begin
+    block_on t (on_space t);
+    put t x
+  end
+
+let rec take t =
+  match try_take t with
+  | Some x -> x
+  | None ->
+      block_on t (on_item t);
+      take t
+
+let rec put_batch t xs =
+  match try_put_chunk t xs with
+  | [] -> ()
+  | rest ->
+      block_on t (on_space t);
+      put_batch t rest
+
+let close t =
+  Mutex.lock t.wlock;
+  Atomic.set t.closed true;
+  Atomic.set t.item_waiting false;
+  Atomic.set t.space_waiting false;
+  let ws = drain_waiters t.item_waiters @ drain_waiters t.space_waiters in
+  Condition.broadcast t.wcond;
+  Mutex.unlock t.wlock;
+  List.iter (fun k -> k ()) ws

@@ -81,7 +81,8 @@ val execute :
   ?tuples:int ->
   ?timeout:float ->
   ?scheduler:Ss_runtime.Executor.scheduler ->
-  ?batch:int ->
+  ?batch:Ss_runtime.Executor.batch ->
+  ?channels:Ss_runtime.Executor.channels ->
   ?instrument:Ss_runtime.Executor.instrument ->
   unit ->
   Ss_runtime.Executor.metrics
@@ -91,7 +92,10 @@ val execute :
     per-actor outcome, and [timeout] bounds the wall-clock run.
     [scheduler] picks the execution model (default: an N:M pool sized to
     the machine; [`Domain_per_actor] restores one domain per actor);
-    [batch] caps messages drained per pooled-actor activation.
+    [batch] sets the drain policy of pooled-actor activations (default
+    [`Adaptive 32]: per-mailbox occupancy-driven drain sizes); [channels]
+    (default [`Auto]) backs single-producer/single-consumer edges with the
+    lock-free SPSC ring and fan-in edges with the locking mailbox.
     [instrument] configures runtime instrumentation in one place —
     occupancy sampling and telemetry (latency/service histograms and
     per-edge counters in [metrics.telemetry]). *)

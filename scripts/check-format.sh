@@ -1,0 +1,35 @@
+#!/bin/sh
+# Formatting gate, runnable locally and in CI.
+#
+# When an ocamlformat setup is present (a .ocamlformat file and the binary
+# on PATH) this defers to `dune build @fmt`. The development container does
+# not ship ocamlformat, so the fallback enforces the conventions the tree
+# actually follows and that any formatter would preserve: no tab
+# characters, no trailing whitespace, every tracked source file terminated
+# by a newline.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ -f .ocamlformat ] && command -v ocamlformat >/dev/null 2>&1; then
+  exec dune build @fmt
+fi
+
+tab=$(printf '\t')
+status=0
+for f in $(git ls-files '*.ml' '*.mli' '*.md' '*.sh' '*dune*' '*.yml'); do
+  if grep -qn "$tab" "$f"; then
+    echo "format: tab character in $f" >&2
+    grep -n "$tab" "$f" | head -3 >&2
+    status=1
+  fi
+  if grep -qn "[ $tab]\$" "$f"; then
+    echo "format: trailing whitespace in $f" >&2
+    grep -n "[ $tab]\$" "$f" | head -3 >&2
+    status=1
+  fi
+  if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+    echo "format: missing final newline in $f" >&2
+    status=1
+  fi
+done
+exit $status

@@ -13,8 +13,19 @@ let op ?kind ?output_selectivity name ms =
 (* ------------------------------------------------------------------ *)
 (* Mailbox *)
 
-let test_mailbox_fifo () =
-  let mb = Mailbox.create ~capacity:4 in
+(* Every mailbox test runs against both implementations behind the facade:
+   the locking MPSC queue and the lock-free SPSC ring.  The tests below use
+   at most one producer domain and one consumer domain, so they are legal
+   SPSC schedules too. *)
+let mailbox_kinds :
+    (string * (capacity:int -> int Mailbox.t)) list =
+  [
+    ("locking", fun ~capacity -> Mailbox.create ~capacity);
+    ("spsc", fun ~capacity -> Mailbox.create_spsc ~capacity);
+  ]
+
+let test_mailbox_fifo create () =
+  let mb = create ~capacity:4 in
   Mailbox.put mb 1;
   Mailbox.put mb 2;
   Mailbox.put mb 3;
@@ -22,8 +33,8 @@ let test_mailbox_fifo () =
   Alcotest.(check int) "second" 2 (Mailbox.take mb);
   Alcotest.(check int) "third" 3 (Mailbox.take mb)
 
-let test_mailbox_try_operations () =
-  let mb = Mailbox.create ~capacity:2 in
+let test_mailbox_try_operations create () =
+  let mb = create ~capacity:2 in
   Alcotest.(check bool) "put ok" true (Mailbox.try_put mb 1);
   Alcotest.(check bool) "put ok" true (Mailbox.try_put mb 2);
   Alcotest.(check bool) "full" false (Mailbox.try_put mb 3);
@@ -32,9 +43,9 @@ let test_mailbox_try_operations () =
   Alcotest.(check (option int)) "take" (Some 2) (Mailbox.try_take mb);
   Alcotest.(check (option int)) "empty" None (Mailbox.try_take mb)
 
-let test_mailbox_blocking_put () =
+let test_mailbox_blocking_put create () =
   (* A full mailbox blocks the producer until the consumer drains it. *)
-  let mb = Mailbox.create ~capacity:1 in
+  let mb = create ~capacity:1 in
   Mailbox.put mb 0;
   let unblocked = Atomic.make false in
   let producer =
@@ -50,23 +61,23 @@ let test_mailbox_blocking_put () =
   Alcotest.(check bool) "producer resumed" true (Atomic.get unblocked);
   Alcotest.(check int) "second value arrived" 1 (Mailbox.take mb)
 
-let test_mailbox_blocking_take () =
-  let mb = Mailbox.create ~capacity:1 in
+let test_mailbox_blocking_take create () =
+  let mb = create ~capacity:1 in
   let consumer = Domain.spawn (fun () -> Mailbox.take mb) in
   Unix.sleepf 0.02;
   Mailbox.put mb 42;
   Alcotest.(check int) "value handed over" 42 (Domain.join consumer)
 
-let test_mailbox_invalid_capacity () =
+let test_mailbox_invalid_capacity create () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Mailbox.create: capacity must be >= 1") (fun () ->
-      ignore (Mailbox.create ~capacity:0))
+      ignore (create ~capacity:0))
 
 (* ------------------------------------------------------------------ *)
 (* Mailbox close / poison protocol *)
 
-let test_mailbox_close_wakes_producer () =
-  let mb = Mailbox.create ~capacity:1 in
+let test_mailbox_close_wakes_producer create () =
+  let mb = create ~capacity:1 in
   Mailbox.put mb 0;
   let producer =
     Domain.spawn (fun () ->
@@ -81,8 +92,8 @@ let test_mailbox_close_wakes_producer () =
   Alcotest.(check bool) "blocked producer woke with Closed" true
     (Domain.join producer = `Woke_closed)
 
-let test_mailbox_close_wakes_consumer () =
-  let mb : int Mailbox.t = Mailbox.create ~capacity:4 in
+let test_mailbox_close_wakes_consumer create () =
+  let mb : int Mailbox.t = create ~capacity:4 in
   let consumer =
     Domain.spawn (fun () ->
         try
@@ -95,8 +106,8 @@ let test_mailbox_close_wakes_consumer () =
   Alcotest.(check bool) "blocked consumer woke with Closed" true
     (Domain.join consumer = `Woke_closed)
 
-let test_mailbox_closed_operations () =
-  let mb = Mailbox.create ~capacity:2 in
+let test_mailbox_closed_operations create () =
+  let mb = create ~capacity:2 in
   Mailbox.put mb 1;
   Mailbox.close mb;
   Mailbox.close mb;
@@ -115,6 +126,94 @@ let test_mailbox_closed_operations () =
     (raises_closed (fun () -> Mailbox.try_put mb 2));
   Alcotest.(check bool) "try_take raises" true
     (raises_closed (fun () -> Mailbox.try_take mb))
+
+let drain_list mb ~max =
+  let q = Queue.create () in
+  let occ = Mailbox.take_batch mb ~max ~into:q in
+  (occ, List.of_seq (Queue.to_seq q))
+
+let test_mailbox_put_batch create () =
+  let mb = create ~capacity:4 in
+  (* try_put_chunk fills the free slots and hands back the leftover. *)
+  Mailbox.put mb 0;
+  let leftover = Mailbox.try_put_chunk mb [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "leftover suffix" [ 4; 5 ] leftover;
+  Alcotest.(check int) "filled to capacity" 4 (Mailbox.length mb);
+  Alcotest.(check (list int)) "chunk on full is identity" [ 9 ]
+    (Mailbox.try_put_chunk mb [ 9 ]);
+  (* put_batch blocks for space; a consumer domain drains it through. *)
+  let consumer =
+    Domain.spawn (fun () -> List.init 9 (fun _ -> Mailbox.take mb))
+  in
+  Mailbox.put_batch mb [ 4; 5; 6; 7; 8 ];
+  Alcotest.(check (list int)) "order preserved across the batch"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] (Domain.join consumer);
+  (* Empty batches are no-ops, even on a closed mailbox. *)
+  Mailbox.put_batch mb [];
+  Alcotest.(check (list int)) "empty chunk" [] (Mailbox.try_put_chunk mb []);
+  Mailbox.close mb;
+  Mailbox.put_batch mb [];
+  Alcotest.(check (list int)) "empty chunk after close" []
+    (Mailbox.try_put_chunk mb []);
+  Alcotest.check_raises "non-empty batch raises after close" Mailbox.Closed
+    (fun () -> Mailbox.put_batch mb [ 1 ])
+
+(* Differential property test: drive the locking queue and the SPSC ring
+   through the same randomized single-threaded schedule of non-blocking
+   operations and demand identical observable behavior — returned values,
+   lengths, waiter firings and Closed raises. *)
+let mailbox_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun x -> `Try_put x) (int_bound 1000));
+        (4, return `Try_take);
+        (2, map (fun n -> `Take_batch (1 + n)) (int_bound 6));
+        (2, map (fun xs -> `Put_chunk xs) (list_size (int_bound 5) (int_bound 1000)));
+        (1, return `On_item);
+        (1, return `On_space);
+        (1, return `Length);
+        (1, return `Close);
+      ])
+
+let apply_op mb fired op =
+  let catching f = try f () with Mailbox.Closed -> `Closed in
+  match op with
+  | `Try_put x -> catching (fun () -> `Bool (Mailbox.try_put mb x))
+  | `Try_take -> catching (fun () -> `Opt (Mailbox.try_take mb))
+  | `Take_batch max ->
+      catching (fun () ->
+          let occ, xs = drain_list mb ~max in
+          `Batch (occ, xs))
+  | `Put_chunk xs -> catching (fun () -> `List (Mailbox.try_put_chunk mb xs))
+  | `On_item ->
+      `Park (Mailbox.on_item mb (fun () -> incr fired), !fired)
+  | `On_space ->
+      `Park (Mailbox.on_space mb (fun () -> incr fired), !fired)
+  | `Length -> `Int (Mailbox.length mb)
+  | `Close ->
+      Mailbox.close mb;
+      `Unit
+
+let test_mailbox_differential =
+  QCheck.Test.make ~count:500
+    ~name:"locking and spsc mailboxes are observationally equivalent"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 8) (list_size (int_bound 60) mailbox_op_gen)))
+    (fun (capacity, ops) ->
+      let locking = Mailbox.create ~capacity in
+      let spsc = Mailbox.create_spsc ~capacity in
+      let fired_l = ref 0 and fired_s = ref 0 in
+      List.for_all
+        (fun op ->
+          let rl = apply_op locking fired_l op in
+          let rs = apply_op spsc fired_s op in
+          rl = rs
+          && !fired_l = !fired_s
+          && Mailbox.length locking = Mailbox.length spsc
+          && Mailbox.is_closed locking = Mailbox.is_closed spsc)
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Executor: basic pipelines *)
@@ -712,36 +811,49 @@ let test_source_of_fn () =
 (* ------------------------------------------------------------------ *)
 (* N:M scheduler: batch/waiter mailbox operations *)
 
-let test_mailbox_take_batch () =
-  let mb = Mailbox.create ~capacity:8 in
+let test_mailbox_take_batch create () =
+  let mb = create ~capacity:8 in
   for i = 1 to 5 do
     Mailbox.put mb i
   done;
-  Alcotest.(check (list int)) "batch bounded" [ 1; 2; 3 ] (Mailbox.take_batch mb ~max:3);
-  Alcotest.(check (list int)) "drains the rest" [ 4; 5 ] (Mailbox.take_batch mb ~max:10);
-  Alcotest.(check (list int)) "empty batch" [] (Mailbox.take_batch mb ~max:4);
+  (* take_batch reports the pre-drain occupancy: the adaptive drain's
+     occupancy sample, observed for free. *)
+  Alcotest.(check (pair int (list int)))
+    "batch bounded" (5, [ 1; 2; 3 ]) (drain_list mb ~max:3);
+  Alcotest.(check (pair int (list int)))
+    "drains the rest" (2, [ 4; 5 ]) (drain_list mb ~max:10);
+  Alcotest.(check (pair int (list int)))
+    "empty batch" (0, []) (drain_list mb ~max:4);
   Alcotest.check_raises "max must be positive"
     (Invalid_argument "Mailbox.take_batch: max must be >= 1") (fun () ->
-      ignore (Mailbox.take_batch mb ~max:0));
+      ignore (drain_list mb ~max:0));
+  (* The reusable drain buffer is appended to, not cleared. *)
+  Mailbox.put mb 7;
+  let q = Queue.create () in
+  Queue.push 6 q;
+  ignore (Mailbox.take_batch mb ~max:4 ~into:q);
+  Alcotest.(check (list int)) "appends to the buffer" [ 6; 7 ]
+    (List.of_seq (Queue.to_seq q));
   Mailbox.close mb;
   try
-    ignore (Mailbox.take_batch mb ~max:1);
+    ignore (drain_list mb ~max:1);
     Alcotest.fail "expected Closed"
   with Mailbox.Closed -> ()
 
-let test_take_batch_wakes_blocked_producer () =
-  let mb = Mailbox.create ~capacity:2 in
+let test_take_batch_wakes_blocked_producer create () =
+  let mb = create ~capacity:2 in
   Mailbox.put mb 1;
   Mailbox.put mb 2;
   let producer = Domain.spawn (fun () -> Mailbox.put mb 3) in
   Unix.sleepf 0.02;
-  Alcotest.(check (list int)) "batch drains" [ 1; 2 ] (Mailbox.take_batch mb ~max:8);
+  Alcotest.(check (pair int (list int)))
+    "batch drains" (2, [ 1; 2 ]) (drain_list mb ~max:8);
   Domain.join producer;
-  Alcotest.(check (list int)) "producer got its slot" [ 3 ]
-    (Mailbox.take_batch mb ~max:8)
+  Alcotest.(check (pair int (list int)))
+    "producer got its slot" (1, [ 3 ]) (drain_list mb ~max:8)
 
-let test_mailbox_waiter_registration () =
-  let mb = Mailbox.create ~capacity:1 in
+let test_mailbox_waiter_registration create () =
+  let mb = create ~capacity:1 in
   let fired = Atomic.make 0 in
   let cb () = Atomic.incr fired in
   (* Empty mailbox: space is available, items are not. *)
@@ -756,19 +868,19 @@ let test_mailbox_waiter_registration () =
   Alcotest.(check (option int)) "take succeeds" (Some 1) (Mailbox.try_take mb);
   Alcotest.(check int) "freed slot fires waiter" 2 (Atomic.get fired);
   (* Closing both fires parked waiters and refuses new registrations. *)
-  let mb2 : int Mailbox.t = Mailbox.create ~capacity:1 in
+  let mb2 : int Mailbox.t = create ~capacity:1 in
   Alcotest.(check bool) "parks while open" true (Mailbox.on_item mb2 cb);
   Mailbox.close mb2;
   Alcotest.(check int) "close fires parked waiter" 3 (Atomic.get fired);
   Alcotest.(check bool) "closed -> no park (item)" false (Mailbox.on_item mb2 cb);
   Alcotest.(check bool) "closed -> no park (space)" false (Mailbox.on_space mb2 cb)
 
-let test_sched_parked_wakeup_on_close () =
+let test_sched_parked_wakeup_on_close create () =
   (* A pooled task parked on an empty mailbox must wake when the mailbox is
      poisoned and observe Closed — the supervision shutdown path under the
      N:M scheduler. *)
   with_watchdog (fun () ->
-      let mb : int Mailbox.t = Mailbox.create ~capacity:4 in
+      let mb : int Mailbox.t = create ~capacity:4 in
       let result = Atomic.make `Pending in
       let pool = Ss_sched.Sched.create ~workers:2 () in
       Ss_sched.Sched.spawn pool (fun () ->
@@ -918,9 +1030,9 @@ let test_pool_scales_past_domain_budget () =
 (* Scheduler equivalence: pool counts = domain-per-actor counts = the
    counts the DES replay predicts for the same seed *)
 
-let run_with scheduler ?fused ?ordered topo vs ~tuples ~seed =
+let run_with scheduler ?channels ?fused ?ordered topo vs ~tuples ~seed =
   with_watchdog (fun () ->
-      Executor.run ~scheduler ?fused ?ordered ~seed
+      Executor.run ~scheduler ?channels ?fused ?ordered ~seed
         ~source:
           (Executor.source_of_fn ~count:tuples (fun i ->
                tuple [| float_of_int i |]))
@@ -994,6 +1106,121 @@ let test_equivalence_fused () =
         |]
         [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ])
     [ 1; 2; 3; 4 ] ~tuples:600 ~seed:17
+
+(* Channel equivalence: `Auto (SPSC rings on single-producer edges, the
+   default above) must be observationally equivalent to forcing the locking
+   mailbox everywhere, on both schedulers. *)
+let check_channel_equivalence ?fused ?ordered ~name build vs ~tuples ~seed =
+  List.iter
+    (fun (sched_name, scheduler) ->
+      let auto =
+        run_with scheduler ~channels:`Auto ?fused ?ordered (build ()) vs
+          ~tuples ~seed
+      in
+      let locking =
+        run_with scheduler ~channels:`Locking ?fused ?ordered (build ()) vs
+          ~tuples ~seed
+      in
+      let label s = Printf.sprintf "%s (%s): %s" name sched_name s in
+      Alcotest.(check bool) (label "auto finished") true
+        (auto.Executor.outcome = Supervision.Finished);
+      Alcotest.(check (array int))
+        (label "consumed, auto = locking")
+        locking.Executor.consumed auto.Executor.consumed;
+      Alcotest.(check (array int))
+        (label "produced, auto = locking")
+        locking.Executor.produced auto.Executor.produced)
+    [ ("pool", `Pool 2); ("domains", `Domain_per_actor) ]
+
+let test_channel_equivalence () =
+  check_channel_equivalence ~name:"plain"
+    (fun () ->
+      Topology.create_exn
+        [| op "src" 0.01; op "a" 0.01; op "b" 0.01; op "sink" 0.01 |]
+        [ (0, 1, 0.3); (0, 2, 0.7); (1, 3, 1.0); (2, 3, 1.0) ])
+    [ 1; 2; 3 ] ~tuples:1500 ~seed:7;
+  check_channel_equivalence ~ordered:[ 1 ] ~name:"ordered fission"
+    (fun () ->
+      Topology.create_exn
+        [|
+          op "src" 0.01;
+          Operator.make ~service_time:1e-5 ~replicas:3 "w";
+          op "s1" 0.01;
+          op "s2" 0.01;
+        |]
+        [ (0, 1, 1.0); (1, 2, 0.4); (1, 3, 0.6) ])
+    [ 1; 2; 3 ] ~tuples:600 ~seed:13;
+  check_channel_equivalence ~fused:[ [ 1; 2; 3 ] ] ~name:"fused"
+    (fun () ->
+      Topology.create_exn
+        [| op "src" 0.01; op "fe" 0.01; op "l" 0.01; op "r" 0.01; op "sink" 0.01 |]
+        [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ])
+    [ 1; 2; 3; 4 ] ~tuples:600 ~seed:17
+
+let test_channel_failure_parity () =
+  (* Failure injection must poison ring-backed edges exactly like locking
+     ones: a failing operator yields the same structured outcome under every
+     channel choice and scheduler. *)
+  let t () =
+    Topology.create_exn
+      [| op "src" 0.01; op "bomb" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let inputs = List.init 5000 (fun i -> tuple [| float_of_int i |]) in
+  List.iter
+    (fun scheduler ->
+      List.iter
+        (fun channels ->
+          let m =
+            with_watchdog (fun () ->
+                Executor.run ~scheduler ~channels ~mailbox_capacity:4
+                  ~source:(Executor.source_of_list inputs)
+                  ~registry:
+                    (registry_of
+                       [ (1, bomb ~at:50.0); (2, Stateless_ops.identity) ])
+                  (t ()))
+          in
+          match m.Executor.outcome with
+          | Supervision.Actor_failed _ -> ()
+          | outcome ->
+              Alcotest.failf "expected Failed, got %a" Supervision.pp_outcome
+                outcome)
+        [ `Auto; `Locking ])
+    [ `Pool 2; `Domain_per_actor ]
+
+let test_batch_policies () =
+  (* The drain policy is a scheduling knob: fixed and adaptive drains must
+     deliver identical counts, and both bounds are validated. *)
+  let build () =
+    Topology.create_exn
+      [| op "src" 0.01; op "a" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let run batch =
+    with_watchdog (fun () ->
+        Executor.run ~scheduler:(`Pool 2) ~batch ~seed:3
+          ~source:
+            (Executor.source_of_fn ~count:800 (fun i ->
+                 tuple [| float_of_int i |]))
+          ~registry:(identity_registry [ 1; 2 ])
+          (build ()))
+  in
+  let fixed = run (`Fixed 8) in
+  let adaptive = run (`Adaptive 32) in
+  Alcotest.(check bool) "fixed finished" true
+    (fixed.Executor.outcome = Supervision.Finished);
+  Alcotest.(check bool) "adaptive finished" true
+    (adaptive.Executor.outcome = Supervision.Finished);
+  Alcotest.(check (array int)) "consumed, fixed = adaptive"
+    fixed.Executor.consumed adaptive.Executor.consumed;
+  Alcotest.(check (array int)) "produced, fixed = adaptive"
+    fixed.Executor.produced adaptive.Executor.produced;
+  List.iter
+    (fun batch ->
+      Alcotest.check_raises "batch validated"
+        (Invalid_argument "Executor.run: batch must be >= 1") (fun () ->
+          ignore (run batch)))
+    [ `Fixed 0; `Adaptive 0 ]
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: histogram algebra, scheduler equivalence of the recorded
@@ -1295,19 +1522,31 @@ let test_telemetry_sample_validated () =
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
+  (* Register one case per mailbox implementation behind the facade. *)
+  let per_kind name f =
+    List.map
+      (fun (kind, create) ->
+        quick (Printf.sprintf "%s (%s)" name kind) (f create))
+      mailbox_kinds
+  in
   Alcotest.run "ss_runtime"
     [
       ( "mailbox",
-        [
-          quick "fifo order" test_mailbox_fifo;
-          quick "try operations" test_mailbox_try_operations;
-          quick "blocking put (backpressure)" test_mailbox_blocking_put;
-          quick "blocking take" test_mailbox_blocking_take;
-          quick "invalid capacity" test_mailbox_invalid_capacity;
-          quick "close wakes blocked producer" test_mailbox_close_wakes_producer;
-          quick "close wakes blocked consumer" test_mailbox_close_wakes_consumer;
-          quick "closed mailbox semantics" test_mailbox_closed_operations;
-        ] );
+        List.concat
+          [
+            per_kind "fifo order" test_mailbox_fifo;
+            per_kind "try operations" test_mailbox_try_operations;
+            per_kind "blocking put (backpressure)" test_mailbox_blocking_put;
+            per_kind "blocking take" test_mailbox_blocking_take;
+            per_kind "invalid capacity" test_mailbox_invalid_capacity;
+            per_kind "close wakes blocked producer"
+              test_mailbox_close_wakes_producer;
+            per_kind "close wakes blocked consumer"
+              test_mailbox_close_wakes_consumer;
+            per_kind "closed mailbox semantics" test_mailbox_closed_operations;
+            per_kind "put_batch and try_put_chunk" test_mailbox_put_batch;
+            [ QCheck_alcotest.to_alcotest test_mailbox_differential ];
+          ] );
       ( "supervision",
         [
           quick "failing behavior, single actor" test_failure_single_actor;
@@ -1342,13 +1581,16 @@ let () =
           quick "illegal groups rejected" test_fused_errors;
         ] );
       ( "sched mailbox",
-        [
-          quick "take_batch" test_mailbox_take_batch;
-          quick "take_batch wakes blocked producer"
-            test_take_batch_wakes_blocked_producer;
-          quick "waiter registration protocol" test_mailbox_waiter_registration;
-          quick "parked task wakes on close" test_sched_parked_wakeup_on_close;
-        ] );
+        List.concat
+          [
+            per_kind "take_batch" test_mailbox_take_batch;
+            per_kind "take_batch wakes blocked producer"
+              test_take_batch_wakes_blocked_producer;
+            per_kind "waiter registration protocol"
+              test_mailbox_waiter_registration;
+            per_kind "parked task wakes on close"
+              test_sched_parked_wakeup_on_close;
+          ] );
       ( "sched",
         [
           quick "failure outcome parity" test_pool_failure_parity;
@@ -1363,6 +1605,9 @@ let () =
           quick "fission" test_equivalence_fission;
           quick "ordered fission" test_equivalence_ordered_fission;
           quick "fused group" test_equivalence_fused;
+          quick "channels auto = locking" test_channel_equivalence;
+          quick "channel failure parity" test_channel_failure_parity;
+          quick "batch policies" test_batch_policies;
         ] );
       ( "telemetry",
         [
