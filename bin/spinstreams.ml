@@ -409,6 +409,37 @@ let execute_cmd =
                 machine's recommended domain count). Ignored with \
                 --scheduler=domains.")
   in
+  let groups =
+    (* "off" -> one locality group (historical behavior); "auto" -> one
+       group per ~4 workers; an integer -> that many groups (capped to
+       the worker count). *)
+    let parse s =
+      match s with
+      | "off" -> Ok `Off
+      | "auto" -> Ok `Auto
+      | _ -> (
+          match int_of_string_opt s with
+          | Some g when g >= 1 -> Ok (`N g)
+          | _ -> Error (`Msg "expected off, auto, or a positive integer"))
+    in
+    let print ppf = function
+      | `Off -> Format.fprintf ppf "off"
+      | `Auto -> Format.fprintf ppf "auto"
+      | `N g -> Format.fprintf ppf "%d" g
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Off
+      & info [ "groups" ] ~docv:"off|auto|N"
+          ~doc:"Partition the pool's workers into locality groups and pin \
+                each vertex to a group via the communication-aware \
+                placement (vertices that exchange the most tuples share a \
+                group; wakeups stay group-local and stealing prefers \
+                same-group victims). $(b,off) (default) keeps one group; \
+                $(b,auto) makes one group per ~4 workers; an integer \
+                forces that many groups (capped to the worker count). \
+                Ignored with --scheduler=domains.")
+  in
   let batch =
     (* "auto" / "auto:MAX" -> adaptive per-mailbox drains; an integer ->
        the historical fixed drain cap. *)
@@ -476,7 +507,7 @@ let execute_cmd =
           ~doc:"Write the run metrics (telemetry included when on) as JSON \
                 to $(docv).")
   in
-  let run path fused tuples buffer timeout scheduler workers seed batch
+  let run path fused tuples buffer timeout scheduler workers groups seed batch
       channels telemetry prom_out json_out =
     (match timeout with
     | Some limit when limit <= 0.0 ->
@@ -496,9 +527,40 @@ let execute_cmd =
       { Ss_runtime.Executor.default_instrument with telemetry }
     in
     let session = or_die (load_session path) in
+    let placement =
+      match groups with
+      | `Off -> None
+      | (`Auto | `N _) as spec -> (
+          match scheduler with
+          | `Domain_per_actor ->
+              Printf.eprintf
+                "note: --groups is ignored with --scheduler=domains\n";
+              None
+          | `Pool w | `Locked_pool w ->
+          let g =
+            match spec with
+            | `Auto -> Stdlib.max 1 (w / 4)
+            | `N g -> Stdlib.min g w
+          in
+          if g <= 1 then None
+          else begin
+            let topology = Ss_tool.Session.topology session () in
+            let cluster =
+              Ss_placement.Cluster.homogeneous ~nodes:g
+                ~cores:(Stdlib.max 1 (w / g)) ()
+            in
+            let assignment =
+              Ss_placement.Placement.communication_aware cluster topology
+            in
+            Printf.printf "locality groups: %d (vertex -> group: %s)\n" g
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int assignment)));
+            Some assignment
+          end)
+    in
     let metrics =
       Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
-        ?timeout ~scheduler ~seed ~batch ~channels ~instrument ()
+        ?timeout ~scheduler ?placement ~seed ~batch ~channels ~instrument ()
     in
     print_string (Ss_tool.Session.runtime_report session metrics);
     let topology = Ss_tool.Session.topology session () in
@@ -528,7 +590,7 @@ let execute_cmd =
              or the timeout fires.")
     Term.(
       const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
-      $ workers $ seed_arg $ batch $ channels $ telemetry $ prom_out
+      $ workers $ groups $ seed_arg $ batch $ channels $ telemetry $ prom_out
       $ json_out)
 
 (* ------------------------------------------------------------------ *)

@@ -19,6 +19,7 @@ val program :
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
+  ?placement:int array ->
   ?batch:Ss_runtime.Executor.batch ->
   ?channels:Ss_runtime.Executor.channels ->
   ?telemetry:bool ->
@@ -33,6 +34,9 @@ val program :
     the emitted execution model: [`Pool None] (default) emits an N:M pool
     sized to the deployment machine at run time, [`Pool (Some w)] pins the
     worker count, [`Domains] emits the one-domain-per-actor model.
+    [placement] (an {!Ss_placement}-style vertex->node assignment) is
+    emitted as an explicit [~placement] array so the deployed program
+    keeps its locality plan; omitted when [None].
     [batch] (default [`Adaptive 32]) and [channels] (default [`Auto]) are
     emitted verbatim as the generated run's drain policy and channel
     selection, so the program pins its edge-implementation choice
@@ -49,6 +53,7 @@ val write_project :
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
+  ?placement:int array ->
   ?batch:Ss_runtime.Executor.batch ->
   ?channels:Ss_runtime.Executor.channels ->
   ?telemetry:bool ->

@@ -31,10 +31,11 @@ let resolve op =
 let registry topology v = resolve (Topology.operator topology v)
 
 let run ?mailbox_capacity ?fused ?ordered ?(seed = 42) ?(tuples = 10_000)
-    ?timeout ?scheduler ?batch ?channels ?instrument ?stream_spec topology =
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?stream_spec
+    topology =
   let rng = Ss_prelude.Rng.create seed in
   let stream = Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples in
   Ss_runtime.Executor.run ?mailbox_capacity ?fused ?ordered ~seed ?timeout
-    ?scheduler ?batch ?channels ?instrument
+    ?scheduler ?placement ?batch ?channels ?instrument
     ~source:(Ss_runtime.Executor.source_of_list stream)
     ~registry:(registry topology) topology

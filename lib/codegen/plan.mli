@@ -20,6 +20,7 @@ val run :
   ?tuples:int ->
   ?timeout:float ->
   ?scheduler:Ss_runtime.Executor.scheduler ->
+  ?placement:int array ->
   ?batch:Ss_runtime.Executor.batch ->
   ?channels:Ss_runtime.Executor.channels ->
   ?instrument:Ss_runtime.Executor.instrument ->
@@ -28,8 +29,9 @@ val run :
   Ss_runtime.Executor.metrics
 (** [run topology] deploys the topology on the runtime and drives it with
     [tuples] (default 10_000) synthetic tuples from
-    {!Ss_workload.Stream_gen}. Options ([timeout], [scheduler], [batch],
-    [channels] and [instrument] included) are forwarded to
+    {!Ss_workload.Stream_gen}. Options ([timeout], [scheduler],
+    [placement], [batch], [channels] and [instrument] included) are
+    forwarded to
     {!Ss_runtime.Executor.run}; the returned metrics carry the supervised
     per-actor outcome (and, with [instrument.telemetry], the telemetry
     report). *)

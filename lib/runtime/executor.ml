@@ -32,7 +32,7 @@ type router = Tuple.t -> int
    is on, keeping the off path allocation-identical to before. *)
 type msg = Data of Tuple.t | Timed of Tuple.t * float | Eos
 
-type scheduler = [ `Domain_per_actor | `Pool of int ]
+type scheduler = [ `Domain_per_actor | `Pool of int | `Locked_pool of int ]
 type batch = [ `Fixed of int | `Adaptive of int ]
 type channels = [ `Auto | `Locking ]
 
@@ -85,12 +85,12 @@ type ctx = {
 }
 
 let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ?timeout ?scheduler ?(batch = `Adaptive 32)
+    ?(seed = 42) ?timeout ?scheduler ?placement ?(batch = `Adaptive 32)
     ?(channels = `Auto) ?(instrument = default_instrument) ~source ~registry
     topology =
   let scheduler =
     match scheduler with
-    | Some (`Pool w) when w < 1 ->
+    | Some (`Pool w | `Locked_pool w) when w < 1 ->
         invalid_arg "Executor.run: pool workers must be >= 1"
     | Some s -> s
     | None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
@@ -122,6 +122,33 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
   let src = Topology.source topology in
   if (Topology.operator topology src).Operator.replicas <> 1 then
     invalid_arg "Executor.run: the source operator cannot be replicated";
+  (* Locality plan: [placement.(v)] is an abstract node id (typically an
+     [Ss_placement] assignment). Normalize the ids to dense scheduler
+     groups, collapse by modulo when there are more nodes than workers,
+     and split the workers across groups as evenly as possible. Returns
+     [(group_of_vertex, group_sizes)]. Placement only affects pool
+     scheduling; [`Domain_per_actor] runs every actor on its own domain
+     and ignores it. *)
+  let placement_groups ~workers placement =
+    if Array.length placement <> n then
+      invalid_arg "Executor.run: placement length must equal topology size";
+    Array.iter
+      (fun g ->
+        if g < 0 then invalid_arg "Executor.run: placement nodes must be >= 0")
+      placement;
+    let ids = Array.to_list placement |> List.sort_uniq compare in
+    let dense = Hashtbl.create 8 in
+    List.iteri (fun i id -> Hashtbl.replace dense id i) ids;
+    let ngroups = Stdlib.min (List.length ids) workers in
+    let group_of_vertex =
+      Array.map (fun id -> Hashtbl.find dense id mod ngroups) placement
+    in
+    let sizes = Array.make ngroups (workers / ngroups) in
+    for g = 0 to (workers mod ngroups) - 1 do
+      sizes.(g) <- sizes.(g) + 1
+    done;
+    (group_of_vertex, sizes)
+  in
   (match timeout with
   | Some limit when limit <= 0.0 ->
       invalid_arg "Executor.run: timeout must be positive"
@@ -277,7 +304,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                   ignore (Mailbox.take_batch mb ~max:(batch_max - 1) ~into:buf);
                 buf);
         }
-    | `Pool _ ->
+    | `Pool _ | `Locked_pool _ ->
         {
           cput =
             (fun v mb x ->
@@ -826,11 +853,25 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
       Atomic.set finished true;
       Option.iter Domain.join monitor;
       Option.iter Domain.join watchdog
-  | `Pool w ->
-      let pool = Ss_sched.Sched.create ~workers:w () in
+  | (`Pool w | `Locked_pool w) as pool_kind ->
+      let impl =
+        match pool_kind with `Locked_pool _ -> `Locked | `Pool _ -> `Lockfree
+      in
+      let group_of_vertex, group_sizes =
+        match placement with
+        | Some p -> placement_groups ~workers:w p
+        | None -> (Array.make n 0, [| w |])
+      in
+      let pool =
+        Ss_sched.Sched.create ~workers:w ~groups:group_sizes ~impl ()
+      in
       List.iter
         (fun (actor, vertex, body) ->
-          Ss_sched.Sched.spawn pool (Supervision.supervise sup ~actor ?vertex body))
+          let group =
+            match vertex with Some v -> group_of_vertex.(v) | None -> 0
+          in
+          Ss_sched.Sched.spawn ~group pool
+            (Supervision.supervise sup ~actor ?vertex body))
         actors;
       let watchdog = spawn_watchdog () in
       let tick =

@@ -105,11 +105,14 @@ type router = Ss_operators.Tuple.t -> int
 (** Returns the index of the chosen successor in the vertex's out-edge list
     (as given by [Topology.succs]). *)
 
-type scheduler = [ `Domain_per_actor | `Pool of int ]
+type scheduler = [ `Domain_per_actor | `Pool of int | `Locked_pool of int ]
 (** Execution model: [`Pool w] (the default, with
     [w = Domain.recommended_domain_count]) multiplexes all actors over [w]
-    worker domains; [`Domain_per_actor] spawns one domain per actor and is
-    limited to ~110 actors by the OCaml domain budget. *)
+    worker domains on the lock-free Chase–Lev scheduler;
+    [`Domain_per_actor] spawns one domain per actor and is limited to ~110
+    actors by the OCaml domain budget. [`Locked_pool w] runs the retained
+    mutex-per-deque pool implementation — semantically identical to
+    [`Pool], kept for differential benchmarking of the scheduler core. *)
 
 type batch = [ `Fixed of int | `Adaptive of int ]
 (** Drain policy for pooled-actor mailbox activations. [`Fixed b] always
@@ -141,6 +144,7 @@ val run :
   ?seed:int ->
   ?timeout:float ->
   ?scheduler:scheduler ->
+  ?placement:int array ->
   ?batch:batch ->
   ?channels:channels ->
   ?instrument:instrument ->
@@ -165,7 +169,17 @@ val run :
     cooperative (it takes effect when an actor next touches a mailbox).
 
     [scheduler] picks the execution model (default [`Pool] sized to the
-    machine). [batch] (default [`Adaptive 32]) sets the per-activation
+    machine). [placement] maps each vertex to an abstract locality node
+    (typically an {!Ss_placement} assignment, [placement.(v) = node]):
+    node ids are normalized to dense scheduler groups (collapsed by
+    modulo when there are more nodes than workers), the pool's workers
+    are split across the groups as evenly as possible, and every actor of
+    a vertex — including its fission units — is pinned to its vertex's
+    group, so wakeups stay group-local and stealing prefers same-group
+    victims. Default: one group, exactly the ungrouped behavior. Counts
+    and routing are placement-independent; only locality changes.
+    Placement is ignored under [`Domain_per_actor].
+    [batch] (default [`Adaptive 32]) sets the per-activation
     drain policy of pooled actors; [channels] (default [`Auto]) selects
     the mailbox implementation per edge. [instrument] (default
     {!default_instrument}) selects runtime instrumentation: occupancy

@@ -12,34 +12,69 @@
     then run on any worker. The scheduler itself knows nothing about
     mailboxes; the blocking protocol lives with the caller.
 
-    Scheduling is work-stealing: each worker owns a deque and steals from
-    peers when empty; tasks spawned from inside a worker stay local, tasks
-    resumed from foreign domains (e.g. a supervisor closing mailboxes) land
-    on a shared injection queue. The pool terminates when every spawned task
-    has returned or raised. *)
+    The default implementation is lock-free on the hot path: each worker
+    owns a Chase–Lev deque (push/pop without locks, thieves CAS the top),
+    cross-domain wakeups land on a per-group lock-free injection stack, and
+    idle workers spin briefly before parking on a single-waiter list where
+    an enqueue wakes exactly one sleeper. Workers can further be
+    partitioned into locality {e groups}: a task spawned with [?group] has
+    its wakeups routed to that group's deques and its group's workers steal
+    from each other before raiding foreign groups, emulating NUMA/placement
+    domains in process. The previous mutex-per-deque implementation is kept
+    as [`Locked] for differential benchmarking.
+
+    The pool terminates when every spawned task has returned or raised. *)
 
 type t
 
-val create : ?workers:int -> unit -> t
+val create :
+  ?workers:int -> ?groups:int array -> ?impl:[ `Lockfree | `Locked ] -> unit -> t
 (** [create ()] makes a pool with [Domain.recommended_domain_count] workers
     (clamped to at least 1); [?workers] overrides the count.
-    @raise Invalid_argument if [workers < 1]. *)
+
+    [?groups] partitions the workers into locality groups: [groups.(g)] is
+    the number of workers in group [g] (each must be [>= 1]); when both
+    [?workers] and [?groups] are given the sizes must sum to [workers].
+    Default: a single group containing every worker — exactly the
+    historical behavior.
+
+    [?impl] selects the scheduler core: [`Lockfree] (default) is the
+    Chase–Lev deque pool; [`Locked] is the retained mutex-per-deque
+    baseline (it accepts [?groups] for interface parity but schedules
+    without locality).
+
+    @raise Invalid_argument if [workers < 1], a group is empty, or the
+    group sizes disagree with [workers]. *)
 
 val workers : t -> int
 (** Number of worker domains the pool will spawn. *)
 
-val spawn : t -> (unit -> unit) -> unit
+val groups : t -> int array
+(** The per-group worker counts the pool was created with ([[| workers t |]]
+    when [?groups] was omitted). The returned array is a copy. *)
+
+val spawn : ?group:int -> t -> (unit -> unit) -> unit
 (** Register a task. Before {!run} the task is only queued; tasks spawned
     while the pool runs (including from inside other tasks) are scheduled
     immediately. An exception escaping a task is captured; {!run} re-raises
-    the first one after the pool drains. *)
+    the first one after the pool drains.
+
+    [?group] pins the task's locality: its initial placement and every
+    subsequent wakeup target that group's deques (other groups can still
+    steal it when their own work runs dry — the pool stays
+    work-conserving). Defaults to the spawning worker's group when called
+    from inside the pool, group [0] otherwise.
+
+    @raise Invalid_argument if [group] is out of range. *)
 
 val run : ?tick:float * (unit -> unit) -> t -> unit
 (** Run the pool to completion: spawn the worker domains, execute every
     task, join the workers. The calling domain does not execute tasks; with
     [?tick:(interval, fn)] it instead invokes [fn] every [interval] seconds
     until the pool drains (the executor uses this for occupancy sampling,
-    keeping the domain count at exactly [workers t] + the caller).
+    keeping the domain count at exactly [workers t] + the caller). The
+    final task's completion interrupts the tick sleep, so [run] returns
+    promptly rather than up to one [interval] late.
     Re-raises the first exception that escaped a task, after all tasks have
     finished. Can only be called once per pool. *)
 

@@ -80,9 +80,9 @@ let generate_code t ?version ?fused ?tuples () =
   Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
 
 let execute t ?version ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    ?scheduler ?batch ?channels ?instrument () =
+    ?scheduler ?placement ?batch ?channels ?instrument () =
   Ss_codegen.Plan.run ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    ?scheduler ?batch ?channels ?instrument
+    ?scheduler ?placement ?batch ?channels ?instrument
     (topology t ?version ())
 
 let measured_version t ?version metrics =

@@ -81,6 +81,7 @@ val execute :
   ?tuples:int ->
   ?timeout:float ->
   ?scheduler:Ss_runtime.Executor.scheduler ->
+  ?placement:int array ->
   ?batch:Ss_runtime.Executor.batch ->
   ?channels:Ss_runtime.Executor.channels ->
   ?instrument:Ss_runtime.Executor.instrument ->
@@ -92,6 +93,8 @@ val execute :
     per-actor outcome, and [timeout] bounds the wall-clock run.
     [scheduler] picks the execution model (default: an N:M pool sized to
     the machine; [`Domain_per_actor] restores one domain per actor);
+    [placement] pins each vertex's actors to a pool locality group from an
+    {!Ss_placement} node assignment (see {!Ss_runtime.Executor.run});
     [batch] sets the drain policy of pooled-actor activations (default
     [`Adaptive 32]: per-mailbox occupancy-driven drain sizes); [channels]
     (default [`Auto]) backs single-producer/single-consumer edges with the

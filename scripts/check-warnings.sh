@@ -1,0 +1,29 @@
+#!/bin/sh
+# Warnings-as-errors gate for the scheduler core, runnable locally and in
+# CI.
+#
+# lib/sched compiles with `-warn-error +a` in its dune stanza (minus the
+# project-wide exclusions), so a clean rebuild of the library is the
+# check: any new warning in the lock-free scheduler fails the build. The
+# rest of the tree keeps dune's default promotion (warnings fatal only in
+# dev profile for selected classes), which `dune build` upholds.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Force a recompile of lib/sched so previously cached objects cannot mask
+# a warning introduced by an incremental edit.
+rm -rf _build/default/lib/sched
+dune build lib/sched 2> /tmp/check-warnings.$$ || {
+  cat /tmp/check-warnings.$$ >&2
+  rm -f /tmp/check-warnings.$$
+  echo "warnings: lib/sched failed to build with -warn-error +a" >&2
+  exit 1
+}
+if [ -s /tmp/check-warnings.$$ ]; then
+  cat /tmp/check-warnings.$$ >&2
+  rm -f /tmp/check-warnings.$$
+  echo "warnings: lib/sched build emitted diagnostics" >&2
+  exit 1
+fi
+rm -f /tmp/check-warnings.$$
+echo "warnings: lib/sched clean under -warn-error +a"

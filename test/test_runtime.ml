@@ -1030,9 +1030,10 @@ let test_pool_scales_past_domain_budget () =
 (* Scheduler equivalence: pool counts = domain-per-actor counts = the
    counts the DES replay predicts for the same seed *)
 
-let run_with scheduler ?channels ?fused ?ordered topo vs ~tuples ~seed =
+let run_with scheduler ?placement ?channels ?fused ?ordered topo vs ~tuples
+    ~seed =
   with_watchdog (fun () ->
-      Executor.run ~scheduler ?channels ?fused ?ordered ~seed
+      Executor.run ~scheduler ?placement ?channels ?fused ?ordered ~seed
         ~source:
           (Executor.source_of_fn ~count:tuples (fun i ->
                tuple [| float_of_int i |]))
@@ -1057,7 +1058,34 @@ let check_equivalence ?fused ?ordered ~name build vs ~tuples ~seed =
   Alcotest.(check (array int)) (name ^ ": consumed = DES replay")
     replay_consumed pool.Executor.consumed;
   Alcotest.(check (array int)) (name ^ ": produced = DES replay")
-    replay_produced pool.Executor.produced
+    replay_produced pool.Executor.produced;
+  (* Placement-partitioned and locked-baseline variants must produce the
+     same per-vertex counts: locality and scheduler core change where
+     actors run, never what they compute. *)
+  List.iter
+    (fun (variant, scheduler, with_placement) ->
+      let topo = build () in
+      let placement =
+        if with_placement then
+          Some (Array.init (Topology.size topo) (fun v -> v mod 2))
+        else None
+      in
+      let m = run_with scheduler ?placement ?fused ?ordered topo vs ~tuples ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%s): finished" name variant)
+        true
+        (m.Executor.outcome = Supervision.Finished);
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s (%s): consumed = legacy" name variant)
+        legacy.Executor.consumed m.Executor.consumed;
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s (%s): produced = legacy" name variant)
+        legacy.Executor.produced m.Executor.produced)
+    [
+      ("pool+placement", `Pool 2, true);
+      ("locked pool", `Locked_pool 2, false);
+      ("locked pool+placement", `Locked_pool 2, true);
+    ]
 
 let test_equivalence_plain () =
   check_equivalence ~name:"plain"
@@ -1106,6 +1134,67 @@ let test_equivalence_fused () =
         |]
         [ (0, 1, 1.0); (1, 2, 0.5); (1, 3, 0.5); (2, 4, 1.0); (3, 4, 1.0) ])
     [ 1; 2; 3; 4 ] ~tuples:600 ~seed:17
+
+(* The `--groups auto` path at library level: partition a fissioned
+   topology with the communication-aware placement and check the grouped
+   pool's counts against the ungrouped pool and `Domain_per_actor. *)
+let test_equivalence_placement_assignment () =
+  let build () =
+    Topology.create_exn
+      [|
+        op "src" 0.01;
+        Operator.make ~service_time:1e-5 ~replicas:3 "w";
+        op "s1" 0.01;
+        op "s2" 0.01;
+      |]
+      [ (0, 1, 1.0); (1, 2, 0.4); (1, 3, 0.6) ]
+  in
+  let vs = [ 1; 2; 3 ] and tuples = 900 and seed = 19 in
+  let placement =
+    let cluster =
+      Ss_placement.Cluster.homogeneous ~nodes:2 ~cores:1 ()
+    in
+    Ss_placement.Placement.communication_aware cluster (build ())
+  in
+  let grouped =
+    run_with (`Pool 2) ~placement (build ()) vs ~tuples ~seed
+  in
+  let ungrouped = run_with (`Pool 2) (build ()) vs ~tuples ~seed in
+  let legacy = run_with `Domain_per_actor (build ()) vs ~tuples ~seed in
+  Alcotest.(check bool) "placement: grouped finished" true
+    (grouped.Executor.outcome = Supervision.Finished);
+  Alcotest.(check (array int)) "placement: consumed, grouped = ungrouped"
+    ungrouped.Executor.consumed grouped.Executor.consumed;
+  Alcotest.(check (array int)) "placement: produced, grouped = ungrouped"
+    ungrouped.Executor.produced grouped.Executor.produced;
+  Alcotest.(check (array int)) "placement: consumed, grouped = domains"
+    legacy.Executor.consumed grouped.Executor.consumed;
+  Alcotest.(check (array int)) "placement: produced, grouped = domains"
+    legacy.Executor.produced grouped.Executor.produced
+
+let test_placement_validation () =
+  let build () =
+    Topology.create_exn
+      [| op "src" 0.01; op "a" 0.01 |]
+      [ (0, 1, 1.0) ]
+  in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Executor.run: placement length must equal topology size")
+    (fun () ->
+      ignore (run_with (`Pool 2) ~placement:[| 0 |] (build ()) [ 1 ] ~tuples:10 ~seed:3));
+  Alcotest.check_raises "negative node"
+    (Invalid_argument "Executor.run: placement nodes must be >= 0")
+    (fun () ->
+      ignore
+        (run_with (`Pool 2) ~placement:[| 0; -1 |] (build ()) [ 1 ] ~tuples:10
+           ~seed:3));
+  (* More nodes than workers: groups collapse by modulo instead of
+     starving a group of workers. *)
+  let m =
+    run_with (`Pool 2) ~placement:[| 0; 5 |] (build ()) [ 1 ] ~tuples:10 ~seed:3
+  in
+  Alcotest.(check bool) "collapsed placement finished" true
+    (m.Executor.outcome = Supervision.Finished)
 
 (* Channel equivalence: `Auto (SPSC rings on single-producer edges, the
    default above) must be observationally equivalent to forcing the locking
@@ -1605,6 +1694,8 @@ let () =
           quick "fission" test_equivalence_fission;
           quick "ordered fission" test_equivalence_ordered_fission;
           quick "fused group" test_equivalence_fused;
+          quick "placement assignment" test_equivalence_placement_assignment;
+          quick "placement validation" test_placement_validation;
           quick "channels auto = locking" test_channel_equivalence;
           quick "channel failure parity" test_channel_failure_parity;
           quick "batch policies" test_batch_policies;
