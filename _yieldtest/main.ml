@@ -1,0 +1,17 @@
+let () =
+  let impl = if Sys.argv.(1) = "locked" then `Locked else `Lockfree in
+  let pool = Ss_sched.Sched.create ~workers:1 ~impl () in
+  let flag = Atomic.make false in
+  (* task A: yields until B sets the flag *)
+  Ss_sched.Sched.spawn pool (fun () ->
+      let n = ref 0 in
+      while not (Atomic.get flag) && !n < 1_000_000 do
+        incr n;
+        Ss_sched.Sched.yield ()
+      done;
+      if Atomic.get flag then print_endline "A: saw flag"
+      else print_endline "A: gave up after 1M yields (starved B)");
+  Ss_sched.Sched.spawn pool (fun () ->
+      Atomic.set flag true;
+      print_endline "B: ran");
+  Ss_sched.Sched.run pool
