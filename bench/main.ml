@@ -604,6 +604,144 @@ let elasticity () =
     "that the paper cites, which the global static analysis avoids)"
 
 (* ------------------------------------------------------------------ *)
+(* Live elasticity: the closed loop against the running executor.
+
+   Both arms deploy the same busy-wait pipeline under the same throttled
+   offered load and are measured the same way (source emissions per
+   wall-clock second):
+   - "static": the SpinStreams plan (Algorithm 2 replica degrees) deployed
+     from t=0, no controller;
+   - "elastic": all degrees start at 1 and the threshold controller resizes
+     the running topology between epochs, paying measured drain-and-swap
+     downtime.
+   Gated: the elastic run must converge to within 15% of the static plan's
+   measured throughput, must actually have grown the hot operator, and must
+   have measured (charged) a strictly positive reconfiguration downtime.
+   Emits BENCH_elastic.json; exits 1 when a gate fails. *)
+
+let elastic_live () =
+  section_header
+    "Live elasticity — closed loop against the running executor (measured)";
+  (* One hot operator at 1.2x the offered load's service budget, so the
+     static plan replicates it and the controller must discover the same
+     degree online. Load is sized for a single-core host: the gate compares
+     configurations under identical conditions, not parallel speedup. *)
+  let rate = 200.0 in
+  let ops =
+    [|
+      Operator.source ~rate "src";
+      Operator.make ~service_time:0.0003 "pre";
+      Operator.make ~service_time:0.006 "hot";
+      Operator.make ~service_time:0.0001 "snk";
+    |]
+  in
+  let topo =
+    Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let instrument =
+    {
+      Ss_runtime.Executor.default_instrument with
+      telemetry = true;
+      telemetry_sample = 2;
+    }
+  in
+  let workers = 3 and reserve = 6 in
+  let warmup = if !quick then 0.4 else 1.0 in
+  let window = if !quick then 1.5 else 3.0 in
+  let measure_live live =
+    Unix.sleepf warmup;
+    let src = Topology.source (Ss_runtime.Executor.Live.topology live) in
+    let c0 = (Ss_runtime.Executor.Live.produced live).(src) in
+    let t0 = Unix.gettimeofday () in
+    Unix.sleepf window;
+    let c1 = (Ss_runtime.Executor.Live.produced live).(src) in
+    float_of_int (c1 - c0) /. (Unix.gettimeofday () -. t0)
+  in
+  (* static arm *)
+  let plan = Fission.optimize topo in
+  let static_topo = plan.Fission.topology in
+  let static_degrees =
+    Array.map
+      (fun (op : Operator.t) -> op.Operator.replicas)
+      (Topology.operators static_topo)
+  in
+  let static_live =
+    Ss_codegen.Plan.live ~workers ~reserve ~instrument static_topo
+  in
+  let static_rate = measure_live static_live in
+  let m_static = Ss_runtime.Executor.Live.stop static_live in
+  Printf.printf "static plan (degrees %s): %8.1f tuples/s (%s)\n"
+    (String.concat "," (Array.to_list (Array.map string_of_int static_degrees)))
+    static_rate
+    (Format.asprintf "%a" Ss_runtime.Supervision.pp_outcome
+       m_static.Ss_runtime.Executor.outcome);
+  (* elastic arm *)
+  let live = Ss_codegen.Plan.live ~workers ~reserve ~instrument topo in
+  let r =
+    Ss_elastic.Controller.run_live
+      ~epoch_length:(if !quick then 0.5 else 0.8)
+      ~max_epochs:(if !quick then 6 else 10)
+      ~settle:2 live
+  in
+  Format.printf "%a@." Ss_elastic.Controller.pp_live r;
+  let elastic_final =
+    match List.rev r.Ss_elastic.Controller.epochs with
+    | e :: _ -> e.Ss_elastic.Controller.rate
+    | [] -> 0.0
+  in
+  let ratio = elastic_final /. Float.max static_rate 1e-9 in
+  let hot_degree = r.Ss_elastic.Controller.final_degrees.(2) in
+  Printf.printf
+    "elastic final: %8.1f tuples/s (%.2fx static), hot degree %d, total \
+     downtime %.2f ms\n"
+    elastic_final ratio hot_degree
+    (r.Ss_elastic.Controller.total_downtime *. 1000.0);
+  let json =
+    Printf.sprintf
+      {|{"section":"elastic","offered_rate":%.1f,"static_rate":%.1f,"elastic_final_rate":%.1f,"ratio":%.3f,"static_degrees":[%s],"final_degrees":[%s],"hot_degree":%d,"total_downtime_s":%.6f,"epochs":%d,"converged_at":%s}|}
+      rate static_rate elastic_final ratio
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int static_degrees)))
+      (String.concat ","
+         (Array.to_list
+            (Array.map string_of_int r.Ss_elastic.Controller.final_degrees)))
+      hot_degree r.Ss_elastic.Controller.total_downtime
+      (List.length r.Ss_elastic.Controller.epochs)
+      (match r.Ss_elastic.Controller.converged_at with
+      | Some i -> string_of_int i
+      | None -> "null")
+  in
+  let oc = open_out "BENCH_elastic.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_string json;
+  print_newline ();
+  Printf.printf "wrote BENCH_elastic.json\n";
+  let failed = ref false in
+  if ratio < 0.85 then begin
+    Printf.printf
+      "FAIL: elastic converged to %.2fx the static plan's measured \
+       throughput (>= 0.85x required)\n"
+      ratio;
+    failed := true
+  end;
+  if hot_degree < 2 then begin
+    Printf.printf
+      "FAIL: the controller never grew the hot operator (degree %d, >= 2 \
+       required)\n"
+      hot_degree;
+    failed := true
+  end;
+  if r.Ss_elastic.Controller.total_downtime <= 0.0 then begin
+    Printf.printf
+      "FAIL: no reconfiguration downtime was measured (the loop must have \
+       reconfigured at least once)\n";
+    failed := true
+  end;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Baseline comparison: SpinStreams fusion vs COLA-style packing *)
 
 let cola () =
@@ -1562,6 +1700,7 @@ let sections =
     ("table2", table2);
     ("latency", latency);
     ("elasticity", elasticity);
+    ("elastic", elastic_live);
     ("cola", cola);
     ("placement", placement);
     ("ablations", ablations);

@@ -52,6 +52,16 @@ let vertices_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
+(* Strictly positive integer, rejected at parse time like the --groups and
+   --batch converters (a bad value never reaches the runtime). *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg "expected a positive integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
@@ -403,11 +413,11 @@ let execute_cmd =
   let workers =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some pos_int) None
       & info [ "workers" ] ~docv:"N"
-          ~doc:"Worker domains of the pool scheduler (default: the \
-                machine's recommended domain count). Ignored with \
-                --scheduler=domains.")
+          ~doc:"Worker domains of the pool scheduler, a positive integer \
+                (default: the machine's recommended domain count). Ignored \
+                with --scheduler=domains.")
   in
   let groups =
     (* "off" -> one locality group (historical behavior); "auto" -> one
@@ -513,9 +523,6 @@ let execute_cmd =
     | Some limit when limit <= 0.0 ->
         or_die (Error "--timeout must be positive")
     | _ -> ());
-    (match workers with
-    | Some w when w < 1 -> or_die (Error "--workers must be >= 1")
-    | _ -> ());
     let scheduler =
       match (scheduler, workers) with
       | `Domains, _ -> `Domain_per_actor
@@ -592,6 +599,99 @@ let execute_cmd =
       const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
       $ workers $ groups $ seed_arg $ batch $ channels $ telemetry $ prom_out
       $ json_out)
+
+(* ------------------------------------------------------------------ *)
+(* elastic *)
+
+let elastic_cmd =
+  let epochs =
+    Arg.(
+      value & opt pos_int 10
+      & info [ "epochs" ] ~docv:"N"
+          ~doc:"Maximum controller epochs (default 10).")
+  in
+  let epoch_length =
+    Arg.(
+      value & opt float 0.5
+      & info [ "epoch-length" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock length of each controller epoch (default 0.5).")
+  in
+  let settle =
+    Arg.(
+      value & opt pos_int 2
+      & info [ "settle" ] ~docv:"N"
+          ~doc:"Stop after $(docv) consecutive change-free epochs (default \
+                2).")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some pos_int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Initial worker domains of the pool, a positive integer \
+                (default: the machine's recommended domain count).")
+  in
+  let reserve =
+    Arg.(
+      value & opt pos_int 8
+      & info [ "reserve" ] ~docv:"N"
+          ~doc:"Dormant reserve worker slots the controller can activate \
+                when it grows operator degrees (default 8).")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"TUPLES/S"
+          ~doc:"Offered load: the synthetic source is paced to this rate \
+                (default: the topology source's declared rate).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the per-epoch record and final metrics as JSON to \
+                $(docv).")
+  in
+  let run path epochs epoch_length settle workers reserve rate seed json_out =
+    (match epoch_length with
+    | l when l <= 0.0 -> or_die (Error "--epoch-length must be positive")
+    | _ -> ());
+    (match rate with
+    | Some r when r <= 0.0 -> or_die (Error "--rate must be positive")
+    | _ -> ());
+    let session = or_die (load_session path) in
+    let r =
+      Ss_tool.Session.elastic session ~max_epochs:epochs ~epoch_length ~settle
+        ?workers ~reserve ?rate ~seed ()
+    in
+    Format.printf "%a@." Ss_elastic.Controller.pp_live r;
+    print_string (Ss_tool.Session.runtime_report session r.Ss_elastic.Controller.metrics);
+    (match json_out with
+    | None -> ()
+    | Some out ->
+        let topology = Ss_tool.Session.topology session () in
+        write_file out (Ss_tool.Export.elastic_json topology r ^ "\n");
+        Printf.printf "elastic run written to %s\n" out);
+    match r.Ss_elastic.Controller.metrics.Ss_runtime.Executor.outcome with
+    | Ss_runtime.Supervision.Finished -> ()
+    | Ss_runtime.Supervision.Actor_failed _
+    | Ss_runtime.Supervision.Timed_out _ ->
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "elastic"
+       ~doc:"Run the closed elasticity loop: deploy the topology live \
+             (starting from its declared replica degrees, typically all 1), \
+             pace a stable synthetic load, and let the threshold controller \
+             resize operators of the running topology between epochs — \
+             reporting per-epoch measured throughput, utilization and \
+             reconfiguration downtime. The counterpoint to the static plan \
+             of $(b,optimize): same workload, adaptation paid at runtime.")
+    Term.(
+      const run $ topology_arg $ epochs $ epoch_length $ settle $ workers
+      $ reserve $ rate $ seed_arg $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* place *)
@@ -744,6 +844,7 @@ let () =
             random_cmd;
             codegen_cmd;
             execute_cmd;
+            elastic_cmd;
             place_cmd;
             export_cmd;
             dot_cmd;

@@ -2,26 +2,41 @@ open Ss_topology
 open Ss_operators
 
 (* Busy-wait stand-in matching the stub emitted by Codegen: same cost, same
-   selectivity, no business logic. *)
+   selectivity, no business logic. Partitioned-stateful stubs are built
+   migratable (their keyed state is empty — there is nothing to move) so a
+   live deployment can resize them like the generated programs' real
+   partitioned operators would. *)
 let stub (op : Operator.t) =
-  let state_kind =
-    match op.Operator.kind with
-    | Operator.Stateless -> Behavior.Stateless_op
-    | Operator.Partitioned_stateful _ -> Behavior.Partitioned_op
-    | Operator.Stateful -> Behavior.Stateful_op
+  let name = Codegen.class_of_name op.Operator.name in
+  let mk_fn () =
+    let credit = ref 0.0 in
+    fun t ->
+      let deadline = Unix.gettimeofday () +. op.Operator.service_time in
+      while Unix.gettimeofday () < deadline do () done;
+      credit := !credit +. Operator.selectivity_factor op;
+      let k = int_of_float !credit in
+      credit := !credit -. float_of_int k;
+      List.init k (fun _ -> t)
   in
-  Behavior.make ~state_kind ~input_selectivity:op.Operator.input_selectivity
-    ~output_selectivity:op.Operator.output_selectivity
-    ~name:(Codegen.class_of_name op.Operator.name)
-    (fun () ->
-      let credit = ref 0.0 in
-      fun t ->
-        let deadline = Unix.gettimeofday () +. op.Operator.service_time in
-        while Unix.gettimeofday () < deadline do () done;
-        credit := !credit +. Operator.selectivity_factor op;
-        let k = int_of_float !credit in
-        credit := !credit -. float_of_int k;
-        List.init k (fun _ -> t))
+  match op.Operator.kind with
+  | Operator.Partitioned_stateful _ ->
+      Behavior.make_migratable
+        ~input_selectivity:op.Operator.input_selectivity
+        ~output_selectivity:op.Operator.output_selectivity ~name (fun () ->
+          {
+            Behavior.mfn = mk_fn ();
+            export_state = (fun () -> []);
+            import_state = ignore;
+          })
+  | Operator.Stateless | Operator.Stateful ->
+      let state_kind =
+        match op.Operator.kind with
+        | Operator.Stateless -> Behavior.Stateless_op
+        | _ -> Behavior.Stateful_op
+      in
+      Behavior.make ~state_kind
+        ~input_selectivity:op.Operator.input_selectivity
+        ~output_selectivity:op.Operator.output_selectivity ~name mk_fn
 
 let resolve op =
   match Catalog.find (Codegen.class_of_name op.Operator.name) with
@@ -38,4 +53,33 @@ let run ?mailbox_capacity ?fused ?ordered ?(seed = 42) ?(tuples = 10_000)
   Ss_runtime.Executor.run ?mailbox_capacity ?fused ?ordered ~seed ?timeout
     ?scheduler ?placement ?batch ?channels ?instrument
     ~source:(Ss_runtime.Executor.source_of_list stream)
+    ~registry:(registry topology) topology
+
+let live ?mailbox_capacity ?(seed = 42) ?timeout ?workers ?reserve ?rate
+    ?tuples ?instrument ?stream_spec topology =
+  let rng = Ss_prelude.Rng.create seed in
+  let seq =
+    ref
+      (match tuples with
+      | Some n ->
+          List.to_seq (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng n)
+      | None -> Ss_workload.Stream_gen.sequence ?spec:stream_spec rng)
+  in
+  let next () =
+    match Seq.uncons !seq with
+    | Some (t, rest) ->
+        seq := rest;
+        Some t
+    | None -> None
+  in
+  let rate =
+    match rate with
+    | Some r -> r
+    | None ->
+        Operator.service_rate
+          (Topology.operator topology (Topology.source topology))
+  in
+  Ss_runtime.Executor.Live.start ?mailbox_capacity ~seed ?timeout ?workers
+    ?reserve ?instrument
+    ~source:(Ss_runtime.Executor.source_throttled ~rate next)
     ~registry:(registry topology) topology

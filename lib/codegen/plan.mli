@@ -35,3 +35,25 @@ val run :
     {!Ss_runtime.Executor.run}; the returned metrics carry the supervised
     per-actor outcome (and, with [instrument.telemetry], the telemetry
     report). *)
+
+val live :
+  ?mailbox_capacity:int ->
+  ?seed:int ->
+  ?timeout:float ->
+  ?workers:int ->
+  ?reserve:int ->
+  ?rate:float ->
+  ?tuples:int ->
+  ?instrument:Ss_runtime.Executor.instrument ->
+  ?stream_spec:Ss_workload.Stream_gen.spec ->
+  Ss_topology.Topology.t ->
+  Ss_runtime.Executor.Live.t
+(** [live topology] starts a live deployment
+    ({!Ss_runtime.Executor.Live.start}) of the topology with the same
+    catalog-or-stub behaviors as {!run}, driven by a synthetic stream paced
+    to [rate] tuples/second ({!Ss_runtime.Executor.source_throttled};
+    default: the topology source's declared rate). [tuples] bounds the
+    stream (default: unbounded — the stream ends when
+    {!Ss_runtime.Executor.Live.stop} is called). Partitioned-stateful
+    operators resolved to stubs are migratable, so an elastic controller
+    can resize every replicable operator of the topology. *)

@@ -129,11 +129,187 @@ let run ?(policy = default_policy) ?(epoch_length = 10.0)
     horizon = float_of_int (List.length epochs) *. epoch_length;
   }
 
-let pp ppf t =
+(* ------------------------------------------------------------------ *)
+(* Live control loop: same threshold policy, but measurements come from a
+   running Executor.Live deployment and reconfigurations are applied to it
+   between epochs, so the downtime charged is the measured wall-clock cost
+   of the drain-and-swap rather than a modeled constant. *)
+
+module Live = Ss_runtime.Executor.Live
+
+type live_epoch = {
+  index : int;
+  duration : float;
+  rate : float;
+  downtime : float;
+  utilization : float array;
+  degrees : int array;
+  workers : int;
+  changes : change list;
+}
+
+type live_run = {
+  epochs : live_epoch list;
+  final_degrees : int array;
+  total_downtime : float;
+  converged_at : int option;
+  metrics : Ss_runtime.Executor.metrics;
+}
+
+let decide_measured policy ~elastic ~degrees ~utilization =
+  List.filter_map
+    (fun v ->
+      if not elastic.(v) then None
+      else
+        let u =
+          if Float.is_finite utilization.(v) then utilization.(v) else 0.0
+        in
+        let d = degrees.(v) in
+        let resized =
+          int_of_float
+            (Float.ceil (float_of_int d *. u /. policy.target_utilization))
+        in
+        let d' =
+          if u > policy.scale_up_threshold then
+            min policy.max_replicas_per_operator (max (d + 1) resized)
+          else if u < policy.scale_down_threshold && d > 1 then max 1 resized
+          else d
+        in
+        if d' <> d then Some { vertex = v; before = d; after = d' } else None)
+    (List.init (Array.length degrees) Fun.id)
+
+let utilization_of ~sample ~duration ~degrees
+    (window : Ss_telemetry.Telemetry.report) =
+  Array.mapi
+    (fun v h ->
+      (* Only every [sample]-th invocation is timed, so the recorded sum
+         underestimates total busy time by that factor. *)
+      let busy = Ss_telemetry.Histogram.sum h *. float_of_int sample in
+      let cap = duration *. float_of_int (max 1 degrees.(v)) in
+      let u = if cap > 0.0 then busy /. cap else 0.0 in
+      if Float.is_finite u then u else 0.0)
+    window.Ss_telemetry.Telemetry.service
+
+let run_live ?(policy = default_policy) ?(epoch_length = 0.5)
+    ?(max_epochs = 10) ?(settle = 2) ?(apply_timeout = 5.0) live =
+  if epoch_length <= 0.0 then
+    invalid_arg "Controller.run_live: epoch_length must be positive";
+  if max_epochs < 1 then
+    invalid_arg "Controller.run_live: max_epochs must be >= 1";
+  if settle < 1 then invalid_arg "Controller.run_live: settle must be >= 1";
+  let telemetry () =
+    match Live.telemetry live with
+    | Some r -> r
+    | None ->
+        invalid_arg
+          "Controller.run_live: the deployment was started without telemetry"
+  in
+  let topo = Live.topology live in
+  let src = Topology.source topo in
+  let elastic = Live.elastic live in
+  elastic.(src) <- false;
+  let sample = Live.telemetry_sample live in
+  let rec go index prev_report prev_produced prev_downtime settled acc =
+    if index >= max_epochs || settled >= settle then List.rev acc
+    else begin
+      let t0 = Unix.gettimeofday () in
+      Unix.sleepf epoch_length;
+      let report = telemetry () in
+      let duration = Unix.gettimeofday () -. t0 in
+      let produced = Live.produced live in
+      let degrees = Live.degrees live in
+      let window = Ss_telemetry.Telemetry.delta ~since:prev_report report in
+      let rate = float_of_int (produced.(src) - prev_produced) /. duration in
+      let utilization = utilization_of ~sample ~duration ~degrees window in
+      let changes = decide_measured policy ~elastic ~degrees ~utilization in
+      List.iter
+        (fun c -> ignore (Live.resize live ~vertex:c.vertex c.after))
+        changes;
+      (* Grow (or give back) pool capacity along with the operator degrees,
+         drawing on the dormant reserve. *)
+      let dw = List.fold_left (fun a c -> a + c.after - c.before) 0 changes in
+      if dw > 0 then ignore (Live.add_workers live dw)
+      else if dw < 0 then ignore (Live.retire_workers live (-dw));
+      (* The swap is asynchronous (the emitter applies it between bursts):
+         wait for it so the next epoch measures the new configuration. *)
+      if changes <> [] then begin
+        let deadline = Unix.gettimeofday () +. apply_timeout in
+        let applied () =
+          let d = Live.degrees live in
+          List.for_all (fun c -> d.(c.vertex) = c.after) changes
+        in
+        while (not (applied ())) && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.001
+        done
+      end;
+      let downtime_now = Live.total_downtime live in
+      let e =
+        {
+          index;
+          duration;
+          rate;
+          downtime = downtime_now -. prev_downtime;
+          utilization;
+          degrees;
+          workers = Live.active_workers live;
+          changes;
+        }
+      in
+      let settled' = if changes = [] then settled + 1 else 0 in
+      go (index + 1) report produced.(src) downtime_now settled' (e :: acc)
+    end
+  in
+  let initial_report = telemetry () in
+  let initial_produced = (Live.produced live).(Topology.source topo) in
+  let epochs =
+    go 0 initial_report initial_produced (Live.total_downtime live) 0 []
+  in
+  let final_degrees = Live.degrees live in
+  let total_downtime = Live.total_downtime live in
+  let converged_at =
+    let rec scan best = function
+      | [] -> best
+      | e :: rest ->
+          if e.changes = [] then
+            scan (match best with None -> Some e.index | some -> some) rest
+          else scan None rest
+    in
+    scan None epochs
+  in
+  let metrics = Live.stop live in
+  { epochs; final_degrees; total_downtime; converged_at; metrics }
+
+let pp_live ppf t =
+  Format.fprintf ppf "@[<v>live elastic run (%d epochs):@,"
+    (List.length t.epochs);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "  epoch %2d: %8.1f t/s, %2d workers, downtime %6.2f ms%s@," e.index
+        e.rate e.workers (e.downtime *. 1000.0)
+        (if e.changes = [] then ""
+         else
+           " resize "
+           ^ String.concat ", "
+               (List.map
+                  (fun c ->
+                    Printf.sprintf "v%d:%d->%d" c.vertex c.before c.after)
+                  e.changes)))
+    t.epochs;
+  (match t.converged_at with
+  | Some i -> Format.fprintf ppf "converged at epoch %d@," i
+  | None -> Format.fprintf ppf "did not converge within the horizon@,");
+  Format.fprintf ppf "final degrees: %s@,"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int t.final_degrees)));
+  Format.fprintf ppf "total measured downtime: %.2f ms@]"
+    (t.total_downtime *. 1000.0)
+
+let pp ppf (t : run) =
   Format.fprintf ppf "@[<v>elastic run (%d epochs, horizon %.0fs):@,"
     (List.length t.epochs) t.horizon;
   List.iter
-    (fun e ->
+    (fun (e : epoch) ->
       Format.fprintf ppf
         "  epoch %2d: %8.1f t/s (effective %8.1f)%s@," e.index e.throughput
         e.effective_throughput

@@ -64,3 +64,75 @@ val run :
     controller produced at least one change. *)
 
 val pp : Format.formatter -> run -> unit
+
+(** {2 Live elasticity}
+
+    The same threshold policy, closed over a {e running}
+    {!Ss_runtime.Executor.Live} deployment instead of the simulator:
+    utilization comes from live telemetry windows, reconfigurations are
+    drain-and-swap operations against the running actors, and the downtime
+    charged per epoch is the {e measured} wall-clock cost of those swaps —
+    the end-to-end realization of the elasticity-vs-static argument. *)
+
+type live_epoch = {
+  index : int;  (** 0-based. *)
+  duration : float;  (** Measured epoch wall-clock, seconds. *)
+  rate : float;  (** Source tuples per second during the epoch. *)
+  downtime : float;
+      (** Measured reconfiguration downtime accumulated across this epoch
+          (including the swaps applied at its end), seconds. *)
+  utilization : float array;
+      (** Per vertex: estimated busy fraction over the epoch —
+          sampled-service-time sum scaled by the telemetry stride, divided
+          by [duration x degree]. Always finite; can exceed 1 under
+          sampling noise. *)
+  degrees : int array;  (** Applied parallelism degrees during the epoch. *)
+  workers : int;  (** Active pool workers at the end of the epoch. *)
+  changes : change list;
+      (** Resizes decided (and applied) at the end of this epoch. *)
+}
+
+type live_run = {
+  epochs : live_epoch list;
+  final_degrees : int array;
+  total_downtime : float;
+      (** Sum of measured per-swap downtime, seconds. *)
+  converged_at : int option;
+      (** First epoch from which no further change happened. *)
+  metrics : Ss_runtime.Executor.metrics;
+      (** Final metrics of the deployment ({!Ss_runtime.Executor.Live.stop}
+          is called when the loop ends). *)
+}
+
+val decide_measured :
+  policy ->
+  elastic:bool array ->
+  degrees:int array ->
+  utilization:float array ->
+  change list
+(** The threshold rule on measured utilization: vertices with
+    [elastic.(v) = false] are never resized; non-finite utilization reads
+    as 0 (idle). Exposed for tests. *)
+
+val run_live :
+  ?policy:policy ->
+  ?epoch_length:float ->
+  ?max_epochs:int ->
+  ?settle:int ->
+  ?apply_timeout:float ->
+  Ss_runtime.Executor.Live.t ->
+  live_run
+(** [run_live live] drives the deployment for up to [max_epochs] (default
+    10) epochs of [epoch_length] (default 0.5) wall-clock seconds: each
+    epoch it diffs the live telemetry aggregate
+    ({!Ss_telemetry.Telemetry.delta}), estimates per-vertex utilization,
+    applies the threshold policy via {!Ss_runtime.Executor.Live.resize},
+    and grows or shrinks the worker pool along with the total degree. The
+    loop exits early after [settle] (default 2) consecutive change-free
+    epochs, then stops the deployment and returns its final metrics.
+    [apply_timeout] (default 5) bounds the wait for an asynchronous swap to
+    be applied. The controller never resizes the source.
+    @raise Invalid_argument on non-positive [epoch_length], [max_epochs] or
+    [settle], or if the deployment was started with telemetry disabled. *)
+
+val pp_live : Format.formatter -> live_run -> unit

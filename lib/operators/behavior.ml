@@ -1,5 +1,12 @@
 type fn = Tuple.t -> Tuple.t list
 type state_kind = Stateless_op | Partitioned_op | Stateful_op
+type keyed_state = (int * float array) list
+
+type migratable = {
+  mfn : fn;
+  export_state : unit -> keyed_state;
+  import_state : keyed_state -> unit;
+}
 
 type t = {
   name : string;
@@ -7,6 +14,7 @@ type t = {
   input_selectivity : float;
   output_selectivity : float;
   fresh : unit -> fn;
+  migrate : (unit -> migratable) option;
 }
 
 let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
@@ -15,9 +23,17 @@ let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
     invalid_arg "Behavior.make: input_selectivity must be positive";
   if output_selectivity < 0.0 then
     invalid_arg "Behavior.make: output_selectivity must be non-negative";
-  { name; state_kind; input_selectivity; output_selectivity; fresh }
+  { name; state_kind; input_selectivity; output_selectivity; fresh; migrate = None }
+
+let make_migratable ?input_selectivity ?output_selectivity ~name mk =
+  let base =
+    make ~state_kind:Partitioned_op ?input_selectivity ?output_selectivity
+      ~name (fun () -> (mk ()).mfn)
+  in
+  { base with migrate = Some mk }
 
 let instantiate t = t.fresh ()
+let can_migrate t = Option.is_some t.migrate
 let selectivity_factor t = t.output_selectivity /. t.input_selectivity
 
 let to_operator ?dist ?keys ~service_time t =

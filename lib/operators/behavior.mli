@@ -15,6 +15,23 @@ type fn = Tuple.t -> Tuple.t list
     of the operator code. *)
 type state_kind = Stateless_op | Partitioned_op | Stateful_op
 
+type keyed_state = (int * float array) list
+(** Serialized partitioned state: one [(key, values)] entry per key the
+    instance has state for. The flat float-array encoding is deliberately
+    lowest-common-denominator so state can be repartitioned across replicas
+    by key without the runtime knowing the behavior's internal
+    representation. *)
+
+type migratable = {
+  mfn : fn;  (** The behavior function, closed over this instance's state. *)
+  export_state : unit -> keyed_state;
+      (** Snapshot the instance's entire keyed state. Called after the
+          instance has quiesced (no concurrent [mfn] call). *)
+  import_state : keyed_state -> unit;
+      (** Load state for the keys this instance now owns, before any [mfn]
+          call. Unknown keys replace any fresh default. *)
+}
+
 type t = {
   name : string;
   state_kind : state_kind;
@@ -23,6 +40,12 @@ type t = {
   output_selectivity : float;
       (** Nominal results produced per item consumed. *)
   fresh : unit -> fn;  (** Allocate a new, independent state instance. *)
+  migrate : (unit -> migratable) option;
+      (** When present, instances support keyed-state handoff: live
+          reconfiguration can export a retiring replica's state and import
+          it into the replicas of the new generation. [None] for stateless
+          behaviors (nothing to move) and for partitioned behaviors that
+          opted out (resizing them live discards state). *)
 }
 
 val make :
@@ -32,12 +55,25 @@ val make :
   name:string ->
   (unit -> fn) ->
   t
-(** Defaults: stateless with unit selectivities.
+(** Defaults: stateless with unit selectivities, no migration support.
     @raise Invalid_argument on non-positive input selectivity or negative
     output selectivity. *)
 
+val make_migratable :
+  ?input_selectivity:float ->
+  ?output_selectivity:float ->
+  name:string ->
+  (unit -> migratable) ->
+  t
+(** A partitioned-stateful behavior whose instances can export and import
+    keyed state, enabling lossless live resizing. [fresh] is derived from
+    the same allocator ([mfn] of a new instance). *)
+
 val instantiate : t -> fn
 (** Shorthand for [t.fresh ()]. *)
+
+val can_migrate : t -> bool
+(** Whether {!migrate} is present. *)
 
 val selectivity_factor : t -> float
 (** [output_selectivity /. input_selectivity]. *)

@@ -25,13 +25,32 @@ let band_join ?(length = 200) ?(index = 0) ~band () =
         matches)
 
 let count_by_key () =
-  Behavior.make ~state_kind:Behavior.Partitioned_op ~name:"count_by_key"
-    (fun () ->
+  (* Migratable: the per-key running count round-trips through the keyed
+     state encoding as a singleton vector, so live resizing preserves
+     counts across the replica handoff. *)
+  Behavior.make_migratable ~name:"count_by_key" (fun () ->
       let counts = Hashtbl.create 64 in
-      fun (t : Tuple.t) ->
-        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts t.Tuple.key) in
-        Hashtbl.replace counts t.Tuple.key c;
-        [ Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag [| float_of_int c |] ])
+      {
+        Behavior.mfn =
+          (fun (t : Tuple.t) ->
+            let c =
+              1 + Option.value ~default:0 (Hashtbl.find_opt counts t.Tuple.key)
+            in
+            Hashtbl.replace counts t.Tuple.key c;
+            [
+              Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
+                [| float_of_int c |];
+            ]);
+        export_state =
+          (fun () ->
+            Hashtbl.fold
+              (fun k c acc -> (k, [| float_of_int c |]) :: acc)
+              counts []);
+        import_state =
+          List.iter (fun (k, v) ->
+              if Array.length v > 0 then
+                Hashtbl.replace counts k (int_of_float v.(0)));
+      })
 
 let dedup ?(memory = 1024) () =
   Behavior.make ~state_kind:Behavior.Partitioned_op

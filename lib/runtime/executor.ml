@@ -29,12 +29,49 @@ type router = Tuple.t -> int
 
 (* [Timed] carries the tuple's birth timestamp (source emission time) so
    downstream vertices can record its age; it is used only when telemetry
-   is on, keeping the off path allocation-identical to before. *)
-type msg = Data of Tuple.t | Timed of Tuple.t * float | Eos
+   is on, keeping the off path allocation-identical to before.
+
+   [Drain] and [Expect] exist only inside elastic fission units. [Drain] is
+   the quiesce marker the emitter appends behind all in-flight work on a
+   worker channel: the worker finishes everything before it, exports its
+   keyed state to the handoff channel and exits {e without} signalling
+   end-of-stream. [Expect k] tells the unit's collector how many
+   end-of-stream markers terminate the run (the final generation's degree) —
+   unknowable at deploy time when the degree changes live. Static units
+   never see either. *)
+type msg =
+  | Data of Tuple.t
+  | Timed of Tuple.t * float
+  | Eos
+  | Drain
+  | Expect of int
 
 type scheduler = [ `Domain_per_actor | `Pool of int | `Locked_pool of int ]
 type batch = [ `Fixed of int | `Adaptive of int ]
 type channels = [ `Auto | `Locking ]
+
+(* Shared-memory control plane between a running deployment and the elastic
+   controller. [target] is written by the controller; the unit's emitter
+   polls it between input bursts and performs the swap; [applied],
+   [generation] and [downtime] flow back. Only vertices flagged in
+   [managed] deploy as resizable units. *)
+type control = {
+  target : int Atomic.t array;
+  applied : int Atomic.t array;
+  managed : bool array;
+  generation : int Atomic.t;
+  downtime : float Atomic.t array; (* cumulative quiesce seconds, per vertex *)
+  stop : bool Atomic.t; (* cuts the source off at the next emission *)
+}
+
+(* Runtime handles surfaced to [Live] once deployment is complete and the
+   pool is about to run. *)
+type live_internals = {
+  li_consumed : int Atomic.t array;
+  li_produced : int Atomic.t array;
+  li_collector : Telemetry.Collector.t option;
+  li_pool : Ss_sched.Sched.t;
+}
 
 let source_of_list items =
   let rest = ref items in
@@ -54,6 +91,28 @@ let source_of_fn ~count f =
       incr i;
       Some t
     end
+
+let source_throttled ~rate source =
+  if not (Float.is_finite rate && rate > 0.0) then
+    invalid_arg "Executor.source_throttled: rate must be positive";
+  let started = ref None in
+  let emitted = ref 0 in
+  fun () ->
+    match source () with
+    | None -> None
+    | Some t ->
+        let now = Unix.gettimeofday () in
+        let t0 =
+          match !started with
+          | Some t0 -> t0
+          | None ->
+              started := Some now;
+              now
+        in
+        let target = t0 +. (float_of_int !emitted /. rate) in
+        if target > now then Unix.sleepf (target -. now);
+        incr emitted;
+        Some t
 
 (* In [`Domain_per_actor] mode every actor body runs on its own domain, so
    the runtime caps the actor count below the OCaml domain limit (the
@@ -84,16 +143,32 @@ type ctx = {
   cburst : 'a. 'a Mailbox.t -> unit -> 'a Queue.t;
 }
 
-let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ?timeout ?scheduler ?placement ?(batch = `Adaptive 32)
-    ?(channels = `Auto) ?(instrument = default_instrument) ~source ~registry
-    topology =
+let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
+    ?(fused = []) ?(routers = []) ?(ordered = []) ?(seed = 42) ?timeout
+    ?scheduler ?placement ?(batch = `Adaptive 32) ?(channels = `Auto)
+    ?(instrument = default_instrument) ~source ~registry topology =
   let scheduler =
     match scheduler with
     | Some (`Pool w | `Locked_pool w) when w < 1 ->
         invalid_arg "Executor.run: pool workers must be >= 1"
     | Some s -> s
     | None -> `Pool (Stdlib.max 1 (Domain.recommended_domain_count ()))
+  in
+  (match (control, scheduler) with
+  | Some _, `Domain_per_actor ->
+      invalid_arg
+        "Executor: live reconfiguration requires a pool scheduler (replicas \
+         spawned mid-run multiplex over the workers)"
+  | _ -> ());
+  if reserve < 0 then invalid_arg "Executor.run: reserve must be >= 0";
+  (* Dynamic spawn hook: elastic emitters spawn replacement workers through
+     it. Bound to [Sched.spawn] on the live pool just before the pool runs;
+     reconfiguration can only be requested while the pool runs, so elastic
+     units never observe the placeholder. *)
+  let spawn_dyn :
+      (actor:string -> vertex:int -> (unit -> unit) -> unit) ref =
+    ref (fun ~actor:_ ~vertex:_ _ ->
+        invalid_arg "Executor: dynamic spawn before the pool started")
   in
   (match batch with
   | `Fixed b | `Adaptive b ->
@@ -479,7 +554,236 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
       let behavior = registry v in
       let inbox = mailbox_of v in
       let expected = expected_eos v in
-      if op.Operator.replicas = 1 then begin
+      (* With a control plane attached, every vertex that can legally change
+         degree deploys as an elastic unit — even at degree 1, so growth
+         from a sequential deployment needs no restart. Ordered-fission and
+         fused vertices keep their static deployment (their protocols pin
+         the worker set), as do partitioned-stateful operators whose
+         behavior cannot export its state (resizing those live would
+         silently drop state). *)
+      let elastic =
+        match control with
+        | None -> false
+        | Some ctl ->
+            let ok =
+              (not (List.mem v ordered))
+              && Operator.can_replicate op
+              &&
+              match op.Operator.kind with
+              | Operator.Partitioned_stateful _ -> Behavior.can_migrate behavior
+              | Operator.Stateless | Operator.Stateful -> true
+            in
+            if ok then begin
+              ctl.managed.(v) <- true;
+              Atomic.set ctl.target.(v) op.Operator.replicas;
+              Atomic.set ctl.applied.(v) op.Operator.replicas
+            end;
+            ok
+      in
+      if elastic then begin
+        (* --- elastic fission unit: emitter, one {e generation} of
+           workers at a time, collector. The swap protocol is coordinated
+           entirely by the emitter, inline between input bursts:
+           1. it notices [target <> applied] and stamps the clock;
+           2. it appends [Drain] behind all in-flight work on every worker
+              channel — FIFO order quiesces each worker after it has
+              processed everything dealt to it, so no tuple is lost,
+              reordered (per key) or double-processed;
+           3. each worker exports its keyed state (empty for stateless
+              behaviors) to the handoff channel and retires without an
+              end-of-stream marker;
+           4. the emitter merges the exports, repartitions them under the
+              new degree's routing, spawns the next generation with state
+              preloaded, and resumes dealing.
+           Input never overtakes the swap (the emitter is the only dealer),
+           and the wall-clock span of steps 2-4 is the measured
+           reconfiguration downtime charged to the vertex. The collector is
+           generation-agnostic: workers of any generation feed the same
+           merge mailbox, and the final [Expect] message tells it how many
+           end-of-stream markers — the last generation's degree — end the
+           run. *)
+        let ctl = match control with Some c -> c | None -> assert false in
+        let initial = op.Operator.replicas in
+        let collector_mb = new_mailbox ~spsc:false () in
+        let handoff_mb : Behavior.keyed_state Mailbox.t =
+          new_mailbox ~spsc:false ()
+        in
+        let partition_of d =
+          match op.Operator.kind with
+          | Operator.Partitioned_stateful keys ->
+              let groups =
+                Ss_core.Key_partitioning.groups_for ~keys ~replicas:d
+              in
+              let support = Discrete.support keys in
+              Some (fun k -> groups.(((k mod support) + support) mod support))
+          | Operator.Stateless | Operator.Stateful -> None
+        in
+        let route_of d =
+          match partition_of d with
+          | Some owner -> fun (t : Tuple.t) _rr -> owner t.Tuple.key
+          | None -> fun (_ : Tuple.t) rr -> rr mod d
+        in
+        let make_worker ~gen ~r mb state =
+          let snk = new_sink () in
+          let inst =
+            match behavior.Behavior.migrate with
+            | Some mk -> `Migratable (mk ())
+            | None -> `Plain (Behavior.instantiate behavior)
+          in
+          (match (inst, state) with
+          | `Migratable m, Some st -> m.Behavior.import_state st
+          | _ -> ());
+          let fn =
+            match inst with `Migratable m -> m.Behavior.mfn | `Plain f -> f
+          in
+          let apply = invoke snk v fn in
+          let emit =
+            match snk with
+            | Some _ ->
+                fun out birth -> put_from v collector_mb (Timed (out, birth))
+            | None -> fun out _birth -> put_from v collector_mb (Data out)
+          in
+          let export () =
+            match inst with
+            | `Migratable m -> m.Behavior.export_state ()
+            | `Plain _ -> []
+          in
+          let body () =
+            let next = ctx.creader mb in
+            let continue = ref true in
+            let handle t birth =
+              Atomic.incr consumed.(v);
+              List.iter
+                (fun out ->
+                  Atomic.incr produced.(v);
+                  emit out birth)
+                (apply t birth)
+            in
+            while !continue do
+              match next () with
+              | Eos ->
+                  put_from v collector_mb Eos;
+                  continue := false
+              | Drain ->
+                  put_from v handoff_mb (export ());
+                  continue := false
+              | Data t -> handle t 0.0
+              | Timed (t, birth) -> handle t birth
+              | Expect _ -> assert false (* collector channel only *)
+            done
+          in
+          (Printf.sprintf "%s.g%d.worker%d" (opname v) gen r, body)
+        in
+        (* Generation 0 deploys with everyone else. *)
+        let gen0_mbs =
+          Array.init initial (fun _ -> new_mailbox ~spsc:true ())
+        in
+        Array.iteri
+          (fun r mb ->
+            let name, body = make_worker ~gen:0 ~r mb None in
+            add_actor ~actor:name ~vertex:v body)
+          gen0_mbs;
+        (* emitter *)
+        add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
+            let next = ctx.cburst inbox in
+            let next_handoff = ctx.creader handoff_mb in
+            let degree = ref initial in
+            let gen = ref 0 in
+            let mbs = ref gen0_mbs in
+            let route = ref (route_of initial) in
+            let buckets = ref (Array.make initial []) in
+            let eos = ref 0 in
+            let rr = ref 0 in
+            let reconfigure want =
+              let t0 = Unix.gettimeofday () in
+              Array.iter (fun mb -> put_from v mb Drain) !mbs;
+              let merged = ref [] in
+              for _ = 1 to !degree do
+                merged := List.rev_append (next_handoff ()) !merged
+              done;
+              incr gen;
+              let d = want in
+              let mbs' = Array.init d (fun _ -> new_mailbox ~spsc:true ()) in
+              let parts = Array.make d None in
+              (match partition_of d with
+              | Some owner ->
+                  let parts' = Array.make d [] in
+                  List.iter
+                    (fun ((k, _) as entry) ->
+                      let r = owner k in
+                      parts'.(r) <- entry :: parts'.(r))
+                    !merged;
+                  Array.iteri (fun r st -> parts.(r) <- Some st) parts'
+              | None -> ());
+              Array.iteri
+                (fun r mb ->
+                  let name, body = make_worker ~gen:!gen ~r mb parts.(r) in
+                  !spawn_dyn ~actor:name ~vertex:v body)
+                mbs';
+              mbs := mbs';
+              route := route_of d;
+              buckets := Array.make d [];
+              degree := d;
+              rr := 0;
+              Atomic.set ctl.applied.(v) d;
+              (* Single writer (this emitter), so a plain read-add-set on
+                 the atomic cell is race-free. *)
+              Atomic.set ctl.downtime.(v)
+                (Atomic.get ctl.downtime.(v)
+                +. (Unix.gettimeofday () -. t0));
+              Atomic.incr ctl.generation
+            in
+            while !eos < expected do
+              let want = Atomic.get ctl.target.(v) in
+              if want >= 1 && want <> !degree then reconfigure want;
+              let burst = next () in
+              let d = !degree and bks = !buckets and rt = !route in
+              Queue.iter
+                (fun m ->
+                  match m with
+                  | Eos -> incr eos
+                  | Data t | Timed (t, _) ->
+                      let r = rt t !rr in
+                      incr rr;
+                      bks.(r) <- m :: bks.(r)
+                  | Drain | Expect _ -> assert false)
+                burst;
+              for r = 0 to d - 1 do
+                match bks.(r) with
+                | [] -> ()
+                | acc ->
+                    bks.(r) <- [];
+                    ctx.cput_batch v !mbs.(r) (List.rev acc)
+              done
+            done;
+            Array.iter (fun mb -> put_from v mb Eos) !mbs;
+            put_from v collector_mb (Expect !degree));
+        (* collector *)
+        let rng = Rng.create (seed + (104729 * (v + 1))) in
+        let choose = chooser v rng in
+        let snk = new_sink () in
+        let send = sender snk v in
+        add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
+            let next = ctx.creader collector_mb in
+            let eos = ref 0 in
+            let expect = ref (-1) in
+            let handle t birth =
+              match choose t with
+              | Some dest -> send dest t birth
+              | None -> ()
+            in
+            while !expect < 0 || !eos < !expect do
+              match next () with
+              | Eos -> incr eos
+              | Expect k -> expect := k
+              | Data t -> handle t 0.0
+              | Timed (t, birth) -> handle t birth
+              | Drain -> assert false (* worker channels only *)
+            done;
+            List.iter (fun mb -> put_from v mb Eos)
+              (eos_targets (external_succs v)))
+      end
+      else if op.Operator.replicas = 1 then begin
         (* Standard operator: one actor (paper §4.2, standard case). *)
         let rng = Rng.create (seed + (7919 * (v + 1))) in
         let choose = chooser v rng in
@@ -504,6 +808,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
               | Eos -> incr eos
               | Data t -> handle t 0.0
               | Timed (t, birth) -> handle t birth
+              | Drain | Expect _ -> assert false (* elastic units only *)
             done;
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
@@ -540,7 +845,8 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                   | Data _ | Timed _ ->
                       let r = !rr mod replicas in
                       incr rr;
-                      buckets.(r) <- m :: buckets.(r))
+                      buckets.(r) <- m :: buckets.(r)
+                  | Drain | Expect _ -> assert false (* elastic units only *))
                 burst;
               for r = 0 to replicas - 1 do
                 match buckets.(r) with
@@ -571,6 +877,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                     continue := false
                 | Data t -> handle t 0.0
                 | Timed (t, birth) -> handle t birth
+                | Drain | Expect _ -> assert false (* elastic units only *)
               done)
         done;
         let rng = Rng.create (seed + (104729 * (v + 1))) in
@@ -641,7 +948,8 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                   | Data t | Timed (t, _) ->
                       let r = route_to_replica t !rr in
                       incr rr;
-                      buckets.(r) <- m :: buckets.(r))
+                      buckets.(r) <- m :: buckets.(r)
+                  | Drain | Expect _ -> assert false (* elastic units only *))
                 burst;
               for r = 0 to replicas - 1 do
                 match buckets.(r) with
@@ -681,6 +989,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
                     continue := false
                 | Data t -> handle t 0.0
                 | Timed (t, birth) -> handle t birth
+                | Drain | Expect _ -> assert false (* elastic units only *)
               done)
         done;
         (* collector *)
@@ -701,6 +1010,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
               | Eos -> incr eos
               | Data t -> handle t 0.0
               | Timed (t, birth) -> handle t birth
+              | Drain | Expect _ -> assert false (* elastic units only *)
             done;
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
@@ -770,6 +1080,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
             | Eos -> incr eos
             | Data t -> process front t 0.0
             | Timed (t, birth) -> process front t birth
+            | Drain | Expect _ -> assert false (* elastic units only *)
           done;
           List.iter (fun mb -> put_from front mb Eos) (eos_targets all_external)))
     fused;
@@ -863,7 +1174,7 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
         | None -> (Array.make n 0, [| w |])
       in
       let pool =
-        Ss_sched.Sched.create ~workers:w ~groups:group_sizes ~impl ()
+        Ss_sched.Sched.create ~workers:w ~groups:group_sizes ~reserve ~impl ()
       in
       List.iter
         (fun (actor, vertex, body) ->
@@ -873,6 +1184,20 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
           Ss_sched.Sched.spawn ~group pool
             (Supervision.supervise sup ~actor ?vertex body))
         actors;
+      (spawn_dyn :=
+         fun ~actor ~vertex body ->
+           Ss_sched.Sched.spawn ~group:group_of_vertex.(vertex) pool
+             (Supervision.supervise sup ~actor ~vertex body));
+      Option.iter
+        (fun f ->
+          f
+            {
+              li_consumed = consumed;
+              li_produced = produced;
+              li_collector = collector;
+              li_pool = pool;
+            })
+        notify;
       let watchdog = spawn_watchdog () in
       let tick =
         if instr_active then Some (sample_interval, instr_tick) else None
@@ -898,3 +1223,123 @@ let run ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
     actors = Supervision.reports sup;
     outcome = Supervision.outcome sup;
   }
+
+let run ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout ?scheduler
+    ?placement ?batch ?channels ?instrument ~source ~registry topology =
+  run_internal ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout
+    ?scheduler ?placement ?batch ?channels ?instrument ~source ~registry
+    topology
+
+(* ------------------------------------------------------------------ *)
+(* Live deployments: the executor runs on its own domain while the caller
+   keeps a handle for observation (counters, live telemetry, measured
+   downtime) and mutation (degree targets, worker admission). *)
+module Live = struct
+  type nonrec t = {
+    topology : Topology.t;
+    ctl : control;
+    internals : live_internals;
+    instrument : instrument;
+    domain : metrics Domain.t;
+  }
+
+  let start ?(mailbox_capacity = 64) ?(routers = []) ?(seed = 42) ?timeout
+      ?workers ?(reserve = 0) ?(locked = false) ?(batch = `Adaptive 32)
+      ?(channels = `Auto)
+      ?(instrument = { default_instrument with telemetry = true }) ~source
+      ~registry topology =
+    let n = Topology.size topology in
+    let workers =
+      match workers with
+      | Some w -> w
+      | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+    in
+    let ctl =
+      {
+        target = Array.init n (fun _ -> Atomic.make 1);
+        applied = Array.init n (fun _ -> Atomic.make 1);
+        managed = Array.make n false;
+        generation = Atomic.make 0;
+        downtime = Array.init n (fun _ -> Atomic.make 0.0);
+        stop = Atomic.make false;
+      }
+    in
+    Array.iteri
+      (fun v (op : Operator.t) ->
+        Atomic.set ctl.target.(v) op.Operator.replicas;
+        Atomic.set ctl.applied.(v) op.Operator.replicas)
+      (Topology.operators topology);
+    let scheduler = if locked then `Locked_pool workers else `Pool workers in
+    let source () = if Atomic.get ctl.stop then None else source () in
+    (* The handle is only returned once deployment completed and the pool is
+       about to run, so accessors never see half-built internals; a
+       validation error raised before that point propagates here through
+       the join. *)
+    let ready_m = Mutex.create () in
+    let ready_c = Condition.create () in
+    let cell = ref None in
+    let failed = ref false in
+    let notify li =
+      Mutex.lock ready_m;
+      cell := Some li;
+      Condition.signal ready_c;
+      Mutex.unlock ready_m
+    in
+    let domain =
+      Domain.spawn (fun () ->
+          try
+            run_internal ~control:ctl ~notify ~reserve ~mailbox_capacity
+              ~routers ~seed ?timeout ~scheduler ~batch ~channels ~instrument
+              ~source ~registry topology
+          with e ->
+            Mutex.lock ready_m;
+            failed := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m;
+            raise e)
+    in
+    Mutex.lock ready_m;
+    while !cell = None && not !failed do
+      Condition.wait ready_c ready_m
+    done;
+    Mutex.unlock ready_m;
+    match !cell with
+    | Some internals -> { topology; ctl; internals; instrument; domain }
+    | None ->
+        ignore (Domain.join domain : metrics);
+        assert false (* the domain must have raised *)
+
+  let topology t = t.topology
+  let telemetry_sample t = t.instrument.telemetry_sample
+  let elastic t = Array.copy t.ctl.managed
+  let degrees t = Array.map Atomic.get t.ctl.applied
+  let generation t = Atomic.get t.ctl.generation
+  let downtime t = Array.map Atomic.get t.ctl.downtime
+
+  let total_downtime t =
+    Array.fold_left (fun acc c -> acc +. Atomic.get c) 0.0 t.ctl.downtime
+
+  let consumed t = Array.map Atomic.get t.internals.li_consumed
+  let produced t = Array.map Atomic.get t.internals.li_produced
+
+  let telemetry t =
+    Option.map Telemetry.Collector.live t.internals.li_collector
+
+  let resize t ~vertex degree =
+    if degree < 1 then invalid_arg "Executor.Live.resize: degree must be >= 1";
+    if vertex < 0 || vertex >= Array.length t.ctl.managed then
+      invalid_arg "Executor.Live.resize: vertex out of range";
+    if not t.ctl.managed.(vertex) then false
+    else begin
+      Atomic.set t.ctl.target.(vertex) degree;
+      true
+    end
+
+  let add_workers t k = Ss_sched.Sched.add_workers t.internals.li_pool k
+  let retire_workers t k = Ss_sched.Sched.retire_workers t.internals.li_pool k
+  let active_workers t = Ss_sched.Sched.active_workers t.internals.li_pool
+
+  let stop t =
+    Atomic.set t.ctl.stop true;
+    Domain.join t.domain
+end

@@ -195,6 +195,120 @@ val run :
     in [`Domain_per_actor] mode only — an actor count above the domain
     budget. *)
 
+(** Live deployments: run a topology on a background domain while keeping a
+    handle for online observation and reconfiguration — the execution side
+    of the elasticity loop (paper §1, §6). Replicated vertices whose
+    operator {!Ss_topology.Operator.can_replicate}s (and, for
+    partitioned-stateful vertices, whose behavior
+    {!Ss_operators.Behavior.can_migrate}s) deploy as {e elastic} fission
+    units: their parallelism degree can be changed while the topology runs,
+    without restarting it.
+
+    Reconfiguration is drain-and-swap per vertex: the unit's emitter stops
+    feeding the current worker generation, sends a drain marker behind all
+    in-flight work, collects each retiring worker's exported keyed state
+    (for migratable partitioned behaviors), repartitions it over a freshly
+    spawned worker generation and resumes. No tuple is lost or duplicated
+    and no Eos is forged; the wall-clock cost of each swap is measured and
+    accumulated per vertex as {!Live.downtime}. Worker-pool capacity can be
+    grown and shrunk the same way through a dormant reserve
+    ({!Ss_sched.Sched.add_workers}). *)
+module Live : sig
+  type t
+  (** A running deployment. *)
+
+  val start :
+    ?mailbox_capacity:int ->
+    ?routers:(int * router) list ->
+    ?seed:int ->
+    ?timeout:float ->
+    ?workers:int ->
+    ?reserve:int ->
+    ?locked:bool ->
+    ?batch:batch ->
+    ?channels:channels ->
+    ?instrument:instrument ->
+    source:(unit -> Ss_operators.Tuple.t option) ->
+    registry:(int -> Ss_operators.Behavior.t) ->
+    Ss_topology.Topology.t ->
+    t
+  (** Deploy the topology on a fresh domain and return once it is running.
+      Replicated elastic-eligible vertices start at their descriptor's
+      [replicas] degree. Parameters mirror {!run} where shared; [workers]
+      sizes the pool (default [Domain.recommended_domain_count]),
+      [reserve] adds dormant worker slots for {!add_workers} (default 0),
+      [locked] selects the [`Locked_pool] scheduler core, and telemetry
+      defaults {e on} (the controller needs it). Fusion and ordered fission
+      are not available live (fused units cannot be resized; ordered
+      collectors cannot survive a degree change).
+      @raise Invalid_argument as {!run}, or if [reserve < 0]. *)
+
+  val topology : t -> Ss_topology.Topology.t
+  (** The deployed topology, as given. *)
+
+  val elastic : t -> bool array
+  (** Per vertex: whether it deployed as an elastic fission unit (and can
+      therefore be {!resize}d). *)
+
+  val degrees : t -> int array
+  (** Per vertex: the currently {e applied} parallelism degree (1 for
+      non-elastic vertices). *)
+
+  val generation : t -> int
+  (** Total number of completed reconfigurations across all vertices. *)
+
+  val downtime : t -> float array
+  (** Per vertex: accumulated measured reconfiguration downtime in seconds —
+      wall-clock from the moment the emitter stops feeding the old
+      generation to the moment the new generation is fed. *)
+
+  val total_downtime : t -> float
+  (** Sum of {!downtime}. *)
+
+  val consumed : t -> int array
+  (** Per vertex: tuples processed so far (live snapshot of the counters
+      that become [metrics.consumed]). *)
+
+  val produced : t -> int array
+  (** Per vertex: tuples emitted so far. *)
+
+  val telemetry_sample : t -> int
+  (** The deployment's telemetry sampling stride
+      ([instrument.telemetry_sample]): the controller multiplies sampled
+      service-time sums by this to estimate total busy time. *)
+
+  val telemetry : t -> Ss_telemetry.Telemetry.report option
+  (** Live telemetry aggregate (see
+      {!Ss_telemetry.Telemetry.Collector.live}); [None] only if telemetry
+      was explicitly disabled in [instrument]. Successive snapshots are
+      cumulative — diff them with {!Ss_telemetry.Telemetry.delta} for
+      per-epoch views. *)
+
+  val resize : t -> vertex:int -> int -> bool
+  (** [resize t ~vertex d] requests parallelism degree [d] for [vertex].
+      Returns [false] when the vertex is not elastic ([elastic t] is false
+      there). The change is applied asynchronously by the vertex's emitter
+      between input bursts; observe completion via {!degrees} /
+      {!generation}.
+      @raise Invalid_argument if [d < 1] or [vertex] is out of range. *)
+
+  val add_workers : t -> int -> int
+  (** Activate up to [k] dormant reserve workers; returns the number
+      activated (see {!Ss_sched.Sched.add_workers}). *)
+
+  val retire_workers : t -> int -> int
+  (** Send up to [k] activated reserve workers back to dormancy; returns
+      the number retired. *)
+
+  val active_workers : t -> int
+  (** Workers currently executing actors. *)
+
+  val stop : t -> metrics
+  (** Stop the source (the stream ends at the next emission), wait for the
+      drain and return the final metrics. Blocks until the deployment
+      domain joins; re-raises any exception that escaped it. *)
+end
+
 val source_of_list : Ss_operators.Tuple.t list -> unit -> Ss_operators.Tuple.t option
 (** Stateful closure draining the list once. *)
 
@@ -202,3 +316,18 @@ val source_of_fn :
   count:int -> (int -> Ss_operators.Tuple.t) -> unit -> Ss_operators.Tuple.t option
 (** [source_of_fn ~count f] emits [f 0 .. f (count-1)] without materializing
     the stream. *)
+
+val source_throttled :
+  rate:float ->
+  (unit -> Ss_operators.Tuple.t option) ->
+  unit ->
+  Ss_operators.Tuple.t option
+(** [source_throttled ~rate source] paces [source] to [rate] tuples per
+    wall-clock second by sleeping before each emission until its scheduled
+    slot ([i /. rate] seconds after the first call). Deficits are caught up
+    without sleeping, so the long-run rate converges to [rate] even after a
+    stall. Live elasticity runs use this to present a {e stable offered
+    load} — the regime where the paper argues a static plan beats reactive
+    scaling — instead of the executor's default
+    produce-at-memory-speed sources.
+    @raise Invalid_argument if [rate] is not positive and finite. *)

@@ -177,9 +177,16 @@ module Lockfree = struct
      carries the actual sleep. *)
   type parker = { state : int Atomic.t; pm : Mutex.t; pc : Condition.t }
 
+  (* Sleep slot for a dormant reserve worker: unlike a [parker] ticket it
+     is permanent, and a wakeup means "your mode changed", not "work
+     arrived". *)
+  type dormitory = { dm : Mutex.t; dc : Condition.t }
+
   type t = {
     id : int;
-    nworkers : int;
+    nworkers : int; (* total slots: base + reserve *)
+    base : int; (* workers active from the start *)
+    base_sizes : int array; (* the created per-group shape, sans reserve *)
     group_of : int array; (* worker index -> group *)
     members : int array array; (* group -> worker indices *)
     deques : Deque.t array; (* one per worker *)
@@ -189,6 +196,14 @@ module Lockfree = struct
     pending : int Atomic.t;
     finished : bool Atomic.t;
     error : exn option Atomic.t;
+    (* Dynamic admission: reserve slots [base, nworkers) each carry a mode
+       atomic (1 = active, 0 = dormant) and a dormitory to sleep in. Their
+       domains are spawned with everyone else's and immediately go dormant;
+       [add_workers]/[retire_workers] CAS the mode, so growth and shrink
+       never spawn or join a domain mid-run. *)
+    mode : int Atomic.t array; (* length nworkers; base slots pinned to 1 *)
+    dorms : dormitory array; (* length nworkers - base *)
+    active : int Atomic.t;
     rmutex : Mutex.t; (* runner's finish wait, no-tick mode *)
     rcond : Condition.t;
     mutable tick_wr : Unix.file_descr option;
@@ -196,9 +211,10 @@ module Lockfree = struct
     mutable initial : (int * task) list;
   }
 
-  let create ~nworkers ~sizes =
+  let create ~nworkers ~sizes ~reserve =
+    let slots = nworkers + reserve in
     let ngroups = Array.length sizes in
-    let group_of = Array.make nworkers 0 in
+    let group_of = Array.make slots 0 in
     let members =
       let next = ref 0 in
       Array.init ngroups (fun g ->
@@ -208,18 +224,31 @@ module Lockfree = struct
               group_of.(w) <- g;
               w))
     in
+    (* Reserve slots live in group 0 and are listed as stealing victims, so
+       work they leave behind (or the initial deal never sends them — see
+       [run]) is always reachable from active workers. *)
+    members.(0) <-
+      Array.append members.(0)
+        (Array.init reserve (fun i -> nworkers + i));
     {
       id = Atomic.fetch_and_add next_id 1;
-      nworkers;
+      nworkers = slots;
+      base = nworkers;
+      base_sizes = Array.copy sizes;
       group_of;
       members;
-      deques = Array.init nworkers (fun _ -> Deque.create ());
+      deques = Array.init slots (fun _ -> Deque.create ());
       injects = Array.init ngroups (fun _ -> Atomic.make []);
       parked = Array.init ngroups (fun _ -> Atomic.make []);
       searching = Atomic.make 0;
       pending = Atomic.make 0;
       finished = Atomic.make false;
       error = Atomic.make None;
+      mode = Array.init slots (fun w -> Atomic.make (if w < nworkers then 1 else 0));
+      dorms =
+        Array.init reserve (fun _ ->
+            { dm = Mutex.create (); dc = Condition.create () });
+      active = Atomic.make nworkers;
       rmutex = Mutex.create ();
       rcond = Condition.create ();
       tick_wr = None;
@@ -318,6 +347,14 @@ module Lockfree = struct
         in
         drain ())
       t.parked;
+    (* Dormant reserve workers sleep on their dormitory, not on a parker
+       ticket: wake them so their domains exit and [run] can join. *)
+    Array.iter
+      (fun d ->
+        Mutex.lock d.dm;
+        Condition.broadcast d.dc;
+        Mutex.unlock d.dm)
+      t.dorms;
     Mutex.lock t.rmutex;
     Condition.broadcast t.rcond;
     Mutex.unlock t.rmutex;
@@ -505,6 +542,27 @@ module Lockfree = struct
      long spins only delay the futex sleep that an idle trickle wants. *)
   let spin_rounds = 8
 
+  (* A retiring worker first spills its local deque into the group's
+     injection stack (its items stay reachable even while it sleeps —
+     thieves do scan reserve deques, but only when searching) and hands
+     off with a wakeup, then sleeps until readmitted or the pool drains. *)
+  let go_dormant t w g =
+    let rec spill () =
+      match Deque.pop t.deques.(w) with
+      | Some task ->
+          stack_push t.injects.(g) task;
+          spill ()
+      | None -> ()
+    in
+    spill ();
+    wake_one t g;
+    let d = t.dorms.(w - t.base) in
+    Mutex.lock d.dm;
+    while Atomic.get t.mode.(w) = 0 && not (Atomic.get t.finished) do
+      Condition.wait d.dc d.dm
+    done;
+    Mutex.unlock d.dm
+
   let worker t w () =
     Domain.DLS.set dls_key (Some (t.id, w));
     let g = t.group_of.(w) in
@@ -543,36 +601,92 @@ module Lockfree = struct
       r
     in
     let rec loop () =
-      match next () with
-      | Some task ->
-          task ();
-          loop ()
-      | None -> (
-          match search () with
-          | Some task ->
-              task ();
-              loop ()
-          | None ->
-              if Atomic.get t.finished then ()
-              else (
-                match park t w g with
-                | Some task ->
-                    task ();
-                    loop ()
-                | None -> loop ()))
+      if Atomic.get t.finished then ()
+      else if Atomic.get t.mode.(w) = 0 then begin
+        go_dormant t w g;
+        loop ()
+      end
+      else
+        match next () with
+        | Some task ->
+            task ();
+            loop ()
+        | None -> (
+            match search () with
+            | Some task ->
+                task ();
+                loop ()
+            | None ->
+                if Atomic.get t.finished then ()
+                else (
+                  match park t w g with
+                  | Some task ->
+                      task ();
+                      loop ()
+                  | None -> loop ()))
     in
     loop ()
+
+  (* --- Dynamic admission over the reserve slots --- *)
+
+  let active_workers t = Atomic.get t.active
+
+  let add_workers t k =
+    let n = ref 0 in
+    for w = t.base to t.nworkers - 1 do
+      if !n < k && Atomic.compare_and_set t.mode.(w) 0 1 then begin
+        incr n;
+        Atomic.incr t.active;
+        let d = t.dorms.(w - t.base) in
+        Mutex.lock d.dm;
+        Condition.signal d.dc;
+        Mutex.unlock d.dm
+      end
+    done;
+    !n
+
+  let retire_workers t k =
+    let n = ref 0 in
+    for i = 0 to t.nworkers - t.base - 1 do
+      let w = t.nworkers - 1 - i in
+      if !n < k && Atomic.compare_and_set t.mode.(w) 1 0 then begin
+        incr n;
+        Atomic.decr t.active
+      end
+    done;
+    (* A retiring worker may be parked on a ticket: drain the parked lists
+       so everyone rescans. Active workers that wake spuriously just park
+       again — this is the control path, not the hot path. *)
+    if !n > 0 then
+      Array.iter
+        (fun stack ->
+          let rec drain () =
+            match stack_pop stack with
+            | None -> ()
+            | Some p ->
+                ignore (unpark p);
+                drain ()
+          in
+          drain ())
+        t.parked;
+    !n
 
   let run ?tick t =
     if t.started then invalid_arg "Sched.run: pool already ran";
     t.started <- true;
-    (* Deal initial tasks round-robin into their group's deques. Safe
-       without the owner: workers have not been spawned yet. *)
+    (* Deal initial tasks round-robin into their group's deques, skipping
+       dormant reserve slots (their owners would only spill the tasks back
+       to the injection stack on startup). Safe without the owner: workers
+       have not been spawned yet. *)
     let rr = Array.make (ngroups t) 0 in
     List.iter
       (fun (g, task) ->
         let ms = t.members.(g) in
-        Deque.push t.deques.(ms.(rr.(g) mod Array.length ms)) task;
+        let live =
+          if g = 0 then Array.length ms - (t.nworkers - t.base)
+          else Array.length ms
+        in
+        Deque.push t.deques.(ms.(rr.(g) mod live)) task;
         rr.(g) <- rr.(g) + 1)
       (List.rev t.initial);
     t.initial <- [];
@@ -833,19 +947,32 @@ end
 
 type t = LF of Lockfree.t | LK of Locked.t
 
-let create ?workers ?groups ?(impl = `Lockfree) () =
+let create ?workers ?groups ?(reserve = 0) ?(impl = `Lockfree) () =
+  if reserve < 0 then invalid_arg "Sched.create: reserve must be >= 0";
   let nworkers, sizes = resolve_shape ~workers ~groups in
   match impl with
-  | `Lockfree -> LF (Lockfree.create ~nworkers ~sizes)
+  | `Lockfree -> LF (Lockfree.create ~nworkers ~sizes ~reserve)
   | `Locked -> LK (Locked.create ~nworkers ~sizes)
 
 let workers = function
-  | LF t -> t.Lockfree.nworkers
+  | LF t -> t.Lockfree.base
   | LK t -> t.Locked.nworkers
 
 let groups = function
-  | LF t -> Array.map Array.length t.Lockfree.members
+  | LF t -> Array.copy t.Lockfree.base_sizes
   | LK t -> Array.copy t.Locked.sizes
+
+let active_workers = function
+  | LF t -> Lockfree.active_workers t
+  | LK t -> t.Locked.nworkers
+
+let add_workers t k =
+  if k < 0 then invalid_arg "Sched.add_workers: negative count";
+  match t with LF t -> Lockfree.add_workers t k | LK _ -> 0
+
+let retire_workers t k =
+  if k < 0 then invalid_arg "Sched.retire_workers: negative count";
+  match t with LF t -> Lockfree.retire_workers t k | LK _ -> 0
 
 let spawn ?group t body =
   match t with

@@ -28,7 +28,12 @@
 type t
 
 val create :
-  ?workers:int -> ?groups:int array -> ?impl:[ `Lockfree | `Locked ] -> unit -> t
+  ?workers:int ->
+  ?groups:int array ->
+  ?reserve:int ->
+  ?impl:[ `Lockfree | `Locked ] ->
+  unit ->
+  t
 (** [create ()] makes a pool with [Domain.recommended_domain_count] workers
     (clamped to at least 1); [?workers] overrides the count.
 
@@ -38,20 +43,47 @@ val create :
     Default: a single group containing every worker — exactly the
     historical behavior.
 
+    [?reserve] (default 0) allocates that many extra worker slots for
+    dynamic admission: their domains are spawned with the pool but sleep
+    dormant (in group 0) until {!add_workers} activates them, so the
+    elastic controller can grow and shrink the worker count mid-run without
+    spawning or joining a domain. Reserve slots do not count toward
+    [workers]/[groups].
+
     [?impl] selects the scheduler core: [`Lockfree] (default) is the
     Chase–Lev deque pool; [`Locked] is the retained mutex-per-deque
     baseline (it accepts [?groups] for interface parity but schedules
-    without locality).
+    without locality, and ignores [?reserve]).
 
-    @raise Invalid_argument if [workers < 1], a group is empty, or the
-    group sizes disagree with [workers]. *)
+    @raise Invalid_argument if [workers < 1], a group is empty, the
+    group sizes disagree with [workers], or [reserve < 0]. *)
 
 val workers : t -> int
-(** Number of worker domains the pool will spawn. *)
+(** Number of worker domains active from the start (excludes the reserve). *)
 
 val groups : t -> int array
 (** The per-group worker counts the pool was created with ([[| workers t |]]
-    when [?groups] was omitted). The returned array is a copy. *)
+    when [?groups] was omitted; excludes the reserve). The returned array is
+    a copy. *)
+
+val active_workers : t -> int
+(** Workers currently executing tasks: [workers t] plus activated reserve
+    slots. For the [`Locked] baseline this is always [workers t]. *)
+
+val add_workers : t -> int -> int
+(** [add_workers t k] activates up to [k] dormant reserve workers and
+    returns how many were actually activated (0 when the reserve is
+    exhausted, or on the [`Locked] baseline). Safe to call from any domain
+    while the pool runs.
+    @raise Invalid_argument if [k < 0]. *)
+
+val retire_workers : t -> int -> int
+(** [retire_workers t k] sends up to [k] previously-activated reserve
+    workers back to dormancy (base workers never retire) and returns how
+    many were retired. A retiring worker finishes its current task slice,
+    spills any queued work back to the pool, and sleeps; its tasks are
+    never lost. Safe to call from any domain while the pool runs.
+    @raise Invalid_argument if [k < 0]. *)
 
 val spawn : ?group:int -> t -> (unit -> unit) -> unit
 (** Register a task. Before {!run} the task is only queued; tasks spawned

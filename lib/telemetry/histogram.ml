@@ -81,6 +81,22 @@ let reset t =
 
 let bucket_counts t = Array.copy t.counts
 
+(* Epoch windows: the elastic controller snapshots a cumulative histogram at
+   an epoch boundary and subtracts it from the next snapshot. Counts are
+   clamped at zero so a racy live snapshot (taken while actors record) can
+   never produce a negative window; [max] keeps the cumulative maximum — the
+   per-window maximum is not recoverable from bucket counts alone, and a
+   monotone upper bound is what percentile clamping needs. *)
+let diff ~since t =
+  let counts =
+    Array.init num_buckets (fun i -> max 0 (t.counts.(i) - since.counts.(i)))
+  in
+  {
+    counts;
+    count = Array.fold_left ( + ) 0 counts;
+    stats = [| Float.max 0.0 (t.stats.(0) -. since.stats.(0)); t.stats.(1) |];
+  }
+
 let percentile t q =
   if t.count = 0 then 0.0
   else begin

@@ -46,6 +46,14 @@ val merge : t -> t -> t
 
 val copy : t -> t
 
+val diff : since:t -> t -> t
+(** [diff ~since t] is the window of observations recorded between the
+    [since] snapshot and [t] (both cumulative, [since] taken earlier):
+    bucket counts and [sum] subtract (clamped at zero, so a racy live
+    snapshot can never yield a negative window), while [max_value] keeps
+    [t]'s cumulative maximum — an upper bound for the window. Used for
+    per-epoch telemetry in the elastic controller. *)
+
 val reset : t -> unit
 (** Forget every observation (used at warmup boundaries). *)
 

@@ -34,7 +34,9 @@ module Collector = struct
   type t = {
     n : int;
     edge_list : (int * int) list;  (* Topology.edges order *)
-    mutable sinks : Sink.t list;
+    sinks : Sink.t list Atomic.t;
+        (* CAS-pushed: live reconfiguration registers sinks for freshly
+           spawned replicas while other actors run and the monitor merges. *)
     live : report Atomic.t;
     mutable refreshed : bool;
   }
@@ -54,7 +56,7 @@ module Collector = struct
     {
       n;
       edge_list;
-      sinks = [];
+      sinks = Atomic.make [];
       live = Atomic.make (empty_report n edge_list);
       refreshed = false;
     }
@@ -67,7 +69,11 @@ module Collector = struct
         edge_counts = Array.make (List.length t.edge_list) 0;
       }
     in
-    t.sinks <- s :: t.sinks;
+    let rec push () =
+      let old = Atomic.get t.sinks in
+      if not (Atomic.compare_and_set t.sinks old (s :: old)) then push ()
+    in
+    push ();
     s
 
   let aggregate t =
@@ -86,7 +92,7 @@ module Collector = struct
         Array.iteri
           (fun e c -> edge_totals.(e) <- edge_totals.(e) + c)
           s.Sink.edge_counts)
-      t.sinks;
+      (Atomic.get t.sinks);
     {
       acc with
       edges = List.mapi (fun e (u, v) -> (u, v, edge_totals.(e))) t.edge_list;
@@ -104,19 +110,59 @@ module Collector = struct
   let report t = aggregate t
 end
 
+(* Per-epoch window: subtract the snapshot taken at the previous epoch
+   boundary from the current cumulative report. Edge counters are clamped at
+   zero for the same reason as {!Histogram.diff}: a live snapshot can race
+   with the counters it reads. *)
+let delta ~since current =
+  {
+    latency =
+      Array.map2 (fun s c -> Histogram.diff ~since:s c) since.latency
+        current.latency;
+    service =
+      Array.map2 (fun s c -> Histogram.diff ~since:s c) since.service
+        current.service;
+    edges =
+      List.map2
+        (fun (u, v, c0) (u', v', c1) ->
+          assert (u = u' && v = v');
+          (u, v, max 0 (c1 - c0)))
+        since.edges current.edges;
+  }
+
+(* The profile feeds Algorithm 1 and the elastic controller: a single NaN or
+   inf here silently corrupts every downstream prediction, so each field is
+   forced finite. [finite_or f fb] also rejects values a division by a
+   denormal could produce. *)
+let finite_or x fallback = if Float.is_finite x then x else fallback
+
 let to_profile topology ~consumed ~produced report =
   Array.init (Topology.size topology) (fun v ->
       let op = Topology.operator topology v in
       let h = report.service.(v) in
       let samples = Histogram.count h in
+      let declared_service = Float.max op.Operator.service_time 1e-9 in
       let mean_service_time =
-        if samples > 0 then Float.max (Histogram.mean h) 1e-9
-        else op.Operator.service_time
+        if samples > 0 then
+          finite_or (Float.max (Histogram.mean h) 1e-9) declared_service
+        else declared_service
+      in
+      let declared_selectivity =
+        (* [selectivity_factor] divides by the input selectivity; a
+           descriptor hand-built with a denormal input selectivity could
+           overflow, so the declared fallback itself falls back to 1. *)
+        finite_or (Operator.selectivity_factor op) 1.0
       in
       let outputs_per_input =
+        (* A vertex that consumed nothing (short run, fully-filtered branch)
+           has no measured selectivity: 0/0 is NaN and n/0 is inf, either of
+           which would poison the optimizer. Fall back to the declared
+           value. *)
         if consumed.(v) > 0 then
-          float_of_int produced.(v) /. float_of_int consumed.(v)
-        else Operator.selectivity_factor op
+          finite_or
+            (float_of_int produced.(v) /. float_of_int consumed.(v))
+            declared_selectivity
+        else declared_selectivity
       in
       {
         Ss_workload.Profiler.behavior = op.Operator.name;

@@ -56,8 +56,9 @@ module Collector : sig
   val create : Ss_topology.Topology.t -> t
 
   val sink : t -> Sink.t
-  (** Register and return a fresh sink. Call from the deploying thread
-      (before actors start), never concurrently. *)
+  (** Register and return a fresh sink. Safe to call concurrently with
+      running actors and live merges (registration is a CAS push), so live
+      reconfiguration can create sinks for replicas spawned mid-run. *)
 
   val refresh : t -> unit
   (** Merge every sink into the cached live snapshot; called periodically
@@ -75,6 +76,13 @@ module Collector : sig
       have joined. *)
 end
 
+val delta : since:report -> report -> report
+(** [delta ~since current] is the telemetry window between two cumulative
+    reports over the same topology ([since] taken earlier): histograms
+    subtract per {!Histogram.diff} and edge counters subtract, clamped at
+    zero (live snapshots race benignly with recording actors). The elastic
+    controller uses this to score each epoch in isolation. *)
+
 val to_profile :
   Ss_topology.Topology.t ->
   consumed:int array ->
@@ -85,7 +93,9 @@ val to_profile :
     [mean_service_time] from the service histogram and [outputs_per_input]
     from the consumed/produced counters. Vertices with no measurements (the
     source, or vertices no tuple reached) fall back to their declared
-    descriptor values. *)
+    descriptor values, and every field is guaranteed finite: a vertex that
+    consumed zero tuples cannot produce a NaN/inf selectivity, and a
+    degenerate declared selectivity falls back to 1. *)
 
 val measured_topology :
   Ss_topology.Topology.t ->

@@ -247,6 +247,67 @@ let telemetry_json topology (metrics : Ss_runtime.Executor.metrics) =
   in
   Json.to_string ~indent:true (Json.Obj body)
 
+let elastic_json topology (r : Ss_elastic.Controller.live_run) =
+  let num_int i = Json.Num (float_of_int i) in
+  let int_arr a = Json.Arr (List.map num_int (Array.to_list a)) in
+  let change (c : Ss_elastic.Controller.change) =
+    Json.Obj
+      [
+        ("vertex", num_int c.Ss_elastic.Controller.vertex);
+        ("before", num_int c.Ss_elastic.Controller.before);
+        ("after", num_int c.Ss_elastic.Controller.after);
+      ]
+  in
+  let epoch (e : Ss_elastic.Controller.live_epoch) =
+    Json.Obj
+      [
+        ("index", num_int e.Ss_elastic.Controller.index);
+        ("duration_s", Json.Num e.Ss_elastic.Controller.duration);
+        ("rate_tps", Json.Num e.Ss_elastic.Controller.rate);
+        ("downtime_s", Json.Num e.Ss_elastic.Controller.downtime);
+        ("workers", num_int e.Ss_elastic.Controller.workers);
+        ("degrees", int_arr e.Ss_elastic.Controller.degrees);
+        ( "utilization",
+          Json.Arr
+            (List.map
+               (fun u -> Json.Num u)
+               (Array.to_list e.Ss_elastic.Controller.utilization)) );
+        ( "changes",
+          Json.Arr (List.map change e.Ss_elastic.Controller.changes) );
+      ]
+  in
+  let m = r.Ss_elastic.Controller.metrics in
+  Json.to_string ~indent:true
+    (Json.Obj
+       [
+         ( "operators",
+           Json.Arr
+             (Array.to_list
+                (Array.map
+                   (fun (op : Operator.t) -> Json.Str op.Operator.name)
+                   (Topology.operators topology))) );
+         ( "epochs",
+           Json.Arr (List.map epoch r.Ss_elastic.Controller.epochs) );
+         ("final_degrees", int_arr r.Ss_elastic.Controller.final_degrees);
+         ( "total_downtime_s",
+           Json.Num r.Ss_elastic.Controller.total_downtime );
+         ( "converged_at",
+           match r.Ss_elastic.Controller.converged_at with
+           | Some i -> num_int i
+           | None -> Json.Null );
+         ( "final",
+           Json.Obj
+             [
+               ( "outcome",
+                 Json.Str
+                   (Format.asprintf "%a" Ss_runtime.Supervision.pp_outcome
+                      m.Ss_runtime.Executor.outcome) );
+               ("elapsed_s", Json.Num m.Ss_runtime.Executor.elapsed);
+               ( "source_rate_tps",
+                 Json.Num m.Ss_runtime.Executor.source_rate );
+             ] );
+       ])
+
 let session_json session =
   let version_entry name =
     let topology = Session.topology session ~version:name () in

@@ -38,6 +38,13 @@ val telemetry_json :
     rate and — when the metrics carry telemetry — per-operator counters
     with latency/service snapshots (seconds) and per-edge transfer counts. *)
 
+val elastic_json :
+  Ss_topology.Topology.t -> Ss_elastic.Controller.live_run -> string
+(** JSON document of a live elastic run: operator names, per-epoch records
+    (measured rate, utilization, degrees, workers, measured downtime and
+    resize decisions), the final degrees, total measured downtime,
+    convergence epoch and the deployment's final metrics. *)
+
 val session_json : Session.t -> string
 (** Summary of a session: every version with operator/edge counts, the
     predicted throughput, and saturated operators. *)

@@ -85,6 +85,20 @@ let execute t ?version ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
     ?scheduler ?placement ?batch ?channels ?instrument
     (topology t ?version ())
 
+let elastic t ?version ?policy ?epoch_length ?max_epochs ?settle ?workers
+    ?reserve ?rate ?seed ?(telemetry_sample = 4) () =
+  let live =
+    Ss_codegen.Plan.live ?workers ?reserve ?rate ?seed
+      ~instrument:
+        {
+          Ss_runtime.Executor.default_instrument with
+          telemetry = true;
+          telemetry_sample;
+        }
+      (topology t ?version ())
+  in
+  Ss_elastic.Controller.run_live ?policy ?epoch_length ?max_epochs ?settle live
+
 let measured_version t ?version metrics =
   match metrics.Ss_runtime.Executor.telemetry with
   | None ->

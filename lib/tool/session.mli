@@ -103,6 +103,32 @@ val execute :
     occupancy sampling and telemetry (latency/service histograms and
     per-edge counters in [metrics.telemetry]). *)
 
+val elastic :
+  t ->
+  ?version:string ->
+  ?policy:Ss_elastic.Controller.policy ->
+  ?epoch_length:float ->
+  ?max_epochs:int ->
+  ?settle:int ->
+  ?workers:int ->
+  ?reserve:int ->
+  ?rate:float ->
+  ?seed:int ->
+  ?telemetry_sample:int ->
+  unit ->
+  Ss_elastic.Controller.live_run
+(** Close the elasticity loop on a version: deploy it live
+    ({!Ss_codegen.Plan.live}, starting from the version's declared replica
+    degrees) under a stable offered load of [rate] tuples/second (default:
+    the source's declared rate) and let the threshold controller
+    ({!Ss_elastic.Controller.run_live}) adapt it epoch by epoch, resizing
+    operators of the {e running} topology and charging the measured
+    drain-and-swap downtime. [workers]/[reserve] size the pool and its
+    dormant growth headroom; [telemetry_sample] (default 4, denser than
+    {!execute}'s 32) sets the sampling stride the utilization estimate is
+    scaled by. The returned run carries the per-epoch record and the final
+    deployment metrics. *)
+
 val measured_version :
   t -> ?version:string -> Ss_runtime.Executor.metrics -> (string, string) result
 (** The measured-profile feedback loop: build the measured twin of a

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Prometheus text exposition-format lint, runnable locally and in CI.
+#
+# Usage: check-prom-format.sh METRICS_FILE
+#
+# The exporter escapes label values (backslash, double quote, newline), so
+# a hostile operator name must never produce a sample line that a
+# Prometheus scraper would reject. This script enforces the line grammar
+# the scraper relies on:
+#   - every non-empty line is a comment (`# HELP`/`# TYPE`) or a sample
+#   - a sample line is `name value` or `name{labels} value` with the value
+#     parseable as a float (Inf/NaN allowed)
+#   - quotes inside a label set balance (an unescaped quote from a raw
+#     operator name would split a label value across tokens)
+#   - a line that opens a label set closes it on the same line (a raw
+#     newline in a label value would split one sample across two lines)
+#   - every histogram family exports its `le="+Inf"` bucket
+set -eu
+
+if [ "$#" -ne 1 ] || [ ! -f "$1" ]; then
+  echo "usage: $0 METRICS_FILE" >&2
+  exit 2
+fi
+
+awk '
+function fail(msg) { printf "prom-format: line %d: %s: %s\n", NR, msg, $0; bad = 1 }
+/^$/ { next }
+/^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+/^#/ { fail("malformed comment"); next }
+{
+  # quotes must balance: count unescaped double quotes
+  line = $0; quotes = 0; esc = 0
+  for (i = 1; i <= length(line); i++) {
+    c = substr(line, i, 1)
+    if (esc) { esc = 0; continue }
+    if (c == "\\") { esc = 1; continue }
+    if (c == "\"") quotes++
+  }
+  if (quotes % 2 != 0) fail("odd number of unescaped quotes")
+
+  # a label set that opens must close on the same line
+  has_open = index(line, "{") > 0; has_close = index(line, "}") > 0
+  if (has_open != has_close) fail("unterminated label set")
+
+  # last whitespace-separated token is the sample value
+  if (NF < 2) { fail("no sample value"); next }
+  v = $NF
+  if (v !~ /^[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/)
+    fail("sample value is not a number")
+
+  # metric name starts the line
+  if (line !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*([{ ])/) fail("bad metric name")
+
+  if (index(line, "_bucket{") > 0) {
+    family = substr(line, 1, index(line, "_bucket{") - 1)
+    seen_bucket[family] = 1
+    if (index(line, "le=\"+Inf\"") > 0) seen_inf[family] = 1
+  }
+}
+END {
+  for (f in seen_bucket)
+    if (!(f in seen_inf)) { printf "prom-format: histogram %s has no le=\"+Inf\" bucket\n", f; bad = 1 }
+  exit bad
+}' "$1" || { echo "prom-format: $1 FAILED" >&2; exit 1; }
+
+echo "prom-format: $1 OK"

@@ -33,12 +33,13 @@ let test_balanced_topology_stays_put () =
   Alcotest.(check (option int)) "no change from the start" (Some 0)
     r.Controller.converged_at;
   List.iter
-    (fun e -> Alcotest.(check int) "no resizes" 0 (List.length e.Controller.changes))
+    (fun (e : Controller.epoch) ->
+      Alcotest.(check int) "no resizes" 0 (List.length e.Controller.changes))
     r.Controller.epochs
 
 let test_downtime_charged_after_changes () =
   let r = run_fast (bottlenecked ()) in
-  let rec check_pairs = function
+  let rec check_pairs : Controller.epoch list -> unit = function
     | a :: (b :: _ as rest) ->
         if a.Controller.changes <> [] then
           Alcotest.(check bool) "epoch after a resize loses throughput" true
@@ -62,7 +63,7 @@ let test_stateful_never_resized () =
   let t = Topology.create_exn ops [ (0, 1, 1.0) ] in
   let r = run_fast ~max_epochs:4 t in
   List.iter
-    (fun e ->
+    (fun (e : Controller.epoch) ->
       Alcotest.(check int) "stateful untouched" 0 (List.length e.Controller.changes))
     r.Controller.epochs;
   Alcotest.(check int) "still one replica" 1
@@ -121,6 +122,218 @@ let test_pp_renders () =
   let s = Format.asprintf "%a" Controller.pp r in
   Alcotest.(check bool) "mentions epochs" true (String.length s > 40)
 
+(* ------------------------------------------------------------------ *)
+(* Live loop: measured-utilization decisions and reconfiguration of a
+   running executor deployment. *)
+
+module Live = Ss_runtime.Executor.Live
+
+let test_decide_measured () =
+  let policy = Controller.default_policy in
+  let elastic = [| false; true; true; true |] in
+  let degrees = [| 1; 1; 2; 1 |] in
+  (* hot vertex 1 grows; vertex 2 idles back to 1; NaN (vertex 3) reads as
+     idle but degree 1 cannot shrink; the source (vertex 0) is masked. *)
+  let utilization = [| 5.0; 0.96; 0.1; Float.nan |] in
+  let changes = Controller.decide_measured policy ~elastic ~degrees ~utilization in
+  Alcotest.(check int) "two changes" 2 (List.length changes);
+  let c1 = List.find (fun c -> c.Controller.vertex = 1) changes in
+  Alcotest.(check bool) "hot grows" true (c1.Controller.after >= 2);
+  let c2 = List.find (fun c -> c.Controller.vertex = 2) changes in
+  Alcotest.(check int) "idle shrinks" 1 c2.Controller.after;
+  Alcotest.(check bool) "source and NaN untouched" true
+    (not (List.exists (fun c -> c.Controller.vertex = 0 || c.Controller.vertex = 3) changes))
+
+(* The end-to-end acceptance scenario: from all-1 degrees on a stable
+   offered load, the controller grows the hot operator of the RUNNING
+   topology (no restart), charges measured downtime, and converges to a
+   throughput comparable to deploying the static SpinStreams plan from
+   t=0. Both arms use the same busy-wait stubs, the same throttled load
+   and the same measurement (source emissions per wall-clock second). *)
+let test_live_closed_loop () =
+  let rate = 200.0 in
+  let ops =
+    [|
+      Operator.source ~rate "src";
+      Operator.make ~service_time:0.0003 "pre";
+      Operator.make ~service_time:0.006 "hot";
+      Operator.make ~service_time:0.0001 "snk";
+    |]
+  in
+  let topo =
+    Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let instrument =
+    {
+      Ss_runtime.Executor.default_instrument with
+      telemetry = true;
+      telemetry_sample = 2;
+    }
+  in
+  let measure live warmup window =
+    Unix.sleepf warmup;
+    let src = Topology.source (Live.topology live) in
+    let c0 = (Live.produced live).(src) in
+    let t0 = Unix.gettimeofday () in
+    Unix.sleepf window;
+    let c1 = (Live.produced live).(src) in
+    float_of_int (c1 - c0) /. (Unix.gettimeofday () -. t0)
+  in
+  (* static arm: the Algorithm 2 plan deployed from the start *)
+  let plan = Ss_core.Fission.optimize topo in
+  let static_live =
+    Ss_codegen.Plan.live ~workers:3 ~reserve:6 ~instrument
+      plan.Ss_core.Fission.topology
+  in
+  let static_rate = measure static_live 0.4 1.2 in
+  ignore (Live.stop static_live);
+  (* elastic arm: all-1 degrees, controller closes the loop *)
+  let live = Ss_codegen.Plan.live ~workers:3 ~reserve:6 ~instrument topo in
+  let r =
+    Controller.run_live ~epoch_length:0.4 ~max_epochs:6 ~settle:2 live
+  in
+  Alcotest.(check bool) "deployment finished" true
+    (r.Controller.metrics.Ss_runtime.Executor.outcome
+    = Ss_runtime.Supervision.Finished);
+  Alcotest.(check bool)
+    (Printf.sprintf "hot operator grew (degree %d)"
+       r.Controller.final_degrees.(2))
+    true
+    (r.Controller.final_degrees.(2) >= 2);
+  Alcotest.(check bool) "measured downtime charged" true
+    (r.Controller.total_downtime > 0.0);
+  (match
+     List.rev (List.filter (fun e -> e.Controller.downtime > 0.0) r.Controller.epochs)
+   with
+  | [] -> Alcotest.fail "no epoch recorded its reconfiguration downtime"
+  | _ -> ());
+  let final =
+    match List.rev r.Controller.epochs with
+    | e :: _ -> e.Controller.rate
+    | [] -> Alcotest.fail "no epochs"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "final %.1f t/s within 15%% of static %.1f t/s" final
+       static_rate)
+    true
+    (final >= 0.85 *. static_rate)
+
+(* Lossless drain-and-swap: resizing a migratable partitioned-stateful
+   operator (count_by_key) mid-run repartitions its keyed state, so the
+   final per-key count equals that key's total occurrences, and no tuple
+   is lost or duplicated anywhere in the pipeline. *)
+let test_live_state_handoff () =
+  let nkeys = 8 and n = 20000 in
+  let keys = Ss_prelude.Discrete.uniform nkeys in
+  let ops =
+    [|
+      Operator.source ~rate:10000.0 "src";
+      Operator.with_replicas (Operator.make ~service_time:1e-4 "map") 2;
+      Operator.with_replicas
+        (Operator.make
+           ~kind:(Operator.Partitioned_stateful keys)
+           ~service_time:1e-4 "count")
+        2;
+      Operator.make ~service_time:1e-4 "snk";
+    |]
+  in
+  let topo =
+    Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+  in
+  let seen = Hashtbl.create 16 in
+  let seen_m = Mutex.create () in
+  let registry v =
+    match v with
+    | 1 -> Ss_operators.Behavior.make ~name:"map" (fun () -> fun t -> [ t ])
+    | 2 -> Ss_operators.Join_ops.count_by_key ()
+    | 3 ->
+        Ss_operators.Behavior.make ~name:"snk" (fun () ->
+            fun (t : Ss_operators.Tuple.t) ->
+              Mutex.lock seen_m;
+              let k = t.Ss_operators.Tuple.key in
+              let c = int_of_float (Ss_operators.Tuple.value t 0) in
+              let prev = Option.value ~default:0 (Hashtbl.find_opt seen k) in
+              Hashtbl.replace seen k (max prev c);
+              Mutex.unlock seen_m;
+              [])
+    | _ -> assert false
+  in
+  let emitted = Atomic.make 0 in
+  let source () =
+    let i = Atomic.fetch_and_add emitted 1 in
+    if i >= n then None
+    else begin
+      (* pace lightly so the resizes land mid-stream *)
+      if i mod 1000 = 0 then Unix.sleepf 0.002;
+      Some
+        (Ss_operators.Tuple.make ~ts:0.0 ~key:(i mod nkeys) ~tag:0
+           [| float_of_int i |])
+    end
+  in
+  let live = Live.start ~workers:4 ~reserve:2 ~source ~registry topo in
+  Alcotest.(check bool) "replicated vertices are elastic" true
+    ((Live.elastic live).(1) && (Live.elastic live).(2));
+  (* grow the stateful operator and the stateless one, then shrink *)
+  Alcotest.(check bool) "resize accepted" true (Live.resize live ~vertex:2 3);
+  ignore (Live.resize live ~vertex:1 4);
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Live.generation live < 2 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  ignore (Live.resize live ~vertex:1 1);
+  while (Live.produced live).(0) < n && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  let m = Live.stop live in
+  Alcotest.(check bool) "finished" true
+    (m.Ss_runtime.Executor.outcome = Ss_runtime.Supervision.Finished);
+  Alcotest.(check bool) "reconfigured at least twice" true
+    (Live.generation live >= 2);
+  Alcotest.(check bool) "swap downtime measured" true
+    ((Live.downtime live).(2) > 0.0);
+  (* conservation through every swap *)
+  Array.iteri
+    (fun v c ->
+      if v > 0 then
+        Alcotest.(check int) (Printf.sprintf "vertex %d consumed all" v) n c)
+    m.Ss_runtime.Executor.consumed;
+  (* keyed state survived the repartitions *)
+  for k = 0 to nkeys - 1 do
+    let occurrences = n / nkeys in
+    Alcotest.(check int)
+      (Printf.sprintf "final count for key %d" k)
+      occurrences
+      (Option.value ~default:0 (Hashtbl.find_opt seen k))
+  done
+
+let test_live_resize_validation () =
+  let ops =
+    [|
+      Operator.make ~service_time:1e-4 "src";
+      Operator.make ~kind:Operator.Stateful ~service_time:1e-4 "state";
+    |]
+  in
+  let topo = Topology.create_exn ops [ (0, 1, 1.0) ] in
+  let emitted = Atomic.make 0 in
+  let source () =
+    if Atomic.fetch_and_add emitted 1 >= 100 then None
+    else Some (Ss_operators.Tuple.make ~ts:0.0 ~key:0 ~tag:0 [| 0.0 |])
+  in
+  let registry _ =
+    Ss_operators.Behavior.make ~name:"id" (fun () -> fun t -> [ t ])
+  in
+  let live = Live.start ~workers:2 ~source ~registry topo in
+  Alcotest.(check bool) "stateful vertex is not elastic" false
+    (Live.elastic live).(1);
+  Alcotest.(check bool) "resize refused" false (Live.resize live ~vertex:1 2);
+  Alcotest.check_raises "degree 0 rejected"
+    (Invalid_argument "Executor.Live.resize: degree must be >= 1") (fun () ->
+      ignore (Live.resize live ~vertex:1 0));
+  Alcotest.check_raises "vertex out of range"
+    (Invalid_argument "Executor.Live.resize: vertex out of range") (fun () ->
+      ignore (Live.resize live ~vertex:9 2));
+  ignore (Live.stop live)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "ss_elastic"
@@ -136,5 +349,12 @@ let () =
             test_static_beats_elastic_on_stable_workload;
           quick "invalid epoch length" test_invalid_epoch_length;
           quick "pretty printing" test_pp_renders;
+        ] );
+      ( "live",
+        [
+          quick "measured decisions" test_decide_measured;
+          quick "closed loop vs static plan" test_live_closed_loop;
+          quick "lossless state handoff" test_live_state_handoff;
+          quick "resize validation" test_live_resize_validation;
         ] );
     ]

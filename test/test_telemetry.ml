@@ -1,0 +1,231 @@
+(* Telemetry correctness: histogram window algebra and edge cases, the
+   measured-profile feedback path's finiteness guarantees, and the
+   Prometheus exposition format under hostile operator names. *)
+
+open Ss_topology
+module H = Ss_telemetry.Histogram
+module T = Ss_telemetry.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Histogram.diff *)
+
+let test_diff_window () =
+  let h = H.create () in
+  List.iter (H.record h) [ 1e-4; 2e-4; 5e-3 ];
+  let since = H.copy h in
+  List.iter (H.record h) [ 1e-4; 0.5 ];
+  let w = H.diff ~since h in
+  Alcotest.(check int) "window count" 2 (H.count w);
+  Alcotest.(check (float 1e-9)) "window sum" (1e-4 +. 0.5) (H.sum w);
+  Alcotest.(check (float 1e-9)) "cumulative max kept" 0.5 (H.max_value w);
+  (* the since snapshot is untouched *)
+  Alcotest.(check int) "since intact" 3 (H.count since)
+
+let test_diff_clamps_racy_snapshots () =
+  (* A live "current" that reads older than the snapshot must clamp to an
+     empty window, never go negative. *)
+  let newer = H.create () in
+  List.iter (H.record newer) [ 1e-3; 1e-3 ];
+  let older = H.create () in
+  H.record older 1e-3;
+  let w = H.diff ~since:newer older in
+  Alcotest.(check int) "clamped count" 0 (H.count w);
+  Alcotest.(check (float 0.0)) "clamped sum" 0.0 (H.sum w)
+
+let test_diff_identity () =
+  let h = H.create () in
+  List.iter (H.record h) [ 3e-5; 7e-2; 1.5 ];
+  let w = H.diff ~since:(H.copy h) h in
+  Alcotest.(check int) "empty window" 0 (H.count w)
+
+(* ------------------------------------------------------------------ *)
+(* percentile when every sample landed in the overflow bucket *)
+
+let test_percentile_all_overflow () =
+  let h = H.create () in
+  for _ = 1 to 5 do
+    H.record h 200.0
+  done;
+  let lower = H.bucket_upper (H.num_buckets - 2) in
+  List.iter
+    (fun q ->
+      let p = H.percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f finite" (100.0 *. q))
+        true (Float.is_finite p);
+      Alcotest.(check bool) "above the last finite bound" true (p >= lower);
+      Alcotest.(check bool) "bounded by the observed max" true (p <= 200.0))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  let s = H.snapshot h in
+  Alcotest.(check bool) "snapshot percentiles finite" true
+    (Float.is_finite s.H.p50 && Float.is_finite s.H.p95
+   && Float.is_finite s.H.p99 && Float.is_finite s.H.max)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry.delta *)
+
+let pipeline3 () =
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "src";
+      Operator.make ~service_time:1e-3 "mid";
+      Operator.make ~service_time:1e-3 "snk";
+    |]
+  in
+  Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ]
+
+let test_delta_windows_edges_and_histograms () =
+  let topo = pipeline3 () in
+  let c = T.Collector.create topo in
+  let s = T.Collector.sink c in
+  T.Sink.record_service s 1 2e-3;
+  T.Sink.record_latency s 1 1e-2;
+  T.Sink.incr_edge s 0;
+  T.Sink.incr_edge s 0;
+  T.Sink.incr_edge s 1;
+  let r1 = T.Collector.report c in
+  T.Sink.record_service s 1 4e-3;
+  T.Sink.incr_edge s 0;
+  let r2 = T.Collector.report c in
+  let w = T.delta ~since:r1 r2 in
+  Alcotest.(check int) "service window count" 1 (H.count w.T.service.(1));
+  Alcotest.(check (float 1e-9)) "service window sum" 4e-3 (H.sum w.T.service.(1));
+  Alcotest.(check int) "latency window empty" 0 (H.count w.T.latency.(1));
+  (match w.T.edges with
+  | [ (0, 1, a); (1, 2, b) ] ->
+      Alcotest.(check int) "edge 0 window" 1 a;
+      Alcotest.(check int) "edge 1 window" 0 b
+  | _ -> Alcotest.fail "unexpected edge list shape")
+
+(* ------------------------------------------------------------------ *)
+(* to_profile finiteness *)
+
+let test_to_profile_zero_consumption_is_finite () =
+  let topo = pipeline3 () in
+  let c = T.Collector.create topo in
+  let report = T.Collector.report c in
+  (* Nothing ran: every vertex consumed and produced zero. The profiles
+     must still be finite everywhere (declared fallbacks, no 0/0). *)
+  let consumed = [| 0; 0; 0 |] and produced = [| 0; 0; 0 |] in
+  let profiles = T.to_profile topo ~consumed ~produced report in
+  Array.iteri
+    (fun v (p : Ss_workload.Profiler.profile) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "vertex %d service finite" v)
+        true
+        (Float.is_finite p.Ss_workload.Profiler.mean_service_time);
+      Alcotest.(check bool)
+        (Printf.sprintf "vertex %d selectivity finite" v)
+        true
+        (Float.is_finite p.Ss_workload.Profiler.outputs_per_input))
+    profiles
+
+let test_to_profile_partial_run_is_finite () =
+  let topo = pipeline3 () in
+  let c = T.Collector.create topo in
+  let s = T.Collector.sink c in
+  T.Sink.record_service s 1 5e-4;
+  let report = T.Collector.report c in
+  (* Vertex 1 consumed but produced nothing (a filter that dropped its
+     whole input); vertex 2 never saw a tuple. *)
+  let consumed = [| 0; 100; 0 |] and produced = [| 100; 0; 0 |] in
+  let profiles = T.to_profile topo ~consumed ~produced report in
+  Alcotest.(check (float 1e-9)) "measured zero selectivity" 0.0
+    profiles.(1).Ss_workload.Profiler.outputs_per_input;
+  Array.iter
+    (fun (p : Ss_workload.Profiler.profile) ->
+      Alcotest.(check bool) "all finite" true
+        (Float.is_finite p.Ss_workload.Profiler.mean_service_time
+        && Float.is_finite p.Ss_workload.Profiler.outputs_per_input))
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition under hostile label values *)
+
+let hostile_topology () =
+  let ops =
+    [|
+      Operator.make ~service_time:1e-3 "plain";
+      Operator.make ~service_time:1e-3 "quo\"te";
+      Operator.make ~service_time:1e-3 "back\\slash";
+      Operator.make ~service_time:1e-3 "new\nline";
+    |]
+  in
+  Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+
+(* A minimal exposition-format lint: every non-comment non-blank line is
+   `name{labels} value` or `name value`, on ONE line, with an even number
+   of unescaped quotes and a parseable float value. *)
+let lint_exposition text =
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         if line <> "" && line.[0] <> '#' then begin
+           let unescaped_quotes = ref 0 in
+           String.iteri
+             (fun j ch ->
+               if ch = '"' && (j = 0 || line.[j - 1] <> '\\') then
+                 incr unescaped_quotes)
+             line;
+           if !unescaped_quotes mod 2 <> 0 then
+             Alcotest.failf "line %d has an odd number of quotes: %s" i line;
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "line %d has no value: %s" i line
+           | Some sp -> (
+               let v =
+                 String.sub line (sp + 1) (String.length line - sp - 1)
+               in
+               match float_of_string_opt v with
+               | Some _ -> ()
+               | None ->
+                   Alcotest.failf "line %d value %S not a float: %s" i v line)
+         end)
+
+let test_prometheus_escapes_hostile_names () =
+  let topo = hostile_topology () in
+  let c = T.Collector.create topo in
+  let s = T.Collector.sink c in
+  T.Sink.record_service s 1 2e-3;
+  T.Sink.record_latency s 1 1e-2;
+  T.Sink.record_service s 3 1e-3;
+  List.iter (fun e -> T.Sink.incr_edge s e) [ 0; 1; 2 ];
+  let text = T.to_prometheus topo (T.Collector.report c) in
+  lint_exposition text;
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "quote escaped" true (contains {|quo\"te|});
+  Alcotest.(check bool) "backslash escaped" true (contains {|back\\slash|});
+  Alcotest.(check bool) "newline escaped" true (contains {|new\nline|});
+  Alcotest.(check bool) "raw newline never inside a label" true
+    (String.split_on_char '\n' text
+    |> List.for_all (fun line ->
+           (* a line that opens a label set also closes it *)
+           String.contains line '{' = String.contains line '}'));
+  Alcotest.(check bool) "overflow bucket exported" true
+    (contains {|le="+Inf"|})
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_telemetry"
+    [
+      ( "histogram",
+        [
+          quick "diff window" test_diff_window;
+          quick "diff clamps racy snapshots" test_diff_clamps_racy_snapshots;
+          quick "diff identity" test_diff_identity;
+          quick "percentile all-overflow" test_percentile_all_overflow;
+        ] );
+      ( "feedback",
+        [
+          quick "delta windows" test_delta_windows_edges_and_histograms;
+          quick "to_profile zero consumption"
+            test_to_profile_zero_consumption_is_finite;
+          quick "to_profile partial run" test_to_profile_partial_run_is_finite;
+        ] );
+      ( "prometheus",
+        [
+          quick "hostile names escaped" test_prometheus_escapes_hostile_names;
+        ] );
+    ]
