@@ -26,6 +26,14 @@ open Ss_workload
 
 let quick = ref false
 
+(* Atomic (temp file + rename) BENCH_*.json writer: CI parses these files,
+   so a crashed or interrupted bench must never leave a truncated one. *)
+let write_bench_json path json =
+  Ss_log.Log_io.atomic_write_file path (json ^ "\n");
+  print_string json;
+  print_newline ();
+  Printf.printf "wrote %s\n" path
+
 (* Mailbox capacity used by the adaptive-window experiment runs. The paper
    does not state Akka's mailbox size; 64 slots keeps the blocking network
    close to the fluid model even when fission sizes operators at rho = 1
@@ -711,13 +719,7 @@ let elastic_live () =
       | Some i -> string_of_int i
       | None -> "null")
   in
-  let oc = open_out "BENCH_elastic.json" in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
-  print_string json;
-  print_newline ();
-  Printf.printf "wrote BENCH_elastic.json\n";
+  write_bench_json "BENCH_elastic.json" json;
   let failed = ref false in
   if ratio < 0.85 then begin
     Printf.printf
@@ -1241,13 +1243,7 @@ gate: >= 0.95x)\n"
       grouped_groups idle_workers sat_grouped sat_ungrouped sat_grouped_ratio
       (wall_rate m_dom) fission_actors (wall_rate m_fpool)
   in
-  let oc = open_out "BENCH_sched.json" in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
-  print_string json;
-  print_newline ();
-  Printf.printf "wrote BENCH_sched.json\n";
+  write_bench_json "BENCH_sched.json" json;
   let failed = ref false in
   if idle_ratio < 1.3 then begin
     Printf.printf
@@ -1448,13 +1444,7 @@ let telemetry_bench () =
       (snap.H.max *. 1e3) snap.H.count
       (String.concat "," (List.rev !fig_rows))
   in
-  let oc = open_out "BENCH_telemetry.json" in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
-  print_string json;
-  print_newline ();
-  Printf.printf "wrote BENCH_telemetry.json\n";
+  write_bench_json "BENCH_telemetry.json" json;
   if overhead_pct > 10.0 then begin
     Printf.printf
       "FAIL: telemetry overhead %.1f%% exceeds the 10%% budget\n" overhead_pct;
@@ -1659,13 +1649,7 @@ let mailbox_bench () =
             sweep))
       ttuples tb_auto tb_lock regression_pct ftuples fig11_rate
   in
-  let oc = open_out "BENCH_mailbox.json" in
-  output_string oc json;
-  output_char oc '\n';
-  close_out oc;
-  print_string json;
-  print_newline ();
-  Printf.printf "wrote BENCH_mailbox.json\n";
+  write_bench_json "BENCH_mailbox.json" json;
   let failed = ref false in
   (* The 1.5x gate applies to the two-domain handoff when the host can
      actually run producer and consumer in parallel; on a single core that
@@ -1689,6 +1673,158 @@ let mailbox_bench () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* log: the durable sharded ingest path (lib/log). Measures ingest MB/s
+   under each fsync policy, read-path replay throughput, torn-tail
+   recovery time on reopen, and replay of an uncommitted consumer-group
+   suffix. Emits BENCH_log.json and fails (exit 1) when group commit
+   ([Every 256]) does not amortize fsyncs to at least 5x the per-record
+   ([Every 1]) ingest rate. *)
+
+let log_bench () =
+  let module L = Ss_log.Log in
+  Printf.printf "\n=== log: durable sharded ingest (lib/log) ===\n\n";
+  let records = if !quick then 5_000 else 50_000 in
+  (* Per-record fsync pays one fsync per append; fewer records keep the
+     wall time bounded without changing the measured rate. *)
+  let sync_records = if !quick then 300 else 2_000 in
+  let payload_bytes = 128 in
+  let payload = Bytes.make payload_bytes 'x' in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+  in
+  let scratch = ref [] in
+  let fresh_dir tag =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ss_bench_log_%s_%d" tag (Unix.getpid ()))
+    in
+    rm_rf d;
+    scratch := d :: !scratch;
+    d
+  in
+  let ingest ~fsync ~n tag =
+    let dir = fresh_dir tag in
+    let log = L.create ~config:{ L.default_config with L.fsync } dir in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      ignore (L.append log ~key:i payload)
+    done;
+    L.sync log;
+    let dt = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+    let mb_s = float_of_int (L.size_bytes log) /. dt /. 1e6 in
+    L.close log;
+    (mb_s, dir)
+  in
+  let mb_every1, _ = ingest ~fsync:(L.Every 1) ~n:sync_records "every1" in
+  Printf.printf "ingest fsync=every:1     %8.1f MB/s  (%d records)\n" mb_every1
+    sync_records;
+  let mb_every256, batched_dir =
+    ingest ~fsync:(L.Every 256) ~n:records "every256"
+  in
+  Printf.printf "ingest fsync=every:256   %8.1f MB/s  (%d records)\n"
+    mb_every256 records;
+  let mb_interval, _ = ingest ~fsync:(L.Interval 0.01) ~n:records "interval" in
+  Printf.printf "ingest fsync=interval:10 %8.1f MB/s  (%d records)\n"
+    mb_interval records;
+  let mb_never, never_dir = ingest ~fsync:L.Never ~n:records "never" in
+  Printf.printf "ingest fsync=never       %8.1f MB/s  (%d records)\n" mb_never
+    records;
+  let batched_ratio = mb_every256 /. Float.max mb_every1 1e-9 in
+  Printf.printf "group commit amortization: %.1fx per-record fsync\n\n"
+    batched_ratio;
+  (* Replay: reopen the batched log and stream every partition back. *)
+  let replay_log = L.create batched_dir in
+  let t0 = Unix.gettimeofday () in
+  let replayed = ref 0 in
+  for p = 0 to L.partitions replay_log - 1 do
+    let cursor = ref 0 in
+    let rec drain () =
+      match L.read replay_log ~partition:p ~from:!cursor ~max_records:1024 () with
+      | [] -> ()
+      | batch ->
+          replayed := !replayed + List.length batch;
+          cursor := fst (List.nth batch (List.length batch - 1)) + 1;
+          drain ()
+    in
+    drain ()
+  done;
+  let replay_dt = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  let replay_mb_s = float_of_int (L.size_bytes replay_log) /. replay_dt /. 1e6 in
+  let replay_rate = float_of_int !replayed /. replay_dt in
+  Printf.printf "replay: %d records in %.3fs  (%.1f MB/s, %.0f records/s)\n"
+    !replayed replay_dt replay_mb_s replay_rate;
+  (* Recovery-replay: commit a mid-stream position for a consumer group
+     and measure redelivery of the uncommitted suffix — the work a
+     restarted pipeline performs before it is caught up. *)
+  let suffix = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for p = 0 to L.partitions replay_log - 1 do
+    let fin = L.end_offset replay_log ~partition:p in
+    L.commit replay_log ~group:"bench" ~partition:p (fin / 2);
+    let cursor = ref (L.committed replay_log ~group:"bench" ~partition:p) in
+    let rec drain () =
+      match L.read replay_log ~partition:p ~from:!cursor ~max_records:1024 () with
+      | [] -> ()
+      | batch ->
+          suffix := !suffix + List.length batch;
+          cursor := fst (List.nth batch (List.length batch - 1)) + 1;
+          drain ()
+    in
+    drain ()
+  done;
+  let suffix_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  L.close replay_log;
+  Printf.printf "recovery replay: %d uncommitted records in %.2fms\n" !suffix
+    suffix_ms;
+  (* Torn tail: chop bytes off one partition's final segment (a crash
+     mid-append) and time the reopen that detects and truncates it. *)
+  let p0 = Filename.concat never_dir "p0" in
+  let segs =
+    Sys.readdir p0 |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    |> List.sort compare
+  in
+  let last_seg = Filename.concat p0 (List.nth segs (List.length segs - 1)) in
+  let fd = Unix.openfile last_seg [ Unix.O_WRONLY ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  Unix.ftruncate fd (len - 3);
+  Unix.close fd;
+  let t0 = Unix.gettimeofday () in
+  let recovered = L.create never_dir in
+  let reopen_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let torn = L.torn_tails_recovered recovered in
+  L.close recovered;
+  Printf.printf "torn-tail recovery: reopen %.2fms, %d tail(s) truncated\n"
+    reopen_ms torn;
+  List.iter rm_rf !scratch;
+  let json =
+    Printf.sprintf
+      {|{"section":"log","records":%d,"payload_bytes":%d,"ingest_mb_s":{"every1":%.2f,"every256":%.2f,"interval_10ms":%.2f,"never":%.2f},"batched_vs_per_record":%.2f,"replay":{"records":%d,"mb_s":%.2f,"records_s":%.1f},"recovery":{"suffix_records":%d,"suffix_replay_ms":%.2f,"torn_tails":%d,"reopen_ms":%.2f}}|}
+      records payload_bytes mb_every1 mb_every256 mb_interval mb_never
+      batched_ratio !replayed replay_mb_s replay_rate !suffix suffix_ms torn
+      reopen_ms
+  in
+  write_bench_json "BENCH_log.json" json;
+  let failed = ref false in
+  if batched_ratio < 5.0 then begin
+    Printf.printf
+      "FAIL: group commit only %.1fx per-record fsync (>= 5x required)\n"
+      batched_ratio;
+    failed := true
+  end;
+  if torn < 1 then begin
+    Printf.printf "FAIL: torn tail was not detected on reopen\n";
+    failed := true
+  end;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1707,6 +1843,7 @@ let sections =
     ("sched", sched);
     ("mailbox", mailbox_bench);
     ("telemetry", telemetry_bench);
+    ("log", log_bench);
     ("micro", micro);
   ]
 

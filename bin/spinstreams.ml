@@ -9,11 +9,9 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* Atomic whole-file write (temp file + rename): a crash or a concurrent
+   reader never observes a half-written export. *)
+let write_file path contents = Ss_log.Log_io.atomic_write_file path contents
 
 let load_session path =
   match Ss_tool.Session.import_xml (read_file path) with
@@ -694,6 +692,204 @@ let elastic_cmd =
       $ reserve $ rate $ seed_arg $ json_out)
 
 (* ------------------------------------------------------------------ *)
+(* ingest *)
+
+let ingest_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Log directory (created when absent, recovered when present).")
+  in
+  let tuples =
+    Arg.(
+      value & opt int 10_000
+      & info [ "tuples" ] ~docv:"N"
+          ~doc:"Synthetic tuples to append to the log before executing; 0 \
+                appends nothing (replay an existing log).")
+  in
+  let partitions =
+    Arg.(
+      value & opt pos_int 4
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:"Partitions at log creation (an existing log keeps its own \
+                count).")
+  in
+  let fsync =
+    (* never | every:N | interval:MS *)
+    let parse s =
+      match s with
+      | "never" -> Ok Ss_log.Log.Never
+      | _ -> (
+          match String.index_opt s ':' with
+          | Some i -> (
+              let kind = String.sub s 0 i in
+              let rest = String.sub s (i + 1) (String.length s - i - 1) in
+              match (kind, int_of_string_opt rest) with
+              | "every", Some n when n >= 1 -> Ok (Ss_log.Log.Every n)
+              | "interval", Some ms when ms >= 1 ->
+                  Ok (Ss_log.Log.Interval (float_of_int ms /. 1000.0))
+              | _ -> Error (`Msg "expected never, every:N, or interval:MS"))
+          | None -> Error (`Msg "expected never, every:N, or interval:MS"))
+    in
+    let print ppf = function
+      | Ss_log.Log.Never -> Format.fprintf ppf "never"
+      | Ss_log.Log.Every n -> Format.fprintf ppf "every:%d" n
+      | Ss_log.Log.Interval s -> Format.fprintf ppf "interval:%.0f" (s *. 1000.0)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Ss_log.Log.Every 256)
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:"Durability policy for appends: $(b,never) leaves flushing \
+                to the OS, $(b,every:N) group-commits (one fsync per N \
+                records; every:1 is per-record durability), \
+                $(b,interval:MS) bounds the loss window by time. Default \
+                every:256.")
+  in
+  let segment_bytes =
+    Arg.(
+      value
+      & opt pos_int (4 * 1024 * 1024)
+      & info [ "segment-bytes" ] ~docv:"BYTES"
+          ~doc:"Roll to a new segment file past this size (default 4MiB).")
+  in
+  let execute =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:"After ingesting, execute the topology from the log: one \
+                reader per partition, offsets committed downstream of \
+                processing (at-least-once). A re-run after a crash resumes \
+                from the committed offsets.")
+  in
+  let group =
+    Arg.(
+      value & opt string "default"
+      & info [ "group" ] ~docv:"NAME" ~doc:"Consumer group of the execution.")
+  in
+  let commit_every =
+    Arg.(
+      value & opt pos_int 512
+      & info [ "commit-every" ] ~docv:"N"
+          ~doc:"Commit each partition's watermark every $(docv) records \
+                (default 512); smaller narrows the redelivery window.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Abort the execution after $(docv) of wall-clock time; \
+                committed offsets stand, so a re-run resumes from them.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the ingest/offset summary as JSON to $(docv).")
+  in
+  let run path dir tuples partitions fsync segment_bytes execute group
+      commit_every timeout seed json_out =
+    if tuples < 0 then or_die (Error "--tuples must be >= 0");
+    (match timeout with
+    | Some limit when limit <= 0.0 ->
+        or_die (Error "--timeout must be positive")
+    | _ -> ());
+    let config =
+      { Ss_log.Log.default_config with partitions; segment_bytes; fsync }
+    in
+    let log = Ss_log.Log.create ~config dir in
+    if Ss_log.Log.torn_tails_recovered log > 0 then
+      Printf.printf "recovered %d torn partition tail(s)\n"
+        (Ss_log.Log.torn_tails_recovered log);
+    let ingest_elapsed =
+      if tuples = 0 then 0.0
+      else begin
+        let rng = Ss_prelude.Rng.create seed in
+        let stream = Ss_workload.Stream_gen.tuples rng tuples in
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun t ->
+            ignore
+              (Ss_log.Log.append log ~key:t.Ss_operators.Tuple.key
+                 (Ss_log.Tuple_codec.encode t)
+                : int * int))
+          stream;
+        Ss_log.Log.sync log;
+        Unix.gettimeofday () -. t0
+      end
+    in
+    let mb = float_of_int (Ss_log.Log.size_bytes log) /. 1048576.0 in
+    if tuples > 0 then
+      Printf.printf "ingested %d tuples, %.1f MiB total in %.3fs (%.1f MB/s)\n"
+        tuples mb ingest_elapsed
+        (mb /. Float.max ingest_elapsed 1e-9);
+    let outcome =
+      if not execute then None
+      else begin
+        let session = or_die (load_session path) in
+        let ing = Ss_runtime.Executor.ingest ~group ~commit_every log in
+        let metrics =
+          Ss_tool.Session.execute session ~ingest:ing ?timeout ~seed ()
+        in
+        print_string (Ss_tool.Session.runtime_report session metrics);
+        Some metrics.Ss_runtime.Executor.outcome
+      end
+    in
+    let offsets =
+      List.init (Ss_log.Log.partitions log) (fun p ->
+          ( p,
+            Ss_log.Log.committed log ~group ~partition:p,
+            Ss_log.Log.end_offset log ~partition:p ))
+    in
+    List.iter
+      (fun (p, committed, stop) ->
+        Printf.printf "p%d: committed %d / end %d\n" p committed stop)
+      offsets;
+    (match json_out with
+    | None -> ()
+    | Some out ->
+        let parts =
+          String.concat ","
+            (List.map
+               (fun (p, committed, stop) ->
+                 Printf.sprintf
+                   "{\"partition\":%d,\"committed\":%d,\"end\":%d}" p committed
+                   stop)
+               offsets)
+        in
+        write_file out
+          (Printf.sprintf
+             "{\"tuples\":%d,\"size_bytes\":%d,\"ingest_seconds\":%.6f,\
+              \"executed\":%b,\"group\":%S,\"partitions\":[%s]}\n"
+             tuples (Ss_log.Log.size_bytes log) ingest_elapsed execute group
+             parts);
+        Printf.printf "summary written to %s\n" out);
+    Ss_log.Log.close log;
+    match outcome with
+    | None | Some Ss_runtime.Supervision.Finished -> ()
+    | Some
+        ( Ss_runtime.Supervision.Actor_failed _
+        | Ss_runtime.Supervision.Timed_out _ ) ->
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Write a synthetic workload into a durable partitioned log \
+             (CRC-framed segments, configurable fsync policy) and \
+             optionally execute the topology from it with at-least-once \
+             delivery: per-partition readers, offsets committed only after \
+             a record's derivation tree fully drains. Prints per-partition \
+             committed/end offsets so scripts can verify recovery.")
+    Term.(
+      const run $ topology_arg $ dir $ tuples $ partitions $ fsync
+      $ segment_bytes $ execute $ group $ commit_every $ timeout $ seed_arg
+      $ json_out)
+
+(* ------------------------------------------------------------------ *)
 (* place *)
 
 let place_cmd =
@@ -845,6 +1041,7 @@ let () =
             codegen_cmd;
             execute_cmd;
             elastic_cmd;
+            ingest_cmd;
             place_cmd;
             export_cmd;
             dot_cmd;

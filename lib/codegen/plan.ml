@@ -45,14 +45,21 @@ let resolve op =
 
 let registry topology v = resolve (Topology.operator topology v)
 
-let run ?mailbox_capacity ?fused ?ordered ?(seed = 42) ?(tuples = 10_000)
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?stream_spec
-    topology =
-  let rng = Ss_prelude.Rng.create seed in
-  let stream = Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples in
-  Ss_runtime.Executor.run ?mailbox_capacity ?fused ?ordered ~seed ?timeout
-    ?scheduler ?placement ?batch ?channels ?instrument
-    ~source:(Ss_runtime.Executor.source_of_list stream)
+let run ?ingest ?mailbox_capacity ?fused ?ordered ?(seed = 42)
+    ?(tuples = 10_000) ?timeout ?scheduler ?placement ?batch ?channels
+    ?instrument ?stream_spec topology =
+  (* A log-backed run replays the ingest log; generating a synthetic
+     stream would be wasted work, so the source collapses to nothing. *)
+  let source =
+    match ingest with
+    | Some _ -> fun () -> None
+    | None ->
+        let rng = Ss_prelude.Rng.create seed in
+        Ss_runtime.Executor.source_of_list
+          (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples)
+  in
+  Ss_runtime.Executor.run ?ingest ?mailbox_capacity ?fused ?ordered ~seed
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ~source
     ~registry:(registry topology) topology
 
 let live ?mailbox_capacity ?(seed = 42) ?timeout ?workers ?reserve ?rate

@@ -13,6 +13,7 @@ val registry : Ss_topology.Topology.t -> int -> Ss_operators.Behavior.t
 (** Vertex-indexed resolver for {!Ss_runtime.Executor.run}. *)
 
 val run :
+  ?ingest:Ss_runtime.Executor.ingest ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
   ?ordered:int list ->
@@ -29,7 +30,9 @@ val run :
   Ss_runtime.Executor.metrics
 (** [run topology] deploys the topology on the runtime and drives it with
     [tuples] (default 10_000) synthetic tuples from
-    {!Ss_workload.Stream_gen}. Options ([timeout], [scheduler],
+    {!Ss_workload.Stream_gen} — or, with [ingest], replays a durable
+    {!Ss_log.Log} instead (at-least-once; [tuples] and [stream_spec] are
+    then ignored). Options ([timeout], [scheduler],
     [placement], [batch], [channels] and [instrument] included) are
     forwarded to
     {!Ss_runtime.Executor.run}; the returned metrics carry the supervised

@@ -1,0 +1,466 @@
+exception Corrupt of string
+
+type fsync = Never | Every of int | Interval of float
+
+type config = {
+  partitions : int;
+  segment_bytes : int;
+  fsync : fsync;
+  index_interval : int;
+}
+
+let default_config =
+  {
+    partitions = 4;
+    segment_bytes = 4 * 1024 * 1024;
+    fsync = Every 256;
+    index_interval = 64;
+  }
+
+(* One segment file. [index] is the sparse offset index — [(offset, byte
+   position)] for every [index_interval]-th record, newest entry first —
+   rebuilt from the frame scan on open and extended on append. All fields
+   mutate only under the owning partition's lock; readers snapshot what
+   they need while holding it. *)
+type segment = {
+  base : int;
+  path : string;
+  mutable records : int;
+  mutable size : int;
+  mutable index : (int * int) list;
+}
+
+type partition = {
+  pid : int;
+  mutable sealed : segment list; (* oldest first *)
+  mutable active : segment;
+  mutable fd : Unix.file_descr; (* append descriptor of [active] *)
+  mutable next : int; (* next offset to assign *)
+  mutable dirty : int; (* records appended since the last fsync *)
+  mutable last_sync : float;
+  lock : Mutex.t;
+}
+
+type t = {
+  dir : string;
+  cfg : config;
+  parts : partition array;
+  mutable torn : int;
+  mutable closed : bool;
+}
+
+let dir t = t.dir
+let partitions t = Array.length t.parts
+
+let ensure_open t op =
+  if t.closed then invalid_arg (Printf.sprintf "Log.%s: log is closed" op)
+
+let segment_path pdir base = Filename.concat pdir (Printf.sprintf "%020d.seg" base)
+
+let with_lock p f =
+  Mutex.lock p.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.lock) f
+
+let read_whole_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create size in
+      let got = ref 0 in
+      let eof = ref false in
+      while !got < size && not !eof do
+        let n = Unix.read fd b !got (size - !got) in
+        if n = 0 then eof := true else got := !got + n
+      done;
+      (b, !got))
+
+(* Rebuild a segment's in-memory state from its frames. Returns the
+   segment and whether a torn tail was truncated away. [last] says this is
+   the partition's final segment — the only place where invalid trailing
+   bytes are a legitimate crash artifact rather than corruption. *)
+let recover_segment ~cfg ~last ~base path =
+  let b, len = read_whole_file path in
+  let scan = Log_io.scan_frames b len in
+  if scan.Log_io.scan_torn then begin
+    if not last then
+      raise
+        (Corrupt
+           (Printf.sprintf "%s: invalid bytes at %d in a non-final segment"
+              path scan.Log_io.scan_valid));
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd scan.Log_io.scan_valid;
+        Unix.fsync fd)
+  end;
+  let index = ref [] in
+  Array.iteri
+    (fun i pos ->
+      if i mod cfg.index_interval = 0 then index := (base + i, pos) :: !index)
+    scan.Log_io.scan_positions;
+  ( {
+      base;
+      path;
+      records = scan.Log_io.scan_records;
+      size = scan.Log_io.scan_valid;
+      index = !index;
+    },
+    scan.Log_io.scan_torn )
+
+let open_partition ~cfg ~pdir pid =
+  Log_io.mkdir_p pdir;
+  let bases =
+    Sys.readdir pdir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".seg" then
+             int_of_string_opt (Filename.chop_suffix f ".seg")
+           else None)
+    |> List.sort compare
+  in
+  let torn = ref 0 in
+  let segments =
+    match bases with
+    | [] ->
+        let path = segment_path pdir 0 in
+        Unix.close (Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644);
+        [ { base = 0; path; records = 0; size = 0; index = [] } ]
+    | bases ->
+        let count = List.length bases in
+        List.mapi
+          (fun i base ->
+            let seg, was_torn =
+              recover_segment ~cfg ~last:(i = count - 1) ~base
+                (segment_path pdir base)
+            in
+            if was_torn then incr torn;
+            seg)
+          bases
+  in
+  (* Offsets must be dense across segments: each base is the previous
+     base plus its record count. A gap means a lost or foreign file. *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if b.base <> a.base + a.records then
+          raise
+            (Corrupt
+               (Printf.sprintf
+                  "%s: segment %d follows %d which holds %d records" pdir
+                  b.base a.base a.records));
+        check rest
+    | _ -> ()
+  in
+  check segments;
+  let rec split acc = function
+    | [ last ] -> (List.rev acc, last)
+    | x :: rest -> split (x :: acc) rest
+    | [] -> assert false
+  in
+  let sealed, active = split [] segments in
+  let fd = Unix.openfile active.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  ( {
+      pid;
+      sealed;
+      active;
+      fd;
+      next = active.base + active.records;
+      dirty = 0;
+      last_sync = Unix.gettimeofday ();
+      lock = Mutex.create ();
+    },
+    !torn )
+
+let meta_path dir = Filename.concat dir "meta"
+
+let create ?(config = default_config) dir =
+  if config.partitions < 1 then invalid_arg "Log.create: partitions must be >= 1";
+  if config.segment_bytes < 64 then
+    invalid_arg "Log.create: segment_bytes must be >= 64";
+  if config.index_interval < 1 then
+    invalid_arg "Log.create: index_interval must be >= 1";
+  (match config.fsync with
+  | Every n when n < 1 -> invalid_arg "Log.create: Every n requires n >= 1"
+  | Interval s when not (Float.is_finite s && s > 0.0) ->
+      invalid_arg "Log.create: Interval s requires a positive duration"
+  | _ -> ());
+  Log_io.mkdir_p dir;
+  Log_io.mkdir_p (Filename.concat dir "groups");
+  let npartitions =
+    if Sys.file_exists (meta_path dir) then begin
+      let ic = open_in (meta_path dir) in
+      let line = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic) in
+      match String.split_on_char '=' (String.trim line) with
+      | [ "partitions"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> n
+          | _ -> raise (Corrupt (meta_path dir ^ ": bad partition count")))
+      | _ -> raise (Corrupt (meta_path dir ^ ": unrecognized meta file"))
+    end
+    else begin
+      Log_io.atomic_write_file (meta_path dir)
+        (Printf.sprintf "partitions=%d\n" config.partitions);
+      config.partitions
+    end
+  in
+  let torn = ref 0 in
+  let parts =
+    Array.init npartitions (fun p ->
+        let part, t =
+          open_partition ~cfg:config
+            ~pdir:(Filename.concat dir (Printf.sprintf "p%d" p))
+            p
+        in
+        torn := !torn + t;
+        part)
+  in
+  { dir; cfg = config; parts; torn = !torn; closed = false }
+
+let torn_tails_recovered t = t.torn
+
+let part t p =
+  if p < 0 || p >= Array.length t.parts then
+    invalid_arg (Printf.sprintf "Log: unknown partition %d" p);
+  t.parts.(p)
+
+let partition_of_key t key =
+  let n = Array.length t.parts in
+  ((key mod n) + n) mod n
+
+let end_offset t ~partition = (part t partition).next
+
+let size_bytes t =
+  Array.fold_left
+    (fun acc p ->
+      acc + p.active.size
+      + List.fold_left (fun a s -> a + s.size) 0 p.sealed)
+    0 t.parts
+
+(* --- appends ------------------------------------------------------- *)
+
+let write_all fd b len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd b !written (len - !written)
+  done
+
+let fsync_locked p =
+  if p.dirty > 0 then begin
+    Unix.fsync p.fd;
+    p.dirty <- 0;
+    p.last_sync <- Unix.gettimeofday ()
+  end
+
+let policy_fsync ~cfg p =
+  match cfg.fsync with
+  | Never -> ()
+  | Every n -> if p.dirty >= n then fsync_locked p
+  | Interval s ->
+      if Unix.gettimeofday () -. p.last_sync >= s then fsync_locked p
+
+(* Seal the active segment and start a fresh one at the current offset.
+   The sealed file is fsynced so recovery never finds a torn tail in a
+   non-final segment. *)
+let roll_locked ~pdir p =
+  Unix.fsync p.fd;
+  p.dirty <- 0;
+  Unix.close p.fd;
+  p.sealed <- p.sealed @ [ p.active ];
+  let path = segment_path pdir p.next in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  p.active <- { base = p.next; path; records = 0; size = 0; index = [] };
+  p.fd <- fd
+
+let append_batch t ~partition payloads =
+  ensure_open t "append";
+  match payloads with
+  | [] -> invalid_arg "Log.append_batch: empty batch"
+  | payloads ->
+      let p = part t partition in
+      let pdir = Filename.concat t.dir (Printf.sprintf "p%d" partition) in
+      with_lock p (fun () ->
+          if p.active.size >= t.cfg.segment_bytes then roll_locked ~pdir p;
+          let first = p.next in
+          let buf = Buffer.create 4096 in
+          List.iter
+            (fun payload ->
+              let off = p.next and pos = p.active.size + Buffer.length buf in
+              if (off - p.active.base) mod t.cfg.index_interval = 0 then
+                p.active.index <- (off, pos) :: p.active.index;
+              Log_io.frame buf payload;
+              p.next <- p.next + 1)
+            payloads;
+          let b = Buffer.to_bytes buf in
+          write_all p.fd b (Bytes.length b);
+          p.active.size <- p.active.size + Bytes.length b;
+          p.active.records <- p.active.records + List.length payloads;
+          p.dirty <- p.dirty + List.length payloads;
+          policy_fsync ~cfg:t.cfg p;
+          first)
+
+let append_to t ~partition payload = append_batch t ~partition [ payload ]
+
+let append t ?(key = 0) payload =
+  let partition = partition_of_key t key in
+  (partition, append_to t ~partition payload)
+
+let sync t =
+  ensure_open t "sync";
+  Array.iter (fun p -> with_lock p (fun () -> fsync_locked p)) t.parts
+
+let close t =
+  if not t.closed then begin
+    Array.iter
+      (fun p ->
+        with_lock p (fun () ->
+            fsync_locked p;
+            Unix.close p.fd))
+      t.parts;
+    t.closed <- true
+  end
+
+(* --- reads --------------------------------------------------------- *)
+
+(* Snapshot (under the partition lock) everything a read needs, then do
+   the file I/O lock-free on a private descriptor: segment sizes only
+   grow and bytes below the snapshot size are immutable, so the read sees
+   a consistent record-aligned prefix even while appends continue. *)
+type read_plan = {
+  rp_path : string;
+  rp_start_off : int; (* offset of the record at [rp_start_pos] *)
+  rp_start_pos : int;
+  rp_limit : int; (* bytes of valid segment prefix *)
+  rp_seg_end : int; (* first offset past the segment's snapshot *)
+}
+
+let plan_read t ~partition ~from =
+  let p = part t partition in
+  with_lock p (fun () ->
+      if from >= p.next then None
+      else
+        let seg =
+          if from >= p.active.base then p.active
+          else
+            List.find
+              (fun s -> from >= s.base && from < s.base + s.records)
+              p.sealed
+        in
+        let start_off, start_pos =
+          (* Newest-first sparse index: the first entry at or below [from]
+             is the closest; fall back to the segment start. *)
+          match List.find_opt (fun (off, _) -> off <= from) seg.index with
+          | Some e -> e
+          | None -> (seg.base, 0)
+        in
+        Some
+          {
+            rp_path = seg.path;
+            rp_start_off = start_off;
+            rp_start_pos = start_pos;
+            rp_limit = seg.size;
+            rp_seg_end = seg.base + seg.records;
+          })
+
+let read t ~partition ~from ?(max_records = 256) () =
+  ensure_open t "read";
+  if from < 0 then invalid_arg "Log.read: from must be >= 0";
+  if max_records < 1 then invalid_arg "Log.read: max_records must be >= 1";
+  match plan_read t ~partition ~from with
+  | None -> []
+  | Some rp ->
+      let want = min max_records (rp.rp_seg_end - from) in
+      let fd = Unix.openfile rp.rp_path [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          ignore (Unix.lseek fd rp.rp_start_pos Unix.SEEK_SET : int);
+          let limit = rp.rp_limit - rp.rp_start_pos in
+          (* Chunked read: start small and grow until the wanted records
+             are in core — replay then costs O(bytes) instead of
+             re-reading the whole segment per batch. *)
+          let parse chunk =
+            let b = Bytes.create chunk in
+            let got = ref 0 in
+            let eof = ref false in
+            while !got < chunk && not !eof do
+              let n = Unix.read fd b !got (chunk - !got) in
+              if n = 0 then eof := true else got := !got + n
+            done;
+            let acc = ref [] in
+            let taken = ref 0 in
+            let off = ref rp.rp_start_off in
+            let pos = ref 0 in
+            let continue = ref true in
+            while !continue && !taken < want do
+              match Log_io.read_frame b ~pos:!pos ~len:!got with
+              | None -> continue := false (* need a bigger chunk *)
+              | Some (next_pos, payload) ->
+                  if !off >= from then begin
+                    acc := (!off, payload) :: !acc;
+                    incr taken
+                  end;
+                  incr off;
+                  pos := next_pos
+            done;
+            if !taken >= want then Some (List.rev !acc) else None
+          in
+          let rec go chunk =
+            let chunk = min chunk limit in
+            match parse chunk with
+            | Some records -> records
+            | None when chunk >= limit ->
+                (* The snapshot is record-aligned, so this cannot happen:
+                   [want] records fit in [limit] bytes by construction. *)
+                assert false
+            | None ->
+                ignore (Unix.lseek fd rp.rp_start_pos Unix.SEEK_SET : int);
+                go (chunk * 4)
+          in
+          go (min 65536 limit))
+
+(* --- consumer groups ----------------------------------------------- *)
+
+let group_dir t group = Filename.concat (Filename.concat t.dir "groups") group
+
+let offset_path t group partition =
+  Filename.concat (group_dir t group) (Printf.sprintf "p%d.offset" partition)
+
+let committed t ~group ~partition =
+  ensure_open t "committed";
+  ignore (part t partition : partition);
+  let path = offset_path t group partition in
+  if not (Sys.file_exists path) then 0
+  else
+    let ic = open_in path in
+    let line =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try input_line ic with End_of_file -> "")
+    in
+    (* A malformed position replays from the start — the safe direction
+       for at-least-once delivery. Unreachable in practice: commits are
+       atomic whole-file writes. *)
+    match int_of_string_opt (String.trim line) with
+    | Some n when n >= 0 -> n
+    | _ -> 0
+
+let commit t ~group ~partition next =
+  ensure_open t "commit";
+  ignore (part t partition : partition);
+  if next < 0 then invalid_arg "Log.commit: offset must be >= 0";
+  Log_io.mkdir_p (group_dir t group);
+  Log_io.atomic_write_file
+    (offset_path t group partition)
+    (string_of_int next ^ "\n")
+
+let groups t =
+  ensure_open t "groups";
+  let gdir = Filename.concat t.dir "groups" in
+  if not (Sys.file_exists gdir) then []
+  else
+    Sys.readdir gdir |> Array.to_list
+    |> List.filter (fun g -> Sys.is_directory (Filename.concat gdir g))
+    |> List.sort compare

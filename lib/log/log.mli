@@ -1,0 +1,129 @@
+(** A Kafka-style partitioned, replayable, append-only log — the durable
+    ingestion boundary in front of topology sources (DDIA ch. 11's
+    log-based broker, ROADMAP item 3).
+
+    {2 Layout}
+
+    A log is a directory. Each partition [p] is a subdirectory [p<p>/]
+    holding {e segment} files named by the offset of their first record
+    ([%020d.seg]); records are length-prefixed and CRC-framed
+    ({!Log_io.frame}). Consumer-group positions live under
+    [groups/<group>/p<p>.offset], one decimal next-offset per file,
+    written atomically (temp file + rename) so a crash mid-commit leaves
+    the previous position intact.
+
+    {2 Recovery}
+
+    Opening an existing log scans every segment: the record count and the
+    sparse offset index are rebuilt from the frames, and a {e torn tail}
+    (a partially written or corrupted final record, the signature of a
+    crash mid-append) is truncated back to the last valid record
+    boundary. Invalid bytes anywhere {e before} the final segment's tail
+    are corruption rather than a crash artifact and raise {!Corrupt}.
+
+    {2 Durability}
+
+    Appends are buffered by the OS; the {!fsync} policy decides when the
+    log forces them to stable storage — the classic durability/throughput
+    trade: [Every 1] survives any crash at per-record fsync cost,
+    [Every n] group-commits (amortizing one fsync over [n] records),
+    [Interval s] bounds the data-loss window by time, [Never] leaves it
+    to the OS. {!sync} and {!close} force outstanding appends regardless
+    of policy.
+
+    Thread-safety: appends to one partition are serialized by a
+    per-partition lock; reads use positional I/O on private descriptors
+    and may run concurrently with appends and each other. *)
+
+type t
+
+exception Corrupt of string
+(** Invalid bytes before the final segment's tail — not recoverable by
+    truncation. *)
+
+type fsync =
+  | Never  (** Leave flushing to the OS (fastest, weakest). *)
+  | Every of int  (** Group commit: fsync after every [n] records. *)
+  | Interval of float  (** Fsync when [s] seconds passed since the last. *)
+
+type config = {
+  partitions : int;  (** Partition count at creation (default 4). *)
+  segment_bytes : int;
+      (** Roll to a new segment past this size (default 4 MiB). *)
+  fsync : fsync;  (** Durability policy (default [Every 256]). *)
+  index_interval : int;
+      (** Sparse index density: one entry every [n] records (default 64). *)
+}
+
+val default_config : config
+
+val create : ?config:config -> string -> t
+(** [create dir] opens the log at [dir], creating it (with
+    [config.partitions] partitions) when absent, and recovering —
+    rebuilding indexes and truncating torn tails — when present. An
+    existing log's partition count comes from its [meta] file and wins
+    over [config.partitions].
+    @raise Corrupt on unrecoverable segment corruption.
+    @raise Invalid_argument on a non-positive partition count, segment
+    size, index interval, or [Every]/[Interval] argument. *)
+
+val close : t -> unit
+(** Flush and fsync all partitions and release descriptors. Using [t]
+    afterwards raises. *)
+
+val dir : t -> string
+val partitions : t -> int
+
+val partition_of_key : t -> int -> int
+(** Stable key -> partition routing ([key mod partitions], negatives
+    folded). *)
+
+val append : t -> ?key:int -> Bytes.t -> int * int
+(** [append t ~key payload] appends one record to the partition chosen by
+    [key] (default 0) and returns [(partition, offset)]. Offsets are
+    dense per partition, starting at 0. *)
+
+val append_to : t -> partition:int -> Bytes.t -> int
+(** Append to an explicit partition; returns the record's offset. *)
+
+val append_batch : t -> partition:int -> Bytes.t list -> int
+(** Append a batch in one write syscall (plus at most one policy-driven
+    fsync); returns the offset of the first record. The batch is
+    contiguous: record [i] gets offset [result + i]. *)
+
+val sync : t -> unit
+(** Force an fsync of every partition with unsynced appends. *)
+
+val end_offset : t -> partition:int -> int
+(** The next offset to be assigned (= records in the partition). *)
+
+val size_bytes : t -> int
+(** Total segment bytes across partitions (frames included). *)
+
+val torn_tails_recovered : t -> int
+(** Partitions whose final segment was truncated during {!create} — 0 on
+    a cleanly closed log. *)
+
+val read :
+  t -> partition:int -> from:int -> ?max_records:int -> unit -> (int * Bytes.t) list
+(** [read t ~partition ~from ()] returns up to [max_records] (default
+    256) records starting at offset [from], as [(offset, payload)] pairs
+    in offset order — [\[\]] exactly when [from >= end_offset]. The
+    sparse index bounds the scan to at most [index_interval] records
+    before the first hit. Reads never block appends.
+    @raise Invalid_argument on a negative [from] or an unknown
+    partition. *)
+
+(** {2 Consumer groups} *)
+
+val committed : t -> group:string -> partition:int -> int
+(** The group's durably committed position — the next offset to consume;
+    0 for a group that never committed. *)
+
+val commit : t -> group:string -> partition:int -> int -> unit
+(** [commit t ~group ~partition next] durably (atomically, fsynced)
+    records [next] as the group's position. Monotonicity is the caller's
+    concern; committing a smaller offset rewinds the group. *)
+
+val groups : t -> string list
+(** Group names that have committed at least once, sorted. *)

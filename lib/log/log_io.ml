@@ -1,0 +1,118 @@
+(* CRC-32 (IEEE 802.3, reflected 0xedb88320) over bytes. Table-driven;
+   everything stays within OCaml's 63-bit ints and the result is masked to
+   32 bits. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) b off len =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff land 0xffffffff
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Write-to-temp-then-rename: the rename is atomic on POSIX filesystems, so
+   concurrent readers (and post-crash reopens) never observe a partially
+   written file. The temp file is fsynced before the rename so the rename
+   cannot outrun its contents on power loss. *)
+let atomic_write_file path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path) ".tmp"
+  in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then try Sys.remove tmp with _ -> ())
+    (fun () ->
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let b = Bytes.unsafe_of_string contents in
+          let n = Bytes.length b in
+          let written = ref 0 in
+          while !written < n do
+            written := !written + Unix.write fd b !written (n - !written)
+          done;
+          Unix.fsync fd);
+      Sys.rename tmp path;
+      ok := true)
+
+(* ------------------------------------------------------------------ *)
+(* Record framing: [len:u32le][crc:u32le][payload]. *)
+
+let frame_overhead = 8
+
+(* Payloads above this are rejected by the scanner as impossible — a
+   corrupted length field must not make the scanner allocate gigabytes. *)
+let max_payload = 64 * 1024 * 1024
+
+let frame buf payload =
+  let len = Bytes.length payload in
+  let hdr = Bytes.create frame_overhead in
+  Bytes.set_int32_le hdr 0 (Int32.of_int len);
+  Bytes.set_int32_le hdr 4 (Int32.of_int (crc32 payload 0 len));
+  Buffer.add_bytes buf hdr;
+  Buffer.add_bytes buf payload
+
+type scan = {
+  scan_valid : int;
+  scan_records : int;
+  scan_positions : int array;
+  scan_torn : bool;
+}
+
+let header_at b pos =
+  let len = Int32.to_int (Bytes.get_int32_le b pos) land 0xffffffff in
+  let crc = Int32.to_int (Bytes.get_int32_le b (pos + 4)) land 0xffffffff in
+  (len, crc)
+
+let read_frame b ~pos ~len =
+  if pos + frame_overhead > len then None
+  else
+    let plen, crc = header_at b pos in
+    if plen > max_payload || pos + frame_overhead + plen > len then None
+    else if crc32 b (pos + frame_overhead) plen <> crc then None
+    else Some (pos + frame_overhead + plen, Bytes.sub b (pos + frame_overhead) plen)
+
+let scan_frames b len =
+  let positions = ref [] in
+  let records = ref 0 in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if !pos + frame_overhead > len then stop := true
+    else begin
+      let plen, crc = header_at b !pos in
+      if plen > max_payload || !pos + frame_overhead + plen > len then
+        stop := true
+      else if crc32 b (!pos + frame_overhead) plen <> crc then stop := true
+      else begin
+        positions := !pos :: !positions;
+        incr records;
+        pos := !pos + frame_overhead + plen
+      end
+    end
+  done;
+  {
+    scan_valid = !pos;
+    scan_records = !records;
+    scan_positions = Array.of_list (List.rev !positions);
+    scan_torn = !pos < len;
+  }

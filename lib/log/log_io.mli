@@ -1,0 +1,51 @@
+(** Low-level durability helpers shared by the log implementation (and by
+    anything else that writes files a crash must not corrupt): CRC-32
+    checksums, crash-atomic whole-file writes, and the length-prefixed
+    CRC-framed record format used by segment files. *)
+
+val crc32 : ?crc:int -> Bytes.t -> int -> int -> int
+(** [crc32 ?crc b off len] is the CRC-32 (IEEE 802.3 polynomial) of
+    [Bytes.sub b off len], optionally continuing from a previous
+    checksum. The result fits 32 bits. *)
+
+val atomic_write_file : string -> string -> unit
+(** [atomic_write_file path contents] writes [contents] to a temporary
+    file in [path]'s directory, fsyncs it, and renames it over [path] —
+    so a reader (or a crash at any point) sees either the old complete
+    file or the new complete file, never a truncated prefix. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents (existing ones are fine). *)
+
+(** {2 Record framing}
+
+    A record on disk is [\[len:u32le\]\[crc:u32le\]\[payload\]] where [crc]
+    covers the payload only. The framing functions below are what the
+    segment reader/writer and the torn-tail scan share. *)
+
+val frame_overhead : int
+(** Bytes of header per record (8). *)
+
+val frame : Buffer.t -> Bytes.t -> unit
+(** Append one framed record to a buffer. *)
+
+type scan = {
+  scan_valid : int;  (** Byte length of the valid record prefix. *)
+  scan_records : int;  (** Records in that prefix. *)
+  scan_positions : int array;
+      (** Byte position of every record in the prefix, in order (so the
+          caller can build a sparse index without rescanning). *)
+  scan_torn : bool;
+      (** Whether bytes past [scan_valid] were present but invalid — a
+          torn tail (short frame, impossible length, or CRC mismatch). *)
+}
+
+val scan_frames : Bytes.t -> int -> scan
+(** [scan_frames b len] walks framed records in [b.(0..len-1)] and
+    returns the longest valid prefix; everything after the first invalid
+    or incomplete frame is torn tail. *)
+
+val read_frame : Bytes.t -> pos:int -> len:int -> (int * Bytes.t) option
+(** [read_frame b ~pos ~len] decodes the record starting at [pos]
+    (bounded by [len]): [Some (next_pos, payload)], or [None] when the
+    frame is incomplete or fails its CRC. *)

@@ -1,0 +1,37 @@
+open Ss_operators
+
+exception Malformed of string
+
+let header = 26 (* ts:8 + key:8 + tag:8 + arity:2 *)
+let encoded_size (t : Tuple.t) = header + (8 * Array.length t.Tuple.values)
+
+let encode (t : Tuple.t) =
+  let arity = Array.length t.Tuple.values in
+  if arity > 0xffff then invalid_arg "Tuple_codec.encode: arity above 65535";
+  let b = Bytes.create (header + (8 * arity)) in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float t.Tuple.ts);
+  Bytes.set_int64_le b 8 (Int64.of_int t.Tuple.key);
+  Bytes.set_int64_le b 16 (Int64.of_int t.Tuple.tag);
+  Bytes.set_uint16_le b 24 arity;
+  Array.iteri
+    (fun i v -> Bytes.set_int64_le b (header + (8 * i)) (Int64.bits_of_float v))
+    t.Tuple.values;
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < header then
+    raise (Malformed (Printf.sprintf "payload of %d bytes is below the header" len));
+  let arity = Bytes.get_uint16_le b 24 in
+  if len <> header + (8 * arity) then
+    raise
+      (Malformed
+         (Printf.sprintf "payload of %d bytes does not match arity %d" len arity));
+  {
+    Tuple.ts = Int64.float_of_bits (Bytes.get_int64_le b 0);
+    key = Int64.to_int (Bytes.get_int64_le b 8);
+    tag = Int64.to_int (Bytes.get_int64_le b 16);
+    values =
+      Array.init arity (fun i ->
+          Int64.float_of_bits (Bytes.get_int64_le b (header + (8 * i))));
+  }

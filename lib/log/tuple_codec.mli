@@ -1,0 +1,14 @@
+(** Binary serialization of stream tuples for log payloads. The format is
+    fixed-width little-endian — [ts:f64][key:i64][tag:i64][arity:u16]
+    [values:f64 × arity] — so a record's size is [26 + 8 × arity] bytes
+    and decoding allocates only the tuple itself. *)
+
+exception Malformed of string
+(** Raised by {!decode} on a payload that is not a well-formed tuple
+    (wrong size for its declared arity, or too short for the header). *)
+
+val encoded_size : Ss_operators.Tuple.t -> int
+val encode : Ss_operators.Tuple.t -> Bytes.t
+
+val decode : Bytes.t -> Ss_operators.Tuple.t
+(** @raise Malformed when the payload cannot be a tuple. *)

@@ -27,9 +27,33 @@ type metrics = {
 
 type router = Tuple.t -> int
 
+(* Provenance of a log-backed source record, threaded through every tuple
+   derived from it so the ingest offset can be committed exactly when the
+   record's whole derivation tree has drained (Storm-style ack counting).
+   [acks] counts in-flight tuple instances of the record: it starts at 1
+   when the reader emits the record and every processing step adds
+   (forwards - 1); when it reaches 0 the record is complete and
+   [complete] advances the partition's commit watermark. [No_track] is
+   the in-process-source case and costs nothing (an immediate). *)
+type track =
+  | No_track
+  | Track of { acks : int Atomic.t; complete : unit -> unit }
+
+(* [settle tk d] accounts a net change of [d] in-flight instances. The
+   delta must be applied {e before} the new instances are published:
+   adding after a send would let a fast consumer drive the counter to 0
+   while siblings are still in flight. *)
+let settle tk d =
+  match tk with
+  | No_track -> ()
+  | Track { acks; complete } ->
+      if d <> 0 && Atomic.fetch_and_add acks d = -d then complete ()
+
 (* [Timed] carries the tuple's birth timestamp (source emission time) so
    downstream vertices can record its age; it is used only when telemetry
-   is on, keeping the off path allocation-identical to before.
+   is on, keeping the off path allocation-identical to before. [Tracked]
+   additionally carries the provenance of a log record — it only exists
+   in ingest runs, so the generator-driven hot paths are untouched.
 
    [Drain] and [Expect] exist only inside elastic fission units. [Drain] is
    the quiesce marker the emitter appends behind all in-flight work on a
@@ -42,9 +66,64 @@ type router = Tuple.t -> int
 type msg =
   | Data of Tuple.t
   | Timed of Tuple.t * float
+  | Tracked of Tuple.t * float * track
   | Eos
   | Drain
   | Expect of int
+
+type ingest = {
+  ingest_log : Ss_log.Log.t;
+  ingest_group : string;
+  ingest_commit_every : int;
+  ingest_read_batch : int;
+}
+
+let ingest ?(group = "default") ?(commit_every = 512) ?(read_batch = 256) log =
+  if commit_every < 1 then invalid_arg "Executor.ingest: commit_every must be >= 1";
+  if read_batch < 1 then invalid_arg "Executor.ingest: read_batch must be >= 1";
+  {
+    ingest_log = log;
+    ingest_group = group;
+    ingest_commit_every = commit_every;
+    ingest_read_batch = read_batch;
+  }
+
+(* Per-partition completion watermark: records complete out of order (their
+   derivation trees drain independently), but only the contiguous prefix
+   may be committed — a gap means an earlier record still has in-flight
+   tuples that a crash would lose. *)
+module Completion = struct
+  type t = {
+    mutable low : int; (* all offsets <= low are complete *)
+    pending : (int, unit) Hashtbl.t; (* completed offsets above low *)
+    m : Mutex.t;
+  }
+
+  let create ~start = { low = start - 1; pending = Hashtbl.create 64; m = Mutex.create () }
+
+  let complete t off =
+    Mutex.lock t.m;
+    if off = t.low + 1 then begin
+      t.low <- off;
+      let continue = ref true in
+      while !continue do
+        if Hashtbl.mem t.pending (t.low + 1) then begin
+          Hashtbl.remove t.pending (t.low + 1);
+          t.low <- t.low + 1
+        end
+        else continue := false
+      done
+    end
+    else Hashtbl.replace t.pending off ();
+    Mutex.unlock t.m
+
+  (* Next offset to consume: everything below it is fully processed. *)
+  let watermark t =
+    Mutex.lock t.m;
+    let w = t.low + 1 in
+    Mutex.unlock t.m;
+    w
+end
 
 type scheduler = [ `Domain_per_actor | `Pool of int | `Locked_pool of int ]
 type batch = [ `Fixed of int | `Adaptive of int ]
@@ -143,7 +222,7 @@ type ctx = {
   cburst : 'a. 'a Mailbox.t -> unit -> 'a Queue.t;
 }
 
-let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
+let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64)
     ?(fused = []) ?(routers = []) ?(ordered = []) ?(seed = 42) ?timeout
     ?scheduler ?placement ?(batch = `Adaptive 32) ?(channels = `Auto)
     ?(instrument = default_instrument) ~source ~registry topology =
@@ -160,6 +239,20 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
         "Executor: live reconfiguration requires a pool scheduler (replicas \
          spawned mid-run multiplex over the workers)"
   | _ -> ());
+  (match (control, ingest) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Executor: live reconfiguration and log-backed ingest cannot be \
+         combined yet"
+  | _ -> ());
+  (* Log-backed ingest deploys the source as one reader actor per log
+     partition; everything downstream sees [source_units] producers where
+     it used to see one. *)
+  let source_units =
+    match ingest with
+    | None -> 1
+    | Some i -> Ss_log.Log.partitions i.ingest_log
+  in
   if reserve < 0 then invalid_arg "Executor.run: reserve must be >= 0";
   (* Dynamic spawn hook: elastic emitters spawn replacement workers through
      it. Bound to [Sched.spawn] on the live pool just before the pool runs;
@@ -265,7 +358,10 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
   let expected_eos v =
     Topology.preds topology v
     |> List.map (fun (u, _) -> entry_vertex u)
-    |> List.sort_uniq compare |> List.length
+    |> List.sort_uniq compare
+    |> List.fold_left
+         (fun acc u -> acc + if u = src then source_units else 1)
+         0
   in
   (* Channel selection is static, from the topology: an edge with a single
      producing actor and a single consuming actor gets the lock-free SPSC
@@ -466,18 +562,66 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
   in
   let opname v = (Topology.operator topology v).Operator.name in
   let actors = ref [] in
-  let add_actor ~actor ?vertex body =
-    actors := (actor, vertex, body) :: !actors
+  (* [group_hint] overrides the vertex's placement group: ingest readers
+     spread across the pool's locality groups (one stripe per partition)
+     instead of piling onto the source's group. *)
+  let add_actor ~actor ?vertex ?group_hint body =
+    actors := (actor, vertex, group_hint, body) :: !actors
   in
   (* Forward one result of vertex [v] to [dest]'s mailbox: counts the edge
-     transfer and propagates the tuple's birth time when telemetry is on. *)
+     transfer and propagates the tuple's birth time when telemetry is on,
+     and its log-record provenance when the run is ingest-backed. *)
+  let wrap out birth tk =
+    match tk with
+    | No_track -> Timed (out, birth)
+    | Track _ -> Tracked (out, birth, tk)
+  in
+  (* The telemetry-off equivalent: [Data] stays the zero-overhead common
+     case; tracked tuples must keep their provenance either way. *)
+  let wrap_plain out tk =
+    match tk with No_track -> Data out | Track _ -> Tracked (out, 0.0, tk)
+  in
   let sender snk v =
     match snk with
     | Some s ->
-        fun dest out birth ->
+        fun dest out birth tk ->
           Sink.incr_edge s (edge_id v dest);
-          put_from v (mailbox_of dest) (Timed (out, birth))
-    | None -> fun dest out _birth -> put_from v (mailbox_of dest) (Data out)
+          put_from v (mailbox_of dest) (wrap out birth tk)
+    | None ->
+        fun dest out _birth tk -> put_from v (mailbox_of dest) (wrap_plain out tk)
+  in
+  (* Route-then-send for one invocation's outputs under tracking: the
+     number of surviving instances must be known (and settled) before the
+     first publish, so routing decisions are materialized first. The
+     untracked path keeps the original single pass. *)
+  let fanout v send choose outs birth tk =
+    match tk with
+    | No_track ->
+        List.iter
+          (fun out ->
+            Atomic.incr produced.(v);
+            match choose out with
+            | Some dest -> send dest out birth No_track
+            | None -> ())
+          outs
+    | Track _ ->
+        let routed =
+          List.map
+            (fun out ->
+              Atomic.incr produced.(v);
+              (out, choose out))
+            outs
+        in
+        let live =
+          List.fold_left
+            (fun acc (_, d) -> acc + match d with Some _ -> 1 | None -> 0)
+            0 routed
+        in
+        settle tk (live - 1);
+        List.iter
+          (fun (out, d) ->
+            match d with Some dest -> send dest out birth tk | None -> ())
+          routed
   in
   (* One behavior invocation at vertex [v], recording the input tuple's age
      and the invocation duration when telemetry is on. Timing reads the
@@ -504,47 +648,132 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
     | None -> fun t _birth -> fn t
   in
 
-  (* --- source actor ------------------------------------------------ *)
+  (* Birth timestamps feed the latency histograms, whose buckets start
+     at a microsecond, so the clock is read every [telemetry_sample]-th
+     emission and reused in between: staleness is bounded by k source
+     intervals and the per-tuple cost drops to a counter. [1] stamps
+     every tuple exactly. *)
+  let new_stamper snk =
+    match snk with
+    | Some _ ->
+        let k = instrument.telemetry_sample in
+        let left = ref 1 in
+        let cached = ref 0.0 in
+        fun () ->
+          decr left;
+          if !left <= 0 then begin
+            left := k;
+            cached := Unix.gettimeofday ()
+          end;
+          !cached
+    | None -> fun () -> 0.0
+  in
+  (* Per-partition completion trackers of an ingest run, created on the
+     deploying thread so the final offset commit (after the join) can read
+     their watermarks even if the run was cancelled mid-stream. *)
+  let completions =
+    match ingest with
+    | None -> [||]
+    | Some i ->
+        Array.init source_units (fun p ->
+            Completion.create
+              ~start:
+                (Ss_log.Log.committed i.ingest_log ~group:i.ingest_group
+                   ~partition:p))
+  in
+
+  (* --- source actor(s) --------------------------------------------- *)
   let () =
-    let rng = Rng.create seed in
-    let choose = chooser src rng in
-    let snk = new_sink () in
-    let send = sender snk src in
-    let stamped =
-      (* Birth timestamps feed the latency histograms, whose buckets start
-         at a microsecond, so the clock is read every [telemetry_sample]-th
-         emission and reused in between: staleness is bounded by k source
-         intervals and the per-tuple cost drops to a counter. [1] stamps
-         every tuple exactly. *)
-      match snk with
-      | Some _ ->
-          let k = instrument.telemetry_sample in
-          let left = ref 1 in
-          let cached = ref 0.0 in
-          fun () ->
-            decr left;
-            if !left <= 0 then begin
-              left := k;
-              cached := Unix.gettimeofday ()
-            end;
-            !cached
-      | None -> fun () -> 0.0
-    in
-    add_actor ~actor:(opname src) ~vertex:src (fun () ->
-        let rec loop () =
-          match source () with
-          | Some t -> (
-              Atomic.incr produced.(src);
-              match choose t with
-              | Some dest ->
-                  send dest t (stamped ());
-                  loop ()
-              | None -> loop ())
-          | None ->
-              List.iter (fun mb -> put_from src mb Eos)
-                (eos_targets (external_succs src))
-        in
-        loop ())
+    match ingest with
+    | None ->
+        let rng = Rng.create seed in
+        let choose = chooser src rng in
+        let snk = new_sink () in
+        let send = sender snk src in
+        let stamped = new_stamper snk in
+        add_actor ~actor:(opname src) ~vertex:src (fun () ->
+            let rec loop () =
+              match source () with
+              | Some t -> (
+                  Atomic.incr produced.(src);
+                  match choose t with
+                  | Some dest ->
+                      send dest t (stamped ()) No_track;
+                      loop ()
+                  | None -> loop ())
+              | None ->
+                  List.iter (fun mb -> put_from src mb Eos)
+                    (eos_targets (external_succs src))
+            in
+            loop ())
+    | Some ing ->
+        (* One reader actor per log partition. Each reader replays its
+           partition from the group's committed offset to the log's end,
+           decodes tuples, routes them like the source would, and — on a
+           [commit_every] cadence — durably commits the partition's
+           completion watermark: the largest contiguous prefix of records
+           whose derivation trees have fully drained. Commits therefore
+           trail processing (at-least-once: a crash redelivers exactly the
+           uncommitted suffix) and never lead it (zero loss). *)
+        for p = 0 to source_units - 1 do
+          let rng = Rng.create (seed + (104729 * (p + 1))) in
+          let choose = chooser src rng in
+          let snk = new_sink () in
+          let send = sender snk src in
+          let stamped = new_stamper snk in
+          let compl = completions.(p) in
+          add_actor
+            ~actor:(Printf.sprintf "%s.reader%d" (opname src) p)
+            ~vertex:src ~group_hint:p
+            (fun () ->
+              let cursor = ref (Completion.watermark compl) in
+              let committed = ref !cursor in
+              let since_commit = ref 0 in
+              let maybe_commit ~force () =
+                if force || !since_commit >= ing.ingest_commit_every then begin
+                  since_commit := 0;
+                  let wm = Completion.watermark compl in
+                  if wm > !committed then begin
+                    Ss_log.Log.commit ing.ingest_log ~group:ing.ingest_group
+                      ~partition:p wm;
+                    committed := wm
+                  end
+                end
+              in
+              let emit (off, payload) =
+                let t = Ss_log.Tuple_codec.decode payload in
+                Atomic.incr produced.(src);
+                let tk =
+                  Track
+                    {
+                      acks = Atomic.make 1;
+                      complete = (fun () -> Completion.complete compl off);
+                    }
+                in
+                match choose t with
+                | Some dest -> send dest t (stamped ()) tk
+                | None -> settle tk (-1)
+              in
+              let rec loop () =
+                match
+                  Ss_log.Log.read ing.ingest_log ~partition:p ~from:!cursor
+                    ~max_records:ing.ingest_read_batch ()
+                with
+                | [] ->
+                    maybe_commit ~force:true ();
+                    List.iter (fun mb -> put_from src mb Eos)
+                      (eos_targets (external_succs src))
+                | records ->
+                    List.iter emit records;
+                    (match List.rev records with
+                    | (last, _) :: _ -> cursor := last + 1
+                    | [] -> ());
+                    since_commit := !since_commit + List.length records;
+                    maybe_commit ~force:false ();
+                    loop ()
+              in
+              loop ())
+        done
   in
 
   (* --- per-vertex units -------------------------------------------- *)
@@ -639,9 +868,8 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
           let apply = invoke snk v fn in
           let emit =
             match snk with
-            | Some _ ->
-                fun out birth -> put_from v collector_mb (Timed (out, birth))
-            | None -> fun out _birth -> put_from v collector_mb (Data out)
+            | Some _ -> fun out birth tk -> put_from v collector_mb (wrap out birth tk)
+            | None -> fun out _birth tk -> put_from v collector_mb (wrap_plain out tk)
           in
           let export () =
             match inst with
@@ -651,13 +879,15 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
           let body () =
             let next = ctx.creader mb in
             let continue = ref true in
-            let handle t birth =
+            let handle t birth tk =
               Atomic.incr consumed.(v);
+              let outs = apply t birth in
+              settle tk (List.length outs - 1);
               List.iter
                 (fun out ->
                   Atomic.incr produced.(v);
-                  emit out birth)
-                (apply t birth)
+                  emit out birth tk)
+                outs
             in
             while !continue do
               match next () with
@@ -667,8 +897,9 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
               | Drain ->
                   put_from v handoff_mb (export ());
                   continue := false
-              | Data t -> handle t 0.0
-              | Timed (t, birth) -> handle t birth
+              | Data t -> handle t 0.0 No_track
+              | Timed (t, birth) -> handle t birth No_track
+              | Tracked (t, birth, tk) -> handle t birth tk
               | Expect _ -> assert false (* collector channel only *)
             done
           in
@@ -742,7 +973,7 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
                 (fun m ->
                   match m with
                   | Eos -> incr eos
-                  | Data t | Timed (t, _) ->
+                  | Data t | Timed (t, _) | Tracked (t, _, _) ->
                       let r = rt t !rr in
                       incr rr;
                       bks.(r) <- m :: bks.(r)
@@ -767,17 +998,18 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
             let next = ctx.creader collector_mb in
             let eos = ref 0 in
             let expect = ref (-1) in
-            let handle t birth =
+            let handle t birth tk =
               match choose t with
-              | Some dest -> send dest t birth
-              | None -> ()
+              | Some dest -> send dest t birth tk
+              | None -> settle tk (-1)
             in
             while !expect < 0 || !eos < !expect do
               match next () with
               | Eos -> incr eos
               | Expect k -> expect := k
-              | Data t -> handle t 0.0
-              | Timed (t, birth) -> handle t birth
+              | Data t -> handle t 0.0 No_track
+              | Timed (t, birth) -> handle t birth No_track
+              | Tracked (t, birth, tk) -> handle t birth tk
               | Drain -> assert false (* worker channels only *)
             done;
             List.iter (fun mb -> put_from v mb Eos)
@@ -793,21 +1025,16 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
         add_actor ~actor:(opname v) ~vertex:v (fun () ->
             let next = ctx.creader inbox in
             let eos = ref 0 in
-            let handle t birth =
+            let handle t birth tk =
               Atomic.incr consumed.(v);
-              List.iter
-                (fun out ->
-                  Atomic.incr produced.(v);
-                  match choose out with
-                  | Some dest -> send dest out birth
-                  | None -> ())
-                (apply t birth)
+              fanout v send choose (apply t birth) birth tk
             in
             while !eos < expected do
               match next () with
               | Eos -> incr eos
-              | Data t -> handle t 0.0
-              | Timed (t, birth) -> handle t birth
+              | Data t -> handle t 0.0 No_track
+              | Timed (t, birth) -> handle t birth No_track
+              | Tracked (t, birth, tk) -> handle t birth tk
               | Drain | Expect _ -> assert false (* elastic units only *)
             done;
             List.iter (fun mb -> put_from v mb Eos)
@@ -824,7 +1051,8 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
            producer and one consumer, so they ride the SPSC ring. *)
         let worker_mb = Array.init replicas (fun _ -> new_mailbox ~spsc:true ()) in
         (* Each entry is one input's batch of results paired with that
-           input's birth time; [None] is the worker's end marker. *)
+           input's birth time and provenance; [None] is the worker's end
+           marker. *)
         let out_mb = Array.init replicas (fun _ -> new_mailbox ~spsc:true ()) in
         add_actor ~actor:(opname v ^ ".emitter") ~vertex:v (fun () ->
             let next = ctx.cburst inbox in
@@ -842,7 +1070,7 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
                 (fun m ->
                   match m with
                   | Eos -> incr eos
-                  | Data _ | Timed _ ->
+                  | Data _ | Timed _ | Tracked _ ->
                       let r = !rr mod replicas in
                       incr rr;
                       buckets.(r) <- m :: buckets.(r)
@@ -864,19 +1092,23 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
             ~vertex:v (fun () ->
               let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
-              let handle t birth =
+              let handle t birth tk =
                 Atomic.incr consumed.(v);
                 let outs = apply t birth in
                 List.iter (fun _ -> Atomic.incr produced.(v)) outs;
-                put_from v out_mb.(r) (Some (outs, birth))
+                (* The whole batch rides one entry, so the record's single
+                   in-flight instance transfers with it: nothing settles
+                   until the collector routes the batch. *)
+                put_from v out_mb.(r) (Some (outs, birth, tk))
               in
               while !continue do
                 match next () with
                 | Eos ->
                     put_from v out_mb.(r) None;
                     continue := false
-                | Data t -> handle t 0.0
-                | Timed (t, birth) -> handle t birth
+                | Data t -> handle t 0.0 No_track
+                | Timed (t, birth) -> handle t birth No_track
+                | Tracked (t, birth, tk) -> handle t birth tk
                 | Drain | Expect _ -> assert false (* elastic units only *)
               done)
         done;
@@ -886,15 +1118,35 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
         let send = sender snk v in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let next = Array.map (fun mb -> ctx.creader mb) out_mb in
-            let forward birth t =
-              match choose t with
-              | Some dest -> send dest t birth
-              | None -> ()
+            let forward birth tk outs =
+              match tk with
+              | No_track ->
+                  List.iter
+                    (fun t ->
+                      match choose t with
+                      | Some dest -> send dest t birth No_track
+                      | None -> ())
+                    outs
+              | Track _ ->
+                  let routed = List.map (fun t -> (t, choose t)) outs in
+                  let live =
+                    List.fold_left
+                      (fun acc (_, d) ->
+                        acc + match d with Some _ -> 1 | None -> 0)
+                      0 routed
+                  in
+                  settle tk (live - 1);
+                  List.iter
+                    (fun (t, d) ->
+                      match d with
+                      | Some dest -> send dest t birth tk
+                      | None -> ())
+                    routed
             in
             let rec collect c =
               match next.(c mod replicas) () with
-              | Some (outs, birth) ->
-                  List.iter (forward birth) outs;
+              | Some (outs, birth, tk) ->
+                  forward birth tk outs;
                   collect (c + 1)
               | None ->
                   (* The round-robin deal is sequential: the first exhausted
@@ -945,7 +1197,7 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
                 (fun m ->
                   match m with
                   | Eos -> incr eos
-                  | Data t | Timed (t, _) ->
+                  | Data t | Timed (t, _) | Tracked (t, _, _) ->
                       let r = route_to_replica t !rr in
                       incr rr;
                       buckets.(r) <- m :: buckets.(r)
@@ -966,29 +1218,31 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
           let apply = invoke snk v (Behavior.instantiate behavior) in
           let emit =
             match snk with
-            | Some _ ->
-                fun out birth -> put_from v collector_mb (Timed (out, birth))
-            | None -> fun out _birth -> put_from v collector_mb (Data out)
+            | Some _ -> fun out birth tk -> put_from v collector_mb (wrap out birth tk)
+            | None -> fun out _birth tk -> put_from v collector_mb (wrap_plain out tk)
           in
           add_actor ~actor:(Printf.sprintf "%s.worker%d" (opname v) r)
             ~vertex:v (fun () ->
               let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
-              let handle t birth =
+              let handle t birth tk =
                 Atomic.incr consumed.(v);
+                let outs = apply t birth in
+                settle tk (List.length outs - 1);
                 List.iter
                   (fun out ->
                     Atomic.incr produced.(v);
-                    emit out birth)
-                  (apply t birth)
+                    emit out birth tk)
+                  outs
               in
               while !continue do
                 match next () with
                 | Eos ->
                     put_from v collector_mb Eos;
                     continue := false
-                | Data t -> handle t 0.0
-                | Timed (t, birth) -> handle t birth
+                | Data t -> handle t 0.0 No_track
+                | Timed (t, birth) -> handle t birth No_track
+                | Tracked (t, birth, tk) -> handle t birth tk
                 | Drain | Expect _ -> assert false (* elastic units only *)
               done)
         done;
@@ -1000,16 +1254,17 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let next = ctx.creader collector_mb in
             let eos = ref 0 in
-            let handle t birth =
+            let handle t birth tk =
               match choose t with
-              | Some dest -> send dest t birth
-              | None -> ()
+              | Some dest -> send dest t birth tk
+              | None -> settle tk (-1)
             in
             while !eos < replicas do
               match next () with
               | Eos -> incr eos
-              | Data t -> handle t 0.0
-              | Timed (t, birth) -> handle t birth
+              | Data t -> handle t 0.0 No_track
+              | Timed (t, birth) -> handle t birth No_track
+              | Tracked (t, birth, tk) -> handle t birth tk
               | Drain | Expect _ -> assert false (* elastic units only *)
             done;
             List.iter (fun mb -> put_from v mb Eos)
@@ -1050,24 +1305,51 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
          exits; the sub-graph is acyclic so the walk terminates. Intra-group
          hops count on their topology edge like external ones, so the edge
          counters see through the fusion. *)
-      let rec process v t birth =
+      (* Intra-group recursion is synchronous, so a recursive hop carries
+         the instance it was granted in [live] below and settles it on its
+         own account when its sub-walk ends — the same protocol as a
+         mailbox hop, without the mailbox. *)
+      let rec process v t birth tk =
         Atomic.incr consumed.(v);
         let apply = Hashtbl.find applies v in
         let choose = Hashtbl.find choosers v in
-        List.iter
-          (fun out ->
-            Atomic.incr produced.(v);
-            match choose out with
-            | Some dest ->
-                if group_of.(dest) = gi then begin
-                  (match snk with
-                  | Some s -> Sink.incr_edge s (edge_id v dest)
-                  | None -> ());
-                  process dest out birth
-                end
-                else (Hashtbl.find senders v) dest out birth
-            | None -> ())
-          (apply t birth)
+        let deliver dest out =
+          if group_of.(dest) = gi then begin
+            (match snk with
+            | Some s -> Sink.incr_edge s (edge_id v dest)
+            | None -> ());
+            process dest out birth tk
+          end
+          else (Hashtbl.find senders v) dest out birth tk
+        in
+        let outs = apply t birth in
+        match tk with
+        | No_track ->
+            List.iter
+              (fun out ->
+                Atomic.incr produced.(v);
+                match choose out with
+                | Some dest -> deliver dest out
+                | None -> ())
+              outs
+        | Track _ ->
+            let routed =
+              List.map
+                (fun out ->
+                  Atomic.incr produced.(v);
+                  (out, choose out))
+                outs
+            in
+            let live =
+              List.fold_left
+                (fun acc (_, d) -> acc + match d with Some _ -> 1 | None -> 0)
+                0 routed
+            in
+            settle tk (live - 1);
+            List.iter
+              (fun (out, d) ->
+                match d with Some dest -> deliver dest out | None -> ())
+              routed
       in
       add_actor
         ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
@@ -1078,8 +1360,9 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
           while !eos < expected do
             match next () with
             | Eos -> incr eos
-            | Data t -> process front t 0.0
-            | Timed (t, birth) -> process front t birth
+            | Data t -> process front t 0.0 No_track
+            | Timed (t, birth) -> process front t birth No_track
+            | Tracked (t, birth, tk) -> process front t birth tk
             | Drain | Expect _ -> assert false (* elastic units only *)
           done;
           List.iter (fun mb -> put_from front mb Eos) (eos_targets all_external)))
@@ -1156,7 +1439,7 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
       let watchdog = spawn_watchdog () in
       let domains =
         List.map
-          (fun (actor, vertex, body) ->
+          (fun (actor, vertex, _hint, body) ->
             Domain.spawn (Supervision.supervise sup ~actor ?vertex body))
           actors
       in
@@ -1176,10 +1459,14 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
       let pool =
         Ss_sched.Sched.create ~workers:w ~groups:group_sizes ~reserve ~impl ()
       in
+      let ngroups = Array.length group_sizes in
       List.iter
-        (fun (actor, vertex, body) ->
+        (fun (actor, vertex, group_hint, body) ->
           let group =
-            match vertex with Some v -> group_of_vertex.(v) | None -> 0
+            match (group_hint, vertex) with
+            | Some g, _ -> g mod ngroups
+            | None, Some v -> group_of_vertex.(v)
+            | None, None -> 0
           in
           Ss_sched.Sched.spawn ~group pool
             (Supervision.supervise sup ~actor ?vertex body))
@@ -1206,6 +1493,20 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
       Atomic.set finished true;
       Option.iter Domain.join watchdog);
   let elapsed = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+  (* Final offset commit, whatever the outcome: after a clean drain the
+     watermark is the log end; after a timeout or failure it is exactly
+     the prefix whose derivation trees fully drained, so a restarted run
+     redelivers the uncommitted suffix and nothing is lost. Watermarks
+     are monotone from the previously committed position, so this never
+     rewinds a group. *)
+  (match ingest with
+  | None -> ()
+  | Some i ->
+      Array.iteri
+        (fun p compl ->
+          Ss_log.Log.commit i.ingest_log ~group:i.ingest_group ~partition:p
+            (Completion.watermark compl))
+        completions);
   let consumed = Array.map Atomic.get consumed in
   let produced = Array.map Atomic.get produced in
   let occupancy =
@@ -1224,9 +1525,10 @@ let run_internal ?control ?notify ?(reserve = 0) ?(mailbox_capacity = 64)
     outcome = Supervision.outcome sup;
   }
 
-let run ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout ?scheduler
-    ?placement ?batch ?channels ?instrument ~source ~registry topology =
-  run_internal ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout
+let run ?ingest ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout
+    ?scheduler ?placement ?batch ?channels ?instrument ~source ~registry
+    topology =
+  run_internal ?ingest ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout
     ?scheduler ?placement ?batch ?channels ?instrument ~source ~registry
     topology
 

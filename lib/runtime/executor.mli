@@ -124,6 +124,31 @@ type batch = [ `Fixed of int | `Adaptive of int ]
     how much an activation {e offers} to drain; counts and routing are
     unaffected, so metrics stay scheduler- and policy-independent. *)
 
+type ingest
+(** Log-backed source configuration: replay a {!Ss_log.Log} partition set
+    through the topology with at-least-once delivery (see {!ingest}). *)
+
+val ingest :
+  ?group:string -> ?commit_every:int -> ?read_batch:int -> Ss_log.Log.t -> ingest
+(** [ingest log] makes {!run} consume [log] instead of its [source]
+    function: one reader actor per log partition replays the partition
+    from consumer group [group]'s (default ["default"]) committed offset
+    to the log's current end, decoding payloads with {!Ss_log.Tuple_codec}
+    and routing them exactly like a source would. Readers stripe across
+    the pool's locality groups, one per partition.
+
+    Delivery is {e at-least-once}: every tuple derived from a log record
+    is tracked (Storm-style ack counting), a per-partition watermark
+    advances over the contiguous prefix of fully-drained records, and the
+    group's offset is durably committed at that watermark — every
+    [commit_every] records (default 512) while running, and finally when
+    the run ends, {e whatever} the outcome. A run killed mid-stream
+    therefore resumes from the last committed watermark and redelivers
+    exactly the uncommitted suffix: records may be processed twice, never
+    lost. [read_batch] (default 256) sizes each log read.
+
+    @raise Invalid_argument if [commit_every < 1] or [read_batch < 1]. *)
+
 type channels = [ `Auto | `Locking ]
 (** Mailbox implementation selection. [`Auto] (the default) statically
     assigns each channel from the topology: an edge with exactly one
@@ -137,6 +162,7 @@ type channels = [ `Auto | `Locking ]
     behavior, so the choice is invisible to everything but throughput. *)
 
 val run :
+  ?ingest:ingest ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
   ?routers:(int * router) list ->
@@ -156,6 +182,11 @@ val run :
     [source] returns [None] and every in-flight tuple has drained — or until
     an actor fails or [timeout] elapses, in which case the run shuts down
     promptly and reports the cause in [metrics.outcome].
+
+    With [ingest], [source] is ignored and the topology consumes a durable
+    {!Ss_log.Log} instead: one reader per partition, offsets committed
+    downstream of processing (see {!ingest} for the at-least-once
+    contract). Ingest is not yet available on {!Live} deployments.
 
     [registry v] supplies the behavior of vertex [v] (never called for the
     source). [fused] lists disjoint vertex groups to execute as

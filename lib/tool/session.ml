@@ -79,10 +79,10 @@ let export_xml t ?version () =
 let generate_code t ?version ?fused ?tuples () =
   Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
 
-let execute t ?version ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    ?scheduler ?placement ?batch ?channels ?instrument () =
-  Ss_codegen.Plan.run ?mailbox_capacity ?fused ?ordered ?seed ?tuples ?timeout
-    ?scheduler ?placement ?batch ?channels ?instrument
+let execute t ?version ?ingest ?mailbox_capacity ?fused ?ordered ?seed ?tuples
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument () =
+  Ss_codegen.Plan.run ?ingest ?mailbox_capacity ?fused ?ordered ?seed ?tuples
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument
     (topology t ?version ())
 
 let elastic t ?version ?policy ?epoch_length ?max_epochs ?settle ?workers

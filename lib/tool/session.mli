@@ -74,6 +74,7 @@ val generate_code :
 val execute :
   t ->
   ?version:string ->
+  ?ingest:Ss_runtime.Executor.ingest ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
   ?ordered:int list ->
@@ -88,8 +89,9 @@ val execute :
   unit ->
   Ss_runtime.Executor.metrics
 (** Deploy a version on the supervised actor runtime
-    ({!Ss_codegen.Plan.run}) and drive it with synthetic tuples. Never
-    hangs on operator failure: the returned metrics carry the structured
+    ({!Ss_codegen.Plan.run}) and drive it with synthetic tuples — or,
+    with [ingest], replay a durable {!Ss_log.Log} with at-least-once
+    delivery. Never hangs on operator failure: the returned metrics carry the structured
     per-actor outcome, and [timeout] bounds the wall-clock run.
     [scheduler] picks the execution model (default: an N:M pool sized to
     the machine; [`Domain_per_actor] restores one domain per actor);

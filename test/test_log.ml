@@ -1,0 +1,573 @@
+(* Tests for the durable partitioned log: framing and recovery, offset
+   commits, the tuple codec, and the executor's log-backed ingest path —
+   including the at-least-once crash-recovery contract. *)
+
+open Ss_operators
+open Ss_log
+
+let tuple ?(key = 0) ?(tag = 0) values = Tuple.make ~key ~tag values
+
+(* Fresh scratch directory per test; the suite runs inside dune's sandbox
+   so nothing needs cleaning up. *)
+let scratch =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "logtest-%d-%d" (Unix.getpid ()) !n
+
+let payload i = Bytes.of_string (Printf.sprintf "record-%06d" i)
+
+let read_all log ~partition =
+  let rec go from acc =
+    match Log.read log ~partition ~from ~max_records:64 () with
+    | [] -> List.rev acc
+    | records ->
+        let last = List.fold_left (fun _ (off, _) -> off) 0 records in
+        go (last + 1) (List.rev_append records acc)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Append / read roundtrip *)
+
+let test_roundtrip_across_segments () =
+  (* A tiny segment size forces many rolls; offsets and payloads must
+     survive them. *)
+  let config =
+    { Log.default_config with partitions = 1; segment_bytes = 256; index_interval = 4 }
+  in
+  let log = Log.create ~config (scratch ()) in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    let off = Log.append_to log ~partition:0 (payload i) in
+    Alcotest.(check int) "dense offsets" i off
+  done;
+  Alcotest.(check int) "end offset" n (Log.end_offset log ~partition:0);
+  let records = read_all log ~partition:0 in
+  Alcotest.(check int) "all records read" n (List.length records);
+  List.iteri
+    (fun i (off, p) ->
+      Alcotest.(check int) "offset order" i off;
+      Alcotest.(check string) "payload" (Bytes.to_string (payload i))
+        (Bytes.to_string p))
+    records;
+  (* Reads from the middle hit the sparse index, not a scan from 0. *)
+  (match Log.read log ~partition:0 ~from:137 ~max_records:1 () with
+  | [ (off, p) ] ->
+      Alcotest.(check int) "mid read offset" 137 off;
+      Alcotest.(check string) "mid read payload"
+        (Bytes.to_string (payload 137))
+        (Bytes.to_string p)
+  | _ -> Alcotest.fail "expected exactly one record");
+  Alcotest.(check (list (pair int string))) "read past end" []
+    (List.map
+       (fun (o, p) -> (o, Bytes.to_string p))
+       (Log.read log ~partition:0 ~from:n ()));
+  Log.close log
+
+let test_reopen_preserves_records () =
+  let dir = scratch () in
+  let config = { Log.default_config with partitions = 2; segment_bytes = 512 } in
+  let log = Log.create ~config dir in
+  for i = 0 to 99 do
+    ignore (Log.append log ~key:i (payload i) : int * int)
+  done;
+  let ends = [ Log.end_offset log ~partition:0; Log.end_offset log ~partition:1 ] in
+  Log.close log;
+  (* Reopen: partition count comes from the meta file, counts and contents
+     are rebuilt from the segment frames. *)
+  let log = Log.create dir in
+  Alcotest.(check int) "partition count from meta" 2 (Log.partitions log);
+  Alcotest.(check int) "no torn tails" 0 (Log.torn_tails_recovered log);
+  Alcotest.(check (list int)) "ends preserved" ends
+    [ Log.end_offset log ~partition:0; Log.end_offset log ~partition:1 ];
+  Alcotest.(check int) "contents preserved" 100
+    (List.length (read_all log ~partition:0) + List.length (read_all log ~partition:1));
+  Log.close log
+
+let test_append_batch_contiguous () =
+  let config = { Log.default_config with partitions = 1; segment_bytes = 128 } in
+  let log = Log.create ~config (scratch ()) in
+  ignore (Log.append_to log ~partition:0 (payload 0) : int);
+  let first = Log.append_batch log ~partition:0 (List.map payload [ 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "batch base offset" 1 first;
+  Alcotest.(check int) "batch advances end" 5 (Log.end_offset log ~partition:0);
+  List.iteri
+    (fun i (off, p) ->
+      Alcotest.(check int) "offset" i off;
+      Alcotest.(check string) "payload" (Bytes.to_string (payload i))
+        (Bytes.to_string p))
+    (read_all log ~partition:0);
+  Log.close log
+
+let test_partition_routing () =
+  let config = { Log.default_config with partitions = 4 } in
+  let log = Log.create ~config (scratch ()) in
+  Alcotest.(check int) "positive key" 2 (Log.partition_of_key log 6);
+  Alcotest.(check int) "negative key folds" (Log.partition_of_key log 1)
+    (Log.partition_of_key log (-7));
+  Alcotest.(check bool) "in range" true
+    (let p = Log.partition_of_key log (-1) in
+     p >= 0 && p < 4);
+  let part, off = Log.append log ~key:5 (payload 0) in
+  Alcotest.(check int) "append routes by key" (Log.partition_of_key log 5) part;
+  Alcotest.(check int) "first offset" 0 off;
+  Log.close log
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: torn tails and corruption *)
+
+let last_segment dir =
+  let segs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    |> List.sort compare
+  in
+  match List.rev segs with
+  | last :: _ -> Filename.concat dir last
+  | [] -> Alcotest.fail "no segment files"
+
+let test_torn_tail_truncated () =
+  let dir = scratch () in
+  let config = { Log.default_config with partitions = 1 } in
+  let log = Log.create ~config dir in
+  for i = 0 to 49 do
+    ignore (Log.append_to log ~partition:0 (payload i) : int)
+  done;
+  Log.close log;
+  (* Chop bytes off the final record: the signature of a crash mid-append. *)
+  let seg = last_segment (Filename.concat dir "p0") in
+  let size = (Unix.stat seg).Unix.st_size in
+  let fd = Unix.openfile seg [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - 5);
+  Unix.close fd;
+  let log = Log.create dir in
+  Alcotest.(check int) "one torn tail recovered" 1 (Log.torn_tails_recovered log);
+  Alcotest.(check int) "truncated to last valid record" 49
+    (Log.end_offset log ~partition:0);
+  Alcotest.(check int) "valid prefix intact" 49
+    (List.length (read_all log ~partition:0));
+  (* The log stays usable: the next append takes the truncated offset. *)
+  Alcotest.(check int) "append after recovery" 49
+    (Log.append_to log ~partition:0 (payload 49));
+  Log.close log
+
+let test_corrupt_tail_crc_truncated () =
+  let dir = scratch () in
+  let config = { Log.default_config with partitions = 1 } in
+  let log = Log.create ~config dir in
+  for i = 0 to 9 do
+    ignore (Log.append_to log ~partition:0 (payload i) : int)
+  done;
+  Log.close log;
+  (* Flip a byte inside the final record's payload: the CRC check must
+     reject it and recovery truncates back to the previous boundary. *)
+  let seg = last_segment (Filename.concat dir "p0") in
+  let size = (Unix.stat seg).Unix.st_size in
+  let fd = Unix.openfile seg [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (size - 3) Unix.SEEK_SET : int);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1 : int);
+  Unix.close fd;
+  let log = Log.create dir in
+  Alcotest.(check int) "torn tail recovered" 1 (Log.torn_tails_recovered log);
+  Alcotest.(check int) "corrupt record dropped" 9 (Log.end_offset log ~partition:0);
+  Log.close log
+
+let test_corruption_before_tail_raises () =
+  let dir = scratch () in
+  (* Small segments so the corruption lands in a non-final segment, where
+     truncation would silently lose good data — that must raise instead. *)
+  let config =
+    { Log.default_config with partitions = 1; segment_bytes = 128 }
+  in
+  let log = Log.create ~config dir in
+  for i = 0 to 49 do
+    ignore (Log.append_to log ~partition:0 (payload i) : int)
+  done;
+  Log.close log;
+  let segs =
+    Sys.readdir (Filename.concat dir "p0")
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "several segments" true (List.length segs > 1);
+  let first = Filename.concat (Filename.concat dir "p0") (List.hd segs) in
+  let fd = Unix.openfile first [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 10 Unix.SEEK_SET : int);
+  ignore (Unix.write fd (Bytes.of_string "XXXX") 0 4 : int);
+  Unix.close fd;
+  (match Log.create dir with
+  | exception Log.Corrupt _ -> ()
+  | log ->
+      Log.close log;
+      Alcotest.fail "expected Corrupt on non-tail corruption");
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Durability policies and consumer groups *)
+
+let test_fsync_policies_smoke () =
+  List.iteri
+    (fun i fsync ->
+      let config = { Log.default_config with partitions = 1; fsync } in
+      let log = Log.create ~config (Printf.sprintf "%s-f%d" (scratch ()) i) in
+      for j = 0 to 40 do
+        ignore (Log.append_to log ~partition:0 (payload j) : int)
+      done;
+      Log.sync log;
+      Alcotest.(check int) "all appended" 41 (Log.end_offset log ~partition:0);
+      Log.close log)
+    [ Log.Never; Log.Every 1; Log.Every 8; Log.Interval 0.001 ]
+
+let test_commit_roundtrip () =
+  let dir = scratch () in
+  let config = { Log.default_config with partitions = 2 } in
+  let log = Log.create ~config dir in
+  Alcotest.(check int) "fresh group at 0" 0
+    (Log.committed log ~group:"g" ~partition:0);
+  Log.commit log ~group:"g" ~partition:0 17;
+  Log.commit log ~group:"g" ~partition:1 4;
+  Log.commit log ~group:"h" ~partition:0 1;
+  Alcotest.(check int) "commit read back" 17
+    (Log.committed log ~group:"g" ~partition:0);
+  Log.commit log ~group:"g" ~partition:0 23;
+  Alcotest.(check int) "overwrite" 23 (Log.committed log ~group:"g" ~partition:0);
+  Log.close log;
+  (* Offsets are durable: a reopened log sees them. *)
+  let log = Log.create dir in
+  Alcotest.(check int) "durable across reopen" 23
+    (Log.committed log ~group:"g" ~partition:0);
+  Alcotest.(check int) "other partition" 4
+    (Log.committed log ~group:"g" ~partition:1);
+  Alcotest.(check (list string)) "groups listed" [ "g"; "h" ] (Log.groups log);
+  Log.close log
+
+(* ------------------------------------------------------------------ *)
+(* Tuple codec *)
+
+let test_codec_roundtrip () =
+  let t = Tuple.make ~key:42 ~tag:(-7) [| 1.5; -0.25; 1e300 |] in
+  let t' = Tuple_codec.decode (Tuple_codec.encode t) in
+  Alcotest.(check int) "key" t.Tuple.key t'.Tuple.key;
+  Alcotest.(check int) "tag" t.Tuple.tag t'.Tuple.tag;
+  Alcotest.(check bool) "values bit-exact" true (t.Tuple.values = t'.Tuple.values);
+  Alcotest.(check int) "size matches" (Bytes.length (Tuple_codec.encode t))
+    (Tuple_codec.encoded_size t);
+  let empty = Tuple.make ~key:0 ~tag:0 [||] in
+  Alcotest.(check int) "empty arity roundtrip" 0
+    (Array.length (Tuple_codec.decode (Tuple_codec.encode empty)).Tuple.values)
+
+let test_codec_rejects_malformed () =
+  let raises b =
+    match Tuple_codec.decode b with
+    | exception Tuple_codec.Malformed _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "short payload" true (raises (Bytes.create 10));
+  let b = Tuple_codec.encode (tuple [| 1.0; 2.0 |]) in
+  Alcotest.(check bool) "truncated values" true
+    (raises (Bytes.sub b 0 (Bytes.length b - 3)))
+
+let test_codec_roundtrip_qcheck =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun key tag vals -> Tuple.make ~key ~tag (Array.of_list vals))
+        (int_range (-1_000_000) 1_000_000)
+        (int_range (-1_000_000) 1_000_000)
+        (list_size (int_bound 8) (map float_of_int (int_range (-10_000) 10_000))))
+  in
+  QCheck.Test.make ~count:300 ~name:"tuple codec roundtrips"
+    (QCheck.make gen) (fun t ->
+      let t' = Tuple_codec.decode (Tuple_codec.encode t) in
+      t'.Tuple.key = t.Tuple.key
+      && t'.Tuple.tag = t.Tuple.tag
+      && t'.Tuple.values = t.Tuple.values)
+
+(* ------------------------------------------------------------------ *)
+(* Log-backed ingest: the executor end of the contract *)
+
+open Ss_topology
+open Ss_runtime
+
+let op name ms = Operator.make ~service_time:(ms /. 1e3) name
+
+let registry_of table v =
+  match List.assoc_opt v table with
+  | Some b -> b
+  | None -> Alcotest.failf "no behavior registered for vertex %d" v
+
+(* A thread-safe recorder: every instance appends the tags it sees to the
+   shared list. *)
+let recorder name =
+  let m = Mutex.create () in
+  let seen = ref [] in
+  let behavior =
+    Behavior.make ~name (fun () t ->
+        Mutex.lock m;
+        seen := t.Tuple.tag :: !seen;
+        Mutex.unlock m;
+        [ t ])
+  in
+  (behavior, fun () -> !seen)
+
+let dead_source () = None
+
+(* Write [n] tuples (tag i = identity) into a fresh log; returns the log
+   directory and the tag of each (partition, offset). *)
+let seed_log ~dir ~partitions n =
+  let config = { Log.default_config with partitions } in
+  let log = Log.create ~config dir in
+  let where = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    let t = Tuple.make ~key:i ~tag:i [| float_of_int i |] in
+    let part, off = Log.append log ~key:i (Tuple_codec.encode t) in
+    Hashtbl.replace where (part, off) i
+  done;
+  Log.close log;
+  where
+
+let test_ingest_delivers_everything () =
+  let dir = scratch () in
+  let n = 500 in
+  let where = seed_log ~dir ~partitions:3 n in
+  let t =
+    Topology.create_exn
+      [| op "src" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0) ]
+  in
+  let sink, seen = recorder "sink" in
+  let log = Log.create dir in
+  let m =
+    Executor.run
+      ~ingest:(Executor.ingest ~commit_every:64 log)
+      ~source:dead_source ~registry:(registry_of [ (1, sink) ]) t
+  in
+  Alcotest.(check bool) "finished" true
+    (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check int) "source produced all" n m.Executor.produced.(0);
+  Alcotest.(check int) "sink consumed all" n m.Executor.consumed.(1);
+  let tags = List.sort_uniq compare (seen ()) in
+  Alcotest.(check int) "every tuple delivered" n (List.length tags);
+  (* A clean run commits every partition to its end. *)
+  for p = 0 to Log.partitions log - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "partition %d fully committed" p)
+      (Log.end_offset log ~partition:p)
+      (Log.committed log ~group:"default" ~partition:p)
+  done;
+  ignore where;
+  Log.close log
+
+let test_ingest_separate_groups () =
+  (* Two consumer groups replay independently: a second group starts from
+     0 even after the first drained everything. *)
+  let dir = scratch () in
+  let n = 120 in
+  ignore (seed_log ~dir ~partitions:2 n : (int * int, int) Hashtbl.t);
+  let t =
+    Topology.create_exn [| op "src" 0.01; op "sink" 0.01 |] [ (0, 1, 1.0) ]
+  in
+  let run group =
+    let sink, seen = recorder "sink" in
+    let log = Log.create dir in
+    let m =
+      Executor.run
+        ~ingest:(Executor.ingest ~group log)
+        ~source:dead_source ~registry:(registry_of [ (1, sink) ]) t
+    in
+    Log.close log;
+    Alcotest.(check bool) "finished" true
+      (m.Executor.outcome = Supervision.Finished);
+    List.length (List.sort_uniq compare (seen ()))
+  in
+  Alcotest.(check int) "first group sees all" n (run "alpha");
+  Alcotest.(check int) "second group replays all" n (run "beta");
+  Alcotest.(check int) "first group again sees none" 0 (run "alpha")
+
+let test_crash_recovery_at_least_once () =
+  (* The headline e2e: kill a log-backed run mid-stream (watchdog timeout —
+     in-flight tuples are dropped exactly as a crash would drop them),
+     restart from the committed offsets, and require:
+     - zero loss: run 1 fully processed everything below each partition's
+       committed watermark, and run 1 + run 2 together cover every record;
+     - bounded redelivery: run 2 receives exactly the uncommitted suffix;
+     - exact counts after dedup: distinct tags at the sink = the stream. *)
+  let dir = scratch () in
+  let n = 600 in
+  let partitions = 2 in
+  let where = seed_log ~dir ~partitions n in
+  let topo =
+    Topology.create_exn
+      [| op "src" 0.01; op "work" 0.01; op "sink" 0.01 |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let slow_identity =
+    Behavior.make ~name:"slow_identity" (fun () t ->
+        (* ~1.5 ms per tuple: 600 tuples need ~0.9 s, so a 0.2 s timeout
+           reliably lands mid-stream. *)
+        Unix.sleepf 0.0015;
+        [ t ])
+  in
+  (* --- run 1: killed mid-stream ---------------------------------- *)
+  let sink1, seen1 = recorder "sink" in
+  let log = Log.create dir in
+  let m1 =
+    Executor.run
+      ~ingest:(Executor.ingest ~commit_every:16 log)
+      ~timeout:0.2 ~source:dead_source
+      ~registry:(registry_of [ (1, slow_identity); (2, sink1) ])
+      topo
+  in
+  let committed_after_crash =
+    List.init partitions (fun p ->
+        Log.committed log ~group:"default" ~partition:p)
+  in
+  let ends =
+    List.init partitions (fun p -> Log.end_offset log ~partition:p)
+  in
+  Log.close log;
+  (match m1.Executor.outcome with
+  | Supervision.Timed_out _ -> ()
+  | o ->
+      Alcotest.failf "run 1 should have timed out, got %s"
+        (match o with
+        | Supervision.Finished -> "Finished"
+        | Supervision.Actor_failed _ -> "Actor_failed"
+        | Supervision.Timed_out _ -> "Timed_out"));
+  let delivered1 = List.sort_uniq compare (seen1 ()) in
+  Alcotest.(check bool) "run 1 was partial" true
+    (List.length delivered1 < n);
+  (* Zero loss below the watermark: every committed record reached the
+     sink before the crash. *)
+  List.iteri
+    (fun p committed ->
+      for off = 0 to committed - 1 do
+        let tag = Hashtbl.find where (p, off) in
+        if not (List.mem tag delivered1) then
+          Alcotest.failf
+            "p%d offset %d (tag %d) was committed but never reached the sink"
+            p off tag
+      done)
+    committed_after_crash;
+  (* --- run 2: restart, no timeout -------------------------------- *)
+  let sink2, seen2 = recorder "sink" in
+  let log = Log.create dir in
+  let m2 =
+    Executor.run
+      ~ingest:(Executor.ingest ~commit_every:16 log)
+      ~source:dead_source
+      ~registry:(registry_of [ (1, slow_identity); (2, sink2) ])
+      topo
+  in
+  Alcotest.(check bool) "run 2 finished" true
+    (m2.Executor.outcome = Supervision.Finished);
+  (* Bounded redelivery: run 2 consumed exactly the uncommitted suffix. *)
+  let suffix =
+    List.fold_left2 (fun acc c e -> acc + (e - c)) 0 committed_after_crash ends
+  in
+  Alcotest.(check int) "run 2 redelivered exactly the uncommitted suffix"
+    suffix m2.Executor.produced.(0);
+  let expected_suffix_tags =
+    List.concat
+      (List.mapi
+         (fun p committed ->
+           List.init
+             (List.nth ends p - committed)
+             (fun i -> Hashtbl.find where (p, committed + i)))
+         committed_after_crash)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "run 2 delivered the suffix records"
+    expected_suffix_tags
+    (List.sort compare (seen2 ()));
+  (* At-least-once, exact after dedup: the union covers the stream. *)
+  let union =
+    List.sort_uniq compare (List.rev_append (seen1 ()) (seen2 ()))
+  in
+  Alcotest.(check int) "union covers every input exactly" n (List.length union);
+  (* Everything is now committed. *)
+  for p = 0 to partitions - 1 do
+    Alcotest.(check int) "fully committed after recovery"
+      (Log.end_offset log ~partition:p)
+      (Log.committed log ~group:"default" ~partition:p)
+  done;
+  Log.close log
+
+let test_ingest_through_fission () =
+  (* The tracked path must survive fission units (emitter / workers /
+     collector) without losing or forging completions. *)
+  let dir = scratch () in
+  let n = 400 in
+  ignore (seed_log ~dir ~partitions:2 n : (int * int, int) Hashtbl.t);
+  let t =
+    Topology.create_exn
+      [|
+        op "src" 0.01;
+        Operator.make ~service_time:1e-4 ~replicas:3 "fan";
+        op "sink" 0.01;
+      |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let sink, seen = recorder "sink" in
+  let log = Log.create dir in
+  let m =
+    Executor.run
+      ~ingest:(Executor.ingest ~commit_every:32 log)
+      ~source:dead_source
+      ~registry:(registry_of [ (1, Stateless_ops.identity); (2, sink) ])
+      t
+  in
+  Alcotest.(check bool) "finished" true
+    (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check int) "sink saw everything" n
+    (List.length (List.sort_uniq compare (seen ())));
+  for p = 0 to 1 do
+    Alcotest.(check int) "fully committed" (Log.end_offset log ~partition:p)
+      (Log.committed log ~group:"default" ~partition:p)
+  done;
+  Log.close log
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ test_codec_roundtrip_qcheck ]
+
+let () =
+  Alcotest.run "ss_log"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "roundtrip across segments" `Quick
+            test_roundtrip_across_segments;
+          Alcotest.test_case "reopen preserves records" `Quick
+            test_reopen_preserves_records;
+          Alcotest.test_case "append_batch contiguous" `Quick
+            test_append_batch_contiguous;
+          Alcotest.test_case "partition routing" `Quick test_partition_routing;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_torn_tail_truncated;
+          Alcotest.test_case "corrupt tail CRC truncated" `Quick
+            test_corrupt_tail_crc_truncated;
+          Alcotest.test_case "corruption before tail raises" `Quick
+            test_corruption_before_tail_raises;
+          Alcotest.test_case "fsync policies" `Quick test_fsync_policies_smoke;
+          Alcotest.test_case "commit roundtrip" `Quick test_commit_roundtrip;
+        ] );
+      ( "codec",
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip
+        :: Alcotest.test_case "rejects malformed" `Quick
+             test_codec_rejects_malformed
+        :: qsuite );
+      ( "ingest",
+        [
+          Alcotest.test_case "delivers everything" `Quick
+            test_ingest_delivers_everything;
+          Alcotest.test_case "independent consumer groups" `Quick
+            test_ingest_separate_groups;
+          Alcotest.test_case "crash recovery is at-least-once" `Slow
+            test_crash_recovery_at_least_once;
+          Alcotest.test_case "tracked tuples survive fission" `Quick
+            test_ingest_through_fission;
+        ] );
+    ]

@@ -808,6 +808,45 @@ let test_source_of_fn () =
   Alcotest.(check bool) "third" true (src () <> None);
   Alcotest.(check bool) "exhausted" true (src () = None)
 
+let test_source_throttled_deficit_catchup () =
+  (* After a consumer stall, the throttle catches its deficit up without
+     sleeping — but never overshoots the long-run schedule (each tuple's
+     slot stays [t0 + i/rate]): a bounded burst, then normal pacing. *)
+  let rate = 1000.0 in
+  let n = 300 in
+  let src =
+    Executor.source_throttled ~rate
+      (Executor.source_of_fn ~count:n (fun i -> tuple [| float_of_int i |]))
+  in
+  let pull k =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to k do
+      match src () with
+      | Some _ -> ()
+      | None -> Alcotest.fail "source exhausted early"
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  (* Phase 1: paced consumption — 100 tuples at 1000/s is ~0.1 s. *)
+  let paced = pull 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "paced phase took %.3fs (>= 0.08)" paced)
+    true (paced >= 0.08);
+  (* Phase 2: the consumer stalls for 0.15 s — a 150-tuple deficit. *)
+  Unix.sleepf 0.15;
+  (* Phase 3: the deficit drains without sleeping... *)
+  let burst = pull 150 in
+  Alcotest.(check bool)
+    (Printf.sprintf "deficit caught up without sleeping (%.3fs < 0.1)" burst)
+    true (burst < 0.1);
+  (* ...and pacing resumes within tolerance: the remaining 50 tuples are
+     back on their schedule slots, ~50 ms, never an unbounded burst. *)
+  let resumed = pull 50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pacing resumed after catch-up (%.3fs >= 0.03)" resumed)
+    true (resumed >= 0.03);
+  Alcotest.(check bool) "stream exhausted" true (src () = None)
+
 (* ------------------------------------------------------------------ *)
 (* N:M scheduler: batch/waiter mailbox operations *)
 
@@ -1721,5 +1760,7 @@ let () =
         [
           quick "replicated source rejected" test_replicated_source_rejected;
           quick "source_of_fn" test_source_of_fn;
+          quick "source_throttled deficit catch-up"
+            test_source_throttled_deficit_catchup;
         ] );
     ]
