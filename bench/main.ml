@@ -7,8 +7,9 @@
      dune exec bench/main.exe -- --quick      # shorter simulation windows
      dune exec bench/main.exe -- fig7 table1  # selected sections only
 
-   Sections: fig7 fig8 fig9 fig10 table1 table2 latency elasticity cola
-             placement ablations sched mailbox telemetry micro
+   Sections: fig7 fig8 fig9 fig10 table1 table2 latency elasticity elastic
+             cola placement ablations sched mailbox telemetry log event
+             micro
 
    "Predicted" numbers come from the SpinStreams cost models
    (ss_core.Steady_state / Fission / Fusion); "measured" numbers come from
@@ -1825,6 +1826,178 @@ let log_bench () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* event: event-time watermarks under disordered input.
+
+   One pipeline (source -> keyed 1s tumbling count window -> sink), one
+   bursty disordered stream (about 12.8% of tuples arrive behind the
+   running max timestamp, positional delays up to 64 tuples = 64ms of
+   event time), a bounded-out-of-orderness watermark that covers the
+   disorder (100ms > 64ms). Three claims, each gated:
+
+   - overhead: in-band watermarks are cheap. Paired rounds (same stream,
+     event time off vs on), median of per-pair CPU ratios; the event-time
+     run must sustain >= 0.8x the processing-time rate.
+   - zero on-time loss: with the bound covering the disorder no tuple is
+     late, and the Count aggregate conserves mass — the sum of fired
+     window counts equals the number of tuples emitted (the end-of-stream
+     infinity watermark flushes the tail windows).
+   - prediction: the watermark-driven firing selectivity
+     keys / (rate * slide) predicts the window's measured output rate
+     (fired tuples per second of event time) within 15% — the Fig. 11
+     methodology applied to the event-time tier.
+
+   Emits BENCH_event.json; exits 1 when a gate fails. *)
+
+let event_bench () =
+  section_header
+    "event -- watermark propagation under disordered input (measured)";
+  let rate = 1000.0 and keys = 64 and n = if !quick then 20_000 else 60_000 in
+  let slide = 1.0 in
+  let burst = 32 and period = 256 in
+  let disorder = Stream_gen.Bursty { burst; period } in
+  let bound = 0.1 in
+  let spec = { Stream_gen.default_spec with Stream_gen.rate } in
+  let stream =
+    let rng = Rng.create 7 in
+    Stream_gen.reorder rng disorder (Stream_gen.tuples ~spec rng n)
+  in
+  let disorder_fraction = Stream_gen.disorder_fraction stream in
+  Printf.printf "stream: %d tuples at %.0f t/s event time, %.1f%% disordered\n"
+    n rate (pct disorder_fraction);
+  (* Sink behavior summing the integer Count aggregates it receives; the
+     sink is one actor, and the executor's join publishes the final value. *)
+  let sunk = Atomic.make 0 in
+  let sink_behavior =
+    Ss_operators.Behavior.make ~name:"count_sink" (fun () t ->
+        (match t.Ss_operators.Tuple.values with
+        | [| v |] -> ignore (Atomic.fetch_and_add sunk (int_of_float v))
+        | _ -> ());
+        [])
+  in
+  let window_behavior =
+    Ss_event.Event_window.behavior ~agg:Ss_event.Event_window.Count
+      ~length:slide ~slide ()
+  in
+  let registry = function
+    | 1 -> window_behavior
+    | 2 -> sink_behavior
+    | _ -> Ss_operators.Stateless_ops.identity
+  in
+  let ops =
+    [|
+      Operator.source ~rate "src";
+      Ss_event.Event_model.window_operator ~name:"ewin" ~keys ~rate ~slide
+        ~service_time:5e-6 ();
+      Operator.make ~service_time:1e-6 "snk";
+    |]
+  in
+  let topo = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let event_time =
+    Ss_event.Event_time.config (Ss_event.Watermark.Bounded bound)
+  in
+  let run ?event_time () =
+    Ss_runtime.Executor.run ?event_time ~timeout:120.0
+      ~instrument:
+        {
+          Ss_runtime.Executor.default_instrument with
+          sample_occupancy = false;
+        }
+      ~source:(Ss_runtime.Executor.source_of_list stream)
+      ~registry topo
+  in
+  (* Correctness run: late count and mass conservation are deterministic. *)
+  Atomic.set sunk 0;
+  let m = run ~event_time () in
+  let late = Array.fold_left ( + ) 0 m.Ss_runtime.Executor.late in
+  let on_time_loss = n - Atomic.get sunk in
+  let fired = m.Ss_runtime.Executor.produced.(1) in
+  let span = float_of_int n /. rate in
+  let measured_out = float_of_int fired /. span in
+  let predicted_out =
+    Ss_event.Event_model.predicted_output_rate ~keys ~rate ~slide ()
+  in
+  let prediction_error =
+    Stats.relative_error ~expected:predicted_out ~actual:measured_out
+  in
+  Printf.printf
+    "event-time run: %d late, %d window firings (sum of counts %d of %d \
+     emitted)\n"
+    late fired (Atomic.get sunk) n;
+  Printf.printf
+    "window output rate: %.1f fired/s of event time (predicted %.1f, error \
+     %.2f%%)\n"
+    measured_out predicted_out (pct prediction_error);
+  (* Overhead: paired rounds, median of per-pair CPU-time ratios (absolute
+     rates drift on a shared host; pairs cancel the drift). *)
+  let rounds = if !quick then 5 else 7 in
+  let cpu run =
+    Gc.full_major ();
+    let c0 = Sys.time () in
+    ignore (run ());
+    Float.max (Sys.time () -. c0) 1e-9
+  in
+  let c_off = Array.make rounds 0.0 and c_on = Array.make rounds 0.0 in
+  for i = 0 to rounds - 1 do
+    if i land 1 = 0 then begin
+      c_off.(i) <- cpu (fun () -> run ());
+      c_on.(i) <- cpu (fun () -> run ~event_time ())
+    end
+    else begin
+      c_on.(i) <- cpu (fun () -> run ~event_time ());
+      c_off.(i) <- cpu (fun () -> run ())
+    end
+  done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    (a.((rounds - 1) / 2) +. a.(rounds / 2)) /. 2.0
+  in
+  let ratios = Array.init rounds (fun i -> c_off.(i) /. c_on.(i)) in
+  let ratio = median ratios in
+  let rate_processing = float_of_int n /. median c_off in
+  let rate_event = float_of_int n /. median c_on in
+  Printf.printf
+    "throughput: %.0f t/CPU-s processing time, %.0f t/CPU-s event time \
+     (%.2fx, gate >= 0.8x)\n"
+    rate_processing rate_event ratio;
+  let json =
+    Printf.sprintf
+      {|{"section":"event","tuples":%d,"event_rate":%.1f,"keys":%d,"slide_s":%.3f,"watermark_bound_s":%.3f,"disorder_fraction":%.4f,"rate_processing":%.1f,"rate_event":%.1f,"ratio":%.3f,"late":%d,"on_time_loss":%d,"fired":%d,"predicted_out":%.2f,"measured_out":%.2f,"prediction_error":%.4f}|}
+      n rate keys slide bound disorder_fraction rate_processing rate_event
+      ratio late on_time_loss fired predicted_out measured_out
+      prediction_error
+  in
+  write_bench_json "BENCH_event.json" json;
+  let failed = ref false in
+  if ratio < 0.8 then begin
+    Printf.printf
+      "FAIL: event-time run sustains only %.2fx the processing-time rate \
+       (>= 0.8x required)\n"
+      ratio;
+    failed := true
+  end;
+  if late <> 0 then begin
+    Printf.printf
+      "FAIL: %d tuples counted late although the watermark bound covers \
+       the disorder\n"
+      late;
+    failed := true
+  end;
+  if on_time_loss <> 0 then begin
+    Printf.printf
+      "FAIL: %d on-time tuples lost (window counts do not conserve mass)\n"
+      on_time_loss;
+    failed := true
+  end;
+  if prediction_error > 0.15 then begin
+    Printf.printf
+      "FAIL: firing-selectivity prediction off by %.1f%% (<= 15%% required)\n"
+      (pct prediction_error);
+    failed := true
+  end;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1844,6 +2017,7 @@ let sections =
     ("mailbox", mailbox_bench);
     ("telemetry", telemetry_bench);
     ("log", log_bench);
+    ("event", event_bench);
     ("micro", micro);
   ]
 

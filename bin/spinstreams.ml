@@ -499,6 +499,68 @@ let execute_cmd =
                 per-edge transfer counts during the run, and print them in \
                 the report.")
   in
+  let event_time =
+    Arg.(
+      value & flag
+      & info [ "event-time" ]
+          ~doc:"Run with event-time semantics: sources generate watermarks \
+                (--watermark), the runtime propagates them in-band through \
+                every deployment shape (min across fan-in), event-time \
+                window operators fire on watermark passage, and tuples \
+                arriving behind the watermark are handled by --lateness.")
+  in
+  let watermark =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Ss_event.Watermark.parse s)
+    in
+    let print ppf g = Format.pp_print_string ppf (Ss_event.Watermark.to_string g)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (Ss_event.Watermark.Bounded 0.1)
+      & info [ "watermark" ] ~docv:"periodic:MS|bounded:MS"
+          ~doc:"Source watermark generator (with --event-time): \
+                $(b,periodic:MS) emits the max seen timestamp every MS of \
+                event-time progress (zero disorder tolerance); \
+                $(b,bounded:MS) (default bounded:100) subtracts an MS \
+                out-of-orderness bound, so tuples delayed by at most that \
+                much are never late.")
+  in
+  let lateness =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Ss_event.Lateness.parse_kind s)
+    in
+    let print ppf k =
+      Format.pp_print_string ppf (Ss_event.Lateness.kind_to_string k)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Drop
+      & info [ "lateness" ] ~docv:"drop|side|refire"
+          ~doc:"Late-tuple policy (with --event-time): $(b,drop) counts and \
+                discards (default); $(b,side) diverts them to a dead-letter \
+                store reported after the run; $(b,refire) hands them to the \
+                operator's on-late hook, emitting retraction markers plus \
+                corrected results.")
+  in
+  let disorder =
+    let parse s =
+      Result.map_error (fun e -> `Msg e)
+        (Ss_workload.Stream_gen.parse_disorder s)
+    in
+    let print ppf d =
+      Format.pp_print_string ppf (Ss_workload.Stream_gen.disorder_to_string d)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Ss_workload.Stream_gen.In_order
+      & info [ "disorder" ] ~docv:"none|zipf:ALPHA:MAX|bursty:BURST:PERIOD"
+          ~doc:"Perturb the synthetic stream's arrival order: \
+                $(b,zipf:ALPHA:MAX) delays each tuple by a Zipf-distributed \
+                number of positions in [0,MAX]; $(b,bursty:BURST:PERIOD) \
+                holds back the first BURST tuples of every PERIOD and \
+                releases them together. Deterministic in --seed.")
+  in
   let prom_out =
     Arg.(
       value
@@ -516,7 +578,8 @@ let execute_cmd =
                 to $(docv).")
   in
   let run path fused tuples buffer timeout scheduler workers groups seed batch
-      channels telemetry prom_out json_out =
+      channels telemetry event_time watermark lateness disorder prom_out
+      json_out =
     (match timeout with
     | Some limit when limit <= 0.0 ->
         or_die (Error "--timeout must be positive")
@@ -563,11 +626,24 @@ let execute_cmd =
             Some assignment
           end)
     in
+    let dead_letters = Ss_event.Dead_letter.create () in
+    let event_time_config =
+      if not event_time then None
+      else
+        Some
+          (Ss_event.Event_time.config
+             ~lateness:(Ss_event.Lateness.of_kind ~dead_letters lateness)
+             watermark)
+    in
     let metrics =
       Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
-        ?timeout ~scheduler ?placement ~seed ~batch ~channels ~instrument ()
+        ?timeout ~scheduler ?placement ~seed ~batch ~channels ~instrument
+        ?event_time:event_time_config ~disorder ()
     in
     print_string (Ss_tool.Session.runtime_report session metrics);
+    if event_time && lateness = `Side then
+      Printf.printf "dead-letter store: %d late tuple(s) captured\n"
+        (Ss_event.Dead_letter.count dead_letters);
     let topology = Ss_tool.Session.topology session () in
     (match (prom_out, metrics.Ss_runtime.Executor.telemetry) with
     | Some out, Some report ->
@@ -595,8 +671,8 @@ let execute_cmd =
              or the timeout fires.")
     Term.(
       const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
-      $ workers $ groups $ seed_arg $ batch $ channels $ telemetry $ prom_out
-      $ json_out)
+      $ workers $ groups $ seed_arg $ batch $ channels $ telemetry $ event_time
+      $ watermark $ lateness $ disorder $ prom_out $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* elastic *)

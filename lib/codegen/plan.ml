@@ -39,15 +39,20 @@ let stub (op : Operator.t) =
         ~output_selectivity:op.Operator.output_selectivity ~name mk_fn
 
 let resolve op =
-  match Catalog.find (Codegen.class_of_name op.Operator.name) with
+  let cls = Codegen.class_of_name op.Operator.name in
+  match Ss_event.Event_window.of_name cls with
   | Some behavior -> behavior
-  | None -> stub op
+  | None -> (
+      match Catalog.find cls with
+      | Some behavior -> behavior
+      | None -> stub op)
 
 let registry topology v = resolve (Topology.operator topology v)
 
 let run ?ingest ?mailbox_capacity ?fused ?ordered ?(seed = 42)
     ?(tuples = 10_000) ?timeout ?scheduler ?placement ?batch ?channels
-    ?instrument ?stream_spec topology =
+    ?instrument ?event_time ?(disorder = Ss_workload.Stream_gen.In_order)
+    ?stream_spec topology =
   (* A log-backed run replays the ingest log; generating a synthetic
      stream would be wasted work, so the source collapses to nothing. *)
   let source =
@@ -56,21 +61,50 @@ let run ?ingest ?mailbox_capacity ?fused ?ordered ?(seed = 42)
     | None ->
         let rng = Ss_prelude.Rng.create seed in
         Ss_runtime.Executor.source_of_list
-          (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples)
+          (Ss_workload.Stream_gen.reorder rng disorder
+             (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples))
   in
   Ss_runtime.Executor.run ?ingest ?mailbox_capacity ?fused ?ordered ~seed
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ~source
-    ~registry:(registry topology) topology
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?event_time
+    ~source ~registry:(registry topology) topology
+
+(* Disorder an unbounded stream chunk by chunk: each block of [chunk]
+   tuples is permuted independently, so the reordering horizon stays
+   bounded and the stream remains lazy. *)
+let reorder_seq rng disorder seq =
+  match disorder with
+  | Ss_workload.Stream_gen.In_order -> seq
+  | _ ->
+      let chunk = 1024 in
+      let rec take k acc seq =
+        if k = 0 then (List.rev acc, seq)
+        else
+          match Seq.uncons seq with
+          | None -> (List.rev acc, Seq.empty)
+          | Some (t, rest) -> take (k - 1) (t :: acc) rest
+      in
+      let rec blocks seq () =
+        match take chunk [] seq with
+        | [], _ -> Seq.Nil
+        | block, rest ->
+            Seq.Cons
+              (List.to_seq (Ss_workload.Stream_gen.reorder rng disorder block),
+               blocks rest)
+      in
+      Seq.concat (blocks seq)
 
 let live ?mailbox_capacity ?(seed = 42) ?timeout ?workers ?reserve ?rate
-    ?tuples ?instrument ?stream_spec topology =
+    ?tuples ?instrument ?event_time
+    ?(disorder = Ss_workload.Stream_gen.In_order) ?stream_spec topology =
   let rng = Ss_prelude.Rng.create seed in
   let seq =
     ref
-      (match tuples with
-      | Some n ->
-          List.to_seq (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng n)
-      | None -> Ss_workload.Stream_gen.sequence ?spec:stream_spec rng)
+      (reorder_seq rng disorder
+         (match tuples with
+         | Some n ->
+             List.to_seq
+               (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng n)
+         | None -> Ss_workload.Stream_gen.sequence ?spec:stream_spec rng))
   in
   let next () =
     match Seq.uncons !seq with
@@ -87,6 +121,6 @@ let live ?mailbox_capacity ?(seed = 42) ?timeout ?workers ?reserve ?rate
           (Topology.operator topology (Topology.source topology))
   in
   Ss_runtime.Executor.Live.start ?mailbox_capacity ~seed ?timeout ?workers
-    ?reserve ?instrument
+    ?reserve ?instrument ?event_time
     ~source:(Ss_runtime.Executor.source_throttled ~rate next)
     ~registry:(registry topology) topology

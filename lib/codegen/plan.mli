@@ -7,7 +7,9 @@
     declared selectivity, exactly like the generated programs do. *)
 
 val resolve : Ss_topology.Operator.t -> Ss_operators.Behavior.t
-(** Catalog lookup with stub fallback for a single operator. *)
+(** Behavior lookup for a single operator: event-time window classes
+    ([ewin], [ewin_wLEN_sSLIDE] — see {!Ss_event.Event_window.of_name})
+    first, then the catalog, then the cost-faithful stub. *)
 
 val registry : Ss_topology.Topology.t -> int -> Ss_operators.Behavior.t
 (** Vertex-indexed resolver for {!Ss_runtime.Executor.run}. *)
@@ -25,6 +27,8 @@ val run :
   ?batch:Ss_runtime.Executor.batch ->
   ?channels:Ss_runtime.Executor.channels ->
   ?instrument:Ss_runtime.Executor.instrument ->
+  ?event_time:Ss_event.Event_time.config ->
+  ?disorder:Ss_workload.Stream_gen.disorder ->
   ?stream_spec:Ss_workload.Stream_gen.spec ->
   Ss_topology.Topology.t ->
   Ss_runtime.Executor.metrics
@@ -33,11 +37,13 @@ val run :
     {!Ss_workload.Stream_gen} — or, with [ingest], replays a durable
     {!Ss_log.Log} instead (at-least-once; [tuples] and [stream_spec] are
     then ignored). Options ([timeout], [scheduler],
-    [placement], [batch], [channels] and [instrument] included) are
-    forwarded to
+    [placement], [batch], [channels], [instrument] and [event_time]
+    included) are forwarded to
     {!Ss_runtime.Executor.run}; the returned metrics carry the supervised
     per-actor outcome (and, with [instrument.telemetry], the telemetry
-    report). *)
+    report). [disorder] (default [In_order]) perturbs the synthetic
+    stream's arrival order ({!Ss_workload.Stream_gen.reorder}) to exercise
+    event-time handling; it does not apply to log replays. *)
 
 val live :
   ?mailbox_capacity:int ->
@@ -48,6 +54,8 @@ val live :
   ?rate:float ->
   ?tuples:int ->
   ?instrument:Ss_runtime.Executor.instrument ->
+  ?event_time:Ss_event.Event_time.config ->
+  ?disorder:Ss_workload.Stream_gen.disorder ->
   ?stream_spec:Ss_workload.Stream_gen.spec ->
   Ss_topology.Topology.t ->
   Ss_runtime.Executor.Live.t
@@ -59,4 +67,6 @@ val live :
     stream (default: unbounded — the stream ends when
     {!Ss_runtime.Executor.Live.stop} is called). Partitioned-stateful
     operators resolved to stubs are migratable, so an elastic controller
-    can resize every replicable operator of the topology. *)
+    can resize every replicable operator of the topology. [event_time] and
+    [disorder] behave as in {!run}; on an unbounded stream the disorder is
+    applied per 1024-tuple block to keep the stream lazy. *)

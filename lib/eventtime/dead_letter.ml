@@ -1,0 +1,34 @@
+open Ss_operators
+
+type t = {
+  m : Mutex.t;
+  mutable items : Tuple.t list; (* newest first *)
+  count : int Atomic.t; (* lock-free reads for live monitoring *)
+}
+
+let create () = { m = Mutex.create (); items = []; count = Atomic.make 0 }
+
+let add t tuple =
+  Mutex.lock t.m;
+  t.items <- tuple :: t.items;
+  Mutex.unlock t.m;
+  Atomic.incr t.count
+
+let count t = Atomic.get t.count
+
+let items t =
+  Mutex.lock t.m;
+  let xs = t.items in
+  Mutex.unlock t.m;
+  List.rev xs
+
+let to_log t log ~partition =
+  let xs = items t in
+  match xs with
+  | [] -> 0
+  | xs ->
+      ignore
+        (Ss_log.Log.append_batch log ~partition
+           (List.map Ss_log.Tuple_codec.encode xs)
+          : int);
+      List.length xs

@@ -1,0 +1,25 @@
+(** Dead-letter store for side-output lateness.
+
+    Tuples that arrive behind the watermark under the [Side_output] policy
+    are appended here instead of being dropped: the stream's answer stays
+    deterministic while no data is lost. The store is shared by every actor
+    of a run (mutex-protected writes, lock-free count reads) and can be
+    drained after the run — inspected in memory or persisted to a durable
+    {!Ss_log.Log} partition for offline reprocessing. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Ss_operators.Tuple.t -> unit
+(** Thread-safe append (called concurrently by runtime actors). *)
+
+val count : t -> int
+(** Lock-free: readable while the run is live. *)
+
+val items : t -> Ss_operators.Tuple.t list
+(** Snapshot in arrival order (oldest first). *)
+
+val to_log : t -> Ss_log.Log.t -> partition:int -> int
+(** Persist the current snapshot to a log partition (one record per tuple,
+    {!Ss_log.Tuple_codec} encoding); returns the number written. *)

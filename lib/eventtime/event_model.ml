@@ -1,0 +1,44 @@
+open Ss_prelude
+open Ss_topology
+
+let firing_selectivity ~keys ~rate ~slide =
+  if keys < 1 then invalid_arg "Event_model.firing_selectivity: keys must be >= 1";
+  if not (Float.is_finite rate && rate > 0.0) then
+    invalid_arg "Event_model.firing_selectivity: rate must be positive";
+  if not (Float.is_finite slide && slide > 0.0) then
+    invalid_arg "Event_model.firing_selectivity: slide must be positive";
+  float_of_int keys /. (rate *. slide)
+
+let late_fraction ~bound arrivals =
+  if not (bound >= 0.0) then
+    invalid_arg "Event_model.late_fraction: negative bound";
+  let late = ref 0 and total = ref 0 and max_ts = ref neg_infinity in
+  List.iter
+    (fun (t : Ss_operators.Tuple.t) ->
+      incr total;
+      if t.Ss_operators.Tuple.ts < !max_ts -. bound then incr late;
+      if t.Ss_operators.Tuple.ts > !max_ts then max_ts := t.Ss_operators.Tuple.ts)
+    arrivals;
+  if !total = 0 then 0.0 else float_of_int !late /. float_of_int !total
+
+let window_operator ?(name = "ewin") ?(late_fraction = 0.0) ~keys ~rate ~slide
+    ~service_time () =
+  if not (late_fraction >= 0.0 && late_fraction <= 1.0) then
+    invalid_arg "Event_model.window_operator: late fraction not in [0, 1]";
+  (* Late tuples never reach a window (Drop/Side_output divert them before
+     the behavior runs), so both the effective consumption and the firing
+     output scale by the on-time fraction. *)
+  let on_time = 1.0 -. late_fraction in
+  let output_selectivity =
+    firing_selectivity ~keys ~rate ~slide *. on_time
+  in
+  Operator.make
+    ~kind:(Operator.Partitioned_stateful (Discrete.uniform keys))
+    ~input_selectivity:1.0 ~output_selectivity ~service_time name
+
+let predicted_output_rate ~keys ~rate ~slide ?(late_fraction = 0.0) () =
+  if not (late_fraction >= 0.0 && late_fraction <= 1.0) then
+    invalid_arg "Event_model.predicted_output_rate: late fraction not in [0, 1]";
+  rate *. firing_selectivity ~keys ~rate ~slide *. (1.0 -. late_fraction)
+
+let predict topology = (Ss_core.Steady_state.analyze topology).Ss_core.Steady_state.throughput

@@ -1,0 +1,47 @@
+(** Cost-model hooks linking event-time execution to Algorithm 1.
+
+    A watermark-driven window fires one aggregate per (key, window) when
+    the watermark passes the window end, so its steady-state output
+    selectivity is not a property of the code but of the workload: with
+    [keys] active keys, input rate [rate] and slide [slide] seconds, each
+    slide interval consumes [rate *. slide] tuples and produces [keys]
+    firings. This module turns those workload parameters into an
+    {!Ss_topology.Operator} descriptor so {!Ss_core.Steady_state.analyze}
+    can predict event-time throughput (the paper's Fig. 11 methodology,
+    applied to the event-time tier). *)
+
+val firing_selectivity : keys:int -> rate:float -> slide:float -> float
+(** [keys /. (rate *. slide)]: window firings per consumed tuple.
+    @raise Invalid_argument unless [keys >= 1] and [rate], [slide] are
+    positive and finite. *)
+
+val late_fraction : bound:float -> Ss_operators.Tuple.t list -> float
+(** Fraction of the arrival-ordered stream whose timestamp trails the
+    running maximum by more than [bound] seconds — exactly the tuples a
+    [Bounded bound] watermark generator would declare late. [0.] on the
+    empty list. @raise Invalid_argument on a negative bound. *)
+
+val window_operator :
+  ?name:string ->
+  ?late_fraction:float ->
+  keys:int ->
+  rate:float ->
+  slide:float ->
+  service_time:float ->
+  unit ->
+  Ss_topology.Operator.t
+(** Descriptor for an event-time window stage: partitioned-stateful over
+    [keys] uniform key groups, unit input selectivity, output selectivity
+    [firing_selectivity *. (1. -. late_fraction)] (late tuples are
+    diverted before the behavior under [Drop]/[Side_output], scaling the
+    firing rate by the on-time fraction). [late_fraction] defaults to [0.];
+    [name] defaults to ["ewin"]. *)
+
+val predicted_output_rate :
+  keys:int -> rate:float -> slide:float -> ?late_fraction:float -> unit -> float
+(** [rate *. firing_selectivity *. (1. -. late_fraction)]: predicted window
+    firings per second when the stage is not the bottleneck. *)
+
+val predict : Ss_topology.Topology.t -> float
+(** Predicted steady-state source throughput of a topology containing
+    event-time stages, via {!Ss_core.Steady_state.analyze}. *)

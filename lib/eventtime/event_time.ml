@@ -1,0 +1,3 @@
+type config = { watermark : Watermark.gen; lateness : Lateness.policy }
+
+let config ?(lateness = Lateness.Drop) watermark = { watermark; lateness }

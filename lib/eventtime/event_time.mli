@@ -1,0 +1,8 @@
+(** Event-time run configuration, as consumed by [Executor.run ?event_time]:
+    the source-side watermark generation strategy plus the lateness policy
+    applied at every evented operator. *)
+
+type config = { watermark : Watermark.gen; lateness : Lateness.policy }
+
+val config : ?lateness:Lateness.policy -> Watermark.gen -> config
+(** [lateness] defaults to {!Lateness.Drop}. *)

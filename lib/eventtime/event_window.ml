@@ -1,0 +1,278 @@
+open Ss_operators
+
+type agg = Sum | Count | Max | Min | Mean
+
+let agg_name = function
+  | Sum -> "sum"
+  | Count -> "count"
+  | Max -> "max"
+  | Min -> "min"
+  | Mean -> "mean"
+
+(* One open (or fired-and-remembered) window of one key. The accumulators
+   cover every aggregate so the state flattens to a fixed-width record and
+   the aggregate choice stays a pure read at firing time. *)
+type win = {
+  wend : float;
+  mutable sum : float;
+  mutable count : int;
+  mutable maxv : float;
+  mutable minv : float;
+}
+
+let new_win wend =
+  { wend; sum = 0.0; count = 0; maxv = neg_infinity; minv = infinity }
+
+let accumulate w v =
+  w.sum <- w.sum +. v;
+  w.count <- w.count + 1;
+  if v > w.maxv then w.maxv <- v;
+  if v < w.minv then w.minv <- v
+
+let value agg w =
+  match agg with
+  | Sum -> w.sum
+  | Count -> float_of_int w.count
+  | Max -> w.maxv
+  | Min -> w.minv
+  | Mean -> if w.count = 0 then 0.0 else w.sum /. float_of_int w.count
+
+(* Ends of the windows containing [ts]: multiples of [slide] in
+   (ts, ts + length] — the same alignment as {!Ss_operators.Time_window}. *)
+let window_ends ~length ~slide ts =
+  let first_k = Float.floor (ts /. slide) +. 1.0 in
+  let rec collect k acc =
+    let e = k *. slide in
+    if e > ts +. length +. 1e-12 then List.rev acc
+    else collect (k +. 1.0) (e :: acc)
+  in
+  collect first_k []
+
+let retraction_tag = 1
+
+(* Flat per-key encoding: [| n_open; 5 floats per open window;
+   n_fired; 5 floats per remembered window |]. *)
+let encode_wins open_ fired =
+  let n_open = List.length open_ and n_fired = List.length fired in
+  let arr = Array.make (2 + (5 * (n_open + n_fired))) 0.0 in
+  arr.(0) <- float_of_int n_open;
+  let write base w =
+    arr.(base) <- w.wend;
+    arr.(base + 1) <- w.sum;
+    arr.(base + 2) <- float_of_int w.count;
+    arr.(base + 3) <- w.maxv;
+    arr.(base + 4) <- w.minv
+  in
+  List.iteri (fun i w -> write (1 + (5 * i)) w) open_;
+  arr.(1 + (5 * n_open)) <- float_of_int n_fired;
+  List.iteri (fun i w -> write (2 + (5 * (n_open + i))) w) fired;
+  arr
+
+let decode_wins arr =
+  let read base =
+    {
+      wend = arr.(base);
+      sum = arr.(base + 1);
+      count = int_of_float arr.(base + 2);
+      maxv = arr.(base + 3);
+      minv = arr.(base + 4);
+    }
+  in
+  let n_open = int_of_float arr.(0) in
+  let open_ = List.init n_open (fun i -> read (1 + (5 * i))) in
+  let n_fired = int_of_float arr.(1 + (5 * n_open)) in
+  let fired = List.init n_fired (fun i -> read (2 + (5 * (n_open + i)))) in
+  (open_, fired)
+
+let behavior ?name ?(agg = Sum) ?(index = 0) ?refire_horizon
+    ?(output_selectivity = 1.0) ~length ~slide () =
+  if not (Float.is_finite length && length > 0.0) then
+    invalid_arg "Event_window.behavior: length must be positive";
+  if not (Float.is_finite slide && slide > 0.0) then
+    invalid_arg "Event_window.behavior: slide must be positive";
+  if slide > length +. 1e-12 then
+    invalid_arg "Event_window.behavior: slide must not exceed length";
+  let horizon =
+    match refire_horizon with
+    | Some h ->
+        if not (h >= 0.0) then
+          invalid_arg "Event_window.behavior: negative refire horizon";
+        h
+    | None -> 2.0 *. length
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "ewin_%s_w%g_s%g" (agg_name agg) (length *. 1e3)
+          (slide *. 1e3)
+  in
+  let mk () =
+    (* key -> open windows (unordered); key -> fired-window memory for
+       the refire path, pruned behind wm - horizon. *)
+    let open_ : (int, win list ref) Hashtbl.t = Hashtbl.create 64 in
+    let fired : (int, win list ref) Hashtbl.t = Hashtbl.create 64 in
+    let wm = ref neg_infinity in
+    (* Smallest open window end: watermarks below it fire nothing, so the
+       hot path — watermarks arriving more often than windows close — is a
+       float compare instead of a full per-key scan. *)
+    let next_fire = ref infinity in
+    let cell tbl key =
+      match Hashtbl.find_opt tbl key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add tbl key c;
+          c
+    in
+    let win_of cell wend =
+      match List.find_opt (fun w -> w.wend = wend) !cell with
+      | Some w -> w
+      | None ->
+          let w = new_win wend in
+          cell := w :: !cell;
+          w
+    in
+    let emit key w =
+      Tuple.make ~ts:w.wend ~key [| value agg w |]
+    in
+    let efn (t : Tuple.t) =
+      let v = if index < Array.length t.Tuple.values then t.Tuple.values.(index) else 0.0 in
+      let c = cell open_ t.Tuple.key in
+      List.iter
+        (fun e ->
+          if e < !next_fire then next_fire := e;
+          accumulate (win_of c e) v)
+        (window_ends ~length ~slide t.Tuple.ts);
+      []
+    in
+    let on_watermark w =
+      if not (w > !wm) then []
+      else begin
+        wm := w;
+        if w < !next_fire then []
+        else begin
+          let ready = ref [] in
+          Hashtbl.iter
+            (fun key c ->
+              let fire, keep = List.partition (fun x -> x.wend <= w) !c in
+              if fire <> [] then begin
+                c := keep;
+                let mem = cell fired key in
+                List.iter (fun x -> mem := x :: !mem) fire;
+                List.iter (fun x -> ready := (key, x) :: !ready) fire
+              end)
+            open_;
+          let nf = ref infinity in
+          Hashtbl.iter
+            (fun _ c ->
+              List.iter (fun x -> if x.wend < !nf then nf := x.wend) !c)
+            open_;
+          next_fire := !nf;
+          (* Prune refire memory behind the horizon (everything, at the
+             end-of-stream flush [w = infinity]). Firing rounds are the
+             only points where the memory grows, so pruning here bounds
+             it without touching the non-firing hot path. *)
+          let floor = w -. horizon in
+          Hashtbl.iter
+            (fun _ mem -> mem := List.filter (fun x -> x.wend > floor) !mem)
+            fired;
+          !ready
+          |> List.sort (fun (k1, w1) (k2, w2) ->
+                 compare (w1.wend, k1) (w2.wend, k2))
+          |> List.map (fun (key, x) -> emit key x)
+        end
+      end
+    in
+    let on_late (t : Tuple.t) =
+      let v = if index < Array.length t.Tuple.values then t.Tuple.values.(index) else 0.0 in
+      let key = t.Tuple.key in
+      List.concat_map
+        (fun e ->
+          if e > !wm then begin
+            (* This window has not fired yet: absorb the straggler
+               normally, it will be counted at firing time. *)
+            if e < !next_fire then next_fire := e;
+            accumulate (win_of (cell open_ key) e) v;
+            []
+          end
+          else if e <= !wm -. horizon then
+            (* Beyond the refire horizon: unrecoverable. Enforced here
+               because the memory itself is only pruned on firing
+               rounds, so it may still hold the expired window. *)
+            []
+          else
+            match Hashtbl.find_opt fired key with
+            | Some mem -> (
+                match List.find_opt (fun x -> x.wend = e) !mem with
+                | Some x ->
+                    (* Retract the stale result, apply the straggler,
+                       re-fire the corrected one. *)
+                    let retraction =
+                      Tuple.make ~ts:x.wend ~key ~tag:retraction_tag
+                        [| value agg x |]
+                    in
+                    accumulate x v;
+                    [ retraction; emit key x ]
+                | None -> [] (* beyond the refire horizon: unrecoverable *))
+            | None -> [])
+        (window_ends ~length ~slide t.Tuple.ts)
+    in
+    let eexport () =
+      let acc = ref [] in
+      let keys = Hashtbl.create 64 in
+      Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) open_;
+      Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) fired;
+      Hashtbl.iter
+        (fun k () ->
+          let o = match Hashtbl.find_opt open_ k with Some c -> !c | None -> [] in
+          let f = match Hashtbl.find_opt fired k with Some c -> !c | None -> [] in
+          if o <> [] || f <> [] then acc := (k, encode_wins o f) :: !acc)
+        keys;
+      !acc
+    in
+    let eimport st =
+      List.iter
+        (fun (k, arr) ->
+          let o, f = decode_wins arr in
+          List.iter (fun x -> if x.wend < !next_fire then next_fire := x.wend) o;
+          if o <> [] then Hashtbl.replace open_ k (ref o);
+          if f <> [] then Hashtbl.replace fired k (ref f))
+        st
+    in
+    { Behavior.efn; on_watermark; on_late; eexport; eimport }
+  in
+  Behavior.make_evented ~state_kind:Behavior.Partitioned_op
+    ~input_selectivity:1.0 ~output_selectivity ~name mk
+
+let of_name name =
+  let build length_ms slide_ms =
+    if length_ms > 0.0 && slide_ms > 0.0 && slide_ms <= length_ms then
+      Some
+        (behavior ~name ~length:(length_ms /. 1e3) ~slide:(slide_ms /. 1e3) ())
+    else None
+  in
+  if name = "ewin" then
+    Some (behavior ~name ~length:1.0 ~slide:1.0 ())
+  else
+    (* Split by hand rather than Scanf: %f treats '_' as a digit separator,
+       so "ewin_w1000_s500" would swallow the "_s" delimiter. *)
+    let prefix = "ewin_w" in
+    let plen = String.length prefix in
+    if
+      String.length name <= plen
+      || String.sub name 0 plen <> prefix
+    then None
+    else
+      match
+        String.split_on_char '_'
+          (String.sub name plen (String.length name - plen))
+      with
+      | [ w; s ] when String.length s > 1 && s.[0] = 's' -> (
+          match
+            ( float_of_string_opt w,
+              float_of_string_opt (String.sub s 1 (String.length s - 1)) )
+          with
+          | Some length_ms, Some slide_ms -> build length_ms slide_ms
+          | _ -> None)
+      | _ -> None

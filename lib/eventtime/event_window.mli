@@ -1,0 +1,52 @@
+(** Keyed event-time windows as an evented {!Ss_operators.Behavior}.
+
+    The runtime-integrated counterpart of the standalone
+    {!Ss_operators.Time_window}: elements are bucketed per key into
+    slide-aligned windows as they arrive ([efn] emits nothing), and windows
+    fire — one aggregate tuple per (key, window), ordered by window end —
+    when the runtime's propagated watermark passes their end
+    ([on_watermark]). The end-of-stream watermark [infinity] flushes every
+    open window, so a finite stream loses nothing.
+
+    Fired tuples carry [ts = window end], the window's key, tag [0] and a
+    single value (the chosen aggregate). Under the [Refire] lateness policy
+    a straggler behind the watermark retracts and corrects: the behavior
+    remembers fired windows for [refire_horizon] seconds of event time and
+    [on_late] emits the stale result again with tag {!retraction_tag}
+    followed by the corrected result with tag [0]; stragglers whose windows
+    are still open are simply absorbed. Beyond the horizon the straggler is
+    unrecoverable and only counted.
+
+    State (open windows and refire memory) exports/imports through the
+    evented interface, so live reconfiguration migrates in-flight windows
+    across replica generations without loss. *)
+
+type agg = Sum | Count | Max | Min | Mean
+
+val retraction_tag : int
+(** Tag ([1]) marking retraction tuples emitted by the refire path. *)
+
+val behavior :
+  ?name:string ->
+  ?agg:agg ->
+  ?index:int ->
+  ?refire_horizon:float ->
+  ?output_selectivity:float ->
+  length:float ->
+  slide:float ->
+  unit ->
+  Ss_operators.Behavior.t
+(** [behavior ~length ~slide ()] aggregates value [index] (default 0) per
+    key over slide-aligned windows of [length] seconds every [slide]
+    seconds ([slide = length] is tumbling). [agg] defaults to [Sum];
+    [refire_horizon] defaults to [2 *. length]. The declared
+    [output_selectivity] (default 1) is nominal — use
+    {!Event_model.firing_selectivity} for a workload-aware descriptor.
+    Default name: ["ewin_<agg>_w<ms>_s<ms>"].
+    @raise Invalid_argument on non-positive length/slide, [slide > length]
+    or a negative horizon. *)
+
+val of_name : string -> Ss_operators.Behavior.t option
+(** Resolve an XML operator class: ["ewin"] (1 s tumbling sum) or
+    ["ewin_w<MS>_s<MS>"] (milliseconds). [None] when the name is not an
+    event-window class or its parameters are invalid. *)

@@ -1,0 +1,26 @@
+type policy = Drop | Side_output of Dead_letter.t | Refire
+
+type kind = [ `Drop | `Side | `Refire ]
+
+let of_kind ?dead_letters = function
+  | `Drop -> Drop
+  | `Refire -> Refire
+  | `Side ->
+      Side_output
+        (match dead_letters with Some d -> d | None -> Dead_letter.create ())
+
+let parse_kind = function
+  | "drop" -> Ok `Drop
+  | "side" -> Ok `Side
+  | "refire" -> Ok `Refire
+  | s -> Error (Printf.sprintf "expected drop, side or refire, got %S" s)
+
+let kind_to_string = function
+  | `Drop -> "drop"
+  | `Side -> "side"
+  | `Refire -> "refire"
+
+let to_string = function
+  | Drop -> "drop"
+  | Side_output _ -> "side"
+  | Refire -> "refire"

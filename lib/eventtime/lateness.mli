@@ -1,0 +1,28 @@
+(** Lateness policies: what the runtime does with a tuple that arrives
+    behind the watermark at an event-time operator.
+
+    - [Drop]: count it and discard (the classic default — what
+      {!Ss_operators.Time_window} used to hard-code).
+    - [Side_output dl]: count it and divert it to the {!Dead_letter} store
+      [dl]; nothing is lost, the main stream's results stay watermark-pure.
+    - [Refire]: hand it to the behavior's
+      {!Ss_operators.Behavior.evented.on_late} hook, which may emit a
+      retraction of the previously fired result plus a corrected one.
+
+    Every late tuple is counted per vertex (surfaced in
+    [Executor.metrics.late] and, with telemetry on, the
+    [ss_late_tuples_total] exporter family) regardless of policy. *)
+
+type policy = Drop | Side_output of Dead_letter.t | Refire
+
+type kind = [ `Drop | `Side | `Refire ]
+(** Store-free tag, as parsed from the CLI. *)
+
+val of_kind : ?dead_letters:Dead_letter.t -> kind -> policy
+(** [`Side] attaches [dead_letters] (a fresh store when omitted). *)
+
+val parse_kind : string -> (kind, string) result
+(** ["drop"] | ["side"] | ["refire"]. *)
+
+val kind_to_string : kind -> string
+val to_string : policy -> string

@@ -1,0 +1,80 @@
+type gen = Periodic of float | Bounded of float
+
+type t = {
+  gen : gen;
+  min_advance : float;
+  mutable max_ts : float;
+  mutable emitted : float;
+}
+
+let default_min_advance = function
+  | Periodic _ -> 0.0 (* the interval itself paces emission *)
+  | Bounded b -> b /. 2.0
+
+let create ?min_advance gen =
+  (match gen with
+  | Periodic i when not (Float.is_finite i && i > 0.0) ->
+      invalid_arg "Watermark.create: periodic interval must be positive"
+  | Bounded b when not (Float.is_finite b && b >= 0.0) ->
+      invalid_arg "Watermark.create: lateness bound must be non-negative"
+  | Periodic _ | Bounded _ -> ());
+  let min_advance =
+    match min_advance with
+    | Some q ->
+        if not (Float.is_finite q && q >= 0.0) then
+          invalid_arg "Watermark.create: min_advance must be non-negative";
+        q
+    | None -> default_min_advance gen
+  in
+  { gen; min_advance; max_ts = neg_infinity; emitted = neg_infinity }
+
+let current t = t.emitted
+
+let observe t ts =
+  if ts > t.max_ts then t.max_ts <- ts;
+  let candidate =
+    match t.gen with
+    | Periodic _ -> t.max_ts
+    | Bounded b -> t.max_ts -. b
+  in
+  let due =
+    match t.gen with
+    | Periodic i ->
+        (* First emission as soon as event time exists, then one per
+           [i] seconds of event-time progress. *)
+        t.emitted = neg_infinity || candidate >= t.emitted +. i
+    | Bounded _ ->
+        candidate > t.emitted
+        && (t.emitted = neg_infinity || candidate >= t.emitted +. t.min_advance)
+  in
+  if due && Float.is_finite candidate then begin
+    t.emitted <- candidate;
+    Some candidate
+  end
+  else None
+
+let parse s =
+  let kind k v =
+    match float_of_string_opt v with
+    | Some ms when Float.is_finite ms && ms >= 0.0 -> (
+        let sec = ms /. 1e3 in
+        match k with
+        | "periodic" when ms > 0.0 -> Ok (Periodic sec)
+        | "periodic" -> Error "periodic watermark interval must be positive"
+        | "bounded" -> Ok (Bounded sec)
+        | _ -> Error (Printf.sprintf "unknown watermark generator %S" k))
+    | _ -> Error (Printf.sprintf "invalid watermark milliseconds %S" v)
+  in
+  match String.index_opt s ':' with
+  | Some i ->
+      kind
+        (String.sub s 0 i)
+        (String.sub s (i + 1) (String.length s - i - 1))
+  | None ->
+      Error
+        (Printf.sprintf
+           "expected periodic:MS or bounded:MS, got %S" s)
+
+let to_string = function
+  | Periodic i -> Printf.sprintf "periodic:%g" (i *. 1e3)
+  | Bounded b -> Printf.sprintf "bounded:%g" (b *. 1e3)

@@ -1,0 +1,52 @@
+(** Pluggable source-side watermark generators.
+
+    A watermark is the source's promise that no tuple with a smaller event
+    timestamp will follow. Generators observe the event timestamps the
+    source emits and decide when (and how far) to advance the watermark;
+    the runtime injects the resulting values in-band behind the data and
+    propagates them through every deployment shape (min across fan-in).
+
+    Two strategies, selectable from the CLI as [periodic:MS] / [bounded:MS]:
+    - {!Periodic}[ i]: watermark = max timestamp seen, emitted once per [i]
+      seconds of event-time progress. Zero tolerance for disorder — any
+      out-of-order tuple lands behind the watermark and is handled by the
+      lateness policy. The cheapest generator for in-order streams.
+    - {!Bounded}[ b]: watermark = max timestamp seen − [b] (the classic
+      bounded-out-of-orderness heuristic), emitted whenever it advances by
+      at least [min_advance] (default [b/2], so watermark traffic stays a
+      small fraction of data traffic). Tuples delayed by at most [b]
+      seconds are never late.
+
+    Under log-backed ingest the runtime creates one generator per log
+    partition (each partition reader owns one), and the min-across-inputs
+    merge at the first consumer reconstructs the conservative global
+    watermark — per-partition progress never over-promises. *)
+
+type gen = Periodic of float | Bounded of float
+
+type t
+(** A generator instance: single-owner, not thread-safe (each source actor
+    or partition reader owns its own). *)
+
+val create : ?min_advance:float -> gen -> t
+(** [min_advance] throttles emission: a new watermark is only announced
+    when it exceeds the last one by at least this much (seconds). Defaults
+    to [b /. 2.] for [Bounded b] and [0.] for [Periodic] (the interval
+    already paces it).
+    @raise Invalid_argument on a non-positive interval, negative bound or
+    negative [min_advance]. *)
+
+val observe : t -> float -> float option
+(** [observe t ts] feeds one emitted event timestamp; returns [Some w] when
+    a new watermark [w] should be announced downstream. Returned values are
+    strictly increasing and always finite. *)
+
+val current : t -> float
+(** Last announced watermark; [neg_infinity] before the first. *)
+
+val parse : string -> (gen, string) result
+(** ["periodic:MS"] or ["bounded:MS"] (milliseconds), as accepted by
+    [spinstreams execute --watermark]. *)
+
+val to_string : gen -> string
+(** Inverse of {!parse}. *)

@@ -8,6 +8,14 @@ type migratable = {
   import_state : keyed_state -> unit;
 }
 
+type evented = {
+  efn : fn;
+  on_watermark : float -> Tuple.t list;
+  on_late : Tuple.t -> Tuple.t list;
+  eexport : unit -> keyed_state;
+  eimport : keyed_state -> unit;
+}
+
 type t = {
   name : string;
   state_kind : state_kind;
@@ -15,6 +23,7 @@ type t = {
   output_selectivity : float;
   fresh : unit -> fn;
   migrate : (unit -> migratable) option;
+  evented : (unit -> evented) option;
 }
 
 let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
@@ -23,7 +32,15 @@ let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
     invalid_arg "Behavior.make: input_selectivity must be positive";
   if output_selectivity < 0.0 then
     invalid_arg "Behavior.make: output_selectivity must be non-negative";
-  { name; state_kind; input_selectivity; output_selectivity; fresh; migrate = None }
+  {
+    name;
+    state_kind;
+    input_selectivity;
+    output_selectivity;
+    fresh;
+    migrate = None;
+    evented = None;
+  }
 
 let make_migratable ?input_selectivity ?output_selectivity ~name mk =
   let base =
@@ -32,8 +49,17 @@ let make_migratable ?input_selectivity ?output_selectivity ~name mk =
   in
   { base with migrate = Some mk }
 
+let make_evented ?(state_kind = Partitioned_op) ?input_selectivity
+    ?output_selectivity ~name mk =
+  let base =
+    make ~state_kind ?input_selectivity ?output_selectivity ~name (fun () ->
+        (mk ()).efn)
+  in
+  { base with evented = Some mk }
+
 let instantiate t = t.fresh ()
-let can_migrate t = Option.is_some t.migrate
+let can_migrate t = Option.is_some t.migrate || Option.is_some t.evented
+let is_evented t = Option.is_some t.evented
 let selectivity_factor t = t.output_selectivity /. t.input_selectivity
 
 let to_operator ?dist ?keys ~service_time t =

@@ -32,6 +32,35 @@ type migratable = {
           call. Unknown keys replace any fresh default. *)
 }
 
+type evented = {
+  efn : fn;
+      (** Buffer/transform one input tuple; closed over this instance's
+          state. Event-time windows typically return [] here and emit on
+          {!on_watermark}. *)
+  on_watermark : float -> Tuple.t list;
+      (** The runtime's input watermark at this instance advanced to the
+          given value: fire everything the new watermark makes complete
+          (windows whose end it passed). Called with [infinity] at
+          end-of-stream to flush all remaining state. Must be monotone-safe:
+          a repeated or smaller watermark fires nothing. *)
+  on_late : Tuple.t -> Tuple.t list;
+      (** Under the [Refire] lateness policy: a tuple arrived behind the
+          watermark. Return correction tuples (typically a retraction of the
+          previously fired result plus the corrected result), or [] when the
+          late tuple cannot be applied any more (beyond the refire
+          horizon). Never called under [Drop] or [Side_output]. *)
+  eexport : unit -> keyed_state;
+      (** Snapshot all keyed event-time state — open windows and any refire
+          memory — in the same flat encoding as {!migratable.export_state},
+          so live reconfiguration can move in-flight windows across
+          replicas. *)
+  eimport : keyed_state -> unit;
+      (** Load keyed event-time state for the keys this instance now owns,
+          before any [efn] call. *)
+}
+(** An event-time behavior instance: watermark-driven firing, late-tuple
+    handling and migratable state, all closed over one state allocation. *)
+
 type t = {
   name : string;
   state_kind : state_kind;
@@ -46,6 +75,13 @@ type t = {
           it into the replicas of the new generation. [None] for stateless
           behaviors (nothing to move) and for partitioned behaviors that
           opted out (resizing them live discards state). *)
+  evented : (unit -> evented) option;
+      (** When present, instances carry event-time semantics: the runtime
+          delivers watermark advances to {!evented.on_watermark}, applies
+          the configured lateness policy to tuples behind the watermark,
+          and uses {!evented.eexport}/{!evented.eimport} for live
+          reconfiguration handoff. The executor prefers this interface over
+          [migrate] when both exist. *)
 }
 
 val make :
@@ -69,11 +105,27 @@ val make_migratable :
     keyed state, enabling lossless live resizing. [fresh] is derived from
     the same allocator ([mfn] of a new instance). *)
 
+val make_evented :
+  ?state_kind:state_kind ->
+  ?input_selectivity:float ->
+  ?output_selectivity:float ->
+  name:string ->
+  (unit -> evented) ->
+  t
+(** An event-time behavior (default [Partitioned_op]: keyed windows fission
+    by key). [fresh] is derived from the allocator ([efn] of a new
+    instance), so the behavior still runs — buffering, never firing — in a
+    runtime without watermark propagation. *)
+
 val instantiate : t -> fn
 (** Shorthand for [t.fresh ()]. *)
 
 val can_migrate : t -> bool
-(** Whether {!migrate} is present. *)
+(** Whether instances support keyed-state handoff for live resizing:
+    {!migrate} or the (state-carrying) {!evented} interface is present. *)
+
+val is_evented : t -> bool
+(** Whether {!evented} is present. *)
 
 val selectivity_factor : t -> float
 (** [output_selectivity /. input_selectivity]. *)

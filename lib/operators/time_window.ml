@@ -1,4 +1,5 @@
 type kind = Tumbling of float | Sliding of float * float
+type eviction = [ `Fire_oldest | `Drop_oldest ]
 
 type 'a fired = {
   window_end : float;
@@ -10,13 +11,20 @@ type 'a t = {
   length : float;
   slide : float;
   lateness : float;
+  max_open : int option;
+  eviction : eviction;
   (* window end -> reversed contents *)
   buckets : (float, 'a list) Hashtbl.t;
   mutable wm : float;
+  (* Window ends at or below [floor] were evicted: elements landing there
+     afterwards are late even though the watermark never passed them. *)
+  mutable floor : float;
   mutable late : int;
+  mutable evicted : int;
 }
 
-let create ?(allowed_lateness = 0.0) kind =
+let create ?(allowed_lateness = 0.0) ?max_open_windows
+    ?(eviction = `Fire_oldest) kind =
   let length, slide =
     match kind with
     | Tumbling l -> (l, l)
@@ -28,17 +36,26 @@ let create ?(allowed_lateness = 0.0) kind =
     invalid_arg "Time_window.create: slide must not exceed length";
   if allowed_lateness < 0.0 then
     invalid_arg "Time_window.create: negative lateness";
+  (match max_open_windows with
+  | Some k when k < 1 ->
+      invalid_arg "Time_window.create: max_open_windows must be >= 1"
+  | _ -> ());
   {
     length;
     slide;
     lateness = allowed_lateness;
+    max_open = max_open_windows;
+    eviction;
     buckets = Hashtbl.create 16;
     wm = neg_infinity;
+    floor = neg_infinity;
     late = 0;
+    evicted = 0;
   }
 
 let watermark t = t.wm
 let late_count t = t.late
+let evicted_count t = t.evicted
 let pending_windows t = Hashtbl.length t.buckets
 
 (* Ends of the windows containing timestamp [ts]: multiples of slide in
@@ -52,9 +69,45 @@ let window_ends t ts =
   in
   collect first_k []
 
+let take_bucket t e =
+  let contents = List.rev (Hashtbl.find t.buckets e) in
+  Hashtbl.remove t.buckets e;
+  { window_end = e; window_start = e -. t.length; contents }
+
+(* Enforce the open-window cap by evicting the oldest (smallest-end)
+   windows. [`Fire_oldest] emits them early — a deliberately incomplete
+   result beats unbounded buffering; [`Drop_oldest] discards them. Either
+   way the eviction floor rises so stragglers into an evicted window count
+   as late instead of silently reopening it. *)
+let evict t =
+  match t.max_open with
+  | None -> []
+  | Some cap ->
+      let over = Hashtbl.length t.buckets - cap in
+      if over <= 0 then []
+      else begin
+        let ends =
+          Hashtbl.fold (fun e _ acc -> e :: acc) t.buckets []
+          |> List.sort compare
+        in
+        let victims = List.filteri (fun i _ -> i < over) ends in
+        t.evicted <- t.evicted + over;
+        let fired =
+          List.map
+            (fun e ->
+              let f = take_bucket t e in
+              t.floor <- Float.max t.floor e;
+              f)
+            victims
+        in
+        match t.eviction with `Fire_oldest -> fired | `Drop_oldest -> []
+      end
+
 let push t ~ts x =
   t.wm <- Float.max t.wm (ts -. t.lateness);
-  let ends = List.filter (fun e -> e > t.wm) (window_ends t ts) in
+  let ends =
+    List.filter (fun e -> e > t.wm && e > t.floor) (window_ends t ts)
+  in
   if ends = [] then t.late <- t.late + 1
   else
     List.iter
@@ -62,14 +115,14 @@ let push t ~ts x =
         let prev = Option.value ~default:[] (Hashtbl.find_opt t.buckets e) in
         Hashtbl.replace t.buckets e (x :: prev))
       ends;
+  let evicted = evict t in
   (* Fire every buffered window whose end the watermark has passed. *)
   let ready =
     Hashtbl.fold (fun e _ acc -> if e <= t.wm then e :: acc else acc) t.buckets []
     |> List.sort compare
   in
-  List.map
-    (fun e ->
-      let contents = List.rev (Hashtbl.find t.buckets e) in
-      Hashtbl.remove t.buckets e;
-      { window_end = e; window_start = e -. t.length; contents })
-    ready
+  let fired = List.map (take_bucket t) ready in
+  (* Evictions precede regular firings and both are end-ordered within
+     themselves; an evicted window always ends below any watermark-fired
+     one (it was the oldest open), so the concatenation stays ordered. *)
+  evicted @ fired

@@ -16,6 +16,11 @@
 
 type kind = Tumbling of float | Sliding of float * float
 
+type eviction = [ `Fire_oldest | `Drop_oldest ]
+(** What happens to the oldest open windows when the cap is exceeded:
+    [`Fire_oldest] emits them early with whatever they hold (an incomplete
+    result beats unbounded buffering), [`Drop_oldest] discards them. *)
+
 type 'a t
 
 type 'a fired = {
@@ -24,21 +29,38 @@ type 'a fired = {
   contents : 'a list;  (** In arrival order; possibly empty never fires. *)
 }
 
-val create : ?allowed_lateness:float -> kind -> 'a t
+val create :
+  ?allowed_lateness:float ->
+  ?max_open_windows:int ->
+  ?eviction:eviction ->
+  kind ->
+  'a t
 (** [allowed_lateness] (seconds, default 0) delays the watermark behind the
     maximum seen timestamp, tolerating that much disorder.
-    @raise Invalid_argument on non-positive lengths/slides, [slide > length]
-    or negative lateness. *)
+    [max_open_windows] (default unbounded) caps the simultaneously open
+    windows: each {!push} evicts the oldest windows above the cap under the
+    [eviction] policy (default [`Fire_oldest]) and raises an internal
+    eviction floor, so stragglers into an evicted window are counted late
+    rather than silently reopening it — memory stays
+    [O(max_open_windows ×] elements per window[)] however disordered the
+    input.
+    @raise Invalid_argument on non-positive lengths/slides, [slide > length],
+    negative lateness or [max_open_windows < 1]. *)
 
 val push : 'a t -> ts:float -> 'a -> 'a fired list
 (** Insert an element with event time [ts]; returns the windows the
-    advanced watermark fires, oldest first. *)
+    advanced watermark fires — preceded by any cap evictions under
+    [`Fire_oldest] — oldest first. *)
 
 val watermark : 'a t -> float
 (** Current watermark; [neg_infinity] before the first element. *)
 
 val late_count : 'a t -> int
-(** Elements dropped because they arrived entirely behind the watermark. *)
+(** Elements dropped because they arrived entirely behind the watermark
+    (or entirely below the eviction floor). *)
+
+val evicted_count : 'a t -> int
+(** Open windows evicted by the [max_open_windows] cap so far. *)
 
 val pending_windows : 'a t -> int
 (** Open (not yet fired) windows currently holding elements. *)

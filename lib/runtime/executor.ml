@@ -17,6 +17,7 @@ type metrics = {
   elapsed : float;
   consumed : int array;
   produced : int array;
+  late : int array;
   source_rate : float;
   blocked : float array;
   occupancy : float array;
@@ -62,7 +63,18 @@ let settle tk d =
    end-of-stream. [Expect k] tells the unit's collector how many
    end-of-stream markers terminate the run (the final generation's degree) —
    unknowable at deploy time when the degree changes live. Static units
-   never see either. *)
+   never see either.
+
+   [Wm (slot, w)] is an in-band watermark from one upstream producer: the
+   promise that the producer will send no more tuples with event timestamp
+   below [w]. [slot] identifies the producer within the receiver's merge
+   array (a unit's watermark is the minimum over its upstream slots);
+   producers send [Wm (slot, infinity)] before their [Eos] so finite
+   streams flush every open window. [Resize (d, floor)] travels only on an
+   elastic unit's collector channel: the replica set just swapped to [d]
+   workers, each primed at watermark [floor], so the collector rebuilds its
+   merge array. Both exist only in event-time runs — without
+   [?event_time] no watermark is ever generated and the arms are dead. *)
 type msg =
   | Data of Tuple.t
   | Timed of Tuple.t * float
@@ -70,6 +82,60 @@ type msg =
   | Eos
   | Drain
   | Expect of int
+  | Wm of int * float
+  | Resize of int * float
+
+(* Per-receiver watermark merge: one slot per upstream producer (ingest
+   readers included); the unit's watermark is the minimum over slots and
+   only its advances propagate. Single-threaded: each merge belongs to the
+   one actor that drains the unit's input channel. *)
+module Wm_merge = struct
+  type t = { mutable slots : float array; mutable cur : float }
+
+  let create k =
+    { slots = Array.make (Stdlib.max 1 k) neg_infinity; cur = neg_infinity }
+
+  let min_slots a = Array.fold_left Float.min infinity a
+
+  let observe t slot w =
+    if w > t.slots.(slot) then t.slots.(slot) <- w;
+    let m = min_slots t.slots in
+    if m > t.cur then begin
+      t.cur <- m;
+      Some m
+    end
+    else None
+
+  (* Elastic generation swap: the producer set changes size and every new
+     producer starts from the emitter-chosen floor. *)
+  let reset t k floor =
+    t.slots <- Array.make (Stdlib.max 1 k) floor;
+    if floor > t.cur then begin
+      t.cur <- floor;
+      Some floor
+    end
+    else None
+
+  (* Defensive end-of-stream advance: all producers are gone, so the merge
+     can jump to infinity even if a [Wm (_, infinity)] went missing. *)
+  let force t =
+    if t.cur < infinity then begin
+      t.cur <- infinity;
+      Some infinity
+    end
+    else None
+
+  let current t = t.cur
+end
+
+(* Ordered-fission worker→collector entries: one batch of results per
+   input in deal order, a watermark dealt in-band (echoed in position so
+   the collector forwards it after exactly the inputs dealt before it), or
+   the worker's end marker. *)
+type ordered_out =
+  | Obatch of Tuple.t list * float * track
+  | Owm of float
+  | Odone
 
 type ingest = {
   ingest_log : Ss_log.Log.t;
@@ -222,10 +288,11 @@ type ctx = {
   cburst : 'a. 'a Mailbox.t -> unit -> 'a Queue.t;
 }
 
-let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64)
-    ?(fused = []) ?(routers = []) ?(ordered = []) ?(seed = 42) ?timeout
-    ?scheduler ?placement ?(batch = `Adaptive 32) ?(channels = `Auto)
-    ?(instrument = default_instrument) ~source ~registry topology =
+let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
+    ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
+    ?(seed = 42) ?timeout ?scheduler ?placement ?(batch = `Adaptive 32)
+    ?(channels = `Auto) ?(instrument = default_instrument) ~source ~registry
+    topology =
   let scheduler =
     match scheduler with
     | Some (`Pool w | `Locked_pool w) when w < 1 ->
@@ -526,6 +593,67 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         }
   in
   let put_from v mb x = ctx.cput v mb x in
+  (* --- event time ---------------------------------------------------
+     Watermarks are generated at the source(s) and travel in-band as
+     [Wm (slot, w)] messages. Slot assignment is static, derived from the
+     same sorted upstream-unit list as [expected_eos]: unit [u]'s slot in
+     receiver [v]'s merge array is the number of producers of units sorted
+     before [u] (the source expands to [source_units] reader slots, ingest
+     reader [p] claiming base + p). FIFO channel order is the correctness
+     backbone: a producer fires its own windows {e before} forwarding the
+     watermark, so fired results reach the channel ahead of the watermark
+     that would declare them late downstream. *)
+  let et_on = Option.is_some event_time in
+  let lateness =
+    match event_time with
+    | Some c -> c.Ss_event.Event_time.lateness
+    | None -> Ss_event.Lateness.Drop
+  in
+  let new_watermark () =
+    match event_time with
+    | Some c -> Some (Ss_event.Watermark.create c.Ss_event.Event_time.watermark)
+    | None -> None
+  in
+  let upstream_units v =
+    Topology.preds topology v
+    |> List.map (fun (u, _) -> entry_vertex u)
+    |> List.sort_uniq compare
+  in
+  let wm_slot ~receiver u =
+    let rec go acc = function
+      | [] -> assert false (* [u] is an upstream unit of [receiver] *)
+      | x :: tl ->
+          if x = u then acc
+          else go (acc + if x = src then source_units else 1) tl
+    in
+    go 0 (upstream_units receiver)
+  in
+  (* Distinct downstream entry mailboxes paired with [sender]'s slot in
+     each receiver's merge; empty when event time is off, so watermark
+     broadcasts vanish from the hot paths. *)
+  let wm_targets sender vs =
+    if not et_on then []
+    else
+      vs
+      |> List.map entry_vertex
+      |> List.sort_uniq compare
+      |> List.map (fun w -> (mailbox_of w, wm_slot ~receiver:w sender))
+  in
+  let wm_forward v targets m =
+    List.iter (fun (mb, slot) -> put_from v mb (Wm (slot, m))) targets
+  in
+  (* The evented instance of a behavior, shared between its [efn] and its
+     watermark/late hooks; [None] for ordinary behaviors. *)
+  let evented_of behavior =
+    match behavior.Behavior.evented with
+    | Some mk -> Some (mk ())
+    | None -> None
+  in
+  let late = Array.init n (fun _ -> Atomic.make 0) in
+  let count_late snk v =
+    Atomic.incr late.(v);
+    match snk with Some s -> Sink.record_late s v | None -> ()
+  in
   (* Successor choice for items leaving vertex [v]: a user router or a
      probabilistic sample over the out-edges. Returns the successor vertex. *)
   let chooser v rng =
@@ -691,17 +819,28 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         let snk = new_sink () in
         let send = sender snk src in
         let stamped = new_stamper snk in
+        let wmg = new_watermark () in
+        let wmt = wm_targets src (external_succs src) in
         add_actor ~actor:(opname src) ~vertex:src (fun () ->
+            let observe t =
+              match wmg with
+              | None -> ()
+              | Some g -> (
+                  match Ss_event.Watermark.observe g t.Tuple.ts with
+                  | Some w -> wm_forward src wmt w
+                  | None -> ())
+            in
             let rec loop () =
               match source () with
-              | Some t -> (
+              | Some t ->
                   Atomic.incr produced.(src);
-                  match choose t with
-                  | Some dest ->
-                      send dest t (stamped ()) No_track;
-                      loop ()
-                  | None -> loop ())
+                  (match choose t with
+                  | Some dest -> send dest t (stamped ()) No_track
+                  | None -> ());
+                  observe t;
+                  loop ()
               | None ->
+                  wm_forward src wmt infinity;
                   List.iter (fun mb -> put_from src mb Eos)
                     (eos_targets (external_succs src))
             in
@@ -721,6 +860,15 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
           let snk = new_sink () in
           let send = sender snk src in
           let stamped = new_stamper snk in
+          (* Per-partition watermark: reader [p] owns slot base + p in every
+             downstream merge, so one stalled partition holds the merged
+             watermark back — exactly the Kafka-style per-partition bound. *)
+          let wmg = new_watermark () in
+          let wmt =
+            List.map
+              (fun (mb, slot) -> (mb, slot + p))
+              (wm_targets src (external_succs src))
+          in
           let compl = completions.(p) in
           add_actor
             ~actor:(Printf.sprintf "%s.reader%d" (opname src) p)
@@ -750,9 +898,15 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                       complete = (fun () -> Completion.complete compl off);
                     }
                 in
-                match choose t with
+                (match choose t with
                 | Some dest -> send dest t (stamped ()) tk
-                | None -> settle tk (-1)
+                | None -> settle tk (-1));
+                match wmg with
+                | None -> ()
+                | Some g -> (
+                    match Ss_event.Watermark.observe g t.Tuple.ts with
+                    | Some w -> wm_forward src wmt w
+                    | None -> ())
               in
               let rec loop () =
                 match
@@ -761,6 +915,7 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                 with
                 | [] ->
                     maybe_commit ~force:true ();
+                    wm_forward src wmt infinity;
                     List.iter (fun mb -> put_from src mb Eos)
                       (eos_targets (external_succs src))
                 | records ->
@@ -854,18 +1009,32 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         in
         let make_worker ~gen ~r mb state =
           let snk = new_sink () in
+          (* Evented behaviors migrate through their own export/import (the
+             in-flight windows ride the handoff), so they take precedence
+             over the plain migratable interface. *)
           let inst =
-            match behavior.Behavior.migrate with
-            | Some mk -> `Migratable (mk ())
-            | None -> `Plain (Behavior.instantiate behavior)
+            match behavior.Behavior.evented with
+            | Some mk -> `Evented (mk ())
+            | None -> (
+                match behavior.Behavior.migrate with
+                | Some mk -> `Migratable (mk ())
+                | None -> `Plain (Behavior.instantiate behavior))
           in
           (match (inst, state) with
           | `Migratable m, Some st -> m.Behavior.import_state st
+          | `Evented e, Some st -> e.Behavior.eimport st
           | _ -> ());
           let fn =
-            match inst with `Migratable m -> m.Behavior.mfn | `Plain f -> f
+            match inst with
+            | `Migratable m -> m.Behavior.mfn
+            | `Evented e -> e.Behavior.efn
+            | `Plain f -> f
+          in
+          let evented =
+            match inst with `Evented e -> Some e | _ -> None
           in
           let apply = invoke snk v fn in
+          let stamped = new_stamper snk in
           let emit =
             match snk with
             | Some _ -> fun out birth tk -> put_from v collector_mb (wrap out birth tk)
@@ -874,14 +1043,16 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
           let export () =
             match inst with
             | `Migratable m -> m.Behavior.export_state ()
+            | `Evented e -> e.Behavior.eexport ()
             | `Plain _ -> []
           in
           let body () =
             let next = ctx.creader mb in
             let continue = ref true in
-            let handle t birth tk =
-              Atomic.incr consumed.(v);
-              let outs = apply t birth in
+            (* Single producer (the emitter), so the merge is scalar. *)
+            let mg = Wm_merge.create 1 in
+            let max_seen = ref neg_infinity in
+            let emit_all outs birth tk =
               settle tk (List.length outs - 1);
               List.iter
                 (fun out ->
@@ -889,9 +1060,43 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                   emit out birth tk)
                 outs
             in
+            let fire m =
+              (match evented with
+              | Some e ->
+                  let outs = e.Behavior.on_watermark m in
+                  if outs <> [] then emit_all outs (stamped ()) No_track
+              | None -> ());
+              (match snk with
+              | Some s when Float.is_finite m ->
+                  Sink.record_wm_lag s v (Float.max 0.0 (!max_seen -. m))
+              | _ -> ());
+              put_from v collector_mb (Wm (r, m))
+            in
+            let handle t birth tk =
+              match evented with
+              | Some e when t.Tuple.ts < Wm_merge.current mg -> (
+                  count_late snk v;
+                  match lateness with
+                  | Ss_event.Lateness.Drop -> settle tk (-1)
+                  | Ss_event.Lateness.Side_output dl ->
+                      Ss_event.Dead_letter.add dl t;
+                      settle tk (-1)
+                  | Ss_event.Lateness.Refire ->
+                      Atomic.incr consumed.(v);
+                      emit_all (e.Behavior.on_late t) birth tk)
+              | _ ->
+                  if et_on && t.Tuple.ts > !max_seen then
+                    max_seen := t.Tuple.ts;
+                  Atomic.incr consumed.(v);
+                  emit_all (apply t birth) birth tk
+            in
             while !continue do
               match next () with
               | Eos ->
+                  (if et_on then
+                     match Wm_merge.force mg with
+                     | Some m -> fire m
+                     | None -> ());
                   put_from v collector_mb Eos;
                   continue := false
               | Drain ->
@@ -900,7 +1105,11 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
               | Data t -> handle t 0.0 No_track
               | Timed (t, birth) -> handle t birth No_track
               | Tracked (t, birth, tk) -> handle t birth tk
-              | Expect _ -> assert false (* collector channel only *)
+              | Wm (_, w) -> (
+                  match Wm_merge.observe mg 0 w with
+                  | Some m -> fire m
+                  | None -> ())
+              | Expect _ | Resize _ -> assert false (* collector channel only *)
             done
           in
           (Printf.sprintf "%s.g%d.worker%d" (opname v) gen r, body)
@@ -925,6 +1134,7 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
             let buckets = ref (Array.make initial []) in
             let eos = ref 0 in
             let rr = ref 0 in
+            let emg = Wm_merge.create expected in
             let reconfigure want =
               let t0 = Unix.gettimeofday () in
               Array.iter (fun mb -> put_from v mb Drain) !mbs;
@@ -934,7 +1144,22 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
               done;
               incr gen;
               let d = want in
+              (* The watermark floor of the new generation is the input
+                 merge: every old worker has fired up to it (the emitter
+                 broadcast each advance before dealing further input), so
+                 imported windows all end above it. [Resize] must reach the
+                 collector before any new-generation [Wm] can — old-gen
+                 output is already enqueued at this point and the new
+                 workers are not spawned yet, so putting it now, ahead of
+                 the spawn, guarantees the order. *)
+              let floor = Wm_merge.current emg in
+              if et_on then put_from v collector_mb (Resize (d, floor));
               let mbs' = Array.init d (fun _ -> new_mailbox ~spsc:true ()) in
+              (* Prime each new worker with the floor as its first message
+                 so its scalar merge starts where the old generation
+                 stopped. *)
+              if et_on && floor > neg_infinity then
+                Array.iter (fun mb -> put_from v mb (Wm (0, floor))) mbs';
               let parts = Array.make d None in
               (match partition_of d with
               | Some owner ->
@@ -977,7 +1202,17 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                       let r = rt t !rr in
                       incr rr;
                       bks.(r) <- m :: bks.(r)
-                  | Drain | Expect _ -> assert false)
+                  | Wm (slot, w) -> (
+                      (* Broadcast each advance to every worker, in deal
+                         position: a worker's windows can span any key it
+                         owns, so all replicas need the watermark. *)
+                      match Wm_merge.observe emg slot w with
+                      | Some m ->
+                          for i = 0 to d - 1 do
+                            bks.(i) <- Wm (0, m) :: bks.(i)
+                          done
+                      | None -> ())
+                  | Drain | Expect _ | Resize _ -> assert false)
                 burst;
               for r = 0 to d - 1 do
                 match bks.(r) with
@@ -987,6 +1222,10 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                     ctx.cput_batch v !mbs.(r) (List.rev acc)
               done
             done;
+            (if et_on then
+               match Wm_merge.force emg with
+               | Some m -> Array.iter (fun mb -> put_from v mb (Wm (0, m))) !mbs
+               | None -> ());
             Array.iter (fun mb -> put_from v mb Eos) !mbs;
             put_from v collector_mb (Expect !degree));
         (* collector *)
@@ -994,10 +1233,14 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         let choose = chooser v rng in
         let snk = new_sink () in
         let send = sender snk v in
+        let wmt = wm_targets v (external_succs v) in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let next = ctx.creader collector_mb in
             let eos = ref 0 in
             let expect = ref (-1) in
+            (* Min across the current generation's replicas; [Resize]
+               re-shapes the merge at each swap. *)
+            let mg = Wm_merge.create initial in
             let handle t birth tk =
               match choose t with
               | Some dest -> send dest t birth tk
@@ -1010,8 +1253,20 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
               | Data t -> handle t 0.0 No_track
               | Timed (t, birth) -> handle t birth No_track
               | Tracked (t, birth, tk) -> handle t birth tk
+              | Wm (slot, w) -> (
+                  match Wm_merge.observe mg slot w with
+                  | Some m -> wm_forward v wmt m
+                  | None -> ())
+              | Resize (d, floor) -> (
+                  match Wm_merge.reset mg d floor with
+                  | Some m -> wm_forward v wmt m
+                  | None -> ())
               | Drain -> assert false (* worker channels only *)
             done;
+            (if et_on then
+               match Wm_merge.force mg with
+               | Some m -> wm_forward v wmt m
+               | None -> ());
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
@@ -1021,13 +1276,50 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         let choose = chooser v rng in
         let snk = new_sink () in
         let send = sender snk v in
-        let apply = invoke snk v (Behavior.instantiate behavior) in
+        let evented = evented_of behavior in
+        let fn =
+          match evented with
+          | Some e -> e.Behavior.efn
+          | None -> Behavior.instantiate behavior
+        in
+        let apply = invoke snk v fn in
+        let stamped = new_stamper snk in
+        let wmt = wm_targets v (external_succs v) in
         add_actor ~actor:(opname v) ~vertex:v (fun () ->
             let next = ctx.creader inbox in
             let eos = ref 0 in
+            let mg = Wm_merge.create expected in
+            let max_seen = ref neg_infinity in
+            let fire m =
+              (match evented with
+              | Some e ->
+                  let outs = e.Behavior.on_watermark m in
+                  if outs <> [] then
+                    fanout v send choose outs (stamped ()) No_track
+              | None -> ());
+              (match snk with
+              | Some s when Float.is_finite m ->
+                  Sink.record_wm_lag s v (Float.max 0.0 (!max_seen -. m))
+              | _ -> ());
+              wm_forward v wmt m
+            in
             let handle t birth tk =
-              Atomic.incr consumed.(v);
-              fanout v send choose (apply t birth) birth tk
+              match evented with
+              | Some e when t.Tuple.ts < Wm_merge.current mg -> (
+                  count_late snk v;
+                  match lateness with
+                  | Ss_event.Lateness.Drop -> settle tk (-1)
+                  | Ss_event.Lateness.Side_output dl ->
+                      Ss_event.Dead_letter.add dl t;
+                      settle tk (-1)
+                  | Ss_event.Lateness.Refire ->
+                      Atomic.incr consumed.(v);
+                      fanout v send choose (e.Behavior.on_late t) birth tk)
+              | _ ->
+                  if et_on && t.Tuple.ts > !max_seen then
+                    max_seen := t.Tuple.ts;
+                  Atomic.incr consumed.(v);
+                  fanout v send choose (apply t birth) birth tk
             in
             while !eos < expected do
               match next () with
@@ -1035,8 +1327,15 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
               | Data t -> handle t 0.0 No_track
               | Timed (t, birth) -> handle t birth No_track
               | Tracked (t, birth, tk) -> handle t birth tk
-              | Drain | Expect _ -> assert false (* elastic units only *)
+              | Wm (slot, w) -> (
+                  match Wm_merge.observe mg slot w with
+                  | Some m -> fire m
+                  | None -> ())
+              | Drain | Expect _ | Resize _ ->
+                  assert false (* elastic units only *)
             done;
+            (if et_on then
+               match Wm_merge.force mg with Some m -> fire m | None -> ());
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
@@ -1058,6 +1357,7 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
             let next = ctx.cburst inbox in
             let eos = ref 0 in
             let rr = ref 0 in
+            let mg = Wm_merge.create expected in
             (* Route a whole input burst, bucketing per worker, then flush
                each bucket in one amortized mailbox transaction. The strict
                round-robin deal (and thus the collector's reassembly order)
@@ -1074,7 +1374,19 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                       let r = !rr mod replicas in
                       incr rr;
                       buckets.(r) <- m :: buckets.(r)
-                  | Drain | Expect _ -> assert false (* elastic units only *))
+                  | Wm (slot, w) -> (
+                      (* A watermark advance takes one round-robin turn
+                         like an input: the dealt-to worker echoes it in
+                         position and the collector forwards it after
+                         exactly the inputs dealt before it. *)
+                      match Wm_merge.observe mg slot w with
+                      | Some adv ->
+                          let r = !rr mod replicas in
+                          incr rr;
+                          buckets.(r) <- Wm (0, adv) :: buckets.(r)
+                      | None -> ())
+                  | Drain | Expect _ | Resize _ ->
+                      assert false (* elastic units only *))
                 burst;
               for r = 0 to replicas - 1 do
                 match buckets.(r) with
@@ -1084,6 +1396,13 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                     ctx.cput_batch v worker_mb.(r) (List.rev acc)
               done
             done;
+            (if et_on then
+               match Wm_merge.force mg with
+               | Some adv ->
+                   let r = !rr mod replicas in
+                   incr rr;
+                   put_from v worker_mb.(r) (Wm (0, adv))
+               | None -> ());
             Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         for r = 0 to replicas - 1 do
           let snk = new_sink () in
@@ -1099,17 +1418,19 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                 (* The whole batch rides one entry, so the record's single
                    in-flight instance transfers with it: nothing settles
                    until the collector routes the batch. *)
-                put_from v out_mb.(r) (Some (outs, birth, tk))
+                put_from v out_mb.(r) (Obatch (outs, birth, tk))
               in
               while !continue do
                 match next () with
                 | Eos ->
-                    put_from v out_mb.(r) None;
+                    put_from v out_mb.(r) Odone;
                     continue := false
                 | Data t -> handle t 0.0 No_track
                 | Timed (t, birth) -> handle t birth No_track
                 | Tracked (t, birth, tk) -> handle t birth tk
-                | Drain | Expect _ -> assert false (* elastic units only *)
+                | Wm (_, w) -> put_from v out_mb.(r) (Owm w)
+                | Drain | Expect _ | Resize _ ->
+                    assert false (* elastic units only *)
               done)
         done;
         let rng = Rng.create (seed + (104729 * (v + 1))) in
@@ -1143,21 +1464,28 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                       | None -> ())
                     routed
             in
+            let wmt = wm_targets v (external_succs v) in
             let rec collect c =
               match next.(c mod replicas) () with
-              | Some (outs, birth, tk) ->
+              | Obatch (outs, birth, tk) ->
                   forward birth tk outs;
                   collect (c + 1)
-              | None ->
+              | Owm w ->
+                  wm_forward v wmt w;
+                  collect (c + 1)
+              | Odone ->
                   (* The round-robin deal is sequential: the first exhausted
                      worker marks the end; the rest only hold their marker. *)
                   for r = 1 to replicas - 1 do
                     match next.((c + r) mod replicas) () with
-                    | None -> ()
-                    | Some _ -> assert false
+                    | Odone -> ()
+                    | Obatch _ | Owm _ -> assert false
                   done
             in
             collect 0;
+            (* Defensive flush: re-announcing infinity is idempotent at the
+               receivers' merges. *)
+            if et_on then wm_forward v wmt infinity;
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
@@ -1190,6 +1518,7 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
             let next = ctx.cburst inbox in
             let eos = ref 0 in
             let rr = ref 0 in
+            let mg = Wm_merge.create expected in
             let buckets = Array.make replicas [] in
             while !eos < expected do
               let burst = next () in
@@ -1201,7 +1530,17 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                       let r = route_to_replica t !rr in
                       incr rr;
                       buckets.(r) <- m :: buckets.(r)
-                  | Drain | Expect _ -> assert false (* elastic units only *))
+                  | Wm (slot, w) -> (
+                      (* Each advance goes to every replica, in deal
+                         position within the burst. *)
+                      match Wm_merge.observe mg slot w with
+                      | Some adv ->
+                          for i = 0 to replicas - 1 do
+                            buckets.(i) <- Wm (0, adv) :: buckets.(i)
+                          done
+                      | None -> ())
+                  | Drain | Expect _ | Resize _ ->
+                      assert false (* elastic units only *))
                 burst;
               for r = 0 to replicas - 1 do
                 match buckets.(r) with
@@ -1211,11 +1550,23 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                     ctx.cput_batch v worker_mb.(r) (List.rev acc)
               done
             done;
+            (if et_on then
+               match Wm_merge.force mg with
+               | Some adv ->
+                   Array.iter (fun mb -> put_from v mb (Wm (0, adv))) worker_mb
+               | None -> ());
             Array.iter (fun mb -> put_from v mb Eos) worker_mb);
         (* workers *)
         for r = 0 to replicas - 1 do
           let snk = new_sink () in
-          let apply = invoke snk v (Behavior.instantiate behavior) in
+          let evented = evented_of behavior in
+          let fn =
+            match evented with
+            | Some e -> e.Behavior.efn
+            | None -> Behavior.instantiate behavior
+          in
+          let apply = invoke snk v fn in
+          let stamped = new_stamper snk in
           let emit =
             match snk with
             | Some _ -> fun out birth tk -> put_from v collector_mb (wrap out birth tk)
@@ -1225,9 +1576,9 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
             ~vertex:v (fun () ->
               let next = ctx.creader worker_mb.(r) in
               let continue = ref true in
-              let handle t birth tk =
-                Atomic.incr consumed.(v);
-                let outs = apply t birth in
+              let mg = Wm_merge.create 1 in
+              let max_seen = ref neg_infinity in
+              let emit_all outs birth tk =
                 settle tk (List.length outs - 1);
                 List.iter
                   (fun out ->
@@ -1235,15 +1586,54 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
                     emit out birth tk)
                   outs
               in
+              let fire m =
+                (match evented with
+                | Some e ->
+                    let outs = e.Behavior.on_watermark m in
+                    if outs <> [] then emit_all outs (stamped ()) No_track
+                | None -> ());
+                (match snk with
+                | Some s when Float.is_finite m ->
+                    Sink.record_wm_lag s v (Float.max 0.0 (!max_seen -. m))
+                | _ -> ());
+                put_from v collector_mb (Wm (r, m))
+              in
+              let handle t birth tk =
+                match evented with
+                | Some e when t.Tuple.ts < Wm_merge.current mg -> (
+                    count_late snk v;
+                    match lateness with
+                    | Ss_event.Lateness.Drop -> settle tk (-1)
+                    | Ss_event.Lateness.Side_output dl ->
+                        Ss_event.Dead_letter.add dl t;
+                        settle tk (-1)
+                    | Ss_event.Lateness.Refire ->
+                        Atomic.incr consumed.(v);
+                        emit_all (e.Behavior.on_late t) birth tk)
+                | _ ->
+                    if et_on && t.Tuple.ts > !max_seen then
+                      max_seen := t.Tuple.ts;
+                    Atomic.incr consumed.(v);
+                    emit_all (apply t birth) birth tk
+              in
               while !continue do
                 match next () with
                 | Eos ->
+                    (if et_on then
+                       match Wm_merge.force mg with
+                       | Some m -> fire m
+                       | None -> ());
                     put_from v collector_mb Eos;
                     continue := false
                 | Data t -> handle t 0.0 No_track
                 | Timed (t, birth) -> handle t birth No_track
                 | Tracked (t, birth, tk) -> handle t birth tk
-                | Drain | Expect _ -> assert false (* elastic units only *)
+                | Wm (_, w) -> (
+                    match Wm_merge.observe mg 0 w with
+                    | Some m -> fire m
+                    | None -> ())
+                | Drain | Expect _ | Resize _ ->
+                    assert false (* elastic units only *)
               done)
         done;
         (* collector *)
@@ -1251,9 +1641,13 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         let choose = chooser v rng in
         let snk = new_sink () in
         let send = sender snk v in
+        let wmt = wm_targets v (external_succs v) in
         add_actor ~actor:(opname v ^ ".collector") ~vertex:v (fun () ->
             let next = ctx.creader collector_mb in
             let eos = ref 0 in
+            (* The fission fan-in: the unit's outgoing watermark is the
+               minimum across its replicas. *)
+            let mg = Wm_merge.create replicas in
             let handle t birth tk =
               match choose t with
               | Some dest -> send dest t birth tk
@@ -1265,8 +1659,17 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
               | Data t -> handle t 0.0 No_track
               | Timed (t, birth) -> handle t birth No_track
               | Tracked (t, birth, tk) -> handle t birth tk
-              | Drain | Expect _ -> assert false (* elastic units only *)
+              | Wm (slot, w) -> (
+                  match Wm_merge.observe mg slot w with
+                  | Some m -> wm_forward v wmt m
+                  | None -> ())
+              | Drain | Expect _ | Resize _ ->
+                  assert false (* elastic units only *)
             done;
+            (if et_on then
+               match Wm_merge.force mg with
+               | Some m -> wm_forward v wmt m
+               | None -> ());
             List.iter (fun mb -> put_from v mb Eos)
               (eos_targets (external_succs v)))
       end
@@ -1280,9 +1683,22 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
       let inbox = mailbox_of front in
       let expected = expected_eos front in
       let rng = Rng.create (seed + (15485863 * (gi + 1))) in
+      (* Evented members keep one shared instance: its [efn] buckets from
+         the Algorithm 4 walk and its watermark hooks fire from the group's
+         merge below. *)
+      let insts = Hashtbl.create 8 in
       let fns = Hashtbl.create 8 in
       List.iter
-        (fun v -> Hashtbl.replace fns v (Behavior.instantiate (registry v)))
+        (fun v ->
+          let b = registry v in
+          match b.Behavior.evented with
+          | Some mk ->
+              let e = mk () in
+              Hashtbl.replace insts v (Some e);
+              Hashtbl.replace fns v e.Behavior.efn
+          | None ->
+              Hashtbl.replace insts v None;
+              Hashtbl.replace fns v (Behavior.instantiate b))
         members;
       let choosers = Hashtbl.create 8 in
       List.iter (fun v -> Hashtbl.replace choosers v (chooser v rng)) members;
@@ -1301,6 +1717,13 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         members;
       let senders = Hashtbl.create 8 in
       List.iter (fun v -> Hashtbl.replace senders v (sender snk v)) members;
+      (* Members in topology order: the group watermark fires them front
+         first, so an upstream member's fired results are bucketed by
+         downstream members before those fire at the same watermark. *)
+      let topo_members =
+        Array.to_list (Topology.topological_order topology)
+        |> List.filter (fun v -> List.mem v members)
+      in
       (* Algorithm 4: follow each result through the sub-graph until it
          exits; the sub-graph is acyclic so the walk terminates. Intra-group
          hops count on their topology edge like external ones, so the edge
@@ -1308,10 +1731,10 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
       (* Intra-group recursion is synchronous, so a recursive hop carries
          the instance it was granted in [live] below and settles it on its
          own account when its sub-walk ends — the same protocol as a
-         mailbox hop, without the mailbox. *)
-      let rec process v t birth tk =
-        Atomic.incr consumed.(v);
-        let apply = Hashtbl.find applies v in
+         mailbox hop, without the mailbox. [route_outs] is the shared exit
+         path: the walk feeds it behavior results, the watermark path feeds
+         it window firings. *)
+      let rec route_outs v outs birth tk =
         let choose = Hashtbl.find choosers v in
         let deliver dest out =
           if group_of.(dest) = gi then begin
@@ -1322,7 +1745,6 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
           end
           else (Hashtbl.find senders v) dest out birth tk
         in
-        let outs = apply t birth in
         match tk with
         | No_track ->
             List.iter
@@ -1350,21 +1772,69 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
               (fun (out, d) ->
                 match d with Some dest -> deliver dest out | None -> ())
               routed
+      and process v t birth tk =
+        Atomic.incr consumed.(v);
+        route_outs v ((Hashtbl.find applies v) t birth) birth tk
       in
+      let wmt = wm_targets front all_external in
+      let stamped = new_stamper snk in
       add_actor
         ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
         ~vertex:front
         (fun () ->
           let next = ctx.creader inbox in
           let eos = ref 0 in
+          let mg = Wm_merge.create expected in
+          let max_seen = ref neg_infinity in
+          let fire m =
+            List.iter
+              (fun v ->
+                match Hashtbl.find insts v with
+                | Some e ->
+                    let outs = e.Behavior.on_watermark m in
+                    if outs <> [] then route_outs v outs (stamped ()) No_track
+                | None -> ())
+              topo_members;
+            (match snk with
+            | Some s when Float.is_finite m ->
+                Sink.record_wm_lag s front (Float.max 0.0 (!max_seen -. m))
+            | _ -> ());
+            wm_forward front wmt m
+          in
+          (* Lateness applies at the group boundary: internal hops are
+             synchronous, so a tuple admitted on time stays on time through
+             the walk. *)
+          let admit t birth tk =
+            match Hashtbl.find insts front with
+            | Some e when t.Tuple.ts < Wm_merge.current mg -> (
+                count_late snk front;
+                match lateness with
+                | Ss_event.Lateness.Drop -> settle tk (-1)
+                | Ss_event.Lateness.Side_output dl ->
+                    Ss_event.Dead_letter.add dl t;
+                    settle tk (-1)
+                | Ss_event.Lateness.Refire ->
+                    Atomic.incr consumed.(front);
+                    route_outs front (e.Behavior.on_late t) birth tk)
+            | _ ->
+                if et_on && t.Tuple.ts > !max_seen then max_seen := t.Tuple.ts;
+                process front t birth tk
+          in
           while !eos < expected do
             match next () with
             | Eos -> incr eos
-            | Data t -> process front t 0.0 No_track
-            | Timed (t, birth) -> process front t birth No_track
-            | Tracked (t, birth, tk) -> process front t birth tk
-            | Drain | Expect _ -> assert false (* elastic units only *)
+            | Data t -> admit t 0.0 No_track
+            | Timed (t, birth) -> admit t birth No_track
+            | Tracked (t, birth, tk) -> admit t birth tk
+            | Wm (slot, w) -> (
+                match Wm_merge.observe mg slot w with
+                | Some m -> fire m
+                | None -> ())
+            | Drain | Expect _ | Resize _ ->
+                assert false (* elastic units only *)
           done;
+          (if et_on then
+             match Wm_merge.force mg with Some m -> fire m | None -> ());
           List.iter (fun mb -> put_from front mb Eos) (eos_targets all_external)))
     fused;
 
@@ -1509,6 +1979,7 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
         completions);
   let consumed = Array.map Atomic.get consumed in
   let produced = Array.map Atomic.get produced in
+  let late = Array.map Atomic.get late in
   let occupancy =
     let samples = float_of_int (Stdlib.max 1 !occ_samples) in
     Array.map (fun s -> s /. samples) occ_sum
@@ -1517,6 +1988,7 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
     elapsed;
     consumed;
     produced;
+    late;
     source_rate = float_of_int produced.(src) /. elapsed;
     blocked = Array.map Atomic.get blocked;
     occupancy;
@@ -1525,12 +1997,12 @@ let run_internal ?control ?notify ?ingest ?(reserve = 0) ?(mailbox_capacity = 64
     outcome = Supervision.outcome sup;
   }
 
-let run ?ingest ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout
-    ?scheduler ?placement ?batch ?channels ?instrument ~source ~registry
-    topology =
-  run_internal ?ingest ?mailbox_capacity ?fused ?routers ?ordered ?seed ?timeout
-    ?scheduler ?placement ?batch ?channels ?instrument ~source ~registry
-    topology
+let run ?ingest ?event_time ?mailbox_capacity ?fused ?routers ?ordered ?seed
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ~source
+    ~registry topology =
+  run_internal ?ingest ?event_time ?mailbox_capacity ?fused ?routers ?ordered
+    ?seed ?timeout ?scheduler ?placement ?batch ?channels ?instrument ~source
+    ~registry topology
 
 (* ------------------------------------------------------------------ *)
 (* Live deployments: the executor runs on its own domain while the caller
@@ -1545,8 +2017,8 @@ module Live = struct
     domain : metrics Domain.t;
   }
 
-  let start ?(mailbox_capacity = 64) ?(routers = []) ?(seed = 42) ?timeout
-      ?workers ?(reserve = 0) ?(locked = false) ?(batch = `Adaptive 32)
+  let start ?event_time ?(mailbox_capacity = 64) ?(routers = []) ?(seed = 42)
+      ?timeout ?workers ?(reserve = 0) ?(locked = false) ?(batch = `Adaptive 32)
       ?(channels = `Auto)
       ?(instrument = { default_instrument with telemetry = true }) ~source
       ~registry topology =
@@ -1590,9 +2062,9 @@ module Live = struct
     let domain =
       Domain.spawn (fun () ->
           try
-            run_internal ~control:ctl ~notify ~reserve ~mailbox_capacity
-              ~routers ~seed ?timeout ~scheduler ~batch ~channels ~instrument
-              ~source ~registry topology
+            run_internal ~control:ctl ~notify ?event_time ~reserve
+              ~mailbox_capacity ~routers ~seed ?timeout ~scheduler ~batch
+              ~channels ~instrument ~source ~registry topology
           with e ->
             Mutex.lock ready_m;
             failed := true;

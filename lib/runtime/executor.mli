@@ -72,6 +72,10 @@ type metrics = {
   consumed : int array;
       (** Per vertex: tuples processed by the vertex's behavior. *)
   produced : int array;  (** Per vertex: tuples emitted by the behavior. *)
+  late : int array;
+      (** Per vertex: tuples that arrived behind the merged watermark at an
+          event-time operator (dropped, dead-lettered or refired according
+          to the run's lateness policy). All zero without [?event_time]. *)
   source_rate : float;  (** Source tuples per wall-clock second. *)
   blocked : float array;
       (** Per vertex: seconds its actors spent waiting on full downstream
@@ -163,6 +167,7 @@ type channels = [ `Auto | `Locking ]
 
 val run :
   ?ingest:ingest ->
+  ?event_time:Ss_event.Event_time.config ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
   ?routers:(int * router) list ->
@@ -187,6 +192,22 @@ val run :
     {!Ss_log.Log} instead: one reader per partition, offsets committed
     downstream of processing (see {!ingest} for the at-least-once
     contract). Ingest is not yet available on {!Live} deployments.
+
+    With [event_time], the run processes by {e event} time: each source
+    (or each ingest partition reader, independently) runs the configured
+    {!Ss_event.Watermark} generator over the timestamps it emits and sends
+    watermarks in-band; every deployed unit merges the watermarks of its
+    upstream producers (minimum across slots — fission collectors take the
+    minimum across their replicas) and forwards only advances, after first
+    firing any windows of an evented behavior
+    ({!Ss_operators.Behavior.make_evented}) that the new watermark closed.
+    Producers announce watermark infinity before end-of-stream, so finite
+    runs flush every open window. Tuples arriving behind the merged
+    watermark at an evented vertex are handled by the configured
+    {!Ss_event.Lateness.policy} — dropped, diverted to a dead-letter
+    mailbox, or given to the behavior's refire hook — and counted in
+    [metrics.late]. Without [event_time] no watermark is ever generated
+    and the hot paths are untouched.
 
     [registry v] supplies the behavior of vertex [v] (never called for the
     source). [fused] lists disjoint vertex groups to execute as
@@ -249,6 +270,7 @@ module Live : sig
   (** A running deployment. *)
 
   val start :
+    ?event_time:Ss_event.Event_time.config ->
     ?mailbox_capacity:int ->
     ?routers:(int * router) list ->
     ?seed:int ->
@@ -271,7 +293,12 @@ module Live : sig
       [locked] selects the [`Locked_pool] scheduler core, and telemetry
       defaults {e on} (the controller needs it). Fusion and ordered fission
       are not available live (fused units cannot be resized; ordered
-      collectors cannot survive a degree change).
+      collectors cannot survive a degree change). With [event_time],
+      watermark state survives {!resize}: the emitter chooses the swap's
+      watermark floor (its own input merge), re-shapes the collector's
+      replica merge through the swap, and primes each new worker at the
+      floor, so in-flight windows migrate with the keyed state and no
+      on-time tuple is lost or spuriously declared late.
       @raise Invalid_argument as {!run}, or if [reserve < 0]. *)
 
   val topology : t -> Ss_topology.Topology.t

@@ -4,6 +4,8 @@ type report = {
   latency : Histogram.t array;
   service : Histogram.t array;
   edges : (int * int * int) list;
+  late : int array;
+  wm_lag : Histogram.t array;
 }
 
 module Sink = struct
@@ -15,6 +17,8 @@ module Sink = struct
     latency : Histogram.t option array;
     service : Histogram.t option array;
     edge_counts : int array;
+    late : int array;
+    wm_lag : Histogram.t option array;
   }
 
   let hist (arr : Histogram.t option array) v =
@@ -28,6 +32,8 @@ module Sink = struct
   let record_latency t v x = Histogram.record (hist t.latency v) x
   let record_service t v x = Histogram.record (hist t.service v) x
   let incr_edge t e = t.edge_counts.(e) <- t.edge_counts.(e) + 1
+  let record_late t v = t.late.(v) <- t.late.(v) + 1
+  let record_wm_lag t v x = Histogram.record (hist t.wm_lag v) x
 end
 
 module Collector = struct
@@ -46,6 +52,8 @@ module Collector = struct
       latency = Array.init n (fun _ -> Histogram.create ());
       service = Array.init n (fun _ -> Histogram.create ());
       edges = List.map (fun (u, v) -> (u, v, 0)) edge_list;
+      late = Array.make n 0;
+      wm_lag = Array.init n (fun _ -> Histogram.create ());
     }
 
   let create topology =
@@ -67,6 +75,8 @@ module Collector = struct
         Sink.latency = Array.make t.n None;
         service = Array.make t.n None;
         edge_counts = Array.make (List.length t.edge_list) 0;
+        late = Array.make t.n 0;
+        wm_lag = Array.make t.n None;
       }
     in
     let rec push () =
@@ -87,7 +97,9 @@ module Collector = struct
       (fun (s : Sink.t) ->
         for v = 0 to t.n - 1 do
           merge_opt acc.latency.(v) s.Sink.latency.(v);
-          merge_opt acc.service.(v) s.Sink.service.(v)
+          merge_opt acc.service.(v) s.Sink.service.(v);
+          merge_opt acc.wm_lag.(v) s.Sink.wm_lag.(v);
+          acc.late.(v) <- acc.late.(v) + s.Sink.late.(v)
         done;
         Array.iteri
           (fun e c -> edge_totals.(e) <- edge_totals.(e) + c)
@@ -128,6 +140,10 @@ let delta ~since current =
           assert (u = u' && v = v');
           (u, v, max 0 (c1 - c0)))
         since.edges current.edges;
+    late = Array.map2 (fun s c -> max 0 (c - s)) since.late current.late;
+    wm_lag =
+      Array.map2 (fun s c -> Histogram.diff ~since:s c) since.wm_lag
+        current.wm_lag;
   }
 
 (* The profile feeds Algorithm 1 and the elastic controller: a single NaN or
@@ -288,4 +304,21 @@ let to_prometheus topology report =
   add_histogram_family buf ~family:"ss_service_seconds"
     ~help:"Behavior invocation duration in seconds, per operator." topology
     report.service;
+  Buffer.add_string buf
+    "# HELP ss_late_tuples_total Tuples behind the watermark at arrival, \
+     per operator.\n";
+  Buffer.add_string buf "# TYPE ss_late_tuples_total counter\n";
+  Array.iteri
+    (fun v c ->
+      if c > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "ss_late_tuples_total{operator=\"%s\"} %d\n"
+             (prom_escape (Topology.operator topology v).Operator.name)
+             c))
+    report.late;
+  add_histogram_family buf ~family:"ss_watermark_lag_seconds"
+    ~help:
+      "Event-time distance between the max observed timestamp and the \
+       merged watermark at each advance, per operator."
+    topology report.wm_lag;
   Buffer.contents buf

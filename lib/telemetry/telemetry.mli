@@ -29,6 +29,13 @@ type report = {
   edges : (int * int * int) list;
       (** [(u, v, tuples)] per topology edge, in {!Ss_topology.Topology.edges}
           order: tuples transferred over that edge. *)
+  late : int array;
+      (** Per vertex: tuples that arrived behind the merged watermark at an
+          event-time operator. All zero when event time is off. *)
+  wm_lag : Histogram.t array;
+      (** Per vertex: event-time distance (seconds) between the maximum
+          timestamp the vertex has seen and the merged watermark, sampled
+          at each watermark advance. Empty when event time is off. *)
 }
 
 (** Per-actor recording endpoint. Not thread-safe by design: exactly one
@@ -47,6 +54,14 @@ module Sink : sig
   val incr_edge : t -> int -> unit
   (** [incr_edge s e] counts one tuple over edge index [e] (the index into
       {!Ss_topology.Topology.edges}). *)
+
+  val record_late : t -> int -> unit
+  (** [record_late s v] counts one tuple arriving behind the watermark at
+      vertex [v]. *)
+
+  val record_wm_lag : t -> int -> float -> unit
+  (** [record_wm_lag s v lag] records the watermark's event-time lag of
+      [lag] seconds behind the max observed timestamp at vertex [v]. *)
 end
 
 (** Aggregation point for one run. *)
@@ -115,7 +130,8 @@ val measured_topology :
     to Algorithm 1 re-predicts throughput from live data. *)
 
 val to_prometheus : Ss_topology.Topology.t -> report -> string
-(** Prometheus text exposition: the counter family [ss_edge_tuples_total]
-    (labels [src], [dst]) and the histogram families [ss_latency_seconds]
-    and [ss_service_seconds] (label [operator], cumulative [le] buckets,
-    [_sum] and [_count] series). *)
+(** Prometheus text exposition: the counter families [ss_edge_tuples_total]
+    (labels [src], [dst]) and [ss_late_tuples_total] (label [operator]),
+    and the histogram families [ss_latency_seconds], [ss_service_seconds]
+    and [ss_watermark_lag_seconds] (label [operator], cumulative [le]
+    buckets, [_sum] and [_count] series). *)

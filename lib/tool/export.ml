@@ -211,6 +211,9 @@ let telemetry_json topology (metrics : Ss_runtime.Executor.metrics) =
                  Json.Num metrics.Ss_runtime.Executor.occupancy.(v) );
                ("latency", snapshot_obj report.Telemetry.latency.(v));
                ("service", snapshot_obj report.Telemetry.service.(v));
+               ( "late",
+                 Json.Num (float_of_int report.Telemetry.late.(v)) );
+               ("wm_lag", snapshot_obj report.Telemetry.wm_lag.(v));
              ])
          metrics.Ss_runtime.Executor.consumed)
   in

@@ -80,9 +80,11 @@ let generate_code t ?version ?fused ?tuples () =
   Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
 
 let execute t ?version ?ingest ?mailbox_capacity ?fused ?ordered ?seed ?tuples
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument () =
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?event_time
+    ?disorder () =
   Ss_codegen.Plan.run ?ingest ?mailbox_capacity ?fused ?ordered ?seed ?tuples
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument
+    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?event_time
+    ?disorder
     (topology t ?version ())
 
 let elastic t ?version ?policy ?epoch_length ?max_epochs ?settle ?workers
@@ -136,6 +138,21 @@ let runtime_report t ?version metrics =
            metrics.Executor.blocked.(v)
            metrics.Executor.occupancy.(v)))
     metrics.Executor.consumed;
+  (* Event-time runs only: silent otherwise so processing-time reports keep
+     their exact historical shape. *)
+  let late_total = Array.fold_left ( + ) 0 metrics.Executor.late in
+  if late_total > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "late tuples: %d (%s)\n" late_total
+         (String.concat ", "
+            (List.filter_map
+               (fun (v, n) ->
+                 if n = 0 then None
+                 else
+                   Some
+                     (Printf.sprintf "%s=%d"
+                        (Topology.operator topo v).Operator.name n))
+               (Array.to_list (Array.mapi (fun v n -> (v, n)) metrics.Executor.late)))));
   (match metrics.Executor.telemetry with
   | None -> ()
   | Some report ->

@@ -86,6 +86,8 @@ val execute :
   ?batch:Ss_runtime.Executor.batch ->
   ?channels:Ss_runtime.Executor.channels ->
   ?instrument:Ss_runtime.Executor.instrument ->
+  ?event_time:Ss_event.Event_time.config ->
+  ?disorder:Ss_workload.Stream_gen.disorder ->
   unit ->
   Ss_runtime.Executor.metrics
 (** Deploy a version on the supervised actor runtime
@@ -103,7 +105,10 @@ val execute :
     lock-free SPSC ring and fan-in edges with the locking mailbox.
     [instrument] configures runtime instrumentation in one place —
     occupancy sampling and telemetry (latency/service histograms and
-    per-edge counters in [metrics.telemetry]). *)
+    per-edge counters in [metrics.telemetry]). [event_time] turns on
+    watermark propagation and lateness handling
+    ({!Ss_runtime.Executor.run}); [disorder] perturbs the synthetic
+    stream's arrival order ({!Ss_workload.Stream_gen.reorder}). *)
 
 val elastic :
   t ->
@@ -142,9 +147,10 @@ val measured_version :
 val runtime_report : t -> ?version:string -> Ss_runtime.Executor.metrics -> string
 (** Human-readable report of an {!execute} run: outcome line, per-vertex
     consumed/produced counts, backpressure seconds and mean sampled
-    mailbox occupancy, the telemetry section (latency percentiles, mean
-    service time and per-edge transfer counts) when telemetry was on, and
-    the per-actor supervision statuses. *)
+    mailbox occupancy, a late-tuple line when an event-time run counted
+    any, the telemetry section (latency percentiles, mean service time and
+    per-edge transfer counts) when telemetry was on, and the per-actor
+    supervision statuses. *)
 
 val report : t -> ?version:string -> unit -> string
 (** Human-readable analysis report: per-operator table, bottlenecks,

@@ -31,3 +31,82 @@ let tuples ?(spec = default_spec) rng n = List.init n (draw spec rng)
 let sequence ?(spec = default_spec) rng =
   let rec from i () = Seq.Cons (draw spec rng i, from (i + 1)) in
   from 0
+
+(* --- disordered arrival ------------------------------------------- *)
+
+type disorder =
+  | In_order
+  | Zipf_delay of { alpha : float; max_delay : int }
+  | Bursty of { burst : int; period : int }
+
+let parse_disorder s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "none" ] | [ "in_order" ] -> Ok In_order
+  | [ "zipf"; a; d ] -> (
+      match (float_of_string_opt a, int_of_string_opt d) with
+      | Some alpha, Some max_delay when alpha >= 0.0 && max_delay >= 0 ->
+          Ok (Zipf_delay { alpha; max_delay })
+      | _ -> Error (Printf.sprintf "invalid zipf disorder %S" s))
+  | [ "bursty"; b; p ] -> (
+      match (int_of_string_opt b, int_of_string_opt p) with
+      | Some burst, Some period when burst >= 1 && period >= 1 ->
+          Ok (Bursty { burst; period })
+      | _ -> Error (Printf.sprintf "invalid bursty disorder %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown disorder %S (expected none, zipf:ALPHA:MAX or \
+            bursty:BURST:PERIOD)"
+           s)
+
+let disorder_to_string = function
+  | In_order -> "none"
+  | Zipf_delay { alpha; max_delay } ->
+      Printf.sprintf "zipf:%g:%d" alpha max_delay
+  | Bursty { burst; period } -> Printf.sprintf "bursty:%d:%d" burst period
+
+(* Per-tuple arrival delay in positions; position [i + delay i] sorted
+   stably reconstructs the arrival order. Stability keeps equal arrival
+   positions in emission order, so [In_order] (all delays 0) is the
+   identity and the whole permutation is a pure function of the seed. *)
+let reorder rng disorder ts =
+  match disorder with
+  | In_order -> ts
+  | _ ->
+      let delay =
+        match disorder with
+        | In_order -> fun _ -> 0
+        | Zipf_delay { alpha; max_delay } ->
+            if max_delay = 0 then fun _ -> 0
+            else begin
+              (* Rank 0 (no delay) is the most likely outcome; the tail
+                 thins polynomially, so most tuples arrive in order while
+                 a heavy minority straggles far behind. *)
+              let law = Discrete.zipf ~alpha (max_delay + 1) in
+              fun _ -> Discrete.sample rng law
+            end
+        | Bursty { burst; period } ->
+            (* Every [period]-th stretch: its first [burst] tuples are held
+               back and released together once the next [burst] tuples have
+               passed them — a queue hiccup with clustered stragglers. *)
+            fun i ->
+              if i mod period < burst then (2 * burst) - (i mod period) else 0
+      in
+      let arr =
+        List.mapi (fun i t -> (i + delay i, i, t)) ts |> Array.of_list
+      in
+      Array.sort
+        (fun (a, i, _) (b, j, _) ->
+          if a <> b then compare a b else compare i j)
+        arr;
+      Array.to_list arr |> List.map (fun (_, _, t) -> t)
+
+let disorder_fraction ts =
+  let late = ref 0 and total = ref 0 and max_ts = ref neg_infinity in
+  List.iter
+    (fun (t : Ss_operators.Tuple.t) ->
+      incr total;
+      if t.Ss_operators.Tuple.ts < !max_ts then incr late;
+      if t.Ss_operators.Tuple.ts > !max_ts then max_ts := t.Ss_operators.Tuple.ts)
+    ts;
+  if !total = 0 then 0.0 else float_of_int !late /. float_of_int !total

@@ -20,3 +20,35 @@ val tuples : ?spec:spec -> Rng.t -> int -> Ss_operators.Tuple.t list
 
 val sequence : ?spec:spec -> Rng.t -> Ss_operators.Tuple.t Seq.t
 (** Unbounded lazy stream (each element is drawn on demand). *)
+
+(** Arrival-order perturbation for event-time workloads: how far each
+    tuple's arrival position trails its emission position. *)
+type disorder =
+  | In_order  (** Identity: arrival order = timestamp order. *)
+  | Zipf_delay of { alpha : float; max_delay : int }
+      (** Each tuple is delayed by a Zipf-distributed number of positions
+          in [\[0, max_delay\]] (rank 0 most likely): most tuples stay in
+          order, a polynomially-thinning tail straggles far behind. *)
+  | Bursty of { burst : int; period : int }
+      (** Every [period] tuples, the first [burst] of the stretch are held
+          back and released together after it — a periodic queue hiccup
+          producing clustered reordering. *)
+
+val reorder :
+  Rng.t -> disorder -> Ss_operators.Tuple.t list -> Ss_operators.Tuple.t list
+(** [reorder rng d ts] permutes the emission-ordered stream [ts] into its
+    arrival order under disorder model [d]. Deterministic in the Rng seed
+    (stable sort on perturbed positions), preserves multiplicity, and
+    [In_order] is the identity. *)
+
+val disorder_fraction : Ss_operators.Tuple.t list -> float
+(** Fraction of tuples arriving with a timestamp strictly below the
+    running maximum — the out-of-order rate an event-time operator
+    actually experiences. [0.] on the empty list. *)
+
+val parse_disorder : string -> (disorder, string) result
+(** Parse ["none"], ["zipf:ALPHA:MAX"] or ["bursty:BURST:PERIOD"] (the CLI
+    syntax). *)
+
+val disorder_to_string : disorder -> string
+(** Inverse of {!parse_disorder}. *)

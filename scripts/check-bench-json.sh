@@ -26,6 +26,9 @@ REQUIRED = {
     "BENCH_mailbox.json": ["section", "handoff", "pipeline", "testbed"],
     "BENCH_log.json": ["section", "ingest_mb_s", "batched_vs_per_record",
                        "replay", "recovery"],
+    "BENCH_event.json": ["section", "rate_processing", "rate_event", "ratio",
+                         "late", "on_time_loss", "disorder_fraction",
+                         "predicted_out", "measured_out", "prediction_error"],
 }
 
 d = sys.argv[1]

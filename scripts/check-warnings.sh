@@ -1,29 +1,36 @@
 #!/bin/sh
-# Warnings-as-errors gate for the scheduler core, runnable locally and in
-# CI.
+# Warnings-as-errors gate for the scheduler core and the event-time tier,
+# runnable locally and in CI.
 #
-# lib/sched compiles with `-warn-error +a` in its dune stanza (minus the
-# project-wide exclusions), so a clean rebuild of the library is the
-# check: any new warning in the lock-free scheduler fails the build. The
-# rest of the tree keeps dune's default promotion (warnings fatal only in
-# dev profile for selected classes), which `dune build` upholds.
+# lib/sched and lib/eventtime compile with `-warn-error +a` in their dune
+# stanzas (minus the project-wide exclusions), so a clean rebuild of each
+# library is the check: any new warning in the lock-free scheduler or the
+# watermark machinery fails the build. The rest of the tree keeps dune's
+# default promotion (warnings fatal only in dev profile for selected
+# classes), which `dune build` upholds.
 set -eu
 cd "$(dirname "$0")/.."
 
-# Force a recompile of lib/sched so previously cached objects cannot mask
-# a warning introduced by an incremental edit.
-rm -rf _build/default/lib/sched
-dune build lib/sched 2> /tmp/check-warnings.$$ || {
-  cat /tmp/check-warnings.$$ >&2
+check_lib() {
+  lib="$1"
+  # Force a recompile so previously cached objects cannot mask a warning
+  # introduced by an incremental edit.
+  rm -rf "_build/default/$lib"
+  dune build "$lib" 2> /tmp/check-warnings.$$ || {
+    cat /tmp/check-warnings.$$ >&2
+    rm -f /tmp/check-warnings.$$
+    echo "warnings: $lib failed to build with -warn-error +a" >&2
+    exit 1
+  }
+  if [ -s /tmp/check-warnings.$$ ]; then
+    cat /tmp/check-warnings.$$ >&2
+    rm -f /tmp/check-warnings.$$
+    echo "warnings: $lib build emitted diagnostics" >&2
+    exit 1
+  fi
   rm -f /tmp/check-warnings.$$
-  echo "warnings: lib/sched failed to build with -warn-error +a" >&2
-  exit 1
+  echo "warnings: $lib clean under -warn-error +a"
 }
-if [ -s /tmp/check-warnings.$$ ]; then
-  cat /tmp/check-warnings.$$ >&2
-  rm -f /tmp/check-warnings.$$
-  echo "warnings: lib/sched build emitted diagnostics" >&2
-  exit 1
-fi
-rm -f /tmp/check-warnings.$$
-echo "warnings: lib/sched clean under -warn-error +a"
+
+check_lib lib/sched
+check_lib lib/eventtime

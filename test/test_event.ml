@@ -1,0 +1,487 @@
+(* Tests for the event-time tier: watermark generators, the evented
+   window behavior, lateness policies, the cost-model hooks and the
+   end-to-end watermark protocol through fission and live resizes. *)
+
+open Ss_topology
+open Ss_operators
+open Ss_event
+open Ss_runtime
+
+let tuple ?(ts = 0.0) ?(key = 0) ?(tag = 0) values =
+  Tuple.make ~ts ~key ~tag values
+
+let evented_of behavior =
+  match behavior.Behavior.evented with
+  | Some mk -> mk ()
+  | None -> Alcotest.fail "behavior is not evented"
+
+(* ------------------------------------------------------------------ *)
+(* Watermark generators *)
+
+let test_bounded_watermark () =
+  let g = Watermark.create ~min_advance:0.0 (Watermark.Bounded 1.0) in
+  Alcotest.(check bool) "starts at -inf" true
+    (Watermark.current g = neg_infinity);
+  Alcotest.(check (option (float 1e-9))) "lags by the bound" (Some 1.0)
+    (Watermark.observe g 2.0);
+  Alcotest.(check (option (float 1e-9))) "no advance on regression" None
+    (Watermark.observe g 1.5);
+  Alcotest.(check (option (float 1e-9))) "advances with the max" (Some 2.0)
+    (Watermark.observe g 3.0);
+  Alcotest.(check (float 1e-9)) "current tracks emissions" 2.0
+    (Watermark.current g)
+
+let test_bounded_min_advance_throttle () =
+  let g = Watermark.create ~min_advance:0.5 (Watermark.Bounded 0.0) in
+  Alcotest.(check (option (float 1e-9))) "first emission" (Some 1.0)
+    (Watermark.observe g 1.0);
+  Alcotest.(check (option (float 1e-9))) "below the quantum" None
+    (Watermark.observe g 1.4);
+  Alcotest.(check (option (float 1e-9))) "quantum reached" (Some 1.5)
+    (Watermark.observe g 1.5)
+
+let test_periodic_watermark () =
+  let g = Watermark.create (Watermark.Periodic 1.0) in
+  Alcotest.(check (option (float 1e-9))) "emits on first event" (Some 0.2)
+    (Watermark.observe g 0.2);
+  Alcotest.(check (option (float 1e-9))) "paced by the interval" None
+    (Watermark.observe g 0.9);
+  Alcotest.(check (option (float 1e-9))) "interval elapsed" (Some 1.3)
+    (Watermark.observe g 1.3)
+
+let test_watermark_parse_roundtrip () =
+  List.iter
+    (fun g ->
+      match Watermark.parse (Watermark.to_string g) with
+      | Ok g' -> Alcotest.(check bool) "roundtrip" true (g = g')
+      | Error e -> Alcotest.fail e)
+    [ Watermark.Periodic 0.05; Watermark.Bounded 0.1; Watermark.Bounded 0.0 ];
+  (match Watermark.parse "bounded:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative bound accepted");
+  match Watermark.parse "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_watermark_invalid_args () =
+  Alcotest.check_raises "non-positive interval"
+    (Invalid_argument "Watermark.create: periodic interval must be positive")
+    (fun () -> ignore (Watermark.create (Watermark.Periodic 0.0)));
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Watermark.create: lateness bound must be non-negative")
+    (fun () -> ignore (Watermark.create (Watermark.Bounded (-1.0))))
+
+(* ------------------------------------------------------------------ *)
+(* Evented window behavior *)
+
+let flush e = e.Behavior.on_watermark infinity
+
+let test_event_window_fire_order () =
+  let e = evented_of (Event_window.behavior ~length:1.0 ~slide:1.0 ()) in
+  (* two keys in window [0,1), one in [1,2), fed out of order *)
+  ignore (e.Behavior.efn (tuple ~ts:1.3 ~key:0 [| 5.0 |]));
+  ignore (e.Behavior.efn (tuple ~ts:0.4 ~key:1 [| 2.0 |]));
+  ignore (e.Behavior.efn (tuple ~ts:0.2 ~key:0 [| 1.0 |]));
+  ignore (e.Behavior.efn (tuple ~ts:0.7 ~key:0 [| 3.0 |]));
+  Alcotest.(check int) "efn buffers, emits nothing" 0
+    (List.length (e.Behavior.efn (tuple ~ts:0.9 ~key:1 [| 1.0 |])));
+  let fired = e.Behavior.on_watermark 1.0 in
+  Alcotest.(check (list (pair (float 1e-9) (pair int (float 1e-9)))))
+    "first window fires per key, ordered by (end, key)"
+    [ (1.0, (0, 4.0)); (1.0, (1, 3.0)) ]
+    (List.map (fun t -> (t.Tuple.ts, (t.Tuple.key, Tuple.value t 0))) fired);
+  Alcotest.(check int) "monotone-safe: repeat fires nothing" 0
+    (List.length (e.Behavior.on_watermark 1.0));
+  Alcotest.(check int) "monotone-safe: regression fires nothing" 0
+    (List.length (e.Behavior.on_watermark 0.5));
+  let rest = flush e in
+  Alcotest.(check (list (pair (float 1e-9) (pair int (float 1e-9)))))
+    "end-of-stream flush drains the open window"
+    [ (2.0, (0, 5.0)) ]
+    (List.map (fun t -> (t.Tuple.ts, (t.Tuple.key, Tuple.value t 0))) rest)
+
+let test_event_window_fires_again_after_firing () =
+  (* Guards the cached next-fire fast path: firing must re-arm it so later
+     windows still fire. *)
+  let e = evented_of (Event_window.behavior ~agg:Count ~length:1.0 ~slide:1.0 ()) in
+  ignore (e.Behavior.efn (tuple ~ts:0.5 [| 1.0 |]));
+  Alcotest.(check int) "first window" 1
+    (List.length (e.Behavior.on_watermark 1.0));
+  ignore (e.Behavior.efn (tuple ~ts:1.5 [| 1.0 |]));
+  ignore (e.Behavior.efn (tuple ~ts:2.5 [| 1.0 |]));
+  Alcotest.(check int) "second window after re-arming" 1
+    (List.length (e.Behavior.on_watermark 2.0));
+  Alcotest.(check int) "flush fires the rest" 1 (List.length (flush e))
+
+let test_event_window_refire_retraction () =
+  let e = evented_of (Event_window.behavior ~length:1.0 ~slide:1.0 ()) in
+  ignore (e.Behavior.efn (tuple ~ts:0.2 ~key:3 [| 1.0 |]));
+  ignore (e.Behavior.on_watermark 1.5);
+  let correction = e.Behavior.on_late (tuple ~ts:0.5 ~key:3 [| 2.0 |]) in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "retraction of the stale sum, then the corrected sum"
+    [ (Event_window.retraction_tag, 1.0); (0, 3.0) ]
+    (List.map (fun t -> (t.Tuple.tag, Tuple.value t 0)) correction);
+  (* a straggler into a still-open window is absorbed silently *)
+  Alcotest.(check int) "open-window straggler absorbed" 0
+    (List.length (e.Behavior.on_late (tuple ~ts:1.8 ~key:3 [| 4.0 |])));
+  Alcotest.(check (list (float 1e-9))) "absorbed value counted at flush"
+    [ 4.0 ]
+    (List.map (fun t -> Tuple.value t 0) (flush e))
+
+let test_event_window_refire_horizon () =
+  let e =
+    evented_of
+      (Event_window.behavior ~refire_horizon:1.0 ~length:1.0 ~slide:1.0 ())
+  in
+  ignore (e.Behavior.efn (tuple ~ts:0.5 [| 1.0 |]));
+  ignore (e.Behavior.on_watermark 1.0);
+  ignore (e.Behavior.on_watermark 2.5);
+  (* window end 1.0 is now behind wm - horizon = 1.5: unrecoverable *)
+  Alcotest.(check int) "beyond the horizon: no correction" 0
+    (List.length (e.Behavior.on_late (tuple ~ts:0.6 [| 2.0 |])))
+
+let test_event_window_export_import () =
+  let behavior = Event_window.behavior ~length:1.0 ~slide:0.5 () in
+  let a = evented_of behavior in
+  ignore (a.Behavior.efn (tuple ~ts:0.3 ~key:1 [| 1.0 |]));
+  ignore (a.Behavior.efn (tuple ~ts:0.7 ~key:2 [| 2.0 |]));
+  ignore (a.Behavior.on_watermark 0.5);
+  let b = evented_of behavior in
+  b.Behavior.eimport (a.Behavior.eexport ());
+  let show e =
+    List.map
+      (fun t -> (t.Tuple.ts, t.Tuple.key, Tuple.value t 0))
+      (flush e)
+  in
+  Alcotest.(check (list (triple (float 1e-9) int (float 1e-9))))
+    "imported instance flushes exactly what the original would" (show a)
+    (show b)
+
+let test_event_window_of_name () =
+  (match Event_window.of_name "ewin_w1000_s500" with
+  | Some b -> Alcotest.(check string) "keeps the name" "ewin_w1000_s500"
+      b.Behavior.name
+  | None -> Alcotest.fail "valid class rejected");
+  Alcotest.(check bool) "bare ewin" true (Event_window.of_name "ewin" <> None);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " rejected") true
+        (Event_window.of_name n = None))
+    [ "ewin_wx_s1"; "ewin_w0_s0"; "ewin_w500_s1000"; "window"; "ewin_w1_1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model hooks *)
+
+let test_event_model_selectivity () =
+  Alcotest.(check (float 1e-9)) "keys/(rate*slide)" 0.064
+    (Event_model.firing_selectivity ~keys:64 ~rate:1000.0 ~slide:1.0);
+  Alcotest.(check (float 1e-9)) "predicted firing rate" 64.0
+    (Event_model.predicted_output_rate ~keys:64 ~rate:1000.0 ~slide:1.0 ());
+  Alcotest.(check (float 1e-9)) "late fraction scales it" 32.0
+    (Event_model.predicted_output_rate ~keys:64 ~rate:1000.0 ~slide:1.0
+       ~late_fraction:0.5 ())
+
+let test_event_model_late_fraction () =
+  (* 0.0 1.0 2.0 then a straggler 0.5: behind max 2.0 by 1.5 > bound 1.0 *)
+  let ts l = List.map (fun t -> tuple ~ts:t [| 0.0 |]) l in
+  Alcotest.(check (float 1e-9)) "one straggler in four" 0.25
+    (Event_model.late_fraction ~bound:1.0 (ts [ 0.0; 1.0; 2.0; 0.5 ]));
+  Alcotest.(check (float 1e-9)) "within bound" 0.0
+    (Event_model.late_fraction ~bound:2.0 (ts [ 0.0; 1.0; 2.0; 0.5 ]));
+  Alcotest.(check (float 1e-9)) "empty" 0.0
+    (Event_model.late_fraction ~bound:1.0 [])
+
+(* ------------------------------------------------------------------ *)
+(* Lateness policies & dead letters *)
+
+let test_lateness_parse () =
+  List.iter
+    (fun (s, k) ->
+      match Lateness.parse_kind s with
+      | Ok k' -> Alcotest.(check bool) s true (k = k')
+      | Error e -> Alcotest.fail e)
+    [ ("drop", `Drop); ("side", `Side); ("refire", `Refire) ];
+  (match Lateness.parse_kind "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Lateness.of_kind `Drop with
+  | Lateness.Drop -> ()
+  | _ -> Alcotest.fail "of_kind `Drop"
+
+let test_dead_letter_store () =
+  let dl = Dead_letter.create () in
+  Alcotest.(check int) "empty" 0 (Dead_letter.count dl);
+  Dead_letter.add dl (tuple ~ts:1.0 [| 1.0 |]);
+  Dead_letter.add dl (tuple ~ts:2.0 [| 2.0 |]);
+  Alcotest.(check int) "count" 2 (Dead_letter.count dl);
+  Alcotest.(check (list (float 1e-9))) "arrival order" [ 1.0; 2.0 ]
+    (List.map (fun t -> t.Tuple.ts) (Dead_letter.items dl))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: watermark protocol through the executor *)
+
+let uniform_keys n = Ss_prelude.Discrete.uniform n
+
+(* A paced in-memory source over a pre-built arrival-ordered stream. *)
+let source_of stream =
+  let tuples = ref stream in
+  fun () ->
+    match !tuples with
+    | [] -> None
+    | t :: rest ->
+        tuples := rest;
+        Some t
+
+let disordered_stream ?(seed = 11) ?(keys = 8) n =
+  let rng = Ss_prelude.Rng.create seed in
+  let spec =
+    { Ss_workload.Stream_gen.default_spec with keys = uniform_keys keys }
+  in
+  Ss_workload.Stream_gen.reorder rng
+    (Ss_workload.Stream_gen.Bursty { burst = 32; period = 256 })
+    (Ss_workload.Stream_gen.tuples ~spec rng n)
+
+(* Fission + event time: a replicated partitioned-stateful window between
+   source and sink. The collector merges watermarks across replicas
+   (minimum), so no window fires before every replica's input reached its
+   end — mass conservation below fails if it ever does. *)
+let test_fission_zero_on_time_loss () =
+  let n = 4000 and keys = 8 in
+  let ops =
+    [|
+      Operator.source ~rate:1000.0 "src";
+      Operator.make
+        ~kind:(Operator.Partitioned_stateful (uniform_keys keys))
+        ~replicas:3 ~service_time:1e-5 "win";
+      Operator.make ~service_time:1e-6 "snk";
+    |]
+  in
+  let topo = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let window = Event_window.behavior ~agg:Count ~length:1.0 ~slide:1.0 () in
+  let sunk = Atomic.make 0 in
+  let sink =
+    Behavior.make ~name:"count_sink" (fun () ->
+        fun t ->
+          if t.Tuple.tag = 0 then
+            ignore
+              (Atomic.fetch_and_add sunk
+                 (int_of_float (Tuple.value t 0)));
+          [])
+  in
+  let registry = function 1 -> window | _ -> sink in
+  let m =
+    Executor.run
+      ~event_time:(Event_time.config (Watermark.Bounded 0.1))
+      ~timeout:60.0 ~source:(source_of (disordered_stream ~keys n)) ~registry
+      topo
+  in
+  Alcotest.(check bool) "finished" true
+    (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check int) "no on-time tuple declared late" 0
+    (Array.fold_left ( + ) 0 m.Executor.late);
+  Alcotest.(check int) "every tuple counted by some fired window" n
+    (Atomic.get sunk)
+
+(* An evented sink that records every watermark the runtime delivers. *)
+let recording_sink recorded =
+  let mutex = Mutex.create () in
+  Behavior.make_evented ~name:"wm_probe" (fun () ->
+      {
+        Behavior.efn = (fun _ -> []);
+        on_watermark =
+          (fun w ->
+            Mutex.lock mutex;
+            recorded := w :: !recorded;
+            Mutex.unlock mutex;
+            []);
+        on_late = (fun _ -> []);
+        eexport = (fun () -> []);
+        eimport = (fun _ -> ());
+      })
+
+let strictly_increasing l =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a < b && go rest
+    | _ -> true
+  in
+  go l
+
+(* qcheck property: however the stream is disordered, the watermark
+   sequence delivered downstream of a parallel fission stage is strictly
+   increasing and ends with the end-of-stream flush (infinity). *)
+let prop_fission_watermark_monotone =
+  QCheck.Test.make ~count:8 ~name:"fission watermarks monotone"
+    QCheck.(pair small_nat (int_range 1 3))
+    (fun (seed, replicas) ->
+      let ops =
+        [|
+          Operator.source ~rate:2000.0 "src";
+          Operator.make ~replicas ~service_time:1e-6 "map";
+          Operator.make ~service_time:1e-6 "probe";
+        |]
+      in
+      let topo = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+      let recorded = ref [] in
+      let identity = Behavior.make ~name:"identity" (fun () -> fun t -> [ t ]) in
+      let registry = function 2 -> recording_sink recorded | _ -> identity in
+      let m =
+        Executor.run
+          ~event_time:(Event_time.config (Watermark.Bounded 0.05))
+          ~timeout:60.0
+          ~source:(source_of (disordered_stream ~seed:(seed + 1) 1500))
+          ~registry topo
+      in
+      let wms = List.rev !recorded in
+      m.Executor.outcome = Supervision.Finished
+      && wms <> []
+      && strictly_increasing wms
+      && List.nth wms (List.length wms - 1) = infinity)
+
+(* qcheck property: window firings are a pure function of the tuple SET —
+   feeding any permutation (here: sorted by value, reversed) into a fresh
+   instance and flushing yields identical firings. Values are small
+   integers so float accumulation is exact in any order. *)
+let prop_window_firing_deterministic =
+  let arb =
+    QCheck.(
+      list_of_size Gen.(int_range 1 60)
+        (triple (int_bound 4) (float_bound_inclusive 5.0) (int_bound 100)))
+  in
+  QCheck.Test.make ~count:50 ~name:"window firings order-independent" arb
+    (fun entries ->
+      let behavior = Event_window.behavior ~length:1.0 ~slide:0.5 () in
+      let run order =
+        let e = evented_of behavior in
+        List.iter
+          (fun (key, ts, v) ->
+            ignore (e.Behavior.efn (tuple ~ts ~key [| float_of_int v |])))
+          order;
+        flush e
+      in
+      let a = run entries
+      and b = run (List.rev entries)
+      and c =
+        run (List.sort (fun (_, _, v1) (_, _, v2) -> compare v1 v2) entries)
+      in
+      List.equal Tuple.equal a b && List.equal Tuple.equal a c)
+
+(* Live resize with event time: watermark floors hand off through the
+   swap, so a mid-stream degree change loses no on-time tuple and keeps
+   the Count mass balance exact. *)
+let test_live_resize_event_time () =
+  let n = 12000 and keys = 8 in
+  let ops =
+    [|
+      Operator.source ~rate:10000.0 "src";
+      Operator.with_replicas
+        (Operator.make
+           ~kind:(Operator.Partitioned_stateful (uniform_keys keys))
+           ~service_time:1e-5 "win")
+        2;
+      Operator.make ~service_time:1e-6 "snk";
+    |]
+  in
+  let topo = Topology.create_exn ops [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let window = Event_window.behavior ~agg:Count ~length:1.0 ~slide:1.0 () in
+  let sunk = Atomic.make 0 in
+  let sink =
+    Behavior.make ~name:"count_sink" (fun () ->
+        fun t ->
+          if t.Tuple.tag = 0 then
+            ignore
+              (Atomic.fetch_and_add sunk
+                 (int_of_float (Tuple.value t 0)));
+          [])
+  in
+  let registry = function 1 -> window | _ -> sink in
+  let stream = ref (disordered_stream ~keys n) in
+  let emitted = ref 0 in
+  let source () =
+    match !stream with
+    | [] -> None
+    | t :: rest ->
+        stream := rest;
+        incr emitted;
+        (* pace lightly so the resizes land mid-stream *)
+        if !emitted mod 1000 = 0 then Unix.sleepf 0.002;
+        Some t
+  in
+  let live =
+    Executor.Live.start
+      ~event_time:(Event_time.config (Watermark.Bounded 0.1))
+      ~workers:4 ~source ~registry topo
+  in
+  Alcotest.(check bool) "window stage is elastic" true
+    (Executor.Live.elastic live).(1);
+  Alcotest.(check bool) "grow accepted" true
+    (Executor.Live.resize live ~vertex:1 3);
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  while
+    Executor.Live.generation live < 1 && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.001
+  done;
+  ignore (Executor.Live.resize live ~vertex:1 2);
+  while
+    (Executor.Live.produced live).(0) < n
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.001
+  done;
+  let m = Executor.Live.stop live in
+  Alcotest.(check bool) "finished" true
+    (m.Executor.outcome = Supervision.Finished);
+  Alcotest.(check bool) "reconfigured at least once" true
+    (Executor.Live.generation live >= 1);
+  Alcotest.(check int) "no on-time tuple declared late" 0
+    (Array.fold_left ( + ) 0 m.Executor.late);
+  Alcotest.(check int) "mass conserved through the resize" n
+    (Atomic.get sunk)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "ss_event"
+    [
+      ( "watermark",
+        [
+          quick "bounded generator" test_bounded_watermark;
+          quick "min-advance throttle" test_bounded_min_advance_throttle;
+          quick "periodic generator" test_periodic_watermark;
+          quick "parse roundtrip" test_watermark_parse_roundtrip;
+          quick "invalid arguments" test_watermark_invalid_args;
+        ] );
+      ( "event_window",
+        [
+          quick "fire order" test_event_window_fire_order;
+          quick "fires again after firing"
+            test_event_window_fires_again_after_firing;
+          quick "refire retraction" test_event_window_refire_retraction;
+          quick "refire horizon" test_event_window_refire_horizon;
+          quick "export/import roundtrip" test_event_window_export_import;
+          quick "class name resolution" test_event_window_of_name;
+        ] );
+      ( "model",
+        [
+          quick "firing selectivity" test_event_model_selectivity;
+          quick "late fraction" test_event_model_late_fraction;
+        ] );
+      ( "lateness",
+        [
+          quick "parse kinds" test_lateness_parse;
+          quick "dead-letter store" test_dead_letter_store;
+        ] );
+      ( "runtime",
+        [
+          quick "fission: zero on-time loss" test_fission_zero_on_time_loss;
+          quick "live resize: zero on-time loss" test_live_resize_event_time;
+        ] );
+      ( "properties",
+        [
+          prop prop_fission_watermark_monotone;
+          prop prop_window_firing_deterministic;
+        ] );
+    ]

@@ -403,6 +403,42 @@ let test_multiple_windows_fire_in_order () =
   Alcotest.(check (list (list string))) "right contents"
     [ [ "a" ]; [ "b" ]; [ "c" ] ] (fired_contents fired)
 
+let test_capped_windows_fire_oldest () =
+  (* A huge allowed lateness keeps windows open; the cap forces the oldest
+     out early, with its partial contents. *)
+  let w =
+    Time_window.create ~allowed_lateness:100.0 ~max_open_windows:3
+      (Time_window.Tumbling 1.0)
+  in
+  ignore (Time_window.push w ~ts:0.5 "a");
+  ignore (Time_window.push w ~ts:1.5 "b");
+  ignore (Time_window.push w ~ts:2.5 "c");
+  Alcotest.(check int) "at the cap" 3 (Time_window.pending_windows w);
+  let fired = Time_window.push w ~ts:3.5 "d" in
+  Alcotest.(check (list (float 1e-9))) "oldest evicted early" [ 1.0 ]
+    (fired_ends fired);
+  Alcotest.(check (list (list string))) "partial contents" [ [ "a" ] ]
+    (fired_contents fired);
+  Alcotest.(check int) "cap held" 3 (Time_window.pending_windows w);
+  Alcotest.(check int) "eviction counted" 1 (Time_window.evicted_count w);
+  (* a straggler into the evicted window is late, not a reopened window *)
+  Alcotest.(check int) "straggler fires nothing" 0
+    (List.length (Time_window.push w ~ts:0.7 "late"));
+  Alcotest.(check int) "straggler counted late" 1 (Time_window.late_count w);
+  Alcotest.(check int) "window not reopened" 3 (Time_window.pending_windows w)
+
+let test_capped_windows_drop_oldest () =
+  let w =
+    Time_window.create ~allowed_lateness:100.0 ~max_open_windows:2
+      ~eviction:`Drop_oldest (Time_window.Tumbling 1.0)
+  in
+  ignore (Time_window.push w ~ts:0.5 "a");
+  ignore (Time_window.push w ~ts:1.5 "b");
+  Alcotest.(check int) "dropped silently" 0
+    (List.length (Time_window.push w ~ts:2.5 "c"));
+  Alcotest.(check int) "cap held" 2 (Time_window.pending_windows w);
+  Alcotest.(check int) "eviction counted" 1 (Time_window.evicted_count w)
+
 let test_time_window_invalid_args () =
   Alcotest.check_raises "zero length"
     (Invalid_argument "Time_window.create: length must be positive") (fun () ->
@@ -413,7 +449,12 @@ let test_time_window_invalid_args () =
   Alcotest.check_raises "negative lateness"
     (Invalid_argument "Time_window.create: negative lateness") (fun () ->
       ignore
-        (Time_window.create ~allowed_lateness:(-1.0) (Time_window.Tumbling 5.0)))
+        (Time_window.create ~allowed_lateness:(-1.0) (Time_window.Tumbling 5.0)));
+  Alcotest.check_raises "zero cap"
+    (Invalid_argument "Time_window.create: max_open_windows must be >= 1")
+    (fun () ->
+      ignore
+        (Time_window.create ~max_open_windows:0 (Time_window.Tumbling 5.0)))
 
 let test_time_ops_sum () =
   let b = Time_ops.sum ~kind:(Time_window.Tumbling 10.0) () in
@@ -627,6 +668,8 @@ let () =
           quick "out-of-order within lateness" test_out_of_order_within_lateness;
           quick "late elements dropped" test_late_elements_dropped_and_counted;
           quick "batched firings in order" test_multiple_windows_fire_in_order;
+          quick "cap fires oldest" test_capped_windows_fire_oldest;
+          quick "cap drops oldest" test_capped_windows_drop_oldest;
           quick "invalid arguments" test_time_window_invalid_args;
           quick "event-time sum" test_time_ops_sum;
           quick "per-key isolation" test_time_ops_per_key_isolation;

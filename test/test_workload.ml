@@ -208,6 +208,58 @@ let test_sequence_matches_tuples () =
     (List.for_all2 Ss_operators.Tuple.equal a b)
 
 (* ------------------------------------------------------------------ *)
+(* Disorder *)
+
+let sorted_ts tuples =
+  List.sort compare (List.map (fun t -> t.Ss_operators.Tuple.ts) tuples)
+
+let test_disorder_in_order_identity () =
+  let ts = Stream_gen.tuples (Rng.create 3) 100 in
+  Alcotest.(check bool) "In_order is the identity" true
+    (List.for_all2 Ss_operators.Tuple.equal ts
+       (Stream_gen.reorder (Rng.create 4) Stream_gen.In_order ts));
+  Alcotest.(check (float 1e-9)) "no disorder" 0.0
+    (Stream_gen.disorder_fraction ts)
+
+let test_disorder_preserves_multiplicity () =
+  let ts = Stream_gen.tuples (Rng.create 3) 500 in
+  List.iter
+    (fun d ->
+      let r = Stream_gen.reorder (Rng.create 5) d ts in
+      Alcotest.(check int) "same length" (List.length ts) (List.length r);
+      Alcotest.(check bool) "same timestamp multiset" true
+        (sorted_ts ts = sorted_ts r);
+      Alcotest.(check bool) "actually disordered" true
+        (Stream_gen.disorder_fraction r > 0.0))
+    [
+      Stream_gen.Zipf_delay { alpha = 1.1; max_delay = 64 };
+      Stream_gen.Bursty { burst = 32; period = 256 };
+    ]
+
+let test_disorder_deterministic () =
+  let ts = Stream_gen.tuples (Rng.create 3) 300 in
+  let d = Stream_gen.Zipf_delay { alpha = 1.1; max_delay = 32 } in
+  Alcotest.(check bool) "same seed, same permutation" true
+    (List.for_all2 Ss_operators.Tuple.equal
+       (Stream_gen.reorder (Rng.create 7) d ts)
+       (Stream_gen.reorder (Rng.create 7) d ts))
+
+let test_disorder_parse_roundtrip () =
+  List.iter
+    (fun d ->
+      match Stream_gen.parse_disorder (Stream_gen.disorder_to_string d) with
+      | Ok d' -> Alcotest.(check bool) "roundtrip" true (d = d')
+      | Error e -> Alcotest.fail e)
+    [
+      Stream_gen.In_order;
+      Stream_gen.Zipf_delay { alpha = 1.1; max_delay = 64 };
+      Stream_gen.Bursty { burst = 32; period = 256 };
+    ];
+  match Stream_gen.parse_disorder "sideways:9" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+(* ------------------------------------------------------------------ *)
 (* Profiler *)
 
 let test_profile_identity () =
@@ -287,6 +339,11 @@ let () =
           quick "key frequencies" test_stream_key_frequencies;
           quick "tags" test_stream_tags;
           quick "sequence equals batch" test_sequence_matches_tuples;
+          quick "in-order disorder is identity" test_disorder_in_order_identity;
+          quick "disorder preserves multiplicity"
+            test_disorder_preserves_multiplicity;
+          quick "disorder deterministic" test_disorder_deterministic;
+          quick "disorder parse roundtrip" test_disorder_parse_roundtrip;
         ] );
       ( "profiler",
         [
