@@ -9,7 +9,7 @@
 
    Sections: fig7 fig8 fig9 fig10 table1 table2 latency elasticity elastic
              cola placement ablations sched mailbox telemetry log event
-             micro
+             fusion micro
 
    "Predicted" numbers come from the SpinStreams cost models
    (ss_core.Steady_state / Fission / Fusion); "measured" numbers come from
@@ -1998,6 +1998,126 @@ let event_bench () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* fusion -- compiled closed-loop fused chains vs the interpreted
+   meta-operator (Algorithm 4 walk) vs no fusion at all, on a fusable
+   linear chain of catalog identity operators. The gated number is the
+   compiled-vs-interpreted CPU-rate ratio from paired alternating rounds
+   (median of per-pair ratios, like the sched bench): the closed loop must
+   be at least 2x the interpreted walk. Counts are asserted identical
+   across all three executions before anything is timed. Emits
+   BENCH_fusion.json; exits 1 when the gate fails. *)
+
+let fusion_bench () =
+  section_header
+    "fusion -- compiled closed-loop fused chain vs interpreted meta-operator";
+  let members = 24 in
+  let tuples = if !quick then 40_000 else 200_000 in
+  let n = members + 1 in
+  let ops =
+    Array.init n (fun v ->
+        if v = 0 then Operator.source ~rate:1e6 "src"
+        else Operator.make ~service_time:1e-8 (Printf.sprintf "identity#%d" v))
+  in
+  let edges = List.init members (fun i -> (i, i + 1, 1.0)) in
+  let topo = Topology.create_exn ops edges in
+  let chain = List.init members (fun i -> i + 1) in
+  let registry _ = Ss_operators.Stateless_ops.identity in
+  (* Big fixed drains and a deep source mailbox keep the source->meta
+     handoff (identical on both sides of the gate) from diluting the
+     per-member ratio under measurement. *)
+  let run ?fused ?fusion () =
+    Ss_runtime.Executor.run ?fused ?fusion ~scheduler:(`Pool 2)
+      ~mailbox_capacity:1024 ~batch:(`Fixed 256)
+      ~instrument:
+        {
+          Ss_runtime.Executor.default_instrument with
+          telemetry = false;
+          sample_occupancy = false;
+        }
+      ~source:
+        (Ss_runtime.Executor.source_of_fn ~count:tuples (fun i ->
+             Ss_operators.Tuple.make ~key:i [| float_of_int i |]))
+      ~registry topo
+  in
+  let run_compiled () = run ~fused:[ chain ] ~fusion:`Compiled () in
+  let run_interpreted () = run ~fused:[ chain ] ~fusion:`Interpreted () in
+  let run_unfused () = run () in
+  (* Count parity first: the optimization must be unobservable. *)
+  let counts m = m.Ss_runtime.Executor.consumed in
+  let c_compiled = counts (run_compiled ()) in
+  let c_interpreted = counts (run_interpreted ()) in
+  let c_unfused = counts (run_unfused ()) in
+  if c_compiled <> c_interpreted || c_compiled <> c_unfused then begin
+    Printf.printf
+      "FAIL: per-vertex counts differ across fusion modes (compiled %s, \
+       interpreted %s, unfused %s)\n"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int c_compiled)))
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int c_interpreted)))
+      (String.concat "," (Array.to_list (Array.map string_of_int c_unfused)));
+    exit 1
+  end;
+  (* Paired alternating CPU-time rounds; the score is the median of the
+     per-pair ratios, same estimator as the sched gates (absolute rates on
+     this host drift too much for unpaired comparisons). *)
+  let paired ~units runA runB =
+    let rounds = if !quick then 6 else 8 in
+    let cpu run =
+      Gc.full_major ();
+      let c0 = Sys.time () in
+      ignore (run ());
+      Float.max (Sys.time () -. c0) 1e-9
+    in
+    let ca = Array.make rounds 0.0 and cb = Array.make rounds 0.0 in
+    for i = 0 to rounds - 1 do
+      if i land 1 = 0 then begin
+        ca.(i) <- cpu runA;
+        cb.(i) <- cpu runB
+      end
+      else begin
+        cb.(i) <- cpu runB;
+        ca.(i) <- cpu runA
+      end
+    done;
+    let ratios = Array.init rounds (fun i -> cb.(i) /. ca.(i)) in
+    let median a =
+      Array.sort compare a;
+      (a.((rounds - 1) / 2) +. a.(rounds / 2)) /. 2.0
+    in
+    let r = median ratios in
+    (r, float_of_int units /. median ca, float_of_int units /. median cb)
+  in
+  let speedup, compiled_rate, interpreted_rate =
+    paired ~units:tuples run_compiled run_interpreted
+  in
+  let fused_gain, _, unfused_rate =
+    paired ~units:tuples run_interpreted run_unfused
+  in
+  Printf.printf "chain: %d identity members, %d tuples\n" members tuples;
+  Printf.printf "compiled closed loop:     %11.1f tuples/cpu-s\n" compiled_rate;
+  Printf.printf "interpreted meta-op walk: %11.1f tuples/cpu-s\n"
+    interpreted_rate;
+  Printf.printf "unfused (%2d actors):      %11.1f tuples/cpu-s\n" (members + 1)
+    unfused_rate;
+  Printf.printf "compiled vs interpreted:  %.2fx (gate: >= 2x)\n" speedup;
+  Printf.printf "interpreted vs unfused:   %.2fx\n" fused_gain;
+  let json =
+    Printf.sprintf
+      {|{"section":"fusion","tuples":%d,"members":%d,"compiled_rate":%.1f,"interpreted_rate":%.1f,"unfused_rate":%.1f,"compiled_vs_interpreted":%.3f,"interpreted_vs_unfused":%.3f}|}
+      tuples members compiled_rate interpreted_rate unfused_rate speedup
+      fused_gain
+  in
+  write_bench_json "BENCH_fusion.json" json;
+  if speedup < 2.0 then begin
+    Printf.printf
+      "FAIL: compiled closed loop only %.2fx the interpreted meta-operator \
+       (>= 2x required)\n"
+      speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -2018,6 +2138,7 @@ let sections =
     ("telemetry", telemetry_bench);
     ("log", log_bench);
     ("event", event_bench);
+    ("fusion", fusion_bench);
     ("micro", micro);
   ]
 

@@ -354,12 +354,33 @@ let codegen_cmd =
   let mod_name =
     Arg.(value & opt string "pipeline" & info [ "name" ] ~docv:"NAME" ~doc:"Module name of the generated executable.")
   in
-  let run path fused tuples name output =
+  let fusion =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("auto", `Auto);
+               ("interpreted", `Interpreted);
+               ("closed-loop", `Closed_loop);
+             ])
+          `Auto
+      & info [ "fusion" ] ~docv:"MODE"
+          ~doc:
+            "Fused-group execution of the generated run: $(b,auto) (default) \
+             leaves the choice to the executor's deploy-time staging, \
+             $(b,interpreted) pins the Algorithm 4 walk, $(b,closed-loop) \
+             additionally emits specialized closed loops for all-stub \
+             groups. Counts are identical in every mode.")
+  in
+  let run path fused fusion tuples name output =
     let session = or_die (load_session path) in
     match output with
-    | None -> print_string (Ss_tool.Session.generate_code session ~fused ~tuples ())
+    | None ->
+        print_string
+          (Ss_tool.Session.generate_code session ~fused ~fusion ~tuples ())
     | Some dir ->
-        Ss_codegen.Codegen.write_project ~dir ~name ~fused ~tuples
+        Ss_codegen.Codegen.write_project ~dir ~name ~fused ~fusion ~tuples
           (Ss_tool.Session.topology session ());
         Printf.printf "generated %s/%s.ml and %s/dune\n" dir name dir
   in
@@ -367,7 +388,9 @@ let codegen_cmd =
     (Cmd.info "codegen"
        ~doc:"Generate the OCaml program deploying the topology on the actor \
              runtime (the paper's SS2Akka step).")
-    Term.(const run $ topology_arg $ fused $ tuples $ mod_name $ output_arg)
+    Term.(
+      const run $ topology_arg $ fused $ fusion $ tuples $ mod_name
+      $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* execute *)
@@ -577,8 +600,22 @@ let execute_cmd =
           ~doc:"Write the run metrics (telemetry included when on) as JSON \
                 to $(docv).")
   in
-  let run path fused tuples buffer timeout scheduler workers groups seed batch
-      channels telemetry event_time watermark lateness disorder prom_out
+  let fusion =
+    Arg.(
+      value
+      & opt
+          (enum [ ("compiled", `Compiled); ("interpreted", `Interpreted) ])
+          `Compiled
+      & info [ "fusion" ] ~docv:"MODE"
+          ~doc:
+            "Fused-group execution: $(b,compiled) (default) stages eligible \
+             groups into flat closures at deploy time, falling back to the \
+             interpreted walk where staging does not apply (event time, \
+             telemetry, router overrides); $(b,interpreted) forces the \
+             Algorithm 4 walk everywhere. Counts are identical either way.")
+  in
+  let run path fused fusion tuples buffer timeout scheduler workers groups seed
+      batch channels telemetry event_time watermark lateness disorder prom_out
       json_out =
     (match timeout with
     | Some limit when limit <= 0.0 ->
@@ -636,9 +673,9 @@ let execute_cmd =
              watermark)
     in
     let metrics =
-      Ss_tool.Session.execute session ~fused ~tuples ~mailbox_capacity:buffer
-        ?timeout ~scheduler ?placement ~seed ~batch ~channels ~instrument
-        ?event_time:event_time_config ~disorder ()
+      Ss_tool.Session.execute session ~fused ~fusion ~tuples
+        ~mailbox_capacity:buffer ?timeout ~scheduler ?placement ~seed ~batch
+        ~channels ~instrument ?event_time:event_time_config ~disorder ()
     in
     print_string (Ss_tool.Session.runtime_report session metrics);
     if event_time && lateness = `Side then
@@ -670,9 +707,9 @@ let execute_cmd =
              times and per-edge rates). Exits non-zero when an actor fails \
              or the timeout fires.")
     Term.(
-      const run $ topology_arg $ fused $ tuples $ buffer $ timeout $ scheduler
-      $ workers $ groups $ seed_arg $ batch $ channels $ telemetry $ event_time
-      $ watermark $ lateness $ disorder $ prom_out $ json_out)
+      const run $ topology_arg $ fused $ fusion $ tuples $ buffer $ timeout
+      $ scheduler $ workers $ groups $ seed_arg $ batch $ channels $ telemetry
+      $ event_time $ watermark $ lateness $ disorder $ prom_out $ json_out)
 
 (* ------------------------------------------------------------------ *)
 (* elastic *)

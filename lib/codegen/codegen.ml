@@ -87,12 +87,130 @@ let batch_expr = function
 
 let channels_expr = function `Auto -> "`Auto" | `Locking -> "`Locking"
 
-let program ?(fused = []) ?(tuples = 100_000) ?(seed = 42)
+(* Source-level closed loop for a fused group whose members are all stubs:
+   the stub bodies (busy-wait spin plus selectivity credit) are inlined
+   into one mutually recursive step set — flat mutable state, no
+   intermediate list, no per-tuple closure dispatch — with routing draws
+   in the exact depth-first order of the interpreted walk, so per-vertex
+   counts stay bit-identical to the interpreted executor and
+   [Engine.replay]. Groups containing catalog members are not emitted
+   here: their behaviors live in library code the generator cannot
+   inline textually, and the runtime's deploy-time staging
+   ([Fused_compile.plan]) already composes them through their inline
+   hooks. *)
+let emit_chain buf ~gi ~members topology =
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  let in_group v = List.mem v members in
+  let succs v = Topology.succs topology v in
+  let topo_members =
+    Array.to_list (Topology.topological_order topology) |> List.filter in_group
+  in
+  let uses_rng = List.exists (fun v -> succs v <> []) members in
+  let uses_emit =
+    List.exists
+      (fun v -> List.exists (fun (w, _) -> not (in_group w)) (succs v))
+      members
+  in
+  let front = List.hd topo_members in
+  line "let chain_%d (env : Ss_runtime.Fused_compile.env) =" gi;
+  line "  let consumed = env.Ss_runtime.Fused_compile.consumed in";
+  line "  let produced = env.Ss_runtime.Fused_compile.produced in";
+  if uses_rng then line "  let rng = env.Ss_runtime.Fused_compile.rng in";
+  if uses_emit then line "  let emit = env.Ss_runtime.Fused_compile.emit in";
+  List.iter
+    (fun v ->
+      match succs v with
+      | [] | [ _ ] ->
+          (* Single-successor members draw a raw [Rng.float] below — no
+             table to search. *)
+          ()
+      | edges ->
+          line "  let dist_%d = Ss_prelude.Discrete.of_weights [| %s |] in" v
+            (String.concat "; " (List.map (fun (_, p) -> float_lit p) edges)))
+    topo_members;
+  let sel_of v =
+    let op = Topology.operator topology v in
+    op.Operator.output_selectivity /. op.Operator.input_selectivity
+  in
+  List.iter
+    (fun v -> if sel_of v <> 1.0 then line "  let credit_%d = ref 0.0 in" v)
+    topo_members;
+  (* Route one produced tuple of [v]: count it, draw the successor (one
+     draw whenever [v] has successors, single-successor members included —
+     the interpreted chooser samples its one-point support too, and the
+     shared group rng must stay in lockstep), then either recurse into an
+     in-group member or leave through [emit]. *)
+  let route_lines ~indent v =
+    let pad = String.make indent ' ' in
+    line "%sproduced.(%d) <- produced.(%d) + 1;" pad v v;
+    let hop (w, _) =
+      if in_group w then Printf.sprintf "step_%d t" w
+      else Printf.sprintf "emit %d %d t" v w
+    in
+    match succs v with
+    | [] -> ()
+    | [ e ] ->
+        (* One-point support: the interpreted chooser consumes one
+           [Rng.float] here too, so draw it raw to stay in lockstep. *)
+        line "%signore (Ss_prelude.Rng.float rng : float);" pad;
+        line "%s%s" pad (hop e)
+    | edges ->
+        line "%s(match Ss_prelude.Discrete.sample rng dist_%d with" pad v;
+        List.iteri
+          (fun i e ->
+            if i < List.length edges - 1 then line "%s | %d -> %s" pad i (hop e)
+            else line "%s | _ -> %s)" pad (hop e))
+          edges
+  in
+  List.iteri
+    (fun i v ->
+      let op = Topology.operator topology v in
+      let kw = if i = 0 then "let rec" else "and" in
+      let param = if succs v = [] then "_t" else "t" in
+      line "  %s step_%d %s =" kw v param;
+      line "    consumed.(%d) <- consumed.(%d) + 1;" v v;
+      line "    let deadline = Unix.gettimeofday () +. %s in"
+        (float_lit op.Operator.service_time);
+      line "    while Unix.gettimeofday () < deadline do () done;";
+      let sel = sel_of v in
+      if sel = 1.0 then route_lines ~indent:4 v
+      else begin
+        line "    credit_%d := !credit_%d +. %s;" v v (float_lit sel);
+        line "    let k = int_of_float !credit_%d in" v;
+        line "    credit_%d := !credit_%d -. float_of_int k;" v v;
+        line "    for _i = 1 to k do";
+        route_lines ~indent:6 v;
+        line "    done"
+      end)
+    topo_members;
+  line "  in";
+  line "  step_%d" front;
+  line ""
+
+let program ?(fused = []) ?(fusion = `Auto) ?(tuples = 100_000) ?(seed = 42)
     ?(scheduler = `Pool None) ?placement ?(batch = `Adaptive 32)
     ?(channels = `Auto) ?(telemetry = false) topology =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let src = Topology.source topology in
+  (* Groups eligible for source-level closed loops: every member resolves
+     to a stub, so the whole body is generator-owned text. *)
+  let chain_groups =
+    match fusion with
+    | `Closed_loop ->
+        List.mapi (fun gi g -> (gi, g)) fused
+        |> List.filter (fun (_, g) ->
+               List.for_all
+                 (fun v ->
+                   let op = Topology.operator topology v in
+                   Option.is_none
+                     (Ss_operators.Catalog.find
+                        (class_of_name op.Operator.name)))
+                 g)
+    | `Auto | `Interpreted -> []
+  in
   line "(* Generated by SpinStreams. Deploys the optimized topology on the";
   line "   ss_runtime actor executor; regenerate rather than edit. *)";
   line "";
@@ -132,6 +250,16 @@ let program ?(fused = []) ?(tuples = 100_000) ?(seed = 42)
     (Topology.operators topology);
   line "  | v -> invalid_arg (Printf.sprintf \"no behavior for vertex %%d\" v)";
   line "";
+  if chain_groups <> [] then begin
+    line "(* Closed loops: each fused group below is compiled here, at";
+    line "   generation time, into one flat step set — member bodies inlined,";
+    line "   flat mutable state, one routing draw per produced tuple in the";
+    line "   interpreted walk's depth-first order, so per-vertex counts are";
+    line "   identical to the interpreted executor and [Engine.replay]. *)";
+    List.iter
+      (fun (gi, g) -> emit_chain buf ~gi ~members:g topology)
+      chain_groups
+  end;
   line "let () =";
   line "  let rng = Ss_prelude.Rng.create %d in" seed;
   line "  let stream = Ss_workload.Stream_gen.tuples rng %d in" tuples;
@@ -147,6 +275,18 @@ let program ?(fused = []) ?(tuples = 100_000) ?(seed = 42)
         |> String.concat "; "
       in
       line "      ~fused:[ %s ]" rendered);
+  (match fusion with
+  | `Interpreted -> line "      ~fusion:`Interpreted"
+  | `Auto | `Closed_loop -> ());
+  if chain_groups <> [] then
+    line "      ~chains:[ %s ]"
+      (String.concat "; "
+         (List.map
+            (fun (gi, g) ->
+              Printf.sprintf "([ %s ], chain_%d)"
+                (String.concat "; " (List.map string_of_int g))
+                gi)
+            chain_groups));
   line "      ~scheduler:(%s)" (scheduler_expr scheduler);
   (match placement with
   | None -> ()
@@ -197,8 +337,8 @@ let dune_stanza ~name =
      ss_workload ss_runtime ss_telemetry unix))\n"
     name
 
-let write_project ~dir ~name ?fused ?tuples ?seed ?scheduler ?placement ?batch
-    ?channels ?telemetry topology =
+let write_project ~dir ~name ?fused ?fusion ?tuples ?seed ?scheduler ?placement
+    ?batch ?channels ?telemetry topology =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let write path contents =
     let oc = open_out path in
@@ -208,6 +348,6 @@ let write_project ~dir ~name ?fused ?tuples ?seed ?scheduler ?placement ?batch
   in
   write
     (Filename.concat dir (name ^ ".ml"))
-    (program ?fused ?tuples ?seed ?scheduler ?placement ?batch ?channels
+    (program ?fused ?fusion ?tuples ?seed ?scheduler ?placement ?batch ?channels
        ?telemetry topology);
   write (Filename.concat dir "dune") (dune_stanza ~name)

@@ -16,6 +16,7 @@ val class_of_name : string -> string
 
 val program :
   ?fused:int list list ->
+  ?fusion:[ `Auto | `Interpreted | `Closed_loop ] ->
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->
@@ -41,7 +42,21 @@ val program :
     emitted verbatim as the generated run's drain policy and channel
     selection, so the program pins its edge-implementation choice
     explicitly. [telemetry] (default [false]) makes the generated program
-    run with telemetry on and print per-vertex latency snapshots. *)
+    run with telemetry on and print per-vertex latency snapshots.
+
+    [fusion] (default [`Auto]) selects how fused groups execute.
+    [`Auto] leaves the choice to the executor's deploy-time staging
+    ({!Ss_runtime.Fused_compile}); [`Interpreted] pins the generated run
+    to the interpreted Algorithm 4 walk ([~fusion:`Interpreted]);
+    [`Closed_loop] additionally emits, for every fused group whose
+    members all resolve to stubs, a specialized closed loop — member
+    bodies inlined into one mutually recursive step set with flat
+    mutable state, no intermediate lists and one routing draw per
+    produced tuple in the interpreted walk's order — passed to the run
+    as [~chains], so per-vertex counts stay identical to the interpreted
+    executor and {!Ss_sim.Engine.replay}. Groups with catalog members
+    are left to the runtime's staging, which composes their behaviors
+    through their {!Ss_operators.Behavior.inline_spec} hooks. *)
 
 val dune_stanza : name:string -> string
 (** A dune [executable] stanza for the generated module. *)
@@ -50,6 +65,7 @@ val write_project :
   dir:string ->
   name:string ->
   ?fused:int list list ->
+  ?fusion:[ `Auto | `Interpreted | `Closed_loop ] ->
   ?tuples:int ->
   ?seed:int ->
   ?scheduler:[ `Domains | `Pool of int option ] ->

@@ -49,7 +49,7 @@ let resolve op =
 
 let registry topology v = resolve (Topology.operator topology v)
 
-let run ?ingest ?mailbox_capacity ?fused ?ordered ?(seed = 42)
+let run ?ingest ?mailbox_capacity ?fused ?fusion ?ordered ?(seed = 42)
     ?(tuples = 10_000) ?timeout ?scheduler ?placement ?batch ?channels
     ?instrument ?event_time ?(disorder = Ss_workload.Stream_gen.In_order)
     ?stream_spec topology =
@@ -64,7 +64,8 @@ let run ?ingest ?mailbox_capacity ?fused ?ordered ?(seed = 42)
           (Ss_workload.Stream_gen.reorder rng disorder
              (Ss_workload.Stream_gen.tuples ?spec:stream_spec rng tuples))
   in
-  Ss_runtime.Executor.run ?ingest ?mailbox_capacity ?fused ?ordered ~seed
+  Ss_runtime.Executor.run ?ingest ?mailbox_capacity ?fused ?fusion ?ordered
+    ~seed
     ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?event_time
     ~source ~registry:(registry topology) topology
 

@@ -18,6 +18,7 @@ val run :
   ?ingest:Ss_runtime.Executor.ingest ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
+  ?fusion:[ `Interpreted | `Compiled ] ->
   ?ordered:int list ->
   ?seed:int ->
   ?tuples:int ->
@@ -37,8 +38,9 @@ val run :
     {!Ss_workload.Stream_gen} — or, with [ingest], replays a durable
     {!Ss_log.Log} instead (at-least-once; [tuples] and [stream_spec] are
     then ignored). Options ([timeout], [scheduler],
-    [placement], [batch], [channels], [instrument] and [event_time]
-    included) are forwarded to
+    [placement], [batch], [channels], [instrument], [event_time] and
+    [fusion] — the fused-group execution mode, default deploy-time staging
+    with interpreted fallback — included) are forwarded to
     {!Ss_runtime.Executor.run}; the returned metrics carry the supervised
     per-actor outcome (and, with [instrument.telemetry], the telemetry
     report). [disorder] (default [In_order]) perturbs the synthetic

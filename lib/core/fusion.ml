@@ -12,13 +12,36 @@ type outcome = {
 
 let ( let* ) = Result.bind
 
-let service_time topology vertices =
+(* Per-member, per-tuple overhead the compiled closed-loop tier removes
+   relative to the interpreted meta-operator walk: closure-table dispatch,
+   the intermediate result list and the per-member counter traffic.
+   Calibrated against BENCH_fusion.json's per-member compiled-vs-interpreted
+   delta on the fusable-chain benchmark (tens of nanoseconds per member on
+   current hardware); deliberately conservative so fusion decisions only
+   ever improve under the compiled model. *)
+let default_dispatch_overhead = 25e-9
+
+let member_time ~execution ~dispatch_overhead (op : Operator.t) =
+  match execution with
+  | `Interpreted -> op.Operator.service_time
+  | `Compiled ->
+      (* The discount can never halve a member: the spin/work itself is
+         untouched by compilation, only the walk's bookkeeping goes. *)
+      Float.max
+        (op.Operator.service_time -. dispatch_overhead)
+        (0.5 *. op.Operator.service_time)
+
+let service_time ?(execution = `Interpreted)
+    ?(dispatch_overhead = default_dispatch_overhead) topology vertices =
   let* front = Topology.front_end_of topology vertices in
   let in_set = Hashtbl.create 8 in
   List.iter (fun v -> Hashtbl.replace in_set v ()) vertices;
   let memo = Hashtbl.create 8 in
   (* fr(i) = T_i + sel(i) * sum over internal edges of p(i,j) * fr(j):
-     the expected work triggered by one item entering vertex i. *)
+     the expected work triggered by one item entering vertex i. Under
+     [`Compiled], T_i is discounted by the dispatch overhead the closed
+     loop eliminates, so the fused chain models cheaper than the sum of
+     its parts (Definition 2 under the compiled tier). *)
   let rec fr v =
     match Hashtbl.find_opt memo v with
     | Some t -> t
@@ -32,7 +55,7 @@ let service_time topology vertices =
             (Topology.succs topology v)
         in
         let total =
-          op.Operator.service_time
+          member_time ~execution ~dispatch_overhead op
           +. (Operator.selectivity_factor op *. downstream)
         in
         Hashtbl.replace memo v total;
@@ -46,9 +69,26 @@ let default_name topology vertices =
        (fun v -> (Topology.operator topology v).Operator.name)
        (List.sort compare vertices))
 
-let apply ?name topology vertices =
+let apply ?name ?(execution = `Interpreted) ?dispatch_overhead topology
+    vertices =
   let name = Option.value name ~default:(default_name topology vertices) in
   let* fused, fused_vertex = Topology.contract topology ~keep_name:name vertices in
+  (* [contract] prices the meta-operator at the interpreted recurrence;
+     under the compiled tier, reprice it at the discounted closed-loop
+     cost before analyzing the fused version. *)
+  let* fused =
+    match execution with
+    | `Interpreted -> Ok fused
+    | `Compiled ->
+        let* compiled_time =
+          service_time ~execution ?dispatch_overhead topology vertices
+        in
+        Ok
+          (Topology.with_operator fused fused_vertex
+             (Operator.with_service_time
+                (Topology.operator fused fused_vertex)
+                compiled_time))
+  in
   let fused_service_time =
     (Topology.operator fused fused_vertex).Operator.service_time
   in
@@ -138,14 +178,15 @@ type auto_result = {
   operators_saved : int;
 }
 
-let auto ?max_size ?(utilization_cap = 0.9) topology =
+let auto ?max_size ?(utilization_cap = 0.9) ?execution ?dispatch_overhead
+    topology =
   let initial_analysis = Steady_state.analyze topology in
   let rec loop current steps counter =
     let candidate =
       List.find_map
         (fun (vertices, _) ->
           let name = Printf.sprintf "auto_fused_%d" counter in
-          match apply ~name current vertices with
+          match apply ~name ?execution ?dispatch_overhead current vertices with
           | Error _ -> None
           | Ok outcome ->
               let fused_utilization =

@@ -26,22 +26,48 @@ type outcome = {
           impairs performance. *)
 }
 
-val service_time : Ss_topology.Topology.t -> int list -> (float, string) result
+val default_dispatch_overhead : float
+(** Default per-member, per-tuple overhead (seconds) the compiled
+    closed-loop tier is modeled to remove relative to the interpreted
+    meta-operator walk — closure dispatch, intermediate lists, counter
+    traffic. Calibrated against the fusion benchmark's per-member
+    compiled-vs-interpreted delta ([BENCH_fusion.json]); conservative by
+    design. *)
+
+val service_time :
+  ?execution:[ `Interpreted | `Compiled ] ->
+  ?dispatch_overhead:float ->
+  Ss_topology.Topology.t ->
+  int list ->
+  (float, string) result
 (** [service_time t vertices] is Algorithm 3 on the sub-graph induced by
     [vertices]: the expected per-item service time of the fused operator,
     memoized over the DAG (selectivity of the members is taken into
-    account by weighting each vertex by its expected visits). Fails with
-    the sub-graph legality errors of {!Ss_topology.Topology.front_end_of}. *)
+    account by weighting each vertex by its expected visits).
+
+    [execution] (default [`Interpreted]) selects the cost model of the
+    runtime tier executing the group: under [`Compiled] every member's
+    service time is discounted by [dispatch_overhead] (default
+    {!default_dispatch_overhead}, floored at half the member's time), so
+    a compiled fused chain prices {e below} the sum of its parts —
+    Definition 2 under the closed-loop tier. Fails with the sub-graph
+    legality errors of {!Ss_topology.Topology.front_end_of}. *)
 
 val apply :
   ?name:string ->
+  ?execution:[ `Interpreted | `Compiled ] ->
+  ?dispatch_overhead:float ->
   Ss_topology.Topology.t ->
   int list ->
   (outcome, string) result
 (** [apply t vertices] validates the sub-graph, contracts it (including the
     acyclicity re-check of §3.3) and predicts the outcome by running the
     steady-state analysis on both versions. [name] defaults to the
-    concatenation of the fused operator names. *)
+    concatenation of the fused operator names. [execution] (default
+    [`Interpreted]) prices the meta-operator as in {!service_time}: under
+    [`Compiled] the contracted operator's service time is the discounted
+    closed-loop cost, so any fusion accepted under the interpreted model
+    stays accepted — it can only look better. *)
 
 val candidates :
   ?max_size:int -> Ss_topology.Topology.t -> (int list * float) list
@@ -79,11 +105,14 @@ type auto_result = {
 val auto :
   ?max_size:int ->
   ?utilization_cap:float ->
+  ?execution:[ `Interpreted | `Compiled ] ->
+  ?dispatch_overhead:float ->
   Ss_topology.Topology.t ->
   auto_result
 (** [auto t] greedily coarsens [t]. A candidate is adopted only when the
     predicted throughput is preserved (within 1e-9 relative) and the fused
     operator's utilization stays at or below [utilization_cap] (default 0.9,
     leaving headroom for workload variations). [max_size] bounds each fused
-    group's size as in {!candidates}. The final throughput therefore always
-    equals the initial one. *)
+    group's size as in {!candidates}; [execution] and [dispatch_overhead]
+    price each candidate as in {!apply}. The final throughput therefore
+    always equals the initial one. *)

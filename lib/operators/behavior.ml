@@ -16,6 +16,10 @@ type evented = {
   eimport : keyed_state -> unit;
 }
 
+type inline_step =
+  | Inline_map of (unit -> Tuple.t -> Tuple.t)
+  | Inline_filter of (unit -> Tuple.t -> Tuple.t option)
+
 type t = {
   name : string;
   state_kind : state_kind;
@@ -24,10 +28,11 @@ type t = {
   fresh : unit -> fn;
   migrate : (unit -> migratable) option;
   evented : (unit -> evented) option;
+  inline : inline_step option;
 }
 
 let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
-    ?(output_selectivity = 1.0) ~name fresh =
+    ?(output_selectivity = 1.0) ?inline ~name fresh =
   if input_selectivity <= 0.0 then
     invalid_arg "Behavior.make: input_selectivity must be positive";
   if output_selectivity < 0.0 then
@@ -40,6 +45,7 @@ let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
     fresh;
     migrate = None;
     evented = None;
+    inline;
   }
 
 let make_migratable ?input_selectivity ?output_selectivity ~name mk =
@@ -60,6 +66,7 @@ let make_evented ?(state_kind = Partitioned_op) ?input_selectivity
 let instantiate t = t.fresh ()
 let can_migrate t = Option.is_some t.migrate || Option.is_some t.evented
 let is_evented t = Option.is_some t.evented
+let inline_spec t = t.inline
 let selectivity_factor t = t.output_selectivity /. t.input_selectivity
 
 let to_operator ?dist ?keys ~service_time t =

@@ -61,6 +61,20 @@ type evented = {
 (** An event-time behavior instance: watermark-driven firing, late-tuple
     handling and migratable state, all closed over one state allocation. *)
 
+(** Introspection hook for compile-time fusion: a shape-restricted twin of
+    {!fn} that a fused-chain compiler can inline without building the
+    intermediate result list. [Inline_map mk] promises one output per
+    input; [Inline_filter mk] promises zero or one. Like {!t.fresh}, the
+    allocator returns a function closed over an independent state
+    instance, and that instance must implement {e exactly} the same
+    transformation as a fresh {!fn} instance would ([f t] standing in for
+    [\[f t\]], [Some t' / None] for [\[t'\] / \[\]]) — the runtime
+    verifies nothing and relies on this equivalence for its
+    count-determinism guarantees. *)
+type inline_step =
+  | Inline_map of (unit -> Tuple.t -> Tuple.t)
+  | Inline_filter of (unit -> Tuple.t -> Tuple.t option)
+
 type t = {
   name : string;
   state_kind : state_kind;
@@ -82,12 +96,19 @@ type t = {
           and uses {!evented.eexport}/{!evented.eimport} for live
           reconfiguration handoff. The executor prefers this interface over
           [migrate] when both exist. *)
+  inline : inline_step option;
+      (** When present, the behavior can be inlined by the fused-chain
+          compiler ({!Ss_runtime.Fused_compile}): one-in/one-out members
+          compose into a straight-line loop with no intermediate list.
+          [None] (the default) keeps the behavior compilable through the
+          generic list-walking path. *)
 }
 
 val make :
   ?state_kind:state_kind ->
   ?input_selectivity:float ->
   ?output_selectivity:float ->
+  ?inline:inline_step ->
   name:string ->
   (unit -> fn) ->
   t
@@ -126,6 +147,9 @@ val can_migrate : t -> bool
 
 val is_evented : t -> bool
 (** Whether {!evented} is present. *)
+
+val inline_spec : t -> inline_step option
+(** The behavior's {!inline_step} hook, if it declared one. *)
 
 val selectivity_factor : t -> float
 (** [output_selectivity /. input_selectivity]. *)

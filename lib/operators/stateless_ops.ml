@@ -1,35 +1,53 @@
-let stateless ?output_selectivity ~name fn =
-  Behavior.make ?output_selectivity ~name (fun () -> fn)
+(* Each op declares the shape-restricted [inline] twin of its behavior
+   function where one exists (one-in/one-out maps, zero-or-one filters), so
+   the fused-chain compiler can compose the bodies without building the
+   intermediate singleton lists. The twin must stay semantically identical
+   to the list-returning function next to it. *)
 
-let identity = stateless ~name:"identity" (fun t -> [ t ])
+let stateless ?output_selectivity ?inline ~name fn =
+  Behavior.make ?output_selectivity ?inline ~name (fun () -> fn)
+
+let map ~name f =
+  stateless ~inline:(Behavior.Inline_map (fun () -> f)) ~name (fun t -> [ f t ])
+
+let identity = map ~name:"identity" (fun t -> t)
 
 let scale ~factor =
-  stateless ~name:(Printf.sprintf "scale_%g" factor) (fun t ->
-      [ Tuple.with_values t (Array.map (fun v -> v *. factor) t.Tuple.values) ])
+  map ~name:(Printf.sprintf "scale_%g" factor) (fun t ->
+      Tuple.with_values t (Array.map (fun v -> v *. factor) t.Tuple.values))
 
 let offset ~delta =
-  stateless ~name:(Printf.sprintf "offset_%g" delta) (fun t ->
-      [ Tuple.with_values t (Array.map (fun v -> v +. delta) t.Tuple.values) ])
+  map ~name:(Printf.sprintf "offset_%g" delta) (fun t ->
+      Tuple.with_values t (Array.map (fun v -> v +. delta) t.Tuple.values))
 
 let compute ~iterations =
-  stateless ~name:(Printf.sprintf "compute_%d" iterations) (fun t ->
+  map ~name:(Printf.sprintf "compute_%d" iterations) (fun t ->
       let acc = ref (Tuple.value t 0) in
       for i = 1 to iterations do
         acc := !acc +. (sin (float_of_int i) *. cos !acc)
       done;
       let values = Array.copy t.Tuple.values in
       if Array.length values > 0 then values.(0) <- !acc;
-      [ Tuple.with_values t values ])
+      Tuple.with_values t values)
 
 let threshold_filter ~index ~threshold =
+  let keep t = Tuple.value t index >= threshold in
   stateless
+    ~inline:(Behavior.Inline_filter (fun () t -> if keep t then Some t else None))
     ~name:(Printf.sprintf "filter_v%d_ge_%g" index threshold)
-    (fun t -> if Tuple.value t index >= threshold then [ t ] else [])
+    (fun t -> if keep t then [ t ] else [])
 
 let sampler ~keep_one_in =
   if keep_one_in < 1 then invalid_arg "Stateless_ops.sampler: keep_one_in < 1";
   Behavior.make
     ~output_selectivity:(1.0 /. float_of_int keep_one_in)
+    ~inline:
+      (Behavior.Inline_filter
+         (fun () ->
+           let count = ref 0 in
+           fun t ->
+             incr count;
+             if !count mod keep_one_in = 0 then Some t else None))
     ~name:(Printf.sprintf "sample_1_in_%d" keep_one_in)
     (fun () ->
       let count = ref 0 in
@@ -52,21 +70,21 @@ let flat_split ~parts =
           Tuple.with_values t values))
 
 let project ~keep =
-  stateless ~name:(Printf.sprintf "project_%d" keep) (fun t ->
+  map ~name:(Printf.sprintf "project_%d" keep) (fun t ->
       let n = min keep (Array.length t.Tuple.values) in
-      [ Tuple.with_values t (Array.sub t.Tuple.values 0 (max n 0)) ])
+      Tuple.with_values t (Array.sub t.Tuple.values 0 (max n 0)))
 
 let rekey ~buckets =
   if buckets < 1 then invalid_arg "Stateless_ops.rekey: buckets < 1";
-  stateless ~name:(Printf.sprintf "rekey_%d" buckets) (fun t ->
+  map ~name:(Printf.sprintf "rekey_%d" buckets) (fun t ->
       let h =
         Array.fold_left
           (fun acc v -> (acc * 31) + int_of_float (Float.abs v *. 1e3))
           17 t.Tuple.values
       in
-      [ Tuple.with_key t (abs h mod buckets) ])
+      Tuple.with_key t (abs h mod buckets))
 
 let enrich ~table =
-  stateless ~name:"enrich" (fun t ->
+  map ~name:"enrich" (fun t ->
       let values = Array.append t.Tuple.values [| table t.Tuple.key |] in
-      [ Tuple.with_values t values ])
+      Tuple.with_values t values)

@@ -289,10 +289,10 @@ type ctx = {
 }
 
 let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
-    ?(mailbox_capacity = 64) ?(fused = []) ?(routers = []) ?(ordered = [])
-    ?(seed = 42) ?timeout ?scheduler ?placement ?(batch = `Adaptive 32)
-    ?(channels = `Auto) ?(instrument = default_instrument) ~source ~registry
-    topology =
+    ?(mailbox_capacity = 64) ?(fused = []) ?(fusion = `Compiled) ?(chains = [])
+    ?(routers = []) ?(ordered = []) ?(seed = 42) ?timeout ?scheduler ?placement
+    ?(batch = `Adaptive 32) ?(channels = `Auto)
+    ?(instrument = default_instrument) ~source ~registry topology =
   let scheduler =
     match scheduler with
     | Some (`Pool w | `Locked_pool w) when w < 1 ->
@@ -1683,25 +1683,6 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
       let inbox = mailbox_of front in
       let expected = expected_eos front in
       let rng = Rng.create (seed + (15485863 * (gi + 1))) in
-      (* Evented members keep one shared instance: its [efn] buckets from
-         the Algorithm 4 walk and its watermark hooks fire from the group's
-         merge below. *)
-      let insts = Hashtbl.create 8 in
-      let fns = Hashtbl.create 8 in
-      List.iter
-        (fun v ->
-          let b = registry v in
-          match b.Behavior.evented with
-          | Some mk ->
-              let e = mk () in
-              Hashtbl.replace insts v (Some e);
-              Hashtbl.replace fns v e.Behavior.efn
-          | None ->
-              Hashtbl.replace insts v None;
-              Hashtbl.replace fns v (Behavior.instantiate b))
-        members;
-      let choosers = Hashtbl.create 8 in
-      List.iter (fun v -> Hashtbl.replace choosers v (chooser v rng)) members;
       let all_external =
         List.concat_map
           (fun v ->
@@ -1710,13 +1691,115 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
               (List.map fst (Topology.succs topology v)))
           members
       in
-      let snk = new_sink () in
-      let applies = Hashtbl.create 8 in
+      (* Deploy-time staging: compile the group into one flat closure
+         ({!Fused_compile.plan}, or a caller-supplied chain matched by
+         member set) whenever the run's message traffic is the plain
+         [Data] common case. Event time (watermarks, lateness), telemetry
+         (births, edge counters), ingest (tracked provenance) and router
+         overrides all need the interpreted walk, as do group shapes the
+         planner declines; count parity makes the choice unobservable. *)
+      let compiled =
+        match fusion with
+        | `Interpreted -> None
+        | `Compiled ->
+            if
+              et_on
+              || Option.is_some collector
+              || Option.is_some ingest
+              || List.exists (fun v -> List.mem_assoc v routers) members
+            then None
+            else begin
+              let key = List.sort compare members in
+              match
+                List.find_opt (fun (m, _) -> List.sort compare m = key) chains
+              with
+              | Some (_, chain) -> Some chain
+              | None -> (
+                  match Fused_compile.plan topology ~members ~registry with
+                  | Ok chain -> Some chain
+                  | Error _ -> None)
+            end
+      in
+      match compiled with
+      | Some chain ->
+          add_actor
+            ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
+            ~vertex:front
+            (fun () ->
+              let next = ctx.creader inbox in
+              let eos = ref 0 in
+              (* The chain counts into plain local arrays (it is the only
+                 writer); they are flushed to the shared atomics on a
+                 budget and at end-of-stream, keeping the hot loop free of
+                 atomic traffic. *)
+              let lc = Array.make n 0 and lp = Array.make n 0 in
+              let flush () =
+                List.iter
+                  (fun v ->
+                    if lc.(v) <> 0 then begin
+                      ignore (Atomic.fetch_and_add consumed.(v) lc.(v));
+                      lc.(v) <- 0
+                    end;
+                    if lp.(v) <> 0 then begin
+                      ignore (Atomic.fetch_and_add produced.(v) lp.(v));
+                      lp.(v) <- 0
+                    end)
+                  members
+              in
+              let emit v dest out = put_from v (mailbox_of dest) (Data out) in
+              let step =
+                chain
+                  { Fused_compile.rng; consumed = lc; produced = lp; emit }
+              in
+              let flush_every = 4096 in
+              let budget = ref flush_every in
+              let ingest_tuple t =
+                step t;
+                decr budget;
+                if !budget <= 0 then begin
+                  flush ();
+                  budget := flush_every
+                end
+              in
+              while !eos < expected do
+                match next () with
+                | Eos -> incr eos
+                | Data t -> ingest_tuple t
+                | Timed (t, _) -> ingest_tuple t
+                | Tracked _ | Wm _ | Drain | Expect _ | Resize _ ->
+                    assert false (* excluded by eligibility above *)
+              done;
+              flush ();
+              List.iter (fun mb -> put_from front mb Eos)
+                (eos_targets all_external))
+      | None ->
+      (* Evented members keep one shared instance: its [efn] buckets from
+         the Algorithm 4 walk and its watermark hooks fire from the group's
+         merge below. *)
+      (* Dense vertex-indexed member tables: the walk below hits them per
+         tuple, so they are plain array reads, not hash probes. Non-member
+         slots keep the inert defaults and are never consulted. *)
+      let insts = Array.make n None in
+      let fns = Array.make n (fun (_ : Tuple.t) -> ([] : Tuple.t list)) in
       List.iter
-        (fun v -> Hashtbl.replace applies v (invoke snk v (Hashtbl.find fns v)))
+        (fun v ->
+          let b = registry v in
+          match b.Behavior.evented with
+          | Some mk ->
+              let e = mk () in
+              insts.(v) <- Some e;
+              fns.(v) <- e.Behavior.efn
+          | None -> fns.(v) <- Behavior.instantiate b)
         members;
-      let senders = Hashtbl.create 8 in
-      List.iter (fun v -> Hashtbl.replace senders v (sender snk v)) members;
+      let choosers = Array.make n (fun (_ : Tuple.t) -> (None : int option)) in
+      List.iter (fun v -> choosers.(v) <- chooser v rng) members;
+      let snk = new_sink () in
+      let applies = Array.make n (fun (_ : Tuple.t) (_ : float) -> []) in
+      List.iter (fun v -> applies.(v) <- invoke snk v fns.(v)) members;
+      let senders =
+        Array.make n (fun (_ : int) (_ : Tuple.t) (_ : float) (_ : track) -> ())
+      in
+      List.iter (fun v -> senders.(v) <- sender snk v) members;
       (* Members in topology order: the group watermark fires them front
          first, so an upstream member's fired results are bucketed by
          downstream members before those fire at the same watermark. *)
@@ -1735,7 +1818,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
          path: the walk feeds it behavior results, the watermark path feeds
          it window firings. *)
       let rec route_outs v outs birth tk =
-        let choose = Hashtbl.find choosers v in
+        let choose = choosers.(v) in
         let deliver dest out =
           if group_of.(dest) = gi then begin
             (match snk with
@@ -1743,7 +1826,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
             | None -> ());
             process dest out birth tk
           end
-          else (Hashtbl.find senders v) dest out birth tk
+          else senders.(v) dest out birth tk
         in
         match tk with
         | No_track ->
@@ -1774,7 +1857,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
               routed
       and process v t birth tk =
         Atomic.incr consumed.(v);
-        route_outs v ((Hashtbl.find applies v) t birth) birth tk
+        route_outs v (applies.(v) t birth) birth tk
       in
       let wmt = wm_targets front all_external in
       let stamped = new_stamper snk in
@@ -1789,7 +1872,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
           let fire m =
             List.iter
               (fun v ->
-                match Hashtbl.find insts v with
+                match insts.(v) with
                 | Some e ->
                     let outs = e.Behavior.on_watermark m in
                     if outs <> [] then route_outs v outs (stamped ()) No_track
@@ -1805,7 +1888,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
              synchronous, so a tuple admitted on time stays on time through
              the walk. *)
           let admit t birth tk =
-            match Hashtbl.find insts front with
+            match insts.(front) with
             | Some e when t.Tuple.ts < Wm_merge.current mg -> (
                 count_late snk front;
                 match lateness with
@@ -1997,12 +2080,12 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
     outcome = Supervision.outcome sup;
   }
 
-let run ?ingest ?event_time ?mailbox_capacity ?fused ?routers ?ordered ?seed
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ~source
-    ~registry topology =
-  run_internal ?ingest ?event_time ?mailbox_capacity ?fused ?routers ?ordered
-    ?seed ?timeout ?scheduler ?placement ?batch ?channels ?instrument ~source
-    ~registry topology
+let run ?ingest ?event_time ?mailbox_capacity ?fused ?fusion ?chains ?routers
+    ?ordered ?seed ?timeout ?scheduler ?placement ?batch ?channels ?instrument
+    ~source ~registry topology =
+  run_internal ?ingest ?event_time ?mailbox_capacity ?fused ?fusion ?chains
+    ?routers ?ordered ?seed ?timeout ?scheduler ?placement ?batch ?channels
+    ?instrument ~source ~registry topology
 
 (* ------------------------------------------------------------------ *)
 (* Live deployments: the executor runs on its own domain while the caller

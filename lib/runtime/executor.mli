@@ -170,6 +170,8 @@ val run :
   ?event_time:Ss_event.Event_time.config ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
+  ?fusion:[ `Interpreted | `Compiled ] ->
+  ?chains:(int list * Fused_compile.chain) list ->
   ?routers:(int * router) list ->
   ?ordered:int list ->
   ?seed:int ->
@@ -212,7 +214,21 @@ val run :
     [registry v] supplies the behavior of vertex [v] (never called for the
     source). [fused] lists disjoint vertex groups to execute as
     meta-operators; each must be a legal fusion target
-    ({!Ss_topology.Topology.front_end_of}). [ordered] lists replicated
+    ({!Ss_topology.Topology.front_end_of}).
+
+    [fusion] selects how fused groups execute their members (default
+    [`Compiled]): under [`Compiled] each group is staged at deploy time
+    into one flat closure ({!Fused_compile.plan}) whenever the run
+    qualifies — no event time, no telemetry, no ingest, no router override
+    on a member, and a group shape the planner accepts — and falls back to
+    the interpreted Algorithm 4 walk otherwise; [`Interpreted] forces the
+    walk everywhere. The choice never changes results: compiled chains
+    draw routing randomness in the exact per-tuple order of the
+    interpreted walk, so per-vertex counts are identical either way.
+    [chains] supplies pre-compiled closures keyed by member set (compared
+    as sorted vertex lists, e.g. from {!Ss_codegen}-emitted closed loops);
+    a matching entry overrides the deploy-time planner under the same
+    eligibility rules. [ordered] lists replicated
     stateless vertices whose fission must preserve the arrival order
     (paper §2): their emitter deals strictly round-robin and their
     collector reassembles results in the same order, batching per input so

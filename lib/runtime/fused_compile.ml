@@ -1,0 +1,122 @@
+open Ss_prelude
+open Ss_topology
+open Ss_operators
+
+type env = {
+  rng : Rng.t;
+  consumed : int array;
+  produced : int array;
+  emit : int -> int -> Tuple.t -> unit;
+}
+
+type chain = env -> Tuple.t -> unit
+
+(* One destination table per member, in [Topology.succs] order — the same
+   order the interpreted chooser samples over, so the index drawn by
+   [Discrete.sample] names the same successor on both paths. *)
+type route = { dests : int array; dist : Discrete.t option }
+
+let plan topology ~members ~registry =
+  match Topology.front_end_of topology members with
+  | Error e -> Error e
+  | Ok front -> (
+      match
+        List.find_opt (fun v -> Behavior.is_evented (registry v)) members
+      with
+      | Some v ->
+          Error
+            (Printf.sprintf
+               "member %d is evented (watermark/late hooks need the \
+                interpreted walk)"
+               v)
+      | None ->
+          let n = Topology.size topology in
+          let in_group = Array.make n false in
+          List.iter (fun v -> in_group.(v) <- true) members;
+          let route_of v =
+            match Topology.succs topology v with
+            | [] -> { dests = [||]; dist = None }
+            | edges ->
+                {
+                  dests = Array.of_list (List.map fst edges);
+                  dist =
+                    Some
+                      (Discrete.of_weights
+                         (Array.of_list (List.map snd edges)));
+                }
+          in
+          (* Reverse topological order of the members: every in-group
+             successor of a member sorts after it, so building the member
+             steps back to front needs no recursion and every in-group
+             hop can bind its successor's already-staged step directly.
+             Terminates on any legal (acyclic) sub-graph, fig11's diamond
+             included. *)
+          let rev_members =
+            Array.to_list (Topology.topological_order topology)
+            |> List.filter (fun v -> in_group.(v))
+            |> List.rev
+          in
+          let chain env =
+            let nop (_ : Tuple.t) = () in
+            let steps = Array.make n nop in
+            let { rng; consumed; produced; emit } = env in
+            List.iter
+              (fun v ->
+                let { dests; dist } = route_of v in
+                (* Route one result of [v], drawing exactly as the
+                   interpreted chooser would: one [Discrete.sample] per
+                   produced tuple when the member has successors, no draw
+                   when it has none — so the group rng stays in lockstep
+                   with the interpreted walk and with [Engine.replay]. *)
+                let route1 =
+                  match dist with
+                  | None ->
+                      fun (_ : Tuple.t) -> produced.(v) <- produced.(v) + 1
+                  | Some _ when Array.length dests = 1 ->
+                      (* One-point support: the interpreted chooser still
+                         consumes one [Rng.float] here, so draw it raw —
+                         same stream position, without the sampler's
+                         search. *)
+                      let dest = dests.(0) in
+                      if in_group.(dest) then begin
+                        let next = steps.(dest) in
+                        fun out ->
+                          produced.(v) <- produced.(v) + 1;
+                          ignore (Rng.float rng : float);
+                          next out
+                      end
+                      else
+                        fun out ->
+                          produced.(v) <- produced.(v) + 1;
+                          ignore (Rng.float rng : float);
+                          emit v dest out
+                  | Some dist ->
+                      fun out ->
+                        produced.(v) <- produced.(v) + 1;
+                        let dest = dests.(Discrete.sample rng dist) in
+                        if in_group.(dest) then steps.(dest) out
+                        else emit v dest out
+                in
+                let step =
+                  match Behavior.inline_spec (registry v) with
+                  | Some (Behavior.Inline_map mk) ->
+                      let f = mk () in
+                      fun t ->
+                        consumed.(v) <- consumed.(v) + 1;
+                        route1 (f t)
+                  | Some (Behavior.Inline_filter mk) ->
+                      let f = mk () in
+                      fun t ->
+                        consumed.(v) <- consumed.(v) + 1;
+                        (match f t with Some out -> route1 out | None -> ())
+                  | None ->
+                      let fn = Behavior.instantiate (registry v) in
+                      fun t ->
+                        consumed.(v) <- consumed.(v) + 1;
+                        List.iter route1 (fn t)
+                in
+                steps.(v) <- step)
+              rev_members;
+            steps.(front)
+          in
+          Ok chain)

@@ -1,0 +1,55 @@
+(** Deploy-time staging of fused groups into one flat closure.
+
+    The interpreted meta-operator (in {!Executor}) walks a fused group's
+    members per tuple: closure dispatch through vertex-indexed tables, an
+    intermediate result list per member, and one routing draw per produced
+    tuple. [plan] compiles the same walk once, at deploy time, into a
+    straight-line composition of the member behaviors: one-in/one-out
+    members declared through {!Ss_operators.Behavior.inline_spec} compose
+    directly (no intermediate list, no per-member closure table lookup),
+    and in-group hops bind the successor's step function instead of going
+    back through a dispatch table.
+
+    {b Count parity} is the contract that makes the compiled path safe to
+    select automatically: a compiled chain consumes exactly the same
+    [Rng.float] draws, in the same order, as the interpreted walk — one
+    {!Ss_prelude.Discrete.sample} per produced tuple at every member that
+    has successors (single-successor members included), and none at
+    members without successors. Per-vertex consumed/produced counts are
+    therefore bit-identical to the interpreted executor and to
+    {!Ss_sim.Engine.replay} for any seed. *)
+
+type env = {
+  rng : Ss_prelude.Rng.t;
+      (** The fused group's routing rng — the caller seeds it exactly as
+          the interpreted meta-operator would. *)
+  consumed : int array;
+      (** Topology-sized per-vertex counters the chain increments in
+          place. Plain arrays: the chain is single-writer; the caller
+          flushes them to its shared counters. *)
+  produced : int array;  (** Same contract as [consumed]. *)
+  emit : int -> int -> Ss_operators.Tuple.t -> unit;
+      (** [emit member dest out] delivers [out] on the group-external edge
+          [member -> dest]. *)
+}
+
+type chain = env -> Ss_operators.Tuple.t -> unit
+(** Applying a chain to an [env] allocates fresh member state instances
+    (like {!Ss_operators.Behavior.instantiate}) and returns the group's
+    entry step: feed it one input tuple and it runs the whole group to
+    quiescence, counting and emitting through the [env]. *)
+
+val plan :
+  Ss_topology.Topology.t ->
+  members:int list ->
+  registry:(int -> Ss_operators.Behavior.t) ->
+  (chain, string) result
+(** Stage [members] of the topology as one compiled chain.
+
+    Eligibility: the members must form a legal single-front group
+    ({!Ss_topology.Topology.front_end_of} — one entry vertex, no source,
+    no duplicates; the in-group sub-graph of any well-formed topology is
+    acyclic, so trees and diamonds both stage), and no member may be
+    evented — watermark and late-tuple paths need the interpreted walk.
+    Returns [Error reason] for shapes it declines; the caller falls back
+    to interpretation. *)

@@ -451,7 +451,10 @@ let run ?(config = default_config) topology =
 (* Finite-stream count replay *)
 
 (* Mirrors the executor's seeding conventions exactly; keep in sync with
-   lib/runtime/executor.ml. *)
+   lib/runtime/executor.ml. The compiled fused tier (Fused_compile, and
+   codegen's closed loops) preserves the interpreted walk's draw order —
+   one sample per produced tuple at members with successors, none at
+   members without — so this replay matches both execution modes. *)
 let replay ?(fused = []) ?(seed = 42) ~tuples topology =
   let n = Topology.size topology in
   let src = Topology.source topology in

@@ -76,15 +76,15 @@ let simulate t ?version ?config () =
 let export_xml t ?version () =
   Ss_xml.Topology_xml.to_string (topology t ?version ())
 
-let generate_code t ?version ?fused ?tuples () =
-  Ss_codegen.Codegen.program ?fused ?tuples (topology t ?version ())
+let generate_code t ?version ?fused ?fusion ?tuples () =
+  Ss_codegen.Codegen.program ?fused ?fusion ?tuples (topology t ?version ())
 
-let execute t ?version ?ingest ?mailbox_capacity ?fused ?ordered ?seed ?tuples
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?event_time
-    ?disorder () =
-  Ss_codegen.Plan.run ?ingest ?mailbox_capacity ?fused ?ordered ?seed ?tuples
-    ?timeout ?scheduler ?placement ?batch ?channels ?instrument ?event_time
-    ?disorder
+let execute t ?version ?ingest ?mailbox_capacity ?fused ?fusion ?ordered ?seed
+    ?tuples ?timeout ?scheduler ?placement ?batch ?channels ?instrument
+    ?event_time ?disorder () =
+  Ss_codegen.Plan.run ?ingest ?mailbox_capacity ?fused ?fusion ?ordered ?seed
+    ?tuples ?timeout ?scheduler ?placement ?batch ?channels ?instrument
+    ?event_time ?disorder
     (topology t ?version ())
 
 let elastic t ?version ?policy ?epoch_length ?max_epochs ?settle ?workers

@@ -68,8 +68,19 @@ val simulate :
     SPS" step). *)
 
 val export_xml : t -> ?version:string -> unit -> string
+
 val generate_code :
-  t -> ?version:string -> ?fused:int list list -> ?tuples:int -> unit -> string
+  t ->
+  ?version:string ->
+  ?fused:int list list ->
+  ?fusion:[ `Auto | `Interpreted | `Closed_loop ] ->
+  ?tuples:int ->
+  unit ->
+  string
+(** Render the deployable OCaml program for a version
+    ({!Ss_codegen.Codegen.program}); [fusion] selects the emitted
+    fused-group execution mode ([`Closed_loop] emits specialized closed
+    loops for all-stub groups). *)
 
 val execute :
   t ->
@@ -77,6 +88,7 @@ val execute :
   ?ingest:Ss_runtime.Executor.ingest ->
   ?mailbox_capacity:int ->
   ?fused:int list list ->
+  ?fusion:[ `Interpreted | `Compiled ] ->
   ?ordered:int list ->
   ?seed:int ->
   ?tuples:int ->
@@ -108,7 +120,11 @@ val execute :
     per-edge counters in [metrics.telemetry]). [event_time] turns on
     watermark propagation and lateness handling
     ({!Ss_runtime.Executor.run}); [disorder] perturbs the synthetic
-    stream's arrival order ({!Ss_workload.Stream_gen.reorder}). *)
+    stream's arrival order ({!Ss_workload.Stream_gen.reorder}).
+    [fusion] selects the fused-group execution mode (default: deploy-time
+    staging into flat closures, with interpreted fallback —
+    {!Ss_runtime.Fused_compile}); [`Interpreted] forces the Algorithm 4
+    walk. Per-vertex counts are identical either way. *)
 
 val elastic :
   t ->

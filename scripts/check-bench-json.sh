@@ -29,6 +29,10 @@ REQUIRED = {
     "BENCH_event.json": ["section", "rate_processing", "rate_event", "ratio",
                          "late", "on_time_loss", "disorder_fraction",
                          "predicted_out", "measured_out", "prediction_error"],
+    "BENCH_fusion.json": ["section", "tuples", "members", "compiled_rate",
+                          "interpreted_rate", "unfused_rate",
+                          "compiled_vs_interpreted",
+                          "interpreted_vs_unfused"],
 }
 
 d = sys.argv[1]

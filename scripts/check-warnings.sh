@@ -1,11 +1,13 @@
 #!/bin/sh
-# Warnings-as-errors gate for the scheduler core and the event-time tier,
-# runnable locally and in CI.
+# Warnings-as-errors gate for the scheduler core, the event-time tier, the
+# actor runtime (including the compiled fused-chain tier) and the code
+# generator, runnable locally and in CI.
 #
-# lib/sched and lib/eventtime compile with `-warn-error +a` in their dune
-# stanzas (minus the project-wide exclusions), so a clean rebuild of each
-# library is the check: any new warning in the lock-free scheduler or the
-# watermark machinery fails the build. The rest of the tree keeps dune's
+# lib/sched, lib/eventtime, lib/runtime and lib/codegen compile with
+# `-warn-error +a` in their dune stanzas (minus the project-wide
+# exclusions), so a clean rebuild of each library is the check: any new
+# warning in the lock-free scheduler, the watermark machinery, the fused
+# closed loops or the generator templates fails the build. The rest of the tree keeps dune's
 # default promotion (warnings fatal only in dev profile for selected
 # classes), which `dune build` upholds.
 set -eu
@@ -34,3 +36,5 @@ check_lib() {
 
 check_lib lib/sched
 check_lib lib/eventtime
+check_lib lib/runtime
+check_lib lib/codegen

@@ -1,0 +1,378 @@
+(* Tests for the compiled fused-chain tier: deploy-time staging
+   ([Fused_compile]), count parity with the interpreted meta-operator and
+   [Engine.replay], fallback to the interpreted walk, the generated
+   closed-loop fixture, and the compiled cost model. *)
+
+open Ss_topology
+open Ss_operators
+open Ss_runtime
+
+let tuple values = Tuple.make values
+
+let registry_of table v =
+  match List.assoc_opt v table with
+  | Some b -> b
+  | None -> Alcotest.failf "no behavior registered for vertex %d" v
+
+let identity_registry vs =
+  registry_of (List.map (fun v -> (v, Stateless_ops.identity)) vs)
+
+(* The fig11 shape with negligible service times: identity behaviors never
+   spin, so the runs are fast while still exercising the diamond interior,
+   the 5->4 back edge and the two distinct exits into the sink. *)
+let fig11_fast () = Fixtures.fig11 [ 1e-4; 1e-4; 1e-4; 1e-4; 1e-4; 1e-4 ]
+
+let fig11_group = [ 2; 3; 4 ]
+
+let run_fig11 ~fusion ~seed ~tuples:count =
+  Executor.run ~fused:[ fig11_group ] ~fusion ~seed
+    ~source:
+      (Executor.source_of_fn ~count (fun i -> tuple [| float_of_int i |]))
+    ~registry:(identity_registry [ 1; 2; 3; 4; 5 ])
+    (fig11_fast ())
+
+(* ------------------------------------------------------------------ *)
+(* Differential equivalence: compiled = interpreted = DES replay *)
+
+let test_fig11_compiled_interpreted_replay () =
+  let seed = 7 and tuples = 3000 in
+  let compiled = run_fig11 ~fusion:`Compiled ~seed ~tuples in
+  let interpreted = run_fig11 ~fusion:`Interpreted ~seed ~tuples in
+  let replay_consumed, replay_produced =
+    Ss_sim.Engine.replay ~fused:[ fig11_group ] ~seed ~tuples (fig11_fast ())
+  in
+  Alcotest.(check bool) "compiled finished" true
+    (compiled.Executor.outcome = Supervision.Finished);
+  Alcotest.(check (array int)) "consumed, compiled = interpreted"
+    interpreted.Executor.consumed compiled.Executor.consumed;
+  Alcotest.(check (array int)) "produced, compiled = interpreted"
+    interpreted.Executor.produced compiled.Executor.produced;
+  Alcotest.(check (array int)) "consumed, compiled = replay" replay_consumed
+    compiled.Executor.consumed;
+  Alcotest.(check (array int)) "produced, compiled = replay" replay_produced
+    compiled.Executor.produced
+
+(* A caller-supplied chain (the codegen contract) is matched by member set
+   and must not change the counts either. The chain below reimplements the
+   identity walk over fig11's group exactly as Fused_compile stages it. *)
+let test_supplied_chain_matches_staged () =
+  let seed = 11 and tuples = 2000 in
+  let chain (env : Fused_compile.env) =
+    let consumed = env.Fused_compile.consumed in
+    let produced = env.Fused_compile.produced in
+    let rng = env.Fused_compile.rng in
+    let emit = env.Fused_compile.emit in
+    let dist_2 = Ss_prelude.Discrete.of_weights [| 0.5; 0.5 |] in
+    let dist_4 = Ss_prelude.Discrete.of_weights [| 0.35; 0.65 |] in
+    let rec step_2 t =
+      consumed.(2) <- consumed.(2) + 1;
+      produced.(2) <- produced.(2) + 1;
+      match Ss_prelude.Discrete.sample rng dist_2 with
+      | 0 -> step_3 t
+      | _ -> step_4 t
+    and step_4 t =
+      consumed.(4) <- consumed.(4) + 1;
+      produced.(4) <- produced.(4) + 1;
+      match Ss_prelude.Discrete.sample rng dist_4 with
+      | 0 -> step_3 t
+      | _ -> emit 4 5 t
+    and step_3 t =
+      consumed.(3) <- consumed.(3) + 1;
+      produced.(3) <- produced.(3) + 1;
+      ignore (Ss_prelude.Rng.float rng : float);
+      emit 3 5 t
+    in
+    step_2
+  in
+  let supplied =
+    Executor.run
+      ~fused:[ fig11_group ]
+      ~chains:[ (fig11_group, chain) ]
+      ~seed
+      ~source:
+        (Executor.source_of_fn ~count:tuples (fun i ->
+             tuple [| float_of_int i |]))
+      ~registry:(identity_registry [ 1; 2; 3; 4; 5 ])
+      (fig11_fast ())
+  in
+  let staged = run_fig11 ~fusion:`Compiled ~seed ~tuples in
+  Alcotest.(check (array int)) "consumed, supplied chain = staged"
+    staged.Executor.consumed supplied.Executor.consumed;
+  Alcotest.(check (array int)) "produced, supplied chain = staged"
+    staged.Executor.produced supplied.Executor.produced
+
+(* ------------------------------------------------------------------ *)
+(* Property: over random fusable chains, the compiled closed loop and the
+   interpreted walk report identical per-vertex counts — including members
+   without inline hooks (flat_split goes through Behavior.instantiate) and
+   members that drop tuples mid-chain. *)
+
+let behavior_of_pick = function
+  | 0 -> Stateless_ops.identity
+  | 1 -> Stateless_ops.scale ~factor:2.0
+  | 2 -> Stateless_ops.threshold_filter ~index:0 ~threshold:0.5
+  | 3 -> Stateless_ops.sampler ~keep_one_in:3
+  | _ -> Stateless_ops.flat_split ~parts:2
+
+let test_random_chain_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"compiled closed loop = interpreted walk on random chains"
+       (QCheck.make
+          QCheck.Gen.(
+            pair (int_range 0 1000)
+              (list_size (int_range 2 5) (int_bound 4))))
+       (fun (seed, picks) ->
+         let k = List.length picks in
+         let ops =
+           Array.init (k + 1) (fun v ->
+               if v = 0 then Operator.make ~service_time:1e-7 "src"
+               else Operator.make ~service_time:1e-7 (Printf.sprintf "m%d" v))
+         in
+         let edges = List.init k (fun v -> (v, v + 1, 1.0)) in
+         let t = Topology.create_exn ops edges in
+         let registry =
+           registry_of
+             (List.mapi (fun i pick -> (i + 1, behavior_of_pick pick)) picks)
+         in
+         let members = List.init k (fun i -> i + 1) in
+         let run fusion =
+           Executor.run ~fused:[ members ] ~fusion ~seed
+             ~source:
+               (Executor.source_of_fn ~count:200 (fun i ->
+                    tuple [| float_of_int i /. 200.0 |]))
+             ~registry t
+         in
+         let compiled = run `Compiled in
+         let interpreted = run `Interpreted in
+         compiled.Executor.consumed = interpreted.Executor.consumed
+         && compiled.Executor.produced = interpreted.Executor.produced))
+
+(* ------------------------------------------------------------------ *)
+(* Planner eligibility *)
+
+let evented_passthrough =
+  Behavior.make_evented ~name:"ev_pass" (fun () ->
+      {
+        Behavior.efn = (fun t -> [ t ]);
+        on_watermark = (fun _ -> []);
+        on_late = (fun _ -> []);
+        eexport = (fun () -> []);
+        eimport = (fun _ -> ());
+      })
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+let test_plan_rejects_evented () =
+  let t =
+    Topology.create_exn
+      [|
+        Operator.make ~service_time:1e-7 "src";
+        Operator.make ~service_time:1e-7 "a";
+        Operator.make ~service_time:1e-7 "b";
+      |]
+      [ (0, 1, 1.0); (1, 2, 1.0) ]
+  in
+  let registry =
+    registry_of [ (1, Stateless_ops.identity); (2, evented_passthrough) ]
+  in
+  match Fused_compile.plan t ~members:[ 1; 2 ] ~registry with
+  | Ok _ -> Alcotest.fail "expected the planner to decline an evented member"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the evented member: %s" msg)
+        true
+        (contains ~needle:"evented" msg)
+
+let test_plan_rejects_illegal_group () =
+  (* Two entry points: front_end_of's legality error must surface. *)
+  let t = Fixtures.diamond ~pa:0.5 ~t_src:0.1 ~t_a:0.1 ~t_b:0.1 ~t_sink:0.1 in
+  let registry = identity_registry [ 1; 2; 3 ] in
+  match Fused_compile.plan t ~members:[ 1; 2 ] ~registry with
+  | Ok _ -> Alcotest.fail "expected the planner to decline two entry points"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fallback paths: runs that cannot use the compiled tier must still
+   report the same counts. *)
+
+let test_telemetry_run_falls_back () =
+  let seed = 13 and tuples = 1500 in
+  let with_telemetry =
+    Executor.run ~fused:[ fig11_group ] ~seed
+      ~instrument:
+        {
+          Executor.default_instrument with
+          telemetry = true;
+          telemetry_sample = 1;
+        }
+      ~source:
+        (Executor.source_of_fn ~count:tuples (fun i ->
+             tuple [| float_of_int i |]))
+      ~registry:(identity_registry [ 1; 2; 3; 4; 5 ])
+      (fig11_fast ())
+  in
+  let interpreted = run_fig11 ~fusion:`Interpreted ~seed ~tuples in
+  Alcotest.(check bool) "telemetry present" true
+    (Option.is_some with_telemetry.Executor.telemetry);
+  Alcotest.(check (array int)) "consumed unchanged by the fallback"
+    interpreted.Executor.consumed with_telemetry.Executor.consumed;
+  Alcotest.(check (array int)) "produced unchanged by the fallback"
+    interpreted.Executor.produced with_telemetry.Executor.produced
+
+let test_mixed_groups_per_group_fallback () =
+  (* Two fused groups in one run: [1;2] stages compiled, [3;4] contains an
+     evented member so the planner declines it and only that group walks
+     interpreted. Counts must equal the all-interpreted run. *)
+  let build () =
+    Topology.create_exn
+      (Array.init 5 (fun v ->
+           Operator.make ~service_time:1e-7
+             (if v = 0 then "src" else Printf.sprintf "m%d" v)))
+      [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0) ]
+  in
+  let registry =
+    registry_of
+      [
+        (1, Stateless_ops.identity);
+        (2, Stateless_ops.scale ~factor:3.0);
+        (3, Stateless_ops.identity);
+        (4, evented_passthrough);
+      ]
+  in
+  let run fusion =
+    Executor.run
+      ~fused:[ [ 1; 2 ]; [ 3; 4 ] ]
+      ~fusion ~seed:17
+      ~source:
+        (Executor.source_of_fn ~count:800 (fun i ->
+             tuple [| float_of_int i |]))
+      ~registry (build ())
+  in
+  let mixed = run `Compiled in
+  let interpreted = run `Interpreted in
+  Alcotest.(check (array int)) "consumed, mixed = interpreted"
+    interpreted.Executor.consumed mixed.Executor.consumed;
+  Alcotest.(check (array int)) "produced, mixed = interpreted"
+    interpreted.Executor.produced mixed.Executor.produced
+
+(* ------------------------------------------------------------------ *)
+(* Generated closed-loop fixture: the checked-in examples/generated_fig11
+   program (emitted with --fusion closed-loop) must reproduce the exact
+   per-vertex counts the DES replay predicts for its seed and stream. *)
+
+let fixture_exe = "../examples/generated_fig11/fig11_pipeline.exe"
+
+let test_generated_fixture_counts () =
+  let ic = Unix.open_process_in fixture_exe in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  Alcotest.(check bool) "fixture exited cleanly" true
+    (status = Unix.WEXITED 0);
+  let consumed = Array.make 6 (-1) and produced = Array.make 6 (-1) in
+  List.iter
+    (fun line ->
+      try
+        Scanf.sscanf line "vertex %d: consumed %d, produced %d"
+          (fun v c p ->
+            consumed.(v) <- c;
+            produced.(v) <- p)
+      with Scanf.Scan_failure _ | End_of_file | Failure _ -> ())
+    !lines;
+  (* The fixture was generated from fig11_table1.xml with seed 42 over
+     4000 tuples; Fixtures.table1 is the same topology. *)
+  let replay_consumed, replay_produced =
+    Ss_sim.Engine.replay ~fused:[ fig11_group ] ~seed:42 ~tuples:4000
+      (Fixtures.table1 ())
+  in
+  Alcotest.(check (array int)) "fixture consumed = replay" replay_consumed
+    consumed;
+  Alcotest.(check (array int)) "fixture produced = replay" replay_produced
+    produced
+
+(* ------------------------------------------------------------------ *)
+(* Compiled cost model (Algorithm 3 under the closed-loop tier) *)
+
+let test_compiled_cost_below_interpreted () =
+  let t = Fixtures.table1 () in
+  let interpreted =
+    Ss_core.Fusion.service_time t fig11_group |> Result.get_ok
+  in
+  let compiled =
+    Ss_core.Fusion.service_time ~execution:`Compiled t fig11_group
+    |> Result.get_ok
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled %.9f < interpreted %.9f" compiled interpreted)
+    true (compiled < interpreted);
+  (* The discount is floored: an absurd overhead can at most halve each
+     member, so the compiled estimate is exactly half the interpreted one. *)
+  let floored =
+    Ss_core.Fusion.service_time ~execution:`Compiled ~dispatch_overhead:1.0 t
+      fig11_group
+    |> Result.get_ok
+  in
+  Alcotest.(check (float 1e-12)) "floor at half" (0.5 *. interpreted) floored
+
+let test_fig11_decision_no_worse_compiled () =
+  (* Table 1: fusion is feasible interpreted; it must stay feasible — and
+     price strictly lower — under the compiled tier. *)
+  let t = Fixtures.table1 () in
+  let outcome execution =
+    Ss_core.Fusion.apply ~execution t fig11_group |> Result.get_ok
+  in
+  let interp = outcome `Interpreted and comp = outcome `Compiled in
+  Alcotest.(check bool) "interpreted feasible" false
+    interp.Ss_core.Fusion.creates_bottleneck;
+  Alcotest.(check bool) "compiled stays feasible" false
+    comp.Ss_core.Fusion.creates_bottleneck;
+  Alcotest.(check bool) "compiled prices lower" true
+    (comp.Ss_core.Fusion.fused_service_time
+    < interp.Ss_core.Fusion.fused_service_time);
+  Alcotest.(check bool) "throughput no worse" true
+    (comp.Ss_core.Fusion.throughput_ratio
+     >= interp.Ss_core.Fusion.throughput_ratio -. 1e-9)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ss_fusion"
+    [
+      ( "differential",
+        [
+          quick "fig11: compiled = interpreted = replay"
+            test_fig11_compiled_interpreted_replay;
+          quick "supplied chain = staged chain"
+            test_supplied_chain_matches_staged;
+          test_random_chain_equivalence;
+        ] );
+      ( "planner",
+        [
+          quick "declines evented members" test_plan_rejects_evented;
+          quick "declines illegal groups" test_plan_rejects_illegal_group;
+        ] );
+      ( "fallback",
+        [
+          quick "telemetry run keeps counts" test_telemetry_run_falls_back;
+          quick "per-group fallback in mixed runs"
+            test_mixed_groups_per_group_fallback;
+        ] );
+      ( "fixture",
+        [ quick "generated closed loop matches replay" test_generated_fixture_counts ] );
+      ( "cost model",
+        [
+          quick "compiled prices below interpreted"
+            test_compiled_cost_below_interpreted;
+          quick "fig11 decision unchanged-or-better"
+            test_fig11_decision_no_worse_compiled;
+        ] );
+    ]
