@@ -2102,20 +2102,189 @@ let fusion_bench () =
     unfused_rate;
   Printf.printf "compiled vs interpreted:  %.2fx (gate: >= 2x)\n" speedup;
   Printf.printf "interpreted vs unfused:   %.2fx\n" fused_gain;
+
+  (* -- stateful chain: inline fold + inline window members ----------- *)
+  (* 16 members: a keyed counter (Inline_fold) and a global sliding-window
+     sum (Inline_window) buried among identities. The inline hooks keep
+     the chain compiled; the gate is looser than the all-stateless one
+     because the state-structure traffic (hash probes, window queue)
+     survives compilation. *)
+  let s_members = 16 in
+  let s_tuples = if !quick then 40_000 else 200_000 in
+  let s_keys = Ss_prelude.Discrete.uniform 64 in
+  let s_n = s_members + 1 in
+  let s_ops =
+    Array.init s_n (fun v ->
+        if v = 0 then Operator.source ~rate:1e6 "src"
+        else if v = 6 then
+          Operator.make
+            ~kind:(Operator.Partitioned_stateful s_keys)
+            ~service_time:1e-8 "count_by_key"
+        else if v = 11 then
+          Operator.make ~kind:Operator.Stateful ~input_selectivity:8.0
+            ~service_time:1e-8 "window_sum"
+        else Operator.make ~service_time:1e-8 (Printf.sprintf "identity#%d" v))
+  in
+  let s_edges = List.init s_members (fun i -> (i, i + 1, 1.0)) in
+  let s_topo = Topology.create_exn s_ops s_edges in
+  let s_chain = List.init s_members (fun i -> i + 1) in
+  let s_registry v =
+    if v = 6 then Ss_operators.Join_ops.count_by_key ()
+    else if v = 11 then
+      Ss_operators.Window_ops.sum
+        ~spec:
+          { Ss_operators.Window_ops.length = 32; slide = 8; index = 0;
+            per_key = false }
+        ()
+    else Ss_operators.Stateless_ops.identity
+  in
+  let s_run fusion () =
+    Ss_runtime.Executor.run ~fused:[ s_chain ] ~fusion ~scheduler:(`Pool 2)
+      ~mailbox_capacity:1024 ~batch:(`Fixed 256)
+      ~instrument:
+        {
+          Ss_runtime.Executor.default_instrument with
+          telemetry = false;
+          sample_occupancy = false;
+        }
+      ~source:
+        (Ss_runtime.Executor.source_of_fn ~count:s_tuples (fun i ->
+             Ss_operators.Tuple.make ~key:(i mod 64) [| float_of_int i |]))
+      ~registry:s_registry s_topo
+  in
+  let sc = counts (s_run `Compiled ()) and si = counts (s_run `Interpreted ()) in
+  if sc <> si then begin
+    Printf.printf "FAIL: stateful-chain counts differ across fusion modes\n";
+    exit 1
+  end;
+  let s_speedup, s_compiled_rate, s_interpreted_rate =
+    paired ~units:s_tuples (s_run `Compiled) (s_run `Interpreted)
+  in
+  Printf.printf
+    "stateful chain: %d members (keyed counter + window sum), %d tuples\n"
+    s_members s_tuples;
+  Printf.printf "  compiled:    %11.1f tuples/cpu-s\n" s_compiled_rate;
+  Printf.printf "  interpreted: %11.1f tuples/cpu-s\n" s_interpreted_rate;
+  Printf.printf "  compiled vs interpreted: %.2fx (gate: >= 1.5x)\n" s_speedup;
+
+  (* -- fission replicas hosting the staged loop --------------------- *)
+  (* A linear 12-identity group whose front is replicated: both modes
+     deploy emitter + 2 workers + collector; the gate isolates the staged
+     loop inside the workers (the plumbing is identical on both sides). *)
+  let r_members = 12 in
+  let r_tuples = if !quick then 40_000 else 200_000 in
+  let r_n = r_members + 2 in
+  let r_ops =
+    Array.init r_n (fun v ->
+        if v = 0 then Operator.source ~rate:1e6 "src"
+        else if v = 1 then
+          Operator.with_replicas (Operator.make ~service_time:1e-8 "front") 2
+        else if v = r_n - 1 then Operator.make ~service_time:1e-8 "snk"
+        else Operator.make ~service_time:1e-8 (Printf.sprintf "identity#%d" v))
+  in
+  let r_edges = List.init (r_n - 1) (fun i -> (i, i + 1, 1.0)) in
+  let r_topo = Topology.create_exn r_ops r_edges in
+  let r_group = List.init r_members (fun i -> i + 1) in
+  let r_run fusion () =
+    Ss_runtime.Executor.run ~fused:[ r_group ] ~fusion ~scheduler:(`Pool 4)
+      ~mailbox_capacity:1024 ~batch:(`Fixed 256)
+      ~instrument:
+        {
+          Ss_runtime.Executor.default_instrument with
+          telemetry = false;
+          sample_occupancy = false;
+        }
+      ~source:
+        (Ss_runtime.Executor.source_of_fn ~count:r_tuples (fun i ->
+             Ss_operators.Tuple.make ~key:i [| float_of_int i |]))
+      ~registry:(fun _ -> Ss_operators.Stateless_ops.identity)
+      r_topo
+  in
+  let rc = counts (r_run `Compiled ()) and ri = counts (r_run `Interpreted ()) in
+  if rc <> ri then begin
+    Printf.printf "FAIL: replica counts differ across fusion modes\n";
+    exit 1
+  end;
+  let r_speedup, r_compiled_rate, r_interpreted_rate =
+    paired ~units:r_tuples (r_run `Compiled) (r_run `Interpreted)
+  in
+  Printf.printf "fission replicas: %d members, 2 replicas, %d tuples\n"
+    r_members r_tuples;
+  Printf.printf "  compiled workers:    %11.1f tuples/cpu-s\n" r_compiled_rate;
+  Printf.printf "  interpreted workers: %11.1f tuples/cpu-s\n"
+    r_interpreted_rate;
+  Printf.printf "  compiled vs interpreted: %.2fx (gate: >= 1.3x)\n" r_speedup;
+
+  (* -- telemetry overhead on the compiled chain --------------------- *)
+  (* Telemetry no longer forces interpretation; measure what the in-loop
+     counters and 1-in-k stamps cost the compiled chain at the default
+     sampling stride. *)
+  let run_compiled_telemetry () =
+    Ss_runtime.Executor.run ~fused:[ chain ] ~fusion:`Compiled
+      ~scheduler:(`Pool 2) ~mailbox_capacity:1024 ~batch:(`Fixed 256)
+      ~instrument:
+        {
+          Ss_runtime.Executor.default_instrument with
+          telemetry = true;
+          sample_occupancy = false;
+        }
+      ~source:
+        (Ss_runtime.Executor.source_of_fn ~count:tuples (fun i ->
+             Ss_operators.Tuple.make ~key:i [| float_of_int i |]))
+      ~registry topo
+  in
+  let overhead_ratio, telemetry_rate, _ =
+    paired ~units:tuples run_compiled_telemetry run_compiled
+  in
+  (* paired ratios are cpu(runB)/cpu(runA) = cpu(no-tel)/cpu(telemetry):
+     below 1 when telemetry costs time, so the overhead is 1/r - 1. *)
+  let telemetry_overhead_pct = ((1.0 /. overhead_ratio) -. 1.0) *. 100.0 in
+  Printf.printf
+    "telemetry on the compiled chain: %11.1f tuples/cpu-s (%.1f%% overhead)\n"
+    telemetry_rate telemetry_overhead_pct;
+
   let json =
     Printf.sprintf
-      {|{"section":"fusion","tuples":%d,"members":%d,"compiled_rate":%.1f,"interpreted_rate":%.1f,"unfused_rate":%.1f,"compiled_vs_interpreted":%.3f,"interpreted_vs_unfused":%.3f}|}
+      {|{"section":"fusion","tuples":%d,"members":%d,"compiled_rate":%.1f,"interpreted_rate":%.1f,"unfused_rate":%.1f,"compiled_vs_interpreted":%.3f,"interpreted_vs_unfused":%.3f,"stateful_members":%d,"stateful_compiled_rate":%.1f,"stateful_interpreted_rate":%.1f,"stateful_vs_interpreted":%.3f,"replica_members":%d,"replica_compiled_rate":%.1f,"replica_interpreted_rate":%.1f,"replica_vs_interpreted":%.3f,"telemetry_compiled_rate":%.1f,"telemetry_overhead_pct":%.1f}|}
       tuples members compiled_rate interpreted_rate unfused_rate speedup
-      fused_gain
+      fused_gain s_members s_compiled_rate s_interpreted_rate s_speedup
+      r_members r_compiled_rate r_interpreted_rate r_speedup telemetry_rate
+      telemetry_overhead_pct
   in
   write_bench_json "BENCH_fusion.json" json;
+  let failed = ref false in
   if speedup < 2.0 then begin
     Printf.printf
       "FAIL: compiled closed loop only %.2fx the interpreted meta-operator \
        (>= 2x required)\n"
       speedup;
-    exit 1
-  end
+    failed := true
+  end;
+  if s_speedup < 1.5 then begin
+    Printf.printf
+      "FAIL: compiled stateful chain only %.2fx the interpreted walk \
+       (>= 1.5x required)\n"
+      s_speedup;
+    failed := true
+  end;
+  if r_speedup < 1.3 then begin
+    Printf.printf
+      "FAIL: compiled replica workers only %.2fx the interpreted ones \
+       (>= 1.3x required)\n"
+      r_speedup;
+    failed := true
+  end;
+  (* Budget is 10% on this identity chain (measured ~6%); the hard gate is
+     deliberately looser so host noise cannot trip it — 25% is still far
+     below the ~170% a regression to forced interpretation would show. *)
+  if telemetry_overhead_pct > 25.0 then begin
+    Printf.printf
+      "FAIL: telemetry costs the compiled chain %.1f%% (budget 10%%, gate \
+       25%%)\n"
+      telemetry_overhead_pct;
+    failed := true
+  end;
+  if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
 

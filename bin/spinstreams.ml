@@ -609,10 +609,12 @@ let execute_cmd =
       & info [ "fusion" ] ~docv:"MODE"
           ~doc:
             "Fused-group execution: $(b,compiled) (default) stages eligible \
-             groups into flat closures at deploy time, falling back to the \
-             interpreted walk where staging does not apply (event time, \
-             telemetry, router overrides); $(b,interpreted) forces the \
-             Algorithm 4 walk everywhere. Counts are identical either way.")
+             groups into flat closures at deploy time — including stateful \
+             members, fission replicas, and telemetry-instrumented runs — \
+             falling back per group to the interpreted walk where staging \
+             does not apply (event time, router overrides); \
+             $(b,interpreted) forces the Algorithm 4 walk everywhere. \
+             Counts are identical either way.")
   in
   let run path fused fusion tuples buffer timeout scheduler workers groups seed
       batch channels telemetry event_time watermark lateness disorder prom_out

@@ -21,18 +21,32 @@ let ( let* ) = Result.bind
    ever improve under the compiled model. *)
 let default_dispatch_overhead = 25e-9
 
-let member_time ~execution ~dispatch_overhead (op : Operator.t) =
+(* Stateful members keep their state-structure traffic (hash probes,
+   window queues) when compiled — only part of the walk's bookkeeping
+   disappears — so they earn a reduced fraction of the dispatch discount.
+   Calibrated against the stateful-chain section of BENCH_fusion.json. *)
+let default_stateful_discount = 0.6
+
+let member_time ~execution ~dispatch_overhead ~stateful_discount
+    (op : Operator.t) =
   match execution with
   | `Interpreted -> op.Operator.service_time
   | `Compiled ->
+      let removed =
+        match op.Operator.kind with
+        | Operator.Stateless -> dispatch_overhead
+        | Operator.Stateful | Operator.Partitioned_stateful _ ->
+            stateful_discount *. dispatch_overhead
+      in
       (* The discount can never halve a member: the spin/work itself is
          untouched by compilation, only the walk's bookkeeping goes. *)
       Float.max
-        (op.Operator.service_time -. dispatch_overhead)
+        (op.Operator.service_time -. removed)
         (0.5 *. op.Operator.service_time)
 
 let service_time ?(execution = `Interpreted)
-    ?(dispatch_overhead = default_dispatch_overhead) topology vertices =
+    ?(dispatch_overhead = default_dispatch_overhead)
+    ?(stateful_discount = default_stateful_discount) topology vertices =
   let* front = Topology.front_end_of topology vertices in
   let in_set = Hashtbl.create 8 in
   List.iter (fun v -> Hashtbl.replace in_set v ()) vertices;
@@ -55,7 +69,7 @@ let service_time ?(execution = `Interpreted)
             (Topology.succs topology v)
         in
         let total =
-          member_time ~execution ~dispatch_overhead op
+          member_time ~execution ~dispatch_overhead ~stateful_discount op
           +. (Operator.selectivity_factor op *. downstream)
         in
         Hashtbl.replace memo v total;
@@ -69,8 +83,8 @@ let default_name topology vertices =
        (fun v -> (Topology.operator topology v).Operator.name)
        (List.sort compare vertices))
 
-let apply ?name ?(execution = `Interpreted) ?dispatch_overhead topology
-    vertices =
+let apply ?name ?(execution = `Interpreted) ?dispatch_overhead
+    ?stateful_discount topology vertices =
   let name = Option.value name ~default:(default_name topology vertices) in
   let* fused, fused_vertex = Topology.contract topology ~keep_name:name vertices in
   (* [contract] prices the meta-operator at the interpreted recurrence;
@@ -81,7 +95,8 @@ let apply ?name ?(execution = `Interpreted) ?dispatch_overhead topology
     | `Interpreted -> Ok fused
     | `Compiled ->
         let* compiled_time =
-          service_time ~execution ?dispatch_overhead topology vertices
+          service_time ~execution ?dispatch_overhead ?stateful_discount
+            topology vertices
         in
         Ok
           (Topology.with_operator fused fused_vertex
@@ -179,14 +194,17 @@ type auto_result = {
 }
 
 let auto ?max_size ?(utilization_cap = 0.9) ?execution ?dispatch_overhead
-    topology =
+    ?stateful_discount topology =
   let initial_analysis = Steady_state.analyze topology in
   let rec loop current steps counter =
     let candidate =
       List.find_map
         (fun (vertices, _) ->
           let name = Printf.sprintf "auto_fused_%d" counter in
-          match apply ~name ?execution ?dispatch_overhead current vertices with
+          match
+            apply ~name ?execution ?dispatch_overhead ?stateful_discount
+              current vertices
+          with
           | Error _ -> None
           | Ok outcome ->
               let fused_utilization =

@@ -34,9 +34,18 @@ val default_dispatch_overhead : float
     compiled-vs-interpreted delta ([BENCH_fusion.json]); conservative by
     design. *)
 
+val default_stateful_discount : float
+(** Default fraction of [dispatch_overhead] a stateful or
+    partitioned-stateful member is modeled to shed under the compiled
+    tier. Stateful members keep their state-structure traffic (hash
+    probes, window queues) when inlined, so they earn less of the
+    discount than stateless ones; calibrated against the stateful-chain
+    section of [BENCH_fusion.json]. *)
+
 val service_time :
   ?execution:[ `Interpreted | `Compiled ] ->
   ?dispatch_overhead:float ->
+  ?stateful_discount:float ->
   Ss_topology.Topology.t ->
   int list ->
   (float, string) result
@@ -50,13 +59,19 @@ val service_time :
     service time is discounted by [dispatch_overhead] (default
     {!default_dispatch_overhead}, floored at half the member's time), so
     a compiled fused chain prices {e below} the sum of its parts —
-    Definition 2 under the closed-loop tier. Fails with the sub-graph
-    legality errors of {!Ss_topology.Topology.front_end_of}. *)
+    Definition 2 under the closed-loop tier. Stateful and
+    partitioned-stateful members receive only
+    [stateful_discount *. dispatch_overhead] (default
+    {!default_stateful_discount}): inlining removes their walk
+    bookkeeping but not their state-structure traffic. Fails with the
+    sub-graph legality errors of
+    {!Ss_topology.Topology.front_end_of}. *)
 
 val apply :
   ?name:string ->
   ?execution:[ `Interpreted | `Compiled ] ->
   ?dispatch_overhead:float ->
+  ?stateful_discount:float ->
   Ss_topology.Topology.t ->
   int list ->
   (outcome, string) result
@@ -107,6 +122,7 @@ val auto :
   ?utilization_cap:float ->
   ?execution:[ `Interpreted | `Compiled ] ->
   ?dispatch_overhead:float ->
+  ?stateful_discount:float ->
   Ss_topology.Topology.t ->
   auto_result
 (** [auto t] greedily coarsens [t]. A candidate is adopted only when the

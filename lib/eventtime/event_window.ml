@@ -256,7 +256,25 @@ let of_name name =
     Some (behavior ~name ~length:1.0 ~slide:1.0 ())
   else
     (* Split by hand rather than Scanf: %f treats '_' as a digit separator,
-       so "ewin_w1000_s500" would swallow the "_s" delimiter. *)
+       so "ewin_w1000_s500" would swallow the "_s" delimiter. The numeric
+       parts are parsed strictly — digits with at most one dot — because
+       [float_of_string_opt] accepts far more than a window name should:
+       underscores ("1_0"), hex ("0x1A"), exponents ("1e3"), signs, "nan"
+       and "infinity" would all round-trip into misleading names. *)
+    let parse_ms s =
+      let n = String.length s in
+      let ok = ref (n > 0) in
+      let dot = ref false in
+      let digits = ref 0 in
+      String.iter
+        (fun c ->
+          match c with
+          | '0' .. '9' -> incr digits
+          | '.' -> if !dot then ok := false else dot := true
+          | _ -> ok := false)
+        s;
+      if !ok && !digits > 0 then float_of_string_opt s else None
+    in
     let prefix = "ewin_w" in
     let plen = String.length prefix in
     if
@@ -270,8 +288,7 @@ let of_name name =
       with
       | [ w; s ] when String.length s > 1 && s.[0] = 's' -> (
           match
-            ( float_of_string_opt w,
-              float_of_string_opt (String.sub s 1 (String.length s - 1)) )
+            (parse_ms w, parse_ms (String.sub s 1 (String.length s - 1)))
           with
           | Some length_ms, Some slide_ms -> build length_ms slide_ms
           | _ -> None)

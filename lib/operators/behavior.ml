@@ -16,9 +16,17 @@ type evented = {
   eimport : keyed_state -> unit;
 }
 
+type 'a stateful_step = {
+  sstep : Tuple.t -> 'a;
+  sexport : unit -> keyed_state;
+  simport : keyed_state -> unit;
+}
+
 type inline_step =
   | Inline_map of (unit -> Tuple.t -> Tuple.t)
   | Inline_filter of (unit -> Tuple.t -> Tuple.t option)
+  | Inline_fold of (unit -> Tuple.t stateful_step)
+  | Inline_window of (unit -> Tuple.t option stateful_step)
 
 type t = {
   name : string;
@@ -48,10 +56,10 @@ let make ?(state_kind = Stateless_op) ?(input_selectivity = 1.0)
     inline;
   }
 
-let make_migratable ?input_selectivity ?output_selectivity ~name mk =
+let make_migratable ?input_selectivity ?output_selectivity ?inline ~name mk =
   let base =
     make ~state_kind:Partitioned_op ?input_selectivity ?output_selectivity
-      ~name (fun () -> (mk ()).mfn)
+      ?inline ~name (fun () -> (mk ()).mfn)
   in
   { base with migrate = Some mk }
 
@@ -67,6 +75,11 @@ let instantiate t = t.fresh ()
 let can_migrate t = Option.is_some t.migrate || Option.is_some t.evented
 let is_evented t = Option.is_some t.evented
 let inline_spec t = t.inline
+
+let inline_migratable t =
+  match t.inline with
+  | Some (Inline_fold _ | Inline_window _) -> true
+  | Some (Inline_map _ | Inline_filter _) | None -> false
 let selectivity_factor t = t.output_selectivity /. t.input_selectivity
 
 let to_operator ?dist ?keys ~service_time t =

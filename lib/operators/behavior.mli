@@ -61,19 +61,44 @@ type evented = {
 (** An event-time behavior instance: watermark-driven firing, late-tuple
     handling and migratable state, all closed over one state allocation. *)
 
+type 'a stateful_step = {
+  sstep : Tuple.t -> 'a;
+      (** One input to one result ([Tuple.t] for folds, [Tuple.t option]
+          for windows that fire only at slide boundaries), closed over
+          this instance's explicit state. *)
+  sexport : unit -> keyed_state;
+      (** Snapshot the instance's keyed state, same contract as
+          {!migratable.export_state}: called only when the instance has
+          quiesced. Behaviors built on a global (non-keyed) store encode
+          it under a single well-known key. *)
+  simport : keyed_state -> unit;
+      (** Load state for the keys this instance now owns, before any
+          {!sstep} call. *)
+}
+(** A stateful inline step: the closed-function-over-explicit-state form
+    the fused-chain compiler threads through its flat loop, with the
+    export/import pair that keeps the composed chain migratable for live
+    resizing. *)
+
 (** Introspection hook for compile-time fusion: a shape-restricted twin of
     {!fn} that a fused-chain compiler can inline without building the
     intermediate result list. [Inline_map mk] promises one output per
-    input; [Inline_filter mk] promises zero or one. Like {!t.fresh}, the
-    allocator returns a function closed over an independent state
-    instance, and that instance must implement {e exactly} the same
-    transformation as a fresh {!fn} instance would ([f t] standing in for
-    [\[f t\]], [Some t' / None] for [\[t'\] / \[\]]) — the runtime
-    verifies nothing and relies on this equivalence for its
-    count-determinism guarantees. *)
+    input; [Inline_filter mk] promises zero or one. [Inline_fold mk] is
+    the stateful one-in/one-out form (running aggregates such as keyed
+    counters); [Inline_window mk] the stateful zero-or-one form (windowed
+    folds that fire at slide boundaries) — both expose their state
+    explicitly so a compiled chain can export and import it across a
+    replica handoff. Like {!t.fresh}, each allocator returns a function
+    closed over an independent state instance, and that instance must
+    implement {e exactly} the same transformation as a fresh {!fn}
+    instance would ([f t] standing in for [\[f t\]], [Some t' / None] for
+    [\[t'\] / \[\]]) — the runtime verifies nothing and relies on this
+    equivalence for its count-determinism guarantees. *)
 type inline_step =
   | Inline_map of (unit -> Tuple.t -> Tuple.t)
   | Inline_filter of (unit -> Tuple.t -> Tuple.t option)
+  | Inline_fold of (unit -> Tuple.t stateful_step)
+  | Inline_window of (unit -> Tuple.t option stateful_step)
 
 type t = {
   name : string;
@@ -119,12 +144,15 @@ val make :
 val make_migratable :
   ?input_selectivity:float ->
   ?output_selectivity:float ->
+  ?inline:inline_step ->
   name:string ->
   (unit -> migratable) ->
   t
 (** A partitioned-stateful behavior whose instances can export and import
     keyed state, enabling lossless live resizing. [fresh] is derived from
-    the same allocator ([mfn] of a new instance). *)
+    the same allocator ([mfn] of a new instance). [inline] is typically an
+    {!Inline_fold} twin so the behavior also composes into compiled fused
+    chains without losing migratability. *)
 
 val make_evented :
   ?state_kind:state_kind ->
@@ -150,6 +178,11 @@ val is_evented : t -> bool
 
 val inline_spec : t -> inline_step option
 (** The behavior's {!inline_step} hook, if it declared one. *)
+
+val inline_migratable : t -> bool
+(** Whether the behavior's inline hook carries exportable state
+    ({!Inline_fold} or {!Inline_window}): a compiled fused chain
+    containing it can still hand its state off across a live resize. *)
 
 val selectivity_factor : t -> float
 (** [output_selectivity /. input_selectivity]. *)

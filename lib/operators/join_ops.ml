@@ -27,43 +27,64 @@ let band_join ?(length = 200) ?(index = 0) ~band () =
 let count_by_key () =
   (* Migratable: the per-key running count round-trips through the keyed
      state encoding as a singleton vector, so live resizing preserves
-     counts across the replica handoff. *)
-  Behavior.make_migratable ~name:"count_by_key" (fun () ->
+     counts across the replica handoff. The [Inline_fold] twin is the same
+     update over its own table, in the one-in/one-out shape the fused-chain
+     compiler threads through its loop. *)
+  let bump counts (t : Tuple.t) =
+    let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts t.Tuple.key) in
+    Hashtbl.replace counts t.Tuple.key c;
+    Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
+      [| float_of_int c |]
+  in
+  let export counts () =
+    Hashtbl.fold (fun k c acc -> (k, [| float_of_int c |]) :: acc) counts []
+  in
+  let import counts =
+    List.iter (fun (k, v) ->
+        if Array.length v > 0 then Hashtbl.replace counts k (int_of_float v.(0)))
+  in
+  let inline =
+    Behavior.Inline_fold
+      (fun () ->
+        let counts = Hashtbl.create 64 in
+        {
+          Behavior.sstep = bump counts;
+          sexport = export counts;
+          simport = import counts;
+        })
+  in
+  Behavior.make_migratable ~inline ~name:"count_by_key" (fun () ->
       let counts = Hashtbl.create 64 in
       {
-        Behavior.mfn =
-          (fun (t : Tuple.t) ->
-            let c =
-              1 + Option.value ~default:0 (Hashtbl.find_opt counts t.Tuple.key)
-            in
-            Hashtbl.replace counts t.Tuple.key c;
-            [
-              Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
-                [| float_of_int c |];
-            ]);
-        export_state =
-          (fun () ->
-            Hashtbl.fold
-              (fun k c acc -> (k, [| float_of_int c |]) :: acc)
-              counts []);
-        import_state =
-          List.iter (fun (k, v) ->
-              if Array.length v > 0 then
-                Hashtbl.replace counts k (int_of_float v.(0)));
+        Behavior.mfn = (fun t -> [ bump counts t ]);
+        export_state = export counts;
+        import_state = import counts;
       })
 
 let dedup ?(memory = 1024) () =
-  Behavior.make ~state_kind:Behavior.Partitioned_op
+  (* The instance keeps hidden bounded state but does not migrate, so the
+     inline twin is a plain (stateful) filter: compiled chains inline it,
+     but a group containing it stays pinned like the interpreted operator
+     (no exportable state, no live-resize handoff). *)
+  let pass seen order (t : Tuple.t) =
+    if Hashtbl.mem seen t.Tuple.key then None
+    else begin
+      Hashtbl.replace seen t.Tuple.key ();
+      Queue.push t.Tuple.key order;
+      if Queue.length order > memory then Hashtbl.remove seen (Queue.pop order);
+      Some t
+    end
+  in
+  let inline =
+    Behavior.Inline_filter
+      (fun () ->
+        let seen = Hashtbl.create 64 in
+        let order = Queue.create () in
+        pass seen order)
+  in
+  Behavior.make ~state_kind:Behavior.Partitioned_op ~inline
     ~name:(Printf.sprintf "dedup_%d" memory)
     (fun () ->
       let seen = Hashtbl.create 64 in
       let order = Queue.create () in
-      fun (t : Tuple.t) ->
-        if Hashtbl.mem seen t.Tuple.key then []
-        else begin
-          Hashtbl.replace seen t.Tuple.key ();
-          Queue.push t.Tuple.key order;
-          if Queue.length order > memory then
-            Hashtbl.remove seen (Queue.pop order);
-          [ t ]
-        end)
+      fun t -> match pass seen order t with Some t -> [ t ] | None -> [])

@@ -28,3 +28,18 @@ let push t x =
 let reset t =
   Queue.clear t.buffer;
   t.total <- 0
+
+(* Snapshot/restore for state handoff: the retained elements (oldest
+   first) plus the push total, which carries the slide phase — restoring
+   both reproduces the exact firing schedule of the original window. *)
+let dump t = (contents t, t.total)
+
+let load t xs ~pushed =
+  if pushed < 0 then invalid_arg "Window.load: pushed must be >= 0";
+  Queue.clear t.buffer;
+  List.iter
+    (fun x ->
+      Queue.push x t.buffer;
+      if Queue.length t.buffer > t.win_length then ignore (Queue.pop t.buffer))
+    xs;
+  t.total <- pushed

@@ -27,3 +27,12 @@ val pushed : 'a t -> int
 (** Total number of elements pushed so far. *)
 
 val reset : 'a t -> unit
+
+val dump : 'a t -> 'a list * int
+(** [(contents, pushed)]: the retained elements (oldest first) and the
+    total push count. Together they capture the full firing schedule, so a
+    window restored with {!load} fires exactly when the original would. *)
+
+val load : 'a t -> 'a list -> pushed:int -> unit
+(** Replace the window's state with a {!dump} snapshot.
+    @raise Invalid_argument if [pushed < 0]. *)

@@ -3,12 +3,18 @@ type spec = { length : int; slide : int; index : int; per_key : bool }
 let default_spec = { length = 1000; slide = 10; index = 0; per_key = false }
 
 (* Shared skeleton: push into the (global or per-key) window; on firing,
-   aggregate the windowed values into a single-value tuple. *)
+   aggregate the windowed values into a single-value tuple. The
+   [Inline_window] twin implements exactly the same transformation as the
+   list-returning function ([Some t' / None] for [[t'] / []]) over its own
+   independent store, plus export/import of that store so compiled fused
+   chains stay migratable. *)
 let fold ?(spec = default_spec) ~name aggregate =
   let state_kind =
     if spec.per_key then Behavior.Partitioned_op else Behavior.Stateful_op
   in
-  let fresh () =
+  (* One window store per instance, shared by the step and (for the inline
+     twin) its export/import. *)
+  let new_store () =
     let global = Window.create ~length:spec.length ~slide:spec.slide in
     let per_key = Hashtbl.create 64 in
     let window_for key =
@@ -21,16 +27,54 @@ let fold ?(spec = default_spec) ~name aggregate =
             Hashtbl.add per_key key w;
             w
     in
-    fun (t : Tuple.t) ->
-      match Window.push (window_for t.Tuple.key) (Tuple.value t spec.index) with
-      | None -> []
-      | Some values ->
-          [
-            Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
-              [| aggregate values |];
-          ]
+    (global, per_key, window_for)
   in
-  Behavior.make ~state_kind
+  let step window_for (t : Tuple.t) =
+    match Window.push (window_for t.Tuple.key) (Tuple.value t spec.index) with
+    | None -> None
+    | Some values ->
+        Some
+          (Tuple.make ~ts:t.Tuple.ts ~key:t.Tuple.key ~tag:t.Tuple.tag
+             [| aggregate values |])
+  in
+  (* Flat per-key encoding: [| pushed; contents (oldest first)... |]. The
+     push total carries the slide phase, so an imported window fires
+     exactly when the exporter's would have. A global (non-keyed) store
+     exports under key 0; replication never repartitions it (stateful
+     operators do not fission), so the key is inert. *)
+  let encode w =
+    let contents, pushed = Window.dump w in
+    Array.of_list (float_of_int pushed :: contents)
+  in
+  let decode w arr =
+    Window.load w
+      (List.tl (Array.to_list arr))
+      ~pushed:(int_of_float arr.(0))
+  in
+  let fresh () =
+    let _, _, window_for = new_store () in
+    fun (t : Tuple.t) ->
+      match step window_for t with Some out -> [ out ] | None -> []
+  in
+  let inline =
+    Behavior.Inline_window
+      (fun () ->
+        let global, per_key, window_for = new_store () in
+        {
+          Behavior.sstep = (fun t -> step window_for t);
+          sexport =
+            (fun () ->
+              if spec.per_key then
+                Hashtbl.fold (fun k w acc -> (k, encode w) :: acc) per_key []
+              else if Window.pushed global = 0 then []
+              else [ (0, encode global) ]);
+          simport =
+            List.iter (fun (k, arr) ->
+                if Array.length arr >= 1 then
+                  decode (if spec.per_key then window_for k else global) arr);
+        })
+  in
+  Behavior.make ~state_kind ~inline
     ~input_selectivity:(float_of_int spec.slide)
     ~name:
       (Printf.sprintf "%s_w%d_s%d%s" name spec.length spec.slide

@@ -74,7 +74,14 @@ let settle tk d =
    elastic unit's collector channel: the replica set just swapped to [d]
    workers, each primed at watermark [floor], so the collector rebuilds its
    merge array. Both exist only in event-time runs — without
-   [?event_time] no watermark is ever generated and the arms are dead. *)
+   [?event_time] no watermark is ever generated and the arms are dead.
+
+   [Routed (dest, out, birth)] exists only on a replicated fused group's
+   worker->collector channel: the staged chain already drew the routing
+   decision inside the loop, so the worker ships the destination with the
+   tuple and the collector only forwards. Workers cannot write downstream
+   mailboxes directly — the unit must stay a single producer per
+   downstream edge or the SPSC channel selection above breaks. *)
 type msg =
   | Data of Tuple.t
   | Timed of Tuple.t * float
@@ -84,6 +91,7 @@ type msg =
   | Expect of int
   | Wm of int * float
   | Resize of int * float
+  | Routed of int * Tuple.t * float
 
 (* Per-receiver watermark merge: one slot per upstream producer (ingest
    readers included); the unit's watermark is the minimum over slots and
@@ -290,9 +298,11 @@ type ctx = {
 
 let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
     ?(mailbox_capacity = 64) ?(fused = []) ?(fusion = `Compiled) ?(chains = [])
-    ?(routers = []) ?(ordered = []) ?(seed = 42) ?timeout ?scheduler ?placement
-    ?(batch = `Adaptive 32) ?(channels = `Auto)
+    ?(flush_every = 4096) ?(routers = []) ?(ordered = []) ?(seed = 42) ?timeout
+    ?scheduler ?placement ?(batch = `Adaptive 32) ?(channels = `Auto)
     ?(instrument = default_instrument) ~source ~registry topology =
+  if flush_every < 1 then
+    invalid_arg "Executor.run: flush_every must be >= 1";
   let scheduler =
     match scheduler with
     | Some (`Pool w | `Locked_pool w) when w < 1 ->
@@ -1109,7 +1119,8 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                   match Wm_merge.observe mg 0 w with
                   | Some m -> fire m
                   | None -> ())
-              | Expect _ | Resize _ -> assert false (* collector channel only *)
+              | Expect _ | Resize _ | Routed _ ->
+                  assert false (* collector channel only *)
             done
           in
           (Printf.sprintf "%s.g%d.worker%d" (opname v) gen r, body)
@@ -1212,7 +1223,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                             bks.(i) <- Wm (0, m) :: bks.(i)
                           done
                       | None -> ())
-                  | Drain | Expect _ | Resize _ -> assert false)
+                  | Drain | Expect _ | Resize _ | Routed _ -> assert false)
                 burst;
               for r = 0 to d - 1 do
                 match bks.(r) with
@@ -1261,7 +1272,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                   match Wm_merge.reset mg d floor with
                   | Some m -> wm_forward v wmt m
                   | None -> ())
-              | Drain -> assert false (* worker channels only *)
+              | Drain | Routed _ -> assert false (* worker channels only *)
             done;
             (if et_on then
                match Wm_merge.force mg with
@@ -1331,7 +1342,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                   match Wm_merge.observe mg slot w with
                   | Some m -> fire m
                   | None -> ())
-              | Drain | Expect _ | Resize _ ->
+              | Drain | Expect _ | Resize _ | Routed _ ->
                   assert false (* elastic units only *)
             done;
             (if et_on then
@@ -1385,7 +1396,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                           incr rr;
                           buckets.(r) <- Wm (0, adv) :: buckets.(r)
                       | None -> ())
-                  | Drain | Expect _ | Resize _ ->
+                  | Drain | Expect _ | Resize _ | Routed _ ->
                       assert false (* elastic units only *))
                 burst;
               for r = 0 to replicas - 1 do
@@ -1429,7 +1440,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                 | Timed (t, birth) -> handle t birth No_track
                 | Tracked (t, birth, tk) -> handle t birth tk
                 | Wm (_, w) -> put_from v out_mb.(r) (Owm w)
-                | Drain | Expect _ | Resize _ ->
+                | Drain | Expect _ | Resize _ | Routed _ ->
                     assert false (* elastic units only *)
               done)
         done;
@@ -1539,7 +1550,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                             buckets.(i) <- Wm (0, adv) :: buckets.(i)
                           done
                       | None -> ())
-                  | Drain | Expect _ | Resize _ ->
+                  | Drain | Expect _ | Resize _ | Routed _ ->
                       assert false (* elastic units only *))
                 burst;
               for r = 0 to replicas - 1 do
@@ -1632,7 +1643,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                     match Wm_merge.observe mg 0 w with
                     | Some m -> fire m
                     | None -> ())
-                | Drain | Expect _ | Resize _ ->
+                | Drain | Expect _ | Resize _ | Routed _ ->
                     assert false (* elastic units only *)
               done)
         done;
@@ -1663,7 +1674,7 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                   match Wm_merge.observe mg slot w with
                   | Some m -> wm_forward v wmt m
                   | None -> ())
-              | Drain | Expect _ | Resize _ ->
+              | Drain | Expect _ | Resize _ | Routed _ ->
                   assert false (* elastic units only *)
             done;
             (if et_on then
@@ -1677,12 +1688,54 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
   done;
 
   (* --- meta-operators (Algorithm 4) -------------------------------- *)
+  let num_edges = List.length (Topology.edges topology) in
+  (* Telemetry hooks for one staged fused loop: edge transfers accumulate
+     in a plain local array (flushed by the hosting actor on its counter
+     cadence and at end-of-stream), latency/service samples go straight
+     into the actor's private sink on the interpreted executor's 1-in-k
+     schedule. One record per hosting actor — the arrays are single-writer
+     like the sink itself. *)
+  let new_fused_tl snk =
+    Option.map
+      (fun s ->
+        {
+          Fused_compile.sample_every = instrument.telemetry_sample;
+          edge_count = Array.make num_edges 0;
+          edge_index = edge_id;
+          record_latency = (fun v x -> Sink.record_latency s v x);
+          record_service = (fun v x -> Sink.record_service s v x);
+          birth = ref 0.0;
+        })
+      snk
+  in
+  let flush_edges snk tl =
+    match (snk, tl) with
+    | Some s, Some tl ->
+        let ec = tl.Fused_compile.edge_count in
+        Array.iteri
+          (fun e k ->
+            if k <> 0 then begin
+              Sink.add_edge s e k;
+              ec.(e) <- 0
+            end)
+          ec
+    | _ -> ()
+  in
+  let birth_setter tl =
+    match tl with
+    | Some tl -> fun b -> tl.Fused_compile.birth := b
+    | None -> fun (_ : float) -> ()
+  in
   List.iteri
     (fun gi members ->
       let front = fronts.(gi) in
       let inbox = mailbox_of front in
       let expected = expected_eos front in
-      let rng = Rng.create (seed + (15485863 * (gi + 1))) in
+      (* Replica worker [r] of group [gi] draws from
+         seed + 15485863*(gi+1) + 7919*r — keep in sync with the single
+         meta-actor convention (r = 0 reproduces it) and with the
+         documented seeding table in {!Ss_sim.Engine}. *)
+      let group_seed r = seed + (15485863 * (gi + 1)) + (7919 * r) in
       let all_external =
         List.concat_map
           (fun v ->
@@ -1694,85 +1747,487 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
       (* Deploy-time staging: compile the group into one flat closure
          ({!Fused_compile.plan}, or a caller-supplied chain matched by
          member set) whenever the run's message traffic is the plain
-         [Data] common case. Event time (watermarks, lateness), telemetry
-         (births, edge counters), ingest (tracked provenance) and router
-         overrides all need the interpreted walk, as do group shapes the
-         planner declines; count parity makes the choice unobservable. *)
-      let compiled =
-        match fusion with
-        | `Interpreted -> None
-        | `Compiled ->
-            if
-              et_on
-              || Option.is_some collector
-              || Option.is_some ingest
-              || List.exists (fun v -> List.mem_assoc v routers) members
-            then None
-            else begin
-              let key = List.sort compare members in
-              match
-                List.find_opt (fun (m, _) -> List.sort compare m = key) chains
-              with
-              | Some (_, chain) -> Some chain
-              | None -> (
-                  match Fused_compile.plan topology ~members ~registry with
-                  | Ok chain -> Some chain
-                  | Error _ -> None)
-            end
+         [Data]/[Timed] common case. Event time (watermarks, lateness),
+         ingest (tracked provenance) and router overrides all need the
+         interpreted walk, as do group shapes the planner declines; count
+         parity makes the choice unobservable. Telemetry no longer forces
+         interpretation: the planner instruments the loop itself (supplied
+         chains cannot be instrumented, so they are skipped when telemetry
+         is on). *)
+      let baseline_ok =
+        (not et_on)
+        && Option.is_none ingest
+        && not (List.exists (fun v -> List.mem_assoc v routers) members)
       in
-      match compiled with
-      | Some chain ->
+      let stage ?telemetry () =
+        match fusion with
+        | `Compiled ->
+            Fused_compile.plan ?telemetry topology ~members ~registry
+        | `Interpreted ->
+            Fused_compile.interpret ?telemetry topology ~members ~registry
+      in
+      let stageable =
+        baseline_ok && match stage () with Ok _ -> true | Error _ -> false
+      in
+      (* Fission of a fused group: the whole staged loop replicates, one
+         instance per worker. Legality needs the group linear (routing
+         draws are then count-neutral, so splitting the rng stream across
+         replicas keeps per-vertex counts bit-identical to the
+         single-actor walk) and every member fissionable. Routing at the
+         emitter is by input-tuple key as soon as any member partitions
+         state by key — members are assumed key-preserving, like the
+         per-vertex fission they replace. *)
+      let group_replicas =
+        (Topology.operator topology front).Operator.replicas
+      in
+      let partitioned_keys =
+        List.find_map
+          (fun v ->
+            match (Topology.operator topology v).Operator.kind with
+            | Operator.Partitioned_stateful keys -> Some keys
+            | Operator.Stateless | Operator.Stateful -> None)
+          members
+      in
+      let replicable =
+        stageable
+        && Fused_compile.linear topology ~members
+        && List.for_all
+             (fun v -> Operator.can_replicate (Topology.operator topology v))
+             members
+        && not (List.exists (fun v -> List.mem v ordered) members)
+      in
+      let group_stateless =
+        List.for_all
+          (fun v -> (registry v).Behavior.state_kind = Behavior.Stateless_op)
+          members
+      in
+      (* Elastic deployment additionally needs the staged instance to hand
+         its whole state across a generation swap, and a keyed routing to
+         repartition it under (stateless groups have nothing to move). *)
+      let elastic_ok =
+        replicable
+        && Option.is_some control
+        && Fused_compile.migratable ~members ~registry
+        && (group_stateless || Option.is_some partitioned_keys)
+      in
+      (* One staged host loop, shared by the single actor and every
+         replica worker: plain local counters flushed on a budget, at
+         end-of-stream and on failure ([Fun.protect] — a crash downstream
+         must not lose the counts and edge transfers already earned). *)
+      let host_loop ~next ~tl ~snk ~rng ~staged ~prepare ~emit ~on_eos
+          ~on_drain () =
+        let lc = Array.make n 0 and lp = Array.make n 0 in
+        let flush () =
+          List.iter
+            (fun v ->
+              if lc.(v) <> 0 then begin
+                ignore (Atomic.fetch_and_add consumed.(v) lc.(v));
+                lc.(v) <- 0
+              end;
+              if lp.(v) <> 0 then begin
+                ignore (Atomic.fetch_and_add produced.(v) lp.(v));
+                lp.(v) <- 0
+              end)
+            members;
+          flush_edges snk tl
+        in
+        let inst =
+          staged { Fused_compile.rng; consumed = lc; produced = lp; emit }
+        in
+        prepare inst;
+        let set_birth = birth_setter tl in
+        let budget = ref flush_every in
+        let step = inst.Fused_compile.step in
+        let ingest_tuple t =
+          step t;
+          decr budget;
+          if !budget <= 0 then begin
+            flush ();
+            budget := flush_every
+          end
+        in
+        Fun.protect ~finally:flush (fun () ->
+            let eos = ref 0 in
+            let continue = ref true in
+            while !continue do
+              match next () with
+              | Eos ->
+                  incr eos;
+                  if on_eos inst !eos then continue := false
+              | Drain ->
+                  on_drain inst;
+                  continue := false
+              | Data t ->
+                  set_birth 0.0;
+                  ingest_tuple t
+              | Timed (t, birth) ->
+                  set_birth birth;
+                  ingest_tuple t
+              | Tracked _ | Wm _ | Expect _ | Resize _ | Routed _ ->
+                  assert false (* excluded by eligibility above *)
+            done)
+      in
+      let staged_of tl =
+        match stage ?telemetry:tl () with
+        | Ok staged -> staged
+        | Error _ -> assert false (* guarded by [stageable] *)
+      in
+      let staged_deployed =
+        if elastic_ok then begin
+          (* --- elastic fused unit: the vertex-level swap protocol
+             (emitter-coordinated drain, keyed-state handoff, [Expect]
+             terminated collector), hosting one staged group instance per
+             worker. The staged instance's export/import carry every
+             stateful member's keyed state in one flat list, so a resize
+             moves window phases and running aggregates losslessly. *)
+          let ctl = match control with Some c -> c | None -> assert false in
+          let initial = group_replicas in
+          ctl.managed.(front) <- true;
+          Atomic.set ctl.target.(front) initial;
+          Atomic.set ctl.applied.(front) initial;
+          let collector_mb = new_mailbox ~spsc:false () in
+          let handoff_mb : Behavior.keyed_state Mailbox.t =
+            new_mailbox ~spsc:false ()
+          in
+          let partition_of d =
+            match partitioned_keys with
+            | Some keys ->
+                let groups =
+                  Ss_core.Key_partitioning.groups_for ~keys ~replicas:d
+                in
+                let support = Discrete.support keys in
+                Some (fun k -> groups.(((k mod support) + support) mod support))
+            | None -> None
+          in
+          let route_of d =
+            match partition_of d with
+            | Some owner -> fun (t : Tuple.t) _rr -> owner t.Tuple.key
+            | None -> fun (_ : Tuple.t) rr -> rr mod d
+          in
+          let make_worker ~gen ~r mb state =
+            let snk = new_sink () in
+            let tl = new_fused_tl snk in
+            let emit =
+              match tl with
+              | Some tlr ->
+                  fun _ dest out ->
+                    put_from front collector_mb
+                      (Routed (dest, out, !(tlr.Fused_compile.birth)))
+              | None ->
+                  fun _ dest out ->
+                    put_from front collector_mb (Routed (dest, out, 0.0))
+            in
+            let body () =
+              host_loop
+                ~next:(ctx.creader mb)
+                ~tl ~snk
+                ~rng:(Rng.create (group_seed r))
+                ~staged:(staged_of tl)
+                ~prepare:(fun inst ->
+                  match state with
+                  | Some st -> inst.Fused_compile.import st
+                  | None -> ())
+                ~emit
+                ~on_eos:(fun _ _ ->
+                  put_from front collector_mb Eos;
+                  true)
+                ~on_drain:(fun inst ->
+                  put_from front handoff_mb (inst.Fused_compile.export ()))
+                ()
+            in
+            ( Printf.sprintf "fused%d.%s.g%d.worker%d" gi (opname front) gen r,
+              body )
+          in
+          let gen0_mbs =
+            Array.init initial (fun _ -> new_mailbox ~spsc:true ())
+          in
+          Array.iteri
+            (fun r mb ->
+              let name, body = make_worker ~gen:0 ~r mb None in
+              add_actor ~actor:name ~vertex:front body)
+            gen0_mbs;
+          (* emitter *)
           add_actor
-            ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
+            ~actor:(Printf.sprintf "fused%d.%s.emitter" gi (opname front))
             ~vertex:front
             (fun () ->
-              let next = ctx.creader inbox in
+              let next = ctx.cburst inbox in
+              let next_handoff = ctx.creader handoff_mb in
+              let degree = ref initial in
+              let gen = ref 0 in
+              let mbs = ref gen0_mbs in
+              let route = ref (route_of initial) in
+              let buckets = ref (Array.make initial []) in
               let eos = ref 0 in
-              (* The chain counts into plain local arrays (it is the only
-                 writer); they are flushed to the shared atomics on a
-                 budget and at end-of-stream, keeping the hot loop free of
-                 atomic traffic. *)
-              let lc = Array.make n 0 and lp = Array.make n 0 in
-              let flush () =
-                List.iter
-                  (fun v ->
-                    if lc.(v) <> 0 then begin
-                      ignore (Atomic.fetch_and_add consumed.(v) lc.(v));
-                      lc.(v) <- 0
-                    end;
-                    if lp.(v) <> 0 then begin
-                      ignore (Atomic.fetch_and_add produced.(v) lp.(v));
-                      lp.(v) <- 0
-                    end)
-                  members
-              in
-              let emit v dest out = put_from v (mailbox_of dest) (Data out) in
-              let step =
-                chain
-                  { Fused_compile.rng; consumed = lc; produced = lp; emit }
-              in
-              let flush_every = 4096 in
-              let budget = ref flush_every in
-              let ingest_tuple t =
-                step t;
-                decr budget;
-                if !budget <= 0 then begin
-                  flush ();
-                  budget := flush_every
-                end
+              let rr = ref 0 in
+              let reconfigure want =
+                let t0 = Unix.gettimeofday () in
+                Array.iter (fun mb -> put_from front mb Drain) !mbs;
+                let merged = ref [] in
+                for _ = 1 to !degree do
+                  merged := List.rev_append (next_handoff ()) !merged
+                done;
+                incr gen;
+                let d = want in
+                let mbs' =
+                  Array.init d (fun _ -> new_mailbox ~spsc:true ())
+                in
+                let parts = Array.make d None in
+                (match partition_of d with
+                | Some owner ->
+                    (* Entries are keyed by tuple key (the member tag
+                       rides inside the value array), so they repartition
+                       under the new degree exactly like the tuples
+                       themselves. *)
+                    let parts' = Array.make d [] in
+                    List.iter
+                      (fun ((k, _) as entry) ->
+                        let r = owner k in
+                        parts'.(r) <- entry :: parts'.(r))
+                      !merged;
+                    Array.iteri (fun r st -> parts.(r) <- Some st) parts'
+                | None -> ());
+                Array.iteri
+                  (fun r mb ->
+                    let name, body = make_worker ~gen:!gen ~r mb parts.(r) in
+                    !spawn_dyn ~actor:name ~vertex:front body)
+                  mbs';
+                mbs := mbs';
+                route := route_of d;
+                buckets := Array.make d [];
+                degree := d;
+                rr := 0;
+                Atomic.set ctl.applied.(front) d;
+                Atomic.set ctl.downtime.(front)
+                  (Atomic.get ctl.downtime.(front)
+                  +. (Unix.gettimeofday () -. t0));
+                Atomic.incr ctl.generation
               in
               while !eos < expected do
+                let want = Atomic.get ctl.target.(front) in
+                if want >= 1 && want <> !degree then reconfigure want;
+                let burst = next () in
+                let bks = !buckets and rt = !route in
+                Queue.iter
+                  (fun m ->
+                    match m with
+                    | Eos -> incr eos
+                    | Data t | Timed (t, _) ->
+                        let r = rt t !rr in
+                        incr rr;
+                        bks.(r) <- m :: bks.(r)
+                    | Tracked _ | Wm _ | Drain | Expect _ | Resize _
+                    | Routed _ ->
+                        assert false)
+                  burst;
+                for r = 0 to !degree - 1 do
+                  match bks.(r) with
+                  | [] -> ()
+                  | acc ->
+                      bks.(r) <- [];
+                      ctx.cput_batch front !mbs.(r) (List.rev acc)
+                done
+              done;
+              Array.iter (fun mb -> put_from front mb Eos) !mbs;
+              put_from front collector_mb (Expect !degree));
+          (* collector: forwards pre-routed results — the worker chains
+             already drew destinations and counted edges — and terminates
+             on the final generation's degree. *)
+          add_actor
+            ~actor:(Printf.sprintf "fused%d.%s.collector" gi (opname front))
+            ~vertex:front
+            (fun () ->
+              let next = ctx.creader collector_mb in
+              let eos = ref 0 in
+              let expect = ref (-1) in
+              let forward =
+                match collector with
+                | Some _ ->
+                    fun dest out birth ->
+                      put_from front (mailbox_of dest) (Timed (out, birth))
+                | None ->
+                    fun dest out _ ->
+                      put_from front (mailbox_of dest) (Data out)
+              in
+              while !expect < 0 || !eos < !expect do
                 match next () with
                 | Eos -> incr eos
-                | Data t -> ingest_tuple t
-                | Timed (t, _) -> ingest_tuple t
-                | Tracked _ | Wm _ | Drain | Expect _ | Resize _ ->
-                    assert false (* excluded by eligibility above *)
+                | Expect k -> expect := k
+                | Routed (dest, out, birth) -> forward dest out birth
+                | Data _ | Timed _ | Tracked _ | Wm _ | Drain | Resize _ ->
+                    assert false
               done;
-              flush ();
               List.iter (fun mb -> put_from front mb Eos)
-                (eos_targets all_external))
-      | None ->
+                (eos_targets all_external));
+          true
+        end
+        else if replicable && group_replicas > 1 then begin
+          (* --- static replicated fused unit: emitter, [group_replicas]
+             workers each hosting one staged loop, collector (§4.2 shape
+             over a whole group). *)
+          let replicas = group_replicas in
+          let worker_mb =
+            Array.init replicas (fun _ -> new_mailbox ~spsc:true ())
+          in
+          let collector_mb = new_mailbox ~spsc:false () in
+          let route_to_replica =
+            match partitioned_keys with
+            | Some keys ->
+                let groups =
+                  Ss_core.Key_partitioning.groups_for ~keys ~replicas
+                in
+                let support = Discrete.support keys in
+                fun (t : Tuple.t) _rr ->
+                  groups.(((t.Tuple.key mod support) + support) mod support)
+            | None -> fun (_ : Tuple.t) rr -> rr mod replicas
+          in
+          add_actor
+            ~actor:(Printf.sprintf "fused%d.%s.emitter" gi (opname front))
+            ~vertex:front
+            (fun () ->
+              let next = ctx.cburst inbox in
+              let eos = ref 0 in
+              let rr = ref 0 in
+              let buckets = Array.make replicas [] in
+              while !eos < expected do
+                let burst = next () in
+                Queue.iter
+                  (fun m ->
+                    match m with
+                    | Eos -> incr eos
+                    | Data t | Timed (t, _) ->
+                        let r = route_to_replica t !rr in
+                        incr rr;
+                        buckets.(r) <- m :: buckets.(r)
+                    | Tracked _ | Wm _ | Drain | Expect _ | Resize _
+                    | Routed _ ->
+                        assert false)
+                  burst;
+                for r = 0 to replicas - 1 do
+                  match buckets.(r) with
+                  | [] -> ()
+                  | acc ->
+                      buckets.(r) <- [];
+                      ctx.cput_batch front worker_mb.(r) (List.rev acc)
+                done
+              done;
+              Array.iter (fun mb -> put_from front mb Eos) worker_mb);
+          for r = 0 to replicas - 1 do
+            let snk = new_sink () in
+            let tl = new_fused_tl snk in
+            let emit =
+              match tl with
+              | Some tlr ->
+                  fun _ dest out ->
+                    put_from front collector_mb
+                      (Routed (dest, out, !(tlr.Fused_compile.birth)))
+              | None ->
+                  fun _ dest out ->
+                    put_from front collector_mb (Routed (dest, out, 0.0))
+            in
+            add_actor
+              ~actor:
+                (Printf.sprintf "fused%d.%s.worker%d" gi (opname front) r)
+              ~vertex:front
+              (fun () ->
+                host_loop
+                  ~next:(ctx.creader worker_mb.(r))
+                  ~tl ~snk
+                  ~rng:(Rng.create (group_seed r))
+                  ~staged:(staged_of tl)
+                  ~prepare:ignore
+                  ~emit
+                  ~on_eos:(fun _ _ ->
+                    put_from front collector_mb Eos;
+                    true)
+                  ~on_drain:(fun _ -> assert false (* static unit *))
+                  ())
+          done;
+          add_actor
+            ~actor:(Printf.sprintf "fused%d.%s.collector" gi (opname front))
+            ~vertex:front
+            (fun () ->
+              let next = ctx.creader collector_mb in
+              let eos = ref 0 in
+              let forward =
+                match collector with
+                | Some _ ->
+                    fun dest out birth ->
+                      put_from front (mailbox_of dest) (Timed (out, birth))
+                | None ->
+                    fun dest out _ ->
+                      put_from front (mailbox_of dest) (Data out)
+              in
+              while !eos < replicas do
+                match next () with
+                | Eos -> incr eos
+                | Routed (dest, out, birth) -> forward dest out birth
+                | Data _ | Timed _ | Tracked _ | Wm _ | Drain | Expect _
+                | Resize _ ->
+                    assert false
+              done;
+              List.iter (fun mb -> put_from front mb Eos)
+                (eos_targets all_external));
+          true
+        end
+        else if fusion = `Compiled && baseline_ok then begin
+          (* --- single staged actor: the compiled closed loop of the whole
+             group, telemetry-instrumented when the run collects it. *)
+          let snk = new_sink () in
+          let tl = new_fused_tl snk in
+          let staged =
+            let key = List.sort compare members in
+            match
+              match collector with
+              | None ->
+                  List.find_opt
+                    (fun (m, _) -> List.sort compare m = key)
+                    chains
+              | Some _ -> None
+            with
+            | Some (_, chain) -> Some (Fused_compile.of_chain chain)
+            | None -> (
+                match Fused_compile.plan ?telemetry:tl topology ~members ~registry with
+                | Ok staged -> Some staged
+                | Error _ -> None)
+          in
+          match staged with
+          | None -> false
+          | Some staged ->
+              let emit =
+                match tl with
+                | Some tlr ->
+                    fun v dest out ->
+                      put_from v (mailbox_of dest)
+                        (Timed (out, !(tlr.Fused_compile.birth)))
+                | None ->
+                    fun v dest out -> put_from v (mailbox_of dest) (Data out)
+              in
+              add_actor
+                ~actor:(Printf.sprintf "fused%d.%s" gi (opname front))
+                ~vertex:front
+                (fun () ->
+                  host_loop
+                    ~next:(ctx.creader inbox)
+                    ~tl ~snk
+                    ~rng:(Rng.create (group_seed 0))
+                    ~staged ~prepare:ignore ~emit
+                    ~on_eos:(fun _ eos ->
+                      if eos < expected then false
+                      else begin
+                        List.iter (fun mb -> put_from front mb Eos)
+                          (eos_targets all_external);
+                        true
+                      end)
+                    ~on_drain:(fun _ -> assert false (* static actor *))
+                    ());
+              true
+        end
+        else false
+      in
+      if staged_deployed then ()
+      else begin
+      let rng = Rng.create (group_seed 0) in
       (* Evented members keep one shared instance: its [efn] buckets from
          the Algorithm 4 walk and its watermark hooks fire from the group's
          merge below. *)
@@ -1913,12 +2368,14 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
                 match Wm_merge.observe mg slot w with
                 | Some m -> fire m
                 | None -> ())
-            | Drain | Expect _ | Resize _ ->
+            | Drain | Expect _ | Resize _ | Routed _ ->
                 assert false (* elastic units only *)
           done;
           (if et_on then
              match Wm_merge.force mg with Some m -> fire m | None -> ());
-          List.iter (fun mb -> put_from front mb Eos) (eos_targets all_external)))
+          List.iter (fun mb -> put_from front mb Eos)
+            (eos_targets all_external))
+      end)
     fused;
 
   let actors = List.rev !actors in
@@ -2080,12 +2537,12 @@ let run_internal ?control ?notify ?ingest ?event_time ?(reserve = 0)
     outcome = Supervision.outcome sup;
   }
 
-let run ?ingest ?event_time ?mailbox_capacity ?fused ?fusion ?chains ?routers
-    ?ordered ?seed ?timeout ?scheduler ?placement ?batch ?channels ?instrument
-    ~source ~registry topology =
+let run ?ingest ?event_time ?mailbox_capacity ?fused ?fusion ?chains
+    ?flush_every ?routers ?ordered ?seed ?timeout ?scheduler ?placement ?batch
+    ?channels ?instrument ~source ~registry topology =
   run_internal ?ingest ?event_time ?mailbox_capacity ?fused ?fusion ?chains
-    ?routers ?ordered ?seed ?timeout ?scheduler ?placement ?batch ?channels
-    ?instrument ~source ~registry topology
+    ?flush_every ?routers ?ordered ?seed ?timeout ?scheduler ?placement ?batch
+    ?channels ?instrument ~source ~registry topology
 
 (* ------------------------------------------------------------------ *)
 (* Live deployments: the executor runs on its own domain while the caller
@@ -2100,8 +2557,9 @@ module Live = struct
     domain : metrics Domain.t;
   }
 
-  let start ?event_time ?(mailbox_capacity = 64) ?(routers = []) ?(seed = 42)
-      ?timeout ?workers ?(reserve = 0) ?(locked = false) ?(batch = `Adaptive 32)
+  let start ?event_time ?(mailbox_capacity = 64) ?fused ?fusion ?chains
+      ?flush_every ?(routers = []) ?(seed = 42) ?timeout ?workers
+      ?(reserve = 0) ?(locked = false) ?(batch = `Adaptive 32)
       ?(channels = `Auto)
       ?(instrument = { default_instrument with telemetry = true }) ~source
       ~registry topology =
@@ -2146,8 +2604,9 @@ module Live = struct
       Domain.spawn (fun () ->
           try
             run_internal ~control:ctl ~notify ?event_time ~reserve
-              ~mailbox_capacity ~routers ~seed ?timeout ~scheduler ~batch
-              ~channels ~instrument ~source ~registry topology
+              ~mailbox_capacity ?fused ?fusion ?chains ?flush_every ~routers
+              ~seed ?timeout ~scheduler ~batch ~channels ~instrument ~source
+              ~registry topology
           with e ->
             Mutex.lock ready_m;
             failed := true;

@@ -172,6 +172,7 @@ val run :
   ?fused:int list list ->
   ?fusion:[ `Interpreted | `Compiled ] ->
   ?chains:(int list * Fused_compile.chain) list ->
+  ?flush_every:int ->
   ?routers:(int * router) list ->
   ?ordered:int list ->
   ?seed:int ->
@@ -219,16 +220,33 @@ val run :
     [fusion] selects how fused groups execute their members (default
     [`Compiled]): under [`Compiled] each group is staged at deploy time
     into one flat closure ({!Fused_compile.plan}) whenever the run
-    qualifies — no event time, no telemetry, no ingest, no router override
-    on a member, and a group shape the planner accepts — and falls back to
-    the interpreted Algorithm 4 walk otherwise; [`Interpreted] forces the
-    walk everywhere. The choice never changes results: compiled chains
-    draw routing randomness in the exact per-tuple order of the
-    interpreted walk, so per-vertex counts are identical either way.
-    [chains] supplies pre-compiled closures keyed by member set (compared
-    as sorted vertex lists, e.g. from {!Ss_codegen}-emitted closed loops);
-    a matching entry overrides the deploy-time planner under the same
-    eligibility rules. [ordered] lists replicated
+    qualifies — no event time, no ingest, no router override on a member,
+    and a group shape the planner accepts — and falls back to the
+    interpreted Algorithm 4 walk otherwise; [`Interpreted] forces the
+    walk everywhere. Telemetry does {e not} force the walk: the planner
+    instruments the staged loop itself (local edge counters flushed every
+    [flush_every] tuples — default 4096 — at end-of-stream and on actor
+    failure; latency/service samples on the interpreted 1-in-k schedule),
+    so compiled and interpreted runs report identical edge counts and
+    histogram sample counts. A fused group whose front operator is
+    replicated deploys as a {e fission unit of the whole staged loop}
+    (emitter, one staged instance per replica, collector) when the group
+    is linear — at most one successor per member, which keeps routing
+    draws count-neutral so per-vertex counts stay bit-identical to the
+    single-actor walk — and every member's operator can replicate; tuples
+    route to replicas by key as soon as any member partitions state by
+    key (members are assumed key-preserving). Under {!Live} deployments
+    such a group is additionally {e elastic} when its staged instance can
+    migrate state (every stateful member exposes an inline stateful hook
+    or a migratable instance): a resize drains the workers, exports each
+    staged instance's keyed state (window phases, running aggregates),
+    repartitions it by key over the new generation and resumes, losing no
+    tuple. [chains] supplies pre-compiled closures keyed by member set
+    (compared as sorted vertex lists, e.g. from {!Ss_codegen}-emitted
+    closed loops); a matching entry overrides the deploy-time planner
+    under the same eligibility rules, except under telemetry (a supplied
+    chain has no counter hooks, so the planner is used).
+    [ordered] lists replicated
     stateless vertices whose fission must preserve the arrival order
     (paper §2): their emitter deals strictly round-robin and their
     collector reassembles results in the same order, batching per input so
@@ -258,8 +276,9 @@ val run :
     deterministic behaviors: routing draws depend only on per-vertex tuple
     ordinals, not on interleaving.
     @raise Invalid_argument on overlapping or illegal fused groups, a
-    replicated source, a non-positive [timeout], a non-positive pool size
-    or [batch], an [ordered] vertex that is not replicated stateless, or —
+    replicated source, a non-positive [timeout], a non-positive pool size,
+    [batch] or [flush_every], an [ordered] vertex that is not replicated
+    stateless, or —
     in [`Domain_per_actor] mode only — an actor count above the domain
     budget. *)
 
@@ -288,6 +307,10 @@ module Live : sig
   val start :
     ?event_time:Ss_event.Event_time.config ->
     ?mailbox_capacity:int ->
+    ?fused:int list list ->
+    ?fusion:[ `Interpreted | `Compiled ] ->
+    ?chains:(int list * Fused_compile.chain) list ->
+    ?flush_every:int ->
     ?routers:(int * router) list ->
     ?seed:int ->
     ?timeout:float ->
@@ -307,9 +330,13 @@ module Live : sig
       sizes the pool (default [Domain.recommended_domain_count]),
       [reserve] adds dormant worker slots for {!add_workers} (default 0),
       [locked] selects the [`Locked_pool] scheduler core, and telemetry
-      defaults {e on} (the controller needs it). Fusion and ordered fission
-      are not available live (fused units cannot be resized; ordered
-      collectors cannot survive a degree change). With [event_time],
+      defaults {e on} (the controller needs it). [fused]/[fusion]/[chains]/
+      [flush_every] mirror {!run}; a fused group whose front operator is
+      replicated and whose staged instance can migrate its state deploys
+      as an {e elastic} unit resizable through {!resize} (address it by its
+      front vertex) — other fused groups deploy as a single pinned actor.
+      Ordered fission is not available live (ordered collectors cannot
+      survive a degree change). With [event_time],
       watermark state survives {!resize}: the emitter chooses the swap's
       watermark floor (its own input merge), re-shapes the collector's
       replica merge through the swap, and primes each new worker at the

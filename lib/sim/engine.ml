@@ -473,7 +473,11 @@ let replay ?(fused = []) ?(seed = 42) ~tuples topology =
      vertex's collector from [seed + 104729*(v+1)]; every member of fused
      group [gi] shares one rng seeded [seed + 15485863*(gi+1)] and draws in
      the meta-operator's depth-first processing order (Algorithm 4), which
-     this walk reproduces. *)
+     this walk reproduces. A {e replicated} fused group's worker [r] draws
+     from [seed + 15485863*(gi+1) + 7919*r], but the executor only
+     replicates linear groups (every member has at most one successor),
+     whose draws are count-neutral — so this single-rng walk still
+     reproduces the per-vertex counts exactly. *)
   let group_rng =
     Array.of_list
       (List.mapi (fun gi _ -> Rng.create (seed + (15485863 * (gi + 1)))) fused)

@@ -32,6 +32,11 @@ module Sink = struct
   let record_latency t v x = Histogram.record (hist t.latency v) x
   let record_service t v x = Histogram.record (hist t.service v) x
   let incr_edge t e = t.edge_counts.(e) <- t.edge_counts.(e) + 1
+
+  (* Bulk transfer for compiled fused chains: they accumulate edge counts
+     in their own local arrays and flush on a cadence, so the hot loop
+     stays free of sink traffic. *)
+  let add_edge t e k = if k <> 0 then t.edge_counts.(e) <- t.edge_counts.(e) + k
   let record_late t v = t.late.(v) <- t.late.(v) + 1
   let record_wm_lag t v x = Histogram.record (hist t.wm_lag v) x
 end

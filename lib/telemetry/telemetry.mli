@@ -55,6 +55,12 @@ module Sink : sig
   (** [incr_edge s e] counts one tuple over edge index [e] (the index into
       {!Ss_topology.Topology.edges}). *)
 
+  val add_edge : t -> int -> int -> unit
+  (** [add_edge s e k] counts [k] tuples over edge index [e] at once —
+      the flush path for compiled fused chains, which accumulate edge
+      transfers in plain local arrays and drain them on a cadence and at
+      end-of-stream. *)
+
   val record_late : t -> int -> unit
   (** [record_late s v] counts one tuple arriving behind the watermark at
       vertex [v]. *)

@@ -32,7 +32,15 @@ REQUIRED = {
     "BENCH_fusion.json": ["section", "tuples", "members", "compiled_rate",
                           "interpreted_rate", "unfused_rate",
                           "compiled_vs_interpreted",
-                          "interpreted_vs_unfused"],
+                          "interpreted_vs_unfused",
+                          "stateful_members", "stateful_compiled_rate",
+                          "stateful_interpreted_rate",
+                          "stateful_vs_interpreted",
+                          "replica_members", "replica_compiled_rate",
+                          "replica_interpreted_rate",
+                          "replica_vs_interpreted",
+                          "telemetry_compiled_rate",
+                          "telemetry_overhead_pct"],
 }
 
 d = sys.argv[1]

@@ -170,6 +170,47 @@ let test_event_window_of_name () =
         (Event_window.of_name n = None))
     [ "ewin_wx_s1"; "ewin_w0_s0"; "ewin_w500_s1000"; "window"; "ewin_w1_1" ]
 
+let test_event_window_of_name_strict () =
+  (* The numeric parts are parsed strictly: everything float_of_string
+     would also take — underscores, hex, exponents, signs, nan/infinity —
+     must be rejected, as must trailing garbage and non-positive sizes. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " rejected") true
+        (Event_window.of_name n = None))
+    [
+      "ewin_w1_0_s5";
+      "ewin_w1e3_s10";
+      "ewin_w0x1A_s10";
+      "ewin_winfinity_s5";
+      "ewin_wnan_s5";
+      "ewin_w-5_s1";
+      "ewin_w10_s-1";
+      "ewin_w10_s5_";
+      "ewin_w10_s5x";
+      "ewin_w10_s5_junk";
+      "ewin_w._s.";
+      "ewin_w_s";
+      "ewin_w10_s0";
+      "ewin_w0_s10";
+      "ewin_w1.2.3_s1";
+    ];
+  (* decimals stay accepted *)
+  Alcotest.(check bool) "decimal sizes accepted" true
+    (Event_window.of_name "ewin_w1000.5_s250.25" <> None)
+
+let prop_event_window_name_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"name -> window -> name round-trip"
+       (QCheck.make
+          QCheck.Gen.(pair (int_range 1 100000) (int_range 1 100000)))
+       (fun (a, b) ->
+         let length = max a b and slide = min a b in
+         let name = Printf.sprintf "ewin_w%d_s%d" length slide in
+         match Event_window.of_name name with
+         | Some behavior -> behavior.Behavior.name = name
+         | None -> false))
+
 (* ------------------------------------------------------------------ *)
 (* Cost-model hooks *)
 
@@ -463,6 +504,8 @@ let () =
           quick "refire horizon" test_event_window_refire_horizon;
           quick "export/import roundtrip" test_event_window_export_import;
           quick "class name resolution" test_event_window_of_name;
+          quick "strict name parsing" test_event_window_of_name_strict;
+          prop_event_window_name_roundtrip;
         ] );
       ( "model",
         [
